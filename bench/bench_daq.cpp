@@ -1,0 +1,107 @@
+// E8 — The Fig 5 acquisition chain.
+//
+// Paper claims (§8): 2 MUX cards x 16 channels = 32 channels feeding a
+// 4-channel digitizer; "Highest sampling rate exceeds 40,000 Hz";
+// per-channel RMS detectors give "real-time and constant alarming for all
+// sensors". The harness measures full-scan duty cycle, achieved sample
+// rate, and alarm latency under a step fault.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "mpros/common/units.hpp"
+#include "mpros/plant/chiller.hpp"
+#include "mpros/plant/daq.hpp"
+
+namespace {
+
+using namespace mpros;
+using namespace mpros::plant;
+
+SignalSource chiller_source(ChillerSimulator& chiller) {
+  // 32 channels: cycle accelerometer points; every channel gets a live
+  // waveform from the plant.
+  return [&chiller](std::size_t channel, double t0, double rate,
+                    std::span<double> out) {
+    const auto point = static_cast<MachinePoint>(channel % 3);
+    chiller.acquire_vibration_at(point, t0, rate, out);
+  };
+}
+
+void print_e8_summary() {
+  DaqConfig cfg;
+  ChillerSimulator chiller;
+  chiller.advance(SimTime::from_seconds(1.0));
+  DaqChain daq(cfg, chiller_source(chiller));
+
+  const auto scan = daq.scan_all(4096, 40960.0, SimTime(0));
+  const double achieved =
+      static_cast<double>(scan.total_samples) / scan.duration.seconds();
+
+  // Alarm latency: seed a severe imbalance and watch channel 0's detector.
+  ChillerSimulator faulted;
+  faulted.faults().schedule({domain::FailureMode::MotorImbalance, SimTime(0),
+                             SimTime(0), 1.0, GrowthProfile::Step});
+  faulted.advance(SimTime::from_seconds(1.0));
+  DaqChain alarm_daq(cfg, chiller_source(faulted));
+  alarm_daq.set_alarm_threshold(0, 0.15);  // healthy RMS is ~0.07 g
+  const auto alarms =
+      alarm_daq.poll_alarms(SimTime(0), SimTime::from_seconds(2.0));
+
+  std::printf(
+      "\nE8 Data Concentrator acquisition chain (paper Fig 5 / §8)\n"
+      "  claim    : 32 channels via 2 MUX cards, >40 kHz sampling,\n"
+      "             real-time RMS alarming on all channels\n"
+      "  measured : %zu channels; full scan of 4096 samples/ch in %s\n"
+      "             (%.0f samples/s aggregate through the 4-ch digitizer)\n",
+      daq.channel_count(), to_string(scan.duration).c_str(), achieved);
+  if (!alarms.empty()) {
+    std::printf("             RMS alarm on ch%zu after %s (rms %.2f g)\n\n",
+                alarms[0].channel, to_string(alarms[0].at).c_str(),
+                alarms[0].rms);
+  } else {
+    std::printf("             RMS alarm did not fire (unexpected)\n\n");
+  }
+}
+
+void BM_FullScan(benchmark::State& state) {
+  ChillerSimulator chiller;
+  chiller.advance(SimTime::from_seconds(1.0));
+  DaqChain daq(DaqConfig{}, chiller_source(chiller));
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(daq.scan_all(samples, 40960.0, SimTime(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * samples * 32);
+  state.SetLabel("samples digitized");
+}
+BENCHMARK(BM_FullScan)->Arg(1024)->Arg(4096);
+
+void BM_AlarmScan(benchmark::State& state) {
+  ChillerSimulator chiller;
+  chiller.advance(SimTime::from_seconds(1.0));
+  DaqChain daq(DaqConfig{}, chiller_source(chiller));
+  for (std::size_t ch = 0; ch < daq.channel_count(); ++ch) {
+    daq.set_alarm_threshold(ch, 10.0);  // never fires: measure scan cost
+  }
+  SimTime t(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(daq.poll_alarms(t, SimTime::from_millis(100)));
+    t += SimTime::from_millis(100);
+  }
+  // 32 channels x 4096 Hz x 0.1 s per iteration.
+  state.SetItemsProcessed(state.iterations() * 32 * 409);
+  state.SetLabel("detector samples");
+}
+BENCHMARK(BM_AlarmScan);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_e8_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E10 — Fig 1 / Fig 2 end to end.
+//
+// Reconstructs the paper's Fig 2 situation: one machine ("A/C Compressor
+// Motor 1") accumulating condition reports from multiple knowledge sources,
+// some conflicting and some reinforcing, fused into per-group beliefs and
+// failure predictions. Prints the browser screen, then benches the whole
+// Fig 1 pipeline (plant -> DC analyzers -> network -> PDME fusion).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mpros/mpros/ship_system.hpp"
+#include "mpros/pdme/browser.hpp"
+
+namespace {
+
+using namespace mpros;
+using domain::FailureMode;
+
+void print_fig2_screen() {
+  ShipSystemConfig cfg;
+  cfg.plant_count = 1;
+  cfg.dc_template.vibration_period = SimTime::from_seconds(600);
+  cfg.use_wnn = true;  // Fig 2 shows multiple knowledge sources per machine
+  cfg.wnn_training.windows_per_class = 8;
+  cfg.wnn_training.classifier.train.epochs = 120;
+  ShipSystem ship(cfg);
+
+  // Concurrent motor faults across groups: imbalance (rotor dynamics), a
+  // growing bearing defect (bearing group), and a winding fault whose
+  // thermal signature the fuzzy analyzer owns -> conflicting and
+  // reinforcing reports from several knowledge sources, as in Fig 2.
+  ship.chiller(0).faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                                     SimTime(0), 0.8,
+                                     plant::GrowthProfile::Step});
+  ship.chiller(0).faults().schedule({FailureMode::MotorBearingWear,
+                                     SimTime(0), SimTime::from_hours(1.0),
+                                     0.7, plant::GrowthProfile::Linear});
+  ship.chiller(0).faults().schedule({FailureMode::StatorWindingFault,
+                                     SimTime::from_hours(0.5),
+                                     SimTime::from_hours(1.0), 0.6,
+                                     plant::GrowthProfile::Linear});
+  ship.run_until(SimTime::from_hours(2.0));
+
+  std::printf("\nE10 Fig 2 reconstruction (reports for one machine, fused)\n");
+  std::printf("%s\n",
+              pdme::render_machine(ship.pdme(), ship.model(),
+                                   ship.plant_objects(0).motor)
+                  .c_str());
+}
+
+void BM_EndToEndHour(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    ShipSystemConfig cfg;
+    cfg.plant_count = 2;
+    cfg.seed = 0xE10 + state.iterations();
+    ShipSystem ship(cfg);
+    ship.chiller(0).faults().schedule({FailureMode::MotorImbalance,
+                                       SimTime(0), SimTime(0), 0.9,
+                                       plant::GrowthProfile::Step});
+    state.ResumeTiming();
+
+    ship.run_until(SimTime::from_hours(1.0));
+    benchmark::DoNotOptimize(ship.pdme().prioritized_list());
+  }
+  state.SetLabel("2 plants, 1 simulated hour, full pipeline");
+}
+BENCHMARK(BM_EndToEndHour)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+void BM_BrowserRender(benchmark::State& state) {
+  ShipSystemConfig cfg;
+  cfg.plant_count = 1;
+  ShipSystem ship(cfg);
+  ship.chiller(0).faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                                     SimTime(0), 0.9,
+                                     plant::GrowthProfile::Step});
+  ship.run_until(SimTime::from_hours(1.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdme::render_machine(
+        ship.pdme(), ship.model(), ship.plant_objects(0).motor));
+  }
+  state.SetLabel("Fig 2 screens");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BrowserRender);
+
+void BM_IcasExport(benchmark::State& state) {
+  ShipSystemConfig cfg;
+  cfg.plant_count = 4;
+  ShipSystem ship(cfg);
+  for (std::size_t p = 0; p < 4; ++p) {
+    ship.chiller(p).faults().schedule(
+        {domain::all_failure_modes()[p * 3], SimTime(0), SimTime(0), 0.8,
+         plant::GrowthProfile::Step});
+  }
+  ship.run_until(SimTime::from_hours(1.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pdme::export_icas_csv(ship.pdme(), ship.model()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IcasExport);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig2_screen();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

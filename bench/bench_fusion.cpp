@@ -1,0 +1,102 @@
+// E1 — Dempster-Shafer knowledge fusion.
+//
+// Paper claim (§5.3): bel(A)=0.40 combined with bel(B∨C)=0.75 yields
+// A 14%, B∨C 64%, unknown ~22% (exact arithmetic gives 21.4%). The harness
+// prints the reproduced numbers, then measures combination throughput at
+// PDME-realistic scales (the paper: "results from hundreds of DCs per ship
+// will be correlated at a system level").
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mpros/common/rng.hpp"
+#include "mpros/fusion/dempster_shafer.hpp"
+#include "mpros/fusion/diagnostic_fusion.hpp"
+
+namespace {
+
+using namespace mpros;
+using namespace mpros::fusion;
+
+void print_paper_example() {
+  const FrameOfDiscernment frame({"A", "B", "C"});
+  const HypothesisSet a = frame.singleton(0);
+  const HypothesisSet bc = frame.singleton(1) | frame.singleton(2);
+  const CombinationResult r =
+      combine(MassFunction::simple_support(frame, a, 0.40),
+              MassFunction::simple_support(frame, bc, 0.75));
+  std::printf(
+      "\nE1 Dempster-Shafer worked example (paper §5.3)\n"
+      "  claim    : A=14%%  B|C=64%%  unknown=22%%\n"
+      "  measured : A=%.1f%%  B|C=%.1f%%  unknown=%.1f%%  (conflict K=%.2f)\n"
+      "  note     : exact arithmetic gives 21.4%% unknown; the paper's 22%%\n"
+      "             is a rounding artifact (14+64+22=100).\n\n",
+      100.0 * r.fused.mass(a), 100.0 * r.fused.mass(bc),
+      100.0 * r.fused.unknown(), r.conflict);
+}
+
+void BM_DempsterCombination(benchmark::State& state) {
+  const auto frame_size = static_cast<std::size_t>(state.range(0));
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < frame_size; ++i) {
+    names.push_back("h" + std::to_string(i));
+  }
+  const FrameOfDiscernment frame(names);
+  Rng rng(1);
+
+  MassFunction acc = MassFunction::vacuous(frame);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const HypothesisSet focus =
+        frame.singleton(i++ % frame_size);
+    acc = combine(acc, MassFunction::simple_support(frame, focus, 0.6)).fused;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DempsterCombination)->Arg(2)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_DiagnosticFusionUpdate(benchmark::State& state) {
+  // Full §5.3 pipeline: per-machine, per-group belief maintenance across a
+  // fleet of machines.
+  const auto machine_count = static_cast<std::uint64_t>(state.range(0));
+  DiagnosticFusion fusion;
+  Rng rng(2);
+  const auto modes = domain::all_failure_modes();
+
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const ObjectId machine(1 + (i % machine_count));
+    const domain::FailureMode mode = modes[i % modes.size()];
+    benchmark::DoNotOptimize(fusion.update(machine, mode, 0.5));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("reports fused");
+}
+BENCHMARK(BM_DiagnosticFusionUpdate)->Arg(1)->Arg(32)->Arg(512);
+
+void BM_BeliefQuery(benchmark::State& state) {
+  DiagnosticFusion fusion;
+  for (int i = 0; i < 100; ++i) {
+    fusion.update(ObjectId(1 + i % 10),
+                  domain::all_failure_modes()[i % 12], 0.4);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fusion.state(ObjectId(1 + i++ % 10), domain::LogicalGroup::Bearing));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BeliefQuery);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_paper_example();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

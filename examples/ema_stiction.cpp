@@ -1,0 +1,66 @@
+// Fig 3 reproduction: the EMA spike/stiction state-machine pair.
+//
+// Generates a drive-motor current trace with developing stiction (plus
+// healthy commanded moves), runs the paper's two SBFR machines over it, and
+// reports when the seize-up prediction latches — including the byte sizes
+// the paper quotes for the embedded images.
+//
+//   ./build/examples/ema_stiction [stiction_level]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mpros/mpros/mpros.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpros;
+
+  double stiction_level = 1.0;
+  if (argc > 1) stiction_level = std::atof(argv[1]);
+
+  const sbfr::MachineDef spike = sbfr::make_spike_machine();
+  const sbfr::MachineDef stiction = sbfr::make_stiction_machine();
+  std::printf("SBFR machine images (paper: spike 229 B, stiction 93 B, "
+              "interpreter ~2 KB):\n");
+  std::printf("  current-spike machine : %4zu bytes\n", spike.image_size());
+  std::printf("  ema-stiction machine  : %4zu bytes\n",
+              stiction.image_size());
+
+  sbfr::SbfrSystem sys(/*input_channels=*/2);
+  sys.add_machine(spike);
+  sys.add_machine(stiction);
+  std::printf("  runtime footprint     : %4zu bytes for %zu machines\n\n",
+              sys.memory_footprint(), sys.machine_count());
+
+  std::printf("Disassembly of the downloaded images (engineer's view):\n%s\n%s\n",
+              sbfr::disassemble(spike).c_str(),
+              sbfr::disassemble(stiction).c_str());
+
+  plant::EmaSimulator ema;
+  const auto trace = ema.generate(40000, stiction_level);
+  std::printf("EMA trace: %zu samples, stiction level %.2f, "
+              "%zu true stiction spikes injected\n",
+              trace.size(), stiction_level, ema.injected_spikes());
+
+  std::size_t detected_at = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const double inputs[2] = {trace[i].current, trace[i].cpos};
+    sys.step(inputs);
+    if (sys.status(1) != 0.0 && detected_at == 0) {
+      detected_at = i;
+      break;
+    }
+  }
+
+  if (detected_at > 0) {
+    std::printf("STICTION flagged at sample %zu (count=%g spikes without "
+                "commanded position change)\n",
+                detected_at, sys.local(1, 0));
+    std::printf("=> higher-level software (PDME) concludes: EMA seize-up "
+                "imminent.\n");
+  } else {
+    std::printf("No stiction detected (spike count reached %g).\n",
+                sys.local(1, 0));
+  }
+  return 0;
+}

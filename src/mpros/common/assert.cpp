@@ -1,0 +1,16 @@
+#include "mpros/common/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mpros {
+
+void contract_violation(const char* kind, const char* cond, const char* file,
+                        int line) {
+  std::fprintf(stderr, "mpros: %s failed: `%s` at %s:%d\n", kind, cond, file,
+               line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace mpros

@@ -1,0 +1,28 @@
+#pragma once
+// Contract-checking macros (Core Guidelines I.6/I.8 style).
+//
+// MPROS_ASSERT     - internal invariant; always checked, aborts with location.
+// MPROS_EXPECTS    - function precondition.
+// MPROS_ENSURES    - function postcondition.
+//
+// Violations call mpros::contract_violation(), which prints the condition and
+// location and std::abort()s. Kept always-on: this codebase simulates safety
+// monitoring equipment, and silent contract violations are worse than a crash.
+
+namespace mpros {
+
+[[noreturn]] void contract_violation(const char* kind, const char* cond,
+                                     const char* file, int line);
+
+}  // namespace mpros
+
+#define MPROS_CONTRACT_CHECK(kind, cond)                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::mpros::contract_violation(kind, #cond, __FILE__, __LINE__);   \
+    }                                                                 \
+  } while (false)
+
+#define MPROS_ASSERT(cond) MPROS_CONTRACT_CHECK("assertion", cond)
+#define MPROS_EXPECTS(cond) MPROS_CONTRACT_CHECK("precondition", cond)
+#define MPROS_ENSURES(cond) MPROS_CONTRACT_CHECK("postcondition", cond)

@@ -1,0 +1,40 @@
+#include "mpros/common/clock.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros {
+
+std::string to_string(SimTime t) {
+  char buf[48];
+  const double s = t.seconds();
+  const double abs_s = std::fabs(s);
+  if (abs_s < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.0fus", static_cast<double>(t.micros()));
+  } else if (abs_s < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2fms", s * 1e3);
+  } else if (abs_s < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.2fs", s);
+  } else if (abs_s < 2.0 * 86400.0) {
+    std::snprintf(buf, sizeof buf, "%.2fh", t.hours());
+  } else if (abs_s < 60.0 * 86400.0) {
+    std::snprintf(buf, sizeof buf, "%.2fd", t.days());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fmo", t.months());
+  }
+  return buf;
+}
+
+void SimClock::advance(SimTime dt) {
+  MPROS_EXPECTS(dt.micros() >= 0);
+  now_ += dt;
+}
+
+void SimClock::advance_to(SimTime t) {
+  MPROS_EXPECTS(t >= now_);
+  now_ = t;
+}
+
+}  // namespace mpros

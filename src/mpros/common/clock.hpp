@@ -1,0 +1,90 @@
+#pragma once
+// Simulation time.
+//
+// All MPROS components are driven by simulated time so that scenarios are
+// deterministic and the fleet can be simulated faster than real time. Time is
+// carried as a 64-bit count of microseconds since scenario start; prognostic
+// horizons ("failure in 3 months") use the same axis.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace mpros {
+
+/// A point on the simulation time axis, in microseconds since scenario start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e6));
+  }
+  static constexpr SimTime from_millis(double ms) {
+    return SimTime(static_cast<std::int64_t>(ms * 1e3));
+  }
+  static constexpr SimTime from_hours(double h) {
+    return from_seconds(h * 3600.0);
+  }
+  static constexpr SimTime from_days(double d) { return from_hours(d * 24.0); }
+  /// Paper prognostics speak in months; a month is 30 days here.
+  static constexpr SimTime from_months(double m) { return from_days(m * 30.0); }
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
+  [[nodiscard]] constexpr double seconds() const { return micros_ / 1e6; }
+  [[nodiscard]] constexpr double hours() const { return seconds() / 3600.0; }
+  [[nodiscard]] constexpr double days() const { return hours() / 24.0; }
+  [[nodiscard]] constexpr double months() const { return days() / 30.0; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.micros_ + b.micros_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.micros_ - b.micros_);
+  }
+  SimTime& operator+=(SimTime d) {
+    micros_ += d.micros_;
+    return *this;
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// Render as a compact human string, e.g. "3.2s", "4.5mo".
+std::string to_string(SimTime t);
+
+/// A monotonically advancing simulation clock. Single-writer: the scenario
+/// driver advances it; everyone else reads.
+class SimClock {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Advance by `dt` (must be non-negative).
+  void advance(SimTime dt);
+
+  /// Jump to an absolute time (must not go backwards).
+  void advance_to(SimTime t);
+
+ private:
+  SimTime now_{};
+};
+
+/// Wall-clock stopwatch for benchmarking real elapsed time.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mpros

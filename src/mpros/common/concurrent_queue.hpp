@@ -1,0 +1,77 @@
+#pragma once
+// Unbounded MPMC queue with shutdown semantics.
+//
+// This is the message-passing backbone between simulated DCs and the PDME:
+// producers (DC threads) push; the PDME consumer pops. Closing the queue
+// wakes all waiters — consumers drain remaining items, then pop() returns
+// nullopt. No shared mutable state crosses the queue other than the moved
+// values themselves (MPI-style discipline from the HPC guides).
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace mpros {
+
+template <typename T>
+class ConcurrentQueue {
+ public:
+  /// Push one item. Returns false if the queue is already closed.
+  bool push(T v) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(v));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// Close the queue: no further pushes succeed; waiters drain then wake.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mpros

@@ -1,0 +1,63 @@
+#pragma once
+// Strong identifier types for the MPROS object space.
+//
+// The paper's report protocol (§7.2) keys everything on "unique MPROS object
+// IDs" (KnowledgeSourceID, SensedObjectID, MachineConditionID). Using one
+// tagged integer type per role makes it impossible to pass a machine id where
+// a knowledge-source id is expected.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace mpros {
+
+/// A type-tagged 64-bit identifier. `Tag` is an empty struct used purely to
+/// distinguish id spaces at compile time.
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint64_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  static constexpr std::uint64_t kInvalid = 0;
+
+ private:
+  std::uint64_t value_ = kInvalid;
+};
+
+struct DcIdTag {};
+struct KnowledgeSourceIdTag {};
+struct ObjectIdTag {};
+struct ConditionIdTag {};
+struct ChannelIdTag {};
+struct ReportIdTag {};
+
+/// Identifies a Data Concentrator (the per-machinery-space computer).
+using DcId = StrongId<DcIdTag>;
+/// Identifies a knowledge source (DLI expert system, SBFR, WNN, fuzzy, ...).
+using KnowledgeSourceId = StrongId<KnowledgeSourceIdTag>;
+/// Identifies an entity in the Object-Oriented Ship Model.
+using ObjectId = StrongId<ObjectIdTag>;
+/// Identifies a machine condition (failure mode), e.g. "motor imbalance".
+using ConditionId = StrongId<ConditionIdTag>;
+/// Identifies one sensor channel on a Data Concentrator's MUX.
+using ChannelId = StrongId<ChannelIdTag>;
+/// Identifies one failure-prediction report instance.
+using ReportId = StrongId<ReportIdTag>;
+
+}  // namespace mpros
+
+namespace std {
+template <typename Tag>
+struct hash<mpros::StrongId<Tag>> {
+  size_t operator()(mpros::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,42 @@
+#pragma once
+// Minimal thread-safe leveled logger.
+//
+// Components log sparingly (report arrival, fusion decisions, alarms); the
+// fleet benches silence everything below Warn. printf-style formatting keeps
+// this dependency-free.
+
+#include <cstdarg>
+
+namespace mpros {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/// Set the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Core sink: single fprintf to stderr under a mutex.
+void log_message(LogLevel level, const char* component, const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+
+}  // namespace mpros
+
+#define MPROS_LOG(level, component, ...)                       \
+  do {                                                         \
+    if (static_cast<int>(level) >=                             \
+        static_cast<int>(::mpros::log_level())) {              \
+      ::mpros::log_message(level, component, __VA_ARGS__);     \
+    }                                                          \
+  } while (false)
+
+#define MPROS_LOG_DEBUG(component, ...) \
+  MPROS_LOG(::mpros::LogLevel::Debug, component, __VA_ARGS__)
+#define MPROS_LOG_INFO(component, ...) \
+  MPROS_LOG(::mpros::LogLevel::Info, component, __VA_ARGS__)
+#define MPROS_LOG_WARN(component, ...) \
+  MPROS_LOG(::mpros::LogLevel::Warn, component, __VA_ARGS__)
+#define MPROS_LOG_ERROR(component, ...) \
+  MPROS_LOG(::mpros::LogLevel::Error, component, __VA_ARGS__)

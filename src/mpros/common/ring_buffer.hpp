@@ -1,0 +1,74 @@
+#pragma once
+// Fixed-capacity ring buffer for sensor sample streams.
+//
+// The DC's acquisition chain keeps the most recent window of samples per
+// channel; SBFR and the rule engine read sliding windows from it. Steady-state
+// operation performs no allocation (Per: don't waste time or space).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : data_(capacity) {
+    MPROS_EXPECTS(capacity > 0);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return data_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == data_.size(); }
+
+  /// Append one element, overwriting the oldest when full.
+  void push(const T& v) {
+    data_[head_] = v;
+    head_ = (head_ + 1) % data_.size();
+    if (size_ < data_.size()) ++size_;
+  }
+
+  /// Append a batch of elements.
+  void push(std::span<const T> vs) {
+    for (const T& v : vs) push(v);
+  }
+
+  /// Element `i` counted from the oldest retained element (0 = oldest).
+  [[nodiscard]] const T& at_oldest(std::size_t i) const {
+    MPROS_EXPECTS(i < size_);
+    const std::size_t start = (head_ + data_.size() - size_) % data_.size();
+    return data_[(start + i) % data_.size()];
+  }
+
+  /// Element `i` counted back from the newest (0 = newest).
+  [[nodiscard]] const T& at_newest(std::size_t i) const {
+    MPROS_EXPECTS(i < size_);
+    return data_[(head_ + data_.size() - 1 - i) % data_.size()];
+  }
+
+  /// Copy the most recent `n` elements into `out`, oldest first.
+  /// Requires n <= size().
+  void latest(std::size_t n, std::vector<T>& out) const {
+    MPROS_EXPECTS(n <= size_);
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = at_newest(n - 1 - i);
+    }
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t head_ = 0;  // next write slot
+  std::size_t size_ = 0;
+};
+
+}  // namespace mpros

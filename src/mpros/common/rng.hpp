@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic random sources.
+//
+// Every stochastic element of the simulator (sensor noise, fault onset
+// jitter, network loss) draws from a seeded Rng so scenarios replay exactly.
+// Substreams derive child seeds via splitmix64 so that adding a consumer
+// doesn't perturb unrelated streams.
+
+#include <cstdint>
+#include <random>
+
+namespace mpros {
+
+/// splitmix64 step; good avalanche, used for seed derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Derive an independent child stream; `salt` distinguishes siblings.
+  [[nodiscard]] Rng fork(std::uint64_t salt) const {
+    return Rng(splitmix64(seed_ ^ splitmix64(salt)));
+  }
+
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+  std::uint64_t integer(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mpros

@@ -1,0 +1,58 @@
+#include "mpros/common/thread_pool.hpp"
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  tasks_.close();
+  // jthread joins on destruction.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MPROS_EXPECTS(task != nullptr);
+  {
+    std::lock_guard lock(idle_mu_);
+    ++in_flight_;
+  }
+  const bool accepted = tasks_.push(std::move(task));
+  MPROS_ASSERT(accepted);  // submit() after destruction is a bug
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(idle_mu_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&fn, i] { fn(i); });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = tasks_.pop()) {
+    (*task)();
+    {
+      std::lock_guard lock(idle_mu_);
+      MPROS_ASSERT(in_flight_ > 0);
+      --in_flight_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace mpros

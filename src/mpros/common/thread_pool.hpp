@@ -1,0 +1,54 @@
+#pragma once
+// Fixed-size worker pool for the fleet simulation.
+//
+// The paper's deployment runs one embedded processor per Data Concentrator;
+// the simulator maps each DC's duty cycle onto pool workers. submit() hands
+// off a task; wait_idle() is the barrier used between scenario epochs
+// (OpenMP-style fork/join from the guides, built on std::jthread).
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "mpros/common/concurrent_queue.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace mpros {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (defaults to hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins workers after draining outstanding tasks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw; a throwing task aborts.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Convenience: run fn(i) for i in [0, n) across the pool, then barrier.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  ConcurrentQueue<std::function<void()>> tasks_;
+  std::vector<std::jthread> workers_;
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;  // queued + executing
+};
+
+}  // namespace mpros

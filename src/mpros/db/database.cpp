@@ -1,0 +1,122 @@
+#include "mpros/db/database.hpp"
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::db {
+
+Table& Database::create_table(TableSchema schema) {
+  MPROS_EXPECTS(!schema.name.empty());
+  MPROS_EXPECTS(!tables_.contains(schema.name));
+  const std::string name = schema.name;
+  auto [it, inserted] =
+      tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
+  MPROS_ASSERT(inserted);
+  return *it->second;
+}
+
+bool Database::has_table(const std::string& name) const {
+  return tables_.contains(name);
+}
+
+Table& Database::table(const std::string& name) {
+  const auto it = tables_.find(name);
+  MPROS_EXPECTS(it != tables_.end());
+  return *it->second;
+}
+
+const Table& Database::table(const std::string& name) const {
+  const auto it = tables_.find(name);
+  MPROS_EXPECTS(it != tables_.end());
+  return *it->second;
+}
+
+void Database::drop_table(const std::string& name) {
+  MPROS_EXPECTS(!in_txn_);  // DDL inside a transaction is not supported
+  MPROS_EXPECTS(tables_.erase(name) == 1);
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+void Database::begin() {
+  MPROS_EXPECTS(!in_txn_);
+  in_txn_ = true;
+  undo_log_.clear();
+}
+
+void Database::commit() {
+  MPROS_EXPECTS(in_txn_);
+  in_txn_ = false;
+  undo_log_.clear();
+}
+
+void Database::rollback() {
+  MPROS_EXPECTS(in_txn_);
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    Table& t = table(it->table);
+    switch (it->kind) {
+      case UndoOp::Kind::DeleteInserted:
+        t.erase(it->key);
+        break;
+      case UndoOp::Kind::RestoreUpdated:
+        t.update(it->key, it->column, it->old_value);
+        break;
+      case UndoOp::Kind::ReinsertErased:
+        t.insert(it->old_row);
+        break;
+    }
+  }
+  undo_log_.clear();
+  in_txn_ = false;
+}
+
+std::int64_t Database::insert(const std::string& table_name, Row row) {
+  const std::int64_t key = table(table_name).insert(std::move(row));
+  if (in_txn_) {
+    undo_log_.push_back(
+        {UndoOp::Kind::DeleteInserted, table_name, key, {}, {}, {}});
+  }
+  return key;
+}
+
+std::int64_t Database::insert_auto(const std::string& table_name,
+                                   Row row_without_key) {
+  const std::int64_t key =
+      table(table_name).insert_auto(std::move(row_without_key));
+  if (in_txn_) {
+    undo_log_.push_back(
+        {UndoOp::Kind::DeleteInserted, table_name, key, {}, {}, {}});
+  }
+  return key;
+}
+
+bool Database::update(const std::string& table_name, std::int64_t key,
+                      const std::string& column, Value v) {
+  Table& t = table(table_name);
+  const Row* row = t.find(key);
+  if (row == nullptr) return false;
+  if (in_txn_) {
+    const auto col = t.schema().column_index(column);
+    MPROS_EXPECTS(col.has_value());
+    undo_log_.push_back({UndoOp::Kind::RestoreUpdated, table_name, key, column,
+                         (*row)[*col], {}});
+  }
+  return t.update(key, column, std::move(v));
+}
+
+bool Database::erase(const std::string& table_name, std::int64_t key) {
+  Table& t = table(table_name);
+  const Row* row = t.find(key);
+  if (row == nullptr) return false;
+  if (in_txn_) {
+    undo_log_.push_back(
+        {UndoOp::Kind::ReinsertErased, table_name, key, {}, {}, *row});
+  }
+  return t.erase(key);
+}
+
+}  // namespace mpros::db

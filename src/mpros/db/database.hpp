@@ -1,0 +1,66 @@
+#pragma once
+// Database: a named collection of tables with undo-log transactions.
+//
+// Thread-compatible (external synchronization); the DC wraps one behind its
+// scheduler thread and the OOSM behind its single-writer event loop.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mpros/db/table.hpp"
+
+namespace mpros::db {
+
+class Database {
+ public:
+  Database() = default;
+
+  /// Create a table; the schema's first column must be the INTEGER primary
+  /// key. Aborts if the name already exists.
+  Table& create_table(TableSchema schema);
+
+  [[nodiscard]] bool has_table(const std::string& name) const;
+
+  /// Aborts if absent — table names are static program structure here.
+  Table& table(const std::string& name);
+  [[nodiscard]] const Table& table(const std::string& name) const;
+
+  void drop_table(const std::string& name);
+
+  [[nodiscard]] std::vector<std::string> table_names() const;
+
+  // -- Transactions ---------------------------------------------------------
+  // A transaction records inverse operations; rollback() replays them in
+  // reverse. Transactions do not nest.
+
+  void begin();
+  void commit();
+  void rollback();
+  [[nodiscard]] bool in_transaction() const { return in_txn_; }
+
+  /// Transactional row ops (usable outside a transaction too, where they
+  /// just forward to the table).
+  std::int64_t insert(const std::string& table_name, Row row);
+  std::int64_t insert_auto(const std::string& table_name, Row row_without_key);
+  bool update(const std::string& table_name, std::int64_t key,
+              const std::string& column, Value v);
+  bool erase(const std::string& table_name, std::int64_t key);
+
+ private:
+  struct UndoOp {
+    enum class Kind { DeleteInserted, RestoreUpdated, ReinsertErased } kind;
+    std::string table;
+    std::int64_t key = 0;
+    std::string column;  // RestoreUpdated
+    Value old_value;     // RestoreUpdated
+    Row old_row;         // ReinsertErased
+  };
+
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<UndoOp> undo_log_;
+  bool in_txn_ = false;
+};
+
+}  // namespace mpros::db

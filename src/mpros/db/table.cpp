@@ -1,0 +1,166 @@
+#include "mpros/db/table.hpp"
+
+#include <algorithm>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::db {
+
+std::optional<std::size_t> TableSchema::column_index(
+    const std::string& column) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column) return i;
+  }
+  return std::nullopt;
+}
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  MPROS_EXPECTS(!schema_.columns.empty());
+  MPROS_EXPECTS(schema_.columns[0].type == ValueType::Integer);
+  MPROS_EXPECTS(!schema_.columns[0].nullable);
+}
+
+void Table::check_row(const Row& row) const {
+  MPROS_EXPECTS(row.size() == schema_.columns.size());
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const ColumnDef& col = schema_.columns[i];
+    if (row[i].is_null()) {
+      MPROS_EXPECTS(col.nullable);
+      continue;
+    }
+    // Integer values are acceptable in REAL columns (numeric coercion).
+    const bool ok =
+        row[i].type() == col.type ||
+        (col.type == ValueType::Real && row[i].type() == ValueType::Integer);
+    MPROS_EXPECTS(ok);
+  }
+}
+
+std::int64_t Table::insert(Row row) {
+  check_row(row);
+  const std::int64_t key = row[0].as_integer();
+  MPROS_EXPECTS(pk_index_.find(key) == pk_index_.end());
+
+  auto [it, inserted] = rows_.emplace(key, std::move(row));
+  MPROS_ASSERT(inserted);
+  pk_index_.emplace(key, it);
+  index_row(key, it->second);
+  next_key_ = std::max(next_key_, key + 1);
+  return key;
+}
+
+std::int64_t Table::insert_auto(Row row_without_key) {
+  Row row;
+  row.reserve(row_without_key.size() + 1);
+  row.emplace_back(next_key_);
+  for (Value& v : row_without_key) row.push_back(std::move(v));
+  return insert(std::move(row));
+}
+
+const Row* Table::find(std::int64_t key) const {
+  const auto it = pk_index_.find(key);
+  return it == pk_index_.end() ? nullptr : &it->second->second;
+}
+
+bool Table::update(std::int64_t key, const std::string& column, Value v) {
+  const auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) return false;
+  const auto col = schema_.column_index(column);
+  MPROS_EXPECTS(col.has_value());
+  MPROS_EXPECTS(*col != 0);  // primary keys are immutable
+
+  Row& row = it->second->second;
+  unindex_row(key, row);
+  row[*col] = std::move(v);
+  check_row(row);
+  index_row(key, row);
+  return true;
+}
+
+bool Table::erase(std::int64_t key) {
+  const auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) return false;
+  unindex_row(key, it->second->second);
+  rows_.erase(it->second);
+  pk_index_.erase(it);
+  return true;
+}
+
+std::vector<Row> Table::select(const Predicate& where) const {
+  std::vector<Row> out;
+  for (const auto& [key, row] : rows_) {
+    if (!where || where(row)) out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> Table::select_keys(const Predicate& where) const {
+  std::vector<std::int64_t> out;
+  for (const auto& [key, row] : rows_) {
+    if (!where || where(row)) out.push_back(key);
+  }
+  return out;
+}
+
+void Table::create_index(const std::string& column) {
+  const auto col = schema_.column_index(column);
+  MPROS_EXPECTS(col.has_value());
+  if (indexes_.contains(*col)) return;
+
+  SecondaryIndex index;
+  for (const auto& [key, row] : rows_) {
+    index.emplace(row[*col], key);
+  }
+  indexes_.emplace(*col, std::move(index));
+}
+
+std::vector<std::int64_t> Table::lookup(const std::string& column,
+                                        const Value& v) const {
+  const auto col = schema_.column_index(column);
+  MPROS_EXPECTS(col.has_value());
+  const auto idx = indexes_.find(*col);
+  MPROS_EXPECTS(idx != indexes_.end());
+
+  std::vector<std::int64_t> out;
+  auto [lo, hi] = idx->second.equal_range(v);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::int64_t> Table::lookup_range(const std::string& column,
+                                              const Value& lo,
+                                              const Value& hi) const {
+  const auto col = schema_.column_index(column);
+  MPROS_EXPECTS(col.has_value());
+  const auto idx = indexes_.find(*col);
+  MPROS_EXPECTS(idx != indexes_.end());
+
+  std::vector<std::int64_t> out;
+  for (auto it = idx->second.lower_bound(lo); it != idx->second.end(); ++it) {
+    if (hi.less(it->first)) break;
+    out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Table::index_row(std::int64_t key, const Row& row) {
+  for (auto& [col, index] : indexes_) {
+    index.emplace(row[col], key);
+  }
+}
+
+void Table::unindex_row(std::int64_t key, const Row& row) {
+  for (auto& [col, index] : indexes_) {
+    auto [lo, hi] = index.equal_range(row[col]);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == key) {
+        index.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace mpros::db

@@ -1,0 +1,363 @@
+#include "mpros/dc/data_concentrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/sbfr/library.hpp"
+
+namespace mpros::dc {
+
+using domain::FailureMode;
+
+const char* knowledge_source_name(KnowledgeSourceId ks) {
+  if (ks == kDliExpertSystem) return "DLI Expert System";
+  if (ks == kSbfr) return "SBFR";
+  if (ks == kWaveletNeuralNet) return "Wavelet Neural Net";
+  if (ks == kFuzzyLogic) return "Fuzzy Logic";
+  return "unknown";
+}
+
+namespace {
+
+/// Modes each accelerometer point is authoritative for; cross-talk from
+/// attenuated neighbours is suppressed by this ownership filter.
+bool point_owns(plant::MachinePoint point, FailureMode mode) {
+  switch (point) {
+    case plant::MachinePoint::Motor:
+      return mode == FailureMode::MotorImbalance ||
+             mode == FailureMode::ShaftMisalignment ||
+             mode == FailureMode::RotorBarDefect ||
+             mode == FailureMode::StatorWindingFault ||
+             mode == FailureMode::MotorBearingWear;
+    case plant::MachinePoint::Gearbox:
+      return mode == FailureMode::GearMeshWear;
+    case plant::MachinePoint::Compressor:
+      return mode == FailureMode::CompressorBearingWear ||
+             mode == FailureMode::BearingHousingLooseness ||
+             mode == FailureMode::PumpCavitation;
+  }
+  return false;
+}
+
+/// SBFR event codes: 0x60 + machine index (resolved via sbfr_machine_mode_).
+constexpr std::uint8_t kSbfrEventBase = 0x60;
+
+}  // namespace
+
+DataConcentrator::DataConcentrator(DcConfig cfg, MachineRefs refs,
+                                   plant::ChillerSimulator& chiller,
+                                   std::shared_ptr<nn::WnnClassifier> wnn)
+    : cfg_(cfg),
+      refs_(refs),
+      chiller_(chiller),
+      wnn_(std::move(wnn)),
+      beliefs_(),
+      extractor_(chiller.signature()),
+      dli_(rules::chiller_rulebase(chiller.signature())),
+      fuzzy_(),
+      sbfr_(/*input_channels=*/4) {
+  MPROS_EXPECTS(cfg_.window >= 256);
+  vib_buffer_.resize(cfg_.window);
+  current_buffer_.resize(cfg_.current_window);
+  setup_database();
+  setup_sbfr();
+
+  vibration_task_ = scheduler_.add_periodic(
+      "vibration-test", cfg_.vibration_period, cfg_.vibration_period,
+      [this](SimTime now) { run_vibration_test(now); });
+  scheduler_.add_periodic("process-scan", cfg_.process_period,
+                          cfg_.process_period,
+                          [this](SimTime now) { run_process_scan(now); });
+}
+
+void DataConcentrator::setup_database() {
+  using db::ColumnDef;
+  using db::ValueType;
+  db_.create_table(db::TableSchema{
+      "measurements",
+      {ColumnDef{"id", ValueType::Integer, false},
+       ColumnDef{"time_us", ValueType::Integer, false},
+       ColumnDef{"key", ValueType::Text, false},
+       ColumnDef{"value", ValueType::Real, false}}});
+  db_.create_table(db::TableSchema{
+      "diagnostics",
+      {ColumnDef{"id", ValueType::Integer, false},
+       ColumnDef{"time_us", ValueType::Integer, false},
+       ColumnDef{"ks", ValueType::Integer, false},
+       ColumnDef{"object", ValueType::Integer, false},
+       ColumnDef{"condition", ValueType::Integer, false},
+       ColumnDef{"severity", ValueType::Real, false},
+       ColumnDef{"belief", ValueType::Real, false}}});
+  db_.create_table(db::TableSchema{
+      "test_log",
+      {ColumnDef{"id", ValueType::Integer, false},
+       ColumnDef{"time_us", ValueType::Integer, false},
+       ColumnDef{"test", ValueType::Text, false}}});
+  db_.table("diagnostics").create_index("condition");
+  db_.table("measurements").create_index("key");
+}
+
+void DataConcentrator::setup_sbfr() {
+  if (!cfg_.enable_sbfr) return;
+  const auto nominals = domain::navy_chiller_nominals();
+
+  // Channel layout (process variables resampled per scan):
+  //   0: compressor bearing temperature (C)
+  //   1: oil temperature (C)
+  //   2: condensing pressure (kPa)
+  //   3: evaporator pressure *deficit* (nominal - actual, kPa) so a falling
+  //      suction pressure is a rising channel the threshold machine can see.
+  sbfr_channel_keys_ = {"process.bearing_temp_c", "process.oil_temp_c",
+                        "process.cond_pressure_kpa",
+                        "process.evap_pressure_kpa"};
+
+  std::uint8_t idx = 0;
+  const auto add = [&](sbfr::MachineDef def, FailureMode mode) {
+    sbfr_.add_machine(std::move(def));
+    sbfr_machine_mode_.push_back(mode);
+    ++idx;
+  };
+  add(sbfr::make_threshold_machine(
+          0, nominals.bearing_temp_c + 18.0, 2, idx,
+          static_cast<std::uint8_t>(kSbfrEventBase + 0)),
+      FailureMode::CompressorBearingWear);
+  add(sbfr::make_trend_machine(1, 0.15, 5, idx,
+                               static_cast<std::uint8_t>(kSbfrEventBase + 1)),
+      FailureMode::OilDegradation);
+  add(sbfr::make_threshold_machine(
+          2, nominals.cond_pressure_kpa + 220.0, 2, idx,
+          static_cast<std::uint8_t>(kSbfrEventBase + 2)),
+      FailureMode::CondenserFouling);
+  add(sbfr::make_threshold_machine(
+          3, 60.0, 2, idx,
+          static_cast<std::uint8_t>(kSbfrEventBase + 3)),
+      FailureMode::RefrigerantLeak);
+}
+
+std::vector<net::FailureReport> DataConcentrator::advance_to(SimTime t) {
+  MPROS_EXPECTS(t >= chiller_.now());
+  // Step the plant in bounded slices so process dynamics and due tests stay
+  // interleaved (tests sample the plant at their due time). The slice
+  // follows the fastest scheduled cadence: half the process-scan period,
+  // floored at 30 s — fine-grained for lab-rate tests, cheap for the
+  // multi-week validation studies.
+  const SimTime slice = std::max(
+      SimTime::from_seconds(30.0),
+      SimTime(std::min(cfg_.process_period.micros(),
+                       cfg_.vibration_period.micros()) /
+              2));
+  while (chiller_.now() < t) {
+    const SimTime next = std::min(t, chiller_.now() + slice);
+    chiller_.advance(next - chiller_.now());
+    scheduler_.run_until(chiller_.now());
+  }
+  std::vector<net::FailureReport> out;
+  out.swap(outbox_);
+  return out;
+}
+
+void DataConcentrator::request_vibration_test() {
+  scheduler_.request_now(vibration_task_);
+}
+
+std::vector<net::SensorDataMessage> DataConcentrator::drain_sensor_data() {
+  std::vector<net::SensorDataMessage> out;
+  out.swap(sensor_outbox_);
+  return out;
+}
+
+void DataConcentrator::handle_command(const net::TestCommandMessage& command) {
+  if (command.target != cfg_.id) return;  // mis-routed datagram
+  switch (command.command) {
+    case net::TestCommandMessage::Command::VibrationTest:
+      db_.table("test_log").insert_auto(
+          {db::Value(chiller_.now().micros()),
+           db::Value("commanded: " + command.reason)});
+      request_vibration_test();
+      break;
+  }
+}
+
+ObjectId DataConcentrator::sensed_object_for(FailureMode mode) const {
+  switch (mode) {
+    case FailureMode::MotorImbalance:
+    case FailureMode::RotorBarDefect:
+    case FailureMode::StatorWindingFault:
+    case FailureMode::MotorBearingWear:
+      return refs_.motor;
+    case FailureMode::ShaftMisalignment:
+    case FailureMode::GearMeshWear:
+      return refs_.gearbox;
+    case FailureMode::CompressorBearingWear:
+    case FailureMode::BearingHousingLooseness:
+    case FailureMode::OilDegradation:
+      return refs_.compressor;
+    case FailureMode::PumpCavitation:
+    case FailureMode::RefrigerantLeak:
+    case FailureMode::CondenserFouling:
+      return refs_.chiller;
+  }
+  return refs_.chiller;
+}
+
+void DataConcentrator::emit_raw(
+    SimTime now, KnowledgeSourceId ks, ObjectId sensed, FailureMode mode,
+    double severity, double belief, std::string explanation,
+    std::string recommendation,
+    const std::vector<rules::PrognosticPoint>& prognosis) {
+  // Hysteresis: unchanged conclusions are not fresh evidence.
+  LastReport& last = last_reports_[{ks.value(), sensed.value(),
+                                    domain::condition_id(mode).value()}];
+  const bool severity_moved =
+      std::fabs(severity - last.severity) >= cfg_.report_hysteresis;
+  const bool refresh_due =
+      last.at.micros() < 0 || now - last.at >= cfg_.report_refresh;
+  if (!severity_moved && !refresh_due) return;
+  last.severity = severity;
+  last.at = now;
+
+  net::FailureReport r;
+  r.dc = cfg_.id;
+  r.knowledge_source = ks;
+  r.sensed_object = sensed;
+  r.machine_condition = domain::condition_id(mode);
+  r.severity = severity;
+  r.belief = belief;
+  r.explanation = std::move(explanation);
+  r.recommendations = std::move(recommendation);
+  r.timestamp = now;
+  for (const rules::PrognosticPoint& p : prognosis) {
+    r.prognostics.push_back(
+        net::PrognosticPair{p.probability, p.horizon.seconds()});
+  }
+
+  db_.table("diagnostics")
+      .insert_auto({db::Value(now.micros()),
+                    db::Value(static_cast<std::int64_t>(ks.value())),
+                    db::Value(static_cast<std::int64_t>(sensed.value())),
+                    db::Value(static_cast<std::int64_t>(
+                        r.machine_condition.value())),
+                    db::Value(severity), db::Value(belief)});
+  outbox_.push_back(std::move(r));
+  ++stats_.reports_emitted;
+}
+
+void DataConcentrator::emit(SimTime now, KnowledgeSourceId ks,
+                            ObjectId sensed, const rules::Diagnosis& d) {
+  emit_raw(now, ks, sensed, d.mode, d.severity, d.belief, d.explanation,
+           d.recommendation, d.prognosis);
+}
+
+void DataConcentrator::run_vibration_test(SimTime now) {
+  ++stats_.vibration_tests;
+  db_.table("test_log").insert_auto(
+      {db::Value(now.micros()), db::Value("vibration")});
+
+  const plant::ProcessSnapshot process = chiller_.process_snapshot();
+  const double load = chiller_.load();
+
+  // Current signature analysis shares the test (§6.1 pairs spectral
+  // features with process parameters).
+  chiller_.acquire_current(cfg_.current_sample_rate_hz, current_buffer_);
+  stats_.samples_processed += current_buffer_.size();
+
+  for (const plant::MachinePoint point :
+       {plant::MachinePoint::Motor, plant::MachinePoint::Gearbox,
+        plant::MachinePoint::Compressor}) {
+    chiller_.acquire_vibration(point, cfg_.sample_rate_hz, vib_buffer_);
+    stats_.samples_processed += vib_buffer_.size();
+
+    if (!cfg_.enable_dli) continue;
+
+    rules::FeatureFrame frame;
+    extractor_.extract_vibration(vib_buffer_, cfg_.sample_rate_hz, frame);
+    if (point == plant::MachinePoint::Motor) {
+      extractor_.extract_current(current_buffer_,
+                                 cfg_.current_sample_rate_hz, load, frame);
+    }
+    for (const auto& [key, value] : process) frame.set(key, value);
+
+    for (const rules::Diagnosis& d : dli_.evaluate(frame, beliefs_)) {
+      if (!point_owns(point, d.mode)) continue;
+      emit(now, kDliExpertSystem, sensed_object_for(d.mode), d);
+    }
+
+    // WNN on the same records: transitory-phenomena classifier (§6.2).
+    if (wnn_ && wnn_->trained() &&
+        (point == plant::MachinePoint::Motor ||
+         point == plant::MachinePoint::Compressor)) {
+      nn::WnnContext ctx;
+      ctx.shaft_hz = chiller_.signature().shaft_hz;
+      ctx.load_fraction = load;
+      const auto temp = process.find("process.bearing_temp_c");
+      if (temp != process.end()) ctx.bearing_temp_c = temp->second;
+
+      for (const rules::Diagnosis& d :
+           wnn_->diagnose(vib_buffer_, cfg_.sample_rate_hz, ctx, beliefs_,
+                          cfg_.wnn_report_threshold)) {
+        if (!point_owns(point, d.mode)) continue;
+        emit(now, kWaveletNeuralNet, sensed_object_for(d.mode), d);
+      }
+    }
+  }
+}
+
+void DataConcentrator::run_process_scan(SimTime now) {
+  ++stats_.process_scans;
+  const plant::ProcessSnapshot snapshot = chiller_.process_snapshot();
+
+  db::Table& measurements = db_.table("measurements");
+  for (const auto& [key, value] : snapshot) {
+    measurements.insert_auto(
+        {db::Value(now.micros()), db::Value(key), db::Value(value)});
+  }
+
+  if (cfg_.sensor_publish_every != 0 &&
+      stats_.process_scans % cfg_.sensor_publish_every == 0) {
+    net::SensorDataMessage msg;
+    msg.dc = cfg_.id;
+    msg.machine = refs_.chiller;
+    msg.timestamp = now;
+    msg.values.assign(snapshot.begin(), snapshot.end());
+    sensor_outbox_.push_back(std::move(msg));
+  }
+
+  if (cfg_.enable_fuzzy) {
+    for (const rules::Diagnosis& d : fuzzy_.evaluate(snapshot, beliefs_)) {
+      emit(now, kFuzzyLogic, sensed_object_for(d.mode), d);
+    }
+  }
+
+  if (cfg_.enable_sbfr && !sbfr_machine_mode_.empty()) {
+    const auto value = [&](const std::string& key) {
+      const auto it = snapshot.find(key);
+      MPROS_ASSERT(it != snapshot.end());
+      return it->second;
+    };
+    const double inputs[4] = {
+        value(sbfr_channel_keys_[0]), value(sbfr_channel_keys_[1]),
+        value(sbfr_channel_keys_[2]),
+        // Channel 3 carries the evaporator pressure deficit.
+        domain::navy_chiller_nominals().evap_pressure_kpa -
+            value(sbfr_channel_keys_[3])};
+    sbfr_.step(inputs);
+
+    for (const sbfr::Event& e : sbfr_.drain_events()) {
+      MPROS_ASSERT(e.machine < sbfr_machine_mode_.size());
+      const FailureMode mode = sbfr_machine_mode_[e.machine];
+      const double severity = 0.5;  // SBFR flags onset; KF fuses magnitude
+      emit_raw(now, kSbfr, sensed_object_for(mode), mode, severity,
+               /*belief=*/0.65,
+               "SBFR state machine latched on " +
+                   sbfr_channel_keys_[std::min<std::size_t>(
+                       e.machine, sbfr_channel_keys_.size() - 1)],
+               "Correlate with vibration expert system findings.",
+               rules::default_prognosis(severity));
+      // The host acknowledges the latch so the machine can re-arm (§6.3).
+      sbfr_.set_status(e.machine, 0.0);
+    }
+  }
+}
+
+}  // namespace mpros::dc

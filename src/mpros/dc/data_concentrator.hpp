@@ -1,0 +1,161 @@
+#pragma once
+// The Data Concentrator (paper §1.1, §5.8).
+//
+// "Devices called Data Concentrators are placed near the ship's machinery.
+// Each of these is a computer in its own right and has the major
+// responsibility for diagnostics and prognostics." A DC hosts the four
+// Phase-1 analyzers:
+//   1. the DLI-style vibration expert system (rules::RuleEngine),
+//   2. State Based Feature Recognition (sbfr::SbfrSystem),
+//   3. the Wavelet Neural Network (nn::WnnClassifier, shared & pre-trained),
+//   4. fuzzy-logic diagnostics on non-vibration data (fuzzy::FuzzyDiagnoser),
+// coordinated by the event scheduler, with results logged in the DC's
+// relational database and emitted as §7 failure reports.
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "mpros/common/ids.hpp"
+#include "mpros/db/database.hpp"
+#include "mpros/dc/scheduler.hpp"
+#include "mpros/fuzzy/chiller_fuzzy.hpp"
+#include "mpros/net/messages.hpp"
+#include "mpros/net/report.hpp"
+#include "mpros/nn/classifier.hpp"
+#include "mpros/plant/chiller.hpp"
+#include "mpros/rules/believability.hpp"
+#include "mpros/rules/dli_rules.hpp"
+#include "mpros/sbfr/interpreter.hpp"
+
+namespace mpros::dc {
+
+/// Well-known knowledge-source ids (§5.5's "KS ID").
+inline constexpr KnowledgeSourceId kDliExpertSystem{1};
+inline constexpr KnowledgeSourceId kSbfr{2};
+inline constexpr KnowledgeSourceId kWaveletNeuralNet{3};
+inline constexpr KnowledgeSourceId kFuzzyLogic{4};
+
+[[nodiscard]] const char* knowledge_source_name(KnowledgeSourceId ks);
+
+/// OOSM object ids of the machinery this DC instruments.
+struct MachineRefs {
+  ObjectId chiller;
+  ObjectId motor;
+  ObjectId gearbox;
+  ObjectId compressor;
+};
+
+struct DcConfig {
+  DcId id{1};
+  double sample_rate_hz = 40960.0;   ///< vibration digitizer rate
+  std::size_t window = 8192;         ///< samples per vibration record
+  /// Motor-current signature analysis needs sub-Hz resolution to resolve
+  /// pole-pass sidebands, so it records long windows at a low rate.
+  double current_sample_rate_hz = 4096.0;
+  std::size_t current_window = 32768;
+  SimTime vibration_period = SimTime::from_seconds(600.0);
+  SimTime process_period = SimTime::from_seconds(60.0);
+  double wnn_report_threshold = 0.45;
+  /// Report suppression: a (source, object, condition) tuple re-reports
+  /// only when its severity moves by at least `report_hysteresis` or after
+  /// `report_refresh` of silence. Repeated identical conclusions from the
+  /// same analyzer are not independent evidence, and Dempster-Shafer at the
+  /// PDME would otherwise double-count them.
+  double report_hysteresis = 0.05;
+  SimTime report_refresh = SimTime::from_hours(0.5);
+  /// Publish a SensorDataMessage every Nth process scan (0 disables).
+  std::size_t sensor_publish_every = 5;
+  bool enable_dli = true;
+  bool enable_sbfr = true;
+  bool enable_fuzzy = true;
+};
+
+class DataConcentrator {
+ public:
+  /// `chiller` must outlive the DC. `wnn` may be null (WNN analyzer off)
+  /// and is shared because training one classifier per DC would waste the
+  /// fleet bench; real DCs would flash the same trained network anyway.
+  DataConcentrator(DcConfig cfg, MachineRefs refs,
+                   plant::ChillerSimulator& chiller,
+                   std::shared_ptr<nn::WnnClassifier> wnn = nullptr);
+
+  /// Advance the DC (and its chiller) to absolute time `t`, running every
+  /// scheduled test that falls due. Returns the §7 reports generated.
+  std::vector<net::FailureReport> advance_to(SimTime t);
+
+  /// Sensor-data batches accumulated since the last drain (§1's "raw
+  /// sensor data to other shipboard systems"; published every
+  /// `sensor_publish_every` process scans).
+  std::vector<net::SensorDataMessage> drain_sensor_data();
+
+  /// Handle a §5.8 scheduler command arriving over the network.
+  void handle_command(const net::TestCommandMessage& command);
+
+  /// Command an immediate vibration test (§5.8: "the PDME or any other
+  /// client can command the scheduler to conduct another test"). Takes
+  /// effect on the next advance_to().
+  void request_vibration_test();
+
+  [[nodiscard]] DcId id() const { return cfg_.id; }
+  [[nodiscard]] db::Database& database() { return db_; }
+  [[nodiscard]] rules::BelievabilityTable& believability() {
+    return beliefs_;
+  }
+  [[nodiscard]] const MachineRefs& machines() const { return refs_; }
+
+  /// Counters for the throughput benches.
+  struct Stats {
+    std::uint64_t vibration_tests = 0;
+    std::uint64_t process_scans = 0;
+    std::uint64_t samples_processed = 0;
+    std::uint64_t reports_emitted = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void run_vibration_test(SimTime now);
+  void run_process_scan(SimTime now);
+  void emit(SimTime now, KnowledgeSourceId ks, ObjectId sensed,
+            const rules::Diagnosis& d);
+  void emit_raw(SimTime now, KnowledgeSourceId ks, ObjectId sensed,
+                domain::FailureMode mode, double severity, double belief,
+                std::string explanation, std::string recommendation,
+                const std::vector<rules::PrognosticPoint>& prognosis);
+  [[nodiscard]] ObjectId sensed_object_for(domain::FailureMode mode) const;
+  void setup_database();
+  void setup_sbfr();
+
+  DcConfig cfg_;
+  MachineRefs refs_;
+  plant::ChillerSimulator& chiller_;
+  std::shared_ptr<nn::WnnClassifier> wnn_;
+
+  EventScheduler scheduler_;
+  EventScheduler::TaskId vibration_task_ = 0;
+  db::Database db_;
+  rules::BelievabilityTable beliefs_;
+  rules::FeatureExtractor extractor_;
+  rules::RuleEngine dli_;
+  fuzzy::FuzzyDiagnoser fuzzy_;
+  sbfr::SbfrSystem sbfr_;
+  std::vector<std::string> sbfr_channel_keys_;  // process key per channel
+  std::vector<domain::FailureMode> sbfr_machine_mode_;  // mode per machine
+
+  struct LastReport {
+    double severity = -1.0;
+    SimTime at{-1};
+  };
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+           LastReport>
+      last_reports_;  // (ks, object, condition) -> last emission
+
+  std::vector<net::FailureReport> outbox_;
+  std::vector<net::SensorDataMessage> sensor_outbox_;
+  std::vector<double> vib_buffer_;
+  std::vector<double> current_buffer_;
+  Stats stats_;
+};
+
+}  // namespace mpros::dc

@@ -1,0 +1,48 @@
+#include "mpros/dc/scheduler.hpp"
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::dc {
+
+EventScheduler::TaskId EventScheduler::add_periodic(std::string name,
+                                                    SimTime first_due,
+                                                    SimTime period,
+                                                    Task task) {
+  MPROS_EXPECTS(task != nullptr);
+  MPROS_EXPECTS(period.micros() > 0);
+  tasks_.push_back(TaskRecord{std::move(name), period, std::move(task)});
+  const TaskId id = tasks_.size() - 1;
+  queue_.push(Due{first_due, next_sequence_++, id, true});
+  return id;
+}
+
+void EventScheduler::request_now(TaskId id) {
+  MPROS_EXPECTS(id < tasks_.size());
+  // Fires at whatever deadline the next run_until() covers.
+  queue_.push(Due{SimTime(0), next_sequence_++, id, false});
+}
+
+std::size_t EventScheduler::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    const Due due = queue_.top();
+    queue_.pop();
+    // On-demand runs fire "now": at the time they were requested for, or
+    // the deadline if that is earlier than the task's natural slot.
+    const SimTime at = due.at;
+    tasks_[due.id].task(at);
+    ++executed;
+    if (due.reschedule) {
+      queue_.push(Due{at + tasks_[due.id].period, next_sequence_++, due.id,
+                      true});
+    }
+  }
+  return executed;
+}
+
+const std::string& EventScheduler::task_name(TaskId id) const {
+  MPROS_EXPECTS(id < tasks_.size());
+  return tasks_[id].name;
+}
+
+}  // namespace mpros::dc

@@ -1,0 +1,48 @@
+#include "mpros/domain/equipment.hpp"
+
+namespace mpros::domain {
+
+const char* to_string(EquipmentKind k) {
+  switch (k) {
+    case EquipmentKind::InductionMotor: return "InductionMotor";
+    case EquipmentKind::GearTransmission: return "GearTransmission";
+    case EquipmentKind::CentrifugalCompressor: return "CentrifugalCompressor";
+    case EquipmentKind::CentrifugalPump: return "CentrifugalPump";
+    case EquipmentKind::Evaporator: return "Evaporator";
+    case EquipmentKind::Condenser: return "Condenser";
+    case EquipmentKind::Chiller: return "Chiller";
+    case EquipmentKind::Ship: return "Ship";
+    case EquipmentKind::Deck: return "Deck";
+    case EquipmentKind::Sensor: return "Sensor";
+    case EquipmentKind::Report: return "Report";
+    case EquipmentKind::KnowledgeSource: return "KnowledgeSource";
+  }
+  return "?";
+}
+
+double MachineSignature::slip_hz(double load_fraction) const {
+  // Synchronous speed minus shaft speed scales roughly linearly with load;
+  // anchor full-load slip to the signature's rated shaft speed.
+  const double sync_hz = line_hz / pole_pairs;
+  const double full_load_slip = sync_hz - shaft_hz;
+  return full_load_slip * load_fraction;
+}
+
+double MachineSignature::gear_mesh_hz() const {
+  return shaft_hz * gear_teeth_in;
+}
+
+double MachineSignature::high_speed_shaft_hz() const {
+  return shaft_hz * static_cast<double>(gear_teeth_in) /
+         static_cast<double>(gear_teeth_out);
+}
+
+double MachineSignature::vane_pass_hz() const {
+  return high_speed_shaft_hz() * impeller_vanes;
+}
+
+MachineSignature navy_chiller_signature() { return MachineSignature{}; }
+
+ProcessNominals navy_chiller_nominals() { return ProcessNominals{}; }
+
+}  // namespace mpros::domain

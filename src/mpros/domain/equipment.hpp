@@ -1,0 +1,86 @@
+#pragma once
+// Equipment kinds and kinematic signatures of the chilled-water system.
+//
+// The paper's A/C plant "combines several rotating machinery equipment types
+// (induction motors, gear transmissions, pumps, and centrifugal compressors)"
+// (§2). A MachineSignature carries the kinematic constants a vibration
+// analyst needs: shaft speed, bearing defect orders, gear tooth counts, vane
+// counts, rotor bars, and line frequency.
+
+#include <cstdint>
+#include <string>
+
+namespace mpros::domain {
+
+enum class EquipmentKind : std::uint8_t {
+  InductionMotor = 0,
+  GearTransmission,
+  CentrifugalCompressor,
+  CentrifugalPump,
+  Evaporator,
+  Condenser,
+  Chiller,  // the assembled A/C unit
+  Ship,
+  Deck,
+  Sensor,
+  Report,           // failure-prediction report objects in the OOSM (§4.2)
+  KnowledgeSource,  // expert-system identities in the OOSM (§4.2)
+};
+
+[[nodiscard]] const char* to_string(EquipmentKind k);
+
+/// Rolling-element bearing defect frequencies expressed in *orders*
+/// (multiples of shaft speed); typical values for an 8-ball bearing.
+struct BearingRates {
+  double bpfo = 3.05;  ///< ball pass frequency, outer race
+  double bpfi = 4.95;  ///< ball pass frequency, inner race
+  double bsf = 1.99;   ///< ball spin frequency
+  double ftf = 0.38;   ///< fundamental train (cage) frequency
+};
+
+/// Kinematic constants of one rotating machine.
+struct MachineSignature {
+  double shaft_hz = 29.6;       ///< running speed (1780 rpm motor)
+  double line_hz = 60.0;        ///< electrical supply frequency
+  int rotor_bars = 45;          ///< squirrel-cage bar count
+  int pole_pairs = 2;           ///< induction-motor pole pairs
+  int gear_teeth_in = 43;       ///< speed-increaser input gear
+  int gear_teeth_out = 17;      ///< pinion (compressor side)
+  int impeller_vanes = 11;      ///< compressor impeller vane count
+  BearingRates bearing;         ///< motor-shaft bearings (orders of shaft_hz)
+  /// High-speed-shaft (compressor) bearings, in orders of the HSS; a
+  /// different geometry so its tones do not collide with the motor set.
+  BearingRates hss_bearing{3.52, 5.48, 2.31, 0.39};
+
+  /// Slip frequency of the induction motor at a load fraction (0..1).
+  [[nodiscard]] double slip_hz(double load_fraction) const;
+  /// Gear mesh frequency in Hz (input shaft side).
+  [[nodiscard]] double gear_mesh_hz() const;
+  /// High-speed (compressor) shaft frequency after the speed increaser.
+  [[nodiscard]] double high_speed_shaft_hz() const;
+  /// Vane passing frequency of the compressor impeller.
+  [[nodiscard]] double vane_pass_hz() const;
+};
+
+/// The catalog signature for a 450-ton Navy centrifugal chiller drive line.
+[[nodiscard]] MachineSignature navy_chiller_signature();
+
+/// Nominal process-variable operating points of a healthy chiller, used by
+/// the physics simulator and the fuzzy rulebase alike.
+struct ProcessNominals {
+  double evap_pressure_kpa = 356.0;      ///< R-134a at ~5 C
+  double cond_pressure_kpa = 1017.0;     ///< R-134a at ~40 C
+  double chilled_water_supply_c = 6.7;   ///< 44 F
+  double chilled_water_return_c = 12.2;  ///< 54 F
+  double condenser_water_in_c = 29.4;    ///< 85 F
+  double oil_pressure_kpa = 280.0;
+  double oil_temperature_c = 50.0;
+  double motor_winding_temp_c = 80.0;
+  double bearing_temp_c = 55.0;
+  double superheat_c = 4.5;
+  double motor_current_a = 180.0;  ///< full-load amps
+};
+
+[[nodiscard]] ProcessNominals navy_chiller_nominals();
+
+}  // namespace mpros::domain

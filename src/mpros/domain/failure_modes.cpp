@@ -1,0 +1,125 @@
+#include "mpros/domain/failure_modes.hpp"
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::domain {
+namespace {
+
+constexpr std::array<FailureMode, kFailureModeCount> kAllModes = {
+    FailureMode::MotorImbalance,        FailureMode::ShaftMisalignment,
+    FailureMode::BearingHousingLooseness, FailureMode::RotorBarDefect,
+    FailureMode::StatorWindingFault,    FailureMode::MotorBearingWear,
+    FailureMode::CompressorBearingWear, FailureMode::OilDegradation,
+    FailureMode::GearMeshWear,          FailureMode::PumpCavitation,
+    FailureMode::RefrigerantLeak,       FailureMode::CondenserFouling,
+};
+
+constexpr std::array<FailureMode, 3> kRotorModes = {
+    FailureMode::MotorImbalance, FailureMode::ShaftMisalignment,
+    FailureMode::BearingHousingLooseness};
+constexpr std::array<FailureMode, 2> kElectricalModes = {
+    FailureMode::RotorBarDefect, FailureMode::StatorWindingFault};
+constexpr std::array<FailureMode, 3> kBearingModes = {
+    FailureMode::MotorBearingWear, FailureMode::CompressorBearingWear,
+    FailureMode::OilDegradation};
+constexpr std::array<FailureMode, 1> kGearModes = {FailureMode::GearMeshWear};
+constexpr std::array<FailureMode, 3> kProcessModes = {
+    FailureMode::PumpCavitation, FailureMode::RefrigerantLeak,
+    FailureMode::CondenserFouling};
+
+}  // namespace
+
+const char* to_string(FailureMode m) {
+  switch (m) {
+    case FailureMode::MotorImbalance: return "MotorImbalance";
+    case FailureMode::ShaftMisalignment: return "ShaftMisalignment";
+    case FailureMode::BearingHousingLooseness: return "BearingHousingLooseness";
+    case FailureMode::RotorBarDefect: return "RotorBarDefect";
+    case FailureMode::StatorWindingFault: return "StatorWindingFault";
+    case FailureMode::MotorBearingWear: return "MotorBearingWear";
+    case FailureMode::CompressorBearingWear: return "CompressorBearingWear";
+    case FailureMode::OilDegradation: return "OilDegradation";
+    case FailureMode::GearMeshWear: return "GearMeshWear";
+    case FailureMode::PumpCavitation: return "PumpCavitation";
+    case FailureMode::RefrigerantLeak: return "RefrigerantLeak";
+    case FailureMode::CondenserFouling: return "CondenserFouling";
+  }
+  return "?";
+}
+
+const char* to_string(LogicalGroup g) {
+  switch (g) {
+    case LogicalGroup::RotorDynamics: return "RotorDynamics";
+    case LogicalGroup::Electrical: return "Electrical";
+    case LogicalGroup::Bearing: return "Bearing";
+    case LogicalGroup::GearTrain: return "GearTrain";
+    case LogicalGroup::Process: return "Process";
+  }
+  return "?";
+}
+
+LogicalGroup logical_group(FailureMode m) {
+  switch (m) {
+    case FailureMode::MotorImbalance:
+    case FailureMode::ShaftMisalignment:
+    case FailureMode::BearingHousingLooseness:
+      return LogicalGroup::RotorDynamics;
+    case FailureMode::RotorBarDefect:
+    case FailureMode::StatorWindingFault:
+      return LogicalGroup::Electrical;
+    case FailureMode::MotorBearingWear:
+    case FailureMode::CompressorBearingWear:
+    case FailureMode::OilDegradation:
+      return LogicalGroup::Bearing;
+    case FailureMode::GearMeshWear:
+      return LogicalGroup::GearTrain;
+    case FailureMode::PumpCavitation:
+    case FailureMode::RefrigerantLeak:
+    case FailureMode::CondenserFouling:
+      return LogicalGroup::Process;
+  }
+  return LogicalGroup::Process;
+}
+
+std::span<const FailureMode> all_failure_modes() { return kAllModes; }
+
+std::span<const FailureMode> modes_in_group(LogicalGroup g) {
+  switch (g) {
+    case LogicalGroup::RotorDynamics: return kRotorModes;
+    case LogicalGroup::Electrical: return kElectricalModes;
+    case LogicalGroup::Bearing: return kBearingModes;
+    case LogicalGroup::GearTrain: return kGearModes;
+    case LogicalGroup::Process: return kProcessModes;
+  }
+  return {};
+}
+
+ConditionId condition_id(FailureMode m) {
+  return ConditionId(static_cast<std::uint64_t>(m) + 1);
+}
+
+FailureMode failure_mode(ConditionId id) {
+  MPROS_EXPECTS(id.valid() && id.value() <= kFailureModeCount);
+  return static_cast<FailureMode>(id.value() - 1);
+}
+
+std::string condition_text(FailureMode m) {
+  switch (m) {
+    case FailureMode::MotorImbalance: return "motor imbalance";
+    case FailureMode::ShaftMisalignment: return "shaft misalignment";
+    case FailureMode::BearingHousingLooseness:
+      return "pump bearing housing looseness";
+    case FailureMode::RotorBarDefect: return "motor rotor bar problem";
+    case FailureMode::StatorWindingFault: return "stator winding fault";
+    case FailureMode::MotorBearingWear: return "motor bearing wear";
+    case FailureMode::CompressorBearingWear: return "compressor bearing wear";
+    case FailureMode::OilDegradation: return "lubricating oil degradation";
+    case FailureMode::GearMeshWear: return "gear mesh wear";
+    case FailureMode::PumpCavitation: return "pump cavitation";
+    case FailureMode::RefrigerantLeak: return "refrigerant leak";
+    case FailureMode::CondenserFouling: return "condenser fouling";
+  }
+  return "?";
+}
+
+}  // namespace mpros::domain

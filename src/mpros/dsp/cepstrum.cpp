@@ -1,0 +1,47 @@
+#include "mpros/dsp/cepstrum.hpp"
+
+#include <cmath>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/dsp/fft.hpp"
+
+namespace mpros::dsp {
+
+std::vector<double> real_cepstrum(std::span<const double> x,
+                                  std::size_t fft_size) {
+  MPROS_EXPECTS(x.size() >= 2);
+  std::vector<Complex> spec = fft_real(x, fft_size);
+
+  constexpr double kEps = 1e-12;
+  for (Complex& c : spec) {
+    c = Complex(std::log(std::abs(c) + kEps), 0.0);
+  }
+  const std::vector<Complex> ceps = ifft(spec);
+
+  std::vector<double> out(ceps.size());
+  for (std::size_t i = 0; i < ceps.size(); ++i) out[i] = ceps[i].real();
+  return out;
+}
+
+double dominant_quefrency(std::span<const double> cepstrum,
+                          double sample_rate_hz, double min_quefrency_s,
+                          double max_quefrency_s) {
+  MPROS_EXPECTS(sample_rate_hz > 0.0);
+  const auto lo = static_cast<std::size_t>(
+      std::max(1.0, min_quefrency_s * sample_rate_hz));
+  const auto hi = std::min<std::size_t>(
+      cepstrum.size() / 2,
+      static_cast<std::size_t>(max_quefrency_s * sample_rate_hz));
+  double best = 0.0;
+  std::size_t best_i = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (cepstrum[i] > best) {
+      best = cepstrum[i];
+      best_i = i;
+    }
+  }
+  return best_i == 0 ? 0.0
+                     : static_cast<double>(best_i) / sample_rate_hz;
+}
+
+}  // namespace mpros::dsp

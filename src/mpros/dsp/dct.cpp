@@ -1,0 +1,52 @@
+#include "mpros/dsp/dct.hpp"
+
+#include <cmath>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/common/units.hpp"
+
+namespace mpros::dsp {
+
+std::vector<double> dct2(std::span<const double> x) {
+  return dct2_truncated(x, x.size());
+}
+
+std::vector<double> dct2_truncated(std::span<const double> x, std::size_t k) {
+  MPROS_EXPECTS(!x.empty());
+  MPROS_EXPECTS(k <= x.size());
+  const std::size_t n = x.size();
+  const double norm0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double norm = std::sqrt(2.0 / static_cast<double>(n));
+
+  std::vector<double> c(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += x[i] * std::cos(kPi * (static_cast<double>(i) + 0.5) *
+                             static_cast<double>(m) / static_cast<double>(n));
+    }
+    c[m] = sum * (m == 0 ? norm0 : norm);
+  }
+  return c;
+}
+
+std::vector<double> idct2(std::span<const double> c) {
+  MPROS_EXPECTS(!c.empty());
+  const std::size_t n = c.size();
+  const double norm0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double norm = std::sqrt(2.0 / static_cast<double>(n));
+
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = c[0] * norm0;
+    for (std::size_t m = 1; m < n; ++m) {
+      sum += c[m] * norm *
+             std::cos(kPi * (static_cast<double>(i) + 0.5) *
+                      static_cast<double>(m) / static_cast<double>(n));
+    }
+    x[i] = sum;
+  }
+  return x;
+}
+
+}  // namespace mpros::dsp

@@ -1,0 +1,21 @@
+#pragma once
+// DCT-II, another WNN feature listed in §6.2.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mpros::dsp {
+
+/// Orthonormal DCT-II of x. O(n^2) direct form: feature vectors here are
+/// small (<= a few hundred points), so clarity wins over an FFT mapping.
+[[nodiscard]] std::vector<double> dct2(std::span<const double> x);
+
+/// Inverse of dct2 (orthonormal DCT-III).
+[[nodiscard]] std::vector<double> idct2(std::span<const double> c);
+
+/// First `k` DCT coefficients of x (k <= x.size()).
+[[nodiscard]] std::vector<double> dct2_truncated(std::span<const double> x,
+                                                 std::size_t k);
+
+}  // namespace mpros::dsp

@@ -1,0 +1,60 @@
+#include "mpros/dsp/envelope.hpp"
+
+#include <cmath>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/dsp/fft.hpp"
+
+namespace mpros::dsp {
+namespace {
+
+/// Build the analytic signal spectrum in place: zero the negative
+/// frequencies, double the positive ones (DC and Nyquist stay unchanged).
+void to_analytic(std::vector<Complex>& spec) {
+  const std::size_t n = spec.size();
+  for (std::size_t i = 1; i < n / 2; ++i) spec[i] *= 2.0;
+  for (std::size_t i = n / 2 + 1; i < n; ++i) spec[i] = Complex{};
+}
+
+}  // namespace
+
+std::vector<double> envelope(std::span<const double> x) {
+  MPROS_EXPECTS(x.size() >= 4);
+  std::vector<Complex> spec = fft_real(x);
+  to_analytic(spec);
+  const std::vector<Complex> analytic = ifft(spec);
+
+  std::vector<double> env(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    env[i] = std::abs(analytic[i]);
+  }
+  return env;
+}
+
+std::vector<double> envelope_bandpassed(std::span<const double> x,
+                                        double sample_rate_hz, double lo_hz,
+                                        double hi_hz) {
+  MPROS_EXPECTS(x.size() >= 4);
+  MPROS_EXPECTS(sample_rate_hz > 0.0 && lo_hz >= 0.0 && hi_hz > lo_hz);
+
+  std::vector<Complex> spec = fft_real(x);
+  const std::size_t n = spec.size();
+  const double bin_hz = sample_rate_hz / static_cast<double>(n);
+
+  // Brick-wall band-pass on the positive half, then analytic conversion.
+  for (std::size_t i = 0; i <= n / 2; ++i) {
+    const double f = static_cast<double>(i) * bin_hz;
+    if (f < lo_hz || f > hi_hz) spec[i] = Complex{};
+  }
+  for (std::size_t i = n / 2 + 1; i < n; ++i) spec[i] = Complex{};
+  for (std::size_t i = 1; i < n / 2; ++i) spec[i] *= 2.0;
+
+  const std::vector<Complex> analytic = ifft(spec);
+  std::vector<double> env(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    env[i] = std::abs(analytic[i]);
+  }
+  return env;
+}
+
+}  // namespace mpros::dsp

@@ -1,0 +1,88 @@
+#include "mpros/dsp/fft.hpp"
+
+#include <algorithm>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/common/units.hpp"
+
+namespace mpros::dsp {
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  MPROS_EXPECTS(is_power_of_two(n) && n >= 2);
+
+  bit_reverse_.resize(n);
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < log2n; ++b) {
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (log2n - 1 - b);
+    }
+    bit_reverse_[i] = r;
+  }
+
+  twiddle_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double angle = -kTwoPi * static_cast<double>(k) /
+                         static_cast<double>(n);
+    twiddle_[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+}
+
+void FftPlan::transform(std::span<Complex> x, bool invert) const {
+  MPROS_EXPECTS(x.size() == n_);
+
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bit_reverse_[i];
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t stride = n_ / len;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        Complex w = twiddle_[k * stride];
+        if (invert) w = std::conj(w);
+        const Complex u = x[start + k];
+        const Complex v = x[start + k + len / 2] * w;
+        x[start + k] = u + v;
+        x[start + k + len / 2] = u - v;
+      }
+    }
+  }
+
+  if (invert) {
+    const double inv_n = 1.0 / static_cast<double>(n_);
+    for (Complex& c : x) c *= inv_n;
+  }
+}
+
+void FftPlan::forward(std::span<Complex> x) const { transform(x, false); }
+
+void FftPlan::inverse(std::span<Complex> x) const { transform(x, true); }
+
+std::vector<Complex> fft_real(std::span<const double> x, std::size_t n) {
+  if (n == 0) n = next_power_of_two(std::max<std::size_t>(x.size(), 2));
+  MPROS_EXPECTS(is_power_of_two(n) && n >= x.size());
+
+  std::vector<Complex> buf(n, Complex{});
+  std::transform(x.begin(), x.end(), buf.begin(),
+                 [](double v) { return Complex(v, 0.0); });
+  FftPlan(n).forward(buf);
+  return buf;
+}
+
+std::vector<Complex> ifft(std::span<const Complex> spectrum) {
+  MPROS_EXPECTS(is_power_of_two(spectrum.size()));
+  std::vector<Complex> buf(spectrum.begin(), spectrum.end());
+  FftPlan(buf.size()).inverse(buf);
+  return buf;
+}
+
+}  // namespace mpros::dsp

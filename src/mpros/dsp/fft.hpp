@@ -1,0 +1,55 @@
+#pragma once
+// Radix-2 FFT.
+//
+// The DC's "Crystal Instruments PCMCIA spectrum analyzer" (paper Fig 5) is
+// modelled in software on top of this transform. FftPlan precomputes twiddle
+// factors and the bit-reversal permutation for a fixed power-of-two size so
+// the steady-state acquisition loop does no allocation.
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mpros::dsp {
+
+using Complex = std::complex<double>;
+
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n.
+[[nodiscard]] std::size_t next_power_of_two(std::size_t n);
+
+/// Precomputed in-place FFT for one size.
+class FftPlan {
+ public:
+  /// `n` must be a power of two >= 2.
+  explicit FftPlan(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// In-place forward DFT: x[k] = sum_j x[j] exp(-2*pi*i*j*k/n).
+  void forward(std::span<Complex> x) const;
+
+  /// In-place inverse DFT (includes the 1/n normalization).
+  void inverse(std::span<Complex> x) const;
+
+ private:
+  void transform(std::span<Complex> x, bool invert) const;
+
+  std::size_t n_;
+  std::vector<std::size_t> bit_reverse_;
+  std::vector<Complex> twiddle_;          // forward twiddles, n/2 entries
+};
+
+/// One-shot forward FFT of a real signal. Returns the full complex spectrum
+/// of length n (power of two; input is zero-padded if shorter).
+[[nodiscard]] std::vector<Complex> fft_real(std::span<const double> x,
+                                            std::size_t n = 0);
+
+/// One-shot inverse of a full complex spectrum back to a complex signal.
+[[nodiscard]] std::vector<Complex> ifft(std::span<const Complex> spectrum);
+
+}  // namespace mpros::dsp

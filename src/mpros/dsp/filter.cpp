@@ -1,0 +1,96 @@
+#include "mpros/dsp/filter.hpp"
+
+#include <cmath>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/common/units.hpp"
+
+namespace mpros::dsp {
+namespace {
+
+struct RbjCoeffs {
+  double b0, b1, b2, a0, a1, a2;
+};
+
+}  // namespace
+
+Biquad::Biquad(double b0, double b1, double b2, double a1, double a2)
+    : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+
+Biquad Biquad::lowpass(double sample_rate_hz, double cutoff_hz, double q) {
+  MPROS_EXPECTS(sample_rate_hz > 0.0 && cutoff_hz > 0.0 &&
+                cutoff_hz < sample_rate_hz / 2.0 && q > 0.0);
+  const double w0 = kTwoPi * cutoff_hz / sample_rate_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  return Biquad(((1.0 - cw) / 2.0) / a0, (1.0 - cw) / a0,
+                ((1.0 - cw) / 2.0) / a0, (-2.0 * cw) / a0,
+                (1.0 - alpha) / a0);
+}
+
+Biquad Biquad::highpass(double sample_rate_hz, double cutoff_hz, double q) {
+  MPROS_EXPECTS(sample_rate_hz > 0.0 && cutoff_hz > 0.0 &&
+                cutoff_hz < sample_rate_hz / 2.0 && q > 0.0);
+  const double w0 = kTwoPi * cutoff_hz / sample_rate_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  return Biquad(((1.0 + cw) / 2.0) / a0, (-(1.0 + cw)) / a0,
+                ((1.0 + cw) / 2.0) / a0, (-2.0 * cw) / a0,
+                (1.0 - alpha) / a0);
+}
+
+Biquad Biquad::bandpass(double sample_rate_hz, double center_hz, double q) {
+  MPROS_EXPECTS(sample_rate_hz > 0.0 && center_hz > 0.0 &&
+                center_hz < sample_rate_hz / 2.0 && q > 0.0);
+  const double w0 = kTwoPi * center_hz / sample_rate_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  return Biquad(alpha / a0, 0.0, -alpha / a0, (-2.0 * cw) / a0,
+                (1.0 - alpha) / a0);
+}
+
+double Biquad::step(double x) {
+  const double y = b0_ * x + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
+  x2_ = x1_;
+  x1_ = x;
+  y2_ = y1_;
+  y1_ = y;
+  return y;
+}
+
+void Biquad::process(std::span<double> x) {
+  for (double& v : x) v = step(v);
+}
+
+void Biquad::reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }
+
+ExpSmoother::ExpSmoother(double alpha) : alpha_(alpha) {
+  MPROS_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+}
+
+double ExpSmoother::step(double x) {
+  if (!primed_) {
+    y_ = x;
+    primed_ = true;
+  } else {
+    y_ += alpha_ * (x - y_);
+  }
+  return y_;
+}
+
+RmsTracker::RmsTracker(double time_constant_samples)
+    : mean_square_(1.0 / std::max(1.0, time_constant_samples)) {}
+
+double RmsTracker::step(double x) {
+  mean_square_.step(x * x);
+  return rms();
+}
+
+double RmsTracker::rms() const { return std::sqrt(mean_square_.value()); }
+
+void RmsTracker::reset() { mean_square_.reset(); }
+
+}  // namespace mpros::dsp

@@ -1,0 +1,62 @@
+#pragma once
+// Streaming IIR filters used by the DC acquisition chain and SBFR front end.
+
+#include <cstddef>
+#include <span>
+
+namespace mpros::dsp {
+
+/// Direct-form-I biquad with RBJ cookbook coefficient design.
+class Biquad {
+ public:
+  static Biquad lowpass(double sample_rate_hz, double cutoff_hz,
+                        double q = 0.7071);
+  static Biquad highpass(double sample_rate_hz, double cutoff_hz,
+                         double q = 0.7071);
+  static Biquad bandpass(double sample_rate_hz, double center_hz, double q);
+
+  /// Process one sample.
+  double step(double x);
+
+  /// Process a buffer in place.
+  void process(std::span<double> x);
+
+  void reset();
+
+ private:
+  Biquad(double b0, double b1, double b2, double a1, double a2);
+
+  double b0_, b1_, b2_, a1_, a2_;
+  double x1_ = 0.0, x2_ = 0.0, y1_ = 0.0, y2_ = 0.0;
+};
+
+/// Exponential moving average: y += alpha * (x - y). The software analog of
+/// the MUX cards' analog RMS detector smoothing.
+class ExpSmoother {
+ public:
+  explicit ExpSmoother(double alpha);
+  double step(double x);
+  [[nodiscard]] double value() const { return y_; }
+  void reset(double y = 0.0) { y_ = y; primed_ = false; }
+
+ private:
+  double alpha_;
+  double y_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Streaming RMS tracker over an exponential window; drives the per-channel
+/// RMS alarm detectors of the paper's MUX hardware (Fig 5).
+class RmsTracker {
+ public:
+  /// `time_constant_samples` controls the averaging horizon.
+  explicit RmsTracker(double time_constant_samples);
+  double step(double x);
+  [[nodiscard]] double rms() const;
+  void reset();
+
+ private:
+  ExpSmoother mean_square_;
+};
+
+}  // namespace mpros::dsp

@@ -1,0 +1,153 @@
+#include "mpros/dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/dsp/fft.hpp"
+
+namespace mpros::dsp {
+
+double Spectrum::amplitude_at(double hz) const {
+  if (bin_hz <= 0.0 || hz < 0.0) return 0.0;
+  const auto i = static_cast<std::size_t>(std::llround(hz / bin_hz));
+  return i < amplitude.size() ? amplitude[i] : 0.0;
+}
+
+double Spectrum::band_peak(double lo_hz, double hi_hz) const {
+  if (bin_hz <= 0.0 || hi_hz < lo_hz) return 0.0;
+  const auto lo = static_cast<std::size_t>(std::max(0.0, lo_hz / bin_hz));
+  const auto hi = std::min<std::size_t>(
+      amplitude.size() == 0 ? 0 : amplitude.size() - 1,
+      static_cast<std::size_t>(hi_hz / bin_hz));
+  double peak = 0.0;
+  for (std::size_t i = lo; i <= hi && i < amplitude.size(); ++i) {
+    peak = std::max(peak, amplitude[i]);
+  }
+  return peak;
+}
+
+double Spectrum::band_energy(double lo_hz, double hi_hz) const {
+  if (bin_hz <= 0.0 || hi_hz < lo_hz) return 0.0;
+  const auto lo = static_cast<std::size_t>(std::max(0.0, lo_hz / bin_hz));
+  const auto hi = std::min<std::size_t>(
+      amplitude.size() == 0 ? 0 : amplitude.size() - 1,
+      static_cast<std::size_t>(hi_hz / bin_hz));
+  double sum = 0.0;
+  for (std::size_t i = lo; i <= hi && i < amplitude.size(); ++i) {
+    sum += amplitude[i] * amplitude[i];
+  }
+  return sum;
+}
+
+double Spectrum::total_energy() const {
+  double sum = 0.0;
+  for (double a : amplitude) sum += a * a;
+  return sum;
+}
+
+Spectrum amplitude_spectrum(std::span<const double> x, double sample_rate_hz,
+                            const SpectrumConfig& cfg) {
+  MPROS_EXPECTS(sample_rate_hz > 0.0);
+  MPROS_EXPECTS(x.size() >= 2);
+
+  const std::size_t n =
+      cfg.fft_size != 0 ? cfg.fft_size : next_power_of_two(x.size());
+  MPROS_EXPECTS(is_power_of_two(n) && n >= x.size());
+
+  const std::vector<double> window = make_window(cfg.window, x.size());
+  std::vector<double> windowed(x.begin(), x.end());
+  apply_window(windowed, window);
+
+  const std::vector<Complex> spec = fft_real(windowed, n);
+
+  Spectrum out;
+  out.sample_rate_hz = sample_rate_hz;
+  out.bin_hz = sample_rate_hz / static_cast<double>(n);
+  out.amplitude.resize(n / 2 + 1);
+
+  // Scale so a unit-amplitude sine at a bin center reads ~1.0: divide by the
+  // window's coherent gain, and double non-DC/non-Nyquist bins (single-sided).
+  const double gain = coherent_gain(window);
+  for (std::size_t i = 0; i < out.amplitude.size(); ++i) {
+    double a = std::abs(spec[i]) / gain;
+    if (i != 0 && i != n / 2) a *= 2.0;
+    out.amplitude[i] = a;
+  }
+  return out;
+}
+
+Spectrum welch_psd(std::span<const double> x, double sample_rate_hz,
+                   std::size_t segment_size, WindowKind window) {
+  MPROS_EXPECTS(sample_rate_hz > 0.0);
+  MPROS_EXPECTS(is_power_of_two(segment_size));
+  MPROS_EXPECTS(x.size() >= segment_size);
+
+  const std::vector<double> w = make_window(window, segment_size);
+  const double pgain = power_gain(w);
+  const FftPlan plan(segment_size);
+
+  Spectrum out;
+  out.sample_rate_hz = sample_rate_hz;
+  out.bin_hz = sample_rate_hz / static_cast<double>(segment_size);
+  out.amplitude.assign(segment_size / 2 + 1, 0.0);
+
+  const std::size_t hop = segment_size / 2;
+  std::size_t segments = 0;
+  std::vector<Complex> buf(segment_size);
+
+  for (std::size_t start = 0; start + segment_size <= x.size(); start += hop) {
+    for (std::size_t i = 0; i < segment_size; ++i) {
+      buf[i] = Complex(x[start + i] * w[i], 0.0);
+    }
+    plan.forward(buf);
+    for (std::size_t i = 0; i < out.amplitude.size(); ++i) {
+      double p = std::norm(buf[i]) / pgain;
+      if (i != 0 && i != segment_size / 2) p *= 2.0;
+      out.amplitude[i] += p;
+    }
+    ++segments;
+  }
+  MPROS_ASSERT(segments > 0);
+  for (double& p : out.amplitude) p /= static_cast<double>(segments);
+  return out;
+}
+
+std::vector<SpectralPeak> find_peaks(const Spectrum& s, std::size_t max_peaks,
+                                     double min_amplitude) {
+  std::vector<SpectralPeak> peaks;
+  const auto& a = s.amplitude;
+  for (std::size_t i = 1; i + 1 < a.size(); ++i) {
+    if (a[i] <= min_amplitude) continue;
+    if (a[i] < a[i - 1] || a[i] <= a[i + 1]) continue;
+
+    // Parabolic interpolation around the local maximum.
+    const double y0 = a[i - 1], y1 = a[i], y2 = a[i + 1];
+    const double denom = y0 - 2.0 * y1 + y2;
+    double delta = 0.0;
+    if (std::fabs(denom) > 1e-12) {
+      delta = 0.5 * (y0 - y2) / denom;
+      delta = std::clamp(delta, -0.5, 0.5);
+    }
+    SpectralPeak p;
+    p.freq_hz = (static_cast<double>(i) + delta) * s.bin_hz;
+    p.amplitude = y1 - 0.25 * (y0 - y2) * delta;
+    peaks.push_back(p);
+  }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const SpectralPeak& lhs, const SpectralPeak& rhs) {
+              return lhs.amplitude > rhs.amplitude;
+            });
+  if (peaks.size() > max_peaks) peaks.resize(max_peaks);
+  return peaks;
+}
+
+double order_amplitude(const Spectrum& s, double shaft_hz, double order,
+                       double tolerance) {
+  MPROS_EXPECTS(shaft_hz > 0.0 && order > 0.0 && tolerance >= 0.0);
+  const double center = shaft_hz * order;
+  const double half_width = shaft_hz * tolerance;
+  return s.band_peak(center - half_width, center + half_width);
+}
+
+}  // namespace mpros::dsp

@@ -1,0 +1,71 @@
+#pragma once
+// Amplitude/power spectra and spectral feature extraction.
+//
+// The DLI-style rule engine reasons over "orders" — spectral amplitude at
+// multiples of shaft speed — so this module offers both a raw Hz-axis
+// spectrum and an order-normalized view, plus peak extraction with parabolic
+// interpolation for sub-bin frequency accuracy.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mpros/dsp/window.hpp"
+
+namespace mpros::dsp {
+
+/// Single-sided amplitude spectrum of a real signal.
+struct Spectrum {
+  std::vector<double> amplitude;  // peak amplitude per bin (signal units)
+  double bin_hz = 0.0;            // frequency resolution
+  double sample_rate_hz = 0.0;
+
+  [[nodiscard]] std::size_t bins() const { return amplitude.size(); }
+  [[nodiscard]] double freq_of_bin(std::size_t i) const {
+    return static_cast<double>(i) * bin_hz;
+  }
+  /// Amplitude at the bin nearest `hz` (0 beyond Nyquist).
+  [[nodiscard]] double amplitude_at(double hz) const;
+  /// Largest amplitude in [lo_hz, hi_hz].
+  [[nodiscard]] double band_peak(double lo_hz, double hi_hz) const;
+  /// Sum of squared amplitudes in [lo_hz, hi_hz] (band energy proxy).
+  [[nodiscard]] double band_energy(double lo_hz, double hi_hz) const;
+  /// Total energy across all bins.
+  [[nodiscard]] double total_energy() const;
+};
+
+struct SpectrumConfig {
+  WindowKind window = WindowKind::Hann;
+  std::size_t fft_size = 0;  // 0 = next power of two >= input length
+};
+
+/// Compute a single-sided amplitude spectrum. Amplitudes are corrected for
+/// window coherent gain so a unit sine reads ~1.0 at its bin.
+[[nodiscard]] Spectrum amplitude_spectrum(std::span<const double> x,
+                                          double sample_rate_hz,
+                                          const SpectrumConfig& cfg = {});
+
+/// Welch-averaged power spectral density over 50%-overlapping segments.
+/// Returns per-bin power (signal units squared per bin).
+[[nodiscard]] Spectrum welch_psd(std::span<const double> x,
+                                 double sample_rate_hz,
+                                 std::size_t segment_size,
+                                 WindowKind window = WindowKind::Hann);
+
+struct SpectralPeak {
+  double freq_hz = 0.0;
+  double amplitude = 0.0;
+};
+
+/// Extract up to `max_peaks` local maxima above `min_amplitude`, strongest
+/// first, with parabolic interpolation of frequency and amplitude.
+[[nodiscard]] std::vector<SpectralPeak> find_peaks(const Spectrum& s,
+                                                   std::size_t max_peaks,
+                                                   double min_amplitude = 0.0);
+
+/// Amplitude at a given order (multiple of shaft speed), searching within
+/// ±`tolerance` orders to absorb speed estimation error.
+[[nodiscard]] double order_amplitude(const Spectrum& s, double shaft_hz,
+                                     double order, double tolerance = 0.05);
+
+}  // namespace mpros::dsp

@@ -1,0 +1,92 @@
+#include "mpros/dsp/stft.hpp"
+
+#include <cmath>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/dsp/fft.hpp"
+#include "mpros/dsp/stats.hpp"
+
+namespace mpros::dsp {
+
+Spectrogram::Spectrogram(std::size_t frames, std::size_t bins, double bin_hz,
+                         double frame_step_s)
+    : frames_(frames),
+      bins_(bins),
+      bin_hz_(bin_hz),
+      frame_step_s_(frame_step_s),
+      data_(frames * bins, 0.0) {}
+
+double Spectrogram::at(std::size_t frame, std::size_t bin) const {
+  MPROS_EXPECTS(frame < frames_ && bin < bins_);
+  return data_[frame * bins_ + bin];
+}
+
+double& Spectrogram::at(std::size_t frame, std::size_t bin) {
+  MPROS_EXPECTS(frame < frames_ && bin < bins_);
+  return data_[frame * bins_ + bin];
+}
+
+std::vector<double> Spectrogram::tone_track(double hz) const {
+  MPROS_EXPECTS(bin_hz_ > 0.0);
+  const auto bin = static_cast<std::size_t>(std::llround(hz / bin_hz_));
+  MPROS_EXPECTS(bin < bins_);
+  std::vector<double> track(frames_);
+  for (std::size_t f = 0; f < frames_; ++f) track[f] = at(f, bin);
+  return track;
+}
+
+std::vector<double> Spectrogram::frame_energy() const {
+  std::vector<double> energy(frames_, 0.0);
+  for (std::size_t f = 0; f < frames_; ++f) {
+    double sum = 0.0;
+    for (std::size_t b = 0; b < bins_; ++b) {
+      const double a = at(f, b);
+      sum += a * a;
+    }
+    energy[f] = sum;
+  }
+  return energy;
+}
+
+double Spectrogram::burstiness() const {
+  const std::vector<double> energy = frame_energy();
+  const Moments m = moments(energy);
+  return m.mean > 0.0 ? m.stddev / m.mean : 0.0;
+}
+
+Spectrogram stft(std::span<const double> x, double sample_rate_hz,
+                 const StftConfig& cfg) {
+  MPROS_EXPECTS(sample_rate_hz > 0.0);
+  MPROS_EXPECTS(is_power_of_two(cfg.segment_size));
+  MPROS_EXPECTS(cfg.hop > 0);
+  MPROS_EXPECTS(x.size() >= cfg.segment_size);
+
+  const std::size_t frames =
+      1 + (x.size() - cfg.segment_size) / cfg.hop;
+  const std::size_t bins = cfg.segment_size / 2 + 1;
+  Spectrogram out(frames, bins,
+                  sample_rate_hz / static_cast<double>(cfg.segment_size),
+                  static_cast<double>(cfg.hop) / sample_rate_hz);
+
+  const std::vector<double> window =
+      make_window(cfg.window, cfg.segment_size);
+  const double gain = coherent_gain(window);
+  const FftPlan plan(cfg.segment_size);
+  std::vector<Complex> buf(cfg.segment_size);
+
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::size_t start = f * cfg.hop;
+    for (std::size_t i = 0; i < cfg.segment_size; ++i) {
+      buf[i] = Complex(x[start + i] * window[i], 0.0);
+    }
+    plan.forward(buf);
+    for (std::size_t b = 0; b < bins; ++b) {
+      double a = std::abs(buf[b]) / gain;
+      if (b != 0 && b != cfg.segment_size / 2) a *= 2.0;
+      out.at(f, b) = a;
+    }
+  }
+  return out;
+}
+
+}  // namespace mpros::dsp

@@ -1,0 +1,60 @@
+#pragma once
+// Short-time Fourier transform / spectrogram.
+//
+// Complements the wavelet path for transitory phenomena (§6.2): a
+// time-frequency map of a vibration record, used by analysts and by the
+// transient benches to visualize burst faults that window-averaged spectra
+// smear away.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mpros/dsp/window.hpp"
+
+namespace mpros::dsp {
+
+struct StftConfig {
+  std::size_t segment_size = 1024;  ///< power of two
+  std::size_t hop = 512;            ///< samples between segment starts
+  WindowKind window = WindowKind::Hann;
+};
+
+/// Magnitude spectrogram: frames x bins, amplitude-normalized like
+/// amplitude_spectrum (unit sine ≈ 1.0 at its bin).
+class Spectrogram {
+ public:
+  Spectrogram(std::size_t frames, std::size_t bins, double bin_hz,
+              double frame_step_s);
+
+  [[nodiscard]] std::size_t frames() const { return frames_; }
+  [[nodiscard]] std::size_t bins() const { return bins_; }
+  [[nodiscard]] double bin_hz() const { return bin_hz_; }
+  [[nodiscard]] double frame_step_s() const { return frame_step_s_; }
+
+  [[nodiscard]] double at(std::size_t frame, std::size_t bin) const;
+  double& at(std::size_t frame, std::size_t bin);
+
+  /// Amplitude vs time at the bin nearest `hz` (one value per frame).
+  [[nodiscard]] std::vector<double> tone_track(double hz) const;
+
+  /// Per-frame total energy (sum of squared magnitudes) — burst detector.
+  [[nodiscard]] std::vector<double> frame_energy() const;
+
+  /// Coefficient of variation of frame energy: ~0 for stationary signals,
+  /// large for bursty ones. The scalar the E13 story rests on.
+  [[nodiscard]] double burstiness() const;
+
+ private:
+  std::size_t frames_, bins_;
+  double bin_hz_, frame_step_s_;
+  std::vector<double> data_;  // row-major frames x bins
+};
+
+/// Compute the magnitude spectrogram of a real signal. Requires
+/// x.size() >= segment_size; trailing partial segments are dropped.
+[[nodiscard]] Spectrogram stft(std::span<const double> x,
+                               double sample_rate_hz,
+                               const StftConfig& cfg = {});
+
+}  // namespace mpros::dsp

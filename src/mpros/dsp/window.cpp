@@ -1,0 +1,70 @@
+#include "mpros/dsp/window.hpp"
+
+#include <cmath>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/common/units.hpp"
+
+namespace mpros::dsp {
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  MPROS_EXPECTS(n >= 2);
+  std::vector<double> w(n);
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / denom;  // 0..1
+    switch (kind) {
+      case WindowKind::Rectangular:
+        w[i] = 1.0;
+        break;
+      case WindowKind::Hann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * t);
+        break;
+      case WindowKind::Hamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * t);
+        break;
+      case WindowKind::Blackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * t) +
+               0.08 * std::cos(2.0 * kTwoPi * t);
+        break;
+      case WindowKind::FlatTop:
+        // SFT5 coefficients (amplitude-flat within ~0.01 dB).
+        w[i] = 0.21557895 - 0.41663158 * std::cos(kTwoPi * t) +
+               0.277263158 * std::cos(2.0 * kTwoPi * t) -
+               0.083578947 * std::cos(3.0 * kTwoPi * t) +
+               0.006947368 * std::cos(4.0 * kTwoPi * t);
+        break;
+    }
+  }
+  return w;
+}
+
+void apply_window(std::span<double> x, std::span<const double> window) {
+  MPROS_EXPECTS(x.size() == window.size());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= window[i];
+}
+
+double coherent_gain(std::span<const double> window) {
+  double sum = 0.0;
+  for (double v : window) sum += v;
+  return sum;
+}
+
+double power_gain(std::span<const double> window) {
+  double sum = 0.0;
+  for (double v : window) sum += v * v;
+  return sum;
+}
+
+const char* to_string(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::Rectangular: return "rectangular";
+    case WindowKind::Hann: return "hann";
+    case WindowKind::Hamming: return "hamming";
+    case WindowKind::Blackman: return "blackman";
+    case WindowKind::FlatTop: return "flattop";
+  }
+  return "?";
+}
+
+}  // namespace mpros::dsp

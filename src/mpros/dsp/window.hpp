@@ -1,0 +1,29 @@
+#pragma once
+// Spectral analysis windows.
+//
+// Hann is the DC's default for machinery spectra; flat-top is offered for
+// amplitude-accurate single-tone calibration (standard vibration practice).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mpros::dsp {
+
+enum class WindowKind { Rectangular, Hann, Hamming, Blackman, FlatTop };
+
+/// Generate window coefficients of length n.
+[[nodiscard]] std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Multiply `x` by the window in place. Sizes must match.
+void apply_window(std::span<double> x, std::span<const double> window);
+
+/// Sum of coefficients; used to normalize amplitude spectra ("coherent gain").
+[[nodiscard]] double coherent_gain(std::span<const double> window);
+
+/// Sum of squared coefficients; used to normalize power spectra.
+[[nodiscard]] double power_gain(std::span<const double> window);
+
+[[nodiscard]] const char* to_string(WindowKind kind);
+
+}  // namespace mpros::dsp

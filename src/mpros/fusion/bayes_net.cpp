@@ -1,0 +1,225 @@
+#include "mpros/fusion/bayes_net.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::fusion {
+
+BayesNet::NodeId BayesNet::add_node(std::string name,
+                                    std::vector<std::string> states,
+                                    std::vector<double> prior) {
+  MPROS_EXPECTS(!states.empty());
+  MPROS_EXPECTS(prior.size() == states.size());
+  double sum = 0.0;
+  for (double p : prior) {
+    MPROS_EXPECTS(p >= 0.0);
+    sum += p;
+  }
+  MPROS_EXPECTS(std::fabs(sum - 1.0) < 1e-9);
+  nodes_.push_back(Node{std::move(name), std::move(states), {},
+                        std::move(prior)});
+  return nodes_.size() - 1;
+}
+
+BayesNet::NodeId BayesNet::add_node(std::string name,
+                                    std::vector<std::string> states,
+                                    std::vector<NodeId> parents,
+                                    std::vector<double> cpt) {
+  MPROS_EXPECTS(!states.empty());
+  MPROS_EXPECTS(!parents.empty());
+  std::size_t rows = 1;
+  for (const NodeId p : parents) {
+    MPROS_EXPECTS(p < nodes_.size());  // parents precede children
+    rows *= nodes_[p].states.size();
+  }
+  MPROS_EXPECTS(cpt.size() == rows * states.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    for (std::size_t s = 0; s < states.size(); ++s) {
+      MPROS_EXPECTS(cpt[r * states.size() + s] >= 0.0);
+      sum += cpt[r * states.size() + s];
+    }
+    MPROS_EXPECTS(std::fabs(sum - 1.0) < 1e-9);
+  }
+  nodes_.push_back(
+      Node{std::move(name), std::move(states), std::move(parents),
+           std::move(cpt)});
+  return nodes_.size() - 1;
+}
+
+std::size_t BayesNet::state_count(NodeId n) const {
+  MPROS_EXPECTS(n < nodes_.size());
+  return nodes_[n].states.size();
+}
+
+const std::string& BayesNet::node_name(NodeId n) const {
+  MPROS_EXPECTS(n < nodes_.size());
+  return nodes_[n].name;
+}
+
+double BayesNet::node_probability(
+    NodeId n, const std::vector<std::size_t>& assignment) const {
+  const Node& node = nodes_[n];
+  const std::size_t state = assignment[n];
+  if (node.parents.empty()) return node.cpt[state];
+
+  std::size_t row = 0;
+  for (const NodeId p : node.parents) {
+    row = row * nodes_[p].states.size() + assignment[p];
+  }
+  return node.cpt[row * node.states.size() + state];
+}
+
+double BayesNet::enumerate(std::size_t index,
+                           std::vector<std::size_t>& assignment,
+                           const std::map<NodeId, std::size_t>& evidence) const {
+  if (index == nodes_.size()) {
+    double joint = 1.0;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      joint *= node_probability(n, assignment);
+      if (joint == 0.0) break;
+    }
+    return joint;
+  }
+
+  const auto ev = evidence.find(index);
+  if (ev != evidence.end()) {
+    assignment[index] = ev->second;
+    return enumerate(index + 1, assignment, evidence);
+  }
+  double sum = 0.0;
+  for (std::size_t s = 0; s < nodes_[index].states.size(); ++s) {
+    assignment[index] = s;
+    sum += enumerate(index + 1, assignment, evidence);
+  }
+  return sum;
+}
+
+std::vector<double> BayesNet::posterior(
+    NodeId query, const std::map<NodeId, std::size_t>& evidence) const {
+  MPROS_EXPECTS(query < nodes_.size());
+  MPROS_EXPECTS(!evidence.contains(query));
+  for (const auto& [n, s] : evidence) {
+    MPROS_EXPECTS(n < nodes_.size());
+    MPROS_EXPECTS(s < nodes_[n].states.size());
+  }
+
+  std::vector<double> unnormalized(nodes_[query].states.size(), 0.0);
+  std::vector<std::size_t> assignment(nodes_.size(), 0);
+  for (std::size_t s = 0; s < unnormalized.size(); ++s) {
+    std::map<NodeId, std::size_t> ev = evidence;
+    ev[query] = s;
+    unnormalized[s] = enumerate(0, assignment, ev);
+  }
+  const double total =
+      std::accumulate(unnormalized.begin(), unnormalized.end(), 0.0);
+  MPROS_EXPECTS(total > 0.0);  // evidence must be possible
+  for (double& p : unnormalized) p /= total;
+  return unnormalized;
+}
+
+GroupBayesFusion::GroupBayesFusion(domain::LogicalGroup group,
+                                   double prior_none, double source_accuracy)
+    : group_(group), prior_none_(prior_none),
+      source_accuracy_(source_accuracy) {
+  MPROS_EXPECTS(prior_none > 0.0 && prior_none < 1.0);
+  MPROS_EXPECTS(source_accuracy > 0.0 && source_accuracy < 1.0);
+}
+
+std::vector<double> GroupBayesFusion::prior() const {
+  const auto modes = domain::modes_in_group(group_);
+  std::vector<double> p(modes.size() + 1,
+                        (1.0 - prior_none_) / static_cast<double>(modes.size()));
+  p.back() = prior_none_;
+  return p;
+}
+
+std::size_t GroupBayesFusion::index_of(domain::FailureMode mode) const {
+  const auto modes = domain::modes_in_group(group_);
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    if (modes[i] == mode) return i;
+  }
+  MPROS_EXPECTS(false && "mode not in group");
+  return 0;
+}
+
+void GroupBayesFusion::add_report(ObjectId machine, const Report& report) {
+  MPROS_EXPECTS(domain::logical_group(report.mode) == group_);
+  MPROS_EXPECTS(report.belief >= 0.0 && report.belief <= 1.0);
+  reports_[machine.value()].push_back(report);
+}
+
+std::vector<double> GroupBayesFusion::posterior(ObjectId machine) const {
+  const auto it = reports_.find(machine.value());
+  const std::vector<double> fault_prior = prior();
+  if (it == reports_.end()) return fault_prior;
+
+  const auto modes = domain::modes_in_group(group_);
+  const std::size_t fault_states = modes.size() + 1;
+
+  // Build the naive-Bayes net: fault root + one observed leaf per report.
+  BayesNet net;
+  std::vector<std::string> fault_names;
+  for (const auto m : modes) fault_names.emplace_back(domain::to_string(m));
+  fault_names.emplace_back("none");
+  const BayesNet::NodeId fault =
+      net.add_node("fault", fault_names, fault_prior);
+
+  std::map<BayesNet::NodeId, std::size_t> evidence;
+  for (std::size_t r = 0; r < it->second.size(); ++r) {
+    const Report& rep = it->second[r];
+    // Leaf states: one per reportable mode plus "silent". The key causal
+    // fact is that healthy machines mostly produce *no* report, so merely
+    // observing one is evidence against "none" — the false-alarm rate per
+    // specific mode under "none" is small.
+    const std::size_t leaf_states_count = modes.size() + 1;
+    const double detect = source_accuracy_ * rep.belief;  // P(correct call)
+    const double misdiagnose = 0.05;  // spread over the other group modes
+    const double false_alarm = 0.02;  // per mode, when no fault exists
+
+    std::vector<double> cpt;
+    cpt.reserve(fault_states * leaf_states_count);
+    for (std::size_t f = 0; f < fault_states; ++f) {
+      double silent;
+      if (f < modes.size()) {
+        const double others =
+            modes.size() > 1
+                ? misdiagnose
+                : 0.0;  // no sibling modes to confuse with
+        silent = 1.0 - detect - others;
+        for (std::size_t s = 0; s < modes.size(); ++s) {
+          if (s == f) {
+            cpt.push_back(detect);
+          } else {
+            cpt.push_back(others / static_cast<double>(modes.size() - 1));
+          }
+        }
+      } else {
+        silent = 1.0 - false_alarm * static_cast<double>(modes.size());
+        for (std::size_t s = 0; s < modes.size(); ++s) {
+          cpt.push_back(false_alarm);
+        }
+      }
+      cpt.push_back(silent);
+    }
+
+    std::vector<std::string> leaf_names;
+    for (const auto m : modes) leaf_names.emplace_back(domain::to_string(m));
+    leaf_names.emplace_back("silent");
+    const BayesNet::NodeId leaf = net.add_node(
+        "report" + std::to_string(r), std::move(leaf_names), {fault},
+        std::move(cpt));
+    evidence[leaf] = index_of(rep.mode);
+  }
+
+  return net.posterior(fault, evidence);
+}
+
+double GroupBayesFusion::mode_probability(ObjectId machine,
+                                          domain::FailureMode mode) const {
+  return posterior(machine)[index_of(mode)];
+}
+
+}  // namespace mpros::fusion

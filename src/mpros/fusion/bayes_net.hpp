@@ -1,0 +1,103 @@
+#pragma once
+// Discrete Bayesian networks (paper §10.1 future work).
+//
+// "Bayes' Nets seem to be a promising approach to diagnostic knowledge
+// fusion when causal relations and a priori relationships can be teased out
+// of historical data" — and §5.3 explains why phase 1 didn't use them: "they
+// require prior estimates of the conditional probability relating two
+// failures. The data is not yet available." The simulator *can* supply such
+// priors, so this module implements the extension and E12 ablates it
+// against Dempster-Shafer.
+//
+// Inference is exact enumeration — the diagnostic nets are naive-Bayes-like
+// (one fault node, report leaves), so enumeration is linear in practice.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpros/common/ids.hpp"
+#include "mpros/domain/failure_modes.hpp"
+
+namespace mpros::fusion {
+
+class BayesNet {
+ public:
+  using NodeId = std::size_t;
+
+  /// Add a root node with a prior distribution over its states.
+  NodeId add_node(std::string name, std::vector<std::string> states,
+                  std::vector<double> prior);
+
+  /// Add a child node. `cpt` holds one distribution over this node's states
+  /// per joint parent configuration, rows ordered with the LAST parent
+  /// cycling fastest; row r, state s is cpt[r * states.size() + s].
+  NodeId add_node(std::string name, std::vector<std::string> states,
+                  std::vector<NodeId> parents, std::vector<double> cpt);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t state_count(NodeId n) const;
+  [[nodiscard]] const std::string& node_name(NodeId n) const;
+
+  /// Exact posterior P(query | evidence) by enumeration over hidden nodes.
+  /// `evidence` maps node -> observed state index.
+  [[nodiscard]] std::vector<double> posterior(
+      NodeId query, const std::map<NodeId, std::size_t>& evidence) const;
+
+ private:
+  struct Node {
+    std::string name;
+    std::vector<std::string> states;
+    std::vector<NodeId> parents;
+    std::vector<double> cpt;  // priors for roots
+  };
+
+  [[nodiscard]] double node_probability(
+      NodeId n, const std::vector<std::size_t>& assignment) const;
+  double enumerate(std::size_t index, std::vector<std::size_t>& assignment,
+                   const std::map<NodeId, std::size_t>& evidence) const;
+
+  std::vector<Node> nodes_;
+};
+
+/// Bayesian-network diagnostic fusion over one logical group, the §10.1
+/// alternative to DiagnosticFusion. Hypothesis space = group modes + "none".
+/// Each report becomes a leaf whose CPT encodes the source's belief: the
+/// reported mode is observed with probability proportional to the report
+/// belief under the matching fault, and spread uniformly otherwise.
+class GroupBayesFusion {
+ public:
+  /// `prior_none` is the a-priori probability that no group failure exists.
+  explicit GroupBayesFusion(domain::LogicalGroup group,
+                            double prior_none = 0.90,
+                            double source_accuracy = 0.90);
+
+  struct Report {
+    domain::FailureMode mode{};
+    double belief = 1.0;
+  };
+
+  void add_report(ObjectId machine, const Report& report);
+
+  /// Posterior over {modes..., none} given every report so far; the last
+  /// entry is P(none). Machines without reports return the prior.
+  [[nodiscard]] std::vector<double> posterior(ObjectId machine) const;
+
+  /// Posterior probability of a specific mode.
+  [[nodiscard]] double mode_probability(ObjectId machine,
+                                        domain::FailureMode mode) const;
+
+  [[nodiscard]] domain::LogicalGroup group() const { return group_; }
+
+ private:
+  [[nodiscard]] std::vector<double> prior() const;
+  [[nodiscard]] std::size_t index_of(domain::FailureMode mode) const;
+
+  domain::LogicalGroup group_;
+  double prior_none_;
+  double source_accuracy_;
+  std::map<std::uint64_t, std::vector<Report>> reports_;  // by machine id
+};
+
+}  // namespace mpros::fusion

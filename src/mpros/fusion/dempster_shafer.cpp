@@ -1,0 +1,111 @@
+#include "mpros/fusion/dempster_shafer.hpp"
+
+#include <cmath>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::fusion {
+
+FrameOfDiscernment::FrameOfDiscernment(std::vector<std::string> hypotheses)
+    : names_(std::move(hypotheses)) {
+  MPROS_EXPECTS(!names_.empty() && names_.size() <= 16);
+}
+
+const std::string& FrameOfDiscernment::name(std::size_t i) const {
+  MPROS_EXPECTS(i < names_.size());
+  return names_[i];
+}
+
+HypothesisSet FrameOfDiscernment::singleton(std::size_t i) const {
+  MPROS_EXPECTS(i < names_.size());
+  return static_cast<HypothesisSet>(1u << i);
+}
+
+HypothesisSet FrameOfDiscernment::theta() const {
+  return static_cast<HypothesisSet>((1u << names_.size()) - 1u);
+}
+
+std::string FrameOfDiscernment::describe(HypothesisSet s) const {
+  if (s == theta()) return "Θ";
+  std::string out;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (s & (1u << i)) {
+      if (!out.empty()) out += "|";
+      out += names_[i];
+    }
+  }
+  return out.empty() ? "∅" : out;
+}
+
+MassFunction::MassFunction(const FrameOfDiscernment& frame) : frame_(&frame) {}
+
+MassFunction MassFunction::vacuous(const FrameOfDiscernment& frame) {
+  MassFunction m(frame);
+  m.masses_[frame.theta()] = 1.0;
+  return m;
+}
+
+MassFunction MassFunction::simple_support(const FrameOfDiscernment& frame,
+                                          HypothesisSet focus, double belief) {
+  MPROS_EXPECTS(focus != 0 && (focus & ~frame.theta()) == 0);
+  MPROS_EXPECTS(belief >= 0.0 && belief <= 1.0);
+  MassFunction m(frame);
+  if (belief > 0.0) m.masses_[focus] += belief;
+  if (belief < 1.0 || focus == frame.theta()) {
+    m.masses_[frame.theta()] += 1.0 - belief;
+  }
+  return m;
+}
+
+double MassFunction::mass(HypothesisSet s) const {
+  const auto it = masses_.find(s);
+  return it == masses_.end() ? 0.0 : it->second;
+}
+
+double MassFunction::belief(HypothesisSet s) const {
+  double sum = 0.0;
+  for (const auto& [set, m] : masses_) {
+    if (set != 0 && (set & ~s) == 0) sum += m;
+  }
+  return sum;
+}
+
+double MassFunction::plausibility(HypothesisSet s) const {
+  double sum = 0.0;
+  for (const auto& [set, m] : masses_) {
+    if ((set & s) != 0) sum += m;
+  }
+  return sum;
+}
+
+double MassFunction::unknown() const { return mass(frame_->theta()); }
+
+CombinationResult combine(const MassFunction& a, const MassFunction& b) {
+  MPROS_EXPECTS(a.frame_ == b.frame_);
+
+  MassFunction fused(*a.frame_);
+  double conflict = 0.0;
+  for (const auto& [sa, ma] : a.masses_) {
+    for (const auto& [sb, mb] : b.masses_) {
+      const HypothesisSet inter = sa & sb;
+      const double product = ma * mb;
+      if (inter == 0) {
+        conflict += product;
+      } else {
+        fused.masses_[inter] += product;
+      }
+    }
+  }
+
+  if (conflict >= 1.0 - 1e-12) {
+    // Total contradiction: Dempster's rule is undefined; fall back to
+    // ignorance and report K = 1 so the caller can flag the sources.
+    return CombinationResult{MassFunction::vacuous(*a.frame_), 1.0};
+  }
+
+  const double norm = 1.0 / (1.0 - conflict);
+  for (auto& [set, m] : fused.masses_) m *= norm;
+  return CombinationResult{std::move(fused), conflict};
+}
+
+}  // namespace mpros::fusion

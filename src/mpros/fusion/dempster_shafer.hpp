@@ -1,0 +1,95 @@
+#pragma once
+// Dempster-Shafer theory of evidence.
+//
+// §5.3: "Dempster-Shafer theory is a calculus for qualifying beliefs using
+// numerical expressions... given a belief of 40% that A will occur and
+// another belief of 75% that B or C will occur, it will [be] concluded that
+// A is 14% likely, 'B or C' is 64% likely and there is 22% of belief
+// assigned to unknown possibilities." Experiment E1 checks exactly those
+// numbers against this implementation.
+//
+// Hypotheses are indices into a FrameOfDiscernment; subsets are bitmasks, so
+// frames hold at most 16 hypotheses (the logical groups of §5.3 have 1-3).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mpros::fusion {
+
+/// A subset of the frame, one bit per hypothesis.
+using HypothesisSet = std::uint16_t;
+
+class FrameOfDiscernment {
+ public:
+  explicit FrameOfDiscernment(std::vector<std::string> hypotheses);
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] const std::string& name(std::size_t i) const;
+
+  /// Bitmask with exactly hypothesis `i`.
+  [[nodiscard]] HypothesisSet singleton(std::size_t i) const;
+  /// The full set Θ ("unknown possibilities" carrier).
+  [[nodiscard]] HypothesisSet theta() const;
+  /// Render a subset as "A|B".
+  [[nodiscard]] std::string describe(HypothesisSet s) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+class MassFunction;
+
+struct CombinationResult;
+
+/// Dempster's rule of combination. Both operands must share a frame.
+[[nodiscard]] CombinationResult combine(const MassFunction& a,
+                                        const MassFunction& b);
+
+/// A basic probability assignment m: 2^Θ -> [0,1] with Σm = 1 and m(∅) = 0.
+class MassFunction {
+ public:
+  /// Vacuous mass: everything on Θ (total ignorance).
+  static MassFunction vacuous(const FrameOfDiscernment& frame);
+
+  /// Simple support: m(focus) = belief, m(Θ) = 1 - belief. This is how a
+  /// §7.2 report with a Belief field becomes evidence.
+  static MassFunction simple_support(const FrameOfDiscernment& frame,
+                                     HypothesisSet focus, double belief);
+
+  /// Mass assigned to exactly `s` (0 if s is not a focal element).
+  [[nodiscard]] double mass(HypothesisSet s) const;
+
+  /// Bel(s) = Σ m(t) over t ⊆ s, t ≠ ∅.
+  [[nodiscard]] double belief(HypothesisSet s) const;
+
+  /// Pl(s) = Σ m(t) over t ∩ s ≠ ∅.
+  [[nodiscard]] double plausibility(HypothesisSet s) const;
+
+  /// Mass on Θ: the "unknown possibilities" share the paper highlights.
+  [[nodiscard]] double unknown() const;
+
+  [[nodiscard]] const std::map<HypothesisSet, double>& focal_elements() const {
+    return masses_;
+  }
+
+  [[nodiscard]] const FrameOfDiscernment& frame() const { return *frame_; }
+
+ private:
+  explicit MassFunction(const FrameOfDiscernment& frame);
+  friend CombinationResult combine(const MassFunction& a,
+                                   const MassFunction& b);
+
+  const FrameOfDiscernment* frame_;
+  std::map<HypothesisSet, double> masses_;
+};
+
+struct CombinationResult {
+  MassFunction fused;
+  /// Mass lost to contradiction (K); 1-K is the normalizer. K = 1 means the
+  /// sources were entirely contradictory and `fused` is vacuous.
+  double conflict = 0.0;
+};
+
+}  // namespace mpros::fusion

@@ -1,0 +1,126 @@
+#include "mpros/fusion/diagnostic_fusion.hpp"
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::fusion {
+
+using domain::FailureMode;
+using domain::LogicalGroup;
+
+DiagnosticFusion::DiagnosticFusion() {
+  frames_.reserve(domain::kLogicalGroupCount);
+  for (std::size_t g = 0; g < domain::kLogicalGroupCount; ++g) {
+    std::vector<std::string> names;
+    for (const FailureMode m :
+         domain::modes_in_group(static_cast<LogicalGroup>(g))) {
+      names.emplace_back(domain::to_string(m));
+    }
+    frames_.emplace_back(std::move(names));
+  }
+}
+
+const FrameOfDiscernment& DiagnosticFusion::frame(LogicalGroup group) const {
+  const auto g = static_cast<std::size_t>(group);
+  MPROS_EXPECTS(g < frames_.size());
+  return frames_[g];
+}
+
+HypothesisSet DiagnosticFusion::set_of(LogicalGroup group,
+                                       FailureMode mode) const {
+  const auto members = domain::modes_in_group(group);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == mode) return frame(group).singleton(i);
+  }
+  MPROS_EXPECTS(false && "mode not in group");
+  return 0;
+}
+
+DiagnosticFusion::Cell& DiagnosticFusion::cell(ObjectId machine,
+                                               LogicalGroup group) {
+  const Key key{machine.value(), group};
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    it = cells_
+             .emplace(key, Cell{MassFunction::vacuous(frame(group)), 0.0, 0})
+             .first;
+  }
+  return it->second;
+}
+
+GroupState DiagnosticFusion::update(ObjectId machine, FailureMode mode,
+                                    double belief) {
+  const FailureMode modes[] = {mode};
+  return update_set(machine, modes, belief);
+}
+
+GroupState DiagnosticFusion::update_set(
+    ObjectId machine, std::span<const domain::FailureMode> modes,
+    double belief) {
+  MPROS_EXPECTS(!modes.empty());
+  MPROS_EXPECTS(belief >= 0.0 && belief <= 1.0);
+  const LogicalGroup group = domain::logical_group(modes.front());
+
+  HypothesisSet focus = 0;
+  for (const FailureMode m : modes) {
+    MPROS_EXPECTS(domain::logical_group(m) == group);
+    focus |= set_of(group, m);
+  }
+
+  Cell& c = cell(machine, group);
+  const MassFunction evidence =
+      MassFunction::simple_support(frame(group), focus, belief);
+  CombinationResult result = combine(c.mass, evidence);
+  c.mass = std::move(result.fused);
+  c.last_conflict = result.conflict;
+  ++c.report_count;
+  return summarize(group, c);
+}
+
+GroupState DiagnosticFusion::summarize(LogicalGroup group,
+                                       const Cell& c) const {
+  GroupState s;
+  s.group = group;
+  s.unknown = c.mass.unknown();
+  s.last_conflict = c.last_conflict;
+  s.report_count = c.report_count;
+
+  const auto members = domain::modes_in_group(group);
+  const FrameOfDiscernment& f = frame(group);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const HypothesisSet singleton = f.singleton(i);
+    s.modes.push_back(ModeBelief{members[i], c.mass.belief(singleton),
+                                 c.mass.plausibility(singleton)});
+  }
+  return s;
+}
+
+GroupState DiagnosticFusion::state(ObjectId machine,
+                                   LogicalGroup group) const {
+  const Key key{machine.value(), group};
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    Cell vacuous{MassFunction::vacuous(frame(group)), 0.0, 0};
+    return summarize(group, vacuous);
+  }
+  return summarize(group, it->second);
+}
+
+std::vector<GroupState> DiagnosticFusion::states(ObjectId machine) const {
+  std::vector<GroupState> out;
+  for (const auto& [key, c] : cells_) {
+    if (key.machine == machine.value()) out.push_back(summarize(key.group, c));
+  }
+  return out;
+}
+
+void DiagnosticFusion::reset(ObjectId machine) {
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    if (it->first.machine == machine.value()) {
+      it = cells_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace mpros::fusion

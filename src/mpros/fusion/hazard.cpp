@@ -1,0 +1,123 @@
+#include "mpros/fusion/hazard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::fusion {
+
+WeibullModel::WeibullModel(double shape, double scale_days)
+    : shape_(shape), scale_days_(scale_days) {
+  MPROS_EXPECTS(shape > 0.0 && scale_days > 0.0);
+}
+
+double WeibullModel::cdf(SimTime t) const {
+  if (t.micros() <= 0) return 0.0;
+  const double z = t.days() / scale_days_;
+  return 1.0 - std::exp(-std::pow(z, shape_));
+}
+
+double WeibullModel::hazard_per_day(SimTime t) const {
+  const double days = std::max(1e-9, t.days());
+  return (shape_ / scale_days_) * std::pow(days / scale_days_, shape_ - 1.0);
+}
+
+double WeibullModel::conditional_cdf(SimTime age, SimTime t) const {
+  const double survive_age = 1.0 - cdf(age);
+  if (survive_age <= 1e-12) return 1.0;
+  const double survive_both = 1.0 - cdf(age + t);
+  return 1.0 - survive_both / survive_age;
+}
+
+std::optional<WeibullModel> WeibullModel::fit(
+    std::span<const LifeRecord> records) {
+  std::vector<double> t_days;
+  std::vector<bool> failed;
+  std::size_t failures = 0;
+  for (const LifeRecord& r : records) {
+    if (r.duration.days() <= 0.0) continue;
+    t_days.push_back(r.duration.days());
+    failed.push_back(r.failed);
+    if (r.failed) ++failures;
+  }
+  if (failures < 2) return std::nullopt;
+
+  // Profile-likelihood equation for the shape k:
+  //   g(k) = sum(t^k ln t)/sum(t^k) - 1/k - mean(ln t | failures) = 0.
+  double mean_log_failure = 0.0;
+  for (std::size_t i = 0; i < t_days.size(); ++i) {
+    if (failed[i]) mean_log_failure += std::log(t_days[i]);
+  }
+  mean_log_failure /= static_cast<double>(failures);
+
+  const auto g = [&](double k) {
+    double num = 0.0, den = 0.0;
+    for (const double t : t_days) {
+      const double tk = std::pow(t, k);
+      num += tk * std::log(t);
+      den += tk;
+    }
+    return num / den - 1.0 / k - mean_log_failure;
+  };
+
+  // g is increasing in k; bisect on a generous bracket.
+  double lo = 0.02, hi = 80.0;
+  if (g(lo) > 0.0 || g(hi) < 0.0) return std::nullopt;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (g(mid) > 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  const double shape = 0.5 * (lo + hi);
+
+  double sum_tk = 0.0;
+  for (const double t : t_days) sum_tk += std::pow(t, shape);
+  const double scale =
+      std::pow(sum_tk / static_cast<double>(failures), 1.0 / shape);
+  return WeibullModel(shape, scale);
+}
+
+PrognosticVector refine_with_hazard(const PrognosticVector& v,
+                                    const WeibullModel& model,
+                                    SimTime component_age, double weight) {
+  MPROS_EXPECTS(weight >= 0.0 && weight <= 1.0);
+
+  std::set<std::int64_t> knots;
+  for (const PrognosticPoint& p : v.points()) knots.insert(p.horizon.micros());
+  // Add the model's decile horizons (conditional on current age) so the
+  // refined curve is well shaped even with a sparse input vector.
+  for (int decile = 1; decile <= 9; ++decile) {
+    const double target = decile / 10.0;
+    // Invert the conditional CDF by bisection on [0, 5*scale].
+    double lo = 0.0, hi = model.scale_days() * 5.0 * 86400.0 * 1e6;
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (model.conditional_cdf(component_age,
+                                SimTime(static_cast<std::int64_t>(mid))) <
+          target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    knots.insert(static_cast<std::int64_t>(0.5 * (lo + hi)));
+  }
+
+  std::vector<PrognosticPoint> refined;
+  refined.reserve(knots.size());
+  for (const std::int64_t k : knots) {
+    const SimTime t(k);
+    const double blended =
+        (1.0 - weight) * v.probability_at(t) +
+        weight * model.conditional_cdf(component_age, t);
+    refined.push_back({t, blended});
+  }
+  return PrognosticVector(std::move(refined));
+}
+
+}  // namespace mpros::fusion

@@ -1,0 +1,61 @@
+#pragma once
+// Hazard / survival analysis (paper §10.1 future work).
+//
+// "Prognostic knowledge fusion could be improved with the addition of
+// techniques from the analysis of hazard and survival data. These
+// approaches scrutinize history data to refine the estimates of life-cycle
+// performance for failures." We implement a two-parameter Weibull life
+// model fitted to (possibly right-censored) failure histories, and a
+// refinement step that blends a component's prognostic vector with the
+// population hazard.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mpros/common/clock.hpp"
+#include "mpros/fusion/prognostic_fusion.hpp"
+
+namespace mpros::fusion {
+
+/// One maintenance-history record: time in service, and whether it ended in
+/// failure (uncensored) or removal/ongoing service (right-censored).
+struct LifeRecord {
+  SimTime duration;
+  bool failed = true;
+};
+
+class WeibullModel {
+ public:
+  WeibullModel(double shape, double scale_days);
+
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double scale_days() const { return scale_days_; }
+
+  /// F(t): probability of failure by time t.
+  [[nodiscard]] double cdf(SimTime t) const;
+  /// h(t): instantaneous hazard rate (per day).
+  [[nodiscard]] double hazard_per_day(SimTime t) const;
+  /// Conditional failure probability by t given survival to `age`.
+  [[nodiscard]] double conditional_cdf(SimTime age, SimTime t) const;
+
+  /// Maximum-likelihood fit with right censoring (Newton iteration on the
+  /// shape profile likelihood). Requires at least 2 uncensored records;
+  /// returns nullopt when the data cannot identify a shape.
+  static std::optional<WeibullModel> fit(std::span<const LifeRecord> records);
+
+ private:
+  double shape_;
+  double scale_days_;
+};
+
+/// Refine a fused prognostic vector with the population life model:
+/// refined(t) = (1-w) * vector(t) + w * F(t | survived to `age`), evaluated
+/// on the vector's breakpoints plus the model's decile horizons. With an
+/// empty input vector the result is the pure conditional-hazard curve.
+[[nodiscard]] PrognosticVector refine_with_hazard(const PrognosticVector& v,
+                                                  const WeibullModel& model,
+                                                  SimTime component_age,
+                                                  double weight = 0.35);
+
+}  // namespace mpros::fusion

@@ -1,0 +1,147 @@
+#include "mpros/fusion/prognostic_fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::fusion {
+
+PrognosticVector::PrognosticVector(std::vector<PrognosticPoint> points)
+    : points_(std::move(points)) {
+  std::sort(points_.begin(), points_.end(),
+            [](const PrognosticPoint& a, const PrognosticPoint& b) {
+              return a.horizon < b.horizon;
+            });
+  double running = 0.0;
+  for (PrognosticPoint& p : points_) {
+    MPROS_EXPECTS(p.horizon.micros() >= 0);
+    p.probability = std::clamp(p.probability, 0.0, 1.0);
+    running = std::max(running, p.probability);
+    p.probability = running;
+  }
+}
+
+double PrognosticVector::probability_at(SimTime t) const {
+  if (points_.empty()) return 0.0;
+  if (t.micros() <= 0) return 0.0;
+
+  const auto tt = static_cast<double>(t.micros());
+
+  // Before or at the first breakpoint: ramp from (0, 0).
+  const PrognosticPoint& first = points_.front();
+  if (t <= first.horizon) {
+    const auto h = static_cast<double>(first.horizon.micros());
+    return h > 0.0 ? first.probability * (tt / h) : first.probability;
+  }
+
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (t <= points_[i].horizon) {
+      const auto t0 = static_cast<double>(points_[i - 1].horizon.micros());
+      const auto t1 = static_cast<double>(points_[i].horizon.micros());
+      const double p0 = points_[i - 1].probability;
+      const double p1 = points_[i].probability;
+      if (t1 <= t0) return p1;
+      return p0 + (p1 - p0) * (tt - t0) / (t1 - t0);
+    }
+  }
+
+  // Beyond the last point: extrapolate along the final segment's slope.
+  const PrognosticPoint& last = points_.back();
+  double slope = 0.0;
+  if (points_.size() >= 2) {
+    const PrognosticPoint& prev = points_[points_.size() - 2];
+    const double dt = static_cast<double>((last.horizon - prev.horizon).micros());
+    if (dt > 0.0) slope = (last.probability - prev.probability) / dt;
+  }
+  const double extrapolated =
+      last.probability +
+      slope * (tt - static_cast<double>(last.horizon.micros()));
+  return std::clamp(extrapolated, last.probability, 1.0);
+}
+
+std::optional<SimTime> PrognosticVector::time_to_probability(double p) const {
+  MPROS_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (points_.empty()) return std::nullopt;
+  if (p <= 0.0) return SimTime(0);
+
+  // Walk segments (including the implicit (0,0) start and the extrapolated
+  // tail) for the first crossing.
+  double t0 = 0.0, p0 = 0.0;
+  for (const PrognosticPoint& pt : points_) {
+    const auto t1 = static_cast<double>(pt.horizon.micros());
+    const double p1 = pt.probability;
+    if (p1 >= p) {
+      if (p1 <= p0) return SimTime(static_cast<std::int64_t>(t0));
+      const double frac = (p - p0) / (p1 - p0);
+      return SimTime(static_cast<std::int64_t>(t0 + frac * (t1 - t0)));
+    }
+    t0 = t1;
+    p0 = p1;
+  }
+
+  // Extrapolated tail.
+  if (points_.size() >= 2) {
+    const PrognosticPoint& last = points_.back();
+    const PrognosticPoint& prev = points_[points_.size() - 2];
+    const double dt =
+        static_cast<double>((last.horizon - prev.horizon).micros());
+    if (dt > 0.0) {
+      const double slope = (last.probability - prev.probability) / dt;
+      if (slope > 0.0) {
+        const double t =
+            static_cast<double>(last.horizon.micros()) +
+            (p - last.probability) / slope;
+        return SimTime(static_cast<std::int64_t>(t));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+PrognosticVector fuse_conservative(const PrognosticVector& a,
+                                   const PrognosticVector& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+
+  // §5.4 semantics, reverse-engineered from the paper's two examples:
+  //  - a report's points are *constraints* ("P(fail by 4.5mo) = 0.12"),
+  //    not a curve defined at all times, so a weak late point that the
+  //    current fused curve already exceeds is simply ignored;
+  //  - a strong point that exceeds the fused curve is adopted, and the
+  //    fused curve then extrapolates along its new, steeper trend — which
+  //    is what makes the second worked example predict "an even earlier
+  //    demise" than the original's post-5-month knot.
+  // Implementation: sweep the union of reported points in time order and
+  // keep exactly those that are more conservative than the fused curve
+  // built so far (evaluated with the standard interpolation/extrapolation
+  // rules).
+  std::vector<PrognosticPoint> candidates;
+  candidates.reserve(a.points().size() + b.points().size());
+  candidates.insert(candidates.end(), a.points().begin(), a.points().end());
+  candidates.insert(candidates.end(), b.points().begin(), b.points().end());
+  std::sort(candidates.begin(), candidates.end(),
+            [](const PrognosticPoint& x, const PrognosticPoint& y) {
+              if (x.horizon != y.horizon) return x.horizon < y.horizon;
+              return x.probability > y.probability;
+            });
+
+  PrognosticVector fused;
+  std::vector<PrognosticPoint> accepted;
+  for (const PrognosticPoint& p : candidates) {
+    if (p.probability > fused.probability_at(p.horizon) + 1e-12) {
+      accepted.push_back(p);
+      fused = PrognosticVector(accepted);
+    }
+  }
+  return fused;
+}
+
+PrognosticVector fuse_conservative(const std::vector<PrognosticVector>& curves) {
+  PrognosticVector out;
+  for (const PrognosticVector& c : curves) out = fuse_conservative(out, c);
+  return out;
+}
+
+}  // namespace mpros::fusion

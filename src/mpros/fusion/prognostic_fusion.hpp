@@ -1,0 +1,62 @@
+#pragma once
+// Prognostic vectors and their conservative fusion (paper §5.4).
+//
+// "Prognostics are defined in this system as time point, probability pairs,
+// and lists of these pairs." Fusion "combine[s] the lists taking the most
+// conservative estimate at any given time period, and interpolating a
+// smooth curve from point to point" — i.e. the fused curve is the upper
+// envelope of the input curves, and a report that raises late-horizon
+// probability pulls the extrapolated demise earlier (experiment E2).
+
+#include <optional>
+#include <vector>
+
+#include "mpros/common/clock.hpp"
+
+namespace mpros::fusion {
+
+struct PrognosticPoint {
+  SimTime horizon;        ///< relative to the report's effective time
+  double probability = 0.0;
+};
+
+/// A monotone (in both time and probability) failure-probability curve.
+class PrognosticVector {
+ public:
+  PrognosticVector() = default;
+
+  /// Points are sorted by horizon; probabilities are clamped to [0,1] and
+  /// made non-decreasing (a failure CDF cannot fall).
+  explicit PrognosticVector(std::vector<PrognosticPoint> points);
+
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] const std::vector<PrognosticPoint>& points() const {
+    return points_;
+  }
+
+  /// Failure probability at horizon `t`:
+  ///  - before the first point: linear from (0,0) to the first point;
+  ///  - between points: linear interpolation ("interpolating a smooth curve
+  ///    from point to point");
+  ///  - beyond the last point: linear extrapolation along the last segment,
+  ///    clamped to 1 (single-point curves stay flat).
+  [[nodiscard]] double probability_at(SimTime t) const;
+
+  /// Earliest horizon where the curve reaches probability `p`, or nullopt
+  /// if it never does (within extrapolation).
+  [[nodiscard]] std::optional<SimTime> time_to_probability(double p) const;
+
+ private:
+  std::vector<PrognosticPoint> points_;
+};
+
+/// The §5.4 rule: pointwise maximum (most conservative = earliest failure)
+/// over the union of both curves' breakpoints.
+[[nodiscard]] PrognosticVector fuse_conservative(const PrognosticVector& a,
+                                                 const PrognosticVector& b);
+
+/// Fold a whole set of reports.
+[[nodiscard]] PrognosticVector fuse_conservative(
+    const std::vector<PrognosticVector>& curves);
+
+}  // namespace mpros::fusion

@@ -1,0 +1,66 @@
+#pragma once
+// Mamdani fuzzy inference.
+//
+// Rules are "IF x1 is T1 AND x2 is T2 ... THEN y is Ty" with min-AND firing
+// strength, clip (min) implication, max aggregation, and centroid or
+// mean-of-maximum defuzzification over a sampled output universe.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpros/fuzzy/membership.hpp"
+
+namespace mpros::fuzzy {
+
+struct Antecedent {
+  std::string variable;
+  std::string term;
+  bool negated = false;  ///< "IF x is NOT T"
+};
+
+struct FuzzyRule {
+  std::vector<Antecedent> antecedents;  // AND-combined (min)
+  std::string output_term;
+  double weight = 1.0;
+};
+
+enum class Defuzzifier { Centroid, MeanOfMaximum };
+
+/// Crisp input values by variable name.
+using CrispInputs = std::map<std::string, double>;
+
+class MamdaniEngine {
+ public:
+  /// `output` is the consequent variable shared by all rules.
+  MamdaniEngine(std::vector<LinguisticVariable> inputs,
+                LinguisticVariable output);
+
+  MamdaniEngine& add_rule(FuzzyRule rule);
+
+  /// Run inference. Missing inputs abort (the caller owns the sensor list).
+  /// Returns the defuzzified crisp output; if no rule fires at all, returns
+  /// the output universe minimum.
+  [[nodiscard]] double infer(const CrispInputs& inputs,
+                             Defuzzifier d = Defuzzifier::Centroid) const;
+
+  /// Firing strength of each rule for the given inputs (diagnostic aid and
+  /// the basis for rule explanations).
+  [[nodiscard]] std::vector<double> firing_strengths(
+      const CrispInputs& inputs) const;
+
+  [[nodiscard]] const std::vector<FuzzyRule>& rules() const { return rules_; }
+  [[nodiscard]] const LinguisticVariable& output() const { return output_; }
+
+ private:
+  [[nodiscard]] const LinguisticVariable& input_variable(
+      const std::string& name) const;
+
+  std::vector<LinguisticVariable> inputs_;
+  LinguisticVariable output_;
+  std::vector<FuzzyRule> rules_;
+
+  static constexpr std::size_t kSamples = 201;
+};
+
+}  // namespace mpros::fuzzy

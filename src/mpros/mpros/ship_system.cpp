@@ -1,0 +1,143 @@
+#include "mpros/mpros/ship_system.hpp"
+
+#include <mutex>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros {
+
+ShipSystem::ShipSystem(ShipSystemConfig cfg)
+    : cfg_(cfg),
+      ship_(oosm::build_ship(model_, "USNS Mercy",
+                             /*decks=*/std::max<std::size_t>(
+                                 1, (cfg.plant_count + 1) / 2),
+                             /*plants_per_deck=*/2)),
+      network_(cfg.network),
+      pool_(cfg.worker_threads) {
+  MPROS_EXPECTS(cfg.plant_count >= 1);
+  MPROS_EXPECTS(ship_.plants.size() >= cfg.plant_count);
+  ship_.plants.resize(cfg.plant_count);
+
+  pdme_ = std::make_unique<pdme::PdmeExecutive>(model_, cfg.pdme);
+  pdme_->attach_to_network(network_);
+  if (cfg.enable_fleet_analyzer) {
+    resident_ = std::make_unique<pdme::FleetComparativeAnalyzer>(
+        *pdme_, cfg.fleet_analyzer);
+  }
+
+  if (cfg.use_wnn) {
+    wnn_ = train_wnn_classifier(cfg.wnn_training);
+  }
+
+  for (std::size_t p = 0; p < cfg.plant_count; ++p) {
+    plant::ChillerConfig chiller_cfg;
+    chiller_cfg.load_fraction = cfg.initial_load;
+    chiller_cfg.seed = splitmix64(cfg.seed ^ (p * 0x9E37));
+    plants_.push_back(std::make_unique<plant::ChillerSimulator>(chiller_cfg));
+
+    dc::DcConfig dc_cfg = cfg.dc_template;
+    dc_cfg.id = DcId(p + 1);
+    const oosm::ChillerPlant& objs = ship_.plants[p];
+    dc::MachineRefs refs{objs.chiller, objs.motor, objs.gearbox,
+                         objs.compressor};
+    dcs_.push_back(std::make_unique<dc::DataConcentrator>(
+        dc_cfg, refs, *plants_.back(), wnn_));
+
+    // Each DC listens on the ship's network for §5.8 scheduler commands
+    // (handlers run on the driver thread during advance_to, when the DC's
+    // worker is idle).
+    dc::DataConcentrator* dc_ptr = dcs_.back().get();
+    network_.register_endpoint(
+        "dc-" + std::to_string(p + 1), [dc_ptr](const net::Message& msg) {
+          if (net::peek_type(msg.payload) == net::MessageType::TestCommand) {
+            dc_ptr->handle_command(net::unwrap_test_command(msg.payload));
+          }
+        });
+  }
+}
+
+plant::ChillerSimulator& ShipSystem::chiller(std::size_t plant) {
+  MPROS_EXPECTS(plant < plants_.size());
+  return *plants_[plant];
+}
+
+dc::DataConcentrator& ShipSystem::concentrator(std::size_t plant) {
+  MPROS_EXPECTS(plant < dcs_.size());
+  return *dcs_[plant];
+}
+
+const oosm::ChillerPlant& ShipSystem::plant_objects(std::size_t plant) const {
+  MPROS_EXPECTS(plant < ship_.plants.size());
+  return ship_.plants[plant];
+}
+
+std::size_t ShipSystem::advance_to(SimTime t) {
+  MPROS_EXPECTS(t >= now_);
+
+  // Fan the DC duty cycles out across the pool; each DC touches only its
+  // own chiller and database, and the network's send() is thread-safe.
+  std::vector<std::vector<net::FailureReport>> per_dc(dcs_.size());
+  pool_.parallel_for(dcs_.size(), [&](std::size_t i) {
+    per_dc[i] = dcs_[i]->advance_to(t);
+  });
+
+  // Serialize and send on the driver thread in DC order so the wire
+  // schedule is deterministic; the transport then adds latency/jitter.
+  for (std::size_t i = 0; i < per_dc.size(); ++i) {
+    const std::string endpoint = "dc-" + std::to_string(i + 1);
+    for (const net::FailureReport& report : per_dc[i]) {
+      network_.send(endpoint, "pdme", net::wrap(report), report.timestamp);
+    }
+    for (const net::SensorDataMessage& batch :
+         dcs_[i]->drain_sensor_data()) {
+      network_.send(endpoint, "pdme", net::wrap(batch), batch.timestamp);
+    }
+  }
+
+  now_ = t;
+  const std::size_t delivered = network_.advance_to(now_);
+  if (resident_) {
+    resident_->scan(now_);
+    // Resident conclusions enter fusion directly (no wire hop needed).
+  }
+  return delivered;
+}
+
+std::size_t ShipSystem::run_until(SimTime end, SimTime step) {
+  MPROS_EXPECTS(step.micros() > 0);
+  std::size_t delivered = 0;
+  while (now_ < end) {
+    delivered += advance_to(std::min(end, now_ + step));
+  }
+  return delivered;
+}
+
+void ShipSystem::record_maintenance_outcome(std::size_t plant,
+                                            domain::FailureMode mode,
+                                            bool confirmed) {
+  MPROS_EXPECTS(plant < dcs_.size());
+  if (confirmed) {
+    dcs_[plant]->believability().record_confirmation(mode);
+  } else {
+    dcs_[plant]->believability().record_reversal(mode);
+  }
+  // Post-maintenance: the machine gets a clean slate at the PDME.
+  const oosm::ChillerPlant& objs = ship_.plants[plant];
+  for (const ObjectId machine :
+       {objs.chiller, objs.motor, objs.gearbox, objs.compressor}) {
+    pdme_->reset_machine(machine);
+  }
+}
+
+ShipSystem::FleetStats ShipSystem::fleet_stats() const {
+  FleetStats stats;
+  for (const auto& dc : dcs_) {
+    stats.samples_processed += dc->stats().samples_processed;
+    stats.reports_emitted += dc->stats().reports_emitted;
+  }
+  stats.reports_fused = pdme_->stats().reports_accepted;
+  stats.network = network_.stats();
+  return stats;
+}
+
+}  // namespace mpros

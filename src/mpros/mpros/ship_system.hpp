@@ -1,0 +1,99 @@
+#pragma once
+// ShipSystem: the assembled MPROS deployment (Fig 1, end to end).
+//
+// N chiller plants, each instrumented by a Data Concentrator, all reporting
+// over the simulated ship's network to one PDME with its OOSM. The fleet's
+// DCs run their duty cycles on a thread pool (the embedded-HPC angle: each
+// DC is an independent processor; only serialized reports cross between
+// them and the PDME).
+
+#include <memory>
+#include <vector>
+
+#include "mpros/common/thread_pool.hpp"
+#include "mpros/dc/data_concentrator.hpp"
+#include "mpros/mpros/wnn_training.hpp"
+#include "mpros/net/network.hpp"
+#include "mpros/oosm/ship_builder.hpp"
+#include "mpros/pdme/pdme.hpp"
+#include "mpros/pdme/resident.hpp"
+#include "mpros/plant/chiller.hpp"
+
+namespace mpros {
+
+struct ShipSystemConfig {
+  std::size_t plant_count = 4;
+  dc::DcConfig dc_template;           ///< id is assigned per DC
+  net::NetworkConfig network;
+  pdme::PdmeConfig pdme;
+  double initial_load = 0.8;
+  std::uint64_t seed = 0x5417;
+  std::size_t worker_threads = 0;     ///< 0 = hardware concurrency
+  bool use_wnn = false;               ///< train & share a WNN classifier
+  WnnTrainingConfig wnn_training;
+  /// Run the PDME-resident fleet-comparative analyzer (§5.7) once per
+  /// advance_to() step.
+  bool enable_fleet_analyzer = false;
+  pdme::FleetAnalyzerConfig fleet_analyzer;
+};
+
+class ShipSystem {
+ public:
+  explicit ShipSystem(ShipSystemConfig cfg = ShipSystemConfig());
+
+  [[nodiscard]] std::size_t plant_count() const { return plants_.size(); }
+  [[nodiscard]] plant::ChillerSimulator& chiller(std::size_t plant);
+  [[nodiscard]] dc::DataConcentrator& concentrator(std::size_t plant);
+  [[nodiscard]] const oosm::ChillerPlant& plant_objects(
+      std::size_t plant) const;
+
+  [[nodiscard]] pdme::PdmeExecutive& pdme() { return *pdme_; }
+  [[nodiscard]] pdme::FleetComparativeAnalyzer* fleet_analyzer() {
+    return resident_ ? resident_.get() : nullptr;
+  }
+  [[nodiscard]] oosm::ObjectModel& model() { return model_; }
+  [[nodiscard]] net::SimNetwork& network() { return network_; }
+  [[nodiscard]] const oosm::ShipModel& ship() const { return ship_; }
+
+  /// Advance the whole system to absolute simulated time `t`: every DC runs
+  /// its due tests (in parallel across the pool), reports travel the
+  /// network, and the PDME fuses what arrives. Returns the number of
+  /// reports the PDME received in this step.
+  std::size_t advance_to(SimTime t);
+
+  /// Convenience: advance in fixed steps until `end`.
+  std::size_t run_until(SimTime end, SimTime step = SimTime::from_seconds(60));
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Close the §6.1 believability loop: a maintainer opened the machine
+  /// and either confirmed the fused conclusion or reversed it. Updates the
+  /// originating DC's statistical database, lowering (or restoring) the
+  /// Belief field of its future reports for that condition, and clears the
+  /// machine's fused state for a fresh start after maintenance.
+  void record_maintenance_outcome(std::size_t plant,
+                                  domain::FailureMode mode, bool confirmed);
+
+  struct FleetStats {
+    std::uint64_t samples_processed = 0;
+    std::uint64_t reports_emitted = 0;
+    std::uint64_t reports_fused = 0;
+    net::NetworkStats network;
+  };
+  [[nodiscard]] FleetStats fleet_stats() const;
+
+ private:
+  ShipSystemConfig cfg_;
+  oosm::ObjectModel model_;
+  oosm::ShipModel ship_;
+  net::SimNetwork network_;
+  std::unique_ptr<pdme::PdmeExecutive> pdme_;
+  std::unique_ptr<pdme::FleetComparativeAnalyzer> resident_;
+  std::shared_ptr<nn::WnnClassifier> wnn_;
+  std::vector<std::unique_ptr<plant::ChillerSimulator>> plants_;
+  std::vector<std::unique_ptr<dc::DataConcentrator>> dcs_;
+  ThreadPool pool_;
+  SimTime now_;
+};
+
+}  // namespace mpros

@@ -1,0 +1,58 @@
+#pragma once
+// Little-endian binary codec for the wire protocol.
+//
+// The paper's components talk DCOM; our substitute serializes protocol
+// structures to explicit byte layouts so the network simulator can delay,
+// drop, duplicate and reorder them like a real transport would.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mpros::net {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  /// Length-prefixed (u32) UTF-8 bytes.
+  void str(const std::string& s);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reader aborts on truncated input: messages come from our own Writer and
+/// the simulated transport never corrupts payloads (it loses whole
+/// messages instead, like a checksummed datagram network).
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mpros::net

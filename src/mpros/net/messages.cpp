@@ -1,0 +1,87 @@
+#include "mpros/net/messages.hpp"
+
+#include "mpros/common/assert.hpp"
+#include "mpros/net/codec.hpp"
+
+namespace mpros::net {
+
+const char* to_string(MessageType t) {
+  switch (t) {
+    case MessageType::FailureReportMsg: return "failure-report";
+    case MessageType::SensorData: return "sensor-data";
+    case MessageType::TestCommand: return "test-command";
+  }
+  return "?";
+}
+
+MessageType peek_type(std::span<const std::uint8_t> bytes) {
+  MPROS_EXPECTS(!bytes.empty());
+  return static_cast<MessageType>(bytes[0]);
+}
+
+std::vector<std::uint8_t> wrap(const FailureReport& r) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(MessageType::FailureReportMsg));
+  const std::vector<std::uint8_t> body = serialize(r);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> wrap(const SensorDataMessage& m) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MessageType::SensorData));
+  w.u64(m.dc.value());
+  w.u64(m.machine.value());
+  w.i64(m.timestamp.micros());
+  w.u32(static_cast<std::uint32_t>(m.values.size()));
+  for (const auto& [key, value] : m.values) {
+    w.str(key);
+    w.f64(value);
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> wrap(const TestCommandMessage& m) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MessageType::TestCommand));
+  w.u64(m.target.value());
+  w.u8(static_cast<std::uint8_t>(m.command));
+  w.str(m.reason);
+  return w.take();
+}
+
+FailureReport unwrap_report(std::span<const std::uint8_t> bytes) {
+  MPROS_EXPECTS(peek_type(bytes) == MessageType::FailureReportMsg);
+  return deserialize_report(bytes.subspan(1));
+}
+
+SensorDataMessage unwrap_sensor_data(std::span<const std::uint8_t> bytes) {
+  MPROS_EXPECTS(peek_type(bytes) == MessageType::SensorData);
+  Reader r(bytes.subspan(1));
+  SensorDataMessage m;
+  m.dc = DcId(r.u64());
+  m.machine = ObjectId(r.u64());
+  m.timestamp = SimTime(r.i64());
+  const std::uint32_t n = r.u32();
+  m.values.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    const double value = r.f64();
+    m.values.emplace_back(std::move(key), value);
+  }
+  MPROS_EXPECTS(r.done());
+  return m;
+}
+
+TestCommandMessage unwrap_test_command(std::span<const std::uint8_t> bytes) {
+  MPROS_EXPECTS(peek_type(bytes) == MessageType::TestCommand);
+  Reader r(bytes.subspan(1));
+  TestCommandMessage m;
+  m.target = DcId(r.u64());
+  m.command = static_cast<TestCommandMessage::Command>(r.u8());
+  m.reason = r.str();
+  MPROS_EXPECTS(r.done());
+  return m;
+}
+
+}  // namespace mpros::net

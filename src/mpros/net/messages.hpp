@@ -1,0 +1,74 @@
+#pragma once
+// Message envelopes for the ship's network.
+//
+// Beyond failure-prediction reports (§7), the MPROS interfaces carry two
+// more flows the paper describes:
+//  - raw sensor data outward ("open interfaces to provide machinery
+//    condition and raw sensor data to other shipboard systems", §1) and to
+//    PDME-resident algorithms that need "data from widely separate parts
+//    of the ship" (§5.7);
+//  - commands inward ("the PDME or any other client can command the
+//    scheduler to conduct another test and analysis routine", §5.8).
+//
+// Every datagram starts with a one-byte MessageType so endpoints dispatch
+// without guessing.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mpros/common/clock.hpp"
+#include "mpros/common/ids.hpp"
+#include "mpros/net/report.hpp"
+
+namespace mpros::net {
+
+enum class MessageType : std::uint8_t {
+  FailureReportMsg = 1,
+  SensorData = 2,
+  TestCommand = 3,
+};
+
+[[nodiscard]] const char* to_string(MessageType t);
+
+/// A batch of named process-variable samples for one machine.
+struct SensorDataMessage {
+  DcId dc;
+  ObjectId machine;
+  SimTime timestamp;
+  std::vector<std::pair<std::string, double>> values;
+
+  friend bool operator==(const SensorDataMessage&,
+                         const SensorDataMessage&) = default;
+};
+
+/// A command to a Data Concentrator's scheduler.
+struct TestCommandMessage {
+  enum class Command : std::uint8_t { VibrationTest = 1 };
+
+  DcId target;
+  Command command = Command::VibrationTest;
+  std::string reason;  ///< free text for the DC's test log
+
+  friend bool operator==(const TestCommandMessage&,
+                         const TestCommandMessage&) = default;
+};
+
+/// Type tag of a wire datagram (aborts on empty payloads).
+[[nodiscard]] MessageType peek_type(std::span<const std::uint8_t> bytes);
+
+// Enveloped encodings (type byte + body).
+[[nodiscard]] std::vector<std::uint8_t> wrap(const FailureReport& r);
+[[nodiscard]] std::vector<std::uint8_t> wrap(const SensorDataMessage& m);
+[[nodiscard]] std::vector<std::uint8_t> wrap(const TestCommandMessage& m);
+
+// Decoders: the payload's type byte must match (checked).
+[[nodiscard]] FailureReport unwrap_report(std::span<const std::uint8_t> bytes);
+[[nodiscard]] SensorDataMessage unwrap_sensor_data(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] TestCommandMessage unwrap_test_command(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace mpros::net

@@ -1,0 +1,90 @@
+#include "mpros/net/network.hpp"
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::net {
+
+SimNetwork::SimNetwork(NetworkConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  MPROS_EXPECTS(cfg.drop_probability >= 0.0 && cfg.drop_probability < 1.0);
+  MPROS_EXPECTS(cfg.duplicate_probability >= 0.0 &&
+                cfg.duplicate_probability < 1.0);
+}
+
+void SimNetwork::register_endpoint(const std::string& name, Handler handler) {
+  MPROS_EXPECTS(handler != nullptr);
+  std::lock_guard lock(mu_);
+  endpoints_[name] = std::move(handler);
+}
+
+void SimNetwork::enqueue_locked(Message msg, SimTime deliver_at) {
+  msg.delivered_at = deliver_at;
+  queue_.push(Pending{deliver_at, next_sequence_++, std::move(msg)});
+}
+
+void SimNetwork::send(const std::string& from, const std::string& to,
+                      std::vector<std::uint8_t> payload, SimTime now) {
+  std::lock_guard lock(mu_);
+  ++stats_.sent;
+
+  if (rng_.bernoulli(cfg_.drop_probability)) {
+    ++stats_.dropped;
+    return;
+  }
+
+  Message msg{from, to, std::move(payload), now, now};
+  const auto latency = [&] {
+    return cfg_.base_latency +
+           SimTime(static_cast<std::int64_t>(rng_.uniform(
+               0.0, static_cast<double>(cfg_.jitter.micros()))));
+  };
+
+  if (rng_.bernoulli(cfg_.duplicate_probability)) {
+    ++stats_.duplicated;
+    Message copy = msg;
+    enqueue_locked(std::move(copy), now + latency());
+  }
+  enqueue_locked(std::move(msg), now + latency());
+}
+
+std::size_t SimNetwork::deliver_due(SimTime now, bool everything) {
+  std::size_t delivered = 0;
+  while (true) {
+    Message msg;
+    Handler handler;
+    {
+      std::lock_guard lock(mu_);
+      if (queue_.empty()) break;
+      if (!everything && now < queue_.top().deliver_at) break;
+      msg = std::move(const_cast<Pending&>(queue_.top()).message);
+      queue_.pop();
+      const auto it = endpoints_.find(msg.to);
+      if (it == endpoints_.end()) {
+        ++stats_.dead_lettered;
+        continue;
+      }
+      handler = it->second;  // copy so the handler runs unlocked
+      ++stats_.delivered;
+    }
+    handler(msg);
+    ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t SimNetwork::advance_to(SimTime now) {
+  return deliver_due(now, false);
+}
+
+std::size_t SimNetwork::flush() { return deliver_due(SimTime(0), true); }
+
+NetworkStats SimNetwork::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t SimNetwork::in_flight() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace mpros::net

@@ -1,0 +1,81 @@
+#include "mpros/net/report.hpp"
+
+#include <cstdio>
+#include <span>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/net/codec.hpp"
+
+namespace mpros::net {
+namespace {
+
+constexpr std::uint16_t kReportMagic = 0x4D52;  // "MR"
+constexpr std::uint8_t kReportVersion = 1;
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const FailureReport& r) {
+  Writer w;
+  w.u16(kReportMagic);
+  w.u8(kReportVersion);
+  w.u64(r.dc.value());
+  w.u64(r.knowledge_source.value());
+  w.u64(r.sensed_object.value());
+  w.u64(r.machine_condition.value());
+  w.f64(r.severity);
+  w.f64(r.belief);
+  w.str(r.explanation);
+  w.str(r.recommendations);
+  w.i64(r.timestamp.micros());
+  w.str(r.additional_info);
+  w.u32(static_cast<std::uint32_t>(r.prognostics.size()));
+  for (const PrognosticPair& p : r.prognostics) {
+    w.f64(p.probability);
+    w.f64(p.time_seconds);
+  }
+  return w.take();
+}
+
+FailureReport deserialize_report(std::span<const std::uint8_t> bytes) {
+  Reader rd(bytes);
+  MPROS_EXPECTS(rd.u16() == kReportMagic);
+  MPROS_EXPECTS(rd.u8() == kReportVersion);
+
+  FailureReport r;
+  r.dc = DcId(rd.u64());
+  r.knowledge_source = KnowledgeSourceId(rd.u64());
+  r.sensed_object = ObjectId(rd.u64());
+  r.machine_condition = ConditionId(rd.u64());
+  r.severity = rd.f64();
+  r.belief = rd.f64();
+  r.explanation = rd.str();
+  r.recommendations = rd.str();
+  r.timestamp = SimTime(rd.i64());
+  r.additional_info = rd.str();
+  const std::uint32_t n = rd.u32();
+  r.prognostics.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PrognosticPair p;
+    p.probability = rd.f64();
+    p.time_seconds = rd.f64();
+    r.prognostics.push_back(p);
+  }
+  MPROS_EXPECTS(rd.done());
+  return r;
+}
+
+std::string summarize(const FailureReport& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "[dc=%llu ks=%llu] obj=%llu cond=%llu sev=%.2f bel=%.2f "
+                "t=%s prog=%zu",
+                static_cast<unsigned long long>(r.dc.value()),
+                static_cast<unsigned long long>(r.knowledge_source.value()),
+                static_cast<unsigned long long>(r.sensed_object.value()),
+                static_cast<unsigned long long>(r.machine_condition.value()),
+                r.severity, r.belief, to_string(r.timestamp).c_str(),
+                r.prognostics.size());
+  return buf;
+}
+
+}  // namespace mpros::net

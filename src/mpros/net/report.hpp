@@ -1,0 +1,58 @@
+#pragma once
+// The Failure Prediction Reporting Protocol (paper §7).
+//
+// "A standard protocol has been defined for reporting failure predictions
+// to the PDME for fusion and display." Fields follow §7.2 (diagnostic data)
+// and §7.3 (prognostics vector) exactly; §5.5's DC ID and severity
+// categories ride along. Reports serialize to the wire via the codec.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpros/common/clock.hpp"
+#include "mpros/common/ids.hpp"
+
+namespace mpros::net {
+
+/// §7.3: "Zero to n ordered pairs of the form '(probability, time)'. Each
+/// pair indicates the probability that the given machine condition will
+/// lead to failure of the machine within 'time' seconds from now."
+struct PrognosticPair {
+  double probability = 0.0;
+  double time_seconds = 0.0;
+
+  friend bool operator==(const PrognosticPair&,
+                         const PrognosticPair&) = default;
+};
+
+struct FailureReport {
+  // §5.5 / §7.2 identification fields.
+  DcId dc;                          ///< data concentrator source
+  KnowledgeSourceId knowledge_source;
+  ObjectId sensed_object;           ///< the machine this report applies to
+  ConditionId machine_condition;    ///< diagnosed failure mode
+
+  double severity = 0.0;            ///< 0..1, 1 = maximal (§7.2 field 4)
+  double belief = 1.0;              ///< 0..1 (§7.2 field 5)
+  std::string explanation;          ///< optional, human readable
+  std::string recommendations;      ///< optional, human readable
+  SimTime timestamp;                ///< when the report is "effective"
+  std::string additional_info;      ///< optional
+
+  std::vector<PrognosticPair> prognostics;  ///< §7.3
+
+  friend bool operator==(const FailureReport&,
+                         const FailureReport&) = default;
+};
+
+/// Wire encoding (versioned).
+[[nodiscard]] std::vector<std::uint8_t> serialize(const FailureReport& r);
+[[nodiscard]] FailureReport deserialize_report(
+    std::span<const std::uint8_t> bytes);
+
+/// One-line rendering for logs / the PDME browser.
+[[nodiscard]] std::string summarize(const FailureReport& r);
+
+}  // namespace mpros::net

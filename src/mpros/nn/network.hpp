@@ -1,0 +1,80 @@
+#pragma once
+// Feed-forward network with softmax classification head and SGD training.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mpros/common/rng.hpp"
+#include "mpros/nn/layers.hpp"
+
+namespace mpros::nn {
+
+struct TrainConfig {
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  std::size_t batch_size = 16;
+  std::size_t epochs = 200;
+  double target_loss = 0.05;  ///< stop early when train loss drops below
+};
+
+struct TrainStats {
+  std::size_t epochs_run = 0;
+  double final_loss = 0.0;
+  double final_accuracy = 0.0;
+};
+
+/// A labelled training example.
+struct Example {
+  std::vector<double> features;
+  std::size_t label = 0;
+};
+
+class Network {
+ public:
+  Network() = default;
+
+  Network& add_dense(std::size_t in, std::size_t out, Activation act,
+                     Rng& rng);
+  Network& add_wavelet(std::size_t in, std::size_t wavelons, Rng& rng);
+
+  [[nodiscard]] std::size_t input_size() const;
+  [[nodiscard]] std::size_t output_size() const;
+
+  /// Class probabilities via softmax over the last layer's outputs.
+  [[nodiscard]] std::vector<double> predict(std::span<const double> x);
+
+  /// argmax of predict().
+  [[nodiscard]] std::size_t classify(std::span<const double> x);
+
+  /// Minibatch SGD on softmax cross-entropy. Examples are shuffled with
+  /// `rng` each epoch. Feature standardization is fit on the training set
+  /// and applied inside predict() thereafter.
+  TrainStats train(std::span<const Example> examples, const TrainConfig& cfg,
+                   Rng& rng);
+
+  /// Fraction of examples classified correctly.
+  [[nodiscard]] double accuracy(std::span<const Example> examples);
+
+  /// Serialize all trainable parameters plus the fitted feature
+  /// standardizer. The architecture itself is NOT serialized: import into a
+  /// network built with the identical layer stack (the DC-flashing model —
+  /// firmware fixes the architecture, downloads fix the weights).
+  [[nodiscard]] std::vector<double> export_weights() const;
+  void import_weights(std::span<const double> weights);
+  [[nodiscard]] std::size_t weight_count() const;
+
+ private:
+  std::vector<double> forward_raw(std::span<const double> x);
+  void fit_standardizer(std::span<const Example> examples);
+  [[nodiscard]] std::vector<double> standardize(
+      std::span<const double> x) const;
+
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<double> feat_mean_, feat_scale_;  // empty until train()
+};
+
+/// Numerically stable softmax.
+[[nodiscard]] std::vector<double> softmax(std::span<const double> logits);
+
+}  // namespace mpros::nn

@@ -1,0 +1,214 @@
+#include "mpros/oosm/object_model.hpp"
+
+#include <algorithm>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::oosm {
+
+const char* to_string(Relation r) {
+  switch (r) {
+    case Relation::PartOf: return "part-of";
+    case Relation::Proximity: return "proximity";
+    case Relation::FlowTo: return "flow-to";
+    case Relation::KindOf: return "kind-of";
+    case Relation::RefersTo: return "refers-to";
+  }
+  return "?";
+}
+
+ObjectId ObjectModel::create_object(std::string name,
+                                    domain::EquipmentKind kind) {
+  const ObjectId id(next_id_++);
+  ObjectRecord rec;
+  rec.name = std::move(name);
+  rec.kind = kind;
+  objects_.emplace(id, std::move(rec));
+  creation_order_.push_back(id);
+  notify(OosmEvent{OosmEvent::Kind::ObjectCreated, id, {}, {}, {}});
+  return id;
+}
+
+void ObjectModel::create_object_with_id(ObjectId id, std::string name,
+                                        domain::EquipmentKind kind) {
+  MPROS_EXPECTS(id.valid() && !objects_.contains(id));
+  ObjectRecord rec;
+  rec.name = std::move(name);
+  rec.kind = kind;
+  objects_.emplace(id, std::move(rec));
+  creation_order_.push_back(id);
+  next_id_ = std::max(next_id_, id.value() + 1);
+  notify(OosmEvent{OosmEvent::Kind::ObjectCreated, id, {}, {}, {}});
+}
+
+void ObjectModel::delete_object(ObjectId id) {
+  const auto it = objects_.find(id);
+  MPROS_EXPECTS(it != objects_.end());
+
+  // Remove edges referencing this object from its neighbors.
+  for (std::size_t r = 0; r < kRelationCount; ++r) {
+    for (const ObjectId to : it->second.out[r]) {
+      auto& in = objects_.at(to).in[r];
+      in.erase(std::remove(in.begin(), in.end(), id), in.end());
+    }
+    for (const ObjectId from : it->second.in[r]) {
+      auto& out = objects_.at(from).out[r];
+      out.erase(std::remove(out.begin(), out.end(), id), out.end());
+    }
+  }
+  objects_.erase(it);
+  creation_order_.erase(
+      std::remove(creation_order_.begin(), creation_order_.end(), id),
+      creation_order_.end());
+  notify(OosmEvent{OosmEvent::Kind::ObjectDeleted, id, {}, {}, {}});
+}
+
+bool ObjectModel::exists(ObjectId id) const { return objects_.contains(id); }
+
+ObjectModel::ObjectRecord& ObjectModel::record(ObjectId id) {
+  const auto it = objects_.find(id);
+  MPROS_EXPECTS(it != objects_.end());
+  return it->second;
+}
+
+const ObjectModel::ObjectRecord& ObjectModel::record(ObjectId id) const {
+  const auto it = objects_.find(id);
+  MPROS_EXPECTS(it != objects_.end());
+  return it->second;
+}
+
+const std::string& ObjectModel::name(ObjectId id) const {
+  return record(id).name;
+}
+
+domain::EquipmentKind ObjectModel::kind(ObjectId id) const {
+  return record(id).kind;
+}
+
+std::optional<ObjectId> ObjectModel::find_by_name(
+    const std::string& name) const {
+  for (const ObjectId id : creation_order_) {
+    if (record(id).name == name) return id;
+  }
+  return std::nullopt;
+}
+
+std::vector<ObjectId> ObjectModel::objects_of_kind(
+    domain::EquipmentKind kind) const {
+  std::vector<ObjectId> out;
+  for (const ObjectId id : creation_order_) {
+    if (record(id).kind == kind) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ObjectId> ObjectModel::all_objects() const {
+  return creation_order_;
+}
+
+void ObjectModel::set_property(ObjectId id, const std::string& key,
+                               db::Value value) {
+  record(id).properties[key] = std::move(value);
+  notify(OosmEvent{OosmEvent::Kind::PropertyChanged, id, key, {}, {}});
+}
+
+std::optional<db::Value> ObjectModel::property(ObjectId id,
+                                               const std::string& key) const {
+  const auto& props = record(id).properties;
+  const auto it = props.find(key);
+  if (it == props.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::map<std::string, db::Value>& ObjectModel::properties(
+    ObjectId id) const {
+  return record(id).properties;
+}
+
+void ObjectModel::add_edge(ObjectId from, Relation relation, ObjectId to) {
+  const auto r = static_cast<std::size_t>(relation);
+  auto& out = record(from).out[r];
+  if (std::find(out.begin(), out.end(), to) != out.end()) return;
+  out.push_back(to);
+  record(to).in[r].push_back(from);
+  notify(OosmEvent{OosmEvent::Kind::RelationAdded, from, {}, relation, to});
+}
+
+void ObjectModel::relate(ObjectId from, Relation relation, ObjectId to) {
+  MPROS_EXPECTS(exists(from) && exists(to));
+  MPROS_EXPECTS(from != to);
+  add_edge(from, relation, to);
+  if (relation == Relation::Proximity) add_edge(to, relation, from);
+}
+
+std::vector<ObjectId> ObjectModel::related(ObjectId from,
+                                           Relation relation) const {
+  return record(from).out[static_cast<std::size_t>(relation)];
+}
+
+std::vector<ObjectId> ObjectModel::related_to(ObjectId to,
+                                              Relation relation) const {
+  return record(to).in[static_cast<std::size_t>(relation)];
+}
+
+bool ObjectModel::has_relation(ObjectId from, Relation relation,
+                               ObjectId to) const {
+  const auto& out = record(from).out[static_cast<std::size_t>(relation)];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+std::vector<ObjectId> ObjectModel::downstream_of(ObjectId id) const {
+  std::vector<ObjectId> result;
+  std::vector<ObjectId> frontier{id};
+  while (!frontier.empty()) {
+    const ObjectId current = frontier.back();
+    frontier.pop_back();
+    for (const ObjectId next : related(current, Relation::FlowTo)) {
+      if (std::find(result.begin(), result.end(), next) != result.end()) {
+        continue;  // cycles (closed fluid loops) are expected
+      }
+      if (next == id) continue;
+      result.push_back(next);
+      frontier.push_back(next);
+    }
+  }
+  return result;
+}
+
+std::optional<ObjectId> ObjectModel::parent_of(ObjectId id) const {
+  const auto parents = related(id, Relation::PartOf);
+  if (parents.empty()) return std::nullopt;
+  MPROS_ASSERT(parents.size() == 1);
+  return parents.front();
+}
+
+std::vector<ObjectId> ObjectModel::components_of(ObjectId id) const {
+  std::vector<ObjectId> result;
+  std::vector<ObjectId> frontier{id};
+  while (!frontier.empty()) {
+    const ObjectId current = frontier.back();
+    frontier.pop_back();
+    for (const ObjectId child : related_to(current, Relation::PartOf)) {
+      result.push_back(child);
+      frontier.push_back(child);
+    }
+  }
+  return result;
+}
+
+ObjectModel::SubscriptionId ObjectModel::subscribe(Listener listener) {
+  MPROS_EXPECTS(listener != nullptr);
+  const SubscriptionId id = next_subscription_++;
+  listeners_.emplace(id, std::move(listener));
+  return id;
+}
+
+void ObjectModel::unsubscribe(SubscriptionId id) {
+  MPROS_EXPECTS(listeners_.erase(id) == 1);
+}
+
+void ObjectModel::notify(const OosmEvent& event) {
+  for (const auto& [id, listener] : listeners_) listener(event);
+}
+
+}  // namespace mpros::oosm

@@ -1,0 +1,143 @@
+#pragma once
+// The Object-Oriented Ship Model (paper §4).
+//
+// "Entities in the OOSM are modeled as objects with properties and
+// relationships to other entities. Some ... represent physical entities
+// such as sensors, motors, compressors, decks, and ships while other OOSM
+// objects represent more abstract items such as a failure prediction report
+// or a knowledge source." (§4.2)
+//
+// The event model (§4.5) notifies subscribers of object creation, property
+// changes, and relationship changes "without the need to poll" — the PDME's
+// Knowledge Fusion subscribes to process failure-prediction reports as they
+// are posted, and the browser updates its display the same way.
+//
+// Thread model: single writer (the PDME executive); listeners run inline on
+// the writer thread.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mpros/common/ids.hpp"
+#include "mpros/db/value.hpp"
+#include "mpros/domain/equipment.hpp"
+
+namespace mpros::oosm {
+
+/// Relationship kinds per §4.2 ("part-of", proximity, kind-of, refers-to)
+/// plus the §10.1 flow relation for spatial reasoning.
+enum class Relation : std::uint8_t {
+  PartOf = 0,   ///< child PartOf parent
+  Proximity,    ///< symmetric spatial adjacency (stored both ways)
+  FlowTo,       ///< fluid/energy flows from -> to
+  KindOf,       ///< instance KindOf type object
+  RefersTo,     ///< e.g. a report RefersTo the machine it diagnoses
+};
+
+[[nodiscard]] const char* to_string(Relation r);
+inline constexpr std::size_t kRelationCount = 5;
+
+struct OosmEvent {
+  enum class Kind { ObjectCreated, ObjectDeleted, PropertyChanged,
+                    RelationAdded } kind;
+  ObjectId object;          ///< subject (for RelationAdded: the `from` side)
+  std::string property;     ///< PropertyChanged only
+  Relation relation{};      ///< RelationAdded only
+  ObjectId other;           ///< RelationAdded only
+};
+
+class ObjectModel {
+ public:
+  ObjectModel() = default;
+
+  // -- Object lifecycle -----------------------------------------------------
+
+  ObjectId create_object(std::string name, domain::EquipmentKind kind);
+  void delete_object(ObjectId id);
+  [[nodiscard]] bool exists(ObjectId id) const;
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+
+  [[nodiscard]] const std::string& name(ObjectId id) const;
+  [[nodiscard]] domain::EquipmentKind kind(ObjectId id) const;
+
+  /// First object with this exact name, if any.
+  [[nodiscard]] std::optional<ObjectId> find_by_name(
+      const std::string& name) const;
+  /// All objects of one kind, in creation order.
+  [[nodiscard]] std::vector<ObjectId> objects_of_kind(
+      domain::EquipmentKind kind) const;
+  /// Every object, in creation order.
+  [[nodiscard]] std::vector<ObjectId> all_objects() const;
+
+  // -- Properties -------------------------------------------------------------
+
+  void set_property(ObjectId id, const std::string& key, db::Value value);
+  [[nodiscard]] std::optional<db::Value> property(ObjectId id,
+                                                  const std::string& key) const;
+  [[nodiscard]] const std::map<std::string, db::Value>& properties(
+      ObjectId id) const;
+
+  // -- Relationships ----------------------------------------------------------
+
+  /// Add `from -(relation)-> to`. Proximity is symmetric and stored in both
+  /// directions. Duplicate edges are ignored.
+  void relate(ObjectId from, Relation relation, ObjectId to);
+
+  /// Targets of `from -(relation)->`.
+  [[nodiscard]] std::vector<ObjectId> related(ObjectId from,
+                                              Relation relation) const;
+  /// Sources of `-(relation)-> to`.
+  [[nodiscard]] std::vector<ObjectId> related_to(ObjectId to,
+                                                 Relation relation) const;
+  [[nodiscard]] bool has_relation(ObjectId from, Relation relation,
+                                  ObjectId to) const;
+
+  /// Transitive closure along FlowTo starting after `id` (spatial reasoning
+  /// hook of §10.1: fouled fluid propagates downstream).
+  [[nodiscard]] std::vector<ObjectId> downstream_of(ObjectId id) const;
+
+  /// Parent via PartOf (a component has at most one).
+  [[nodiscard]] std::optional<ObjectId> parent_of(ObjectId id) const;
+  /// Transitive PartOf children.
+  [[nodiscard]] std::vector<ObjectId> components_of(ObjectId id) const;
+
+  // -- Events -----------------------------------------------------------------
+
+  using Listener = std::function<void(const OosmEvent&)>;
+  using SubscriptionId = std::size_t;
+
+  SubscriptionId subscribe(Listener listener);
+  void unsubscribe(SubscriptionId id);
+
+ private:
+  struct ObjectRecord {
+    std::string name;
+    domain::EquipmentKind kind{};
+    std::map<std::string, db::Value> properties;
+    std::vector<ObjectId> out[kRelationCount];
+    std::vector<ObjectId> in[kRelationCount];
+  };
+
+  /// Restore an object under a specific id (persistence only).
+  void create_object_with_id(ObjectId id, std::string name,
+                             domain::EquipmentKind kind);
+
+  ObjectRecord& record(ObjectId id);
+  [[nodiscard]] const ObjectRecord& record(ObjectId id) const;
+  void notify(const OosmEvent& event);
+  void add_edge(ObjectId from, Relation relation, ObjectId to);
+
+  std::unordered_map<ObjectId, ObjectRecord> objects_;
+  std::vector<ObjectId> creation_order_;
+  std::uint64_t next_id_ = 1;
+  std::map<SubscriptionId, Listener> listeners_;
+  SubscriptionId next_subscription_ = 1;
+
+  friend class Persistence;
+};
+
+}  // namespace mpros::oosm

@@ -1,0 +1,121 @@
+#include "mpros/oosm/persistence.hpp"
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::oosm {
+namespace {
+
+using db::ColumnDef;
+using db::TableSchema;
+using db::Value;
+using db::ValueType;
+
+TableSchema objects_schema() {
+  return TableSchema{
+      Persistence::kObjectsTable,
+      {ColumnDef{"id", ValueType::Integer, false},
+       ColumnDef{"name", ValueType::Text, false},
+       ColumnDef{"kind", ValueType::Integer, false}}};
+}
+
+TableSchema properties_schema() {
+  return TableSchema{
+      Persistence::kPropertiesTable,
+      {ColumnDef{"id", ValueType::Integer, false},
+       ColumnDef{"object_id", ValueType::Integer, false},
+       ColumnDef{"key", ValueType::Text, false},
+       // One column per storable type; exactly one is non-null.
+       ColumnDef{"int_value", ValueType::Integer, true},
+       ColumnDef{"real_value", ValueType::Real, true},
+       ColumnDef{"text_value", ValueType::Text, true}}};
+}
+
+TableSchema relations_schema() {
+  return TableSchema{
+      Persistence::kRelationsTable,
+      {ColumnDef{"id", ValueType::Integer, false},
+       ColumnDef{"from_id", ValueType::Integer, false},
+       ColumnDef{"relation", ValueType::Integer, false},
+       ColumnDef{"to_id", ValueType::Integer, false}}};
+}
+
+}  // namespace
+
+void Persistence::save(const ObjectModel& model, db::Database& db) {
+  for (const char* table :
+       {kObjectsTable, kPropertiesTable, kRelationsTable}) {
+    if (db.has_table(table)) db.drop_table(table);
+  }
+  db::Table& objects = db.create_table(objects_schema());
+  db::Table& properties = db.create_table(properties_schema());
+  db::Table& relations = db.create_table(relations_schema());
+  properties.create_index("object_id");
+  relations.create_index("from_id");
+
+  for (const ObjectId id : model.all_objects()) {
+    objects.insert({Value(static_cast<std::int64_t>(id.value())),
+                    Value(model.name(id)),
+                    Value(static_cast<std::int64_t>(model.kind(id)))});
+
+    for (const auto& [key, value] : model.properties(id)) {
+      Value int_v, real_v, text_v;
+      switch (value.type()) {
+        case ValueType::Integer: int_v = value; break;
+        case ValueType::Real: real_v = value; break;
+        case ValueType::Text: text_v = value; break;
+        case ValueType::Null: break;
+      }
+      properties.insert_auto({Value(static_cast<std::int64_t>(id.value())),
+                              Value(key), int_v, real_v, text_v});
+    }
+
+    for (std::size_t r = 0; r < kRelationCount; ++r) {
+      const auto relation = static_cast<Relation>(r);
+      for (const ObjectId to : model.related(id, relation)) {
+        relations.insert_auto({Value(static_cast<std::int64_t>(id.value())),
+                               Value(static_cast<std::int64_t>(r)),
+                               Value(static_cast<std::int64_t>(to.value()))});
+      }
+    }
+  }
+}
+
+ObjectModel Persistence::load(const db::Database& db) {
+  ObjectModel model;
+
+  const db::Table& objects = db.table(kObjectsTable);
+  for (const db::Row& row : objects.select()) {
+    const ObjectId id(static_cast<std::uint64_t>(row[0].as_integer()));
+    model.create_object_with_id(
+        id, row[1].as_text(),
+        static_cast<domain::EquipmentKind>(row[2].as_integer()));
+  }
+
+  const db::Table& properties = db.table(kPropertiesTable);
+  for (const db::Row& row : properties.select()) {
+    const ObjectId object(static_cast<std::uint64_t>(row[1].as_integer()));
+    const std::string& key = row[2].as_text();
+    if (!row[3].is_null()) {
+      model.set_property(object, key, row[3]);
+    } else if (!row[4].is_null()) {
+      model.set_property(object, key, row[4]);
+    } else if (!row[5].is_null()) {
+      model.set_property(object, key, row[5]);
+    } else {
+      model.set_property(object, key, Value());
+    }
+  }
+
+  const db::Table& relations = db.table(kRelationsTable);
+  for (const db::Row& row : relations.select()) {
+    const ObjectId from(static_cast<std::uint64_t>(row[1].as_integer()));
+    const auto relation = static_cast<Relation>(row[2].as_integer());
+    const ObjectId to(static_cast<std::uint64_t>(row[3].as_integer()));
+    if (!model.has_relation(from, relation, to)) {
+      model.relate(from, relation, to);
+    }
+  }
+  return model;
+}
+
+}  // namespace mpros::oosm

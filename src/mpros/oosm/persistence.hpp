@@ -1,0 +1,29 @@
+#pragma once
+// OOSM <-> relational mapping (paper §4.6).
+//
+// "Object types are mapped to tables and properties and relationships are
+// mapped to columns and helper tables." Persistence is managed "entirely in
+// the background": save() snapshots the whole model; load() rebuilds it,
+// preserving object ids.
+
+#include "mpros/db/database.hpp"
+#include "mpros/oosm/object_model.hpp"
+
+namespace mpros::oosm {
+
+class Persistence {
+ public:
+  /// Create the oosm_objects / oosm_properties / oosm_relations tables in
+  /// `db` (drops any existing snapshot tables first).
+  static void save(const ObjectModel& model, db::Database& db);
+
+  /// Rebuild a model from a snapshot produced by save(). Object ids match
+  /// the originals; listeners are not restored.
+  static ObjectModel load(const db::Database& db);
+
+  static constexpr const char* kObjectsTable = "oosm_objects";
+  static constexpr const char* kPropertiesTable = "oosm_properties";
+  static constexpr const char* kRelationsTable = "oosm_relations";
+};
+
+}  // namespace mpros::oosm

@@ -1,0 +1,110 @@
+#include "mpros/oosm/ship_builder.hpp"
+
+namespace mpros::oosm {
+
+using domain::EquipmentKind;
+
+ChillerPlant build_chiller_plant(ObjectModel& model, ObjectId parent,
+                                 std::size_t plant_number) {
+  const std::string n = std::to_string(plant_number);
+  ChillerPlant plant;
+
+  plant.chiller = model.create_object("AC Plant " + n, EquipmentKind::Chiller);
+  model.relate(plant.chiller, Relation::PartOf, parent);
+
+  plant.motor = model.create_object("A/C Compressor Motor " + n,
+                                    EquipmentKind::InductionMotor);
+  plant.gearbox = model.create_object("A/C Speed Increaser " + n,
+                                      EquipmentKind::GearTransmission);
+  plant.compressor = model.create_object("A/C Compressor " + n,
+                                         EquipmentKind::CentrifugalCompressor);
+  plant.evaporator =
+      model.create_object("A/C Evaporator " + n, EquipmentKind::Evaporator);
+  plant.condenser =
+      model.create_object("A/C Condenser " + n, EquipmentKind::Condenser);
+  plant.chw_pump = model.create_object("Chilled Water Pump " + n,
+                                       EquipmentKind::CentrifugalPump);
+  plant.cw_pump = model.create_object("Condenser Water Pump " + n,
+                                      EquipmentKind::CentrifugalPump);
+
+  for (const ObjectId part :
+       {plant.motor, plant.gearbox, plant.compressor, plant.evaporator,
+        plant.condenser, plant.chw_pump, plant.cw_pump}) {
+    model.relate(part, Relation::PartOf, plant.chiller);
+  }
+
+  // Proximity: the drive line sits together on the chiller skid; the pumps
+  // flank their heat exchangers.
+  model.relate(plant.motor, Relation::Proximity, plant.gearbox);
+  model.relate(plant.gearbox, Relation::Proximity, plant.compressor);
+  model.relate(plant.compressor, Relation::Proximity, plant.evaporator);
+  model.relate(plant.chw_pump, Relation::Proximity, plant.evaporator);
+  model.relate(plant.cw_pump, Relation::Proximity, plant.condenser);
+
+  // Refrigerant flow loop: compressor -> condenser -> evaporator ->
+  // compressor (expansion device folded into the evaporator object).
+  model.relate(plant.compressor, Relation::FlowTo, plant.condenser);
+  model.relate(plant.condenser, Relation::FlowTo, plant.evaporator);
+  model.relate(plant.evaporator, Relation::FlowTo, plant.compressor);
+  // Water loops.
+  model.relate(plant.chw_pump, Relation::FlowTo, plant.evaporator);
+  model.relate(plant.cw_pump, Relation::FlowTo, plant.condenser);
+  // Mechanical power flow through the drive line.
+  model.relate(plant.motor, Relation::FlowTo, plant.gearbox);
+  model.relate(plant.gearbox, Relation::FlowTo, plant.compressor);
+
+  // Instrumentation: one accelerometer per rotating machine, plus the
+  // process sensor suite.
+  const struct {
+    ObjectId host;
+    const char* label;
+  } accels[] = {{plant.motor, "Accel Motor "},
+                {plant.gearbox, "Accel Gearbox "},
+                {plant.compressor, "Accel Compressor "}};
+  for (const auto& a : accels) {
+    const ObjectId sensor =
+        model.create_object(a.label + n, EquipmentKind::Sensor);
+    model.relate(sensor, Relation::PartOf, a.host);
+    plant.accelerometers.push_back(sensor);
+  }
+
+  const struct {
+    ObjectId host;
+    const char* label;
+  } process[] = {{plant.evaporator, "Evap Pressure "},
+                 {plant.condenser, "Cond Pressure "},
+                 {plant.motor, "Winding RTD "},
+                 {plant.compressor, "Bearing RTD "},
+                 {plant.compressor, "Oil Pressure "},
+                 {plant.compressor, "Oil Temp "}};
+  for (const auto& p : process) {
+    const ObjectId sensor =
+        model.create_object(p.label + n, EquipmentKind::Sensor);
+    model.relate(sensor, Relation::PartOf, p.host);
+    plant.process_sensors.push_back(sensor);
+  }
+
+  return plant;
+}
+
+ShipModel build_ship(ObjectModel& model, const std::string& ship_name,
+                     std::size_t decks, std::size_t plants_per_deck) {
+  ShipModel ship;
+  ship.ship = model.create_object(ship_name, EquipmentKind::Ship);
+
+  std::size_t plant_number = 1;
+  for (std::size_t d = 0; d < decks; ++d) {
+    const ObjectId deck = model.create_object(
+        "Deck " + std::to_string(d + 1), EquipmentKind::Deck);
+    model.relate(deck, Relation::PartOf, ship.ship);
+    ship.decks.push_back(deck);
+
+    for (std::size_t p = 0; p < plants_per_deck; ++p) {
+      ship.plants.push_back(build_chiller_plant(model, deck, plant_number));
+      ++plant_number;
+    }
+  }
+  return ship;
+}
+
+}  // namespace mpros::oosm

@@ -1,0 +1,47 @@
+#pragma once
+// Populate an ObjectModel with a ship's chilled-water plants (paper §4.3:
+// "We have modeled a portion of the information about the system under
+// observation ... the motors, compressors and evaporators in the chillers
+// we are working with", plus the relationships spatial reasoning needs).
+
+#include <string>
+#include <vector>
+
+#include "mpros/oosm/object_model.hpp"
+
+namespace mpros::oosm {
+
+/// Handles to one assembled chiller plant's objects.
+struct ChillerPlant {
+  ObjectId chiller;
+  ObjectId motor;
+  ObjectId gearbox;
+  ObjectId compressor;
+  ObjectId evaporator;
+  ObjectId condenser;
+  ObjectId chw_pump;   ///< chilled-water pump
+  ObjectId cw_pump;    ///< condenser-water pump
+  std::vector<ObjectId> accelerometers;  ///< motor, gearbox, compressor
+  std::vector<ObjectId> process_sensors;
+};
+
+struct ShipModel {
+  ObjectId ship;
+  std::vector<ObjectId> decks;
+  std::vector<ChillerPlant> plants;
+};
+
+/// Build `plants_per_deck * decks` chiller plants with part-of, proximity
+/// and flow relations. Names follow "AC Plant <n>" / "A/C Compressor Motor
+/// <n>" (the paper's Fig 2 shows machine "A/C Compressor Motor 1").
+[[nodiscard]] ShipModel build_ship(ObjectModel& model,
+                                   const std::string& ship_name = "USNS Mercy",
+                                   std::size_t decks = 2,
+                                   std::size_t plants_per_deck = 2);
+
+/// Build a single plant under an existing parent object.
+[[nodiscard]] ChillerPlant build_chiller_plant(ObjectModel& model,
+                                               ObjectId parent,
+                                               std::size_t plant_number);
+
+}  // namespace mpros::oosm

@@ -1,0 +1,132 @@
+#include "mpros/pdme/browser.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace mpros::pdme {
+namespace {
+
+const char* source_name(std::uint64_t ks) {
+  switch (ks) {
+    case 1: return "DLI Expert System";
+    case 2: return "SBFR";
+    case 3: return "Wavelet Neural Net";
+    case 4: return "Fuzzy Logic";
+    default: return "External";
+  }
+}
+
+std::string ttf_text(const std::optional<SimTime>& t) {
+  return t.has_value() ? to_string(*t) : std::string("--");
+}
+
+void append_line(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string render_machine(const PdmeExecutive& pdme,
+                           const oosm::ObjectModel& model, ObjectId machine) {
+  std::string out;
+  const std::string machine_name =
+      model.exists(machine) ? model.name(machine)
+                            : "object " + std::to_string(machine.value());
+
+  append_line(out, "=== MPROS Condition Browser ===");
+  append_line(out, "Machine: %s", machine_name.c_str());
+  append_line(out, "");
+
+  const auto reports = pdme.reports_for(machine);
+  append_line(out, "Condition reports received: %zu", reports.size());
+  append_line(out, "%-22s %-26s %8s %7s  %s", "Source", "Condition",
+              "Severity", "Belief", "Effective");
+  for (const net::FailureReport& r : reports) {
+    const auto mode = domain::failure_mode(r.machine_condition);
+    append_line(out, "%-22s %-26s %8.2f %7.2f  %s",
+                source_name(r.knowledge_source.value()),
+                domain::condition_text(mode).c_str(), r.severity, r.belief,
+                to_string(r.timestamp).c_str());
+  }
+  append_line(out, "");
+  append_line(out, "--- Fused condition groups (Knowledge Fusion) ---");
+
+  for (std::size_t g = 0; g < domain::kLogicalGroupCount; ++g) {
+    const auto group = static_cast<domain::LogicalGroup>(g);
+    const fusion::GroupState state = pdme.group_state(machine, group);
+    if (state.report_count == 0) continue;
+    append_line(out, "[%s]  unknown=%.2f  conflict=%.2f  reports=%zu",
+                domain::to_string(group), state.unknown, state.last_conflict,
+                state.report_count);
+    for (const fusion::ModeBelief& mb : state.modes) {
+      if (mb.belief <= 1e-9 && mb.plausibility >= 0.999) continue;
+      append_line(out, "    %-28s bel=%.3f pl=%.3f",
+                  domain::condition_text(mb.mode).c_str(), mb.belief,
+                  mb.plausibility);
+    }
+  }
+
+  append_line(out, "");
+  append_line(out, "--- Failure predictions ---");
+  for (const MaintenanceItem& item : pdme.prioritized_list(machine)) {
+    append_line(out,
+                "%-28s bel=%.3f sev=%.2f  P50 ttf=%s  P90 ttf=%s  trend=%s",
+                domain::condition_text(item.mode).c_str(), item.fused_belief,
+                item.max_severity, ttf_text(item.median_ttf).c_str(),
+                ttf_text(item.p90_ttf).c_str(),
+                ttf_text(item.trend_ttf).c_str());
+  }
+  return out;
+}
+
+std::string render_summary(const PdmeExecutive& pdme,
+                           const oosm::ObjectModel& model,
+                           std::size_t max_items) {
+  std::string out;
+  append_line(out, "=== MPROS Prioritized Maintenance List ===");
+  append_line(out, "%-28s %-28s %8s %8s %10s", "Machine", "Condition",
+              "Belief", "Severity", "P50 TTF");
+  std::size_t count = 0;
+  for (const MaintenanceItem& item : pdme.prioritized_list()) {
+    if (count++ >= max_items) break;
+    const std::string machine_name =
+        model.exists(item.machine) ? model.name(item.machine)
+                                   : std::to_string(item.machine.value());
+    append_line(out, "%-28s %-28s %8.3f %8.2f %10s", machine_name.c_str(),
+                domain::condition_text(item.mode).c_str(), item.fused_belief,
+                item.max_severity, ttf_text(item.median_ttf).c_str());
+  }
+  return out;
+}
+
+std::string export_icas_csv(const PdmeExecutive& pdme,
+                            const oosm::ObjectModel& model) {
+  std::string out =
+      "machine,condition,fused_belief,plausibility,max_severity,"
+      "report_count,p50_ttf_seconds,p90_ttf_seconds\n";
+  char buf[256];
+  for (const MaintenanceItem& item : pdme.prioritized_list()) {
+    const std::string machine_name =
+        model.exists(item.machine) ? model.name(item.machine)
+                                   : std::to_string(item.machine.value());
+    const double p50 =
+        item.median_ttf.has_value() ? item.median_ttf->seconds() : -1.0;
+    const double p90 =
+        item.p90_ttf.has_value() ? item.p90_ttf->seconds() : -1.0;
+    std::snprintf(buf, sizeof buf, "\"%s\",\"%s\",%.4f,%.4f,%.3f,%zu,%.0f,%.0f\n",
+                  machine_name.c_str(),
+                  domain::condition_text(item.mode).c_str(),
+                  item.fused_belief, item.plausibility, item.max_severity,
+                  item.report_count, p50, p90);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mpros::pdme

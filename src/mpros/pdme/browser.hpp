@@ -1,0 +1,35 @@
+#pragma once
+// The PDME browser: text rendering of the Fig 2 display.
+//
+// The paper's sample screen "indicates that for machine A/C Compressor
+// Motor 1, six condition reports from four different knowledge sources have
+// been received, some conflicting and some reinforcing. After these reports
+// are processed by the Knowledge Fusion component, the predictions of
+// failure for each machine condition group are shown at the bottom of the
+// screen." render_machine() produces exactly that layout as text; the
+// ICAS export (§1) serializes conditions for other shipboard systems.
+
+#include <string>
+
+#include "mpros/pdme/pdme.hpp"
+
+namespace mpros::pdme {
+
+/// Fig 2 equivalent for one machine: received reports on top, fused
+/// condition-group beliefs and failure predictions below.
+[[nodiscard]] std::string render_machine(const PdmeExecutive& pdme,
+                                         const oosm::ObjectModel& model,
+                                         ObjectId machine);
+
+/// Fleet-level summary: the prioritized maintenance list.
+[[nodiscard]] std::string render_summary(const PdmeExecutive& pdme,
+                                         const oosm::ObjectModel& model,
+                                         std::size_t max_items = 20);
+
+/// ICAS-facing export (§1: "open interfaces to provide machinery condition
+/// ... to other shipboard systems such as ICAS"): one CSV row per
+/// prioritized item, header included.
+[[nodiscard]] std::string export_icas_csv(const PdmeExecutive& pdme,
+                                          const oosm::ObjectModel& model);
+
+}  // namespace mpros::pdme

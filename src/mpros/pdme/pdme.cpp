@@ -1,0 +1,362 @@
+#include "mpros/pdme/pdme.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/common/log.hpp"
+
+namespace mpros::pdme {
+
+using domain::FailureMode;
+
+namespace {
+
+std::string encode_prognostics(const std::vector<net::PrognosticPair>& v) {
+  std::string out;
+  char buf[64];
+  for (const net::PrognosticPair& p : v) {
+    std::snprintf(buf, sizeof buf, "%.17g:%.17g;", p.probability,
+                  p.time_seconds);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<net::PrognosticPair> decode_prognostics(const std::string& s) {
+  std::vector<net::PrognosticPair> out;
+  std::istringstream in(s);
+  std::string token;
+  while (std::getline(in, token, ';')) {
+    if (token.empty()) continue;
+    net::PrognosticPair p;
+    if (std::sscanf(token.c_str(), "%lg:%lg", &p.probability,
+                    &p.time_seconds) == 2) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+fusion::PrognosticVector to_vector(
+    const std::vector<net::PrognosticPair>& pairs) {
+  std::vector<fusion::PrognosticPoint> points;
+  points.reserve(pairs.size());
+  for (const net::PrognosticPair& p : pairs) {
+    points.push_back(
+        {SimTime::from_seconds(p.time_seconds), p.probability});
+  }
+  return fusion::PrognosticVector(std::move(points));
+}
+
+}  // namespace
+
+PdmeExecutive::PdmeExecutive(oosm::ObjectModel& model, PdmeConfig cfg)
+    : model_(model), cfg_(cfg) {
+  subscription_ = model_.subscribe(
+      [this](const oosm::OosmEvent& event) { on_oosm_event(event); });
+}
+
+PdmeExecutive::~PdmeExecutive() { model_.unsubscribe(subscription_); }
+
+std::string PdmeExecutive::signature_of(const net::FailureReport& r) const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%llu/%llu/%llu/%llu/%lld/%.6f",
+                static_cast<unsigned long long>(r.dc.value()),
+                static_cast<unsigned long long>(r.knowledge_source.value()),
+                static_cast<unsigned long long>(r.sensed_object.value()),
+                static_cast<unsigned long long>(r.machine_condition.value()),
+                static_cast<long long>(r.timestamp.micros()), r.belief);
+  return buf;
+}
+
+std::optional<ObjectId> PdmeExecutive::accept(
+    const net::FailureReport& report) {
+  if (cfg_.deduplicate) {
+    const std::string sig = signature_of(report);
+    if (!seen_signatures_.insert(sig).second) {
+      ++stats_.duplicates_dropped;
+      return std::nullopt;
+    }
+  }
+  return post_report_object(report);
+}
+
+ObjectId PdmeExecutive::post_report_object(const net::FailureReport& r) {
+  posting_ = true;
+  const ObjectId obj = model_.create_object(
+      "Report " + std::to_string(r.machine_condition.value()) + " on " +
+          std::to_string(r.sensed_object.value()),
+      domain::EquipmentKind::Report);
+  model_.set_property(obj, "dc", static_cast<std::int64_t>(r.dc.value()));
+  model_.set_property(obj, "ks",
+                      static_cast<std::int64_t>(r.knowledge_source.value()));
+  model_.set_property(obj, "sensed",
+                      static_cast<std::int64_t>(r.sensed_object.value()));
+  model_.set_property(obj, "condition",
+                      static_cast<std::int64_t>(r.machine_condition.value()));
+  model_.set_property(obj, "severity", r.severity);
+  model_.set_property(obj, "belief", r.belief);
+  model_.set_property(obj, "explanation", r.explanation);
+  model_.set_property(obj, "recommendations", r.recommendations);
+  model_.set_property(obj, "timestamp_us", r.timestamp.micros());
+  model_.set_property(obj, "prognostics", encode_prognostics(r.prognostics));
+  if (model_.exists(r.sensed_object)) {
+    model_.relate(obj, oosm::Relation::RefersTo, r.sensed_object);
+  }
+  posting_ = false;
+  // The completion marker: fusion triggers off this property event, so
+  // third parties posting report objects by hand use the same contract.
+  model_.set_property(obj, "posted", std::int64_t{1});
+  return obj;
+}
+
+net::FailureReport PdmeExecutive::reconstruct_report(ObjectId object) const {
+  // Reconstruct the report from OOSM properties (§4.5: fusion reacts to the
+  // model, not to a private channel).
+  const auto get_int = [&](const char* key) -> std::int64_t {
+    const auto v = model_.property(object, key);
+    MPROS_ASSERT(v.has_value());
+    return v->as_integer();
+  };
+  const auto get_real = [&](const char* key) -> double {
+    const auto v = model_.property(object, key);
+    MPROS_ASSERT(v.has_value());
+    return v->numeric();
+  };
+  const auto get_text = [&](const char* key) -> std::string {
+    const auto v = model_.property(object, key);
+    return v.has_value() && v->type() == db::ValueType::Text ? v->as_text()
+                                                             : std::string();
+  };
+
+  net::FailureReport r;
+  r.dc = DcId(static_cast<std::uint64_t>(get_int("dc")));
+  r.knowledge_source =
+      KnowledgeSourceId(static_cast<std::uint64_t>(get_int("ks")));
+  r.sensed_object = ObjectId(static_cast<std::uint64_t>(get_int("sensed")));
+  r.machine_condition =
+      ConditionId(static_cast<std::uint64_t>(get_int("condition")));
+  r.severity = get_real("severity");
+  r.belief = get_real("belief");
+  r.explanation = get_text("explanation");
+  r.recommendations = get_text("recommendations");
+  r.timestamp = SimTime(get_int("timestamp_us"));
+  r.prognostics = decode_prognostics(get_text("prognostics"));
+  return r;
+}
+
+void PdmeExecutive::on_oosm_event(const oosm::OosmEvent& event) {
+  if (posting_) return;  // wait for the completion marker
+  if (event.kind != oosm::OosmEvent::Kind::PropertyChanged ||
+      event.property != "posted") {
+    return;
+  }
+  if (!model_.exists(event.object) ||
+      model_.kind(event.object) != domain::EquipmentKind::Report) {
+    return;
+  }
+  fuse(reconstruct_report(event.object));
+}
+
+std::size_t PdmeExecutive::rebuild_from_model() {
+  std::vector<net::FailureReport> recovered;
+  for (const ObjectId obj :
+       model_.objects_of_kind(domain::EquipmentKind::Report)) {
+    const auto posted = model_.property(obj, "posted");
+    if (!posted.has_value()) continue;  // half-written report: skip
+    recovered.push_back(reconstruct_report(obj));
+  }
+  std::sort(recovered.begin(), recovered.end(),
+            [](const net::FailureReport& a, const net::FailureReport& b) {
+              return a.timestamp < b.timestamp;
+            });
+  for (const net::FailureReport& r : recovered) {
+    if (cfg_.deduplicate) seen_signatures_.insert(signature_of(r));
+    fuse(r);
+  }
+  return recovered.size();
+}
+
+void PdmeExecutive::fuse(const net::FailureReport& r) {
+  if (!r.machine_condition.valid() ||
+      r.machine_condition.value() > domain::kFailureModeCount) {
+    ++stats_.malformed_dropped;
+    return;
+  }
+  const FailureMode mode = domain::failure_mode(r.machine_condition);
+
+  ++stats_.reports_accepted;
+  reports_[r.sensed_object.value()].push_back(r);
+
+  // Diagnostic fusion: the report's Belief field becomes simple support.
+  diagnostics_.update(r.sensed_object, mode,
+                      std::clamp(r.belief, 0.0, 1.0));
+
+  // Prognostic fusion: conservative envelope per (machine, mode) (§5.4).
+  ModeTrack& track = tracks_[ModeKey{r.sensed_object.value(), mode}];
+  if (!r.prognostics.empty()) {
+    track.fused_prognosis =
+        fuse_conservative(track.fused_prognosis, to_vector(r.prognostics));
+  }
+  track.max_severity = std::max(track.max_severity, r.severity);
+  track.trend.observe(r.timestamp, std::clamp(r.severity, 0.0, 1.0));
+  track.latest_report = std::max(track.latest_report, r.timestamp);
+  ++track.reports;
+  ++stats_.fusion_updates;
+  maybe_command_retest(r);
+
+  MPROS_LOG_DEBUG("pdme", "fused %s for obj=%llu belief=%.2f",
+                  domain::to_string(mode),
+                  static_cast<unsigned long long>(r.sensed_object.value()),
+                  r.belief);
+}
+
+std::vector<MaintenanceItem> PdmeExecutive::prioritized_list() const {
+  std::vector<MaintenanceItem> items;
+  std::set<std::uint64_t> machines;
+  for (const auto& [key, track] : tracks_) machines.insert(key.machine);
+  for (const std::uint64_t m : machines) {
+    const auto per_machine = prioritized_list(ObjectId(m));
+    items.insert(items.end(), per_machine.begin(), per_machine.end());
+  }
+  std::sort(items.begin(), items.end(),
+            [](const MaintenanceItem& a, const MaintenanceItem& b) {
+              return a.priority > b.priority;
+            });
+  return items;
+}
+
+std::vector<MaintenanceItem> PdmeExecutive::prioritized_list(
+    ObjectId machine) const {
+  std::vector<MaintenanceItem> items;
+  for (const fusion::GroupState& gs : diagnostics_.states(machine)) {
+    for (const fusion::ModeBelief& mb : gs.modes) {
+      if (mb.belief <= 1e-9) continue;
+      MaintenanceItem item;
+      item.machine = machine;
+      item.mode = mb.mode;
+      item.fused_belief = mb.belief;
+      item.plausibility = mb.plausibility;
+      item.report_count = gs.report_count;
+
+      const auto track =
+          tracks_.find(ModeKey{machine.value(), mb.mode});
+      if (track != tracks_.end()) {
+        item.max_severity = track->second.max_severity;
+        if (!track->second.fused_prognosis.empty()) {
+          item.median_ttf =
+              track->second.fused_prognosis.time_to_probability(0.5);
+          item.p90_ttf =
+              track->second.fused_prognosis.time_to_probability(0.9);
+        }
+        item.trend_ttf =
+            track->second.trend.time_to_failure(track->second.latest_report);
+      }
+      item.priority = item.fused_belief * std::max(0.1, item.max_severity);
+      items.push_back(item);
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const MaintenanceItem& a, const MaintenanceItem& b) {
+              return a.priority > b.priority;
+            });
+  return items;
+}
+
+std::optional<fusion::PrognosticVector> PdmeExecutive::prognosis(
+    ObjectId machine, FailureMode mode) const {
+  const auto it = tracks_.find(ModeKey{machine.value(), mode});
+  if (it == tracks_.end() || it->second.fused_prognosis.empty()) {
+    return std::nullopt;
+  }
+  return it->second.fused_prognosis;
+}
+
+fusion::PrognosticVector PdmeExecutive::trend_prognosis(
+    ObjectId machine, FailureMode mode) const {
+  const auto it = tracks_.find(ModeKey{machine.value(), mode});
+  if (it == tracks_.end()) return fusion::PrognosticVector{};
+  return it->second.trend.project(it->second.latest_report);
+}
+
+std::vector<net::FailureReport> PdmeExecutive::reports_for(
+    ObjectId machine) const {
+  const auto it = reports_.find(machine.value());
+  return it == reports_.end() ? std::vector<net::FailureReport>{}
+                              : it->second;
+}
+
+void PdmeExecutive::attach_to_network(net::SimNetwork& network,
+                                      const std::string& endpoint_name) {
+  network_ = &network;
+  endpoint_name_ = endpoint_name;
+  network.register_endpoint(
+      endpoint_name, [this](const net::Message& message) {
+        switch (net::peek_type(message.payload)) {
+          case net::MessageType::FailureReportMsg:
+            accept(net::unwrap_report(message.payload));
+            break;
+          case net::MessageType::SensorData:
+            accept(net::unwrap_sensor_data(message.payload));
+            break;
+          case net::MessageType::TestCommand:
+            break;  // commands address DCs, not the PDME
+        }
+      });
+}
+
+void PdmeExecutive::accept(const net::SensorDataMessage& data) {
+  ++stats_.sensor_batches;
+  if (!model_.exists(data.machine)) return;
+  posting_ = true;  // raw telemetry is not a report; skip fusion triggers
+  for (const auto& [key, value] : data.values) {
+    model_.set_property(data.machine, key, value);
+  }
+  model_.set_property(data.machine, "last_sensor_update_us",
+                      data.timestamp.micros());
+  posting_ = false;
+}
+
+void PdmeExecutive::maybe_command_retest(const net::FailureReport& r) {
+  if (!cfg_.auto_retest || network_ == nullptr) return;
+  if (r.severity < cfg_.retest_severity) return;
+  const FailureMode mode = domain::failure_mode(r.machine_condition);
+  const fusion::GroupState group =
+      diagnostics_.state(r.sensed_object, domain::logical_group(mode));
+  // Already corroborated: several reports and little unknown mass left. A
+  // first-ever severe report always earns a closer look, however confident
+  // its source was.
+  if (group.report_count > 1 && group.unknown < cfg_.retest_unknown) return;
+
+  const ModeKey key{r.sensed_object.value(), mode};
+  const auto last = last_retest_.find(key);
+  if (last != last_retest_.end() &&
+      r.timestamp - last->second < cfg_.retest_backoff) {
+    return;
+  }
+  last_retest_[key] = r.timestamp;
+
+  net::TestCommandMessage cmd;
+  cmd.target = r.dc;
+  cmd.command = net::TestCommandMessage::Command::VibrationTest;
+  cmd.reason = "PDME closer-look: " + domain::condition_text(mode);
+  network_->send(endpoint_name_, "dc-" + std::to_string(r.dc.value()),
+                 net::wrap(cmd), r.timestamp);
+  ++stats_.retests_commanded;
+}
+
+void PdmeExecutive::reset_machine(ObjectId machine) {
+  diagnostics_.reset(machine);
+  reports_.erase(machine.value());
+  for (auto it = tracks_.begin(); it != tracks_.end();) {
+    if (it->first.machine == machine.value()) {
+      it = tracks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace mpros::pdme

@@ -1,0 +1,175 @@
+#pragma once
+// The Prognostic/Diagnostic Monitoring Engine (paper §3.1).
+//
+// "The PDME is the logical center of the MPROS system. Diagnostic and
+// prognostic conclusions are collected from DC-resident algorithms ...
+// Fusion of conflicting and reinforcing source conclusions is performed to
+// form a prioritized list for the use of maintenance personnel."
+//
+// Report flow implements §5.1's four-step format literally:
+//  1. arriving reports are posted into the OOSM (as Report objects that
+//     RefersTo the sensed machine),
+//  2. the OOSM's event model notifies Knowledge Fusion,
+//  3. KF reads the new report and fuses diagnostics (Dempster-Shafer per
+//     logical group) and prognostics (conservative envelope),
+//  4. fused conclusions are posted back to the OOSM and drive the browser.
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mpros/fusion/diagnostic_fusion.hpp"
+#include "mpros/fusion/prognostic_fusion.hpp"
+#include "mpros/fusion/trend.hpp"
+#include "mpros/net/messages.hpp"
+#include "mpros/net/network.hpp"
+#include "mpros/net/report.hpp"
+#include "mpros/oosm/object_model.hpp"
+
+namespace mpros::pdme {
+
+/// One line of the prioritized maintenance list.
+struct MaintenanceItem {
+  ObjectId machine;
+  domain::FailureMode mode{};
+  double fused_belief = 0.0;     ///< Bel({mode}) from Dempster-Shafer
+  double plausibility = 0.0;
+  double max_severity = 0.0;     ///< worst severity reported for the mode
+  double priority = 0.0;         ///< belief x severity, the sort key
+  std::size_t report_count = 0;  ///< reports contributing to the group
+  std::optional<SimTime> median_ttf;  ///< fused P(fail) reaches 0.5
+  std::optional<SimTime> p90_ttf;     ///< fused P(fail) reaches 0.9
+  /// §10.1 temporal reasoning: projected time-to-failure from the severity
+  /// trend across this mode's report history (absent while the trend is
+  /// flat, improving, or under-sampled).
+  std::optional<SimTime> trend_ttf;
+};
+
+struct PdmeConfig {
+  /// Reports older than this against the same (machine, condition) replace
+  /// nothing — exact duplicates (retransmissions) are dropped by signature.
+  bool deduplicate = true;
+
+  /// Adaptive "closer look" (§6.3): when a fused report crosses
+  /// `retest_severity` while the group still carries real unknown mass, the
+  /// PDME commands the originating DC to run an immediate vibration test.
+  /// Requires attach_to_network(); at most one command per (machine, mode)
+  /// per `retest_backoff` of report time.
+  bool auto_retest = false;
+  double retest_severity = 0.70;
+  double retest_unknown = 0.20;
+  SimTime retest_backoff = SimTime::from_hours(1.0);
+};
+
+class PdmeExecutive {
+ public:
+  /// `model` must outlive the executive. The executive subscribes to OOSM
+  /// events so that report objects posted by anyone (not just accept())
+  /// reach knowledge fusion (§4.5).
+  explicit PdmeExecutive(oosm::ObjectModel& model, PdmeConfig cfg = {});
+  ~PdmeExecutive();
+
+  PdmeExecutive(const PdmeExecutive&) = delete;
+  PdmeExecutive& operator=(const PdmeExecutive&) = delete;
+
+  /// Step 1 of §5.1: post a report into the OOSM (and let the event chain
+  /// run fusion). Returns the created report object's id, or nullopt if the
+  /// report was a duplicate retransmission.
+  std::optional<ObjectId> accept(const net::FailureReport& report);
+
+  /// Post a sensor-data batch: values land as properties on the machine's
+  /// OOSM object (the §1 open-interface flow; PDME-resident algorithms
+  /// subscribe to the resulting OOSM events).
+  void accept(const net::SensorDataMessage& data);
+
+  /// Wire adapter: register this executive as the "pdme" endpoint on the
+  /// simulated ship network. Malformed payloads are counted, not fatal.
+  void attach_to_network(net::SimNetwork& network,
+                         const std::string& endpoint_name = "pdme");
+
+  /// The prioritized list (§3.1), most urgent first.
+  [[nodiscard]] std::vector<MaintenanceItem> prioritized_list() const;
+  [[nodiscard]] std::vector<MaintenanceItem> prioritized_list(
+      ObjectId machine) const;
+
+  /// Fused prognostic curve for one (machine, mode), if any prognostic
+  /// reports arrived.
+  [[nodiscard]] std::optional<fusion::PrognosticVector> prognosis(
+      ObjectId machine, domain::FailureMode mode) const;
+
+  /// §10.1: the data-driven prognostic curve projected from the severity
+  /// trend of this mode's reports (horizons relative to the latest report).
+  [[nodiscard]] fusion::PrognosticVector trend_prognosis(
+      ObjectId machine, domain::FailureMode mode) const;
+
+  /// Dempster-Shafer state for a machine's logical group.
+  [[nodiscard]] fusion::GroupState group_state(
+      ObjectId machine, domain::LogicalGroup group) const {
+    return diagnostics_.state(machine, group);
+  }
+
+  /// Reports accumulated for one machine, arrival order.
+  [[nodiscard]] std::vector<net::FailureReport> reports_for(
+      ObjectId machine) const;
+
+  struct Stats {
+    std::uint64_t reports_accepted = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t malformed_dropped = 0;
+    std::uint64_t fusion_updates = 0;
+    std::uint64_t sensor_batches = 0;
+    std::uint64_t retests_commanded = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] oosm::ObjectModel& model() { return model_; }
+  [[nodiscard]] const oosm::ObjectModel& model() const { return model_; }
+
+  /// Forget everything known about a machine (post-maintenance reset).
+  void reset_machine(ObjectId machine);
+
+  /// Disaster recovery (§4.9 "long-term unattended operation"): rebuild
+  /// fusion state from the Report objects already persisted in the OOSM.
+  /// Call on a freshly constructed executive over a reloaded model; reports
+  /// are re-fused in timestamp order. Returns how many were recovered.
+  std::size_t rebuild_from_model();
+
+ private:
+  struct ModeKey {
+    std::uint64_t machine;
+    domain::FailureMode mode;
+    auto operator<=>(const ModeKey&) const = default;
+  };
+  struct ModeTrack {
+    fusion::PrognosticVector fused_prognosis;
+    fusion::TrendProjector trend;
+    SimTime latest_report;
+    double max_severity = 0.0;
+    std::size_t reports = 0;
+  };
+
+  void on_oosm_event(const oosm::OosmEvent& event);
+  [[nodiscard]] net::FailureReport reconstruct_report(ObjectId object) const;
+  void fuse(const net::FailureReport& report);
+  void maybe_command_retest(const net::FailureReport& report);
+  [[nodiscard]] std::string signature_of(const net::FailureReport& r) const;
+  ObjectId post_report_object(const net::FailureReport& report);
+
+  oosm::ObjectModel& model_;
+  PdmeConfig cfg_;
+  net::SimNetwork* network_ = nullptr;  // set by attach_to_network
+  std::string endpoint_name_;
+  std::map<ModeKey, SimTime> last_retest_;
+  oosm::ObjectModel::SubscriptionId subscription_;
+  bool posting_ = false;  // re-entrancy guard while we create objects
+
+  fusion::DiagnosticFusion diagnostics_;
+  std::map<ModeKey, ModeTrack> tracks_;
+  std::map<std::uint64_t, std::vector<net::FailureReport>> reports_;
+  std::set<std::string> seen_signatures_;
+  Stats stats_;
+};
+
+}  // namespace mpros::pdme

@@ -1,0 +1,113 @@
+#include "mpros/plant/daq.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::plant {
+
+DaqChain::DaqChain(DaqConfig cfg, SignalSource source)
+    : cfg_(cfg), source_(std::move(source)) {
+  MPROS_EXPECTS(source_ != nullptr);
+  MPROS_EXPECTS(cfg_.max_sample_rate_hz > 0.0);
+  const std::size_t n = channel_count();
+  thresholds_.assign(n, std::nullopt);
+  latched_.assign(n, false);
+  const double tc_samples =
+      cfg_.rms_time_constant.seconds() * cfg_.alarm_sample_rate_hz;
+  trackers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    trackers_.emplace_back(tc_samples);
+  }
+}
+
+std::size_t DaqChain::channel_count() const {
+  return cfg_.mux_cards * cfg_.banks_per_card * cfg_.channels_per_bank;
+}
+
+void DaqChain::set_alarm_threshold(std::size_t channel,
+                                   std::optional<double> rms) {
+  MPROS_EXPECTS(channel < channel_count());
+  thresholds_[channel] = rms;
+}
+
+BankAcquisition DaqChain::acquire_bank(std::size_t card, std::size_t bank,
+                                       std::size_t samples,
+                                       double sample_rate_hz, SimTime now) {
+  MPROS_EXPECTS(card < cfg_.mux_cards);
+  MPROS_EXPECTS(bank < cfg_.banks_per_card);
+  MPROS_EXPECTS(samples > 0);
+  const double rate = std::min(sample_rate_hz, cfg_.max_sample_rate_hz);
+
+  BankAcquisition out;
+  out.started = now;
+  const SimTime record_start = now + cfg_.mux_settle;
+  const SimTime record_length = SimTime::from_seconds(
+      static_cast<double>(samples) / rate);
+  out.finished = record_start + record_length;
+
+  const std::size_t base =
+      (card * cfg_.banks_per_card + bank) * cfg_.channels_per_bank;
+  for (std::size_t c = 0; c < cfg_.channels_per_bank; ++c) {
+    std::vector<double> waveform(samples);
+    source_(base + c, record_start.seconds(), rate, waveform);
+    out.waveforms.push_back(std::move(waveform));
+    out.channels.push_back(base + c);
+  }
+  return out;
+}
+
+DaqChain::FullScan DaqChain::scan_all(std::size_t samples_per_channel,
+                                      double sample_rate_hz, SimTime now) {
+  FullScan scan;
+  scan.waveforms.resize(channel_count());
+  SimTime t = now;
+  for (std::size_t card = 0; card < cfg_.mux_cards; ++card) {
+    for (std::size_t bank = 0; bank < cfg_.banks_per_card; ++bank) {
+      BankAcquisition acq =
+          acquire_bank(card, bank, samples_per_channel, sample_rate_hz, t);
+      for (std::size_t c = 0; c < acq.channels.size(); ++c) {
+        scan.total_samples += acq.waveforms[c].size();
+        scan.waveforms[acq.channels[c]] = std::move(acq.waveforms[c]);
+      }
+      t = acq.finished;
+    }
+  }
+  scan.duration = t - now;
+  return scan;
+}
+
+std::vector<RmsAlarm> DaqChain::poll_alarms(SimTime now, SimTime duration) {
+  MPROS_EXPECTS(duration.micros() > 0);
+  const auto samples = static_cast<std::size_t>(
+      duration.seconds() * cfg_.alarm_sample_rate_hz);
+  std::vector<RmsAlarm> alarms;
+  if (samples == 0) return alarms;
+
+  scratch_.resize(samples);
+  for (std::size_t ch = 0; ch < channel_count(); ++ch) {
+    if (!thresholds_[ch] || latched_[ch]) continue;
+    source_(ch, now.seconds(), cfg_.alarm_sample_rate_hz, scratch_);
+    for (std::size_t i = 0; i < samples; ++i) {
+      const double rms = trackers_[ch].step(scratch_[i]);
+      if (rms > *thresholds_[ch]) {
+        alarms.push_back(RmsAlarm{
+            ch,
+            now + SimTime::from_seconds(static_cast<double>(i) /
+                                        cfg_.alarm_sample_rate_hz),
+            rms});
+        latched_[ch] = true;
+        break;
+      }
+    }
+  }
+  return alarms;
+}
+
+void DaqChain::rearm_alarms() {
+  std::fill(latched_.begin(), latched_.end(), false);
+  for (auto& tracker : trackers_) tracker.reset();
+}
+
+}  // namespace mpros::plant

@@ -1,0 +1,56 @@
+#include "mpros/plant/ema.hpp"
+
+#include <algorithm>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::plant {
+
+EmaSimulator::EmaSimulator(EmaConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+std::vector<EmaSample> EmaSimulator::generate(std::size_t n,
+                                              double stiction_level,
+                                              double move_rate) {
+  MPROS_EXPECTS(stiction_level >= 0.0 && stiction_level <= 1.0);
+  std::vector<EmaSample> out(n);
+  injected_spikes_ = 0;
+
+  double cpos = 0.0;
+  std::size_t cooldown = 0;       // samples until the next event may start
+  std::size_t motion_left = 0;    // samples remaining in a commanded move
+  std::size_t spike_left = 0;     // samples remaining in a stiction spike
+
+  // Expected spikes per sample at full stiction; tuned so a few thousand
+  // samples at level 1.0 yield well over the ">4 spikes" trip count.
+  const double spike_rate = 0.004 * stiction_level;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double current = cfg_.baseline_current;
+
+    if (cooldown > 0) --cooldown;
+
+    if (motion_left > 0) {
+      current += cfg_.motion_current;
+      cpos += 0.5;  // the commanded ramp continues
+      --motion_left;
+      if (motion_left == 0) cooldown = cfg_.settle_gap;
+    } else if (spike_left > 0) {
+      current += cfg_.spike_current;
+      --spike_left;
+      if (spike_left == 0) cooldown = cfg_.settle_gap;
+    } else if (cooldown == 0) {
+      if (rng_.bernoulli(move_rate)) {
+        motion_left = 8;  // commanded slew: current AND cpos change together
+      } else if (rng_.bernoulli(spike_rate)) {
+        spike_left = cfg_.spike_width;  // stiction: current only
+        ++injected_spikes_;
+      }
+    }
+
+    out[i].current = current + rng_.normal(0.0, cfg_.noise_sigma);
+    out[i].cpos = cpos;
+  }
+  return out;
+}
+
+}  // namespace mpros::plant

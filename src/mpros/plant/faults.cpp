@@ -1,0 +1,58 @@
+#include "mpros/plant/faults.hpp"
+
+#include <algorithm>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::plant {
+
+void FaultInjector::schedule(FaultEvent event) {
+  MPROS_EXPECTS(event.max_severity >= 0.0 && event.max_severity <= 1.0);
+  MPROS_EXPECTS(event.ramp.micros() >= 0);
+  events_.push_back(event);
+}
+
+double FaultInjector::severity_at(domain::FailureMode mode, SimTime t) const {
+  double severity = 0.0;
+  for (const FaultEvent& e : events_) {
+    if (e.mode != mode || t < e.onset) continue;
+    double s;
+    if (e.profile == GrowthProfile::Step || e.ramp.micros() == 0) {
+      s = e.max_severity;
+    } else {
+      const double frac = std::clamp(
+          static_cast<double>((t - e.onset).micros()) /
+              static_cast<double>(e.ramp.micros()),
+          0.0, 1.0);
+      s = e.max_severity *
+          (e.profile == GrowthProfile::Accelerating ? frac * frac : frac);
+    }
+    severity = std::max(severity, s);
+  }
+  return severity;
+}
+
+std::array<double, domain::kFailureModeCount> FaultInjector::all_at(
+    SimTime t) const {
+  std::array<double, domain::kFailureModeCount> out{};
+  for (const domain::FailureMode m : domain::all_failure_modes()) {
+    out[static_cast<std::size_t>(m)] = severity_at(m, t);
+  }
+  return out;
+}
+
+std::optional<domain::FailureMode> FaultInjector::dominant_at(
+    SimTime t, double threshold) const {
+  std::optional<domain::FailureMode> best;
+  double best_severity = threshold;
+  for (const domain::FailureMode m : domain::all_failure_modes()) {
+    const double s = severity_at(m, t);
+    if (s > best_severity) {
+      best_severity = s;
+      best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace mpros::plant

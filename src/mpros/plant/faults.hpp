@@ -1,0 +1,61 @@
+#pragma once
+// Fault injection with progressive severities.
+//
+// The Navy data the paper leaned on (DLI shipboard collections, Georgia
+// Tech seeded-fault rigs, the donated York chiller earmarked for
+// destructive testing — §9) is unavailable, so scenarios seed faults here:
+// each fault has an onset, a growth profile, and a terminal severity. The
+// simulator queries severity_at(t) in [0,1]; 0 = healthy, 1 = imminent
+// failure.
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "mpros/common/clock.hpp"
+#include "mpros/domain/failure_modes.hpp"
+
+namespace mpros::plant {
+
+enum class GrowthProfile {
+  Step,         ///< full severity at onset (seeded-fault style)
+  Linear,       ///< ramps linearly from onset to onset+ramp
+  Accelerating, ///< quadratic ramp — slow start, fast finish (wear-out)
+};
+
+struct FaultEvent {
+  domain::FailureMode mode{};
+  SimTime onset;
+  SimTime ramp = SimTime::from_days(30);  ///< time from onset to max
+  double max_severity = 1.0;
+  GrowthProfile profile = GrowthProfile::Linear;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  void schedule(FaultEvent event);
+
+  /// Severity of `mode` at time t (max over scheduled events of that mode).
+  [[nodiscard]] double severity_at(domain::FailureMode mode, SimTime t) const;
+
+  /// Severities of all 12 modes at time t, indexed by FailureMode value.
+  [[nodiscard]] std::array<double, domain::kFailureModeCount> all_at(
+      SimTime t) const;
+
+  /// The mode with the highest severity at t (above `threshold`), if any —
+  /// the scenario's ground-truth label for scoring E6.
+  [[nodiscard]] std::optional<domain::FailureMode> dominant_at(
+      SimTime t, double threshold = 0.05) const;
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace mpros::plant

@@ -1,0 +1,136 @@
+#include "mpros/plant/process.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::plant {
+
+using domain::FailureMode;
+
+ProcessModel::ProcessModel(domain::ProcessNominals nominals,
+                           std::uint64_t seed, SimTime time_constant)
+    : nom_(nominals), rng_(seed), tau_(time_constant) {
+  MPROS_EXPECTS(time_constant.micros() > 0);
+  state_ = targets(load_, Severities{});
+}
+
+void ProcessModel::reset() {
+  load_ = 0.8;
+  state_ = targets(load_, Severities{});
+}
+
+ProcessModel::Targets ProcessModel::targets(
+    double load, const Severities& severities) const {
+  const auto sev = [&](FailureMode m) {
+    return severities[static_cast<std::size_t>(m)];
+  };
+  const double l = std::clamp(load, 0.0, 1.2);
+
+  Targets t;
+  // Load raises evaporator duty (lower pressure at high load) and
+  // condensing pressure.
+  t.evap_kpa = nom_.evap_pressure_kpa + 18.0 * (0.8 - l);
+  t.cond_kpa = nom_.cond_pressure_kpa + 90.0 * (l - 0.8);
+  t.chw_supply_c = nom_.chilled_water_supply_c + 0.4 * (l - 0.8);
+  t.superheat_c = nom_.superheat_c;
+  t.oil_kpa = nom_.oil_pressure_kpa;
+  t.oil_c = nom_.oil_temperature_c + 4.0 * (l - 0.8);
+  t.winding_c = nom_.motor_winding_temp_c + 22.0 * (l - 0.8);
+  t.bearing_c = nom_.bearing_temp_c + 6.0 * (l - 0.8);
+  t.cond_approach_c = 4.0 + 1.0 * (l - 0.8);
+  t.current_a = nom_.motor_current_a * (0.25 + 0.75 * l);
+
+  // Fault signatures on the process side.
+  const double leak = sev(FailureMode::RefrigerantLeak);
+  t.evap_kpa -= 95.0 * leak;
+  t.superheat_c += 11.0 * leak;
+  t.chw_supply_c += 5.0 * leak;
+
+  const double fouling = sev(FailureMode::CondenserFouling);
+  t.cond_kpa += 340.0 * fouling;
+  t.cond_approach_c += 10.0 * fouling;
+  t.current_a *= 1.0 + 0.20 * fouling;
+
+  const double oil = sev(FailureMode::OilDegradation);
+  t.oil_c += 26.0 * oil;
+  t.oil_kpa -= 115.0 * oil;
+  t.bearing_c += 12.0 * oil;
+
+  const double winding = sev(FailureMode::StatorWindingFault);
+  t.winding_c += 48.0 * winding;
+  t.current_a *= 1.0 + 0.28 * winding;
+
+  t.bearing_c += 24.0 * sev(FailureMode::MotorBearingWear);
+  t.bearing_c += 28.0 * sev(FailureMode::CompressorBearingWear);
+  t.oil_c += 6.0 * sev(FailureMode::CompressorBearingWear);
+
+  // Cavitation depresses suction slightly.
+  t.evap_kpa -= 30.0 * sev(FailureMode::PumpCavitation);
+
+  // Heavy mechanical faults bleed a little energy into bearings.
+  t.bearing_c += 5.0 * sev(FailureMode::ShaftMisalignment);
+  t.bearing_c += 4.0 * sev(FailureMode::GearMeshWear);
+
+  return t;
+}
+
+void ProcessModel::advance(SimTime dt, double load_fraction,
+                           const Severities& severities) {
+  MPROS_EXPECTS(dt.micros() >= 0);
+  load_ = std::clamp(load_fraction, 0.0, 1.2);
+  const Targets goal = targets(load_, severities);
+
+  // First-order relaxation: alpha = 1 - exp(-dt/tau).
+  const double alpha =
+      1.0 - std::exp(-static_cast<double>(dt.micros()) /
+                     static_cast<double>(tau_.micros()));
+  const auto relax = [alpha](double& current, double target) {
+    current += alpha * (target - current);
+  };
+  relax(state_.evap_kpa, goal.evap_kpa);
+  relax(state_.cond_kpa, goal.cond_kpa);
+  relax(state_.chw_supply_c, goal.chw_supply_c);
+  relax(state_.superheat_c, goal.superheat_c);
+  relax(state_.oil_kpa, goal.oil_kpa);
+  relax(state_.oil_c, goal.oil_c);
+  relax(state_.winding_c, goal.winding_c);
+  relax(state_.bearing_c, goal.bearing_c);
+  relax(state_.cond_approach_c, goal.cond_approach_c);
+  relax(state_.current_a, goal.current_a);
+}
+
+ProcessSnapshot ProcessModel::state() const {
+  return ProcessSnapshot{
+      {"process.load", load_},
+      {"process.evap_pressure_kpa", state_.evap_kpa},
+      {"process.cond_pressure_kpa", state_.cond_kpa},
+      {"process.chw_supply_c", state_.chw_supply_c},
+      {"process.superheat_c", state_.superheat_c},
+      {"process.oil_pressure_kpa", state_.oil_kpa},
+      {"process.oil_temp_c", state_.oil_c},
+      {"process.winding_temp_c", state_.winding_c},
+      {"process.bearing_temp_c", state_.bearing_c},
+      {"process.cond_approach_c", state_.cond_approach_c},
+      {"process.motor_current_a", state_.current_a},
+  };
+}
+
+ProcessSnapshot ProcessModel::snapshot() {
+  ProcessSnapshot s = state();
+  // Instrument-grade noise per variable class.
+  s["process.evap_pressure_kpa"] += rng_.normal(0.0, 1.5);
+  s["process.cond_pressure_kpa"] += rng_.normal(0.0, 3.0);
+  s["process.chw_supply_c"] += rng_.normal(0.0, 0.05);
+  s["process.superheat_c"] += rng_.normal(0.0, 0.1);
+  s["process.oil_pressure_kpa"] += rng_.normal(0.0, 2.0);
+  s["process.oil_temp_c"] += rng_.normal(0.0, 0.2);
+  s["process.winding_temp_c"] += rng_.normal(0.0, 0.4);
+  s["process.bearing_temp_c"] += rng_.normal(0.0, 0.25);
+  s["process.cond_approach_c"] += rng_.normal(0.0, 0.1);
+  s["process.motor_current_a"] += rng_.normal(0.0, 0.8);
+  return s;
+}
+
+}  // namespace mpros::plant

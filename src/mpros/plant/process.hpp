@@ -1,0 +1,61 @@
+#pragma once
+// Quasi-static chiller process model.
+//
+// "Slower changing parameters such as temperatures and pressures must also
+// be monitored, but at a lower frequency and can be treated as scalars"
+// (§2). The model drives each process variable toward a target determined
+// by load and active fault severities, with first-order lag and sensor
+// noise — enough dynamics to exercise trending, SBFR threshold machines,
+// and the fuzzy rulebase.
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "mpros/common/clock.hpp"
+#include "mpros/common/rng.hpp"
+#include "mpros/domain/equipment.hpp"
+#include "mpros/domain/failure_modes.hpp"
+
+namespace mpros::plant {
+
+using Severities = std::array<double, domain::kFailureModeCount>;
+
+/// Crisp process-variable snapshot, keyed by the canonical
+/// rules::feat::process.* names (kept as plain strings here so plant does
+/// not depend on rules).
+using ProcessSnapshot = std::map<std::string, double>;
+
+class ProcessModel {
+ public:
+  ProcessModel(domain::ProcessNominals nominals, std::uint64_t seed,
+               SimTime time_constant = SimTime::from_seconds(120.0));
+
+  /// Advance the state by dt toward the fault/load-determined targets.
+  void advance(SimTime dt, double load_fraction, const Severities& severities);
+
+  /// Current (noisy) snapshot including "process.load".
+  [[nodiscard]] ProcessSnapshot snapshot();
+
+  /// Noise-free internal state (for tests).
+  [[nodiscard]] ProcessSnapshot state() const;
+
+  /// Reset to nominal conditions.
+  void reset();
+
+ private:
+  struct Targets {
+    double evap_kpa, cond_kpa, chw_supply_c, superheat_c, oil_kpa, oil_c,
+        winding_c, bearing_c, cond_approach_c, current_a;
+  };
+  [[nodiscard]] Targets targets(double load,
+                                const Severities& severities) const;
+
+  domain::ProcessNominals nom_;
+  Rng rng_;
+  SimTime tau_;
+  double load_ = 0.8;
+  Targets state_;
+};
+
+}  // namespace mpros::plant

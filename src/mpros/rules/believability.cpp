@@ -1,0 +1,44 @@
+#include "mpros/rules/believability.hpp"
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::rules {
+namespace {
+
+std::size_t index_of(domain::FailureMode mode) {
+  const auto i = static_cast<std::size_t>(mode);
+  MPROS_EXPECTS(i < domain::kFailureModeCount);
+  return i;
+}
+
+}  // namespace
+
+BelievabilityTable::BelievabilityTable(double prior_confirmed,
+                                       double prior_reversed)
+    : prior_confirmed_(prior_confirmed), prior_reversed_(prior_reversed) {
+  MPROS_EXPECTS(prior_confirmed > 0.0 && prior_reversed > 0.0);
+}
+
+void BelievabilityTable::record_confirmation(domain::FailureMode mode) {
+  counts_[index_of(mode)].confirmed += 1.0;
+}
+
+void BelievabilityTable::record_reversal(domain::FailureMode mode) {
+  counts_[index_of(mode)].reversed += 1.0;
+}
+
+double BelievabilityTable::belief(domain::FailureMode mode) const {
+  const Counts& c = counts_[index_of(mode)];
+  return (c.confirmed + prior_confirmed_) /
+         (c.confirmed + c.reversed + prior_confirmed_ + prior_reversed_);
+}
+
+double BelievabilityTable::confirmations(domain::FailureMode mode) const {
+  return counts_[index_of(mode)].confirmed;
+}
+
+double BelievabilityTable::reversals(domain::FailureMode mode) const {
+  return counts_[index_of(mode)].reversed;
+}
+
+}  // namespace mpros::rules

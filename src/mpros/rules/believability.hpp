@@ -1,0 +1,46 @@
+#pragma once
+// Believability factors (paper §6.1).
+//
+// "These believability factors are based on DLI's statistical database that
+// demonstrates the individual accuracy of each diagnosis by tracking how
+// often each was reversed or modified by a human analyst prior to report
+// approval." We model that database as per-mode confirmation/reversal
+// counters with a Beta prior, so a fresh table starts near the fleet-wide
+// 95% agreement figure and adapts as analysts confirm or reverse calls.
+
+#include <array>
+
+#include "mpros/domain/failure_modes.hpp"
+
+namespace mpros::rules {
+
+class BelievabilityTable {
+ public:
+  /// `prior_confirmed`/`prior_reversed` form the Beta prior. The default
+  /// 19:1 encodes the paper's "exceeds 95% agreement with human expert
+  /// analysts".
+  explicit BelievabilityTable(double prior_confirmed = 19.0,
+                              double prior_reversed = 1.0);
+
+  /// Analyst approved the diagnosis unchanged.
+  void record_confirmation(domain::FailureMode mode);
+  /// Analyst reversed or modified the diagnosis before approval.
+  void record_reversal(domain::FailureMode mode);
+
+  /// Belief factor in (0,1): (confirmed + prior_c) / (total + priors).
+  [[nodiscard]] double belief(domain::FailureMode mode) const;
+
+  [[nodiscard]] double confirmations(domain::FailureMode mode) const;
+  [[nodiscard]] double reversals(domain::FailureMode mode) const;
+
+ private:
+  struct Counts {
+    double confirmed = 0.0;
+    double reversed = 0.0;
+  };
+  std::array<Counts, domain::kFailureModeCount> counts_{};
+  double prior_confirmed_;
+  double prior_reversed_;
+};
+
+}  // namespace mpros::rules

@@ -1,0 +1,22 @@
+#pragma once
+// The centrifugal-chiller vibration/process rulebase.
+//
+// One frame-based rule per FMEA failure mode, encoding textbook vibration
+// signatures plus the process-parameter gating the paper highlights (§6.1).
+// Warn/alarm levels are calibrated against the plant simulator's healthy
+// baselines (see src/mpros/plant/vibration.cpp); E6 measures the resulting
+// expert-system agreement with injected ground truth.
+
+#include <vector>
+
+#include "mpros/domain/equipment.hpp"
+#include "mpros/rules/engine.hpp"
+
+namespace mpros::rules {
+
+/// Build the full 12-mode rulebase for the chilled-water drive line.
+[[nodiscard]] std::vector<Rule> chiller_rulebase(
+    const domain::MachineSignature& signature = domain::navy_chiller_signature(),
+    const domain::ProcessNominals& nominals = domain::navy_chiller_nominals());
+
+}  // namespace mpros::rules

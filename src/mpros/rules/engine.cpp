@@ -1,0 +1,87 @@
+#include "mpros/rules/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::rules {
+
+std::optional<double> clause_evidence(const Clause& clause,
+                                      const FeatureFrame& frame) {
+  if (clause.gate) {
+    const auto gate_value = frame.maybe(clause.gate->feature);
+    if (!gate_value || *gate_value < clause.gate->min_value ||
+        *gate_value > clause.gate->max_value) {
+      return std::nullopt;
+    }
+  }
+  const auto value = frame.maybe(clause.feature);
+  if (!value) return std::nullopt;
+
+  const double span = clause.alarm - clause.warn;
+  MPROS_ASSERT(span != 0.0);
+  return std::clamp((*value - clause.warn) / span, 0.0, 1.0);
+}
+
+RuleEngine::RuleEngine(std::vector<Rule> rulebase,
+                       GradientThresholds thresholds)
+    : rules_(std::move(rulebase)), thresholds_(thresholds) {
+  for (const Rule& r : rules_) {
+    MPROS_EXPECTS(!r.clauses.empty());
+    for (const Clause& c : r.clauses) {
+      MPROS_EXPECTS(c.weight > 0.0);
+      MPROS_EXPECTS(c.alarm != c.warn);
+    }
+  }
+}
+
+std::vector<Diagnosis> RuleEngine::evaluate(
+    const FeatureFrame& frame, const BelievabilityTable& beliefs) const {
+  std::vector<Diagnosis> out;
+
+  for (const Rule& rule : rules_) {
+    double weighted_sum = 0.0;
+    double weight_total = 0.0;
+    bool required_failed = false;
+    std::string explanation;
+
+    for (const Clause& clause : rule.clauses) {
+      const std::optional<double> evidence = clause_evidence(clause, frame);
+      if (!evidence) {
+        // Gated out or unmeasured: the clause abstains entirely, but a
+        // required clause that cannot be checked blocks the rule.
+        if (clause.required) required_failed = true;
+        continue;
+      }
+      if (clause.required && *evidence <= 0.0) required_failed = true;
+      weighted_sum += clause.weight * *evidence;
+      weight_total += clause.weight;
+      if (*evidence > 0.0 && !clause.describe.empty()) {
+        if (!explanation.empty()) explanation += "; ";
+        explanation += clause.describe;
+      }
+    }
+
+    if (required_failed || weight_total <= 0.0) continue;
+    const double severity = weighted_sum / weight_total;
+    if (severity < rule.fire_threshold) continue;
+
+    Diagnosis d;
+    d.mode = rule.mode;
+    d.severity = severity;
+    d.gradient = gradient_of(severity, thresholds_);
+    d.belief = beliefs.belief(rule.mode);
+    d.explanation = explanation.empty() ? rule.name : explanation;
+    d.recommendation = rule.recommendation;
+    d.prognosis = default_prognosis(severity, thresholds_);
+    out.push_back(std::move(d));
+  }
+
+  std::sort(out.begin(), out.end(), [](const Diagnosis& a, const Diagnosis& b) {
+    return a.severity > b.severity;
+  });
+  return out;
+}
+
+}  // namespace mpros::rules

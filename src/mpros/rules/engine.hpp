@@ -1,0 +1,88 @@
+#pragma once
+// The frame-based rule engine (DLI expert system substitute).
+//
+// A Rule is a frame for one failure mode: a set of evidence clauses, each
+// grading one feature onto [0,1] between a "warn" and an "alarm" level,
+// optionally *gated* by a process parameter. Gating realizes §6.1's example:
+// "the DLI expert system rule for bearing looseness can be sensitized to
+// available load indicators ... so that a false positive bearing looseness
+// call is not made when the compressor enters a low load period."
+//
+// The severity score is the weighted mean of clause evidences; required
+// clauses must individually exceed the warn level for the rule to fire.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mpros/domain/failure_modes.hpp"
+#include "mpros/rules/believability.hpp"
+#include "mpros/rules/features.hpp"
+#include "mpros/rules/severity.hpp"
+
+namespace mpros::rules {
+
+/// Gate: the clause contributes only while `feature` lies inside
+/// [min_value, max_value]; outside, the clause is excluded from the score
+/// (both numerator and denominator).
+struct Gate {
+  std::string feature;
+  double min_value = -1e300;
+  double max_value = 1e300;
+};
+
+struct Clause {
+  std::string feature;
+  /// Evidence ramps 0 -> 1 as the value moves from `warn` to `alarm`.
+  /// warn > alarm makes the ramp downward ("low oil pressure is bad").
+  double warn = 0.0;
+  double alarm = 1.0;
+  double weight = 1.0;
+  bool required = false;  ///< must exceed 0 evidence for the rule to fire
+  std::optional<Gate> gate;
+  std::string describe;  ///< explanation fragment, e.g. "1x order elevated"
+};
+
+struct Rule {
+  domain::FailureMode mode{};
+  std::string name;
+  std::vector<Clause> clauses;
+  double fire_threshold = 0.20;  ///< min severity to report
+  std::string recommendation;
+};
+
+/// One fired rule: the §7.2 diagnostic payload before protocol packaging.
+struct Diagnosis {
+  domain::FailureMode mode{};
+  double severity = 0.0;  ///< 0..1 per §7.2 field 4
+  Gradient gradient = Gradient::None;
+  double belief = 1.0;  ///< 0..1 per §7.2 field 5
+  std::string explanation;
+  std::string recommendation;
+  std::vector<PrognosticPoint> prognosis;
+};
+
+/// Evidence contribution of a single clause on a frame, in [0,1]; nullopt if
+/// the clause is gated out or the feature is missing.
+[[nodiscard]] std::optional<double> clause_evidence(const Clause& clause,
+                                                    const FeatureFrame& frame);
+
+class RuleEngine {
+ public:
+  explicit RuleEngine(std::vector<Rule> rulebase,
+                      GradientThresholds thresholds = {});
+
+  /// Evaluate every rule against a frame. Fired rules come back ordered by
+  /// descending severity, with believability factors from `beliefs`.
+  [[nodiscard]] std::vector<Diagnosis> evaluate(
+      const FeatureFrame& frame, const BelievabilityTable& beliefs) const;
+
+  [[nodiscard]] const std::vector<Rule>& rulebase() const { return rules_; }
+
+ private:
+  std::vector<Rule> rules_;
+  GradientThresholds thresholds_;
+};
+
+}  // namespace mpros::rules

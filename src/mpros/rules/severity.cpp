@@ -1,0 +1,71 @@
+#include "mpros/rules/severity.hpp"
+
+#include <algorithm>
+
+namespace mpros::rules {
+
+const char* to_string(Gradient g) {
+  switch (g) {
+    case Gradient::None: return "None";
+    case Gradient::Slight: return "Slight";
+    case Gradient::Moderate: return "Moderate";
+    case Gradient::Serious: return "Serious";
+    case Gradient::Extreme: return "Extreme";
+  }
+  return "?";
+}
+
+Gradient gradient_of(double severity, const GradientThresholds& t) {
+  if (severity >= t.extreme) return Gradient::Extreme;
+  if (severity >= t.serious) return Gradient::Serious;
+  if (severity >= t.moderate) return Gradient::Moderate;
+  if (severity >= t.slight) return Gradient::Slight;
+  return Gradient::None;
+}
+
+std::vector<PrognosticPoint> default_prognosis(double severity,
+                                               const GradientThresholds& t) {
+  const Gradient g = gradient_of(severity, t);
+
+  // Position of the score within its gradient band, 0 (just entered) to 1
+  // (about to cross into the next band). Used to pull horizons earlier.
+  const auto band_pos = [&](double lo, double hi) {
+    return std::clamp((severity - lo) / std::max(1e-9, hi - lo), 0.0, 1.0);
+  };
+
+  std::vector<PrognosticPoint> v;
+  switch (g) {
+    case Gradient::None:
+      return v;  // no foreseeable failure: empty vector
+    case Gradient::Slight: {
+      const double p = band_pos(t.slight, t.moderate);
+      v.push_back({SimTime::from_months(6.0 - 2.0 * p), 0.10});
+      v.push_back({SimTime::from_months(12.0 - 3.0 * p), 0.40});
+      break;
+    }
+    case Gradient::Moderate: {
+      const double p = band_pos(t.moderate, t.serious);
+      v.push_back({SimTime::from_months(1.0), 0.10 + 0.10 * p});
+      v.push_back({SimTime::from_months(3.0 - 1.0 * p), 0.50});
+      v.push_back({SimTime::from_months(6.0 - 2.0 * p), 0.90});
+      break;
+    }
+    case Gradient::Serious: {
+      const double p = band_pos(t.serious, t.extreme);
+      v.push_back({SimTime::from_days(7.0 - 3.0 * p), 0.25});
+      v.push_back({SimTime::from_days(21.0 - 7.0 * p), 0.60});
+      v.push_back({SimTime::from_days(42.0 - 14.0 * p), 0.90});
+      break;
+    }
+    case Gradient::Extreme: {
+      const double p = band_pos(t.extreme, 1.0);
+      v.push_back({SimTime::from_days(1.0), 0.40 + 0.30 * p});
+      v.push_back({SimTime::from_days(3.0), 0.80 + 0.15 * p});
+      v.push_back({SimTime::from_days(7.0), 0.99});
+      break;
+    }
+  }
+  return v;
+}
+
+}  // namespace mpros::rules

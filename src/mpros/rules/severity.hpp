@@ -1,0 +1,47 @@
+#pragma once
+// Severity gradients and their prognostic meaning.
+//
+// §6.1: the DLI expert system maps a numerical severity score into four
+// gradient categories — Slight, Moderate, Serious, Extreme — corresponding
+// to "no foreseeable failure, failure in months, weeks, and days". Each
+// gradient also implies a default prognostic vector (time, probability
+// pairs) per the §7.3 protocol.
+
+#include <vector>
+
+#include "mpros/common/clock.hpp"
+
+namespace mpros::rules {
+
+enum class Gradient { None = 0, Slight, Moderate, Serious, Extreme };
+
+[[nodiscard]] const char* to_string(Gradient g);
+
+/// Thresholds on the 0..1 severity score. Scores below `slight` do not fire.
+struct GradientThresholds {
+  double slight = 0.20;
+  double moderate = 0.40;
+  double serious = 0.60;
+  double extreme = 0.80;
+};
+
+[[nodiscard]] Gradient gradient_of(double severity,
+                                   const GradientThresholds& t = {});
+
+/// One (time horizon, failure probability) point per §7.3; horizons are
+/// relative to the report timestamp.
+struct PrognosticPoint {
+  SimTime horizon;
+  double probability = 0.0;
+};
+
+/// Default prognostic vector for a gradient, scaled by the in-gradient
+/// position of the score (a high "Serious" predicts earlier than a low one):
+///  Slight   -> trouble beyond ~6 months
+///  Moderate -> failure likely within months
+///  Serious  -> failure likely within weeks
+///  Extreme  -> failure likely within days
+[[nodiscard]] std::vector<PrognosticPoint> default_prognosis(
+    double severity, const GradientThresholds& t = {});
+
+}  // namespace mpros::rules

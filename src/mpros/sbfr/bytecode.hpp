@@ -1,0 +1,77 @@
+#pragma once
+// SBFR bytecode instruction set.
+//
+// State-Based Feature Recognition (paper §6.3) runs "enhanced finite-state
+// machines" on embedded Data Concentrators; machines are tiny downloadable
+// images ("new finite-state machines may be downloaded into the smart
+// sensor") interpreted by a ~2 KB interpreter. We realize that with a small
+// stack VM: transition conditions and actions are byte programs over sensor
+// inputs, machine-local variables, shared status registers, and the elapsed
+// time in the current state (the paper's ∆T).
+//
+// Encoding: one opcode byte, followed by an immediate when noted. Constants
+// are float32 little-endian (4 bytes) to keep images small.
+
+#include <cstdint>
+
+namespace mpros::sbfr {
+
+enum class Op : std::uint8_t {
+  // Loads (push one value)
+  PushConst = 0x01,  // imm: f32
+  LoadInput = 0x02,  // imm: u8 channel — current sample on that channel
+  LoadDelta = 0x03,  // imm: u8 channel — current minus previous sample
+  LoadLocal = 0x04,  // imm: u8 index — this machine's local variable
+  LoadStatus = 0x05, // imm: u8 machine — any machine's status register
+  LoadState = 0x06,  // imm: u8 machine — any machine's current state index
+  LoadDt = 0x07,     // ticks since this machine entered its current state
+
+  // Arithmetic / logic (pop operands, push result; booleans are 0.0 / 1.0)
+  Add = 0x10,
+  Sub = 0x11,
+  Mul = 0x12,
+  Div = 0x13,
+  Neg = 0x14,
+  Not = 0x15,
+  Lt = 0x16,
+  Le = 0x17,
+  Gt = 0x18,
+  Ge = 0x19,
+  Eq = 0x1A,
+  Ne = 0x1B,
+  And = 0x1C,
+  Or = 0x1D,
+  BitAnd = 0x1E,  // on llround()ed operands — used for status masks
+  BitOr = 0x1F,
+
+  // Action-only stores (pop one value)
+  StoreLocal = 0x20,   // imm: u8 index
+  StoreStatus = 0x21,  // imm: u8 machine
+  Emit = 0x22,         // imm: u8 event code; pops the event payload
+
+  End = 0x7F,
+};
+
+/// VM evaluation stack depth; programs exceeding it fail validation.
+inline constexpr std::size_t kMaxStackDepth = 16;
+
+/// Size of the immediate operand for an opcode (0, 1, or 4 bytes).
+[[nodiscard]] constexpr std::size_t immediate_size(Op op) {
+  switch (op) {
+    case Op::PushConst:
+      return 4;
+    case Op::LoadInput:
+    case Op::LoadDelta:
+    case Op::LoadLocal:
+    case Op::LoadStatus:
+    case Op::LoadState:
+    case Op::StoreLocal:
+    case Op::StoreStatus:
+    case Op::Emit:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace mpros::sbfr

@@ -1,0 +1,157 @@
+#include "mpros/sbfr/disasm.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/sbfr/bytecode.hpp"
+
+namespace mpros::sbfr {
+namespace {
+
+std::string format_f32(std::span<const std::uint8_t> code, std::size_t pos) {
+  float f;
+  std::memcpy(&f, code.data() + pos, 4);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", static_cast<double>(f));
+  return buf;
+}
+
+const char* binary_op_symbol(Op op) {
+  switch (op) {
+    case Op::Add: return "+";
+    case Op::Sub: return "-";
+    case Op::Mul: return "*";
+    case Op::Div: return "/";
+    case Op::Lt: return "<";
+    case Op::Le: return "<=";
+    case Op::Gt: return ">";
+    case Op::Ge: return ">=";
+    case Op::Eq: return "==";
+    case Op::Ne: return "!=";
+    case Op::And: return "&&";
+    case Op::Or: return "||";
+    case Op::BitAnd: return "&";
+    case Op::BitOr: return "|";
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+std::string disassemble_program(std::span<const std::uint8_t> code) {
+  // Symbolic stack evaluation: loads push readable fragments, operators
+  // combine them, stores become statements.
+  std::vector<std::string> stack;
+  std::vector<std::string> statements;
+  const auto pop = [&]() -> std::string {
+    MPROS_EXPECTS(!stack.empty());  // validate() guarantees balance
+    std::string top = std::move(stack.back());
+    stack.pop_back();
+    return top;
+  };
+
+  std::size_t pc = 0;
+  char buf[64];
+  while (pc < code.size()) {
+    const Op op = static_cast<Op>(code[pc]);
+    const std::uint8_t imm =
+        immediate_size(op) >= 1 ? code[pc + 1] : std::uint8_t{0};
+    if (const char* symbol = binary_op_symbol(op)) {
+      const std::string rhs = pop();
+      const std::string lhs = pop();
+      stack.push_back("(" + lhs + " " + symbol + " " + rhs + ")");
+    } else {
+      switch (op) {
+        case Op::PushConst:
+          stack.push_back(format_f32(code, pc + 1));
+          break;
+        case Op::LoadInput:
+          std::snprintf(buf, sizeof buf, "input(ch%u)", imm);
+          stack.push_back(buf);
+          break;
+        case Op::LoadDelta:
+          std::snprintf(buf, sizeof buf, "delta(ch%u)", imm);
+          stack.push_back(buf);
+          break;
+        case Op::LoadLocal:
+          std::snprintf(buf, sizeof buf, "local[%u]", imm);
+          stack.push_back(buf);
+          break;
+        case Op::LoadStatus:
+          std::snprintf(buf, sizeof buf, "status[%u]", imm);
+          stack.push_back(buf);
+          break;
+        case Op::LoadState:
+          std::snprintf(buf, sizeof buf, "state[%u]", imm);
+          stack.push_back(buf);
+          break;
+        case Op::LoadDt:
+          stack.emplace_back("dt");
+          break;
+        case Op::Neg:
+          stack.back() = "-(" + stack.back() + ")";
+          break;
+        case Op::Not:
+          stack.back() = "!(" + stack.back() + ")";
+          break;
+        case Op::StoreLocal: {
+          std::snprintf(buf, sizeof buf, "local[%u] := ", imm);
+          statements.push_back(buf + pop());
+          break;
+        }
+        case Op::StoreStatus: {
+          std::snprintf(buf, sizeof buf, "status[%u] := ", imm);
+          statements.push_back(buf + pop());
+          break;
+        }
+        case Op::Emit: {
+          std::snprintf(buf, sizeof buf, "emit(0x%02X, ", imm);
+          statements.push_back(buf + pop() + ")");
+          break;
+        }
+        case Op::End:
+        default:
+          statements.emplace_back("<bad opcode>");
+          break;
+      }
+    }
+    pc += 1 + immediate_size(op);
+  }
+
+  std::string out;
+  for (const std::string& s : statements) {
+    if (!out.empty()) out += "; ";
+    out += s;
+  }
+  if (!stack.empty()) {
+    // A condition program leaves its value on top.
+    if (!out.empty()) out += "; ";
+    out += stack.back();
+  }
+  return out;
+}
+
+std::string disassemble(const MachineDef& def) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "machine \"%s\" (%zu states, %u locals, start %s)\n",
+                def.name().c_str(), def.states().size(), def.num_locals(),
+                def.states()[def.initial_state()].name.c_str());
+  std::string out = buf;
+
+  for (const StateDef& state : def.states()) {
+    for (const Transition& t : state.transitions) {
+      out += "  " + state.name + " -> " + def.states()[t.target].name +
+             "  when " + disassemble_program(t.condition);
+      if (!t.action.empty()) {
+        out += "  do { " + disassemble_program(t.action) + " }";
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace mpros::sbfr

@@ -1,0 +1,25 @@
+#pragma once
+// SBFR disassembler.
+//
+// Machines arrive at smart sensors as opaque byte images (§6.3 download
+// path); the disassembler renders an image back into readable transition
+// tables — the maintenance engineer's view of what a sensor is running.
+
+#include <string>
+
+#include "mpros/sbfr/machine.hpp"
+
+namespace mpros::sbfr {
+
+/// Render one bytecode program as an infix expression / statement list,
+/// e.g. "(delta(ch0) > 0.5) && (dt <= 4)".
+[[nodiscard]] std::string disassemble_program(
+    std::span<const std::uint8_t> code);
+
+/// Render a whole machine:
+///   machine "current-spike" (4 states, 0 locals, start Wait)
+///     Wait -> PossibleSpike1  when (delta(ch0) > 0.5)
+///     ...
+[[nodiscard]] std::string disassemble(const MachineDef& def);
+
+}  // namespace mpros::sbfr

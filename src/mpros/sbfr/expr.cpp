@@ -1,0 +1,110 @@
+#include "mpros/sbfr/expr.hpp"
+
+#include <cstring>
+
+namespace mpros::sbfr {
+namespace {
+
+void append_op(std::vector<std::uint8_t>& code, Op op) {
+  code.push_back(static_cast<std::uint8_t>(op));
+}
+
+void append_f32(std::vector<std::uint8_t>& code, double v) {
+  const float f = static_cast<float>(v);
+  std::uint8_t bytes[4];
+  std::memcpy(bytes, &f, 4);
+  // Element-wise push avoids a GCC 12 -Warray-bounds false positive on
+  // vector::insert from a stack array.
+  for (const std::uint8_t b : bytes) code.push_back(b);
+}
+
+}  // namespace
+
+Expr Expr::constant(double v) {
+  Expr e;
+  append_op(e.code_, Op::PushConst);
+  append_f32(e.code_, v);
+  return e;
+}
+
+void Expr::append_imm8(Op op, std::uint8_t imm) {
+  append_op(code_, op);
+  code_.push_back(imm);
+}
+
+Expr Expr::input(std::uint8_t channel) {
+  Expr e;
+  e.append_imm8(Op::LoadInput, channel);
+  return e;
+}
+
+Expr Expr::delta(std::uint8_t channel) {
+  Expr e;
+  e.append_imm8(Op::LoadDelta, channel);
+  return e;
+}
+
+Expr Expr::local(std::uint8_t index) {
+  Expr e;
+  e.append_imm8(Op::LoadLocal, index);
+  return e;
+}
+
+Expr Expr::status(std::uint8_t machine) {
+  Expr e;
+  e.append_imm8(Op::LoadStatus, machine);
+  return e;
+}
+
+Expr Expr::state_of(std::uint8_t machine) {
+  Expr e;
+  e.append_imm8(Op::LoadState, machine);
+  return e;
+}
+
+Expr Expr::dt() {
+  Expr e;
+  append_op(e.code_, Op::LoadDt);
+  return e;
+}
+
+Expr Expr::binary(const Expr& rhs, Op op) const {
+  Expr e;
+  e.code_ = code_;
+  e.code_.insert(e.code_.end(), rhs.code_.begin(), rhs.code_.end());
+  append_op(e.code_, op);
+  return e;
+}
+
+Expr Expr::unary(Op op) const {
+  Expr e;
+  e.code_ = code_;
+  append_op(e.code_, op);
+  return e;
+}
+
+Expr Expr::bit_and(const Expr& b) const { return binary(b, Op::BitAnd); }
+Expr Expr::bit_or(const Expr& b) const { return binary(b, Op::BitOr); }
+
+Action& Action::set_local(std::uint8_t index, const Expr& e) {
+  code_.insert(code_.end(), e.code().begin(), e.code().end());
+  code_.push_back(static_cast<std::uint8_t>(Op::StoreLocal));
+  code_.push_back(index);
+  return *this;
+}
+
+Action& Action::set_status(std::uint8_t machine, const Expr& e) {
+  code_.insert(code_.end(), e.code().begin(), e.code().end());
+  code_.push_back(static_cast<std::uint8_t>(Op::StoreStatus));
+  code_.push_back(machine);
+  return *this;
+}
+
+Action& Action::emit(std::uint8_t code, const Expr& e) {
+  code_.insert(code_.end(), e.code().begin(), e.code().end());
+  code_.push_back(static_cast<std::uint8_t>(Op::Emit));
+  code_.push_back(code);
+  return *this;
+}
+
+}  // namespace mpros::sbfr

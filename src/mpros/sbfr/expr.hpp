@@ -1,0 +1,99 @@
+#pragma once
+// Expression / action builders that compile to SBFR bytecode.
+//
+// Machines are authored in C++ with a small DSL and compiled to the byte
+// images that the interpreter executes (and that the net layer can ship to a
+// DC). Example, the paper's "Current Increase & ∆T <= 4":
+//
+//   Expr c = Expr::delta(0) > 0.5 && Expr::dt() <= 4.0;
+
+#include <cstdint>
+#include <vector>
+
+#include "mpros/sbfr/bytecode.hpp"
+
+namespace mpros::sbfr {
+
+/// An expression whose value is computed on the VM stack.
+class Expr {
+ public:
+  /// Literal constant (stored as float32 in the image).
+  static Expr constant(double v);
+  /// Current sample on an input channel.
+  static Expr input(std::uint8_t channel);
+  /// Current minus previous sample on a channel (discrete derivative).
+  static Expr delta(std::uint8_t channel);
+  /// This machine's local variable.
+  static Expr local(std::uint8_t index);
+  /// Status register of machine `m` (readable across machines, per paper).
+  static Expr status(std::uint8_t machine);
+  /// Current state index of machine `m`.
+  static Expr state_of(std::uint8_t machine);
+  /// Ticks since this machine entered its current state (the paper's ∆T).
+  static Expr dt();
+
+  [[nodiscard]] const std::vector<std::uint8_t>& code() const { return code_; }
+
+  // Arithmetic
+  friend Expr operator+(Expr a, const Expr& b) { return a.binary(b, Op::Add); }
+  friend Expr operator-(Expr a, const Expr& b) { return a.binary(b, Op::Sub); }
+  friend Expr operator*(Expr a, const Expr& b) { return a.binary(b, Op::Mul); }
+  friend Expr operator/(Expr a, const Expr& b) { return a.binary(b, Op::Div); }
+  friend Expr operator-(Expr a) { return a.unary(Op::Neg); }
+  friend Expr operator!(Expr a) { return a.unary(Op::Not); }
+
+  // Comparisons (result 0.0 / 1.0)
+  friend Expr operator<(Expr a, const Expr& b) { return a.binary(b, Op::Lt); }
+  friend Expr operator<=(Expr a, const Expr& b) { return a.binary(b, Op::Le); }
+  friend Expr operator>(Expr a, const Expr& b) { return a.binary(b, Op::Gt); }
+  friend Expr operator>=(Expr a, const Expr& b) { return a.binary(b, Op::Ge); }
+  friend Expr operator==(Expr a, const Expr& b) { return a.binary(b, Op::Eq); }
+  friend Expr operator!=(Expr a, const Expr& b) { return a.binary(b, Op::Ne); }
+
+  // Logic (non-short-circuit; both sides evaluate — fine for pure loads)
+  friend Expr operator&&(Expr a, const Expr& b) { return a.binary(b, Op::And); }
+  friend Expr operator||(Expr a, const Expr& b) { return a.binary(b, Op::Or); }
+
+  /// Bitwise ops for status masks, e.g. status(0) | 1.
+  [[nodiscard]] Expr bit_and(const Expr& b) const;
+  [[nodiscard]] Expr bit_or(const Expr& b) const;
+
+  // Allow mixing with raw numbers: Expr::dt() <= 4.0
+  friend Expr operator<=(Expr a, double b) { return a <= Expr::constant(b); }
+  friend Expr operator<(Expr a, double b) { return a < Expr::constant(b); }
+  friend Expr operator>=(Expr a, double b) { return a >= Expr::constant(b); }
+  friend Expr operator>(Expr a, double b) { return a > Expr::constant(b); }
+  friend Expr operator==(Expr a, double b) { return a == Expr::constant(b); }
+  friend Expr operator!=(Expr a, double b) { return a != Expr::constant(b); }
+  friend Expr operator+(Expr a, double b) { return a + Expr::constant(b); }
+  friend Expr operator-(Expr a, double b) { return a - Expr::constant(b); }
+
+ private:
+  Expr() = default;
+  Expr binary(const Expr& rhs, Op op) const;
+  Expr unary(Op op) const;
+  void append_imm8(Op op, std::uint8_t imm);
+
+  std::vector<std::uint8_t> code_;
+};
+
+/// A sequence of stores/emits executed when a transition fires.
+class Action {
+ public:
+  Action() = default;
+
+  /// local[index] = value of `e`.
+  Action& set_local(std::uint8_t index, const Expr& e);
+  /// status[machine] = value of `e` (any machine's status is writable).
+  Action& set_status(std::uint8_t machine, const Expr& e);
+  /// Publish an event with code `code` and payload `e` for host software.
+  Action& emit(std::uint8_t code, const Expr& e);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& code() const { return code_; }
+  [[nodiscard]] bool empty() const { return code_.empty(); }
+
+ private:
+  std::vector<std::uint8_t> code_;
+};
+
+}  // namespace mpros::sbfr

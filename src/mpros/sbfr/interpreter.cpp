@@ -1,0 +1,254 @@
+#include "mpros/sbfr/interpreter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::sbfr {
+namespace {
+
+double read_f32(std::span<const std::uint8_t> code, std::size_t pos) {
+  float f;
+  std::memcpy(&f, code.data() + pos, 4);
+  return static_cast<double>(f);
+}
+
+bool truthy(double v) { return v != 0.0; }
+
+}  // namespace
+
+SbfrSystem::SbfrSystem(std::size_t input_channels)
+    : prev_inputs_(input_channels, 0.0) {}
+
+std::size_t SbfrSystem::add_machine(MachineDef def) {
+  const std::string error = validate(def);
+  MPROS_EXPECTS(error.empty());
+  MachineRuntime rt{std::move(def), 0, 0, 0, {}};
+  rt.image_bytes = rt.def.image_size();
+  rt.state = rt.def.initial_state();
+  rt.locals.assign(rt.def.num_locals(), 0.0);
+  machines_.push_back(std::move(rt));
+  status_.push_back(0.0);
+  return machines_.size() - 1;
+}
+
+void SbfrSystem::step(std::span<const double> inputs) {
+  MPROS_EXPECTS(inputs.size() == prev_inputs_.size());
+
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    current_machine_ = i;
+    MachineRuntime& m = machines_[i];
+    const StateDef& state = m.def.states()[m.state];
+
+    for (const Transition& t : state.transitions) {
+      if (!truthy(eval(t.condition, m, inputs))) continue;
+      if (!t.action.empty()) exec_action(t.action, m, inputs);
+      if (t.target != m.state) {
+        m.state = t.target;
+        m.state_entry_cycle = cycle_ + 1;  // ∆T counts from the next cycle
+      }
+      break;  // at most one transition per machine per cycle
+    }
+  }
+
+  std::copy(inputs.begin(), inputs.end(), prev_inputs_.begin());
+  have_prev_ = true;
+  ++cycle_;
+}
+
+std::vector<Event> SbfrSystem::drain_events() {
+  std::vector<Event> out;
+  out.swap(events_);
+  return out;
+}
+
+double SbfrSystem::status(std::size_t machine) const {
+  MPROS_EXPECTS(machine < status_.size());
+  return status_[machine];
+}
+
+void SbfrSystem::set_status(std::size_t machine, double v) {
+  MPROS_EXPECTS(machine < status_.size());
+  status_[machine] = v;
+}
+
+std::uint8_t SbfrSystem::state(std::size_t machine) const {
+  MPROS_EXPECTS(machine < machines_.size());
+  return machines_[machine].state;
+}
+
+const std::string& SbfrSystem::state_name(std::size_t machine) const {
+  MPROS_EXPECTS(machine < machines_.size());
+  const MachineRuntime& m = machines_[machine];
+  return m.def.states()[m.state].name;
+}
+
+double SbfrSystem::local(std::size_t machine, std::size_t index) const {
+  MPROS_EXPECTS(machine < machines_.size());
+  MPROS_EXPECTS(index < machines_[machine].locals.size());
+  return machines_[machine].locals[index];
+}
+
+std::size_t SbfrSystem::memory_footprint() const {
+  std::size_t bytes = 0;
+  for (const MachineRuntime& m : machines_) {
+    bytes += m.image_bytes;                     // program image
+    bytes += m.locals.size() * sizeof(double);  // local variables
+    bytes += 1 + 8;                             // state byte + entry cycle
+  }
+  bytes += status_.size() * sizeof(double);       // shared status registers
+  bytes += prev_inputs_.size() * sizeof(double);  // previous-sample latch
+  return bytes;
+}
+
+void SbfrSystem::reset() {
+  for (MachineRuntime& m : machines_) {
+    m.state = m.def.initial_state();
+    m.state_entry_cycle = 0;
+    std::fill(m.locals.begin(), m.locals.end(), 0.0);
+  }
+  std::fill(status_.begin(), status_.end(), 0.0);
+  std::fill(prev_inputs_.begin(), prev_inputs_.end(), 0.0);
+  have_prev_ = false;
+  cycle_ = 0;
+  events_.clear();
+}
+
+// Single bytecode loop shared by conditions and actions. Conditions (pure
+// programs, validate()-checked) finish with one value on the stack; actions
+// finish with an empty stack after applying their stores/emits. Returns the
+// final top-of-stack value for conditions, 0 for actions.
+double SbfrSystem::run(std::span<const std::uint8_t> code, MachineRuntime& m,
+                       std::span<const double> inputs) {
+  double stack[kMaxStackDepth];
+  std::size_t sp = 0;
+  std::size_t pc = 0;
+
+  const auto push = [&](double v) {
+    MPROS_ASSERT(sp < kMaxStackDepth);
+    stack[sp++] = v;
+  };
+  const auto pop = [&]() -> double {
+    MPROS_ASSERT(sp > 0);
+    return stack[--sp];
+  };
+
+  while (pc < code.size()) {
+    const Op op = static_cast<Op>(code[pc]);
+    switch (op) {
+      case Op::PushConst:
+        push(read_f32(code, pc + 1));
+        break;
+      case Op::LoadInput: {
+        const std::uint8_t ch = code[pc + 1];
+        MPROS_ASSERT(ch < inputs.size());
+        push(inputs[ch]);
+        break;
+      }
+      case Op::LoadDelta: {
+        const std::uint8_t ch = code[pc + 1];
+        MPROS_ASSERT(ch < inputs.size());
+        push(have_prev_ ? inputs[ch] - prev_inputs_[ch] : 0.0);
+        break;
+      }
+      case Op::LoadLocal: {
+        const std::uint8_t idx = code[pc + 1];
+        MPROS_ASSERT(idx < m.locals.size());
+        push(m.locals[idx]);
+        break;
+      }
+      case Op::LoadStatus: {
+        const std::uint8_t mi = code[pc + 1];
+        MPROS_ASSERT(mi < status_.size());
+        push(status_[mi]);
+        break;
+      }
+      case Op::LoadState: {
+        const std::uint8_t mi = code[pc + 1];
+        MPROS_ASSERT(mi < machines_.size());
+        push(static_cast<double>(machines_[mi].state));
+        break;
+      }
+      case Op::LoadDt:
+        push(static_cast<double>(
+            cycle_ >= m.state_entry_cycle ? cycle_ - m.state_entry_cycle : 0));
+        break;
+      case Op::Add: { const double b = pop(), a = pop(); push(a + b); break; }
+      case Op::Sub: { const double b = pop(), a = pop(); push(a - b); break; }
+      case Op::Mul: { const double b = pop(), a = pop(); push(a * b); break; }
+      case Op::Div: {
+        const double b = pop(), a = pop();
+        push(b != 0.0 ? a / b : 0.0);
+        break;
+      }
+      case Op::Neg: push(-pop()); break;
+      case Op::Not: push(truthy(pop()) ? 0.0 : 1.0); break;
+      case Op::Lt: { const double b = pop(), a = pop(); push(a < b ? 1.0 : 0.0); break; }
+      case Op::Le: { const double b = pop(), a = pop(); push(a <= b ? 1.0 : 0.0); break; }
+      case Op::Gt: { const double b = pop(), a = pop(); push(a > b ? 1.0 : 0.0); break; }
+      case Op::Ge: { const double b = pop(), a = pop(); push(a >= b ? 1.0 : 0.0); break; }
+      case Op::Eq: { const double b = pop(), a = pop(); push(a == b ? 1.0 : 0.0); break; }
+      case Op::Ne: { const double b = pop(), a = pop(); push(a != b ? 1.0 : 0.0); break; }
+      case Op::And: {
+        const double b = pop(), a = pop();
+        push(truthy(a) && truthy(b) ? 1.0 : 0.0);
+        break;
+      }
+      case Op::Or: {
+        const double b = pop(), a = pop();
+        push(truthy(a) || truthy(b) ? 1.0 : 0.0);
+        break;
+      }
+      case Op::BitAnd: {
+        const double b = pop(), a = pop();
+        push(static_cast<double>(std::llround(a) & std::llround(b)));
+        break;
+      }
+      case Op::BitOr: {
+        const double b = pop(), a = pop();
+        push(static_cast<double>(std::llround(a) | std::llround(b)));
+        break;
+      }
+      case Op::StoreLocal: {
+        const std::uint8_t idx = code[pc + 1];
+        MPROS_ASSERT(idx < m.locals.size());
+        m.locals[idx] = pop();
+        break;
+      }
+      case Op::StoreStatus: {
+        const std::uint8_t mi = code[pc + 1];
+        MPROS_ASSERT(mi < status_.size());
+        status_[mi] = pop();
+        break;
+      }
+      case Op::Emit:
+        events_.push_back(
+            Event{current_machine_, code[pc + 1], pop(), cycle_});
+        break;
+      case Op::End:
+        MPROS_ASSERT(false);  // never encoded; programs end at buffer end
+        break;
+    }
+    pc += 1 + immediate_size(op);
+  }
+  return sp > 0 ? stack[sp - 1] : 0.0;
+}
+
+double SbfrSystem::eval(std::span<const std::uint8_t> code,
+                        const MachineRuntime& m,
+                        std::span<const double> inputs) {
+  // Conditions are pure (validate() rejects stores), so the const_cast-free
+  // path is to run on a copy of nothing: run() never mutates `m` for pure
+  // programs. We pass the runtime by non-const reference internally.
+  return run(code, const_cast<MachineRuntime&>(m), inputs);
+}
+
+void SbfrSystem::exec_action(std::span<const std::uint8_t> code,
+                             MachineRuntime& m,
+                             std::span<const double> inputs) {
+  run(code, m, inputs);
+}
+
+}  // namespace mpros::sbfr

@@ -1,0 +1,95 @@
+#pragma once
+// The SBFR interpreter: N machines stepping in parallel over shared inputs.
+//
+// Cycle semantics (documented reconstruction of paper §6.3):
+//  - step() presents one sample per input channel to every machine.
+//  - Machines evaluate in index order within a cycle; status-register writes
+//    are visible immediately, so machine k+1 can react to machine k's spike
+//    in the same cycle (matches the paper's Machine-1-clears-Machine-0
+//    handshake).
+//  - Per machine, the first transition (in authoring order) whose condition
+//    is true fires; at most one transition per machine per cycle.
+//  - ∆T is the number of cycles since the machine entered its current state;
+//    it resets only when a transition changes the state (self-loops keep it).
+//  - The host (DC software / PDME) may read and write any status register
+//    between cycles, as the paper requires ("that agent has the
+//    responsibility to then reset Machine 1's status register to 0").
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpros/sbfr/machine.hpp"
+
+namespace mpros::sbfr {
+
+/// An event published by an Emit action.
+struct Event {
+  std::size_t machine = 0;
+  std::uint8_t code = 0;
+  double payload = 0.0;
+  std::uint64_t cycle = 0;
+};
+
+class SbfrSystem {
+ public:
+  /// `input_channels` is the width of the sample vector fed to step().
+  explicit SbfrSystem(std::size_t input_channels);
+
+  /// Add a machine (validated; aborts on malformed bytecode). Returns its
+  /// index, which is what LoadStatus/StoreStatus immediates refer to.
+  std::size_t add_machine(MachineDef def);
+
+  [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
+  [[nodiscard]] std::size_t input_channels() const { return prev_inputs_.size(); }
+
+  /// Run one cycle over the given samples (size must equal input_channels).
+  /// Emitted events are appended to the internal event buffer.
+  void step(std::span<const double> inputs);
+
+  /// Events accumulated since the last drain_events() call.
+  [[nodiscard]] std::vector<Event> drain_events();
+
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+  // Host access (between cycles).
+  [[nodiscard]] double status(std::size_t machine) const;
+  void set_status(std::size_t machine, double v);
+  [[nodiscard]] std::uint8_t state(std::size_t machine) const;
+  [[nodiscard]] const std::string& state_name(std::size_t machine) const;
+  [[nodiscard]] double local(std::size_t machine, std::size_t index) const;
+
+  /// RAM the runtime needs: machine images + per-machine mutable state +
+  /// shared registers. This is the number E4 holds against the paper's
+  /// "100 machines + interpreter in under 32 KB".
+  [[nodiscard]] std::size_t memory_footprint() const;
+
+  void reset();
+
+ private:
+  struct MachineRuntime {
+    MachineDef def;
+    std::size_t image_bytes = 0;
+    std::uint8_t state = 0;
+    std::uint64_t state_entry_cycle = 0;
+    std::vector<double> locals;
+  };
+
+  double run(std::span<const std::uint8_t> code, MachineRuntime& m,
+             std::span<const double> inputs);
+  double eval(std::span<const std::uint8_t> code, const MachineRuntime& m,
+              std::span<const double> inputs);
+  void exec_action(std::span<const std::uint8_t> code, MachineRuntime& m,
+                   std::span<const double> inputs);
+
+  std::vector<MachineRuntime> machines_;
+  std::vector<double> status_;       // one shared register per machine
+  std::vector<double> prev_inputs_;  // for LoadDelta
+  bool have_prev_ = false;
+  std::uint64_t cycle_ = 0;
+  std::vector<Event> events_;
+  std::size_t current_machine_ = 0;  // set during step()
+};
+
+}  // namespace mpros::sbfr

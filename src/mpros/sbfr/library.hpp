@@ -1,0 +1,67 @@
+#pragma once
+// Reference SBFR machines.
+//
+// make_spike_machine / make_stiction_machine reconstruct the paper's Fig 3
+// pair for electro-mechanical-actuator seize-up prediction:
+//  - Machine 0 ("Current SPIKE Machine"): four states, seven transitions,
+//    recognizes clean spikes in the drive-motor current and is "relatively
+//    noise free" thanks to its two intermediate Possible-Spike states.
+//  - Machine 1 ("EMA Stiction Machine"): counts spikes not associated with a
+//    commanded position change (CPOS); more than four flags stiction.
+//
+// The figure's transition captions are partially garbled in the source text;
+// where they are ambiguous we reconstruct semantics that satisfy every
+// statement in the prose (the reconstruction is documented per transition
+// below and exercised by the E3 scenario tests).
+
+#include <cstdint>
+
+#include "mpros/sbfr/machine.hpp"
+
+namespace mpros::sbfr {
+
+/// Tuning for the Fig 3 pair.
+struct EmaConfig {
+  std::uint8_t current_channel = 0;  ///< drive-motor current input
+  std::uint8_t cpos_channel = 1;     ///< commanded-position input
+  double rise_threshold = 0.5;       ///< per-cycle delta flagged as "increase"
+  double fall_threshold = 0.5;       ///< per-cycle delta flagged as "decrease"
+  double dt_limit = 4;               ///< the figure's ∆T bound
+  double settle_cycles = 2;          ///< quiet cycles confirming the spike
+  double cpos_epsilon = 1e-6;        ///< |∆CPOS| below this = "unchanged"
+  int spike_count_limit = 4;         ///< "Local:1 > 4" → stiction
+  std::uint8_t spike_machine = 0;    ///< index the spike machine will get
+  std::uint8_t stiction_machine = 1; ///< index the stiction machine will get
+};
+
+/// Spike machine states, in index order.
+enum class SpikeState : std::uint8_t { Wait = 0, Possible1, Possible2, Spike };
+/// Stiction machine states, in index order.
+enum class StictionState : std::uint8_t { Wait = 0, Stiction };
+
+/// Event code emitted by the stiction machine when it latches.
+inline constexpr std::uint8_t kStictionEventCode = 0x51;
+
+[[nodiscard]] MachineDef make_spike_machine(const EmaConfig& cfg = {});
+[[nodiscard]] MachineDef make_stiction_machine(const EmaConfig& cfg = {});
+
+/// Threshold alarm: Idle -> Alarm when input(channel) > threshold for
+/// `hold_cycles` consecutive cycles; sets own status bit and emits
+/// `event_code` with the offending value. Returns to Idle when the signal
+/// drops below `threshold` and the host clears the status.
+[[nodiscard]] MachineDef make_threshold_machine(std::uint8_t channel,
+                                                double threshold,
+                                                double hold_cycles,
+                                                std::uint8_t self_index,
+                                                std::uint8_t event_code);
+
+/// Trend detector: counts consecutive cycles with delta(channel) >
+/// `slope_threshold`; `run_length` such cycles latch a Trending state, set
+/// the status bit, and emit `event_code` with the current value.
+[[nodiscard]] MachineDef make_trend_machine(std::uint8_t channel,
+                                            double slope_threshold,
+                                            double run_length,
+                                            std::uint8_t self_index,
+                                            std::uint8_t event_code);
+
+}  // namespace mpros::sbfr

@@ -1,0 +1,72 @@
+#pragma once
+// SBFR machine definitions and their serialized images.
+//
+// A machine is a list of states; each state owns an ordered list of
+// transitions {condition bytecode, action bytecode, target state}. The first
+// transition whose condition evaluates true fires (at most one per cycle).
+//
+// Images are the downloadable artifact of the paper ("new finite-state
+// machines may be downloaded into the smart sensor"); image_size() is what
+// experiment E4 compares against the paper's 229/93-byte figures.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpros/sbfr/expr.hpp"
+
+namespace mpros::sbfr {
+
+struct Transition {
+  std::vector<std::uint8_t> condition;  // Expr bytecode
+  std::vector<std::uint8_t> action;     // Action bytecode (may be empty)
+  std::uint8_t target = 0;              // state index
+};
+
+struct StateDef {
+  std::string name;  // debug only; not serialized
+  std::vector<Transition> transitions;
+};
+
+class MachineDef {
+ public:
+  explicit MachineDef(std::string name, std::uint8_t num_locals = 0,
+                      std::uint8_t initial_state = 0);
+
+  /// Add a state; returns its index.
+  std::uint8_t add_state(std::string state_name);
+
+  /// Add a transition from `from` to `to` firing when `when` is true.
+  void add_transition(std::uint8_t from, std::uint8_t to, const Expr& when,
+                      const Action& then = {});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<StateDef>& states() const { return states_; }
+  [[nodiscard]] std::uint8_t num_locals() const { return num_locals_; }
+  [[nodiscard]] std::uint8_t initial_state() const { return initial_state_; }
+
+  /// Serialize to the compact download image.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Image byte count (what fits in the DC's 32 KB budget).
+  [[nodiscard]] std::size_t image_size() const { return serialize().size(); }
+
+  /// Parse an image back into a definition (state names are synthesized).
+  /// Aborts on malformed input — images come from our own serializer.
+  static MachineDef deserialize(std::span<const std::uint8_t> image,
+                                std::string name = "downloaded");
+
+ private:
+  std::string name_;
+  std::vector<StateDef> states_;
+  std::uint8_t num_locals_;
+  std::uint8_t initial_state_;
+};
+
+/// Validate that every program in the machine is well-formed bytecode:
+/// known opcodes, stack depth within kMaxStackDepth, conditions leave
+/// exactly one value, actions leave zero. Returns an error string or empty.
+[[nodiscard]] std::string validate(const MachineDef& def);
+
+}  // namespace mpros::sbfr

@@ -1,0 +1,61 @@
+#include "mpros/wavelet/features.hpp"
+
+#include <cmath>
+
+namespace mpros::wavelet {
+namespace {
+
+double sum_sq(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return s;
+}
+
+}  // namespace
+
+std::vector<double> energy_map(const Decomposition& d) {
+  std::vector<double> energies;
+  energies.reserve(d.details.size() + 1);
+  double total = 0.0;
+  for (const auto& detail : d.details) {
+    energies.push_back(sum_sq(detail));
+    total += energies.back();
+  }
+  energies.push_back(sum_sq(d.approx));
+  total += energies.back();
+
+  if (total > 0.0) {
+    for (double& e : energies) e /= total;
+  }
+  return energies;
+}
+
+double energy_entropy(const Decomposition& d) {
+  const std::vector<double> map = energy_map(d);
+  double h = 0.0;
+  for (double p : map) {
+    if (p > 1e-15) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::vector<double> peak_map(const Decomposition& d) {
+  std::vector<double> peaks;
+  peaks.reserve(d.details.size());
+  for (const auto& detail : d.details) {
+    double peak = 0.0;
+    for (double v : detail) peak = std::max(peak, std::fabs(v));
+    peaks.push_back(peak);
+  }
+  return peaks;
+}
+
+std::vector<double> wavelet_feature_vector(std::span<const double> x, Family f,
+                                           std::size_t levels) {
+  const Decomposition d = decompose(x, f, levels);
+  std::vector<double> features = energy_map(d);
+  features.push_back(energy_entropy(d));
+  return features;
+}
+
+}  // namespace mpros::wavelet

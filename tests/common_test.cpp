@@ -1,0 +1,192 @@
+// Tests for the common substrate: clock, ids, ring buffer, queues, pool, rng.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "mpros/common/clock.hpp"
+#include "mpros/common/concurrent_queue.hpp"
+#include "mpros/common/ids.hpp"
+#include "mpros/common/ring_buffer.hpp"
+#include "mpros/common/rng.hpp"
+#include "mpros/common/thread_pool.hpp"
+
+namespace mpros {
+namespace {
+
+TEST(SimTimeTest, ConversionsRoundTrip) {
+  EXPECT_EQ(SimTime::from_seconds(1.0).micros(), 1'000'000);
+  EXPECT_DOUBLE_EQ(SimTime::from_millis(250.0).seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(SimTime::from_hours(2.0).seconds(), 7200.0);
+  EXPECT_DOUBLE_EQ(SimTime::from_days(3.0).hours(), 72.0);
+  EXPECT_DOUBLE_EQ(SimTime::from_months(2.0).days(), 60.0);
+}
+
+TEST(SimTimeTest, ArithmeticAndComparison) {
+  const SimTime a = SimTime::from_seconds(10.0);
+  const SimTime b = SimTime::from_seconds(4.0);
+  EXPECT_EQ((a + b).seconds(), 14.0);
+  EXPECT_EQ((a - b).seconds(), 6.0);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a, SimTime::from_seconds(10.0));
+}
+
+TEST(SimTimeTest, ToStringPicksSensibleUnits) {
+  EXPECT_EQ(to_string(SimTime::from_seconds(2.5)), "2.50s");
+  EXPECT_EQ(to_string(SimTime::from_months(4.5)), "4.50mo");
+  EXPECT_EQ(to_string(SimTime::from_millis(3.0)), "3.00ms");
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now().micros(), 0);
+  clock.advance(SimTime::from_seconds(5.0));
+  EXPECT_EQ(clock.now().seconds(), 5.0);
+  clock.advance_to(SimTime::from_seconds(9.0));
+  EXPECT_EQ(clock.now().seconds(), 9.0);
+}
+
+TEST(StrongIdTest, DistinctTypesAndHashing) {
+  const DcId a(7), b(7), c(9);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(DcId().valid());
+  std::set<DcId> ids{a, b, c};
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(RingBufferTest, OverwritesOldest) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  rb.push(4);  // evicts 1
+  EXPECT_EQ(rb.at_oldest(0), 2);
+  EXPECT_EQ(rb.at_oldest(2), 4);
+  EXPECT_EQ(rb.at_newest(0), 4);
+}
+
+TEST(RingBufferTest, LatestCopiesInOrder) {
+  RingBuffer<int> rb(4);
+  for (int i = 1; i <= 6; ++i) rb.push(i);
+  std::vector<int> out;
+  rb.latest(3, out);
+  EXPECT_EQ(out, (std::vector<int>{4, 5, 6}));
+}
+
+TEST(RingBufferTest, BatchPushAndClear) {
+  RingBuffer<double> rb(8);
+  const double vs[] = {1.0, 2.0, 3.0};
+  rb.push(std::span<const double>(vs));
+  EXPECT_EQ(rb.size(), 3u);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(ConcurrentQueueTest, FifoOrder) {
+  ConcurrentQueue<int> q;
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(ConcurrentQueueTest, CloseWakesAndDrains) {
+  ConcurrentQueue<int> q;
+  q.push(42);
+  q.close();
+  EXPECT_FALSE(q.push(43));
+  EXPECT_EQ(q.pop().value(), 42);  // drains before returning nullopt
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(ConcurrentQueueTest, ManyProducersOneConsumer) {
+  ConcurrentQueue<int> q;
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::vector<std::jthread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(i);
+    });
+  }
+  producers.clear();  // join
+  q.close();
+  int count = 0;
+  while (q.pop().has_value()) ++count;
+  EXPECT_EQ(count, kPerProducer * kProducers);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng base(7);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.uniform(0, 1) != b.uniform(0, 1)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, NormalHasRoughlyCorrectMoments) {
+  Rng rng(4242);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+}  // namespace
+}  // namespace mpros

@@ -1,0 +1,182 @@
+// Embedded relational store tests: schema checks, CRUD, indexes,
+// transactions.
+
+#include <gtest/gtest.h>
+
+#include "mpros/db/database.hpp"
+
+namespace mpros::db {
+namespace {
+
+TableSchema people_schema() {
+  return TableSchema{"people",
+                     {ColumnDef{"id", ValueType::Integer, false},
+                      ColumnDef{"name", ValueType::Text, false},
+                      ColumnDef{"age", ValueType::Integer, true},
+                      ColumnDef{"score", ValueType::Real, true}}};
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::Null);
+  EXPECT_EQ(Value(std::int64_t{5}).as_integer(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_real(), 2.5);
+  EXPECT_EQ(Value("hi").as_text(), "hi");
+  EXPECT_DOUBLE_EQ(Value(std::int64_t{3}).numeric(), 3.0);
+}
+
+TEST(ValueTest, OrderingAcrossTypes) {
+  EXPECT_TRUE(Value().less(Value(std::int64_t{1})));
+  EXPECT_TRUE(Value(std::int64_t{1}).less(Value(2.5)));
+  EXPECT_TRUE(Value(2.5).less(Value("a")));
+  EXPECT_FALSE(Value("b").less(Value("a")));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value().to_string(), "NULL");
+  EXPECT_EQ(Value(std::int64_t{42}).to_string(), "42");
+  EXPECT_EQ(Value("x").to_string(), "x");
+}
+
+TEST(TableTest, InsertFindErase) {
+  Table t(people_schema());
+  t.insert({Value(std::int64_t{1}), Value("alice"), Value(std::int64_t{30}),
+            Value(0.9)});
+  EXPECT_EQ(t.row_count(), 1u);
+  const Row* row = t.find(1);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[1].as_text(), "alice");
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.find(1), nullptr);
+}
+
+TEST(TableTest, InsertAutoAssignsSequentialKeys) {
+  Table t(people_schema());
+  const auto k1 = t.insert_auto({Value("a"), Value(), Value()});
+  const auto k2 = t.insert_auto({Value("b"), Value(), Value()});
+  EXPECT_EQ(k2, k1 + 1);
+  // Explicit high key bumps the sequence.
+  t.insert({Value(std::int64_t{100}), Value("c"), Value(), Value()});
+  EXPECT_EQ(t.insert_auto({Value("d"), Value(), Value()}), 101);
+}
+
+TEST(TableTest, NullableAndTypeChecksAcceptIntegerIntoReal) {
+  Table t(people_schema());
+  // Integer into REAL column is allowed (numeric coercion).
+  t.insert({Value(std::int64_t{1}), Value("a"), Value(),
+            Value(std::int64_t{7})});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, UpdateChangesValueAndIndexes) {
+  Table t(people_schema());
+  t.create_index("name");
+  t.insert_auto({Value("old"), Value(), Value()});
+  EXPECT_TRUE(t.update(1, "name", Value("new")));
+  EXPECT_EQ(t.lookup("name", Value("old")).size(), 0u);
+  EXPECT_EQ(t.lookup("name", Value("new")).size(), 1u);
+  EXPECT_FALSE(t.update(99, "name", Value("zz")));
+}
+
+TEST(TableTest, SelectWithPredicate) {
+  Table t(people_schema());
+  for (int i = 0; i < 10; ++i) {
+    t.insert_auto({Value("p" + std::to_string(i)),
+                   Value(std::int64_t{20 + i}), Value()});
+  }
+  const auto old_enough = t.select(
+      [](const Row& r) { return r[2].as_integer() >= 25; });
+  EXPECT_EQ(old_enough.size(), 5u);
+  EXPECT_EQ(t.select().size(), 10u);
+}
+
+TEST(TableTest, IndexEqualityAndRange) {
+  Table t(people_schema());
+  t.create_index("age");
+  for (int i = 0; i < 20; ++i) {
+    t.insert_auto({Value("p"), Value(std::int64_t{i % 5}), Value()});
+  }
+  EXPECT_EQ(t.lookup("age", Value(std::int64_t{3})).size(), 4u);
+  EXPECT_EQ(t.lookup_range("age", Value(std::int64_t{1}),
+                           Value(std::int64_t{2}))
+                .size(),
+            8u);
+}
+
+TEST(TableTest, IndexBuiltOverExistingRows) {
+  Table t(people_schema());
+  t.insert_auto({Value("x"), Value(std::int64_t{1}), Value()});
+  t.insert_auto({Value("y"), Value(std::int64_t{1}), Value()});
+  t.create_index("age");
+  EXPECT_EQ(t.lookup("age", Value(std::int64_t{1})).size(), 2u);
+}
+
+TEST(TableTest, EraseRemovesFromIndex) {
+  Table t(people_schema());
+  t.create_index("age");
+  const auto k = t.insert_auto({Value("x"), Value(std::int64_t{9}), Value()});
+  t.erase(k);
+  EXPECT_TRUE(t.lookup("age", Value(std::int64_t{9})).empty());
+}
+
+TEST(DatabaseTest, CreateAndDropTables) {
+  Database db;
+  db.create_table(people_schema());
+  EXPECT_TRUE(db.has_table("people"));
+  EXPECT_EQ(db.table_names().size(), 1u);
+  db.drop_table("people");
+  EXPECT_FALSE(db.has_table("people"));
+}
+
+TEST(DatabaseTest, TransactionCommitKeepsChanges) {
+  Database db;
+  db.create_table(people_schema());
+  db.begin();
+  db.insert_auto("people", {Value("a"), Value(), Value()});
+  db.commit();
+  EXPECT_EQ(db.table("people").row_count(), 1u);
+}
+
+TEST(DatabaseTest, TransactionRollbackUndoesInsertUpdateErase) {
+  Database db;
+  db.create_table(people_schema());
+  const auto keep = db.insert_auto(
+      "people", {Value("keep"), Value(std::int64_t{1}), Value()});
+  const auto gone = db.insert_auto(
+      "people", {Value("gone"), Value(std::int64_t{2}), Value()});
+
+  db.begin();
+  db.insert_auto("people", {Value("temp"), Value(), Value()});
+  db.update("people", keep, "name", Value("mutated"));
+  db.erase("people", gone);
+  EXPECT_EQ(db.table("people").row_count(), 2u);
+  db.rollback();
+
+  EXPECT_EQ(db.table("people").row_count(), 2u);
+  EXPECT_EQ((*db.table("people").find(keep))[1].as_text(), "keep");
+  ASSERT_NE(db.table("people").find(gone), nullptr);
+  EXPECT_EQ((*db.table("people").find(gone))[1].as_text(), "gone");
+}
+
+TEST(DatabaseTest, RollbackRestoresMultipleUpdatesInOrder) {
+  Database db;
+  db.create_table(people_schema());
+  const auto k = db.insert_auto(
+      "people", {Value("v0"), Value(), Value()});
+  db.begin();
+  db.update("people", k, "name", Value("v1"));
+  db.update("people", k, "name", Value("v2"));
+  db.rollback();
+  EXPECT_EQ((*db.table("people").find(k))[1].as_text(), "v0");
+}
+
+TEST(DatabaseTest, OperationsOutsideTransactionAreImmediate) {
+  Database db;
+  db.create_table(people_schema());
+  db.insert_auto("people", {Value("x"), Value(), Value()});
+  EXPECT_FALSE(db.in_transaction());
+  EXPECT_EQ(db.table("people").row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mpros::db

@@ -1,0 +1,192 @@
+// Data Concentrator tests: scheduler, analyzer orchestration, DC database,
+// report emission.
+
+#include <gtest/gtest.h>
+
+#include "mpros/dc/data_concentrator.hpp"
+#include "mpros/dc/scheduler.hpp"
+
+namespace mpros::dc {
+namespace {
+
+using domain::FailureMode;
+
+TEST(EventSchedulerTest, PeriodicTasksFireInOrder) {
+  EventScheduler sched;
+  std::vector<std::pair<std::string, double>> log;
+  sched.add_periodic("fast", SimTime::from_seconds(10), SimTime::from_seconds(10),
+                     [&](SimTime now) { log.push_back({"fast", now.seconds()}); });
+  sched.add_periodic("slow", SimTime::from_seconds(25), SimTime::from_seconds(25),
+                     [&](SimTime now) { log.push_back({"slow", now.seconds()}); });
+
+  sched.run_until(SimTime::from_seconds(50));
+  // fast: 10,20,30,40,50; slow: 25,50.
+  ASSERT_EQ(log.size(), 7u);
+  EXPECT_EQ(log[0].first, "fast");
+  EXPECT_EQ(log[2].first, "slow");
+  double prev = 0.0;
+  for (const auto& [name, t] : log) {
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(EventSchedulerTest, RunUntilReturnsExecutionCount) {
+  EventScheduler sched;
+  sched.add_periodic("t", SimTime::from_seconds(1), SimTime::from_seconds(1),
+                     [](SimTime) {});
+  EXPECT_EQ(sched.run_until(SimTime::from_seconds(5)), 5u);
+  EXPECT_EQ(sched.run_until(SimTime::from_seconds(5)), 0u);  // nothing new
+}
+
+TEST(EventSchedulerTest, RequestNowInjectsExtraRun) {
+  EventScheduler sched;
+  int runs = 0;
+  const auto id = sched.add_periodic("t", SimTime::from_seconds(100),
+                                     SimTime::from_seconds(100),
+                                     [&](SimTime) { ++runs; });
+  sched.request_now(id);
+  sched.run_until(SimTime::from_seconds(1));
+  EXPECT_EQ(runs, 1);  // on-demand run before the first natural slot
+  sched.run_until(SimTime::from_seconds(100));
+  EXPECT_EQ(runs, 2);  // natural period unaffected
+}
+
+class DataConcentratorTest : public ::testing::Test {
+ protected:
+  DataConcentratorTest() : chiller_(make_chiller_config()) {}
+
+  static plant::ChillerConfig make_chiller_config() {
+    plant::ChillerConfig cfg;
+    cfg.load_fraction = 0.85;
+    cfg.seed = 0xD0;
+    return cfg;
+  }
+
+  DcConfig dc_config() {
+    DcConfig cfg;
+    cfg.id = DcId(7);
+    cfg.vibration_period = SimTime::from_seconds(300);
+    cfg.process_period = SimTime::from_seconds(60);
+    return cfg;
+  }
+
+  MachineRefs refs_{ObjectId(1), ObjectId(2), ObjectId(3), ObjectId(4)};
+  plant::ChillerSimulator chiller_;
+};
+
+TEST_F(DataConcentratorTest, HealthyPlantStaysMostlyQuiet) {
+  DataConcentrator dc(dc_config(), refs_, chiller_);
+  const auto reports = dc.advance_to(SimTime::from_hours(1.0));
+  EXPECT_LE(reports.size(), 2u);  // noise may cause an occasional blip
+  EXPECT_EQ(dc.stats().vibration_tests, 12u);
+  EXPECT_EQ(dc.stats().process_scans, 60u);
+}
+
+TEST_F(DataConcentratorTest, ImbalanceProducesDliReportAgainstMotor) {
+  chiller_.faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                              SimTime(0), 0.9,
+                              plant::GrowthProfile::Step});
+  DataConcentrator dc(dc_config(), refs_, chiller_);
+  const auto reports = dc.advance_to(SimTime::from_hours(1.0));
+
+  bool found = false;
+  for (const net::FailureReport& r : reports) {
+    if (r.machine_condition ==
+            domain::condition_id(FailureMode::MotorImbalance) &&
+        r.knowledge_source == kDliExpertSystem) {
+      found = true;
+      EXPECT_EQ(r.sensed_object, refs_.motor);
+      EXPECT_EQ(r.dc, DcId(7));
+      EXPECT_GT(r.severity, 0.3);
+      EXPECT_GT(r.belief, 0.5);
+      EXPECT_FALSE(r.prognostics.empty());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DataConcentratorTest, ProcessFaultProducesFuzzyReport) {
+  chiller_.faults().schedule({FailureMode::RefrigerantLeak, SimTime(0),
+                              SimTime(0), 1.0, plant::GrowthProfile::Step});
+  DataConcentrator dc(dc_config(), refs_, chiller_);
+  const auto reports = dc.advance_to(SimTime::from_hours(1.0));
+
+  bool fuzzy_found = false;
+  for (const net::FailureReport& r : reports) {
+    if (r.knowledge_source == kFuzzyLogic &&
+        r.machine_condition ==
+            domain::condition_id(FailureMode::RefrigerantLeak)) {
+      fuzzy_found = true;
+      EXPECT_EQ(r.sensed_object, refs_.chiller);
+    }
+  }
+  EXPECT_TRUE(fuzzy_found);
+}
+
+TEST_F(DataConcentratorTest, SbfrThresholdMachineReportsOnTrend) {
+  // A hard bearing-temperature fault drives the SBFR threshold machine.
+  chiller_.faults().schedule({FailureMode::CompressorBearingWear, SimTime(0),
+                              SimTime(0), 1.0, plant::GrowthProfile::Step});
+  DataConcentrator dc(dc_config(), refs_, chiller_);
+  const auto reports = dc.advance_to(SimTime::from_hours(2.0));
+
+  bool sbfr_found = false;
+  for (const net::FailureReport& r : reports) {
+    if (r.knowledge_source == kSbfr) sbfr_found = true;
+  }
+  EXPECT_TRUE(sbfr_found);
+}
+
+TEST_F(DataConcentratorTest, DatabaseAccumulatesMeasurementsAndDiagnostics) {
+  chiller_.faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                              SimTime(0), 0.9, plant::GrowthProfile::Step});
+  DataConcentrator dc(dc_config(), refs_, chiller_);
+  dc.advance_to(SimTime::from_hours(1.0));
+
+  // 60 process scans x 11 variables.
+  EXPECT_EQ(dc.database().table("measurements").row_count(), 60u * 11u);
+  EXPECT_GT(dc.database().table("diagnostics").row_count(), 0u);
+  EXPECT_GT(dc.database().table("test_log").row_count(), 0u);
+
+  // Diagnostics are queryable by condition id via the secondary index.
+  const auto keys = dc.database().table("diagnostics").lookup(
+      "condition",
+      db::Value(static_cast<std::int64_t>(
+          domain::condition_id(FailureMode::MotorImbalance).value())));
+  EXPECT_FALSE(keys.empty());
+}
+
+TEST_F(DataConcentratorTest, OnDemandVibrationTestRunsEarly) {
+  chiller_.faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                              SimTime(0), 0.9, plant::GrowthProfile::Step});
+  DataConcentrator dc(dc_config(), refs_, chiller_);
+  dc.request_vibration_test();
+  const auto reports = dc.advance_to(SimTime::from_seconds(30.0));
+  // The periodic slot (300 s) has not arrived, yet the commanded test ran.
+  EXPECT_EQ(dc.stats().vibration_tests, 1u);
+  EXPECT_FALSE(reports.empty());
+}
+
+TEST_F(DataConcentratorTest, DisabledAnalyzersStaySilent) {
+  chiller_.faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                              SimTime(0), 0.9, plant::GrowthProfile::Step});
+  DcConfig cfg = dc_config();
+  cfg.enable_dli = false;
+  cfg.enable_fuzzy = false;
+  cfg.enable_sbfr = false;
+  DataConcentrator dc(cfg, refs_, chiller_);
+  const auto reports = dc.advance_to(SimTime::from_hours(1.0));
+  EXPECT_TRUE(reports.empty());
+}
+
+TEST_F(DataConcentratorTest, KnowledgeSourceNames) {
+  EXPECT_STREQ(knowledge_source_name(kDliExpertSystem), "DLI Expert System");
+  EXPECT_STREQ(knowledge_source_name(kSbfr), "SBFR");
+  EXPECT_STREQ(knowledge_source_name(kWaveletNeuralNet),
+               "Wavelet Neural Net");
+  EXPECT_STREQ(knowledge_source_name(kFuzzyLogic), "Fuzzy Logic");
+}
+
+}  // namespace
+}  // namespace mpros::dc

@@ -1,0 +1,109 @@
+// Domain catalog tests: failure modes, logical groups, equipment signatures.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mpros/domain/equipment.hpp"
+#include "mpros/domain/failure_modes.hpp"
+
+namespace mpros::domain {
+namespace {
+
+TEST(FailureModeTest, TwelveModesAsInPaperFmea) {
+  EXPECT_EQ(all_failure_modes().size(), kFailureModeCount);
+  EXPECT_EQ(kFailureModeCount, 12u);
+}
+
+TEST(FailureModeTest, EveryModeHasExactlyOneGroup) {
+  std::size_t total = 0;
+  for (std::size_t g = 0; g < kLogicalGroupCount; ++g) {
+    const auto group = static_cast<LogicalGroup>(g);
+    for (const FailureMode m : modes_in_group(group)) {
+      EXPECT_EQ(logical_group(m), group);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, kFailureModeCount);
+}
+
+TEST(FailureModeTest, GroupsAreNonTrivial) {
+  // §5.3's examples: electrical failures form one group; there can be
+  // several failures at once across groups.
+  EXPECT_EQ(logical_group(FailureMode::RotorBarDefect),
+            LogicalGroup::Electrical);
+  EXPECT_EQ(logical_group(FailureMode::StatorWindingFault),
+            LogicalGroup::Electrical);
+  EXPECT_NE(logical_group(FailureMode::RotorBarDefect),
+            logical_group(FailureMode::MotorImbalance));
+}
+
+TEST(FailureModeTest, ConditionIdRoundTrip) {
+  for (const FailureMode m : all_failure_modes()) {
+    const ConditionId id = condition_id(m);
+    EXPECT_TRUE(id.valid());
+    EXPECT_EQ(failure_mode(id), m);
+  }
+}
+
+TEST(FailureModeTest, ConditionIdsUnique) {
+  std::set<ConditionId> ids;
+  for (const FailureMode m : all_failure_modes()) ids.insert(condition_id(m));
+  EXPECT_EQ(ids.size(), kFailureModeCount);
+}
+
+TEST(FailureModeTest, NamesAndTextNonEmpty) {
+  for (const FailureMode m : all_failure_modes()) {
+    EXPECT_STRNE(to_string(m), "?");
+    EXPECT_FALSE(condition_text(m).empty());
+  }
+  // §5.5 names these conditions explicitly.
+  EXPECT_EQ(condition_text(FailureMode::MotorImbalance), "motor imbalance");
+  EXPECT_EQ(condition_text(FailureMode::RotorBarDefect),
+            "motor rotor bar problem");
+  EXPECT_EQ(condition_text(FailureMode::BearingHousingLooseness),
+            "pump bearing housing looseness");
+}
+
+TEST(SignatureTest, KinematicsConsistent) {
+  const MachineSignature sig = navy_chiller_signature();
+  EXPECT_GT(sig.shaft_hz, 0.0);
+  // Speed increaser: high-speed shaft faster than the motor.
+  EXPECT_GT(sig.high_speed_shaft_hz(), sig.shaft_hz);
+  EXPECT_NEAR(sig.gear_mesh_hz(), sig.shaft_hz * sig.gear_teeth_in, 1e-9);
+  EXPECT_NEAR(sig.vane_pass_hz(),
+              sig.high_speed_shaft_hz() * sig.impeller_vanes, 1e-9);
+}
+
+TEST(SignatureTest, SlipScalesWithLoad) {
+  const MachineSignature sig = navy_chiller_signature();
+  EXPECT_NEAR(sig.slip_hz(0.0), 0.0, 1e-12);
+  EXPECT_GT(sig.slip_hz(1.0), 0.0);
+  EXPECT_GT(sig.slip_hz(1.0), sig.slip_hz(0.5));
+  // Full-load slip for a 1780 rpm 4-pole motor on 60 Hz is 30 - 29.6 Hz.
+  EXPECT_NEAR(sig.slip_hz(1.0), 60.0 / 2 - sig.shaft_hz, 1e-9);
+}
+
+TEST(SignatureTest, BearingOrdersPhysical) {
+  const BearingRates b = navy_chiller_signature().bearing;
+  EXPECT_GT(b.bpfi, b.bpfo);  // inner race tone above outer race
+  EXPECT_LT(b.ftf, 0.5);      // cage slower than shaft
+  EXPECT_GT(b.bpfo, 1.0);
+}
+
+TEST(NominalsTest, PhysicallyOrdered) {
+  const ProcessNominals n = navy_chiller_nominals();
+  EXPECT_GT(n.cond_pressure_kpa, n.evap_pressure_kpa);
+  EXPECT_GT(n.chilled_water_return_c, n.chilled_water_supply_c);
+  EXPECT_GT(n.motor_winding_temp_c, n.bearing_temp_c);
+}
+
+TEST(EquipmentKindTest, AllNamed) {
+  for (int k = 0; k <= static_cast<int>(EquipmentKind::KnowledgeSource);
+       ++k) {
+    EXPECT_STRNE(to_string(static_cast<EquipmentKind>(k)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace mpros::domain

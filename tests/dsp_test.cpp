@@ -1,0 +1,354 @@
+// DSP substrate tests: FFT correctness, spectra, statistics, cepstrum, DCT,
+// envelope, filters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "mpros/common/rng.hpp"
+#include "mpros/common/units.hpp"
+#include "mpros/dsp/cepstrum.hpp"
+#include "mpros/dsp/dct.hpp"
+#include "mpros/dsp/envelope.hpp"
+#include "mpros/dsp/fft.hpp"
+#include "mpros/dsp/filter.hpp"
+#include "mpros/dsp/spectrum.hpp"
+#include "mpros/dsp/stats.hpp"
+#include "mpros/dsp/stft.hpp"
+#include "mpros/dsp/window.hpp"
+
+namespace mpros::dsp {
+namespace {
+
+std::vector<double> sine(std::size_t n, double freq_hz, double rate_hz,
+                         double amp = 1.0, double phase = 0.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amp * std::sin(kTwoPi * freq_hz * static_cast<double>(i) / rate_hz +
+                          phase);
+  }
+  return x;
+}
+
+TEST(FftTest, MatchesDirectDftOnRandomInput) {
+  Rng rng(1);
+  constexpr std::size_t kN = 64;
+  std::vector<Complex> x(kN);
+  for (auto& c : x) c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+
+  std::vector<Complex> expected(kN);
+  for (std::size_t k = 0; k < kN; ++k) {
+    Complex sum{};
+    for (std::size_t j = 0; j < kN; ++j) {
+      const double angle = -kTwoPi * static_cast<double>(j * k) / kN;
+      sum += x[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    expected[k] = sum;
+  }
+
+  std::vector<Complex> actual = x;
+  FftPlan(kN).forward(actual);
+  for (std::size_t k = 0; k < kN; ++k) {
+    EXPECT_NEAR(actual[k].real(), expected[k].real(), 1e-9);
+    EXPECT_NEAR(actual[k].imag(), expected[k].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  Rng rng(2);
+  std::vector<Complex> x(256);
+  for (auto& c : x) c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  std::vector<Complex> y = x;
+  const FftPlan plan(x.size());
+  plan.forward(y);
+  plan.inverse(y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-10);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(2), 2u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(1000), 1024u);
+}
+
+TEST(FftTest, RealSignalZeroPadding) {
+  const std::vector<double> x = sine(300, 50.0, 1000.0);
+  const std::vector<Complex> spec = fft_real(x);
+  EXPECT_EQ(spec.size(), 512u);  // padded to next power of two
+}
+
+TEST(WindowTest, HannEndsNearZeroPeakNearOne) {
+  const std::vector<double> w = make_window(WindowKind::Hann, 128);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[64], 1.0, 1e-3);
+}
+
+TEST(WindowTest, GainsMatchTheory) {
+  const std::vector<double> rect = make_window(WindowKind::Rectangular, 100);
+  EXPECT_DOUBLE_EQ(coherent_gain(rect), 100.0);
+  EXPECT_DOUBLE_EQ(power_gain(rect), 100.0);
+  const std::vector<double> hann = make_window(WindowKind::Hann, 1000);
+  EXPECT_NEAR(coherent_gain(hann) / 1000.0, 0.5, 1e-3);
+}
+
+TEST(SpectrumTest, UnitSineReadsUnityAmplitude) {
+  // Bin-centered tone: 40 Hz with 1024 samples at 1024 Hz → bin 40.
+  const std::vector<double> x = sine(1024, 40.0, 1024.0);
+  const Spectrum s = amplitude_spectrum(x, 1024.0);
+  EXPECT_NEAR(s.amplitude_at(40.0), 1.0, 0.02);
+  EXPECT_LT(s.amplitude_at(80.0), 0.01);
+}
+
+TEST(SpectrumTest, TwoTonesResolved) {
+  std::vector<double> x = sine(4096, 50.0, 4096.0, 1.0);
+  const std::vector<double> x2 = sine(4096, 120.0, 4096.0, 0.5);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += x2[i];
+  const Spectrum s = amplitude_spectrum(x, 4096.0);
+  EXPECT_NEAR(s.amplitude_at(50.0), 1.0, 0.03);
+  EXPECT_NEAR(s.amplitude_at(120.0), 0.5, 0.03);
+}
+
+TEST(SpectrumTest, FindPeaksInterpolatesOffBinFrequency) {
+  // 52.3 Hz is off-bin for 1 Hz resolution.
+  const std::vector<double> x = sine(4096, 52.3, 4096.0);
+  const Spectrum s = amplitude_spectrum(x, 4096.0);
+  const auto peaks = find_peaks(s, 1, 0.05);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].freq_hz, 52.3, 0.2);
+}
+
+TEST(SpectrumTest, OrderAmplitudeFindsShaftHarmonics) {
+  const double shaft = 29.6;
+  std::vector<double> x = sine(8192, shaft, 8192.0, 0.8);
+  const std::vector<double> x2 = sine(8192, 2 * shaft, 8192.0, 0.3);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += x2[i];
+  const Spectrum s = amplitude_spectrum(x, 8192.0);
+  // Off-bin tones suffer up to ~1.4 dB of Hann scalloping; the order reader
+  // reports the max bin, so allow that loss.
+  EXPECT_NEAR(order_amplitude(s, shaft, 1.0), 0.8, 0.12);
+  EXPECT_NEAR(order_amplitude(s, shaft, 2.0), 0.3, 0.06);
+  EXPECT_LT(order_amplitude(s, shaft, 3.0), 0.05);
+}
+
+TEST(SpectrumTest, BandHelpers) {
+  const std::vector<double> x = sine(2048, 100.0, 2048.0);
+  const Spectrum s = amplitude_spectrum(x, 2048.0);
+  EXPECT_GT(s.band_peak(90.0, 110.0), 0.9);
+  EXPECT_LT(s.band_peak(300.0, 400.0), 0.01);
+  EXPECT_GT(s.band_energy(90.0, 110.0), s.band_energy(300.0, 400.0));
+  EXPECT_GT(s.total_energy(), 0.9);
+}
+
+TEST(SpectrumTest, WelchReducesVarianceOnNoise) {
+  Rng rng(3);
+  std::vector<double> noise(16384);
+  for (double& v : noise) v = rng.normal(0.0, 1.0);
+  const Spectrum one = amplitude_spectrum(noise, 16384.0);
+  const Spectrum welch = welch_psd(noise, 16384.0, 1024);
+
+  const auto variance_of = [](const Spectrum& s) {
+    const std::span<const double> a(s.amplitude);
+    const Moments m = moments(a.subspan(1, a.size() - 2));
+    return m.variance / (m.mean * m.mean);  // normalized
+  };
+  EXPECT_LT(variance_of(welch), variance_of(one));
+}
+
+TEST(StatsTest, BasicAggregates) {
+  const std::vector<double> x = {1.0, -2.0, 3.0, -4.0};
+  EXPECT_DOUBLE_EQ(mean(x), -0.5);
+  EXPECT_DOUBLE_EQ(peak_abs(x), 4.0);
+  EXPECT_DOUBLE_EQ(peak_to_peak(x), 7.0);
+  EXPECT_NEAR(rms(x), std::sqrt(30.0 / 4.0), 1e-12);
+}
+
+TEST(StatsTest, SineCrestFactorIsSqrt2) {
+  const std::vector<double> x = sine(4096, 10.0, 4096.0);
+  EXPECT_NEAR(crest_factor(x), std::numbers::sqrt2, 0.01);
+}
+
+TEST(StatsTest, GaussianKurtosisNearThree) {
+  Rng rng(4);
+  std::vector<double> x(50000);
+  for (double& v : x) v = rng.normal(0.0, 1.0);
+  EXPECT_NEAR(moments(x).kurtosis, 3.0, 0.15);
+}
+
+TEST(StatsTest, ImpulsiveSignalRaisesKurtosis) {
+  Rng rng(5);
+  std::vector<double> x(8192);
+  for (double& v : x) v = rng.normal(0.0, 0.1);
+  for (std::size_t i = 0; i < x.size(); i += 512) x[i] += 3.0;
+  EXPECT_GT(moments(x).kurtosis, 6.0);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  const std::span<const double> empty;
+  EXPECT_EQ(mean(empty), 0.0);
+  EXPECT_EQ(rms(empty), 0.0);
+  EXPECT_EQ(crest_factor(empty), 0.0);
+}
+
+TEST(StatsTest, ZeroCrossingsOfSine) {
+  const std::vector<double> x = sine(1000, 10.0, 1000.0);
+  // 10 Hz for 1 s -> ~20 crossings.
+  EXPECT_NEAR(static_cast<double>(zero_crossings(x)), 20.0, 2.0);
+}
+
+TEST(CepstrumTest, DetectsHarmonicSpacing) {
+  // Harmonic series at 80 Hz -> cepstral peak at 1/80 s.
+  std::vector<double> x(8192, 0.0);
+  for (int h = 1; h <= 10; ++h) {
+    const auto tone = sine(8192, 80.0 * h, 8192.0, 1.0 / h);
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += tone[i];
+  }
+  const std::vector<double> ceps = real_cepstrum(x);
+  // Search below the first rahmonic (multiples of the true quefrency can
+  // rival the fundamental).
+  const double q = dominant_quefrency(ceps, 8192.0, 0.005, 0.02);
+  EXPECT_NEAR(q, 1.0 / 80.0, 0.001);
+}
+
+TEST(DctTest, RoundTrip) {
+  Rng rng(6);
+  std::vector<double> x(33);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  const std::vector<double> c = dct2(x);
+  const std::vector<double> back = idct2(c);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-9);
+  }
+}
+
+TEST(DctTest, ParsevalHolds) {
+  Rng rng(7);
+  std::vector<double> x(64);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  const std::vector<double> c = dct2(x);
+  double ex = 0.0, ec = 0.0;
+  for (double v : x) ex += v * v;
+  for (double v : c) ec += v * v;
+  EXPECT_NEAR(ex, ec, 1e-9);
+}
+
+TEST(DctTest, TruncationKeepsLeadingCoefficients) {
+  const std::vector<double> x = sine(128, 4.0, 128.0);
+  const std::vector<double> full = dct2(x);
+  const std::vector<double> trunc = dct2_truncated(x, 16);
+  ASSERT_EQ(trunc.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(trunc[i], full[i]);
+}
+
+TEST(EnvelopeTest, AmplitudeModulationRecovered) {
+  // 2 kHz carrier modulated at 50 Hz: envelope spectrum shows 50 Hz.
+  constexpr double kRate = 16384.0;
+  std::vector<double> x(16384);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / kRate;
+    x[i] = (1.0 + 0.8 * std::sin(kTwoPi * 50.0 * t)) *
+           std::sin(kTwoPi * 2000.0 * t);
+  }
+  std::vector<double> env = envelope(x);
+  const double dc = mean(env);
+  for (double& v : env) v -= dc;
+  const Spectrum es = amplitude_spectrum(env, kRate);
+  EXPECT_GT(es.amplitude_at(50.0), 0.5);
+}
+
+TEST(EnvelopeTest, BandpassedRejectsOutOfBandTone) {
+  constexpr double kRate = 16384.0;
+  // Strong 100 Hz tone + weak modulated 3 kHz carrier.
+  std::vector<double> x(16384);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / kRate;
+    x[i] = 5.0 * std::sin(kTwoPi * 100.0 * t) +
+           (1.0 + 0.9 * std::sin(kTwoPi * 37.0 * t)) * 0.3 *
+               std::sin(kTwoPi * 3000.0 * t);
+  }
+  std::vector<double> env = envelope_bandpassed(x, kRate, 2000.0, 4000.0);
+  const double dc = mean(env);
+  for (double& v : env) v -= dc;
+  const Spectrum es = amplitude_spectrum(env, kRate);
+  EXPECT_GT(es.amplitude_at(37.0), 3.0 * es.amplitude_at(100.0));
+}
+
+TEST(StftTest, StationaryToneTrackIsFlat) {
+  const std::vector<double> x = sine(16384, 512.0, 8192.0);
+  const Spectrogram sg = stft(x, 8192.0);
+  EXPECT_GT(sg.frames(), 20u);
+  const auto track = sg.tone_track(512.0);
+  for (const double a : track) EXPECT_NEAR(a, 1.0, 0.05);
+  EXPECT_LT(sg.burstiness(), 0.1);
+}
+
+TEST(StftTest, BurstLocalizedInTime) {
+  // Tone present only in the middle quarter of the record.
+  std::vector<double> x(16384, 0.0);
+  for (std::size_t i = 6144; i < 10240; ++i) {
+    x[i] = std::sin(kTwoPi * 512.0 * static_cast<double>(i) / 8192.0);
+  }
+  const Spectrogram sg = stft(x, 8192.0);
+  const auto track = sg.tone_track(512.0);
+  // Energy concentrated in the middle frames.
+  const std::size_t mid = track.size() / 2;
+  EXPECT_GT(track[mid], 0.8);
+  EXPECT_LT(track[1], 0.05);
+  EXPECT_LT(track[track.size() - 2], 0.05);
+  EXPECT_GT(sg.burstiness(), 0.5);
+}
+
+TEST(StftTest, FrameGeometry) {
+  StftConfig cfg;
+  cfg.segment_size = 256;
+  cfg.hop = 128;
+  const std::vector<double> x = sine(1024, 100.0, 1024.0);
+  const Spectrogram sg = stft(x, 1024.0, cfg);
+  EXPECT_EQ(sg.frames(), 1u + (1024u - 256u) / 128u);
+  EXPECT_EQ(sg.bins(), 129u);
+  EXPECT_DOUBLE_EQ(sg.bin_hz(), 4.0);
+  EXPECT_DOUBLE_EQ(sg.frame_step_s(), 0.125);
+}
+
+TEST(BiquadTest, LowpassAttenuatesHighFrequencies) {
+  Biquad lp = Biquad::lowpass(1000.0, 50.0);
+  std::vector<double> lo = sine(2000, 10.0, 1000.0);
+  std::vector<double> hi = sine(2000, 400.0, 1000.0);
+  lp.process(lo);
+  lp.reset();
+  lp.process(hi);
+  const std::span<const double> lo_tail(lo.data() + 1000, 1000);
+  const std::span<const double> hi_tail(hi.data() + 1000, 1000);
+  EXPECT_GT(rms(lo_tail), 0.6);
+  EXPECT_LT(rms(hi_tail), 0.05);
+}
+
+TEST(BiquadTest, HighpassAttenuatesLowFrequencies) {
+  Biquad hp = Biquad::highpass(1000.0, 200.0);
+  std::vector<double> lo = sine(2000, 5.0, 1000.0);
+  hp.process(lo);
+  const std::span<const double> tail(lo.data() + 1000, 1000);
+  EXPECT_LT(rms(tail), 0.05);
+}
+
+TEST(RmsTrackerTest, ConvergesToTrueRms) {
+  RmsTracker tracker(200.0);
+  const std::vector<double> x = sine(5000, 50.0, 5000.0, 2.0);
+  double last = 0.0;
+  for (double v : x) last = tracker.step(v);
+  EXPECT_NEAR(last, 2.0 / std::numbers::sqrt2, 0.1);
+}
+
+TEST(ExpSmootherTest, PrimesOnFirstSample) {
+  ExpSmoother s(0.1);
+  EXPECT_DOUBLE_EQ(s.step(5.0), 5.0);
+  EXPECT_NEAR(s.step(10.0), 5.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace mpros::dsp

@@ -1,0 +1,352 @@
+// End-to-end MPROS tests over the assembled ShipSystem: Fig 1 dataflow,
+// disorder robustness (E9 substrate), fleet behaviour.
+
+#include <gtest/gtest.h>
+
+#include "mpros/mpros/mpros.hpp"
+
+namespace mpros {
+namespace {
+
+using domain::FailureMode;
+
+ShipSystemConfig small_config() {
+  ShipSystemConfig cfg;
+  cfg.plant_count = 2;
+  cfg.dc_template.vibration_period = SimTime::from_seconds(600);
+  cfg.dc_template.process_period = SimTime::from_seconds(60);
+  cfg.worker_threads = 2;
+  return cfg;
+}
+
+TEST(ShipSystemTest, AssemblesTopology) {
+  ShipSystem ship(small_config());
+  EXPECT_EQ(ship.plant_count(), 2u);
+  EXPECT_GT(ship.model().object_count(), 20u);
+  EXPECT_EQ(ship.model().name(ship.plant_objects(0).motor),
+            "A/C Compressor Motor 1");
+}
+
+TEST(ShipSystemTest, HealthyFleetProducesFewReports) {
+  ShipSystem ship(small_config());
+  ship.run_until(SimTime::from_hours(1.0));
+  EXPECT_LE(ship.pdme().stats().reports_accepted, 4u);
+}
+
+TEST(ShipSystemTest, FaultFlowsEndToEnd) {
+  ShipSystem ship(small_config());
+  ship.chiller(0).faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                                     SimTime(0), 0.9,
+                                     plant::GrowthProfile::Step});
+  ship.run_until(SimTime::from_hours(1.0));
+
+  const ObjectId motor = ship.plant_objects(0).motor;
+  const auto list = ship.pdme().prioritized_list(motor);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list.front().mode, FailureMode::MotorImbalance);
+  EXPECT_GT(list.front().fused_belief, 0.8);  // reinforced over repeats
+
+  // The unfaulted plant stays clean.
+  EXPECT_TRUE(
+      ship.pdme().prioritized_list(ship.plant_objects(1).motor).empty());
+}
+
+TEST(ShipSystemTest, MultipleSimultaneousFaultsAcrossGroups) {
+  // §5.3: "there can, in fact, be several failures at one time".
+  ShipSystem ship(small_config());
+  ship.chiller(0).faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                                     SimTime(0), 0.9,
+                                     plant::GrowthProfile::Step});
+  ship.chiller(0).faults().schedule({FailureMode::RefrigerantLeak, SimTime(0),
+                                     SimTime(0), 1.0,
+                                     plant::GrowthProfile::Step});
+  ship.run_until(SimTime::from_hours(1.0));
+
+  const auto motor_list =
+      ship.pdme().prioritized_list(ship.plant_objects(0).motor);
+  const auto chiller_list =
+      ship.pdme().prioritized_list(ship.plant_objects(0).chiller);
+  ASSERT_FALSE(motor_list.empty());
+  ASSERT_FALSE(chiller_list.empty());
+  EXPECT_EQ(motor_list.front().mode, FailureMode::MotorImbalance);
+  EXPECT_EQ(chiller_list.front().mode, FailureMode::RefrigerantLeak);
+}
+
+TEST(ShipSystemTest, ProgressiveFaultEscalatesSeverity) {
+  ShipSystem ship(small_config());
+  ship.chiller(0).faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                                     SimTime::from_hours(3.0), 0.9,
+                                     plant::GrowthProfile::Linear});
+  const ObjectId motor = ship.plant_objects(0).motor;
+
+  ship.run_until(SimTime::from_hours(1.0));
+  const auto early = ship.pdme().prioritized_list(motor);
+  const double early_sev = early.empty() ? 0.0 : early.front().max_severity;
+
+  ship.run_until(SimTime::from_hours(3.0));
+  const auto late = ship.pdme().prioritized_list(motor);
+  ASSERT_FALSE(late.empty());
+  EXPECT_GT(late.front().max_severity, early_sev);
+  EXPECT_EQ(late.front().mode, FailureMode::MotorImbalance);
+}
+
+TEST(ShipSystemTest, NetworkStatsAccumulate) {
+  ShipSystem ship(small_config());
+  ship.chiller(0).faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                                     SimTime(0), 0.9,
+                                     plant::GrowthProfile::Step});
+  ship.run_until(SimTime::from_hours(1.0));
+  const auto stats = ship.fleet_stats();
+  EXPECT_GT(stats.samples_processed, 100000u);
+  EXPECT_GT(stats.reports_emitted, 0u);
+  // Sent datagrams = failure reports + sensor-data batches.
+  EXPECT_GE(stats.network.sent, stats.reports_emitted);
+  EXPECT_EQ(stats.reports_fused,
+            stats.network.delivered - ship.pdme().stats().sensor_batches -
+                ship.pdme().stats().duplicates_dropped -
+                ship.pdme().stats().malformed_dropped);
+}
+
+TEST(DisorderTest, LossyJitteryNetworkStillConverges) {
+  // E9: the transport drops, delays and duplicates; fused conclusions must
+  // still identify the fault (dedup absorbs duplicates, D-S commutativity
+  // absorbs reordering, repetition absorbs loss).
+  ShipSystemConfig cfg = small_config();
+  cfg.network.drop_probability = 0.25;
+  cfg.network.duplicate_probability = 0.35;
+  cfg.network.jitter = SimTime::from_seconds(30.0);
+  cfg.dc_template.vibration_period = SimTime::from_seconds(300);
+  ShipSystem ship(cfg);
+  ship.chiller(0).faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                                     SimTime(0), 0.9,
+                                     plant::GrowthProfile::Step});
+  ship.run_until(SimTime::from_hours(2.0));
+
+  const auto list =
+      ship.pdme().prioritized_list(ship.plant_objects(0).motor);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list.front().mode, FailureMode::MotorImbalance);
+  EXPECT_GT(list.front().fused_belief, 0.8);
+  EXPECT_GT(ship.network().stats().dropped, 0u);
+  EXPECT_GT(ship.network().stats().duplicated, 0u);
+}
+
+TEST(DisorderTest, OrderInvarianceOfFusedState) {
+  // Same report set, two delivery orders -> identical fused beliefs.
+  oosm::ObjectModel model1, model2;
+  const auto ship1 = oosm::build_ship(model1, "a", 1, 1);
+  const auto ship2 = oosm::build_ship(model2, "b", 1, 1);
+  pdme::PdmeExecutive p1(model1), p2(model2);
+
+  std::vector<net::FailureReport> reports;
+  for (int i = 0; i < 6; ++i) {
+    net::FailureReport r;
+    r.dc = DcId(1);
+    r.knowledge_source = KnowledgeSourceId(1 + i % 4);
+    r.sensed_object = ship1.plants[0].motor;
+    r.machine_condition = domain::condition_id(
+        i % 2 == 0 ? FailureMode::MotorImbalance
+                   : FailureMode::ShaftMisalignment);
+    r.severity = 0.5;
+    r.belief = 0.55;
+    r.timestamp = SimTime::from_seconds(100.0 * i);
+    reports.push_back(r);
+  }
+
+  for (const auto& r : reports) p1.accept(r);
+  for (auto it = reports.rbegin(); it != reports.rend(); ++it) {
+    auto r = *it;
+    r.sensed_object = ship2.plants[0].motor;
+    p2.accept(r);
+  }
+
+  const auto s1 = p1.group_state(ship1.plants[0].motor,
+                                 domain::LogicalGroup::RotorDynamics);
+  const auto s2 = p2.group_state(ship2.plants[0].motor,
+                                 domain::LogicalGroup::RotorDynamics);
+  for (std::size_t i = 0; i < s1.modes.size(); ++i) {
+    EXPECT_NEAR(s1.modes[i].belief, s2.modes[i].belief, 1e-9);
+  }
+  EXPECT_NEAR(s1.unknown, s2.unknown, 1e-9);
+}
+
+TEST(LoadGatingTest, LoosenessSuppressedAtLowLoadEndToEnd) {
+  // §6.1's flagship example, end to end: "a false positive bearing
+  // looseness call is not made when the compressor enters a low load
+  // period of operation." Same fault, two operating points.
+  const auto run_at_load = [](double load) {
+    ShipSystemConfig cfg;
+    cfg.plant_count = 1;
+    cfg.initial_load = load;
+    cfg.dc_template.vibration_period = SimTime::from_seconds(600);
+    ShipSystem ship(cfg);
+    ship.chiller(0).faults().schedule(
+        {FailureMode::BearingHousingLooseness, SimTime(0), SimTime(0), 0.9,
+         plant::GrowthProfile::Step});
+    ship.run_until(SimTime::from_hours(1.0));
+    for (const auto& item :
+         ship.pdme().prioritized_list(ship.plant_objects(0).compressor)) {
+      if (item.mode == FailureMode::BearingHousingLooseness) return true;
+    }
+    return false;
+  };
+
+  EXPECT_FALSE(run_at_load(0.10));  // unloaded: rattling is normal
+  EXPECT_TRUE(run_at_load(0.85));   // loaded: the call is made
+}
+
+TEST(FleetAnalyzerIntegrationTest, ResidentAnalyzerClosesTheLoop) {
+  // §5.7 end to end: DCs publish telemetry, the PDME-resident analyzer
+  // compares sisters and flags the fouling plant without any DC-side call.
+  ShipSystemConfig cfg;
+  cfg.plant_count = 4;
+  cfg.enable_fleet_analyzer = true;
+  cfg.dc_template.enable_fuzzy = false;  // leave the call to the resident
+  cfg.dc_template.enable_sbfr = false;
+  cfg.dc_template.enable_dli = false;
+  cfg.dc_template.sensor_publish_every = 2;
+  ShipSystem ship(cfg);
+  ship.chiller(2).faults().schedule({FailureMode::CondenserFouling,
+                                     SimTime(0), SimTime(0), 1.0,
+                                     plant::GrowthProfile::Step});
+  ship.run_until(SimTime::from_hours(1.0));
+
+  ASSERT_NE(ship.fleet_analyzer(), nullptr);
+  EXPECT_GT(ship.fleet_analyzer()->stats().reports_issued, 0u);
+  const auto list =
+      ship.pdme().prioritized_list(ship.plant_objects(2).chiller);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list.front().mode, FailureMode::CondenserFouling);
+  // Healthy sisters stay clean.
+  EXPECT_TRUE(
+      ship.pdme().prioritized_list(ship.plant_objects(0).chiller).empty());
+}
+
+TEST(StartupScenarioTest, LoadRampFollowsSchedule) {
+  // §3.3 milestone: "simulation of Carrier Chiller startup" — the plant
+  // ramps from idle to full load along scheduled setpoints.
+  plant::ChillerConfig cfg;
+  cfg.load_fraction = 0.05;
+  plant::ChillerSimulator chiller(cfg);
+  chiller.schedule_load(SimTime::from_seconds(600), 0.05);
+  chiller.schedule_load(SimTime::from_seconds(1800), 0.85);
+
+  chiller.advance(SimTime::from_seconds(300));
+  EXPECT_NEAR(chiller.load(), 0.05, 1e-9);       // before the ramp
+  chiller.advance(SimTime::from_seconds(900));   // t = 1200: halfway up
+  EXPECT_NEAR(chiller.load(), 0.45, 1e-9);
+  chiller.advance(SimTime::from_seconds(1200));  // t = 2400: past the end
+  EXPECT_NEAR(chiller.load(), 0.85, 1e-9);
+}
+
+TEST(StartupScenarioTest, GatedRulesQuietDuringStartupEndToEnd) {
+  // The looseness fault is present from t=0, but the plant starts unloaded
+  // and ramps up over the first hour: no call during startup, call after.
+  ShipSystemConfig cfg;
+  cfg.plant_count = 1;
+  cfg.initial_load = 0.05;
+  cfg.dc_template.vibration_period = SimTime::from_seconds(600);
+  ShipSystem ship(cfg);
+  ship.chiller(0).faults().schedule(
+      {FailureMode::BearingHousingLooseness, SimTime(0), SimTime(0), 0.9,
+       plant::GrowthProfile::Step});
+  ship.chiller(0).schedule_load(SimTime::from_hours(1.0), 0.05);
+  ship.chiller(0).schedule_load(SimTime::from_hours(1.5), 0.9);
+
+  const ObjectId compressor = ship.plant_objects(0).compressor;
+  ship.run_until(SimTime::from_hours(1.0));
+  for (const auto& item : ship.pdme().prioritized_list(compressor)) {
+    EXPECT_NE(item.mode, FailureMode::BearingHousingLooseness)
+        << "false positive during startup";
+  }
+
+  ship.run_until(SimTime::from_hours(3.0));
+  bool called = false;
+  for (const auto& item : ship.pdme().prioritized_list(compressor)) {
+    if (item.mode == FailureMode::BearingHousingLooseness) called = true;
+  }
+  EXPECT_TRUE(called);
+}
+
+TEST(BelievabilityLoopTest, ReversalsLowerFutureReportBeliefs) {
+  // §6.1: believability factors track "how often each [diagnosis] was
+  // reversed or modified by a human analyst". Reverse the imbalance call
+  // repeatedly and the DC's subsequent reports carry less belief.
+  ShipSystemConfig cfg;
+  cfg.plant_count = 1;
+  cfg.dc_template.vibration_period = SimTime::from_seconds(600);
+  ShipSystem ship(cfg);
+  ship.chiller(0).faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                                     SimTime(0), 0.9,
+                                     plant::GrowthProfile::Step});
+  ship.run_until(SimTime::from_hours(0.5));
+
+  const ObjectId motor = ship.plant_objects(0).motor;
+  const auto before = ship.pdme().reports_for(motor);
+  ASSERT_FALSE(before.empty());
+  const double belief_before = before.front().belief;
+
+  // The analyst reverses the call ten times across overhauls.
+  for (int i = 0; i < 10; ++i) {
+    ship.record_maintenance_outcome(0, FailureMode::MotorImbalance,
+                                    /*confirmed=*/false);
+  }
+  // Post-maintenance reset wiped the fused state.
+  EXPECT_TRUE(ship.pdme().prioritized_list(motor).empty());
+
+  ship.run_until(SimTime::from_hours(1.0));
+  const auto after = ship.pdme().reports_for(motor);
+  ASSERT_FALSE(after.empty());
+  EXPECT_LT(after.front().belief, belief_before - 0.15);
+}
+
+TEST(OosmPersistenceIntegrationTest, ShipSurvivesSaveLoad) {
+  ShipSystem ship(small_config());
+  db::Database db;
+  oosm::Persistence::save(ship.model(), db);
+  const oosm::ObjectModel restored = oosm::Persistence::load(db);
+  EXPECT_EQ(restored.object_count(), ship.model().object_count());
+  EXPECT_TRUE(restored.find_by_name("A/C Compressor Motor 1").has_value());
+}
+
+TEST(ValidationHarnessTest, DetectsSeededFaultWithLeadTime) {
+  ValidationScenario s;
+  s.mode = FailureMode::MotorImbalance;
+  s.onset = SimTime::from_hours(0.5);
+  s.wear_time = SimTime::from_hours(6.0);
+  s.seed = 42;
+  ValidationConfig cfg;
+  cfg.step = SimTime::from_seconds(600);
+  cfg.dc.vibration_period = SimTime::from_seconds(600);
+  cfg.dc.process_period = SimTime::from_seconds(60);
+  const ScenarioScore score = run_scenario(s, cfg);
+
+  EXPECT_TRUE(score.detected);
+  ASSERT_TRUE(score.lead_time.has_value());
+  // Detected in the first half of the wear life: useful lead time.
+  EXPECT_GT(score.lead_time->hours(), 3.0);
+  EXPECT_EQ(score.false_alarms, 0u);
+}
+
+TEST(ValidationHarnessTest, SummaryAggregatesAcrossModes) {
+  ValidationConfig cfg;
+  cfg.step = SimTime::from_seconds(600);
+  cfg.dc.vibration_period = SimTime::from_seconds(600);
+  cfg.dc.process_period = SimTime::from_seconds(60);
+  const ValidationScenario scenarios[] = {
+      {FailureMode::MotorImbalance, SimTime::from_hours(0.5),
+       SimTime::from_hours(4.0), plant::GrowthProfile::Linear, 1},
+      {FailureMode::RefrigerantLeak, SimTime::from_hours(0.5),
+       SimTime::from_hours(4.0), plant::GrowthProfile::Linear, 2},
+  };
+  const ValidationSummary summary = run_validation(scenarios, cfg);
+  EXPECT_EQ(summary.scores.size(), 2u);
+  EXPECT_GT(summary.detection_rate, 0.99);
+  EXPECT_GT(summary.mean_lead_fraction, 0.2);
+  const std::string table = render(summary);
+  EXPECT_NE(table.find("MotorImbalance"), std::string::npos);
+  EXPECT_NE(table.find("detection 100%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpros

@@ -1,0 +1,197 @@
+// Wire protocol and simulated ship-network tests.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mpros/net/codec.hpp"
+#include "mpros/net/network.hpp"
+#include "mpros/net/report.hpp"
+
+namespace mpros::net {
+namespace {
+
+TEST(CodecTest, PrimitivesRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.str("hello");
+  w.str("");
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+FailureReport sample_report() {
+  FailureReport r;
+  r.dc = DcId(3);
+  r.knowledge_source = KnowledgeSourceId(1);
+  r.sensed_object = ObjectId(17);
+  r.machine_condition = ConditionId(5);
+  r.severity = 0.62;
+  r.belief = 0.91;
+  r.explanation = "1x running-speed amplitude elevated";
+  r.recommendations = "Field balance the rotor.";
+  r.timestamp = SimTime::from_seconds(1234.5);
+  r.additional_info = "load=0.8";
+  r.prognostics = {{0.1, 86400.0}, {0.5, 604800.0}, {0.9, 2592000.0}};
+  return r;
+}
+
+TEST(ReportProtocolTest, SerializeDeserializeRoundTrip) {
+  const FailureReport original = sample_report();
+  const auto bytes = serialize(original);
+  const FailureReport decoded = deserialize_report(bytes);
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(ReportProtocolTest, EmptyOptionalFieldsAllowed) {
+  // §7.2: explanation / recommendations "allowed to be blank"; §7.3 allows
+  // zero prognostic pairs.
+  FailureReport r = sample_report();
+  r.explanation.clear();
+  r.recommendations.clear();
+  r.additional_info.clear();
+  r.prognostics.clear();
+  EXPECT_EQ(deserialize_report(serialize(r)), r);
+}
+
+TEST(ReportProtocolTest, SummaryIsOneLine) {
+  const std::string s = summarize(sample_report());
+  EXPECT_EQ(s.find('\n'), std::string::npos);
+  EXPECT_NE(s.find("dc=3"), std::string::npos);
+}
+
+// --- SimNetwork --------------------------------------------------------------
+
+NetworkConfig quiet_config() {
+  NetworkConfig cfg;
+  cfg.base_latency = SimTime::from_millis(10.0);
+  cfg.jitter = SimTime::from_millis(0.0001);
+  cfg.drop_probability = 0.0;
+  cfg.duplicate_probability = 0.0;
+  return cfg;
+}
+
+TEST(SimNetworkTest, DeliversAfterLatency) {
+  SimNetwork net(quiet_config());
+  std::vector<std::string> inbox;
+  net.register_endpoint("pdme", [&](const Message& m) {
+    inbox.emplace_back(m.payload.begin(), m.payload.end());
+  });
+
+  net.send("dc-1", "pdme", {'h', 'i'}, SimTime(0));
+  EXPECT_EQ(net.advance_to(SimTime::from_millis(5.0)), 0u);  // not yet due
+  EXPECT_EQ(net.advance_to(SimTime::from_millis(20.0)), 1u);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0], "hi");
+}
+
+TEST(SimNetworkTest, DeliveryOrderFollowsDeliveryTime) {
+  NetworkConfig cfg = quiet_config();
+  cfg.jitter = SimTime::from_millis(200.0);  // heavy jitter -> reordering
+  cfg.seed = 7;
+  SimNetwork net(cfg);
+  std::vector<int> order;
+  net.register_endpoint("pdme", [&](const Message& m) {
+    order.push_back(m.payload[0]);
+  });
+  for (int i = 0; i < 32; ++i) {
+    net.send("dc", "pdme", {static_cast<std::uint8_t>(i)},
+             SimTime::from_millis(i));
+  }
+  net.flush();
+  ASSERT_EQ(order.size(), 32u);
+  EXPECT_NE(order, ([] {
+              std::vector<int> v;
+              for (int i = 0; i < 32; ++i) v.push_back(i);
+              return v;
+            })());  // jitter actually reordered something
+}
+
+TEST(SimNetworkTest, DropsAndDuplicatesAccounted) {
+  NetworkConfig cfg = quiet_config();
+  cfg.drop_probability = 0.3;
+  cfg.duplicate_probability = 0.2;
+  cfg.seed = 11;
+  SimNetwork net(cfg);
+  std::size_t received = 0;
+  net.register_endpoint("pdme", [&](const Message&) { ++received; });
+
+  constexpr std::size_t kSent = 2000;
+  for (std::size_t i = 0; i < kSent; ++i) {
+    net.send("dc", "pdme", {1}, SimTime(0));
+  }
+  net.flush();
+
+  const NetworkStats stats = net.stats();
+  EXPECT_EQ(stats.sent, kSent);
+  EXPECT_NEAR(static_cast<double>(stats.dropped) / kSent, 0.3, 0.05);
+  EXPECT_NEAR(static_cast<double>(stats.duplicated) / kSent,
+              0.2 * 0.7 / 1.0, 0.05);  // duplicates only of non-dropped
+  EXPECT_EQ(stats.delivered, received);
+  EXPECT_EQ(received, kSent - stats.dropped + stats.duplicated);
+}
+
+TEST(SimNetworkTest, DeterministicGivenSeed) {
+  const auto run = [] {
+    NetworkConfig cfg;
+    cfg.drop_probability = 0.2;
+    cfg.jitter = SimTime::from_millis(50.0);
+    cfg.seed = 99;
+    SimNetwork net(cfg);
+    std::vector<std::uint8_t> order;
+    net.register_endpoint("pdme", [&](const Message& m) {
+      order.push_back(m.payload[0]);
+    });
+    for (int i = 0; i < 64; ++i) {
+      net.send("dc", "pdme", {static_cast<std::uint8_t>(i)}, SimTime(0));
+    }
+    net.flush();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimNetworkTest, UnknownDestinationDeadLetters) {
+  SimNetwork net(quiet_config());
+  net.send("dc", "nowhere", {1}, SimTime(0));
+  net.flush();
+  EXPECT_EQ(net.stats().dead_lettered, 1u);
+}
+
+TEST(SimNetworkTest, InFlightCountsQueued) {
+  SimNetwork net(quiet_config());
+  net.register_endpoint("pdme", [](const Message&) {});
+  net.send("dc", "pdme", {1}, SimTime(0));
+  EXPECT_EQ(net.in_flight(), 1u);
+  net.flush();
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(SimNetworkTest, ReportSurvivesTransportIntact) {
+  SimNetwork net(quiet_config());
+  FailureReport received;
+  net.register_endpoint("pdme", [&](const Message& m) {
+    received = deserialize_report(m.payload);
+  });
+  const FailureReport sent = sample_report();
+  net.send("dc-3", "pdme", serialize(sent), SimTime(0));
+  net.flush();
+  EXPECT_EQ(received, sent);
+}
+
+}  // namespace
+}  // namespace mpros::net

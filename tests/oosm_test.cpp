@@ -1,0 +1,241 @@
+// Object-Oriented Ship Model tests: objects, properties, relationships,
+// events, persistence mapping, spatial queries, ship builder.
+
+#include <gtest/gtest.h>
+
+#include "mpros/oosm/object_model.hpp"
+#include "mpros/oosm/persistence.hpp"
+#include "mpros/oosm/ship_builder.hpp"
+
+namespace mpros::oosm {
+namespace {
+
+using domain::EquipmentKind;
+
+TEST(ObjectModelTest, CreateFindDelete) {
+  ObjectModel m;
+  const ObjectId motor = m.create_object("Motor 1", EquipmentKind::InductionMotor);
+  EXPECT_TRUE(m.exists(motor));
+  EXPECT_EQ(m.name(motor), "Motor 1");
+  EXPECT_EQ(m.kind(motor), EquipmentKind::InductionMotor);
+  EXPECT_EQ(m.find_by_name("Motor 1"), motor);
+  EXPECT_FALSE(m.find_by_name("nope").has_value());
+
+  m.delete_object(motor);
+  EXPECT_FALSE(m.exists(motor));
+  EXPECT_EQ(m.object_count(), 0u);
+}
+
+TEST(ObjectModelTest, PropertiesTypedAndOverwritable) {
+  ObjectModel m;
+  const ObjectId o = m.create_object("x", EquipmentKind::Sensor);
+  m.set_property(o, "capacity", 450.0);
+  m.set_property(o, "manufacturer", "York");
+  EXPECT_DOUBLE_EQ(m.property(o, "capacity")->as_real(), 450.0);
+  EXPECT_EQ(m.property(o, "manufacturer")->as_text(), "York");
+  EXPECT_FALSE(m.property(o, "missing").has_value());
+  m.set_property(o, "capacity", 500.0);
+  EXPECT_DOUBLE_EQ(m.property(o, "capacity")->as_real(), 500.0);
+  EXPECT_EQ(m.properties(o).size(), 2u);
+}
+
+TEST(ObjectModelTest, RelationsForwardAndInverse) {
+  ObjectModel m;
+  const ObjectId chiller = m.create_object("chiller", EquipmentKind::Chiller);
+  const ObjectId motor = m.create_object("motor", EquipmentKind::InductionMotor);
+  m.relate(motor, Relation::PartOf, chiller);
+
+  EXPECT_TRUE(m.has_relation(motor, Relation::PartOf, chiller));
+  EXPECT_FALSE(m.has_relation(chiller, Relation::PartOf, motor));
+  EXPECT_EQ(m.related(motor, Relation::PartOf).size(), 1u);
+  EXPECT_EQ(m.related_to(chiller, Relation::PartOf).size(), 1u);
+  EXPECT_EQ(m.parent_of(motor), chiller);
+  EXPECT_FALSE(m.parent_of(chiller).has_value());
+}
+
+TEST(ObjectModelTest, ProximityIsSymmetric) {
+  ObjectModel m;
+  const ObjectId a = m.create_object("a", EquipmentKind::CentrifugalPump);
+  const ObjectId b = m.create_object("b", EquipmentKind::Evaporator);
+  m.relate(a, Relation::Proximity, b);
+  EXPECT_TRUE(m.has_relation(a, Relation::Proximity, b));
+  EXPECT_TRUE(m.has_relation(b, Relation::Proximity, a));
+}
+
+TEST(ObjectModelTest, DuplicateEdgesIgnored) {
+  ObjectModel m;
+  const ObjectId a = m.create_object("a", EquipmentKind::Sensor);
+  const ObjectId b = m.create_object("b", EquipmentKind::Sensor);
+  m.relate(a, Relation::RefersTo, b);
+  m.relate(a, Relation::RefersTo, b);
+  EXPECT_EQ(m.related(a, Relation::RefersTo).size(), 1u);
+}
+
+TEST(ObjectModelTest, DeleteCleansEdges) {
+  ObjectModel m;
+  const ObjectId a = m.create_object("a", EquipmentKind::Sensor);
+  const ObjectId b = m.create_object("b", EquipmentKind::Sensor);
+  m.relate(a, Relation::FlowTo, b);
+  m.delete_object(b);
+  EXPECT_TRUE(m.related(a, Relation::FlowTo).empty());
+}
+
+TEST(ObjectModelTest, DownstreamFollowsFlowTransitively) {
+  // §10.1: "one component passing fouled fluids on to other components
+  // downstream".
+  ObjectModel m;
+  const ObjectId comp = m.create_object("comp", EquipmentKind::CentrifugalCompressor);
+  const ObjectId cond = m.create_object("cond", EquipmentKind::Condenser);
+  const ObjectId evap = m.create_object("evap", EquipmentKind::Evaporator);
+  m.relate(comp, Relation::FlowTo, cond);
+  m.relate(cond, Relation::FlowTo, evap);
+  m.relate(evap, Relation::FlowTo, comp);  // closed refrigerant loop
+
+  const auto downstream = m.downstream_of(comp);
+  EXPECT_EQ(downstream.size(), 2u);  // cond + evap; cycle back excluded
+}
+
+TEST(ObjectModelTest, ComponentsOfTransitive) {
+  ObjectModel m;
+  const ObjectId ship = m.create_object("ship", EquipmentKind::Ship);
+  const ObjectId deck = m.create_object("deck", EquipmentKind::Deck);
+  const ObjectId chiller = m.create_object("ch", EquipmentKind::Chiller);
+  m.relate(deck, Relation::PartOf, ship);
+  m.relate(chiller, Relation::PartOf, deck);
+  EXPECT_EQ(m.components_of(ship).size(), 2u);
+}
+
+TEST(ObjectModelTest, EventsFireForAllMutations) {
+  ObjectModel m;
+  std::vector<OosmEvent::Kind> kinds;
+  const auto sub = m.subscribe(
+      [&](const OosmEvent& e) { kinds.push_back(e.kind); });
+
+  const ObjectId a = m.create_object("a", EquipmentKind::Sensor);
+  const ObjectId b = m.create_object("b", EquipmentKind::Sensor);
+  m.set_property(a, "v", 1.0);
+  m.relate(a, Relation::RefersTo, b);
+  m.delete_object(b);
+
+  ASSERT_EQ(kinds.size(), 5u);
+  EXPECT_EQ(kinds[0], OosmEvent::Kind::ObjectCreated);
+  EXPECT_EQ(kinds[2], OosmEvent::Kind::PropertyChanged);
+  EXPECT_EQ(kinds[3], OosmEvent::Kind::RelationAdded);
+  EXPECT_EQ(kinds[4], OosmEvent::Kind::ObjectDeleted);
+
+  m.unsubscribe(sub);
+  m.set_property(a, "v", 2.0);
+  EXPECT_EQ(kinds.size(), 5u);  // no more notifications
+}
+
+TEST(ObjectModelTest, EventCarriesDetails) {
+  ObjectModel m;
+  const ObjectId a = m.create_object("a", EquipmentKind::Sensor);
+  OosmEvent last{};
+  m.subscribe([&](const OosmEvent& e) { last = e; });
+  m.set_property(a, "temperature", 55.0);
+  EXPECT_EQ(last.kind, OosmEvent::Kind::PropertyChanged);
+  EXPECT_EQ(last.object, a);
+  EXPECT_EQ(last.property, "temperature");
+}
+
+TEST(PersistenceTest, SaveLoadRoundTrip) {
+  ObjectModel m;
+  const ObjectId chiller = m.create_object("AC Plant 1", EquipmentKind::Chiller);
+  const ObjectId motor =
+      m.create_object("Motor", EquipmentKind::InductionMotor);
+  m.relate(motor, Relation::PartOf, chiller);
+  m.set_property(motor, "rpm", 1780.0);
+  m.set_property(motor, "mfr", "GE");
+  m.set_property(motor, "poles", std::int64_t{4});
+
+  db::Database db;
+  Persistence::save(m, db);
+  const ObjectModel restored = Persistence::load(db);
+
+  EXPECT_EQ(restored.object_count(), 2u);
+  const auto motor2 = restored.find_by_name("Motor");
+  ASSERT_TRUE(motor2.has_value());
+  EXPECT_EQ(*motor2, motor);  // ids preserved
+  EXPECT_DOUBLE_EQ(restored.property(*motor2, "rpm")->as_real(), 1780.0);
+  EXPECT_EQ(restored.property(*motor2, "mfr")->as_text(), "GE");
+  EXPECT_EQ(restored.property(*motor2, "poles")->as_integer(), 4);
+  EXPECT_TRUE(restored.has_relation(*motor2, Relation::PartOf, chiller));
+}
+
+TEST(PersistenceTest, SurvivesIdGapsFromDeletions) {
+  ObjectModel m;
+  m.create_object("a", EquipmentKind::Sensor);
+  const ObjectId b = m.create_object("b", EquipmentKind::Sensor);
+  const ObjectId c = m.create_object("c", EquipmentKind::Sensor);
+  m.delete_object(b);
+
+  db::Database db;
+  Persistence::save(m, db);
+  const ObjectModel restored = Persistence::load(db);
+  EXPECT_EQ(restored.object_count(), 2u);
+  EXPECT_EQ(restored.find_by_name("c"), c);
+}
+
+TEST(PersistenceTest, SaveIsIdempotent) {
+  ObjectModel m;
+  m.create_object("a", EquipmentKind::Sensor);
+  db::Database db;
+  Persistence::save(m, db);
+  Persistence::save(m, db);  // drops and recreates snapshot tables
+  EXPECT_EQ(Persistence::load(db).object_count(), 1u);
+}
+
+TEST(ShipBuilderTest, BuildsPaperTopology) {
+  ObjectModel m;
+  const ShipModel ship = build_ship(m, "USNS Mercy", 2, 2);
+  EXPECT_EQ(ship.plants.size(), 4u);
+  EXPECT_EQ(ship.decks.size(), 2u);
+
+  const ChillerPlant& plant = ship.plants.front();
+  // Fig 2's machine name.
+  EXPECT_EQ(m.name(plant.motor), "A/C Compressor Motor 1");
+  // Drive line is part of the chiller, chiller part of a deck.
+  EXPECT_EQ(m.parent_of(plant.motor), plant.chiller);
+  EXPECT_TRUE(m.parent_of(plant.chiller).has_value());
+  // Refrigerant loop is closed.
+  const auto downstream = m.downstream_of(plant.compressor);
+  EXPECT_EQ(downstream.size(), 2u);
+  // Proximity: the motor neighbours the gearbox.
+  EXPECT_TRUE(m.has_relation(plant.motor, Relation::Proximity, plant.gearbox));
+  // Instrumentation present.
+  EXPECT_EQ(plant.accelerometers.size(), 3u);
+  EXPECT_GE(plant.process_sensors.size(), 6u);
+}
+
+TEST(ObjectModelTest, KindOfSupportsTypeQueries) {
+  // §4.2 lists "kind-of" among the modeled relationships: instances point
+  // at type objects, and related_to() answers "all instances of this type".
+  ObjectModel m;
+  const ObjectId motor_type =
+      m.create_object("Induction Motor Type", EquipmentKind::InductionMotor);
+  const ObjectId m1 = m.create_object("Motor 1", EquipmentKind::InductionMotor);
+  const ObjectId m2 = m.create_object("Motor 2", EquipmentKind::InductionMotor);
+  m.relate(m1, Relation::KindOf, motor_type);
+  m.relate(m2, Relation::KindOf, motor_type);
+  m.set_property(motor_type, "rated_kw", 370.0);
+
+  const auto instances = m.related_to(motor_type, Relation::KindOf);
+  EXPECT_EQ(instances.size(), 2u);
+  // Type-level properties are one hop away from any instance.
+  const auto type_of_m1 = m.related(m1, Relation::KindOf);
+  ASSERT_EQ(type_of_m1.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.property(type_of_m1[0], "rated_kw")->as_real(), 370.0);
+}
+
+TEST(ShipBuilderTest, MechanicalPowerFlowsDownTheDriveLine) {
+  ObjectModel m;
+  const ShipModel ship = build_ship(m, "Test", 1, 1);
+  const ChillerPlant& p = ship.plants.front();
+  const auto downstream = m.downstream_of(p.motor);
+  // motor -> gearbox -> compressor -> (refrigerant loop).
+  EXPECT_GE(downstream.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mpros::oosm

@@ -1,0 +1,316 @@
+// PDME tests: the §5.1 report flow through the OOSM, fusion of conflicting
+// and reinforcing reports, prioritized list, browser rendering, ICAS export.
+
+#include <gtest/gtest.h>
+
+#include "mpros/dc/data_concentrator.hpp"
+#include "mpros/oosm/ship_builder.hpp"
+#include "mpros/pdme/browser.hpp"
+#include "mpros/pdme/mimosa.hpp"
+#include "mpros/oosm/persistence.hpp"
+#include "mpros/pdme/pdme.hpp"
+
+namespace mpros::pdme {
+namespace {
+
+using domain::FailureMode;
+
+net::FailureReport make_report(ObjectId machine, FailureMode mode,
+                               double severity, double belief,
+                               std::uint64_t ks = 1, double t_seconds = 100.0,
+                               std::uint64_t dc = 1) {
+  net::FailureReport r;
+  r.dc = DcId(dc);
+  r.knowledge_source = KnowledgeSourceId(ks);
+  r.sensed_object = machine;
+  r.machine_condition = domain::condition_id(mode);
+  r.severity = severity;
+  r.belief = belief;
+  r.timestamp = SimTime::from_seconds(t_seconds);
+  r.explanation = "test report";
+  r.prognostics = {{0.1, 7.0 * 86400.0}, {0.9, 60.0 * 86400.0}};
+  return r;
+}
+
+class PdmeTest : public ::testing::Test {
+ protected:
+  PdmeTest() : ship_(oosm::build_ship(model_, "Test", 1, 1)), pdme_(model_) {
+    motor_ = ship_.plants.front().motor;
+  }
+
+  oosm::ObjectModel model_;
+  oosm::ShipModel ship_;
+  PdmeExecutive pdme_;
+  ObjectId motor_;
+};
+
+TEST_F(PdmeTest, AcceptPostsReportObjectIntoOosm) {
+  const std::size_t before = model_.object_count();
+  const auto obj = pdme_.accept(
+      make_report(motor_, FailureMode::MotorImbalance, 0.6, 0.8));
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(model_.object_count(), before + 1);
+  EXPECT_EQ(model_.kind(*obj), domain::EquipmentKind::Report);
+  // The report RefersTo the machine (§4.2).
+  EXPECT_TRUE(model_.has_relation(*obj, oosm::Relation::RefersTo, motor_));
+  EXPECT_DOUBLE_EQ(model_.property(*obj, "severity")->as_real(), 0.6);
+}
+
+TEST_F(PdmeTest, FusionTriggeredViaOosmEvents) {
+  pdme_.accept(make_report(motor_, FailureMode::MotorImbalance, 0.6, 0.8));
+  const auto state =
+      pdme_.group_state(motor_, domain::LogicalGroup::RotorDynamics);
+  EXPECT_EQ(state.report_count, 1u);
+  EXPECT_NEAR(state.modes[0].belief, 0.8, 1e-9);
+  EXPECT_EQ(pdme_.stats().reports_accepted, 1u);
+}
+
+TEST_F(PdmeTest, ThirdPartyReportObjectAlsoFused) {
+  // §4.5: fusion reacts to the OOSM, so a report object posted by hand (not
+  // via accept()) must reach knowledge fusion too.
+  const ObjectId obj =
+      model_.create_object("manual report", domain::EquipmentKind::Report);
+  model_.set_property(obj, "dc", std::int64_t{9});
+  model_.set_property(obj, "ks", std::int64_t{2});
+  model_.set_property(obj, "sensed",
+                      static_cast<std::int64_t>(motor_.value()));
+  model_.set_property(
+      obj, "condition",
+      static_cast<std::int64_t>(
+          domain::condition_id(FailureMode::RotorBarDefect).value()));
+  model_.set_property(obj, "severity", 0.5);
+  model_.set_property(obj, "belief", 0.7);
+  model_.set_property(obj, "timestamp_us", std::int64_t{1000});
+  model_.set_property(obj, "prognostics", "");
+  model_.set_property(obj, "posted", std::int64_t{1});
+
+  const auto state =
+      pdme_.group_state(motor_, domain::LogicalGroup::Electrical);
+  EXPECT_EQ(state.report_count, 1u);
+  EXPECT_NEAR(state.modes[0].belief, 0.7, 1e-9);
+}
+
+TEST_F(PdmeTest, ReinforcingReportsRaiseBelief) {
+  pdme_.accept(make_report(motor_, FailureMode::MotorImbalance, 0.6, 0.6,
+                           /*ks=*/1));
+  pdme_.accept(make_report(motor_, FailureMode::MotorImbalance, 0.5, 0.6,
+                           /*ks=*/3, /*t=*/200.0));
+  const auto state =
+      pdme_.group_state(motor_, domain::LogicalGroup::RotorDynamics);
+  EXPECT_NEAR(state.modes[0].belief, 1.0 - 0.4 * 0.4, 1e-9);
+}
+
+TEST_F(PdmeTest, ConflictingReportsShareGroupBelief) {
+  pdme_.accept(make_report(motor_, FailureMode::MotorImbalance, 0.6, 0.7,
+                           /*ks=*/1));
+  pdme_.accept(make_report(motor_, FailureMode::ShaftMisalignment, 0.6, 0.7,
+                           /*ks=*/3, /*t=*/200.0));
+  const auto state =
+      pdme_.group_state(motor_, domain::LogicalGroup::RotorDynamics);
+  EXPECT_GT(state.last_conflict, 0.0);
+  EXPECT_NEAR(state.modes[0].belief, state.modes[1].belief, 1e-9);
+}
+
+TEST_F(PdmeTest, DuplicateRetransmissionDropped) {
+  const auto report =
+      make_report(motor_, FailureMode::MotorImbalance, 0.6, 0.8);
+  EXPECT_TRUE(pdme_.accept(report).has_value());
+  EXPECT_FALSE(pdme_.accept(report).has_value());
+  EXPECT_EQ(pdme_.stats().duplicates_dropped, 1u);
+  const auto state =
+      pdme_.group_state(motor_, domain::LogicalGroup::RotorDynamics);
+  EXPECT_EQ(state.report_count, 1u);  // fused once, not twice
+}
+
+TEST_F(PdmeTest, PrioritizedListOrdersBySeverityWeightedBelief) {
+  pdme_.accept(make_report(motor_, FailureMode::MotorImbalance, 0.9, 0.9));
+  pdme_.accept(make_report(motor_, FailureMode::RotorBarDefect, 0.2, 0.4,
+                           /*ks=*/2, 150.0));
+  const auto list = pdme_.prioritized_list();
+  ASSERT_GE(list.size(), 2u);
+  EXPECT_EQ(list.front().mode, FailureMode::MotorImbalance);
+  for (std::size_t i = 1; i < list.size(); ++i) {
+    EXPECT_GE(list[i - 1].priority, list[i].priority);
+  }
+}
+
+TEST_F(PdmeTest, PrognosticFusionFeedsTimeToFailure) {
+  pdme_.accept(make_report(motor_, FailureMode::MotorImbalance, 0.7, 0.9));
+  const auto prognosis =
+      pdme_.prognosis(motor_, FailureMode::MotorImbalance);
+  ASSERT_TRUE(prognosis.has_value());
+  const auto list = pdme_.prioritized_list(motor_);
+  ASSERT_FALSE(list.empty());
+  ASSERT_TRUE(list.front().median_ttf.has_value());
+  EXPECT_GT(list.front().median_ttf->days(), 0.0);
+}
+
+TEST_F(PdmeTest, ConservativePrognosticDominates) {
+  auto early = make_report(motor_, FailureMode::MotorImbalance, 0.7, 0.9);
+  early.prognostics = {{0.9, 10.0 * 86400.0}};  // 90% at 10 days
+  auto late = make_report(motor_, FailureMode::MotorImbalance, 0.5, 0.8,
+                          /*ks=*/3, 200.0);
+  late.prognostics = {{0.9, 100.0 * 86400.0}};
+  pdme_.accept(late);
+  pdme_.accept(early);
+  const auto list = pdme_.prioritized_list(motor_);
+  ASSERT_TRUE(list.front().p90_ttf.has_value());
+  EXPECT_LE(list.front().p90_ttf->days(), 10.5);
+}
+
+TEST_F(PdmeTest, NetworkAttachDeliversReports) {
+  net::SimNetwork network;
+  pdme_.attach_to_network(network);
+  network.send("dc-1", "pdme",
+               net::wrap(make_report(motor_, FailureMode::GearMeshWear, 0.5,
+                                     0.8)),
+               SimTime(0));
+  network.flush();
+  EXPECT_EQ(pdme_.stats().reports_accepted, 1u);
+}
+
+TEST_F(PdmeTest, ResetMachineForgets) {
+  pdme_.accept(make_report(motor_, FailureMode::MotorImbalance, 0.6, 0.8));
+  pdme_.reset_machine(motor_);
+  EXPECT_TRUE(pdme_.prioritized_list(motor_).empty());
+  EXPECT_TRUE(pdme_.reports_for(motor_).empty());
+}
+
+TEST_F(PdmeTest, BrowserRendersFig2Layout) {
+  // Fig 2's situation: six condition reports from four knowledge sources,
+  // some conflicting and some reinforcing, for A/C Compressor Motor 1.
+  pdme_.accept(make_report(motor_, FailureMode::MotorImbalance, 0.6, 0.7,
+                           /*ks=*/1, 100));
+  pdme_.accept(make_report(motor_, FailureMode::MotorImbalance, 0.5, 0.6,
+                           /*ks=*/3, 110));
+  pdme_.accept(make_report(motor_, FailureMode::ShaftMisalignment, 0.4, 0.5,
+                           /*ks=*/2, 120));
+  pdme_.accept(make_report(motor_, FailureMode::RotorBarDefect, 0.3, 0.6,
+                           /*ks=*/1, 130));
+  pdme_.accept(make_report(motor_, FailureMode::MotorBearingWear, 0.5, 0.7,
+                           /*ks=*/4, 140));
+  pdme_.accept(make_report(motor_, FailureMode::MotorBearingWear, 0.6, 0.8,
+                           /*ks=*/2, 150));
+
+  const std::string screen = render_machine(pdme_, model_, motor_);
+  EXPECT_NE(screen.find("A/C Compressor Motor 1"), std::string::npos);
+  EXPECT_NE(screen.find("Condition reports received: 6"), std::string::npos);
+  EXPECT_NE(screen.find("DLI Expert System"), std::string::npos);
+  EXPECT_NE(screen.find("Fuzzy Logic"), std::string::npos);
+  EXPECT_NE(screen.find("motor imbalance"), std::string::npos);
+  EXPECT_NE(screen.find("Failure predictions"), std::string::npos);
+}
+
+TEST_F(PdmeTest, SummaryAndIcasExport) {
+  pdme_.accept(make_report(motor_, FailureMode::MotorImbalance, 0.8, 0.9));
+  const std::string summary = render_summary(pdme_, model_);
+  EXPECT_NE(summary.find("Prioritized Maintenance List"), std::string::npos);
+  EXPECT_NE(summary.find("A/C Compressor Motor 1"), std::string::npos);
+
+  const std::string csv = export_icas_csv(pdme_, model_);
+  EXPECT_NE(csv.find("machine,condition"), std::string::npos);
+  EXPECT_NE(csv.find("motor imbalance"), std::string::npos);
+}
+
+TEST_F(PdmeTest, RebuildFromModelRecoversFusionState) {
+  // §4.9: the OOSM is the persistent record; a restarted executive must
+  // recover the maintenance picture from the Report objects alone.
+  pdme_.accept(make_report(motor_, FailureMode::MotorImbalance, 0.7, 0.6,
+                           /*ks=*/1, 100));
+  pdme_.accept(make_report(motor_, FailureMode::MotorImbalance, 0.6, 0.6,
+                           /*ks=*/3, 200));
+  pdme_.accept(make_report(motor_, FailureMode::RotorBarDefect, 0.4, 0.5,
+                           /*ks=*/2, 300));
+  const auto original = pdme_.prioritized_list(motor_);
+
+  db::Database store;
+  oosm::Persistence::save(model_, store);
+  oosm::ObjectModel restored = oosm::Persistence::load(store);
+  PdmeExecutive recovered(restored);
+  EXPECT_EQ(recovered.rebuild_from_model(), 3u);
+
+  const auto rebuilt = recovered.prioritized_list(motor_);
+  ASSERT_EQ(rebuilt.size(), original.size());
+  for (std::size_t i = 0; i < rebuilt.size(); ++i) {
+    EXPECT_EQ(rebuilt[i].mode, original[i].mode);
+    EXPECT_NEAR(rebuilt[i].fused_belief, original[i].fused_belief, 1e-9);
+    EXPECT_NEAR(rebuilt[i].max_severity, original[i].max_severity, 1e-9);
+  }
+  // Recovery also primes dedup: a replayed datagram is still dropped.
+  EXPECT_FALSE(recovered
+                   .accept(make_report(motor_, FailureMode::MotorImbalance,
+                                       0.7, 0.6, /*ks=*/1, 100))
+                   .has_value());
+}
+
+TEST_F(PdmeTest, TrendProjectionFromEscalatingReports) {
+  // §10.1 temporal reasoning in the live path: reports escalate linearly
+  // (0.2 -> 0.6 over 40 days), so the trend projects failure ~40 days past
+  // the last report (severity 1.0 at the extrapolated crossing).
+  for (int i = 0; i <= 4; ++i) {
+    pdme_.accept(make_report(motor_, FailureMode::MotorImbalance,
+                             0.2 + 0.1 * i, 0.8, /*ks=*/1,
+                             /*t=*/86400.0 * 10.0 * i));
+  }
+  const auto list = pdme_.prioritized_list(motor_);
+  ASSERT_FALSE(list.empty());
+  ASSERT_TRUE(list.front().trend_ttf.has_value());
+  EXPECT_NEAR(list.front().trend_ttf->days(), 40.0, 1.0);
+
+  const auto curve =
+      pdme_.trend_prognosis(motor_, FailureMode::MotorImbalance);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_NEAR(curve.probability_at(SimTime::from_days(40.0)), 0.5, 0.02);
+}
+
+TEST_F(PdmeTest, FlatSeverityHasNoTrendProjection) {
+  for (int i = 0; i <= 4; ++i) {
+    pdme_.accept(make_report(motor_, FailureMode::MotorImbalance, 0.4, 0.8,
+                             /*ks=*/1, /*t=*/86400.0 * 10.0 * i));
+  }
+  const auto list = pdme_.prioritized_list(motor_);
+  ASSERT_FALSE(list.empty());
+  EXPECT_FALSE(list.front().trend_ttf.has_value());
+}
+
+TEST_F(PdmeTest, MimosaExportCarriesStandardRecords) {
+  // §3.3: MIMOSA integration — asset, health-assessment and proposed-event
+  // records for every fused conclusion.
+  pdme_.accept(make_report(motor_, FailureMode::MotorImbalance, 0.9, 0.9));
+  const std::string doc = export_mimosa(pdme_, model_);
+
+  EXPECT_NE(doc.find("HD|USNS-MERCY|MPROS-PDME|"), std::string::npos);
+  EXPECT_NE(doc.find("AS|USNS-MERCY|"), std::string::npos);
+  EXPECT_NE(doc.find("A/C Compressor Motor 1|InductionMotor"),
+            std::string::npos);
+  EXPECT_NE(doc.find("HA|USNS-MERCY|"), std::string::npos);
+  EXPECT_NE(doc.find("|motor imbalance|CRITICAL|"), std::string::npos);
+  EXPECT_NE(doc.find("PE|USNS-MERCY|"), std::string::npos);
+}
+
+TEST_F(PdmeTest, MimosaGradeLadder) {
+  MaintenanceItem item;
+  item.fused_belief = 0.05;
+  item.max_severity = 0.5;
+  EXPECT_STREQ(mimosa_grade(item), "NORMAL");
+  item.fused_belief = 0.5;
+  item.max_severity = 0.4;
+  EXPECT_STREQ(mimosa_grade(item), "WARNING");
+  item.fused_belief = 0.9;
+  item.max_severity = 0.5;
+  EXPECT_STREQ(mimosa_grade(item), "ALERT");
+  item.fused_belief = 0.95;
+  item.max_severity = 0.9;
+  EXPECT_STREQ(mimosa_grade(item), "CRITICAL");
+}
+
+TEST_F(PdmeTest, MalformedConditionDropped) {
+  auto bad = make_report(motor_, FailureMode::MotorImbalance, 0.5, 0.5);
+  bad.machine_condition = ConditionId(999);
+  pdme_.accept(bad);
+  EXPECT_EQ(pdme_.stats().malformed_dropped, 1u);
+  EXPECT_EQ(pdme_.stats().reports_accepted, 0u);
+}
+
+}  // namespace
+}  // namespace mpros::pdme

@@ -1,0 +1,390 @@
+// Plant simulator tests: fault injection, vibration signatures, process
+// dynamics, the chiller composition, EMA traces, and the Fig 5 DAQ chain.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpros/common/units.hpp"
+#include "mpros/dsp/spectrum.hpp"
+#include "mpros/dsp/stats.hpp"
+#include "mpros/plant/chiller.hpp"
+#include "mpros/plant/daq.hpp"
+#include "mpros/plant/ema.hpp"
+#include "mpros/plant/faults.hpp"
+#include "mpros/plant/process.hpp"
+#include "mpros/plant/vibration.hpp"
+
+namespace mpros::plant {
+namespace {
+
+using domain::FailureMode;
+
+TEST(FaultInjectorTest, LinearRamp) {
+  FaultInjector inj;
+  inj.schedule({FailureMode::MotorImbalance, SimTime::from_days(10),
+                SimTime::from_days(20), 1.0, GrowthProfile::Linear});
+  EXPECT_DOUBLE_EQ(inj.severity_at(FailureMode::MotorImbalance,
+                                   SimTime::from_days(5)), 0.0);
+  EXPECT_DOUBLE_EQ(inj.severity_at(FailureMode::MotorImbalance,
+                                   SimTime::from_days(20)), 0.5);
+  EXPECT_DOUBLE_EQ(inj.severity_at(FailureMode::MotorImbalance,
+                                   SimTime::from_days(40)), 1.0);
+}
+
+TEST(FaultInjectorTest, StepAndAcceleratingProfiles) {
+  FaultInjector inj;
+  inj.schedule({FailureMode::GearMeshWear, SimTime::from_days(1),
+                SimTime::from_days(10), 0.8, GrowthProfile::Step});
+  inj.schedule({FailureMode::OilDegradation, SimTime::from_days(0),
+                SimTime::from_days(10), 1.0, GrowthProfile::Accelerating});
+  EXPECT_DOUBLE_EQ(inj.severity_at(FailureMode::GearMeshWear,
+                                   SimTime::from_days(1)), 0.8);
+  // Accelerating: quadratic — halfway through the ramp only 25%.
+  EXPECT_DOUBLE_EQ(inj.severity_at(FailureMode::OilDegradation,
+                                   SimTime::from_days(5)), 0.25);
+}
+
+TEST(FaultInjectorTest, MultipleEventsTakeMax) {
+  FaultInjector inj;
+  inj.schedule({FailureMode::PumpCavitation, SimTime(0), SimTime(0), 0.3,
+                GrowthProfile::Step});
+  inj.schedule({FailureMode::PumpCavitation, SimTime(0), SimTime(0), 0.7,
+                GrowthProfile::Step});
+  EXPECT_DOUBLE_EQ(inj.severity_at(FailureMode::PumpCavitation, SimTime(0)),
+                   0.7);
+}
+
+TEST(FaultInjectorTest, DominantModeIsGroundTruth) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.dominant_at(SimTime(0)).has_value());
+  inj.schedule({FailureMode::RefrigerantLeak, SimTime(0), SimTime(0), 0.4,
+                GrowthProfile::Step});
+  inj.schedule({FailureMode::CondenserFouling, SimTime(0), SimTime(0), 0.9,
+                GrowthProfile::Step});
+  EXPECT_EQ(inj.dominant_at(SimTime(0)), FailureMode::CondenserFouling);
+}
+
+// --- Vibration synthesis ------------------------------------------------------
+
+constexpr double kRate = 40960.0;
+constexpr std::size_t kWindow = 8192;
+
+std::vector<double> synth_window(FailureMode mode, double severity,
+                                 MachinePoint point,
+                                 double load = 0.85) {
+  VibrationSynthesizer synth(domain::navy_chiller_signature(), 4242);
+  Severities s{};
+  s[static_cast<std::size_t>(mode)] = severity;
+  std::vector<double> w(kWindow);
+  synth.acceleration(point, s, load, 0.0, kRate, w);
+  return w;
+}
+
+TEST(VibrationTest, HealthyBaselineHasExpectedTones) {
+  VibrationSynthesizer synth(domain::navy_chiller_signature(), 1);
+  std::vector<double> w(kWindow);
+  synth.acceleration(MachinePoint::Motor, Severities{}, 0.85, 0.0, kRate, w);
+  const auto spec = dsp::amplitude_spectrum(w, kRate);
+  const double shaft = domain::navy_chiller_signature().shaft_hz;
+  EXPECT_NEAR(dsp::order_amplitude(spec, shaft, 1.0), 0.05, 0.02);
+  EXPECT_LT(dsp::order_amplitude(spec, shaft, 2.0), 0.04);
+}
+
+TEST(VibrationTest, ImbalanceRaisesOneTimes) {
+  const auto w = synth_window(FailureMode::MotorImbalance, 0.9,
+                              MachinePoint::Motor);
+  const auto spec = dsp::amplitude_spectrum(w, kRate);
+  const double shaft = domain::navy_chiller_signature().shaft_hz;
+  EXPECT_GT(dsp::order_amplitude(spec, shaft, 1.0), 0.35);
+}
+
+TEST(VibrationTest, MisalignmentRaisesTwoTimes) {
+  const auto w = synth_window(FailureMode::ShaftMisalignment, 0.9,
+                              MachinePoint::Motor);
+  const auto spec = dsp::amplitude_spectrum(w, kRate);
+  const double shaft = domain::navy_chiller_signature().shaft_hz;
+  EXPECT_GT(dsp::order_amplitude(spec, shaft, 2.0), 0.25);
+  EXPECT_GT(dsp::order_amplitude(spec, shaft, 2.0),
+            dsp::order_amplitude(spec, shaft, 1.0));
+}
+
+TEST(VibrationTest, SeverityScalesSignature) {
+  const double shaft = domain::navy_chiller_signature().shaft_hz;
+  const auto mild = synth_window(FailureMode::MotorImbalance, 0.3,
+                                 MachinePoint::Motor);
+  const auto severe = synth_window(FailureMode::MotorImbalance, 0.9,
+                                   MachinePoint::Motor);
+  EXPECT_GT(dsp::order_amplitude(dsp::amplitude_spectrum(severe, kRate),
+                                 shaft, 1.0),
+            dsp::order_amplitude(dsp::amplitude_spectrum(mild, kRate),
+                                 shaft, 1.0) * 1.5);
+}
+
+TEST(VibrationTest, AttenuationAcrossMachinePoints) {
+  const double shaft = domain::navy_chiller_signature().shaft_hz;
+  const auto at_motor = synth_window(FailureMode::MotorImbalance, 0.9,
+                                     MachinePoint::Motor);
+  const auto at_comp = synth_window(FailureMode::MotorImbalance, 0.9,
+                                    MachinePoint::Compressor);
+  EXPECT_GT(dsp::order_amplitude(dsp::amplitude_spectrum(at_motor, kRate),
+                                 shaft, 1.0),
+            dsp::order_amplitude(dsp::amplitude_spectrum(at_comp, kRate),
+                                 shaft, 1.0) * 2.0);
+}
+
+TEST(VibrationTest, BearingFaultIsImpulsive) {
+  const auto healthy = synth_window(FailureMode::MotorBearingWear, 0.0,
+                                    MachinePoint::Motor);
+  const auto faulty = synth_window(FailureMode::MotorBearingWear, 0.9,
+                                   MachinePoint::Motor);
+  EXPECT_GT(dsp::moments(faulty).kurtosis, dsp::moments(healthy).kurtosis);
+  EXPECT_GT(dsp::crest_factor(faulty), dsp::crest_factor(healthy));
+}
+
+TEST(VibrationTest, CavitationRaisesBroadbandNoise) {
+  const auto healthy = synth_window(FailureMode::PumpCavitation, 0.0,
+                                    MachinePoint::Compressor);
+  const auto faulty = synth_window(FailureMode::PumpCavitation, 0.9,
+                                   MachinePoint::Compressor);
+  const auto hs = dsp::amplitude_spectrum(healthy, kRate);
+  const auto fs = dsp::amplitude_spectrum(faulty, kRate);
+  EXPECT_GT(fs.band_energy(6000.0, 12000.0),
+            3.0 * hs.band_energy(6000.0, 12000.0));
+}
+
+TEST(VibrationTest, PhaseContinuousAcrossAcquisitions) {
+  // Two acquisitions at consecutive t0 must join smoothly (tones are
+  // functions of absolute time).
+  VibrationSynthesizer synth(domain::navy_chiller_signature(), 5);
+  Severities s{};
+  std::vector<double> a(1024), b(1024), joint(2048);
+  synth.acceleration(MachinePoint::Motor, s, 0.8, 0.0, kRate, joint);
+  VibrationSynthesizer synth2(domain::navy_chiller_signature(), 5);
+  synth2.acceleration(MachinePoint::Motor, s, 0.8, 0.0, kRate, a);
+  synth2.acceleration(MachinePoint::Motor, s, 0.8, 1024.0 / kRate, kRate, b);
+  // Tones agree (noise differs): compare spectra of the tone-dominated low
+  // band instead of samples.
+  const auto sj = dsp::amplitude_spectrum(joint, kRate);
+  const double shaft = domain::navy_chiller_signature().shaft_hz;
+  EXPECT_NEAR(dsp::order_amplitude(sj, shaft, 1.0), 0.05, 0.02);
+}
+
+TEST(VibrationTest, RotorBarSidebandsInCurrent) {
+  // Sub-Hz resolution is required to separate the ~1.4 Hz pole-pass
+  // sidebands from the 60 Hz carrier: 8 s at 4096 Hz gives 0.125 Hz bins.
+  constexpr double kCurrentRate = 4096.0;
+  constexpr std::size_t kCurrentWindow = 32768;
+  VibrationSynthesizer synth(domain::navy_chiller_signature(), 6);
+  Severities healthy{}, faulty{};
+  faulty[static_cast<std::size_t>(FailureMode::RotorBarDefect)] = 0.9;
+  std::vector<double> hw(kCurrentWindow), fw(kCurrentWindow);
+  synth.motor_current(healthy, 0.85, 0.0, kCurrentRate, hw);
+  synth.motor_current(faulty, 0.85, 0.0, kCurrentRate, fw);
+
+  const auto sig = domain::navy_chiller_signature();
+  const double pole_pass = 2.0 * sig.slip_hz(0.85) * sig.pole_pairs;
+  const auto hs = dsp::amplitude_spectrum(hw, kCurrentRate);
+  const auto fs = dsp::amplitude_spectrum(fw, kCurrentRate);
+  const double h_sb = hs.band_peak(60.0 - pole_pass * 1.2,
+                                   60.0 - pole_pass * 0.8);
+  const double f_sb = fs.band_peak(60.0 - pole_pass * 1.2,
+                                   60.0 - pole_pass * 0.8);
+  EXPECT_GT(f_sb, 5.0 * h_sb);
+}
+
+// --- Process model -------------------------------------------------------------
+
+TEST(ProcessModelTest, RelaxesTowardFaultTargets) {
+  ProcessModel pm(domain::navy_chiller_nominals(), 1,
+                  SimTime::from_seconds(60.0));
+  Severities s{};
+  s[static_cast<std::size_t>(FailureMode::RefrigerantLeak)] = 1.0;
+  for (int i = 0; i < 60; ++i) {
+    pm.advance(SimTime::from_seconds(30.0), 0.8, s);
+  }
+  const auto state = pm.state();
+  const auto nom = domain::navy_chiller_nominals();
+  EXPECT_LT(state.at("process.evap_pressure_kpa"),
+            nom.evap_pressure_kpa - 70.0);
+  EXPECT_GT(state.at("process.superheat_c"), nom.superheat_c + 8.0);
+}
+
+TEST(ProcessModelTest, FirstOrderLagIsGradual) {
+  ProcessModel pm(domain::navy_chiller_nominals(), 2,
+                  SimTime::from_seconds(300.0));
+  Severities s{};
+  s[static_cast<std::size_t>(FailureMode::CondenserFouling)] = 1.0;
+  pm.advance(SimTime::from_seconds(30.0), 0.8, s);
+  const double after_30s = pm.state().at("process.cond_pressure_kpa");
+  const auto nom = domain::navy_chiller_nominals();
+  // One tenth of a time constant: far from the +340 kPa target.
+  EXPECT_LT(after_30s, nom.cond_pressure_kpa + 120.0);
+  EXPECT_GT(after_30s, nom.cond_pressure_kpa);
+}
+
+TEST(ProcessModelTest, SnapshotHasAllKeysAndNoise) {
+  ProcessModel pm(domain::navy_chiller_nominals(), 3);
+  pm.advance(SimTime::from_seconds(10.0), 0.8, Severities{});
+  const auto a = pm.snapshot();
+  const auto b = pm.snapshot();
+  EXPECT_EQ(a.size(), 11u);
+  EXPECT_TRUE(a.contains("process.load"));
+  // Noise differs between snapshots of the same state.
+  EXPECT_NE(a.at("process.oil_temp_c"), b.at("process.oil_temp_c"));
+}
+
+TEST(ProcessModelTest, LoadShapesOperatingPoint) {
+  ProcessModel pm(domain::navy_chiller_nominals(), 4,
+                  SimTime::from_seconds(10.0));
+  for (int i = 0; i < 50; ++i) {
+    pm.advance(SimTime::from_seconds(10.0), 1.0, Severities{});
+  }
+  const double full_load_current = pm.state().at("process.motor_current_a");
+  for (int i = 0; i < 200; ++i) {
+    pm.advance(SimTime::from_seconds(10.0), 0.3, Severities{});
+  }
+  EXPECT_LT(pm.state().at("process.motor_current_a"), full_load_current);
+}
+
+// --- Chiller composition ---------------------------------------------------------
+
+TEST(ChillerSimulatorTest, TruthTracksInjectedFaults) {
+  ChillerSimulator chiller;
+  chiller.faults().schedule({FailureMode::GearMeshWear,
+                             SimTime::from_hours(1.0), SimTime(0), 0.8,
+                             GrowthProfile::Step});
+  chiller.advance(SimTime::from_hours(0.5));
+  EXPECT_FALSE(chiller.faults().dominant_at(chiller.now()).has_value());
+  chiller.advance(SimTime::from_hours(1.0));
+  EXPECT_EQ(chiller.faults().dominant_at(chiller.now()),
+            FailureMode::GearMeshWear);
+  EXPECT_DOUBLE_EQ(
+      chiller.truth()[static_cast<std::size_t>(FailureMode::GearMeshWear)],
+      0.8);
+}
+
+TEST(ChillerSimulatorTest, AcquisitionReflectsFaultState) {
+  ChillerSimulator chiller;
+  chiller.faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                             SimTime(0), 0.9, GrowthProfile::Step});
+  chiller.advance(SimTime::from_seconds(1.0));
+  std::vector<double> w(kWindow);
+  chiller.acquire_vibration(MachinePoint::Motor, kRate, w);
+  const auto spec = dsp::amplitude_spectrum(w, kRate);
+  EXPECT_GT(dsp::order_amplitude(spec, chiller.signature().shaft_hz, 1.0),
+            0.3);
+}
+
+// --- EMA -----------------------------------------------------------------------
+
+TEST(EmaSimulatorTest, HealthyTraceHasNoSpikes) {
+  EmaSimulator ema;
+  const auto trace = ema.generate(10000, 0.0);
+  EXPECT_EQ(ema.injected_spikes(), 0u);
+}
+
+TEST(EmaSimulatorTest, SpikeRateScalesWithStiction) {
+  EmaSimulator ema;
+  const auto mild_trace = ema.generate(50000, 0.3);
+  const std::size_t low = ema.injected_spikes();
+  const auto severe_trace = ema.generate(50000, 1.0);
+  const std::size_t high = ema.injected_spikes();
+  ASSERT_EQ(mild_trace.size(), severe_trace.size());
+  EXPECT_GT(high, low);
+  EXPECT_GT(low, 0u);
+}
+
+TEST(EmaSimulatorTest, CommandedMovesChangeCpos) {
+  EmaSimulator ema;
+  const auto trace = ema.generate(20000, 0.0, /*move_rate=*/0.01);
+  EXPECT_GT(trace.back().cpos, 0.0);
+}
+
+// --- DAQ chain (Fig 5, E8 substrate) ----------------------------------------------
+
+SignalSource tone_source(double freq, double amp) {
+  return [freq, amp](std::size_t channel, double t0, double rate,
+                     std::span<double> out) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const double t = t0 + static_cast<double>(i) / rate;
+      out[i] = amp * std::sin(kTwoPi * freq * t) +
+               0.001 * static_cast<double>(channel);
+    }
+  };
+}
+
+TEST(DaqTest, ThirtyTwoChannelsViaTwoMuxCards) {
+  DaqChain daq(DaqConfig{}, tone_source(100.0, 1.0));
+  EXPECT_EQ(daq.channel_count(), 32u);
+}
+
+TEST(DaqTest, BankAcquisitionTimesAccountForSettle) {
+  DaqConfig cfg;
+  DaqChain daq(cfg, tone_source(100.0, 1.0));
+  const auto acq = daq.acquire_bank(0, 0, 4096, 40960.0, SimTime(0));
+  EXPECT_EQ(acq.waveforms.size(), 4u);
+  EXPECT_EQ(acq.channels, (std::vector<std::size_t>{0, 1, 2, 3}));
+  const double expected_s = cfg.mux_settle.seconds() + 4096.0 / 40960.0;
+  EXPECT_NEAR((acq.finished - acq.started).seconds(), expected_s, 1e-9);
+}
+
+TEST(DaqTest, SampleRateClampedToCardMaximum) {
+  DaqConfig cfg;
+  cfg.max_sample_rate_hz = 51200.0;
+  DaqChain daq(cfg, tone_source(100.0, 1.0));
+  const auto acq = daq.acquire_bank(0, 0, 5120, 1e6, SimTime(0));
+  // Record length reflects the clamped rate: 5120 / 51200 = 0.1 s.
+  EXPECT_NEAR((acq.finished - acq.started).seconds() -
+                  cfg.mux_settle.seconds(),
+              0.1, 1e-9);
+}
+
+TEST(DaqTest, FullScanCoversEveryChannelSequentially) {
+  DaqChain daq(DaqConfig{}, tone_source(100.0, 1.0));
+  const auto scan = daq.scan_all(1024, 40960.0, SimTime(0));
+  EXPECT_EQ(scan.waveforms.size(), 32u);
+  EXPECT_EQ(scan.total_samples, 32u * 1024u);
+  for (const auto& w : scan.waveforms) EXPECT_EQ(w.size(), 1024u);
+  // 8 banks in sequence.
+  const double expected =
+      8.0 * (DaqConfig{}.mux_settle.seconds() + 1024.0 / 40960.0);
+  EXPECT_NEAR(scan.duration.seconds(), expected, 1e-9);
+}
+
+TEST(DaqTest, RmsAlarmFiresOnlyAboveThreshold) {
+  // Channel tone RMS = 1/sqrt(2) ≈ 0.707.
+  DaqChain daq(DaqConfig{}, tone_source(100.0, 1.0));
+  daq.set_alarm_threshold(3, 0.5);
+  daq.set_alarm_threshold(4, 0.9);  // above the actual RMS: stays quiet
+  const auto alarms = daq.poll_alarms(SimTime(0), SimTime::from_seconds(1.0));
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].channel, 3u);
+  EXPECT_GT(alarms[0].rms, 0.5);
+}
+
+TEST(DaqTest, AlarmLatchesUntilRearm) {
+  DaqChain daq(DaqConfig{}, tone_source(100.0, 1.0));
+  daq.set_alarm_threshold(0, 0.5);
+  EXPECT_EQ(daq.poll_alarms(SimTime(0), SimTime::from_seconds(1.0)).size(),
+            1u);
+  EXPECT_TRUE(daq.poll_alarms(SimTime::from_seconds(1.0),
+                              SimTime::from_seconds(1.0)).empty());
+  daq.rearm_alarms();
+  EXPECT_EQ(daq.poll_alarms(SimTime::from_seconds(2.0),
+                            SimTime::from_seconds(1.0)).size(),
+            1u);
+}
+
+TEST(DaqTest, AlarmDetectionLatencyIsSmall) {
+  // Alarm RMS time constant 50 ms: a sudden full-scale tone must be flagged
+  // within a few time constants.
+  DaqChain daq(DaqConfig{}, tone_source(500.0, 2.0));
+  daq.set_alarm_threshold(0, 1.0);
+  const auto alarms = daq.poll_alarms(SimTime(0), SimTime::from_seconds(1.0));
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_LT(alarms[0].at.seconds(), 0.25);
+}
+
+}  // namespace
+}  // namespace mpros::plant

@@ -1,0 +1,469 @@
+// Property-based tests: randomized sweeps over the library's algebraic
+// invariants (TEST_P / INSTANTIATE_TEST_SUITE_P).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "mpros/common/rng.hpp"
+#include "mpros/common/units.hpp"
+#include "mpros/db/database.hpp"
+#include "mpros/dsp/fft.hpp"
+#include "mpros/fusion/dempster_shafer.hpp"
+#include "mpros/fusion/hazard.hpp"
+#include "mpros/fusion/prognostic_fusion.hpp"
+#include "mpros/net/network.hpp"
+#include "mpros/net/report.hpp"
+#include "mpros/sbfr/interpreter.hpp"
+#include "mpros/wavelet/dwt.hpp"
+
+namespace mpros {
+namespace {
+
+// --- FFT invariants across sizes ---------------------------------------------
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, RoundTripAndParseval) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<dsp::Complex> x(n);
+  for (auto& c : x) c = dsp::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+
+  std::vector<dsp::Complex> y = x;
+  const dsp::FftPlan plan(n);
+  plan.forward(y);
+
+  // Parseval: sum |x|^2 = (1/n) sum |X|^2.
+  double ex = 0.0, ey = 0.0;
+  for (const auto& c : x) ex += std::norm(c);
+  for (const auto& c : y) ey += std::norm(c);
+  EXPECT_NEAR(ex, ey / static_cast<double>(n), 1e-6 * ex + 1e-12);
+
+  plan.inverse(y);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-9);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-9);
+  }
+}
+
+TEST_P(FftSizeTest, LinearityHolds) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 7);
+  std::vector<dsp::Complex> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = dsp::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    b[i] = dsp::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  const dsp::FftPlan plan(n);
+  plan.forward(a);
+  plan.forward(b);
+  plan.forward(sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    const dsp::Complex expected = a[i] + 2.0 * b[i];
+    EXPECT_NEAR(sum[i].real(), expected.real(), 1e-8);
+    EXPECT_NEAR(sum[i].imag(), expected.imag(), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizeTest,
+                         ::testing::Values(8, 32, 128, 512, 2048, 8192),
+                         [](const auto& inst) {
+                           return "n" + std::to_string(inst.param);
+                         });
+
+// --- DWT perfect reconstruction across lengths --------------------------------
+
+class DwtLengthTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, int>> {};
+
+TEST_P(DwtLengthTest, ReconstructionAndEnergy) {
+  const auto [n, levels] = GetParam();
+  Rng rng(n + static_cast<std::size_t>(levels));
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform(-2, 2);
+
+  for (const auto family :
+       {wavelet::Family::Haar, wavelet::Family::Db2, wavelet::Family::Db4}) {
+    const auto d = wavelet::decompose(x, family, levels);
+    const auto back = wavelet::reconstruct(d);
+    ASSERT_EQ(back.size(), n);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      max_err = std::max(max_err, std::fabs(back[i] - x[i]));
+    }
+    EXPECT_LT(max_err, 1e-9) << wavelet::to_string(family);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthsAndLevels, DwtLengthTest,
+    ::testing::Values(std::pair<std::size_t, int>{64, 3},
+                      std::pair<std::size_t, int>{96, 5},
+                      std::pair<std::size_t, int>{256, 6},
+                      std::pair<std::size_t, int>{1024, 4}),
+    [](const auto& inst) {
+      return "n" + std::to_string(inst.param.first) + "_l" +
+             std::to_string(inst.param.second);
+    });
+
+// --- Dempster-Shafer algebra under random evidence -----------------------------
+
+class DsAlgebraTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static fusion::MassFunction random_support(
+      const fusion::FrameOfDiscernment& frame, Rng& rng) {
+    const auto focus = static_cast<fusion::HypothesisSet>(
+        rng.integer(1, frame.theta()));
+    return fusion::MassFunction::simple_support(frame, focus,
+                                                rng.uniform(0.0, 0.9));
+  }
+};
+
+TEST_P(DsAlgebraTest, CommutativeAssociativeNormalized) {
+  const fusion::FrameOfDiscernment frame({"a", "b", "c", "d"});
+  Rng rng(GetParam());
+  const auto m1 = random_support(frame, rng);
+  const auto m2 = random_support(frame, rng);
+  const auto m3 = random_support(frame, rng);
+
+  // Commutativity.
+  const auto ab = fusion::combine(m1, m2).fused;
+  const auto ba = fusion::combine(m2, m1).fused;
+  for (const auto& [set, mass] : ab.focal_elements()) {
+    EXPECT_NEAR(ba.mass(set), mass, 1e-12);
+  }
+
+  // Associativity: (m1 ⊕ m2) ⊕ m3 == m1 ⊕ (m2 ⊕ m3).
+  const auto left = fusion::combine(ab, m3).fused;
+  const auto right = fusion::combine(m1, fusion::combine(m2, m3).fused).fused;
+  for (const auto& [set, mass] : left.focal_elements()) {
+    EXPECT_NEAR(right.mass(set), mass, 1e-9);
+  }
+
+  // Normalization and belief/plausibility bracketing.
+  double total = 0.0;
+  for (const auto& [set, mass] : left.focal_elements()) {
+    EXPECT_GE(mass, 0.0);
+    total += mass;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (std::size_t h = 0; h < frame.size(); ++h) {
+    const auto s = frame.singleton(h);
+    EXPECT_LE(left.belief(s), left.plausibility(s) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsAlgebraTest,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+// --- Prognostic fusion invariants under random curves --------------------------
+
+class PrognosticPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static fusion::PrognosticVector random_curve(Rng& rng, std::size_t max_pts) {
+    std::vector<fusion::PrognosticPoint> pts;
+    double mo = 0.0;
+    const std::size_t n = 1 + rng.integer(0, max_pts - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      mo += rng.uniform(0.2, 2.0);
+      pts.push_back({SimTime::from_months(mo), rng.uniform(0.0, 1.0)});
+    }
+    return fusion::PrognosticVector(std::move(pts));
+  }
+};
+
+TEST_P(PrognosticPropertyTest, FusionInvariants) {
+  Rng rng(GetParam() * 31 + 5);
+  const auto a = random_curve(rng, 6);
+  const auto b = random_curve(rng, 6);
+
+  const auto ab = fuse_conservative(a, b);
+  const auto ba = fuse_conservative(b, a);
+
+  for (double mo = 0.25; mo < 15.0; mo += 0.25) {
+    const SimTime t = SimTime::from_months(mo);
+    // Commutative.
+    EXPECT_NEAR(ab.probability_at(t), ba.probability_at(t), 1e-9);
+    // Monotone in time (a failure CDF cannot fall).
+    EXPECT_GE(ab.probability_at(t + SimTime::from_months(0.25)) + 1e-12,
+              ab.probability_at(t));
+  }
+
+  // Conservative at every reported constraint point.
+  for (const auto* curve : {&a, &b}) {
+    for (const auto& p : curve->points()) {
+      EXPECT_GE(ab.probability_at(p.horizon) + 1e-9, p.probability);
+    }
+  }
+
+  // Idempotent under refusion.
+  const auto again = fuse_conservative(ab, a);
+  for (double mo = 0.25; mo < 15.0; mo += 0.5) {
+    const SimTime t = SimTime::from_months(mo);
+    EXPECT_NEAR(again.probability_at(t), ab.probability_at(t), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrognosticPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+// --- Report codec under random field content -----------------------------------
+
+class CodecFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzzTest, RandomReportsRoundTrip) {
+  Rng rng(GetParam() * 97);
+  for (int trial = 0; trial < 25; ++trial) {
+    net::FailureReport r;
+    r.dc = DcId(rng.integer(0, 1u << 20));
+    r.knowledge_source = KnowledgeSourceId(rng.integer(0, 255));
+    r.sensed_object = ObjectId(rng.integer(0, 1u << 30));
+    r.machine_condition = ConditionId(rng.integer(0, 64));
+    r.severity = rng.uniform(0, 1);
+    r.belief = rng.uniform(0, 1);
+    r.timestamp = SimTime(static_cast<std::int64_t>(
+        rng.integer(0, 1ull << 50)));
+    const auto text_len = rng.integer(0, 300);
+    for (std::uint64_t i = 0; i < text_len; ++i) {
+      r.explanation.push_back(
+          static_cast<char>(rng.integer(1, 255)));  // arbitrary bytes
+    }
+    const auto prog_count = rng.integer(0, 8);
+    for (std::uint64_t i = 0; i < prog_count; ++i) {
+      r.prognostics.push_back(
+          {rng.uniform(0, 1), rng.uniform(0, 1e9)});
+    }
+    EXPECT_EQ(net::deserialize_report(net::serialize(r)), r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// --- SBFR: random machines never corrupt the interpreter ------------------------
+
+class SbfrFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// A random but always-valid expression over 2 channels / 2 locals /
+  /// `machines` status registers, depth-bounded.
+  static sbfr::Expr random_expr(Rng& rng, int depth, std::uint8_t machines) {
+    if (depth <= 0) {
+      switch (rng.integer(0, 4)) {
+        case 0: return sbfr::Expr::constant(rng.uniform(-5, 5));
+        case 1: return sbfr::Expr::input(static_cast<std::uint8_t>(
+                    rng.integer(0, 1)));
+        case 2: return sbfr::Expr::delta(static_cast<std::uint8_t>(
+                    rng.integer(0, 1)));
+        case 3: return sbfr::Expr::local(static_cast<std::uint8_t>(
+                    rng.integer(0, 1)));
+        default: return sbfr::Expr::dt();
+      }
+    }
+    const sbfr::Expr lhs = random_expr(rng, depth - 1, machines);
+    const sbfr::Expr rhs = random_expr(rng, depth - 1, machines);
+    switch (rng.integer(0, 6)) {
+      case 0: return lhs + rhs;
+      case 1: return lhs - rhs;
+      case 2: return lhs * rhs;
+      case 3: return lhs > rhs;
+      case 4: return lhs <= rhs;
+      case 5: return lhs && rhs;
+      default: return lhs || rhs;
+    }
+  }
+
+  static sbfr::MachineDef random_machine(Rng& rng, std::uint8_t machines,
+                                         std::uint8_t self) {
+    const auto states = static_cast<std::uint8_t>(rng.integer(1, 4));
+    sbfr::MachineDef def("fuzz", /*num_locals=*/2, 0);
+    for (std::uint8_t s = 0; s < states; ++s) {
+      def.add_state("s" + std::to_string(s));
+    }
+    const auto transitions = rng.integer(1, 8);
+    for (std::uint64_t t = 0; t < transitions; ++t) {
+      const auto from = static_cast<std::uint8_t>(rng.integer(0, states - 1));
+      const auto to = static_cast<std::uint8_t>(rng.integer(0, states - 1));
+      sbfr::Action action;
+      if (rng.bernoulli(0.7)) {
+        action.set_local(static_cast<std::uint8_t>(rng.integer(0, 1)),
+                         random_expr(rng, 1, machines));
+      }
+      if (rng.bernoulli(0.3)) {
+        action.set_status(self, random_expr(rng, 1, machines));
+      }
+      def.add_transition(from, to, random_expr(rng, 2, machines), action);
+    }
+    return def;
+  }
+};
+
+TEST_P(SbfrFuzzTest, RandomMachinesRunAndSerializeStably) {
+  Rng rng(GetParam() * 1337);
+  constexpr std::uint8_t kMachines = 4;
+  sbfr::SbfrSystem sys(2);
+  std::vector<std::vector<std::uint8_t>> images;
+  for (std::uint8_t m = 0; m < kMachines; ++m) {
+    const auto def = random_machine(rng, kMachines, m);
+    ASSERT_TRUE(sbfr::validate(def).empty());
+    images.push_back(def.serialize());
+    sys.add_machine(def);
+  }
+
+  for (int cycle = 0; cycle < 2000; ++cycle) {
+    const double inputs[2] = {rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    sys.step(inputs);
+  }
+  for (std::uint8_t m = 0; m < kMachines; ++m) {
+    EXPECT_LT(sys.state(m), 4);  // state index stays in range
+    // Serialized image is stable through a round trip.
+    EXPECT_EQ(sbfr::MachineDef::deserialize(images[m]).serialize(),
+              images[m]);
+  }
+  (void)sys.drain_events();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SbfrFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- DB vs reference model -------------------------------------------------------
+
+class DbModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DbModelTest, RandomOpsMatchReferenceMap) {
+  Rng rng(GetParam() * 271);
+  db::Table table(db::TableSchema{
+      "t",
+      {db::ColumnDef{"id", db::ValueType::Integer, false},
+       db::ColumnDef{"v", db::ValueType::Real, false}}});
+  table.create_index("v");
+  std::map<std::int64_t, double> reference;
+
+  for (int op = 0; op < 800; ++op) {
+    const auto choice = rng.integer(0, 9);
+    if (choice < 5) {  // insert
+      const double v = std::floor(rng.uniform(0, 20));
+      const auto key = table.insert_auto({db::Value(v)});
+      reference[key] = v;
+    } else if (choice < 7 && !reference.empty()) {  // erase random existing
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(
+                           rng.integer(0, reference.size() - 1)));
+      EXPECT_TRUE(table.erase(it->first));
+      reference.erase(it);
+    } else if (!reference.empty()) {  // update random existing
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(
+                           rng.integer(0, reference.size() - 1)));
+      const double v = std::floor(rng.uniform(0, 20));
+      EXPECT_TRUE(table.update(it->first, "v", db::Value(v)));
+      it->second = v;
+    }
+  }
+
+  // Row count and contents agree.
+  ASSERT_EQ(table.row_count(), reference.size());
+  for (const auto& [key, v] : reference) {
+    const db::Row* row = table.find(key);
+    ASSERT_NE(row, nullptr);
+    EXPECT_DOUBLE_EQ((*row)[1].numeric(), v);
+  }
+  // Index lookups agree with a reference scan for every distinct value.
+  for (double v = 0.0; v < 20.0; v += 1.0) {
+    std::size_t expected = 0;
+    for (const auto& [key, rv] : reference) {
+      if (rv == v) ++expected;
+    }
+    EXPECT_EQ(table.lookup("v", db::Value(v)).size(), expected) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbModelTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// --- Network conservation law ----------------------------------------------------
+
+struct NetCase {
+  double drop, dup;
+  std::uint64_t seed;
+};
+
+class NetworkConservationTest : public ::testing::TestWithParam<NetCase> {};
+
+TEST_P(NetworkConservationTest, DatagramsAreConserved) {
+  const NetCase c = GetParam();
+  net::NetworkConfig cfg;
+  cfg.drop_probability = c.drop;
+  cfg.duplicate_probability = c.dup;
+  cfg.jitter = SimTime::from_millis(200.0);
+  cfg.seed = c.seed;
+  net::SimNetwork network(cfg);
+  std::size_t received = 0;
+  network.register_endpoint("sink", [&](const net::Message&) { ++received; });
+
+  Rng rng(c.seed);
+  constexpr std::size_t kSent = 500;
+  for (std::size_t i = 0; i < kSent; ++i) {
+    // 10% of traffic goes to an unregistered endpoint.
+    const std::string to = rng.bernoulli(0.1) ? "ghost" : "sink";
+    network.send("src", to, {static_cast<std::uint8_t>(i)},
+                 SimTime::from_millis(static_cast<double>(i)));
+  }
+  network.flush();
+
+  const net::NetworkStats s = network.stats();
+  EXPECT_EQ(s.sent, kSent);
+  // Everything sent is accounted for exactly once.
+  EXPECT_EQ(s.delivered + s.dead_lettered,
+            s.sent - s.dropped + s.duplicated);
+  EXPECT_EQ(received, s.delivered);
+  EXPECT_EQ(network.in_flight(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, NetworkConservationTest,
+    ::testing::Values(NetCase{0.0, 0.0, 1}, NetCase{0.3, 0.0, 2},
+                      NetCase{0.0, 0.4, 3}, NetCase{0.25, 0.25, 4},
+                      NetCase{0.6, 0.1, 5}),
+    [](const auto& inst) {
+      return "case" + std::to_string(inst.param.seed);
+    });
+
+// --- Weibull fit recovery across parameter space ----------------------------------
+
+struct WeibullCase {
+  double shape, scale;
+};
+
+class WeibullRecoveryTest : public ::testing::TestWithParam<WeibullCase> {};
+
+TEST_P(WeibullRecoveryTest, MleRecoversParameters) {
+  const WeibullCase c = GetParam();
+  Rng rng(static_cast<std::uint64_t>(c.shape * 100 + c.scale));
+  std::vector<fusion::LifeRecord> records;
+  for (int i = 0; i < 600; ++i) {
+    const double u = rng.uniform(1e-6, 1.0 - 1e-6);
+    records.push_back(
+        {SimTime::from_days(c.scale *
+                            std::pow(-std::log(1.0 - u), 1.0 / c.shape)),
+         true});
+  }
+  const auto fit = fusion::WeibullModel::fit(records);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->shape() / c.shape, 1.0, 0.12);
+  EXPECT_NEAR(fit->scale_days() / c.scale, 1.0, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndScales, WeibullRecoveryTest,
+    ::testing::Values(WeibullCase{0.7, 60.0}, WeibullCase{1.0, 150.0},
+                      WeibullCase{2.0, 90.0}, WeibullCase{3.5, 400.0}),
+    [](const auto& inst) {
+      return "k" + std::to_string(static_cast<int>(inst.param.shape * 10)) +
+             "_s" + std::to_string(static_cast<int>(inst.param.scale));
+    });
+
+}  // namespace
+}  // namespace mpros

@@ -1,0 +1,390 @@
+// SBFR tests: bytecode validation, serialization, the Fig 3 spike/stiction
+// pair (experiment E3), library machines, and the E4 footprint claims.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpros/plant/ema.hpp"
+#include "mpros/sbfr/interpreter.hpp"
+#include "mpros/sbfr/disasm.hpp"
+#include "mpros/sbfr/library.hpp"
+
+namespace mpros::sbfr {
+namespace {
+
+/// Step a two-channel system over (current, cpos) pairs.
+void run(SbfrSystem& sys, const std::vector<std::pair<double, double>>& data) {
+  for (const auto& [current, cpos] : data) {
+    const double inputs[2] = {current, cpos};
+    sys.step(inputs);
+  }
+}
+
+TEST(ExprTest, BytecodeIsCompact) {
+  const Expr cond = Expr::delta(0) > 0.5 && Expr::dt() <= 4.0;
+  // delta(2) const(5) gt(1) dt(1) const(5) le(1) and(1) = 16 bytes.
+  EXPECT_EQ(cond.code().size(), 16u);
+}
+
+TEST(ExprTest, ActionBytecode) {
+  const Action a = Action().set_local(0, Expr::local(0) + 1.0);
+  // local(2) const(5) add(1) store(2) = 10 bytes.
+  EXPECT_EQ(a.code().size(), 10u);
+}
+
+TEST(MachineValidationTest, AcceptsWellFormed) {
+  EXPECT_TRUE(validate(make_spike_machine()).empty());
+  EXPECT_TRUE(validate(make_stiction_machine()).empty());
+}
+
+TEST(MachineValidationTest, RejectsBadInitialState) {
+  MachineDef def("bad", 0, /*initial_state=*/5);
+  def.add_state("s0");
+  EXPECT_FALSE(validate(def).empty());
+}
+
+TEST(MachineSerializationTest, RoundTrip) {
+  const MachineDef original = make_spike_machine();
+  const std::vector<std::uint8_t> image = original.serialize();
+  const MachineDef restored = MachineDef::deserialize(image);
+  EXPECT_EQ(restored.serialize(), image);
+  EXPECT_EQ(restored.states().size(), original.states().size());
+  EXPECT_EQ(restored.num_locals(), original.num_locals());
+  EXPECT_TRUE(validate(restored).empty());
+}
+
+TEST(MachineSerializationTest, DownloadedMachineRuns) {
+  // §6.3: "new finite-state machines may be downloaded into the smart
+  // sensor" — a deserialized image must behave like the original.
+  const std::vector<std::uint8_t> spike_img = make_spike_machine().serialize();
+  const std::vector<std::uint8_t> stiction_img =
+      make_stiction_machine().serialize();
+
+  SbfrSystem sys(2);
+  sys.add_machine(MachineDef::deserialize(spike_img));
+  sys.add_machine(MachineDef::deserialize(stiction_img));
+
+  std::vector<std::pair<double, double>> data(4, {2.0, 0.0});  // primes delta
+  data.push_back({8.0, 0.0});
+  data.push_back({8.0, 0.0});
+  data.push_back({2.0, 0.0});
+  for (int i = 0; i < 6; ++i) data.push_back({2.0, 0.0});
+  run(sys, data);
+  EXPECT_EQ(sys.local(1, 0), 1.0);  // the downloaded pair counted one spike
+}
+
+// --- Fig 3 behaviour (E3) --------------------------------------------------
+
+class SpikePairTest : public ::testing::Test {
+ protected:
+  SpikePairTest() : sys_(2) {
+    sys_.add_machine(make_spike_machine());
+    sys_.add_machine(make_stiction_machine());
+  }
+
+  void feed_spike(double cpos = 0.0) {
+    run(sys_, {{8.0, cpos}, {8.0, cpos}, {2.0, cpos}, {2.0, cpos},
+               {2.0, cpos}, {2.0, cpos}});
+  }
+  void feed_quiet(std::size_t n, double cpos = 0.0) {
+    run(sys_, std::vector<std::pair<double, double>>(n, {2.0, cpos}));
+  }
+
+  SbfrSystem sys_;
+};
+
+TEST_F(SpikePairTest, CleanSpikeIsCountedOnce) {
+  feed_quiet(3);
+  feed_spike();
+  feed_quiet(3);
+  EXPECT_EQ(sys_.local(1, 0), 1.0);
+  // Machine 1 reset machine 0's status after counting (paper's handshake).
+  EXPECT_EQ(sys_.status(0), 0.0);
+  EXPECT_EQ(sys_.state_name(1), "Wait");
+}
+
+TEST_F(SpikePairTest, SlowRampIsNotASpike) {
+  // Gradual rise then gradual fall: each delta below the 0.5 threshold.
+  std::vector<std::pair<double, double>> data;
+  for (int i = 0; i <= 20; ++i) data.push_back({2.0 + 0.3 * i, 0.0});
+  for (int i = 20; i >= 0; --i) data.push_back({2.0 + 0.3 * i, 0.0});
+  run(sys_, data);
+  EXPECT_EQ(sys_.local(1, 0), 0.0);
+}
+
+TEST_F(SpikePairTest, StepUpIsNotASpike) {
+  // Rise that never comes back down: P1 times out to Wait.
+  run(sys_, {{2.0, 0.0}, {8.0, 0.0}, {8.0, 0.0}, {8.0, 0.0}, {8.0, 0.0},
+             {8.0, 0.0}, {8.0, 0.0}, {8.0, 0.0}});
+  EXPECT_EQ(sys_.local(1, 0), 0.0);
+  EXPECT_EQ(sys_.state_name(0), "Wait");
+}
+
+TEST_F(SpikePairTest, SpikeDuringCommandedMoveNotCounted) {
+  feed_quiet(3);
+  // CPOS changes on every sample during this spike.
+  run(sys_, {{8.0, 1.0}, {8.0, 2.0}, {2.0, 3.0}, {2.0, 4.0}, {2.0, 5.0},
+             {2.0, 6.0}});
+  feed_quiet(3, 6.0);
+  EXPECT_EQ(sys_.local(1, 0), 0.0);
+}
+
+TEST_F(SpikePairTest, FiveSpikesTripStiction) {
+  // "When the count is greater than 4, a stiction condition is flagged."
+  feed_quiet(2);  // prime the delta latch so the first rise is visible
+  for (int i = 0; i < 5; ++i) {
+    feed_spike();
+    feed_quiet(4);
+  }
+  EXPECT_EQ(sys_.local(1, 0), 5.0);
+  feed_quiet(2);  // one more cycle for the Local:1 > 4 transition
+  EXPECT_EQ(sys_.state_name(1), "Stiction");
+  EXPECT_EQ(sys_.status(1), 1.0);
+
+  // The stiction machine emitted the host-visible event.
+  const auto events = sys_.drain_events();
+  bool stiction_event = false;
+  for (const Event& e : events) {
+    if (e.machine == 1 && e.code == kStictionEventCode) stiction_event = true;
+  }
+  EXPECT_TRUE(stiction_event);
+}
+
+TEST_F(SpikePairTest, FourSpikesDoNotTrip) {
+  feed_quiet(2);
+  for (int i = 0; i < 4; ++i) {
+    feed_spike();
+    feed_quiet(4);
+  }
+  feed_quiet(4);
+  EXPECT_EQ(sys_.state_name(1), "Wait");
+  EXPECT_EQ(sys_.status(1), 0.0);
+}
+
+TEST_F(SpikePairTest, HostAckRearmsStictionMachine) {
+  feed_quiet(2);
+  for (int i = 0; i < 5; ++i) {
+    feed_spike();
+    feed_quiet(4);
+  }
+  feed_quiet(2);
+  ASSERT_EQ(sys_.state_name(1), "Stiction");
+  // "That agent has the responsibility to then reset Machine 1's status
+  // register to 0 allowing the machine itself to set the count back to 0."
+  sys_.set_status(1, 0.0);
+  feed_quiet(2);
+  EXPECT_EQ(sys_.state_name(1), "Wait");
+  EXPECT_EQ(sys_.local(1, 0), 0.0);
+}
+
+TEST_F(SpikePairTest, ResetRestoresInitialState) {
+  feed_spike();
+  sys_.reset();
+  EXPECT_EQ(sys_.local(1, 0), 0.0);
+  EXPECT_EQ(sys_.state_name(0), "Wait");
+  EXPECT_EQ(sys_.cycle(), 0u);
+}
+
+// --- EMA end-to-end (plant-driven E3 scenario) ----------------------------
+
+TEST(EmaScenarioTest, StictionTraceTripsDetector) {
+  plant::EmaSimulator ema;
+  const auto trace = ema.generate(20000, /*stiction_level=*/1.0);
+  ASSERT_GT(ema.injected_spikes(), 10u);
+
+  SbfrSystem sys(2);
+  sys.add_machine(make_spike_machine());
+  sys.add_machine(make_stiction_machine());
+  bool tripped = false;
+  for (const plant::EmaSample& s : trace) {
+    const double inputs[2] = {s.current, s.cpos};
+    sys.step(inputs);
+    if (sys.status(1) != 0.0) {
+      tripped = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(tripped);
+}
+
+TEST(EmaScenarioTest, HealthyTraceStaysQuiet) {
+  plant::EmaSimulator ema;
+  const auto trace = ema.generate(20000, /*stiction_level=*/0.0,
+                                  /*move_rate=*/0.01);
+  SbfrSystem sys(2);
+  sys.add_machine(make_spike_machine());
+  sys.add_machine(make_stiction_machine());
+  for (const plant::EmaSample& s : trace) {
+    const double inputs[2] = {s.current, s.cpos};
+    sys.step(inputs);
+  }
+  EXPECT_EQ(sys.status(1), 0.0);
+  EXPECT_LE(sys.local(1, 0), 4.0);
+}
+
+// --- Library machines -------------------------------------------------------
+
+TEST(ThresholdMachineTest, AlarmsAfterHoldAndRearms) {
+  SbfrSystem sys(1);
+  sys.add_machine(make_threshold_machine(0, 10.0, 3, 0, 0x42));
+
+  const auto step_n = [&](double v, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double inputs[1] = {v};
+      sys.step(inputs);
+    }
+  };
+
+  step_n(5.0, 5);
+  EXPECT_EQ(sys.status(0), 0.0);
+  step_n(12.0, 2);  // not held long enough
+  step_n(5.0, 1);
+  EXPECT_EQ(sys.status(0), 0.0);
+
+  step_n(12.0, 6);
+  EXPECT_EQ(sys.status(0), 1.0);
+  const auto events = sys.drain_events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].code, 0x42);
+  EXPECT_NEAR(events[0].payload, 12.0, 1e-9);
+
+  // Ack + signal recovery re-arms.
+  sys.set_status(0, 0.0);
+  step_n(5.0, 2);
+  EXPECT_EQ(sys.state_name(0), "Idle");
+}
+
+TEST(TrendMachineTest, SustainedRiseLatches) {
+  SbfrSystem sys(1);
+  sys.add_machine(make_trend_machine(0, 0.1, 5, 0, 0x43));
+  double v = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    v += 0.5;
+    const double inputs[1] = {v};
+    sys.step(inputs);
+  }
+  EXPECT_EQ(sys.status(0), 1.0);
+}
+
+TEST(TrendMachineTest, NoisyFlatSignalDoesNotLatch) {
+  SbfrSystem sys(1);
+  sys.add_machine(make_trend_machine(0, 0.1, 5, 0, 0x43));
+  // Alternating up/down resets the run counter.
+  for (int i = 0; i < 40; ++i) {
+    const double inputs[1] = {(i % 2 == 0) ? 1.0 : 0.0};
+    sys.step(inputs);
+  }
+  EXPECT_EQ(sys.status(0), 0.0);
+}
+
+// --- Disassembler -----------------------------------------------------------
+
+TEST(DisasmTest, RendersConditionInfix) {
+  const Expr cond = Expr::delta(0) > 0.5 && Expr::dt() <= 4.0;
+  EXPECT_EQ(disassemble_program(cond.code()),
+            "((delta(ch0) > 0.5) && (dt <= 4))");
+}
+
+TEST(DisasmTest, RendersActionsAsStatements) {
+  const Action a = Action()
+                       .set_status(0, Expr::constant(0))
+                       .set_local(1, Expr::local(1) + 1.0);
+  EXPECT_EQ(disassemble_program(a.code()),
+            "status[0] := 0; local[1] := (local[1] + 1)");
+}
+
+TEST(DisasmTest, WholeMachineListing) {
+  const std::string listing = disassemble(make_stiction_machine());
+  EXPECT_NE(listing.find("machine \"ema-stiction\""), std::string::npos);
+  EXPECT_NE(listing.find("Wait -> Stiction"), std::string::npos);
+  EXPECT_NE(listing.find("(local[0] > 4)"), std::string::npos);
+  EXPECT_NE(listing.find("emit(0x51"), std::string::npos);
+}
+
+TEST(DisasmTest, DownloadedImageDisassemblesLikeOriginal) {
+  // Names are lost in the image, but the program logic must read the same.
+  const MachineDef original = make_spike_machine();
+  const MachineDef downloaded =
+      MachineDef::deserialize(original.serialize());
+  std::string a = disassemble(original);
+  std::string b = disassemble(downloaded);
+  // Strip the (name-bearing) header lines and state names, compare bodies
+  // by extracting only the "when ..." clauses.
+  const auto clauses = [](const std::string& text) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while ((pos = text.find("when ", pos)) != std::string::npos) {
+      const std::size_t end = text.find('\n', pos);
+      out.push_back(text.substr(pos, end - pos));
+      pos = end;
+    }
+    return out;
+  };
+  EXPECT_EQ(clauses(a), clauses(b));
+}
+
+// --- Footprint (E4) ---------------------------------------------------------
+
+TEST(FootprintTest, MachineImagesAreTiny) {
+  // Paper: spike machine 229 bytes, stiction machine 93 bytes. Our encoding
+  // differs but must stay the same order of magnitude.
+  EXPECT_LE(make_spike_machine().image_size(), 400u);
+  EXPECT_LE(make_stiction_machine().image_size(), 250u);
+}
+
+TEST(FootprintTest, HundredMachinesUnder32K) {
+  // Paper: "100 state machines operating in parallel and their interpreter
+  // can fit in less than 32K bytes."
+  SbfrSystem sys(4);
+  for (int i = 0; i < 50; ++i) {
+    sys.add_machine(make_spike_machine());
+    sys.add_machine(make_stiction_machine());
+  }
+  EXPECT_EQ(sys.machine_count(), 100u);
+  EXPECT_LT(sys.memory_footprint(), 32u * 1024u);
+}
+
+TEST(InterpreterTest, DtResetsOnStateChangeOnly) {
+  // A machine that moves A->B on input>0 then B->A on dt>=3.
+  MachineDef def("dt-test", 0, 0);
+  const auto a = def.add_state("A");
+  const auto b = def.add_state("B");
+  def.add_transition(a, b, Expr::input(0) > 0.5);
+  def.add_transition(b, a, Expr::dt() >= 3.0);
+
+  SbfrSystem sys(1);
+  sys.add_machine(def);
+  const double hi[1] = {1.0}, lo[1] = {0.0};
+  sys.step(hi);  // -> B (dt counts from next cycle)
+  EXPECT_EQ(sys.state_name(0), "B");
+  sys.step(lo);  // dt=0
+  sys.step(lo);  // dt=1
+  sys.step(lo);  // dt=2
+  EXPECT_EQ(sys.state_name(0), "B");
+  sys.step(lo);  // dt=3 -> back to A
+  EXPECT_EQ(sys.state_name(0), "A");
+}
+
+TEST(InterpreterTest, CrossMachineStateObservation) {
+  // Machine 1 transitions when machine 0 enters state 1.
+  MachineDef m0("m0", 0, 0);
+  const auto s0 = m0.add_state("idle");
+  const auto s1 = m0.add_state("active");
+  m0.add_transition(s0, s1, Expr::input(0) > 0.5);
+
+  MachineDef m1("m1", 0, 0);
+  const auto w = m1.add_state("watch");
+  const auto f = m1.add_state("follow");
+  m1.add_transition(w, f, Expr::state_of(0) == 1.0);
+
+  SbfrSystem sys(1);
+  sys.add_machine(m0);
+  sys.add_machine(m1);
+  const double hi[1] = {1.0};
+  sys.step(hi);  // m0 -> active; m1 sees it the same cycle (in-order eval)
+  EXPECT_EQ(sys.state_name(1), "follow");
+}
+
+}  // namespace
+}  // namespace mpros::sbfr

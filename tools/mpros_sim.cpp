@@ -1,0 +1,218 @@
+// mpros_sim — command-line MPROS scenario runner.
+//
+// Assembles a fleet, injects faults, runs simulated time, and prints any of
+// the PDME's views. Everything the examples demonstrate, scriptable:
+//
+//   mpros_sim --plants 4 --hours 6
+//             --fault 0:MotorImbalance:0.5:2.0:0.9
+//             --fault 1:RefrigerantLeak:1.0:1.0:1.0
+//             --net-drop 0.05 --net-jitter-s 10
+//             --fleet-analyzer --auto-retest
+//             --show summary,health,machine:0,icas,mimosa
+//
+// --fault plant:Mode:onset_h:ramp_h:severity   (repeatable)
+// --show  comma list of: summary, health, flows, icas, mimosa,
+//         machine:<plant> (Fig 2 browser for that plant's motor), stats
+//
+//   mpros_sim --list-modes     # print the FMEA failure-mode catalog
+//   mpros_sim --validate       # run the §9 seeded-fault study (slow)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mpros/mpros/mpros.hpp"
+
+namespace {
+
+using namespace mpros;
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "mpros_sim: %s\n(see the header of tools/mpros_sim.cpp for usage)\n",
+               message.c_str());
+  std::exit(2);
+}
+
+std::optional<domain::FailureMode> parse_mode(const std::string& name) {
+  for (const auto mode : domain::all_failure_modes()) {
+    if (name == domain::to_string(mode)) return mode;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    out.push_back(s.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+struct FaultSpec {
+  std::size_t plant = 0;
+  plant::FaultEvent event;
+};
+
+FaultSpec parse_fault(const std::string& spec) {
+  const auto parts = split(spec, ':');
+  if (parts.size() != 5) {
+    usage_error("--fault expects plant:Mode:onset_h:ramp_h:severity, got '" +
+                spec + "'");
+  }
+  FaultSpec f;
+  f.plant = static_cast<std::size_t>(std::atoi(parts[0].c_str()));
+  const auto mode = parse_mode(parts[1]);
+  if (!mode) {
+    usage_error("unknown failure mode '" + parts[1] +
+                "' (try --list-modes)");
+  }
+  f.event.mode = *mode;
+  f.event.onset = SimTime::from_hours(std::atof(parts[2].c_str()));
+  f.event.ramp = SimTime::from_hours(std::atof(parts[3].c_str()));
+  f.event.max_severity = std::atof(parts[4].c_str());
+  f.event.profile = f.event.ramp.micros() == 0
+                        ? plant::GrowthProfile::Step
+                        : plant::GrowthProfile::Linear;
+  return f;
+}
+
+int run_validation_study() {
+  std::printf("Running the §9 seeded-fault study (12 run-to-failure "
+              "scenarios, ~3 min)...\n");
+  const auto summary = run_validation(standard_study());
+  std::printf("%s", render(summary).c_str());
+  return summary.detection_rate > 0.99 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t plants = 2;
+  double hours = 2.0;
+  std::vector<FaultSpec> faults;
+  ShipSystemConfig cfg;
+  std::vector<std::string> shows = {"summary"};
+  std::uint64_t seed = 0x5417;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--plants") {
+      plants = static_cast<std::size_t>(std::atoi(next().c_str()));
+    } else if (arg == "--hours") {
+      hours = std::atof(next().c_str());
+    } else if (arg == "--fault") {
+      faults.push_back(parse_fault(next()));
+    } else if (arg == "--net-drop") {
+      cfg.network.drop_probability = std::atof(next().c_str());
+    } else if (arg == "--net-dup") {
+      cfg.network.duplicate_probability = std::atof(next().c_str());
+    } else if (arg == "--net-jitter-s") {
+      cfg.network.jitter = SimTime::from_seconds(std::atof(next().c_str()));
+    } else if (arg == "--load") {
+      cfg.initial_load = std::atof(next().c_str());
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--wnn") {
+      cfg.use_wnn = true;
+    } else if (arg == "--fleet-analyzer") {
+      cfg.enable_fleet_analyzer = true;
+    } else if (arg == "--auto-retest") {
+      cfg.pdme.auto_retest = true;
+    } else if (arg == "--vib-period-s") {
+      cfg.dc_template.vibration_period =
+          SimTime::from_seconds(std::atof(next().c_str()));
+    } else if (arg == "--show") {
+      shows = split(next(), ',');
+    } else if (arg == "--list-modes") {
+      for (const auto mode : domain::all_failure_modes()) {
+        std::printf("%-26s (%s, group %s)\n", domain::to_string(mode),
+                    domain::condition_text(mode).c_str(),
+                    domain::to_string(domain::logical_group(mode)));
+      }
+      return 0;
+    } else if (arg == "--validate") {
+      return run_validation_study();
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("see the header comment of tools/mpros_sim.cpp\n");
+      return 0;
+    } else {
+      usage_error("unknown argument '" + arg + "'");
+    }
+  }
+
+  cfg.plant_count = plants;
+  cfg.seed = seed;
+  ShipSystem ship(cfg);
+
+  for (const FaultSpec& f : faults) {
+    if (f.plant >= ship.plant_count()) {
+      usage_error("--fault names plant " + std::to_string(f.plant) +
+                  " but only " + std::to_string(ship.plant_count()) +
+                  " exist");
+    }
+    ship.chiller(f.plant).faults().schedule(f.event);
+  }
+
+  std::printf("mpros_sim: %zu plant(s), %.2f simulated hour(s), %zu fault(s)\n\n",
+              ship.plant_count(), hours, faults.size());
+  ship.run_until(SimTime::from_hours(hours));
+
+  for (const std::string& show : shows) {
+    if (show == "summary") {
+      std::printf("%s\n",
+                  pdme::render_summary(ship.pdme(), ship.model()).c_str());
+    } else if (show == "health") {
+      const pdme::HealthRollup rollup;
+      std::printf("%s\n",
+                  rollup.render_tree(ship.pdme(), ship.ship().ship).c_str());
+    } else if (show == "flows") {
+      const pdme::SpatialReasoner spatial;
+      for (const auto& s : spatial.flow_suspicions(ship.pdme())) {
+        std::printf("flow watch: %s (%s) -> %s (%.2f)\n",
+                    ship.model().name(s.source).c_str(),
+                    domain::condition_text(s.source_mode).c_str(),
+                    ship.model().name(s.downstream).c_str(), s.suspicion);
+      }
+      std::printf("\n");
+    } else if (show == "icas") {
+      std::printf("%s\n",
+                  pdme::export_icas_csv(ship.pdme(), ship.model()).c_str());
+    } else if (show == "mimosa") {
+      std::printf("%s\n",
+                  pdme::export_mimosa(ship.pdme(), ship.model()).c_str());
+    } else if (show == "stats") {
+      const auto stats = ship.fleet_stats();
+      std::printf("samples=%llu reports=%llu fused=%llu dropped=%llu "
+                  "duplicated=%llu retests=%llu\n\n",
+                  static_cast<unsigned long long>(stats.samples_processed),
+                  static_cast<unsigned long long>(stats.reports_emitted),
+                  static_cast<unsigned long long>(stats.reports_fused),
+                  static_cast<unsigned long long>(stats.network.dropped),
+                  static_cast<unsigned long long>(stats.network.duplicated),
+                  static_cast<unsigned long long>(
+                      ship.pdme().stats().retests_commanded));
+    } else if (show.rfind("machine:", 0) == 0) {
+      const auto plant = static_cast<std::size_t>(
+          std::atoi(show.substr(std::strlen("machine:")).c_str()));
+      if (plant >= ship.plant_count()) usage_error("bad machine index");
+      std::printf("%s\n",
+                  pdme::render_machine(ship.pdme(), ship.model(),
+                                       ship.plant_objects(plant).motor)
+                      .c_str());
+    } else {
+      usage_error("unknown --show item '" + show + "'");
+    }
+  }
+  return 0;
+}

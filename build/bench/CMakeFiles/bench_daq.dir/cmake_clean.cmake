@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_daq.dir/bench_daq.cpp.o"
+  "CMakeFiles/bench_daq.dir/bench_daq.cpp.o.d"
+  "bench_daq"
+  "bench_daq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_daq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dli_accuracy.dir/bench_dli_accuracy.cpp.o"
+  "CMakeFiles/bench_dli_accuracy.dir/bench_dli_accuracy.cpp.o.d"
+  "bench_dli_accuracy"
+  "bench_dli_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dli_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

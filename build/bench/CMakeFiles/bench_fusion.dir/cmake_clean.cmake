@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fusion.dir/bench_fusion.cpp.o"
+  "CMakeFiles/bench_fusion.dir/bench_fusion.cpp.o.d"
+  "bench_fusion"
+  "bench_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

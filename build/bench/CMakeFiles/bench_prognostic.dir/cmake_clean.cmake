@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prognostic.dir/bench_prognostic.cpp.o"
+  "CMakeFiles/bench_prognostic.dir/bench_prognostic.cpp.o.d"
+  "bench_prognostic"
+  "bench_prognostic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prognostic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sbfr.dir/bench_sbfr.cpp.o"
+  "CMakeFiles/bench_sbfr.dir/bench_sbfr.cpp.o.d"
+  "bench_sbfr"
+  "bench_sbfr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sbfr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

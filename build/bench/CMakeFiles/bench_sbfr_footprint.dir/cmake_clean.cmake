@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sbfr_footprint.dir/bench_sbfr_footprint.cpp.o"
+  "CMakeFiles/bench_sbfr_footprint.dir/bench_sbfr_footprint.cpp.o.d"
+  "bench_sbfr_footprint"
+  "bench_sbfr_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sbfr_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

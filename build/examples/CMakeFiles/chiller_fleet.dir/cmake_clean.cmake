@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chiller_fleet.dir/chiller_fleet.cpp.o"
+  "CMakeFiles/chiller_fleet.dir/chiller_fleet.cpp.o.d"
+  "chiller_fleet"
+  "chiller_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chiller_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

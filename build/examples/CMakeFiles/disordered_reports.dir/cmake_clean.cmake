@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disordered_reports.dir/disordered_reports.cpp.o"
+  "CMakeFiles/disordered_reports.dir/disordered_reports.cpp.o.d"
+  "disordered_reports"
+  "disordered_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disordered_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for disordered_reports.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ema_stiction.dir/ema_stiction.cpp.o"
+  "CMakeFiles/ema_stiction.dir/ema_stiction.cpp.o.d"
+  "ema_stiction"
+  "ema_stiction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ema_stiction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

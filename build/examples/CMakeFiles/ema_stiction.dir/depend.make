@@ -1,0 +1,2 @@
+# Empty dependencies file for ema_stiction.
+# This may be replaced when dependencies are built.

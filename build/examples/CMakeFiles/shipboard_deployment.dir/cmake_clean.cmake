@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shipboard_deployment.dir/shipboard_deployment.cpp.o"
+  "CMakeFiles/shipboard_deployment.dir/shipboard_deployment.cpp.o.d"
+  "shipboard_deployment"
+  "shipboard_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shipboard_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

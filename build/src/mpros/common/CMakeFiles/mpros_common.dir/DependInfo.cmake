@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpros/common/assert.cpp" "src/mpros/common/CMakeFiles/mpros_common.dir/assert.cpp.o" "gcc" "src/mpros/common/CMakeFiles/mpros_common.dir/assert.cpp.o.d"
+  "/root/repo/src/mpros/common/clock.cpp" "src/mpros/common/CMakeFiles/mpros_common.dir/clock.cpp.o" "gcc" "src/mpros/common/CMakeFiles/mpros_common.dir/clock.cpp.o.d"
+  "/root/repo/src/mpros/common/log.cpp" "src/mpros/common/CMakeFiles/mpros_common.dir/log.cpp.o" "gcc" "src/mpros/common/CMakeFiles/mpros_common.dir/log.cpp.o.d"
+  "/root/repo/src/mpros/common/thread_pool.cpp" "src/mpros/common/CMakeFiles/mpros_common.dir/thread_pool.cpp.o" "gcc" "src/mpros/common/CMakeFiles/mpros_common.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_common.dir/assert.cpp.o"
+  "CMakeFiles/mpros_common.dir/assert.cpp.o.d"
+  "CMakeFiles/mpros_common.dir/clock.cpp.o"
+  "CMakeFiles/mpros_common.dir/clock.cpp.o.d"
+  "CMakeFiles/mpros_common.dir/log.cpp.o"
+  "CMakeFiles/mpros_common.dir/log.cpp.o.d"
+  "CMakeFiles/mpros_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/mpros_common.dir/thread_pool.cpp.o.d"
+  "libmpros_common.a"
+  "libmpros_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

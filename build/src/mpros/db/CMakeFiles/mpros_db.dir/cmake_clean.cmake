@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_db.dir/database.cpp.o"
+  "CMakeFiles/mpros_db.dir/database.cpp.o.d"
+  "CMakeFiles/mpros_db.dir/table.cpp.o"
+  "CMakeFiles/mpros_db.dir/table.cpp.o.d"
+  "CMakeFiles/mpros_db.dir/value.cpp.o"
+  "CMakeFiles/mpros_db.dir/value.cpp.o.d"
+  "libmpros_db.a"
+  "libmpros_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

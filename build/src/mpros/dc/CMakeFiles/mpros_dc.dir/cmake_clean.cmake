@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_dc.dir/data_concentrator.cpp.o"
+  "CMakeFiles/mpros_dc.dir/data_concentrator.cpp.o.d"
+  "CMakeFiles/mpros_dc.dir/scheduler.cpp.o"
+  "CMakeFiles/mpros_dc.dir/scheduler.cpp.o.d"
+  "libmpros_dc.a"
+  "libmpros_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

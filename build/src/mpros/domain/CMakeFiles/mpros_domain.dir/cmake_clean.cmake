@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_domain.dir/equipment.cpp.o"
+  "CMakeFiles/mpros_domain.dir/equipment.cpp.o.d"
+  "CMakeFiles/mpros_domain.dir/failure_modes.cpp.o"
+  "CMakeFiles/mpros_domain.dir/failure_modes.cpp.o.d"
+  "libmpros_domain.a"
+  "libmpros_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

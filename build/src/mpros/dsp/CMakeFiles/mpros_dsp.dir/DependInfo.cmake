@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpros/dsp/cepstrum.cpp" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/cepstrum.cpp.o" "gcc" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/cepstrum.cpp.o.d"
+  "/root/repo/src/mpros/dsp/dct.cpp" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/dct.cpp.o" "gcc" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/dct.cpp.o.d"
+  "/root/repo/src/mpros/dsp/envelope.cpp" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/envelope.cpp.o" "gcc" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/envelope.cpp.o.d"
+  "/root/repo/src/mpros/dsp/fft.cpp" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/fft.cpp.o" "gcc" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/mpros/dsp/filter.cpp" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/filter.cpp.o" "gcc" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/filter.cpp.o.d"
+  "/root/repo/src/mpros/dsp/spectrum.cpp" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/spectrum.cpp.o" "gcc" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/spectrum.cpp.o.d"
+  "/root/repo/src/mpros/dsp/stats.cpp" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/stats.cpp.o" "gcc" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/stats.cpp.o.d"
+  "/root/repo/src/mpros/dsp/stft.cpp" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/stft.cpp.o" "gcc" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/stft.cpp.o.d"
+  "/root/repo/src/mpros/dsp/window.cpp" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/window.cpp.o" "gcc" "src/mpros/dsp/CMakeFiles/mpros_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpros/common/CMakeFiles/mpros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_dsp.dir/cepstrum.cpp.o"
+  "CMakeFiles/mpros_dsp.dir/cepstrum.cpp.o.d"
+  "CMakeFiles/mpros_dsp.dir/dct.cpp.o"
+  "CMakeFiles/mpros_dsp.dir/dct.cpp.o.d"
+  "CMakeFiles/mpros_dsp.dir/envelope.cpp.o"
+  "CMakeFiles/mpros_dsp.dir/envelope.cpp.o.d"
+  "CMakeFiles/mpros_dsp.dir/fft.cpp.o"
+  "CMakeFiles/mpros_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/mpros_dsp.dir/filter.cpp.o"
+  "CMakeFiles/mpros_dsp.dir/filter.cpp.o.d"
+  "CMakeFiles/mpros_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/mpros_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/mpros_dsp.dir/stats.cpp.o"
+  "CMakeFiles/mpros_dsp.dir/stats.cpp.o.d"
+  "CMakeFiles/mpros_dsp.dir/stft.cpp.o"
+  "CMakeFiles/mpros_dsp.dir/stft.cpp.o.d"
+  "CMakeFiles/mpros_dsp.dir/window.cpp.o"
+  "CMakeFiles/mpros_dsp.dir/window.cpp.o.d"
+  "libmpros_dsp.a"
+  "libmpros_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpros/fusion/bayes_net.cpp" "src/mpros/fusion/CMakeFiles/mpros_fusion.dir/bayes_net.cpp.o" "gcc" "src/mpros/fusion/CMakeFiles/mpros_fusion.dir/bayes_net.cpp.o.d"
+  "/root/repo/src/mpros/fusion/dempster_shafer.cpp" "src/mpros/fusion/CMakeFiles/mpros_fusion.dir/dempster_shafer.cpp.o" "gcc" "src/mpros/fusion/CMakeFiles/mpros_fusion.dir/dempster_shafer.cpp.o.d"
+  "/root/repo/src/mpros/fusion/diagnostic_fusion.cpp" "src/mpros/fusion/CMakeFiles/mpros_fusion.dir/diagnostic_fusion.cpp.o" "gcc" "src/mpros/fusion/CMakeFiles/mpros_fusion.dir/diagnostic_fusion.cpp.o.d"
+  "/root/repo/src/mpros/fusion/hazard.cpp" "src/mpros/fusion/CMakeFiles/mpros_fusion.dir/hazard.cpp.o" "gcc" "src/mpros/fusion/CMakeFiles/mpros_fusion.dir/hazard.cpp.o.d"
+  "/root/repo/src/mpros/fusion/prognostic_fusion.cpp" "src/mpros/fusion/CMakeFiles/mpros_fusion.dir/prognostic_fusion.cpp.o" "gcc" "src/mpros/fusion/CMakeFiles/mpros_fusion.dir/prognostic_fusion.cpp.o.d"
+  "/root/repo/src/mpros/fusion/trend.cpp" "src/mpros/fusion/CMakeFiles/mpros_fusion.dir/trend.cpp.o" "gcc" "src/mpros/fusion/CMakeFiles/mpros_fusion.dir/trend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpros/common/CMakeFiles/mpros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/domain/CMakeFiles/mpros_domain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

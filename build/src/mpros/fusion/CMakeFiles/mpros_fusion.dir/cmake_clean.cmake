@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_fusion.dir/bayes_net.cpp.o"
+  "CMakeFiles/mpros_fusion.dir/bayes_net.cpp.o.d"
+  "CMakeFiles/mpros_fusion.dir/dempster_shafer.cpp.o"
+  "CMakeFiles/mpros_fusion.dir/dempster_shafer.cpp.o.d"
+  "CMakeFiles/mpros_fusion.dir/diagnostic_fusion.cpp.o"
+  "CMakeFiles/mpros_fusion.dir/diagnostic_fusion.cpp.o.d"
+  "CMakeFiles/mpros_fusion.dir/hazard.cpp.o"
+  "CMakeFiles/mpros_fusion.dir/hazard.cpp.o.d"
+  "CMakeFiles/mpros_fusion.dir/prognostic_fusion.cpp.o"
+  "CMakeFiles/mpros_fusion.dir/prognostic_fusion.cpp.o.d"
+  "CMakeFiles/mpros_fusion.dir/trend.cpp.o"
+  "CMakeFiles/mpros_fusion.dir/trend.cpp.o.d"
+  "libmpros_fusion.a"
+  "libmpros_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpros/fuzzy/chiller_fuzzy.cpp" "src/mpros/fuzzy/CMakeFiles/mpros_fuzzy.dir/chiller_fuzzy.cpp.o" "gcc" "src/mpros/fuzzy/CMakeFiles/mpros_fuzzy.dir/chiller_fuzzy.cpp.o.d"
+  "/root/repo/src/mpros/fuzzy/engine.cpp" "src/mpros/fuzzy/CMakeFiles/mpros_fuzzy.dir/engine.cpp.o" "gcc" "src/mpros/fuzzy/CMakeFiles/mpros_fuzzy.dir/engine.cpp.o.d"
+  "/root/repo/src/mpros/fuzzy/membership.cpp" "src/mpros/fuzzy/CMakeFiles/mpros_fuzzy.dir/membership.cpp.o" "gcc" "src/mpros/fuzzy/CMakeFiles/mpros_fuzzy.dir/membership.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpros/common/CMakeFiles/mpros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/domain/CMakeFiles/mpros_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/rules/CMakeFiles/mpros_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/dsp/CMakeFiles/mpros_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

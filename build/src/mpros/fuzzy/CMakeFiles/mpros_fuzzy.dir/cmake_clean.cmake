@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_fuzzy.dir/chiller_fuzzy.cpp.o"
+  "CMakeFiles/mpros_fuzzy.dir/chiller_fuzzy.cpp.o.d"
+  "CMakeFiles/mpros_fuzzy.dir/engine.cpp.o"
+  "CMakeFiles/mpros_fuzzy.dir/engine.cpp.o.d"
+  "CMakeFiles/mpros_fuzzy.dir/membership.cpp.o"
+  "CMakeFiles/mpros_fuzzy.dir/membership.cpp.o.d"
+  "libmpros_fuzzy.a"
+  "libmpros_fuzzy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_fuzzy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_mpros.dir/ship_system.cpp.o"
+  "CMakeFiles/mpros_mpros.dir/ship_system.cpp.o.d"
+  "CMakeFiles/mpros_mpros.dir/validation.cpp.o"
+  "CMakeFiles/mpros_mpros.dir/validation.cpp.o.d"
+  "CMakeFiles/mpros_mpros.dir/wnn_training.cpp.o"
+  "CMakeFiles/mpros_mpros.dir/wnn_training.cpp.o.d"
+  "libmpros_mpros.a"
+  "libmpros_mpros.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_mpros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpros_mpros.
+# This may be replaced when dependencies are built.

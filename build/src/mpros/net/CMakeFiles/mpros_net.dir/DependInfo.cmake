@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpros/net/codec.cpp" "src/mpros/net/CMakeFiles/mpros_net.dir/codec.cpp.o" "gcc" "src/mpros/net/CMakeFiles/mpros_net.dir/codec.cpp.o.d"
+  "/root/repo/src/mpros/net/messages.cpp" "src/mpros/net/CMakeFiles/mpros_net.dir/messages.cpp.o" "gcc" "src/mpros/net/CMakeFiles/mpros_net.dir/messages.cpp.o.d"
+  "/root/repo/src/mpros/net/network.cpp" "src/mpros/net/CMakeFiles/mpros_net.dir/network.cpp.o" "gcc" "src/mpros/net/CMakeFiles/mpros_net.dir/network.cpp.o.d"
+  "/root/repo/src/mpros/net/report.cpp" "src/mpros/net/CMakeFiles/mpros_net.dir/report.cpp.o" "gcc" "src/mpros/net/CMakeFiles/mpros_net.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpros/common/CMakeFiles/mpros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/domain/CMakeFiles/mpros_domain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_net.dir/codec.cpp.o"
+  "CMakeFiles/mpros_net.dir/codec.cpp.o.d"
+  "CMakeFiles/mpros_net.dir/messages.cpp.o"
+  "CMakeFiles/mpros_net.dir/messages.cpp.o.d"
+  "CMakeFiles/mpros_net.dir/network.cpp.o"
+  "CMakeFiles/mpros_net.dir/network.cpp.o.d"
+  "CMakeFiles/mpros_net.dir/report.cpp.o"
+  "CMakeFiles/mpros_net.dir/report.cpp.o.d"
+  "libmpros_net.a"
+  "libmpros_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpros/nn/classifier.cpp" "src/mpros/nn/CMakeFiles/mpros_nn.dir/classifier.cpp.o" "gcc" "src/mpros/nn/CMakeFiles/mpros_nn.dir/classifier.cpp.o.d"
+  "/root/repo/src/mpros/nn/layers.cpp" "src/mpros/nn/CMakeFiles/mpros_nn.dir/layers.cpp.o" "gcc" "src/mpros/nn/CMakeFiles/mpros_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/mpros/nn/network.cpp" "src/mpros/nn/CMakeFiles/mpros_nn.dir/network.cpp.o" "gcc" "src/mpros/nn/CMakeFiles/mpros_nn.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpros/common/CMakeFiles/mpros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/domain/CMakeFiles/mpros_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/dsp/CMakeFiles/mpros_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/wavelet/CMakeFiles/mpros_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/rules/CMakeFiles/mpros_rules.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

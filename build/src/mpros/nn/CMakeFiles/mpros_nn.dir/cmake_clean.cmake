@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_nn.dir/classifier.cpp.o"
+  "CMakeFiles/mpros_nn.dir/classifier.cpp.o.d"
+  "CMakeFiles/mpros_nn.dir/layers.cpp.o"
+  "CMakeFiles/mpros_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/mpros_nn.dir/network.cpp.o"
+  "CMakeFiles/mpros_nn.dir/network.cpp.o.d"
+  "libmpros_nn.a"
+  "libmpros_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpros/oosm/object_model.cpp" "src/mpros/oosm/CMakeFiles/mpros_oosm.dir/object_model.cpp.o" "gcc" "src/mpros/oosm/CMakeFiles/mpros_oosm.dir/object_model.cpp.o.d"
+  "/root/repo/src/mpros/oosm/persistence.cpp" "src/mpros/oosm/CMakeFiles/mpros_oosm.dir/persistence.cpp.o" "gcc" "src/mpros/oosm/CMakeFiles/mpros_oosm.dir/persistence.cpp.o.d"
+  "/root/repo/src/mpros/oosm/ship_builder.cpp" "src/mpros/oosm/CMakeFiles/mpros_oosm.dir/ship_builder.cpp.o" "gcc" "src/mpros/oosm/CMakeFiles/mpros_oosm.dir/ship_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpros/common/CMakeFiles/mpros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/domain/CMakeFiles/mpros_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/db/CMakeFiles/mpros_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

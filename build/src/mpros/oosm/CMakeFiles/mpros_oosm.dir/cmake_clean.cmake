@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_oosm.dir/object_model.cpp.o"
+  "CMakeFiles/mpros_oosm.dir/object_model.cpp.o.d"
+  "CMakeFiles/mpros_oosm.dir/persistence.cpp.o"
+  "CMakeFiles/mpros_oosm.dir/persistence.cpp.o.d"
+  "CMakeFiles/mpros_oosm.dir/ship_builder.cpp.o"
+  "CMakeFiles/mpros_oosm.dir/ship_builder.cpp.o.d"
+  "libmpros_oosm.a"
+  "libmpros_oosm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_oosm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpros/pdme/browser.cpp" "src/mpros/pdme/CMakeFiles/mpros_pdme.dir/browser.cpp.o" "gcc" "src/mpros/pdme/CMakeFiles/mpros_pdme.dir/browser.cpp.o.d"
+  "/root/repo/src/mpros/pdme/health.cpp" "src/mpros/pdme/CMakeFiles/mpros_pdme.dir/health.cpp.o" "gcc" "src/mpros/pdme/CMakeFiles/mpros_pdme.dir/health.cpp.o.d"
+  "/root/repo/src/mpros/pdme/mimosa.cpp" "src/mpros/pdme/CMakeFiles/mpros_pdme.dir/mimosa.cpp.o" "gcc" "src/mpros/pdme/CMakeFiles/mpros_pdme.dir/mimosa.cpp.o.d"
+  "/root/repo/src/mpros/pdme/pdme.cpp" "src/mpros/pdme/CMakeFiles/mpros_pdme.dir/pdme.cpp.o" "gcc" "src/mpros/pdme/CMakeFiles/mpros_pdme.dir/pdme.cpp.o.d"
+  "/root/repo/src/mpros/pdme/resident.cpp" "src/mpros/pdme/CMakeFiles/mpros_pdme.dir/resident.cpp.o" "gcc" "src/mpros/pdme/CMakeFiles/mpros_pdme.dir/resident.cpp.o.d"
+  "/root/repo/src/mpros/pdme/spatial.cpp" "src/mpros/pdme/CMakeFiles/mpros_pdme.dir/spatial.cpp.o" "gcc" "src/mpros/pdme/CMakeFiles/mpros_pdme.dir/spatial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpros/common/CMakeFiles/mpros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/domain/CMakeFiles/mpros_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/fusion/CMakeFiles/mpros_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/net/CMakeFiles/mpros_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/oosm/CMakeFiles/mpros_oosm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/rules/CMakeFiles/mpros_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/db/CMakeFiles/mpros_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/dsp/CMakeFiles/mpros_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_pdme.dir/browser.cpp.o"
+  "CMakeFiles/mpros_pdme.dir/browser.cpp.o.d"
+  "CMakeFiles/mpros_pdme.dir/health.cpp.o"
+  "CMakeFiles/mpros_pdme.dir/health.cpp.o.d"
+  "CMakeFiles/mpros_pdme.dir/mimosa.cpp.o"
+  "CMakeFiles/mpros_pdme.dir/mimosa.cpp.o.d"
+  "CMakeFiles/mpros_pdme.dir/pdme.cpp.o"
+  "CMakeFiles/mpros_pdme.dir/pdme.cpp.o.d"
+  "CMakeFiles/mpros_pdme.dir/resident.cpp.o"
+  "CMakeFiles/mpros_pdme.dir/resident.cpp.o.d"
+  "CMakeFiles/mpros_pdme.dir/spatial.cpp.o"
+  "CMakeFiles/mpros_pdme.dir/spatial.cpp.o.d"
+  "libmpros_pdme.a"
+  "libmpros_pdme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_pdme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

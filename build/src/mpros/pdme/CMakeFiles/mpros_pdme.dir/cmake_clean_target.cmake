@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpros_pdme.a"
+)

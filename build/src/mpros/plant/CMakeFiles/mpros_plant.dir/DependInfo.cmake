@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpros/plant/chiller.cpp" "src/mpros/plant/CMakeFiles/mpros_plant.dir/chiller.cpp.o" "gcc" "src/mpros/plant/CMakeFiles/mpros_plant.dir/chiller.cpp.o.d"
+  "/root/repo/src/mpros/plant/daq.cpp" "src/mpros/plant/CMakeFiles/mpros_plant.dir/daq.cpp.o" "gcc" "src/mpros/plant/CMakeFiles/mpros_plant.dir/daq.cpp.o.d"
+  "/root/repo/src/mpros/plant/ema.cpp" "src/mpros/plant/CMakeFiles/mpros_plant.dir/ema.cpp.o" "gcc" "src/mpros/plant/CMakeFiles/mpros_plant.dir/ema.cpp.o.d"
+  "/root/repo/src/mpros/plant/faults.cpp" "src/mpros/plant/CMakeFiles/mpros_plant.dir/faults.cpp.o" "gcc" "src/mpros/plant/CMakeFiles/mpros_plant.dir/faults.cpp.o.d"
+  "/root/repo/src/mpros/plant/process.cpp" "src/mpros/plant/CMakeFiles/mpros_plant.dir/process.cpp.o" "gcc" "src/mpros/plant/CMakeFiles/mpros_plant.dir/process.cpp.o.d"
+  "/root/repo/src/mpros/plant/vibration.cpp" "src/mpros/plant/CMakeFiles/mpros_plant.dir/vibration.cpp.o" "gcc" "src/mpros/plant/CMakeFiles/mpros_plant.dir/vibration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpros/common/CMakeFiles/mpros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/domain/CMakeFiles/mpros_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/dsp/CMakeFiles/mpros_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

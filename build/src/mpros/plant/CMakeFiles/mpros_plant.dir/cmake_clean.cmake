@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_plant.dir/chiller.cpp.o"
+  "CMakeFiles/mpros_plant.dir/chiller.cpp.o.d"
+  "CMakeFiles/mpros_plant.dir/daq.cpp.o"
+  "CMakeFiles/mpros_plant.dir/daq.cpp.o.d"
+  "CMakeFiles/mpros_plant.dir/ema.cpp.o"
+  "CMakeFiles/mpros_plant.dir/ema.cpp.o.d"
+  "CMakeFiles/mpros_plant.dir/faults.cpp.o"
+  "CMakeFiles/mpros_plant.dir/faults.cpp.o.d"
+  "CMakeFiles/mpros_plant.dir/process.cpp.o"
+  "CMakeFiles/mpros_plant.dir/process.cpp.o.d"
+  "CMakeFiles/mpros_plant.dir/vibration.cpp.o"
+  "CMakeFiles/mpros_plant.dir/vibration.cpp.o.d"
+  "libmpros_plant.a"
+  "libmpros_plant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_plant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpros/rules/believability.cpp" "src/mpros/rules/CMakeFiles/mpros_rules.dir/believability.cpp.o" "gcc" "src/mpros/rules/CMakeFiles/mpros_rules.dir/believability.cpp.o.d"
+  "/root/repo/src/mpros/rules/dli_rules.cpp" "src/mpros/rules/CMakeFiles/mpros_rules.dir/dli_rules.cpp.o" "gcc" "src/mpros/rules/CMakeFiles/mpros_rules.dir/dli_rules.cpp.o.d"
+  "/root/repo/src/mpros/rules/engine.cpp" "src/mpros/rules/CMakeFiles/mpros_rules.dir/engine.cpp.o" "gcc" "src/mpros/rules/CMakeFiles/mpros_rules.dir/engine.cpp.o.d"
+  "/root/repo/src/mpros/rules/features.cpp" "src/mpros/rules/CMakeFiles/mpros_rules.dir/features.cpp.o" "gcc" "src/mpros/rules/CMakeFiles/mpros_rules.dir/features.cpp.o.d"
+  "/root/repo/src/mpros/rules/severity.cpp" "src/mpros/rules/CMakeFiles/mpros_rules.dir/severity.cpp.o" "gcc" "src/mpros/rules/CMakeFiles/mpros_rules.dir/severity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpros/common/CMakeFiles/mpros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/domain/CMakeFiles/mpros_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/dsp/CMakeFiles/mpros_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

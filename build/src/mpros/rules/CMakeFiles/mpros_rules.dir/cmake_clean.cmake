@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_rules.dir/believability.cpp.o"
+  "CMakeFiles/mpros_rules.dir/believability.cpp.o.d"
+  "CMakeFiles/mpros_rules.dir/dli_rules.cpp.o"
+  "CMakeFiles/mpros_rules.dir/dli_rules.cpp.o.d"
+  "CMakeFiles/mpros_rules.dir/engine.cpp.o"
+  "CMakeFiles/mpros_rules.dir/engine.cpp.o.d"
+  "CMakeFiles/mpros_rules.dir/features.cpp.o"
+  "CMakeFiles/mpros_rules.dir/features.cpp.o.d"
+  "CMakeFiles/mpros_rules.dir/severity.cpp.o"
+  "CMakeFiles/mpros_rules.dir/severity.cpp.o.d"
+  "libmpros_rules.a"
+  "libmpros_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

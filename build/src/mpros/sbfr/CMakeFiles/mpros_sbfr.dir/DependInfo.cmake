@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpros/sbfr/disasm.cpp" "src/mpros/sbfr/CMakeFiles/mpros_sbfr.dir/disasm.cpp.o" "gcc" "src/mpros/sbfr/CMakeFiles/mpros_sbfr.dir/disasm.cpp.o.d"
+  "/root/repo/src/mpros/sbfr/expr.cpp" "src/mpros/sbfr/CMakeFiles/mpros_sbfr.dir/expr.cpp.o" "gcc" "src/mpros/sbfr/CMakeFiles/mpros_sbfr.dir/expr.cpp.o.d"
+  "/root/repo/src/mpros/sbfr/interpreter.cpp" "src/mpros/sbfr/CMakeFiles/mpros_sbfr.dir/interpreter.cpp.o" "gcc" "src/mpros/sbfr/CMakeFiles/mpros_sbfr.dir/interpreter.cpp.o.d"
+  "/root/repo/src/mpros/sbfr/library.cpp" "src/mpros/sbfr/CMakeFiles/mpros_sbfr.dir/library.cpp.o" "gcc" "src/mpros/sbfr/CMakeFiles/mpros_sbfr.dir/library.cpp.o.d"
+  "/root/repo/src/mpros/sbfr/machine.cpp" "src/mpros/sbfr/CMakeFiles/mpros_sbfr.dir/machine.cpp.o" "gcc" "src/mpros/sbfr/CMakeFiles/mpros_sbfr.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpros/common/CMakeFiles/mpros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

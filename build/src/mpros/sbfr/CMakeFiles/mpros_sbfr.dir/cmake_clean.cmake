@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_sbfr.dir/disasm.cpp.o"
+  "CMakeFiles/mpros_sbfr.dir/disasm.cpp.o.d"
+  "CMakeFiles/mpros_sbfr.dir/expr.cpp.o"
+  "CMakeFiles/mpros_sbfr.dir/expr.cpp.o.d"
+  "CMakeFiles/mpros_sbfr.dir/interpreter.cpp.o"
+  "CMakeFiles/mpros_sbfr.dir/interpreter.cpp.o.d"
+  "CMakeFiles/mpros_sbfr.dir/library.cpp.o"
+  "CMakeFiles/mpros_sbfr.dir/library.cpp.o.d"
+  "CMakeFiles/mpros_sbfr.dir/machine.cpp.o"
+  "CMakeFiles/mpros_sbfr.dir/machine.cpp.o.d"
+  "libmpros_sbfr.a"
+  "libmpros_sbfr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_sbfr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_wavelet.dir/dwt.cpp.o"
+  "CMakeFiles/mpros_wavelet.dir/dwt.cpp.o.d"
+  "CMakeFiles/mpros_wavelet.dir/features.cpp.o"
+  "CMakeFiles/mpros_wavelet.dir/features.cpp.o.d"
+  "libmpros_wavelet.a"
+  "libmpros_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/contracts_test.cpp" "tests/CMakeFiles/contracts_test.dir/contracts_test.cpp.o" "gcc" "tests/CMakeFiles/contracts_test.dir/contracts_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpros/mpros/CMakeFiles/mpros_mpros.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/dc/CMakeFiles/mpros_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/fuzzy/CMakeFiles/mpros_fuzzy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/nn/CMakeFiles/mpros_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/wavelet/CMakeFiles/mpros_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/sbfr/CMakeFiles/mpros_sbfr.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/pdme/CMakeFiles/mpros_pdme.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/net/CMakeFiles/mpros_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/oosm/CMakeFiles/mpros_oosm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/db/CMakeFiles/mpros_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/rules/CMakeFiles/mpros_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/fusion/CMakeFiles/mpros_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/plant/CMakeFiles/mpros_plant.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/domain/CMakeFiles/mpros_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/dsp/CMakeFiles/mpros_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/common/CMakeFiles/mpros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

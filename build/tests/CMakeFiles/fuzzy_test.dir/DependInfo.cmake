@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzzy_test.cpp" "tests/CMakeFiles/fuzzy_test.dir/fuzzy_test.cpp.o" "gcc" "tests/CMakeFiles/fuzzy_test.dir/fuzzy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpros/fuzzy/CMakeFiles/mpros_fuzzy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/plant/CMakeFiles/mpros_plant.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/rules/CMakeFiles/mpros_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/domain/CMakeFiles/mpros_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/dsp/CMakeFiles/mpros_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpros/common/CMakeFiles/mpros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

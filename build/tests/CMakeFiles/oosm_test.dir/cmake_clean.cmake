@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oosm_test.dir/oosm_test.cpp.o"
+  "CMakeFiles/oosm_test.dir/oosm_test.cpp.o.d"
+  "oosm_test"
+  "oosm_test.pdb"
+  "oosm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oosm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdme_test.dir/pdme_test.cpp.o"
+  "CMakeFiles/pdme_test.dir/pdme_test.cpp.o.d"
+  "pdme_test"
+  "pdme_test.pdb"
+  "pdme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plant_test.dir/plant_test.cpp.o"
+  "CMakeFiles/plant_test.dir/plant_test.cpp.o.d"
+  "plant_test"
+  "plant_test.pdb"
+  "plant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

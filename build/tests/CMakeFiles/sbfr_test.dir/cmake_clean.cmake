@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbfr_test.dir/sbfr_test.cpp.o"
+  "CMakeFiles/sbfr_test.dir/sbfr_test.cpp.o.d"
+  "sbfr_test"
+  "sbfr_test.pdb"
+  "sbfr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbfr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpros_sim.dir/mpros_sim.cpp.o"
+  "CMakeFiles/mpros_sim.dir/mpros_sim.cpp.o.d"
+  "mpros_sim"
+  "mpros_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpros_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,108 @@
+// E15 — Telemetry overhead on the fleet hot path.
+//
+// The metrics registry, pipeline tracing and flight recorder all ride the
+// DAQ/DC/PDME hot paths; the design budget is <5% on E7's fleet workload.
+// The harness runs BM_FleetHour's scenario (4 plants, one stepped fault,
+// 1 simulated hour) three ways — telemetry globally disabled (the kill
+// switch gates every observation), enabled, and enabled with the flight
+// recorder journaling every delivered datagram — and reports wall time
+// plus the enabled/disabled overhead ratio.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mpros/mpros/ship_system.hpp"
+#include "mpros/telemetry/metrics.hpp"
+
+namespace {
+
+using namespace mpros;
+
+void run_fleet_hour(benchmark::State& state, bool telemetry_on,
+                    bool record) {
+  const bool was_enabled = telemetry::enabled();
+  telemetry::set_enabled(telemetry_on);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ShipSystemConfig cfg;
+    cfg.plant_count = 4;
+    cfg.dc_template.vibration_period = SimTime::from_seconds(600);
+    cfg.dc_template.process_period = SimTime::from_seconds(60);
+    cfg.seed = 0xF1EE7 + state.iterations();
+    cfg.enable_flight_recorder = record;
+    ShipSystem ship(cfg);
+    ship.chiller(0).faults().schedule(
+        {domain::FailureMode::MotorImbalance, SimTime(0), SimTime(0), 0.9,
+         plant::GrowthProfile::Step});
+    state.ResumeTiming();
+
+    ship.run_until(SimTime::from_hours(1.0));
+
+    state.PauseTiming();
+    state.counters["reports_fused"] =
+        static_cast<double>(ship.fleet_stats().reports_fused);
+    state.ResumeTiming();
+  }
+  telemetry::set_enabled(was_enabled);
+  state.SetLabel("1 simulated hour, 4 plants");
+}
+
+void BM_FleetHour_TelemetryOff(benchmark::State& state) {
+  run_fleet_hour(state, /*telemetry_on=*/false, /*record=*/false);
+}
+BENCHMARK(BM_FleetHour_TelemetryOff)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_FleetHour_TelemetryOn(benchmark::State& state) {
+  run_fleet_hour(state, /*telemetry_on=*/true, /*record=*/false);
+}
+BENCHMARK(BM_FleetHour_TelemetryOn)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_FleetHour_TelemetryAndRecorder(benchmark::State& state) {
+  run_fleet_hour(state, /*telemetry_on=*/true, /*record=*/true);
+}
+BENCHMARK(BM_FleetHour_TelemetryAndRecorder)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_CounterInc(benchmark::State& state) {
+  // The primitive the hot paths lean on: one registered counter, relaxed
+  // atomic increments.
+  telemetry::set_enabled(true);
+  telemetry::Counter& c =
+      telemetry::Registry::instance().counter("bench.counter_inc");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  telemetry::set_enabled(true);
+  telemetry::Histogram& h =
+      telemetry::Registry::instance().histogram("bench.hist_observe");
+  double v = 0.0;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v < 1e6 ? v * 1.7 + 1.0 : 0.0;
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "\nE15 telemetry overhead (budget: <5%% on the E7 fleet workload)\n"
+      "  compare: BM_FleetHour_TelemetryOn / BM_FleetHour_TelemetryOff\n"
+      "  (the kill switch gates every counter, histogram and span; the\n"
+      "  recorder variant adds per-delivery journaling on top)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

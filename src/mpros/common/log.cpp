@@ -3,6 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <string>
+
+#include "mpros/telemetry/metrics.hpp"
 
 namespace mpros {
 namespace {
@@ -27,6 +30,15 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void count_log_event(LogLevel level, const char* component) {
+  if (level != LogLevel::Warn && level != LogLevel::Error) return;
+  // Warn/Error are rare by design; the name lookup is off the hot path.
+  telemetry::Registry::instance()
+      .counter(std::string(component) +
+               (level == LogLevel::Warn ? ".log_warnings" : ".log_errors"))
+      .inc();
+}
 
 void log_message(LogLevel level, const char* component, const char* fmt, ...) {
   char body[1024];

@@ -22,10 +22,22 @@ void log_message(LogLevel level, const char* component, const char* fmt, ...)
 #endif
     ;
 
+/// Telemetry hook: bumps "<component>.log_warnings" / ".log_errors" in the
+/// metrics registry, one health counter per component regardless of the
+/// sink threshold. Only Warn/Error reach here (the macro folds the level
+/// check away for lower severities).
+void count_log_event(LogLevel level, const char* component);
+
 }  // namespace mpros
 
 #define MPROS_LOG(level, component, ...)                       \
   do {                                                         \
+    if (static_cast<int>(level) >=                             \
+        static_cast<int>(::mpros::LogLevel::Warn) &&           \
+        static_cast<int>(level) <                              \
+            static_cast<int>(::mpros::LogLevel::Off)) {        \
+      ::mpros::count_log_event(level, component);              \
+    }                                                          \
     if (static_cast<int>(level) >=                             \
         static_cast<int>(::mpros::log_level())) {              \
       ::mpros::log_message(level, component, __VA_ARGS__);     \

@@ -43,6 +43,29 @@ bool point_owns(plant::MachinePoint point, FailureMode mode) {
 /// SBFR event codes: 0x60 + machine index (resolved via sbfr_machine_mode_).
 constexpr std::uint8_t kSbfrEventBase = 0x60;
 
+/// Registry handles resolved once; afterwards an observation is a relaxed
+/// atomic add, cheap enough for the test/scan path.
+struct DcMetrics {
+  telemetry::Counter& vibration_tests;
+  telemetry::Counter& process_scans;
+  telemetry::Counter& reports_emitted;
+  telemetry::Counter& samples_processed;
+  telemetry::Histogram& vibration_wall_us;
+  telemetry::Histogram& process_wall_us;
+
+  static DcMetrics& instance() {
+    static auto& reg = telemetry::Registry::instance();
+    static DcMetrics m{
+        reg.counter("dc.vibration_tests"),
+        reg.counter("dc.process_scans"),
+        reg.counter("dc.reports_emitted"),
+        reg.counter("dc.samples_processed"),
+        reg.histogram("dc.vibration_test_wall_us"),
+        reg.histogram("dc.process_scan_wall_us")};
+    return m;
+  }
+};
+
 }  // namespace
 
 DataConcentrator::DataConcentrator(DcConfig cfg, MachineRefs refs,
@@ -174,6 +197,11 @@ void DataConcentrator::handle_command(const net::TestCommandMessage& command) {
       db_.table("test_log").insert_auto(
           {db::Value(chiller_.now().micros()),
            db::Value("commanded: " + command.reason)});
+      if (journal_ != nullptr) {
+        journal_->record_event(chiller_.now().micros(),
+                               "dc-" + std::to_string(cfg_.id.value()),
+                               "commanded vibration test: " + command.reason);
+      }
       request_vibration_test();
       break;
   }
@@ -227,6 +255,7 @@ void DataConcentrator::emit_raw(
   r.explanation = std::move(explanation);
   r.recommendations = std::move(recommendation);
   r.timestamp = now;
+  r.trace = current_trace_;
   for (const rules::PrognosticPoint& p : prognosis) {
     r.prognostics.push_back(
         net::PrognosticPair{p.probability, p.horizon.seconds()});
@@ -241,6 +270,7 @@ void DataConcentrator::emit_raw(
                     db::Value(severity), db::Value(belief)});
   outbox_.push_back(std::move(r));
   ++stats_.reports_emitted;
+  DcMetrics::instance().reports_emitted.inc();
 }
 
 void DataConcentrator::emit(SimTime now, KnowledgeSourceId ks,
@@ -250,7 +280,19 @@ void DataConcentrator::emit(SimTime now, KnowledgeSourceId ks,
 }
 
 void DataConcentrator::run_vibration_test(SimTime now) {
+  DcMetrics& metrics = DcMetrics::instance();
+  // One trace per acquisition: every report this test emits carries the id,
+  // so the DAQ → scheduler → codec → fusion path can be reconstructed.
+  current_trace_ = telemetry::next_trace_id();
+  telemetry::StageTimer span("dc.vibration_test", current_trace_,
+                             now.micros(), &metrics.vibration_wall_us);
   ++stats_.vibration_tests;
+  metrics.vibration_tests.inc();
+  if (journal_ != nullptr) {
+    journal_->record_event(now.micros(),
+                           "dc-" + std::to_string(cfg_.id.value()),
+                           "vibration test");
+  }
   db_.table("test_log").insert_auto(
       {db::Value(now.micros()), db::Value("vibration")});
 
@@ -261,12 +303,14 @@ void DataConcentrator::run_vibration_test(SimTime now) {
   // features with process parameters).
   chiller_.acquire_current(cfg_.current_sample_rate_hz, current_buffer_);
   stats_.samples_processed += current_buffer_.size();
+  metrics.samples_processed.inc(current_buffer_.size());
 
   for (const plant::MachinePoint point :
        {plant::MachinePoint::Motor, plant::MachinePoint::Gearbox,
         plant::MachinePoint::Compressor}) {
     chiller_.acquire_vibration(point, cfg_.sample_rate_hz, vib_buffer_);
     stats_.samples_processed += vib_buffer_.size();
+    metrics.samples_processed.inc(vib_buffer_.size());
 
     if (!cfg_.enable_dli) continue;
 
@@ -304,7 +348,12 @@ void DataConcentrator::run_vibration_test(SimTime now) {
 }
 
 void DataConcentrator::run_process_scan(SimTime now) {
+  DcMetrics& metrics = DcMetrics::instance();
+  current_trace_ = telemetry::next_trace_id();
+  telemetry::StageTimer span("dc.process_scan", current_trace_, now.micros(),
+                             &metrics.process_wall_us);
   ++stats_.process_scans;
+  metrics.process_scans.inc();
   const plant::ProcessSnapshot snapshot = chiller_.process_snapshot();
 
   db::Table& measurements = db_.table("measurements");
@@ -346,6 +395,11 @@ void DataConcentrator::run_process_scan(SimTime now) {
     for (const sbfr::Event& e : sbfr_.drain_events()) {
       MPROS_ASSERT(e.machine < sbfr_machine_mode_.size());
       const FailureMode mode = sbfr_machine_mode_[e.machine];
+      if (journal_ != nullptr) {
+        journal_->record_event(
+            now.micros(), "dc-" + std::to_string(cfg_.id.value()),
+            std::string("SBFR latch: ") + domain::to_string(mode));
+      }
       const double severity = 0.5;  // SBFR flags onset; KF fuses magnitude
       emit_raw(now, kSbfr, sensed_object_for(mode), mode, severity,
                /*belief=*/0.65,

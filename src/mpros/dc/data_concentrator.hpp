@@ -28,6 +28,8 @@
 #include "mpros/rules/believability.hpp"
 #include "mpros/rules/dli_rules.hpp"
 #include "mpros/sbfr/interpreter.hpp"
+#include "mpros/telemetry/recorder.hpp"
+#include "mpros/telemetry/trace.hpp"
 
 namespace mpros::dc {
 
@@ -98,6 +100,11 @@ class DataConcentrator {
   /// effect on the next advance_to().
   void request_vibration_test();
 
+  /// Attach a flight-recorder journal (nullptr detaches). The DC logs test
+  /// runs, commanded tests and SBFR latches into it for post-hoc diagnosis;
+  /// `journal` must outlive the DC or be detached first.
+  void set_journal(telemetry::FlightRecorder* journal) { journal_ = journal; }
+
   [[nodiscard]] DcId id() const { return cfg_.id; }
   [[nodiscard]] db::Database& database() { return db_; }
   [[nodiscard]] rules::BelievabilityTable& believability() {
@@ -150,6 +157,9 @@ class DataConcentrator {
   std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
            LastReport>
       last_reports_;  // (ks, object, condition) -> last emission
+
+  telemetry::FlightRecorder* journal_ = nullptr;
+  telemetry::TraceId current_trace_ = 0;  ///< stamped on emitted reports
 
   std::vector<net::FailureReport> outbox_;
   std::vector<net::SensorDataMessage> sensor_outbox_;

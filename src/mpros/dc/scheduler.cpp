@@ -1,6 +1,7 @@
 #include "mpros/dc/scheduler.hpp"
 
 #include "mpros/common/assert.hpp"
+#include "mpros/telemetry/metrics.hpp"
 
 namespace mpros::dc {
 
@@ -23,6 +24,8 @@ void EventScheduler::request_now(TaskId id) {
 }
 
 std::size_t EventScheduler::run_until(SimTime deadline) {
+  static telemetry::Counter& task_runs =
+      telemetry::Registry::instance().counter("dc.scheduler_task_runs");
   std::size_t executed = 0;
   while (!queue_.empty() && queue_.top().at <= deadline) {
     const Due due = queue_.top();
@@ -32,6 +35,7 @@ std::size_t EventScheduler::run_until(SimTime deadline) {
     const SimTime at = due.at;
     tasks_[due.id].task(at);
     ++executed;
+    task_runs.inc();
     if (due.reschedule) {
       queue_.push(Due{at + tasks_[due.id].period, next_sequence_++, due.id,
                       true});

@@ -1,6 +1,7 @@
 #include "mpros/fusion/diagnostic_fusion.hpp"
 
 #include "mpros/common/assert.hpp"
+#include "mpros/telemetry/metrics.hpp"
 
 namespace mpros::fusion {
 
@@ -66,6 +67,9 @@ GroupState DiagnosticFusion::update_set(
     focus |= set_of(group, m);
   }
 
+  static telemetry::Counter& ds_updates =
+      telemetry::Registry::instance().counter("fusion.ds_updates");
+
   Cell& c = cell(machine, group);
   const MassFunction evidence =
       MassFunction::simple_support(frame(group), focus, belief);
@@ -73,6 +77,7 @@ GroupState DiagnosticFusion::update_set(
   c.mass = std::move(result.fused);
   c.last_conflict = result.conflict;
   ++c.report_count;
+  ds_updates.inc();
   return summarize(group, c);
 }
 

@@ -65,7 +65,13 @@
 #include "mpros/plant/daq.hpp"
 #include "mpros/plant/ema.hpp"
 
+// Telemetry
+#include "mpros/telemetry/metrics.hpp"
+#include "mpros/telemetry/recorder.hpp"
+#include "mpros/telemetry/trace.hpp"
+
 // Facade
+#include "mpros/mpros/replay.hpp"
 #include "mpros/mpros/ship_system.hpp"
 #include "mpros/mpros/validation.hpp"
 #include "mpros/mpros/wnn_training.hpp"

@@ -1,0 +1,85 @@
+#include "mpros/mpros/replay.hpp"
+
+#include <algorithm>
+
+#include "mpros/net/messages.hpp"
+#include "mpros/oosm/object_model.hpp"
+#include "mpros/oosm/ship_builder.hpp"
+#include "mpros/pdme/browser.hpp"
+#include "mpros/pdme/pdme.hpp"
+
+namespace mpros {
+
+std::optional<ReplayResult> replay_recording(
+    const telemetry::FlightRecorder::Decoded& dump) {
+  if (dump.header.version != telemetry::kRecorderVersion) return std::nullopt;
+
+  // Rebuild the live run's object model. ShipSystem derives its deck layout
+  // from plant_count the same way; the ship name is fixed, so object ids
+  // land identically and reports resolve to the same machines.
+  oosm::ObjectModel model;
+  const std::size_t plant_count = std::max<std::size_t>(
+      1, dump.header.plant_count);
+  oosm::ShipModel ship = oosm::build_ship(
+      model, "USNS Mercy",
+      /*decks=*/std::max<std::size_t>(1, (plant_count + 1) / 2),
+      /*plants_per_deck=*/2);
+
+  pdme::PdmeConfig cfg;
+  cfg.deduplicate = dump.header.pdme_dedup;
+  cfg.auto_retest = false;  // no DCs to command during replay
+  pdme::PdmeExecutive pdme(model, cfg);
+
+  ReplayResult result;
+  result.frames_seen = dump.frames.size();
+  for (const telemetry::RecorderFrame& frame : dump.frames) {
+    if (frame.kind != telemetry::FrameKind::NetMessage) {
+      ++result.events_skipped;
+      continue;
+    }
+    if (frame.to != "pdme") continue;  // DC-bound commands replay as no-ops
+
+    const auto type = net::try_peek_type(frame.payload);
+    if (!type.has_value()) {
+      ++result.malformed;
+      continue;
+    }
+    switch (*type) {
+      case net::MessageType::FailureReportMsg: {
+        const auto report = net::try_unwrap_report(frame.payload);
+        if (!report.has_value()) {
+          ++result.malformed;
+          break;
+        }
+        pdme.accept(*report);
+        ++result.messages_replayed;
+        break;
+      }
+      case net::MessageType::SensorData: {
+        const auto data = net::try_unwrap_sensor_data(frame.payload);
+        if (!data.has_value()) {
+          ++result.malformed;
+          break;
+        }
+        pdme.accept(*data);
+        ++result.messages_replayed;
+        break;
+      }
+      case net::MessageType::TestCommand:
+        break;  // mis-routed; the live PDME ignored it too
+    }
+  }
+
+  result.reports_fused = pdme.stats().reports_accepted;
+  result.sensor_batches = pdme.stats().sensor_batches;
+  result.summary = pdme::render_summary(pdme, model);
+  return result;
+}
+
+std::optional<ReplayResult> replay_file(const std::string& path) {
+  const auto dump = telemetry::FlightRecorder::load(path);
+  if (!dump.has_value()) return std::nullopt;
+  return replay_recording(*dump);
+}
+
+}  // namespace mpros

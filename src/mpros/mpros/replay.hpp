@@ -1,0 +1,40 @@
+#pragma once
+// Deterministic replay of a flight-recorder dump.
+//
+// A recording captures the PDME-bound wire stream at the delivery point —
+// post latency, drop and duplication — plus the scenario context (plant
+// count, seed, dedup setting) needed to rebuild the live run's object
+// model. Feeding those datagrams, in recorded order, to a fresh
+// PdmeExecutive re-runs fusion exactly: Dempster-Shafer combination and
+// the prognostic envelope are deterministic in report order, so the
+// replayed prioritized maintenance list is byte-identical to the live one.
+// That turns any field anomaly a ship mails home into a repeatable test.
+
+#include <optional>
+#include <string>
+
+#include "mpros/telemetry/recorder.hpp"
+
+namespace mpros {
+
+struct ReplayResult {
+  std::size_t frames_seen = 0;       ///< all frames in the dump
+  std::size_t messages_replayed = 0; ///< PDME-bound datagrams fed to fusion
+  std::size_t events_skipped = 0;    ///< annotation frames (not replayable)
+  std::size_t malformed = 0;         ///< datagrams that failed to decode
+  std::uint64_t reports_fused = 0;
+  std::uint64_t sensor_batches = 0;
+  /// render_summary() of the rebuilt PDME — compare against the live run.
+  std::string summary;
+};
+
+/// Replay an in-memory decode. Returns nullopt if the dump's version is
+/// unsupported.
+[[nodiscard]] std::optional<ReplayResult> replay_recording(
+    const telemetry::FlightRecorder::Decoded& dump);
+
+/// Load + replay a dump file. Returns nullopt on I/O or decode failure.
+[[nodiscard]] std::optional<ReplayResult> replay_file(
+    const std::string& path);
+
+}  // namespace mpros

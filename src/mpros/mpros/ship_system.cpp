@@ -18,6 +18,24 @@ ShipSystem::ShipSystem(ShipSystemConfig cfg)
   MPROS_EXPECTS(ship_.plants.size() >= cfg.plant_count);
   ship_.plants.resize(cfg.plant_count);
 
+  if (cfg.enable_flight_recorder) {
+    recorder_ =
+        std::make_unique<telemetry::FlightRecorder>(cfg.recorder_capacity);
+    telemetry::RecorderHeader header;
+    header.pdme_dedup = cfg.pdme.deduplicate;
+    header.plant_count = static_cast<std::uint32_t>(cfg.plant_count);
+    header.seed = cfg.seed;
+    recorder_->set_header(header);
+    // Capture at the delivery point: what the recorder holds is exactly
+    // what the endpoints saw, post latency/drop/duplication — the stream a
+    // replay must feed a fresh PDME to reproduce this run.
+    telemetry::FlightRecorder* rec = recorder_.get();
+    network_.set_delivery_tap([rec](const net::Message& msg) {
+      rec->record_message(msg.delivered_at.micros(), msg.from, msg.to,
+                          msg.payload);
+    });
+  }
+
   pdme_ = std::make_unique<pdme::PdmeExecutive>(model_, cfg.pdme);
   pdme_->attach_to_network(network_);
   if (cfg.enable_fleet_analyzer) {
@@ -42,6 +60,7 @@ ShipSystem::ShipSystem(ShipSystemConfig cfg)
                          objs.compressor};
     dcs_.push_back(std::make_unique<dc::DataConcentrator>(
         dc_cfg, refs, *plants_.back(), wnn_));
+    if (recorder_) dcs_.back()->set_journal(recorder_.get());
 
     // Each DC listens on the ship's network for §5.8 scheduler commands
     // (handlers run on the driver thread during advance_to, when the DC's

@@ -18,6 +18,8 @@
 #include "mpros/pdme/pdme.hpp"
 #include "mpros/pdme/resident.hpp"
 #include "mpros/plant/chiller.hpp"
+#include "mpros/telemetry/metrics.hpp"
+#include "mpros/telemetry/recorder.hpp"
 
 namespace mpros {
 
@@ -35,6 +37,11 @@ struct ShipSystemConfig {
   /// advance_to() step.
   bool enable_fleet_analyzer = false;
   pdme::FleetAnalyzerConfig fleet_analyzer;
+  /// Journal every delivered datagram (plus notable DC events) into a
+  /// bounded flight recorder; dump with flight_recorder()->dump(path) and
+  /// replay with mpros::replay_file / tools/mpros_replay.
+  bool enable_flight_recorder = false;
+  std::size_t recorder_capacity = 1 << 16;
 };
 
 class ShipSystem {
@@ -82,11 +89,23 @@ class ShipSystem {
   };
   [[nodiscard]] FleetStats fleet_stats() const;
 
+  /// Null unless cfg.enable_flight_recorder.
+  [[nodiscard]] telemetry::FlightRecorder* flight_recorder() {
+    return recorder_.get();
+  }
+
+  /// Text dump of every registered telemetry metric (counters, gauges,
+  /// latency histograms) — the operator's status page.
+  [[nodiscard]] static std::string telemetry_text() {
+    return telemetry::Registry::instance().render_text();
+  }
+
  private:
   ShipSystemConfig cfg_;
   oosm::ObjectModel model_;
   oosm::ShipModel ship_;
   net::SimNetwork network_;
+  std::unique_ptr<telemetry::FlightRecorder> recorder_;
   std::unique_ptr<pdme::PdmeExecutive> pdme_;
   std::unique_ptr<pdme::FleetComparativeAnalyzer> resident_;
   std::shared_ptr<nn::WnnClassifier> wnn_;

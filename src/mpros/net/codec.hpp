@@ -55,4 +55,33 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
+/// Fail-soft reader for *untrusted* bytes — flight-recorder files and the
+/// replay path, where a truncated or bit-flipped frame must produce a
+/// decode error, never a crash. A failed read returns zero/empty and
+/// latches ok() false; callers check ok() once at the end.
+class TryReader {
+ public:
+  explicit TryReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  void fail() { ok_ = false; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool take(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
 }  // namespace mpros::net

@@ -19,6 +19,17 @@ MessageType peek_type(std::span<const std::uint8_t> bytes) {
   return static_cast<MessageType>(bytes[0]);
 }
 
+std::optional<MessageType> try_peek_type(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return std::nullopt;
+  switch (static_cast<MessageType>(bytes[0])) {
+    case MessageType::FailureReportMsg:
+    case MessageType::SensorData:
+    case MessageType::TestCommand:
+      return static_cast<MessageType>(bytes[0]);
+  }
+  return std::nullopt;
+}
+
 std::vector<std::uint8_t> wrap(const FailureReport& r) {
   std::vector<std::uint8_t> out;
   out.push_back(static_cast<std::uint8_t>(MessageType::FailureReportMsg));
@@ -50,38 +61,69 @@ std::vector<std::uint8_t> wrap(const TestCommandMessage& m) {
   return w.take();
 }
 
-FailureReport unwrap_report(std::span<const std::uint8_t> bytes) {
-  MPROS_EXPECTS(peek_type(bytes) == MessageType::FailureReportMsg);
-  return deserialize_report(bytes.subspan(1));
+std::optional<FailureReport> try_unwrap_report(
+    std::span<const std::uint8_t> bytes) {
+  if (try_peek_type(bytes) != MessageType::FailureReportMsg) {
+    return std::nullopt;
+  }
+  return try_deserialize_report(bytes.subspan(1));
 }
 
-SensorDataMessage unwrap_sensor_data(std::span<const std::uint8_t> bytes) {
-  MPROS_EXPECTS(peek_type(bytes) == MessageType::SensorData);
-  Reader r(bytes.subspan(1));
+std::optional<SensorDataMessage> try_unwrap_sensor_data(
+    std::span<const std::uint8_t> bytes) {
+  if (try_peek_type(bytes) != MessageType::SensorData) return std::nullopt;
+  TryReader r(bytes.subspan(1));
   SensorDataMessage m;
   m.dc = DcId(r.u64());
   m.machine = ObjectId(r.u64());
   m.timestamp = SimTime(r.i64());
   const std::uint32_t n = r.u32();
+  // Each entry is at least a length prefix plus the f64: guard the reserve
+  // against corrupted counts.
+  if (!r.ok() || n > r.remaining() / 12) return std::nullopt;
   m.values.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     std::string key = r.str();
     const double value = r.f64();
     m.values.emplace_back(std::move(key), value);
   }
-  MPROS_EXPECTS(r.done());
+  if (!r.ok() || !r.done()) return std::nullopt;
   return m;
 }
 
-TestCommandMessage unwrap_test_command(std::span<const std::uint8_t> bytes) {
-  MPROS_EXPECTS(peek_type(bytes) == MessageType::TestCommand);
-  Reader r(bytes.subspan(1));
+std::optional<TestCommandMessage> try_unwrap_test_command(
+    std::span<const std::uint8_t> bytes) {
+  if (try_peek_type(bytes) != MessageType::TestCommand) return std::nullopt;
+  TryReader r(bytes.subspan(1));
   TestCommandMessage m;
   m.target = DcId(r.u64());
-  m.command = static_cast<TestCommandMessage::Command>(r.u8());
+  const std::uint8_t command = r.u8();
+  if (!r.ok() ||
+      command != static_cast<std::uint8_t>(
+                     TestCommandMessage::Command::VibrationTest)) {
+    return std::nullopt;
+  }
+  m.command = static_cast<TestCommandMessage::Command>(command);
   m.reason = r.str();
-  MPROS_EXPECTS(r.done());
+  if (!r.ok() || !r.done()) return std::nullopt;
   return m;
+}
+
+FailureReport unwrap_report(std::span<const std::uint8_t> bytes) {
+  MPROS_EXPECTS(peek_type(bytes) == MessageType::FailureReportMsg);
+  return deserialize_report(bytes.subspan(1));
+}
+
+SensorDataMessage unwrap_sensor_data(std::span<const std::uint8_t> bytes) {
+  auto m = try_unwrap_sensor_data(bytes);
+  MPROS_EXPECTS(m.has_value());
+  return *std::move(m);
+}
+
+TestCommandMessage unwrap_test_command(std::span<const std::uint8_t> bytes) {
+  auto m = try_unwrap_test_command(bytes);
+  MPROS_EXPECTS(m.has_value());
+  return *std::move(m);
 }
 
 }  // namespace mpros::net

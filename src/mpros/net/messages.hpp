@@ -14,6 +14,7 @@
 // without guessing.
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -59,6 +60,10 @@ struct TestCommandMessage {
 /// Type tag of a wire datagram (aborts on empty payloads).
 [[nodiscard]] MessageType peek_type(std::span<const std::uint8_t> bytes);
 
+/// Fail-soft peek: nullopt on empty payloads or unknown type bytes.
+[[nodiscard]] std::optional<MessageType> try_peek_type(
+    std::span<const std::uint8_t> bytes);
+
 // Enveloped encodings (type byte + body).
 [[nodiscard]] std::vector<std::uint8_t> wrap(const FailureReport& r);
 [[nodiscard]] std::vector<std::uint8_t> wrap(const SensorDataMessage& m);
@@ -69,6 +74,15 @@ struct TestCommandMessage {
 [[nodiscard]] SensorDataMessage unwrap_sensor_data(
     std::span<const std::uint8_t> bytes);
 [[nodiscard]] TestCommandMessage unwrap_test_command(
+    std::span<const std::uint8_t> bytes);
+
+// Fail-soft decoders for untrusted bytes (flight-recorder replay): nullopt
+// on wrong type, truncation, or corruption — never abort.
+[[nodiscard]] std::optional<FailureReport> try_unwrap_report(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<SensorDataMessage> try_unwrap_sensor_data(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<TestCommandMessage> try_unwrap_test_command(
     std::span<const std::uint8_t> bytes);
 
 }  // namespace mpros::net

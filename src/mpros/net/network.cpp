@@ -1,8 +1,37 @@
 #include "mpros/net/network.hpp"
 
 #include "mpros/common/assert.hpp"
+#include "mpros/telemetry/metrics.hpp"
 
 namespace mpros::net {
+
+namespace {
+
+// Process-wide wire metrics; registered once, then relaxed atomics only.
+struct NetMetrics {
+  telemetry::Counter& sent;
+  telemetry::Counter& bytes_sent;
+  telemetry::Counter& delivered;
+  telemetry::Counter& dropped;
+  telemetry::Counter& duplicated;
+  telemetry::Counter& dead_lettered;
+  telemetry::Histogram& transit_latency_us;
+
+  static NetMetrics& get() {
+    static NetMetrics m{
+        telemetry::Registry::instance().counter("net.sent"),
+        telemetry::Registry::instance().counter("net.bytes_sent"),
+        telemetry::Registry::instance().counter("net.delivered"),
+        telemetry::Registry::instance().counter("net.dropped"),
+        telemetry::Registry::instance().counter("net.duplicated"),
+        telemetry::Registry::instance().counter("net.dead_lettered"),
+        telemetry::Registry::instance().histogram("net.transit_latency_us"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 SimNetwork::SimNetwork(NetworkConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   MPROS_EXPECTS(cfg.drop_probability >= 0.0 && cfg.drop_probability < 1.0);
@@ -21,13 +50,23 @@ void SimNetwork::enqueue_locked(Message msg, SimTime deliver_at) {
   queue_.push(Pending{deliver_at, next_sequence_++, std::move(msg)});
 }
 
+void SimNetwork::set_delivery_tap(Handler tap) {
+  std::lock_guard lock(mu_);
+  tap_ = std::move(tap);
+}
+
 void SimNetwork::send(const std::string& from, const std::string& to,
                       std::vector<std::uint8_t> payload, SimTime now) {
+  NetMetrics& metrics = NetMetrics::get();
+  metrics.sent.inc();
+  metrics.bytes_sent.inc(payload.size());
+
   std::lock_guard lock(mu_);
   ++stats_.sent;
 
   if (rng_.bernoulli(cfg_.drop_probability)) {
     ++stats_.dropped;
+    metrics.dropped.inc();
     return;
   }
 
@@ -40,6 +79,7 @@ void SimNetwork::send(const std::string& from, const std::string& to,
 
   if (rng_.bernoulli(cfg_.duplicate_probability)) {
     ++stats_.duplicated;
+    metrics.duplicated.inc();
     Message copy = msg;
     enqueue_locked(std::move(copy), now + latency());
   }
@@ -47,10 +87,12 @@ void SimNetwork::send(const std::string& from, const std::string& to,
 }
 
 std::size_t SimNetwork::deliver_due(SimTime now, bool everything) {
+  NetMetrics& metrics = NetMetrics::get();
   std::size_t delivered = 0;
   while (true) {
     Message msg;
     Handler handler;
+    Handler tap;
     {
       std::lock_guard lock(mu_);
       if (queue_.empty()) break;
@@ -60,11 +102,17 @@ std::size_t SimNetwork::deliver_due(SimTime now, bool everything) {
       const auto it = endpoints_.find(msg.to);
       if (it == endpoints_.end()) {
         ++stats_.dead_lettered;
+        metrics.dead_lettered.inc();
         continue;
       }
       handler = it->second;  // copy so the handler runs unlocked
+      tap = tap_;
       ++stats_.delivered;
     }
+    metrics.delivered.inc();
+    metrics.transit_latency_us.observe(
+        static_cast<double>((msg.delivered_at - msg.sent_at).micros()));
+    if (tap) tap(msg);
     handler(msg);
     ++delivered;
   }

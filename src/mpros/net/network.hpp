@@ -56,6 +56,11 @@ class SimNetwork {
   /// advance_to(). Re-registering a name replaces its handler.
   void register_endpoint(const std::string& name, Handler handler);
 
+  /// Observe every *delivered* message (after latency/drop/duplication,
+  /// before the endpoint handler) — the flight recorder's capture point.
+  /// One tap; nullptr clears. Runs on the delivering thread.
+  void set_delivery_tap(Handler tap);
+
   /// Queue a message. Latency/drop/duplication are decided at send time
   /// (deterministic given the seed and send order).
   void send(const std::string& from, const std::string& to,
@@ -90,6 +95,7 @@ class SimNetwork {
   mutable std::mutex mu_;
   NetworkConfig cfg_;
   Rng rng_;
+  Handler tap_;
   std::map<std::string, Handler> endpoints_;
   std::priority_queue<Pending, std::vector<Pending>, Later> queue_;
   NetworkStats stats_;

@@ -10,7 +10,8 @@ namespace mpros::net {
 namespace {
 
 constexpr std::uint16_t kReportMagic = 0x4D52;  // "MR"
-constexpr std::uint8_t kReportVersion = 1;
+// v1: original §7 fields. v2: + telemetry trace id after the version byte.
+constexpr std::uint8_t kReportVersion = 2;
 
 }  // namespace
 
@@ -18,6 +19,7 @@ std::vector<std::uint8_t> serialize(const FailureReport& r) {
   Writer w;
   w.u16(kReportMagic);
   w.u8(kReportVersion);
+  w.u64(r.trace);
   w.u64(r.dc.value());
   w.u64(r.knowledge_source.value());
   w.u64(r.sensed_object.value());
@@ -36,12 +38,17 @@ std::vector<std::uint8_t> serialize(const FailureReport& r) {
   return w.take();
 }
 
-FailureReport deserialize_report(std::span<const std::uint8_t> bytes) {
-  Reader rd(bytes);
-  MPROS_EXPECTS(rd.u16() == kReportMagic);
-  MPROS_EXPECTS(rd.u8() == kReportVersion);
+std::optional<FailureReport> try_deserialize_report(
+    std::span<const std::uint8_t> bytes) {
+  TryReader rd(bytes);
+  if (rd.u16() != kReportMagic) return std::nullopt;
+  const std::uint8_t version = rd.u8();
+  if (!rd.ok() || version < 1 || version > kReportVersion) {
+    return std::nullopt;
+  }
 
   FailureReport r;
+  if (version >= 2) r.trace = rd.u64();
   r.dc = DcId(rd.u64());
   r.knowledge_source = KnowledgeSourceId(rd.u64());
   r.sensed_object = ObjectId(rd.u64());
@@ -53,6 +60,9 @@ FailureReport deserialize_report(std::span<const std::uint8_t> bytes) {
   r.timestamp = SimTime(rd.i64());
   r.additional_info = rd.str();
   const std::uint32_t n = rd.u32();
+  // Each pair is 16 bytes: reject counts the payload cannot hold before
+  // reserving (a corrupted count must not become a huge allocation).
+  if (!rd.ok() || n > rd.remaining() / 16) return std::nullopt;
   r.prognostics.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     PrognosticPair p;
@@ -60,8 +70,14 @@ FailureReport deserialize_report(std::span<const std::uint8_t> bytes) {
     p.time_seconds = rd.f64();
     r.prognostics.push_back(p);
   }
-  MPROS_EXPECTS(rd.done());
+  if (!rd.ok() || !rd.done()) return std::nullopt;
   return r;
+}
+
+FailureReport deserialize_report(std::span<const std::uint8_t> bytes) {
+  auto r = try_deserialize_report(bytes);
+  MPROS_EXPECTS(r.has_value());
+  return *std::move(r);
 }
 
 std::string summarize(const FailureReport& r) {

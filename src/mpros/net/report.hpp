@@ -7,6 +7,7 @@
 // categories ride along. Reports serialize to the wire via the codec.
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -43,13 +44,23 @@ struct FailureReport {
 
   std::vector<PrognosticPair> prognostics;  ///< §7.3
 
+  /// Telemetry span id stamped by the originating DC test (0 = untraced).
+  /// Rides the wire (format v2) so PDME-side spans join the DC's timeline.
+  std::uint64_t trace = 0;
+
   friend bool operator==(const FailureReport&,
                          const FailureReport&) = default;
 };
 
-/// Wire encoding (versioned).
+/// Wire encoding (versioned; v2 adds the trace id, v1 still decodes).
 [[nodiscard]] std::vector<std::uint8_t> serialize(const FailureReport& r);
 [[nodiscard]] FailureReport deserialize_report(
+    std::span<const std::uint8_t> bytes);
+
+/// Fail-soft decode for untrusted bytes (recorder frames, replay): returns
+/// nullopt on truncation, bad magic/version, or trailing garbage — never
+/// aborts.
+[[nodiscard]] std::optional<FailureReport> try_deserialize_report(
     std::span<const std::uint8_t> bytes);
 
 /// One-line rendering for logs / the PDME browser.

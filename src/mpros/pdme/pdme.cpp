@@ -6,12 +6,36 @@
 
 #include "mpros/common/assert.hpp"
 #include "mpros/common/log.hpp"
+#include "mpros/telemetry/metrics.hpp"
+#include "mpros/telemetry/trace.hpp"
 
 namespace mpros::pdme {
 
 using domain::FailureMode;
 
 namespace {
+
+/// Registry handles resolved once; observations are relaxed atomics after.
+struct PdmeMetrics {
+  telemetry::Counter& reports_accepted;
+  telemetry::Counter& duplicates_dropped;
+  telemetry::Counter& malformed_dropped;
+  telemetry::Counter& fusion_updates;
+  telemetry::Histogram& fuse_wall_us;
+  telemetry::Histogram& report_pipeline_latency_us;
+
+  static PdmeMetrics& instance() {
+    static auto& reg = telemetry::Registry::instance();
+    static PdmeMetrics m{
+        reg.counter("pdme.reports_accepted"),
+        reg.counter("pdme.duplicates_dropped"),
+        reg.counter("pdme.malformed_dropped"),
+        reg.counter("pdme.fusion_updates"),
+        reg.histogram("pdme.fuse_wall_us"),
+        reg.histogram("pdme.report_pipeline_latency_us")};
+    return m;
+  }
+};
 
 std::string encode_prognostics(const std::vector<net::PrognosticPair>& v) {
   std::string out;
@@ -77,6 +101,7 @@ std::optional<ObjectId> PdmeExecutive::accept(
     const std::string sig = signature_of(report);
     if (!seen_signatures_.insert(sig).second) {
       ++stats_.duplicates_dropped;
+      PdmeMetrics::instance().duplicates_dropped.inc();
       return std::nullopt;
     }
   }
@@ -102,6 +127,10 @@ ObjectId PdmeExecutive::post_report_object(const net::FailureReport& r) {
   model_.set_property(obj, "recommendations", r.recommendations);
   model_.set_property(obj, "timestamp_us", r.timestamp.micros());
   model_.set_property(obj, "prognostics", encode_prognostics(r.prognostics));
+  if (r.trace != 0) {
+    model_.set_property(obj, "trace",
+                        static_cast<std::int64_t>(r.trace));
+  }
   if (model_.exists(r.sensed_object)) {
     model_.relate(obj, oosm::Relation::RefersTo, r.sensed_object);
   }
@@ -144,6 +173,11 @@ net::FailureReport PdmeExecutive::reconstruct_report(ObjectId object) const {
   r.recommendations = get_text("recommendations");
   r.timestamp = SimTime(get_int("timestamp_us"));
   r.prognostics = decode_prognostics(get_text("prognostics"));
+  // Reports posted by third parties predate tracing; default to untraced.
+  const auto trace = model_.property(object, "trace");
+  if (trace.has_value()) {
+    r.trace = static_cast<std::uint64_t>(trace->as_integer());
+  }
   return r;
 }
 
@@ -180,14 +214,19 @@ std::size_t PdmeExecutive::rebuild_from_model() {
 }
 
 void PdmeExecutive::fuse(const net::FailureReport& r) {
+  PdmeMetrics& metrics = PdmeMetrics::instance();
   if (!r.machine_condition.valid() ||
       r.machine_condition.value() > domain::kFailureModeCount) {
     ++stats_.malformed_dropped;
+    metrics.malformed_dropped.inc();
     return;
   }
+  telemetry::StageTimer span("pdme.fuse", r.trace, r.timestamp.micros(),
+                             &metrics.fuse_wall_us);
   const FailureMode mode = domain::failure_mode(r.machine_condition);
 
   ++stats_.reports_accepted;
+  metrics.reports_accepted.inc();
   reports_[r.sensed_object.value()].push_back(r);
 
   // Diagnostic fusion: the report's Belief field becomes simple support.
@@ -205,6 +244,7 @@ void PdmeExecutive::fuse(const net::FailureReport& r) {
   track.latest_report = std::max(track.latest_report, r.timestamp);
   ++track.reports;
   ++stats_.fusion_updates;
+  metrics.fusion_updates.inc();
   maybe_command_retest(r);
 
   MPROS_LOG_DEBUG("pdme", "fused %s for obj=%llu belief=%.2f",
@@ -294,13 +334,42 @@ void PdmeExecutive::attach_to_network(net::SimNetwork& network,
   endpoint_name_ = endpoint_name;
   network.register_endpoint(
       endpoint_name, [this](const net::Message& message) {
-        switch (net::peek_type(message.payload)) {
-          case net::MessageType::FailureReportMsg:
-            accept(net::unwrap_report(message.payload));
+        PdmeMetrics& metrics = PdmeMetrics::instance();
+        // The wire is hostile (fault injection, §5.1 "fragmentary" inputs):
+        // everything decodes through the fail-soft path, and a datagram
+        // that does not parse is counted and dropped, never fatal.
+        const auto type = net::try_peek_type(message.payload);
+        if (!type.has_value()) {
+          ++stats_.malformed_dropped;
+          metrics.malformed_dropped.inc();
+          return;
+        }
+        switch (*type) {
+          case net::MessageType::FailureReportMsg: {
+            const auto report = net::try_unwrap_report(message.payload);
+            if (!report.has_value()) {
+              ++stats_.malformed_dropped;
+              metrics.malformed_dropped.inc();
+              return;
+            }
+            telemetry::StageTimer transit("net.transit", report->trace,
+                                          message.sent_at.micros());
+            transit.set_sim_end(message.delivered_at.micros());
+            metrics.report_pipeline_latency_us.observe(static_cast<double>(
+                (message.delivered_at - report->timestamp).micros()));
+            accept(*report);
             break;
-          case net::MessageType::SensorData:
-            accept(net::unwrap_sensor_data(message.payload));
+          }
+          case net::MessageType::SensorData: {
+            const auto data = net::try_unwrap_sensor_data(message.payload);
+            if (!data.has_value()) {
+              ++stats_.malformed_dropped;
+              metrics.malformed_dropped.inc();
+              return;
+            }
+            accept(*data);
             break;
+          }
           case net::MessageType::TestCommand:
             break;  // commands address DCs, not the PDME
         }

@@ -4,8 +4,30 @@
 #include <cmath>
 
 #include "mpros/common/assert.hpp"
+#include "mpros/telemetry/metrics.hpp"
 
 namespace mpros::plant {
+
+namespace {
+
+struct DaqMetrics {
+  telemetry::Counter& banks_acquired;
+  telemetry::Counter& samples_digitized;
+  telemetry::Counter& rms_alarms;
+  telemetry::Histogram& scan_duration_us;
+
+  static DaqMetrics& get() {
+    static DaqMetrics m{
+        telemetry::Registry::instance().counter("daq.banks_acquired"),
+        telemetry::Registry::instance().counter("daq.samples_digitized"),
+        telemetry::Registry::instance().counter("daq.rms_alarms"),
+        telemetry::Registry::instance().histogram("daq.scan_duration_us"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 DaqChain::DaqChain(DaqConfig cfg, SignalSource source)
     : cfg_(cfg), source_(std::move(source)) {
@@ -55,6 +77,8 @@ BankAcquisition DaqChain::acquire_bank(std::size_t card, std::size_t bank,
     out.waveforms.push_back(std::move(waveform));
     out.channels.push_back(base + c);
   }
+  DaqMetrics::get().banks_acquired.inc();
+  DaqMetrics::get().samples_digitized.inc(samples * cfg_.channels_per_bank);
   return out;
 }
 
@@ -75,6 +99,8 @@ DaqChain::FullScan DaqChain::scan_all(std::size_t samples_per_channel,
     }
   }
   scan.duration = t - now;
+  DaqMetrics::get().scan_duration_us.observe(
+      static_cast<double>(scan.duration.micros()));
   return scan;
 }
 
@@ -98,6 +124,7 @@ std::vector<RmsAlarm> DaqChain::poll_alarms(SimTime now, SimTime duration) {
                                         cfg_.alarm_sample_rate_hz),
             rms});
         latched_[ch] = true;
+        DaqMetrics::get().rms_alarms.inc();
         break;
       }
     }

@@ -1,0 +1,101 @@
+#pragma once
+// Flight recorder: a bounded journal of wire traffic and DC events.
+//
+// A shipboard MPROS runs unattended for months; when something goes wrong
+// the question is always "what exactly did the PDME see?". The recorder
+// keeps the last N delivered network datagrams (and notable DC events) in
+// a ring; dump() writes them to a versioned binary file, and a dump can be
+// deterministically replayed through a fresh PDME (`mpros::replay_recording`
+// / tools/mpros_replay), turning any field anomaly into a reproducible
+// test case.
+//
+// Binary format (little-endian), version byte second:
+//   u8[3] magic "MFR" | u8 version (=1)
+//   u8 flags (bit0: PDME dedup was on) | u32 plant_count | u64 seed
+//   u32 frame_count
+//   frame*: u8 kind | i64 time_us | str from | str to | u32 len | payload
+//   (str = u32 length + bytes)
+//
+// decode()/load() are fail-soft: truncated or corrupted input returns
+// nullopt, never aborts — a half-written dump from a crashing system must
+// still not take the analysis tooling down with it.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mpros::telemetry {
+
+inline constexpr std::uint8_t kRecorderVersion = 1;
+
+enum class FrameKind : std::uint8_t {
+  NetMessage = 1,  ///< payload = wire datagram as delivered
+  Event = 2,       ///< payload = UTF-8 annotation; from = component
+};
+
+struct RecorderFrame {
+  FrameKind kind = FrameKind::NetMessage;
+  std::int64_t time_us = 0;  ///< simulated delivery / event time
+  std::string from;
+  std::string to;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const RecorderFrame&, const RecorderFrame&) = default;
+};
+
+/// Scenario context a replay needs to rebuild the live run's object model.
+struct RecorderHeader {
+  std::uint8_t version = kRecorderVersion;
+  bool pdme_dedup = true;
+  std::uint32_t plant_count = 0;
+  std::uint64_t seed = 0;
+
+  friend bool operator==(const RecorderHeader&, const RecorderHeader&) = default;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 1 << 16);
+
+  void set_header(RecorderHeader header);
+  [[nodiscard]] RecorderHeader header() const;
+
+  /// Thread-safe; oldest frames are evicted once `capacity` is reached.
+  void record_message(std::int64_t time_us, std::string from, std::string to,
+                      std::vector<std::uint8_t> payload);
+  void record_event(std::int64_t time_us, std::string component,
+                    const std::string& text);
+
+  [[nodiscard]] std::vector<RecorderFrame> frames() const;  // oldest first
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t evicted() const;
+  void clear();
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// Returns false on I/O failure.
+  bool dump(const std::string& path) const;
+
+  struct Decoded {
+    RecorderHeader header;
+    std::vector<RecorderFrame> frames;
+  };
+  [[nodiscard]] static std::optional<Decoded> decode(
+      std::span<const std::uint8_t> bytes);
+  [[nodiscard]] static std::optional<Decoded> load(const std::string& path);
+
+ private:
+  void push_locked(RecorderFrame frame);
+
+  mutable std::mutex mu_;
+  RecorderHeader header_;
+  std::deque<RecorderFrame> ring_;
+  std::size_t capacity_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace mpros::telemetry

@@ -4,9 +4,12 @@
 
 #include <map>
 
+#include "mpros/common/rng.hpp"
 #include "mpros/net/codec.hpp"
+#include "mpros/net/messages.hpp"
 #include "mpros/net/network.hpp"
 #include "mpros/net/report.hpp"
+#include "mpros/telemetry/recorder.hpp"
 
 namespace mpros::net {
 namespace {
@@ -191,6 +194,130 @@ TEST(SimNetworkTest, ReportSurvivesTransportIntact) {
   net.send("dc-3", "pdme", serialize(sent), SimTime(0));
   net.flush();
   EXPECT_EQ(received, sent);
+}
+
+// --- Fail-soft decoding / fuzz ----------------------------------------------
+//
+// The PDME endpoint and the replay tooling feed arbitrary bytes through the
+// try_* decoders; no input, however mangled, may crash or allocate wildly.
+
+TEST(FuzzDecodeTest, TraceRidesTheWire) {
+  FailureReport r = sample_report();
+  r.trace = 0xFEEDFACEull;
+  EXPECT_EQ(deserialize_report(serialize(r)).trace, 0xFEEDFACEull);
+}
+
+TEST(FuzzDecodeTest, VersionOneReportStillDecodes) {
+  // A v1 wire image (pre-trace) hand-built field by field: upgraded nodes
+  // must keep accepting reports from DCs that have not been reflashed.
+  const FailureReport expected = sample_report();
+  Writer w;
+  w.u16(0x4D52);  // magic "MR"
+  w.u8(1);        // version 1: no trace id
+  w.u64(expected.dc.value());
+  w.u64(expected.knowledge_source.value());
+  w.u64(expected.sensed_object.value());
+  w.u64(expected.machine_condition.value());
+  w.f64(expected.severity);
+  w.f64(expected.belief);
+  w.str(expected.explanation);
+  w.str(expected.recommendations);
+  w.i64(expected.timestamp.micros());
+  w.str(expected.additional_info);
+  w.u32(static_cast<std::uint32_t>(expected.prognostics.size()));
+  for (const PrognosticPair& p : expected.prognostics) {
+    w.f64(p.probability);
+    w.f64(p.time_seconds);
+  }
+
+  const auto decoded = try_deserialize_report(w.bytes());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->trace, 0u);  // untraced
+  EXPECT_EQ(*decoded, expected);
+}
+
+TEST(FuzzDecodeTest, EveryTruncationReturnsNullopt) {
+  const auto bytes = serialize(sample_report());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(try_deserialize_report(
+                     std::span(bytes.data(), len)).has_value())
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(FuzzDecodeTest, SingleByteCorruptionNeverCrashes) {
+  const auto clean = serialize(sample_report());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    auto bytes = clean;
+    bytes[i] ^= 0xFF;
+    // Flipped float/string bytes may still parse; headers and counts must
+    // not. Either way: no crash, no abort.
+    (void)try_deserialize_report(bytes);
+  }
+  auto bad_magic = clean;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(try_deserialize_report(bad_magic).has_value());
+  auto bad_version = clean;
+  bad_version[2] = 0xEE;
+  EXPECT_FALSE(try_deserialize_report(bad_version).has_value());
+}
+
+TEST(FuzzDecodeTest, HugePrognosticCountRejectedBeforeAllocation) {
+  auto bytes = serialize(sample_report());
+  // The prognostic count is the u32 before the 3 * 16 trailing pair bytes.
+  const std::size_t count_at = bytes.size() - 3 * 16 - 4;
+  bytes[count_at] = 0xFF;
+  bytes[count_at + 1] = 0xFF;
+  bytes[count_at + 2] = 0xFF;
+  bytes[count_at + 3] = 0xFF;
+  EXPECT_FALSE(try_deserialize_report(bytes).has_value());
+}
+
+TEST(FuzzDecodeTest, RandomBuffersNeverCrash) {
+  Rng rng(0xF422);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> junk(rng.integer(0, 255));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.integer(0, 255));
+    }
+    (void)try_peek_type(junk);
+    (void)try_deserialize_report(junk);
+    (void)try_unwrap_report(junk);
+    (void)try_unwrap_sensor_data(junk);
+    (void)try_unwrap_test_command(junk);
+    (void)telemetry::FlightRecorder::decode(junk);
+  }
+}
+
+TEST(FuzzDecodeTest, WrongEnvelopeTypeReturnsNullopt) {
+  const auto wrapped = wrap(sample_report());
+  ASSERT_EQ(try_peek_type(wrapped), MessageType::FailureReportMsg);
+  EXPECT_FALSE(try_unwrap_sensor_data(wrapped).has_value());
+  EXPECT_FALSE(try_unwrap_test_command(wrapped).has_value());
+  EXPECT_TRUE(try_unwrap_report(wrapped).has_value());
+}
+
+TEST(FuzzDecodeTest, RecorderDumpTruncationAndCorruption) {
+  telemetry::FlightRecorder rec(16);
+  rec.set_header({telemetry::kRecorderVersion, true, 4, 0xBEEF});
+  rec.record_message(1000, "dc-1", "pdme", {1, 2, 3, 4});
+  rec.record_event(2000, "dc-1", "vibration test");
+  const auto bytes = rec.encode();
+  ASSERT_TRUE(telemetry::FlightRecorder::decode(bytes).has_value());
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(telemetry::FlightRecorder::decode(
+                     std::span(bytes.data(), len)).has_value())
+        << "truncated dump of " << len << " bytes decoded";
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    auto mangled = bytes;
+    mangled[i] ^= 0xFF;
+    (void)telemetry::FlightRecorder::decode(mangled);  // must not crash
+  }
+  auto trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(telemetry::FlightRecorder::decode(trailing).has_value());
 }
 
 }  // namespace

@@ -1,0 +1,87 @@
+// mpros_replay — replay a flight-recorder dump through a fresh PDME.
+//
+//   mpros_replay recording.mfr            # replay, print the fused summary
+//   mpros_replay --inspect recording.mfr  # list the recorded frames instead
+//
+// The dump (written by `mpros_sim --record` or
+// ShipSystem::flight_recorder()->dump()) carries the delivered PDME-bound
+// wire stream plus the scenario header; replaying it reproduces the live
+// run's prioritized maintenance list exactly. Exit status: 0 on success,
+// 1 if the file cannot be read or decoded.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "mpros/mpros/mpros.hpp"
+
+int main(int argc, char** argv) {
+  bool inspect = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--inspect") {
+      inspect = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: mpros_replay [--inspect] recording.mfr\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "mpros_replay: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: mpros_replay [--inspect] recording.mfr\n");
+    return 2;
+  }
+
+  const auto dump = mpros::telemetry::FlightRecorder::load(path);
+  if (!dump.has_value()) {
+    std::fprintf(stderr,
+                 "mpros_replay: cannot read '%s' (missing, truncated, or "
+                 "corrupted dump)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  std::printf("recording: v%u, %zu frame(s), %u plant(s), seed=%llu, "
+              "dedup=%s\n\n",
+              dump->header.version, dump->frames.size(),
+              dump->header.plant_count,
+              static_cast<unsigned long long>(dump->header.seed),
+              dump->header.pdme_dedup ? "on" : "off");
+
+  if (inspect) {
+    for (const auto& f : dump->frames) {
+      if (f.kind == mpros::telemetry::FrameKind::Event) {
+        std::printf("%12lld us  event  %-8s %s\n",
+                    static_cast<long long>(f.time_us), f.from.c_str(),
+                    std::string(f.payload.begin(), f.payload.end()).c_str());
+      } else {
+        std::printf("%12lld us  msg    %-8s -> %-8s %zu byte(s)\n",
+                    static_cast<long long>(f.time_us), f.from.c_str(),
+                    f.to.c_str(), f.payload.size());
+      }
+    }
+    return 0;
+  }
+
+  const auto result = mpros::replay_recording(*dump);
+  if (!result.has_value()) {
+    std::fprintf(stderr, "mpros_replay: unsupported recording version %u\n",
+                 dump->header.version);
+    return 1;
+  }
+
+  std::printf("%s\n", result->summary.c_str());
+  std::printf("replayed %zu message(s) (%zu event(s) skipped, %zu "
+              "malformed); fused %llu report(s), %llu sensor batch(es)\n",
+              result->messages_replayed, result->events_skipped,
+              result->malformed,
+              static_cast<unsigned long long>(result->reports_fused),
+              static_cast<unsigned long long>(result->sensor_batches));
+  return 0;
+}

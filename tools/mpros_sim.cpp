@@ -11,11 +11,13 @@
 //             --show summary,health,machine:0,icas,mimosa
 //
 // --fault plant:Mode:onset_h:ramp_h:severity   (repeatable)
-// --show  comma list of: summary, health, flows, icas, mimosa,
+// --show  comma list of: summary, health, flows, icas, mimosa, telemetry,
 //         machine:<plant> (Fig 2 browser for that plant's motor), stats
 //
 //   mpros_sim --list-modes     # print the FMEA failure-mode catalog
 //   mpros_sim --validate       # run the §9 seeded-fault study (slow)
+//   mpros_sim --record run.mfr # journal the run into a flight recording
+//   mpros_sim --replay run.mfr # re-fuse a recording (same as mpros_replay)
 
 #include <cstdio>
 #include <cstdlib>
@@ -100,6 +102,7 @@ int main(int argc, char** argv) {
   ShipSystemConfig cfg;
   std::vector<std::string> shows = {"summary"};
   std::uint64_t seed = 0x5417;
+  std::string record_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -134,6 +137,17 @@ int main(int argc, char** argv) {
           SimTime::from_seconds(std::atof(next().c_str()));
     } else if (arg == "--show") {
       shows = split(next(), ',');
+    } else if (arg == "--record") {
+      record_path = next();
+      cfg.enable_flight_recorder = true;
+    } else if (arg == "--replay") {
+      const auto result = replay_file(next());
+      if (!result.has_value()) {
+        std::fprintf(stderr, "mpros_sim: cannot replay that recording\n");
+        return 1;
+      }
+      std::printf("%s\n", result->summary.c_str());
+      return 0;
     } else if (arg == "--list-modes") {
       for (const auto mode : domain::all_failure_modes()) {
         std::printf("%-26s (%s, group %s)\n", domain::to_string(mode),
@@ -202,6 +216,8 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.network.duplicated),
                   static_cast<unsigned long long>(
                       ship.pdme().stats().retests_commanded));
+    } else if (show == "telemetry") {
+      std::printf("%s\n", ShipSystem::telemetry_text().c_str());
     } else if (show.rfind("machine:", 0) == 0) {
       const auto plant = static_cast<std::size_t>(
           std::atoi(show.substr(std::strlen("machine:")).c_str()));
@@ -213,6 +229,19 @@ int main(int argc, char** argv) {
     } else {
       usage_error("unknown --show item '" + show + "'");
     }
+  }
+
+  if (!record_path.empty()) {
+    if (!ship.flight_recorder()->dump(record_path)) {
+      std::fprintf(stderr, "mpros_sim: cannot write '%s'\n",
+                   record_path.c_str());
+      return 1;
+    }
+    std::printf("flight recording written to %s (%llu frame(s), replay "
+                "with mpros_replay)\n",
+                record_path.c_str(),
+                static_cast<unsigned long long>(
+                    ship.flight_recorder()->recorded()));
   }
   return 0;
 }

@@ -37,9 +37,25 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < n; ++i) {
-    submit([&fn, i] { fn(i); });
+  if (n == 0) return;
+  // Chunk the index range into ~thread_count() contiguous blocks instead of
+  // one task per index: the fleet loop calls this with hundreds of DCs, and
+  // per-index submission paid a queue push + wakeup per element. The first
+  // n % chunks blocks take one extra index so uneven ranges stay covered.
+  const std::size_t chunks = std::min(n, thread_count());
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  std::size_t start = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t count = base + (c < extra ? 1 : 0);
+    // Capturing fn by reference is safe: wait_idle() below outlives the
+    // tasks.
+    submit([&fn, start, count] {
+      for (std::size_t i = start; i < start + count; ++i) fn(i);
+    });
+    start += count;
   }
+  MPROS_ASSERT(start == n);
   wait_idle();
 }
 
@@ -47,11 +63,14 @@ void ThreadPool::worker_loop() {
   while (auto task = tasks_.pop()) {
     (*task)();
     {
+      // Notify while holding the lock: wait_idle() (and so ~ThreadPool) can
+      // then only proceed after this thread is done touching the condvar,
+      // which would otherwise race with its destruction.
       std::lock_guard lock(idle_mu_);
       MPROS_ASSERT(in_flight_ > 0);
       --in_flight_;
+      idle_cv_.notify_all();
     }
-    idle_cv_.notify_all();
   }
 }
 

@@ -38,6 +38,8 @@ class ThreadPool {
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
   /// Convenience: run fn(i) for i in [0, n) across the pool, then barrier.
+  /// The range is chunked into ~thread_count() contiguous blocks (one task
+  /// each) so large ranges do not pay per-index queue/wakeup overhead.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -4,23 +4,42 @@
 
 #include "mpros/common/assert.hpp"
 #include "mpros/dsp/fft.hpp"
+#include "mpros/dsp/plan_cache.hpp"
+#include "mpros/dsp/scratch.hpp"
 
 namespace mpros::dsp {
 
 std::vector<double> real_cepstrum(std::span<const double> x,
                                   std::size_t fft_size) {
-  MPROS_EXPECTS(x.size() >= 2);
-  std::vector<Complex> spec = fft_real(x, fft_size);
-
-  constexpr double kEps = 1e-12;
-  for (Complex& c : spec) {
-    c = Complex(std::log(std::abs(c) + kEps), 0.0);
-  }
-  const std::vector<Complex> ceps = ifft(spec);
-
-  std::vector<double> out(ceps.size());
-  for (std::size_t i = 0; i < ceps.size(); ++i) out[i] = ceps[i].real();
+  std::vector<double> out;
+  real_cepstrum(x, fft_size, out);
   return out;
+}
+
+void real_cepstrum(std::span<const double> x, std::size_t fft_size,
+                   std::vector<double>& out) {
+  MPROS_EXPECTS(x.size() >= 2);
+  const std::size_t n =
+      fft_size != 0 ? fft_size
+                    : next_power_of_two(std::max<std::size_t>(x.size(), 4));
+  MPROS_EXPECTS(is_power_of_two(n) && n >= 4 && n >= x.size());
+
+  DspScratch& scratch = DspScratch::local();
+  const RealFftPlan& plan = PlanCache::instance().real_plan(n);
+  const std::span<Complex> half = scratch.complex_lane(0, plan.bins());
+  const std::span<Complex> fft_scratch =
+      scratch.complex_lane(1, plan.scratch_size());
+  plan.forward(x, half, fft_scratch);
+
+  // log|X| is real and even across the full spectrum, so its inverse FFT is
+  // exactly the inverse real transform of the half spectrum — no full-size
+  // complex pass needed.
+  constexpr double kEps = 1e-12;
+  for (std::size_t i = 0; i < plan.bins(); ++i) {
+    half[i] = Complex(std::log(std::abs(half[i]) + kEps), 0.0);
+  }
+  out.resize(n);
+  plan.inverse(half, out, fft_scratch);
 }
 
 double dominant_quefrency(std::span<const double> cepstrum,

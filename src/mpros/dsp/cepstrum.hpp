@@ -16,6 +16,10 @@ namespace mpros::dsp {
 [[nodiscard]] std::vector<double> real_cepstrum(std::span<const double> x,
                                                 std::size_t fft_size = 0);
 
+/// Allocation-free variant: writes into `out`, reusing its capacity.
+void real_cepstrum(std::span<const double> x, std::size_t fft_size,
+                   std::vector<double>& out);
+
 /// Quefrency (seconds) of the strongest cepstral peak in
 /// [min_quefrency_s, max_quefrency_s]; 0 if the range is empty.
 [[nodiscard]] double dominant_quefrency(std::span<const double> cepstrum,

@@ -4,57 +4,82 @@
 
 #include "mpros/common/assert.hpp"
 #include "mpros/dsp/fft.hpp"
+#include "mpros/dsp/plan_cache.hpp"
+#include "mpros/dsp/scratch.hpp"
 
 namespace mpros::dsp {
 namespace {
 
-/// Build the analytic signal spectrum in place: zero the negative
-/// frequencies, double the positive ones (DC and Nyquist stay unchanged).
-void to_analytic(std::vector<Complex>& spec) {
-  const std::size_t n = spec.size();
-  for (std::size_t i = 1; i < n / 2; ++i) spec[i] *= 2.0;
+/// Shared body: forward real FFT, per-bin gate on the positive half, then
+/// analytic-signal construction and a full complex inverse. `keep(i, bin_hz)`
+/// decides whether positive-frequency bin i survives (band-pass), and the
+/// negative half is implicitly zeroed — exactly the analytic conversion.
+template <typename Keep>
+void analytic_envelope(std::span<const double> x, double sample_rate_hz,
+                       const Keep& keep, std::vector<double>& out) {
+  const std::size_t n = next_power_of_two(std::max<std::size_t>(x.size(), 4));
+  const double bin_hz = sample_rate_hz / static_cast<double>(n);
+
+  DspScratch& scratch = DspScratch::local();
+  const RealFftPlan& rplan = PlanCache::instance().real_plan(n);
+  const std::span<Complex> half = scratch.complex_lane(1, rplan.bins());
+  rplan.forward(x, half, scratch.complex_lane(2, rplan.scratch_size()));
+
+  // Analytic spectrum: DC and Nyquist pass through (if kept), interior
+  // positive bins are doubled, the negative half is zero.
+  const std::span<Complex> spec = scratch.complex_lane(0, n);
+  spec[0] = keep(std::size_t{0}, bin_hz) ? half[0] : Complex{};
+  for (std::size_t i = 1; i < n / 2; ++i) {
+    spec[i] = keep(i, bin_hz) ? 2.0 * half[i] : Complex{};
+  }
+  spec[n / 2] = keep(n / 2, bin_hz) ? half[n / 2] : Complex{};
   for (std::size_t i = n / 2 + 1; i < n; ++i) spec[i] = Complex{};
+
+  PlanCache::instance().complex_plan(n).inverse(spec);
+
+  out.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::abs(spec[i]);
+  }
 }
 
 }  // namespace
 
 std::vector<double> envelope(std::span<const double> x) {
-  MPROS_EXPECTS(x.size() >= 4);
-  std::vector<Complex> spec = fft_real(x);
-  to_analytic(spec);
-  const std::vector<Complex> analytic = ifft(spec);
+  std::vector<double> out;
+  envelope(x, out);
+  return out;
+}
 
-  std::vector<double> env(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    env[i] = std::abs(analytic[i]);
-  }
-  return env;
+void envelope(std::span<const double> x, std::vector<double>& out) {
+  MPROS_EXPECTS(x.size() >= 4);
+  analytic_envelope(
+      x, 1.0, [](std::size_t, double) { return true; }, out);
 }
 
 std::vector<double> envelope_bandpassed(std::span<const double> x,
                                         double sample_rate_hz, double lo_hz,
                                         double hi_hz) {
+  std::vector<double> out;
+  envelope_bandpassed(x, sample_rate_hz, lo_hz, hi_hz, out);
+  return out;
+}
+
+void envelope_bandpassed(std::span<const double> x, double sample_rate_hz,
+                         double lo_hz, double hi_hz,
+                         std::vector<double>& out) {
   MPROS_EXPECTS(x.size() >= 4);
   MPROS_EXPECTS(sample_rate_hz > 0.0 && lo_hz >= 0.0 && hi_hz > lo_hz);
 
-  std::vector<Complex> spec = fft_real(x);
-  const std::size_t n = spec.size();
-  const double bin_hz = sample_rate_hz / static_cast<double>(n);
-
-  // Brick-wall band-pass on the positive half, then analytic conversion.
-  for (std::size_t i = 0; i <= n / 2; ++i) {
-    const double f = static_cast<double>(i) * bin_hz;
-    if (f < lo_hz || f > hi_hz) spec[i] = Complex{};
-  }
-  for (std::size_t i = n / 2 + 1; i < n; ++i) spec[i] = Complex{};
-  for (std::size_t i = 1; i < n / 2; ++i) spec[i] *= 2.0;
-
-  const std::vector<Complex> analytic = ifft(spec);
-  std::vector<double> env(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    env[i] = std::abs(analytic[i]);
-  }
-  return env;
+  // Brick-wall band-pass on the positive half, fused with the analytic
+  // conversion.
+  analytic_envelope(
+      x, sample_rate_hz,
+      [lo_hz, hi_hz](std::size_t i, double bin_hz) {
+        const double f = static_cast<double>(i) * bin_hz;
+        return f >= lo_hz && f <= hi_hz;
+      },
+      out);
 }
 
 }  // namespace mpros::dsp

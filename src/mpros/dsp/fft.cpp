@@ -4,8 +4,20 @@
 
 #include "mpros/common/assert.hpp"
 #include "mpros/common/units.hpp"
+#include "mpros/dsp/plan_cache.hpp"
+#include "mpros/dsp/scratch.hpp"
+#include "mpros/telemetry/metrics.hpp"
 
 namespace mpros::dsp {
+namespace {
+
+telemetry::Counter& ffts_performed() {
+  static telemetry::Counter& c =
+      telemetry::Registry::instance().counter("dsp.ffts_performed");
+  return c;
+}
+
+}  // namespace
 
 std::size_t next_power_of_two(std::size_t n) {
   std::size_t p = 1;
@@ -37,6 +49,7 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
 
 void FftPlan::transform(std::span<Complex> x, bool invert) const {
   MPROS_EXPECTS(x.size() == n_);
+  ffts_performed().inc();
 
   for (std::size_t i = 0; i < n_; ++i) {
     const std::size_t j = bit_reverse_[i];
@@ -67,6 +80,64 @@ void FftPlan::forward(std::span<Complex> x) const { transform(x, false); }
 
 void FftPlan::inverse(std::span<Complex> x) const { transform(x, true); }
 
+RealFftPlan::RealFftPlan(std::size_t n) : n_(n), half_plan_(n / 2) {
+  MPROS_EXPECTS(is_power_of_two(n) && n >= 4);
+  split_twiddle_.resize(n / 2 + 1);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double angle = -kTwoPi * static_cast<double>(k) /
+                         static_cast<double>(n);
+    split_twiddle_[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+}
+
+void RealFftPlan::forward(std::span<const double> x, std::span<Complex> half,
+                          std::span<Complex> scratch) const {
+  MPROS_EXPECTS(x.size() <= n_);
+  MPROS_EXPECTS(half.size() >= bins() && scratch.size() >= scratch_size());
+  const std::size_t m = n_ / 2;
+
+  // Pack adjacent real samples into one complex sample each; anything past
+  // the end of `x` is zero padding.
+  for (std::size_t j = 0; j < m; ++j) {
+    const double re = 2 * j < x.size() ? x[2 * j] : 0.0;
+    const double im = 2 * j + 1 < x.size() ? x[2 * j + 1] : 0.0;
+    scratch[j] = Complex(re, im);
+  }
+  half_plan_.forward(scratch.first(m));
+
+  // Split Z (the m-point FFT of the packed signal) into the FFTs of the even
+  // and odd subsequences, then recombine: X[k] = E[k] + W^k O[k].
+  for (std::size_t k = 0; k <= m; ++k) {
+    const Complex zk = scratch[k == m ? 0 : k];
+    const Complex zmk = std::conj(scratch[(m - k) % m]);
+    const Complex even = 0.5 * (zk + zmk);
+    const Complex odd = Complex(0.0, -0.5) * (zk - zmk);
+    half[k] = even + split_twiddle_[k] * odd;
+  }
+}
+
+void RealFftPlan::inverse(std::span<const Complex> half, std::span<double> x,
+                          std::span<Complex> scratch) const {
+  MPROS_EXPECTS(half.size() >= bins() && x.size() >= n_);
+  MPROS_EXPECTS(scratch.size() >= scratch_size());
+  const std::size_t m = n_ / 2;
+
+  // Undo the split: recover the m-point FFT of the packed complex signal.
+  for (std::size_t k = 0; k < m; ++k) {
+    const Complex xk = half[k];
+    const Complex xmk = std::conj(half[m - k]);
+    const Complex even = 0.5 * (xk + xmk);
+    const Complex odd = 0.5 * (xk - xmk) * std::conj(split_twiddle_[k]);
+    scratch[k] = even + Complex(0.0, 1.0) * odd;
+  }
+  half_plan_.inverse(scratch.first(m));
+
+  for (std::size_t j = 0; j < m; ++j) {
+    x[2 * j] = scratch[j].real();
+    x[2 * j + 1] = scratch[j].imag();
+  }
+}
+
 std::vector<Complex> fft_real(std::span<const double> x, std::size_t n) {
   if (n == 0) n = next_power_of_two(std::max<std::size_t>(x.size(), 2));
   MPROS_EXPECTS(is_power_of_two(n) && n >= x.size());
@@ -74,15 +145,36 @@ std::vector<Complex> fft_real(std::span<const double> x, std::size_t n) {
   std::vector<Complex> buf(n, Complex{});
   std::transform(x.begin(), x.end(), buf.begin(),
                  [](double v) { return Complex(v, 0.0); });
-  FftPlan(n).forward(buf);
+  PlanCache::instance().complex_plan(n).forward(buf);
   return buf;
 }
 
 std::vector<Complex> ifft(std::span<const Complex> spectrum) {
   MPROS_EXPECTS(is_power_of_two(spectrum.size()));
   std::vector<Complex> buf(spectrum.begin(), spectrum.end());
-  FftPlan(buf.size()).inverse(buf);
+  PlanCache::instance().complex_plan(buf.size()).inverse(buf);
   return buf;
+}
+
+std::vector<Complex> rfft(std::span<const double> x, std::size_t n) {
+  if (n == 0) n = next_power_of_two(std::max<std::size_t>(x.size(), 4));
+  MPROS_EXPECTS(is_power_of_two(n) && n >= 4 && n >= x.size());
+
+  const RealFftPlan& plan = PlanCache::instance().real_plan(n);
+  std::vector<Complex> half(plan.bins());
+  plan.forward(x, half, DspScratch::local().complex_lane(0, plan.scratch_size()));
+  return half;
+}
+
+std::vector<double> irfft(std::span<const Complex> half) {
+  MPROS_EXPECTS(half.size() >= 3);
+  const std::size_t n = (half.size() - 1) * 2;
+  MPROS_EXPECTS(is_power_of_two(n));
+
+  const RealFftPlan& plan = PlanCache::instance().real_plan(n);
+  std::vector<double> x(n);
+  plan.inverse(half, x, DspScratch::local().complex_lane(0, plan.scratch_size()));
+  return x;
 }
 
 }  // namespace mpros::dsp

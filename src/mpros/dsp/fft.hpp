@@ -22,7 +22,10 @@ using Complex = std::complex<double>;
 /// Smallest power of two >= n.
 [[nodiscard]] std::size_t next_power_of_two(std::size_t n);
 
-/// Precomputed in-place FFT for one size.
+/// Precomputed in-place FFT for one size. Construction builds the
+/// bit-reversal permutation and twiddle table (O(n log n)); steady-state
+/// callers should obtain plans from PlanCache (plan_cache.hpp) so that cost
+/// is paid once per process, not per acquisition.
 class FftPlan {
  public:
   /// `n` must be a power of two >= 2.
@@ -31,6 +34,7 @@ class FftPlan {
   [[nodiscard]] std::size_t size() const { return n_; }
 
   /// In-place forward DFT: x[k] = sum_j x[j] exp(-2*pi*i*j*k/n).
+  /// `x` is caller-owned scratch of exactly size() entries; no allocation.
   void forward(std::span<Complex> x) const;
 
   /// In-place inverse DFT (includes the 1/n normalization).
@@ -44,6 +48,38 @@ class FftPlan {
   std::vector<Complex> twiddle_;          // forward twiddles, n/2 entries
 };
 
+/// Real-input FFT plan: packs n reals into an n/2-point complex FFT and
+/// post-splits, halving butterfly work for the dominant real-signal case.
+/// All transform methods take caller-owned scratch and never allocate.
+class RealFftPlan {
+ public:
+  /// `n` (number of real samples) must be a power of two >= 4.
+  explicit RealFftPlan(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  /// Output bins of the half spectrum: n/2 + 1 (DC .. Nyquist inclusive).
+  [[nodiscard]] std::size_t bins() const { return n_ / 2 + 1; }
+  /// Complex scratch entries needed by forward()/inverse(): n/2.
+  [[nodiscard]] std::size_t scratch_size() const { return n_ / 2; }
+
+  /// Forward transform of a real signal into its half spectrum
+  /// X[0..n/2]; the full spectrum follows from X[n-k] = conj(X[k]).
+  /// `x.size()` may be <= n; missing samples are treated as zero padding.
+  /// `half` must hold >= bins() entries, `scratch` >= scratch_size().
+  void forward(std::span<const double> x, std::span<Complex> half,
+               std::span<Complex> scratch) const;
+
+  /// Inverse of a conjugate-symmetric half spectrum (bins() entries) back
+  /// to n real samples. `x` must hold >= n entries.
+  void inverse(std::span<const Complex> half, std::span<double> x,
+               std::span<Complex> scratch) const;
+
+ private:
+  std::size_t n_;
+  FftPlan half_plan_;                    // n/2-point complex plan
+  std::vector<Complex> split_twiddle_;   // exp(-2*pi*i*k/n), k = 0..n/2
+};
+
 /// One-shot forward FFT of a real signal. Returns the full complex spectrum
 /// of length n (power of two; input is zero-padded if shorter).
 [[nodiscard]] std::vector<Complex> fft_real(std::span<const double> x,
@@ -51,5 +87,15 @@ class FftPlan {
 
 /// One-shot inverse of a full complex spectrum back to a complex signal.
 [[nodiscard]] std::vector<Complex> ifft(std::span<const Complex> spectrum);
+
+/// One-shot real-input FFT via the packed half-size path. Returns the half
+/// spectrum (n/2 + 1 bins); n defaults to the next power of two >= max(4,
+/// x.size()). Uses the process-wide PlanCache and per-thread scratch.
+[[nodiscard]] std::vector<Complex> rfft(std::span<const double> x,
+                                        std::size_t n = 0);
+
+/// One-shot inverse of an rfft()-style half spectrum ((n/2)+1 bins) back to
+/// n real samples.
+[[nodiscard]] std::vector<double> irfft(std::span<const Complex> half);
 
 }  // namespace mpros::dsp

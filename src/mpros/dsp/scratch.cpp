@@ -1,0 +1,36 @@
+#include "mpros/dsp/scratch.hpp"
+
+#include "mpros/common/assert.hpp"
+
+namespace mpros::dsp {
+
+DspScratch& DspScratch::local() {
+  static thread_local DspScratch scratch;
+  return scratch;
+}
+
+std::span<std::complex<double>> DspScratch::complex_lane(std::size_t lane,
+                                                         std::size_t n) {
+  MPROS_EXPECTS(lane < kLanes);
+  auto& buf = complex_[lane];
+  if (buf.size() < n) buf.resize(n);
+  return {buf.data(), n};
+}
+
+std::span<double> DspScratch::real_lane(std::size_t lane, std::size_t n) {
+  MPROS_EXPECTS(lane < kLanes);
+  auto& buf = real_[lane];
+  if (buf.size() < n) buf.resize(n);
+  return {buf.data(), n};
+}
+
+std::size_t DspScratch::footprint_bytes() const {
+  std::size_t bytes = 0;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    bytes += complex_[i].capacity() * sizeof(std::complex<double>);
+    bytes += real_[i].capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace mpros::dsp

@@ -1,0 +1,49 @@
+#pragma once
+// Per-thread DSP scratch arena.
+//
+// Every spectral routine needs transient buffers (a windowed copy of the
+// input, an FFT workspace, a half spectrum). Allocating them per call put a
+// malloc/free pair — and the associated lock traffic under the fleet thread
+// pool — on the hottest path in the system. DspScratch keeps a small set of
+// lazily grown, thread-local buffers instead: the first acquisition at a
+// given size allocates, every subsequent one reuses capacity, so the
+// steady-state vibration test performs zero heap allocation in the DSP
+// layer.
+//
+// Buffers are handed out by *lane*: two buffers that must stay live at the
+// same time take distinct lanes. DSP routines never call each other while
+// holding a lane (they communicate through caller-owned outputs), so the
+// fixed lane assignment inside each routine is safe. Callers outside the
+// DSP layer should not hold a lane across a dsp:: call.
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mpros::dsp {
+
+class DspScratch {
+ public:
+  static constexpr std::size_t kLanes = 3;
+
+  /// The calling thread's arena (thread_local; no synchronization needed).
+  static DspScratch& local();
+
+  /// First `n` entries of the lane's complex buffer, grown if needed.
+  /// Contents are unspecified; the caller overwrites what it uses.
+  std::span<std::complex<double>> complex_lane(std::size_t lane,
+                                               std::size_t n);
+
+  /// First `n` entries of the lane's real buffer, grown if needed.
+  std::span<double> real_lane(std::size_t lane, std::size_t n);
+
+  /// Bytes currently reserved across all lanes (diagnostics/tests).
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+ private:
+  std::vector<std::complex<double>> complex_[kLanes];
+  std::vector<double> real_[kLanes];
+};
+
+}  // namespace mpros::dsp

@@ -5,6 +5,8 @@
 
 #include "mpros/common/assert.hpp"
 #include "mpros/dsp/fft.hpp"
+#include "mpros/dsp/plan_cache.hpp"
+#include "mpros/dsp/scratch.hpp"
 
 namespace mpros::dsp {
 
@@ -48,61 +50,83 @@ double Spectrum::total_energy() const {
 
 Spectrum amplitude_spectrum(std::span<const double> x, double sample_rate_hz,
                             const SpectrumConfig& cfg) {
+  Spectrum out;
+  amplitude_spectrum(x, sample_rate_hz, cfg, out);
+  return out;
+}
+
+void amplitude_spectrum(std::span<const double> x, double sample_rate_hz,
+                        const SpectrumConfig& cfg, Spectrum& out) {
   MPROS_EXPECTS(sample_rate_hz > 0.0);
   MPROS_EXPECTS(x.size() >= 2);
 
   const std::size_t n =
       cfg.fft_size != 0 ? cfg.fft_size : next_power_of_two(x.size());
-  MPROS_EXPECTS(is_power_of_two(n) && n >= x.size());
+  MPROS_EXPECTS(is_power_of_two(n) && n >= x.size() && n >= 4);
 
-  const std::vector<double> window = make_window(cfg.window, x.size());
-  std::vector<double> windowed(x.begin(), x.end());
-  apply_window(windowed, window);
+  const CachedWindow& window = WindowCache::instance().get(cfg.window,
+                                                           x.size());
+  DspScratch& scratch = DspScratch::local();
+  const std::span<double> windowed = scratch.real_lane(0, x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    windowed[i] = x[i] * window.coeffs[i];
+  }
 
-  const std::vector<Complex> spec = fft_real(windowed, n);
+  const RealFftPlan& plan = PlanCache::instance().real_plan(n);
+  const std::span<Complex> half = scratch.complex_lane(0, plan.bins());
+  plan.forward(windowed, half, scratch.complex_lane(1, plan.scratch_size()));
 
-  Spectrum out;
   out.sample_rate_hz = sample_rate_hz;
   out.bin_hz = sample_rate_hz / static_cast<double>(n);
   out.amplitude.resize(n / 2 + 1);
 
   // Scale so a unit-amplitude sine at a bin center reads ~1.0: divide by the
   // window's coherent gain, and double non-DC/non-Nyquist bins (single-sided).
-  const double gain = coherent_gain(window);
+  const double gain = window.coherent_gain;
   for (std::size_t i = 0; i < out.amplitude.size(); ++i) {
-    double a = std::abs(spec[i]) / gain;
+    double a = std::abs(half[i]) / gain;
     if (i != 0 && i != n / 2) a *= 2.0;
     out.amplitude[i] = a;
   }
-  return out;
 }
 
 Spectrum welch_psd(std::span<const double> x, double sample_rate_hz,
                    std::size_t segment_size, WindowKind window) {
+  Spectrum out;
+  welch_psd(x, sample_rate_hz, segment_size, window, out);
+  return out;
+}
+
+void welch_psd(std::span<const double> x, double sample_rate_hz,
+               std::size_t segment_size, WindowKind window, Spectrum& out) {
   MPROS_EXPECTS(sample_rate_hz > 0.0);
-  MPROS_EXPECTS(is_power_of_two(segment_size));
+  MPROS_EXPECTS(is_power_of_two(segment_size) && segment_size >= 4);
   MPROS_EXPECTS(x.size() >= segment_size);
 
-  const std::vector<double> w = make_window(window, segment_size);
-  const double pgain = power_gain(w);
-  const FftPlan plan(segment_size);
+  const CachedWindow& w = WindowCache::instance().get(window, segment_size);
+  const double pgain = w.power_gain;
+  const RealFftPlan& plan = PlanCache::instance().real_plan(segment_size);
 
-  Spectrum out;
   out.sample_rate_hz = sample_rate_hz;
   out.bin_hz = sample_rate_hz / static_cast<double>(segment_size);
   out.amplitude.assign(segment_size / 2 + 1, 0.0);
 
+  DspScratch& scratch = DspScratch::local();
+  const std::span<double> windowed = scratch.real_lane(0, segment_size);
+  const std::span<Complex> half = scratch.complex_lane(0, plan.bins());
+  const std::span<Complex> fft_scratch =
+      scratch.complex_lane(1, plan.scratch_size());
+
   const std::size_t hop = segment_size / 2;
   std::size_t segments = 0;
-  std::vector<Complex> buf(segment_size);
 
   for (std::size_t start = 0; start + segment_size <= x.size(); start += hop) {
     for (std::size_t i = 0; i < segment_size; ++i) {
-      buf[i] = Complex(x[start + i] * w[i], 0.0);
+      windowed[i] = x[start + i] * w.coeffs[i];
     }
-    plan.forward(buf);
+    plan.forward(windowed, half, fft_scratch);
     for (std::size_t i = 0; i < out.amplitude.size(); ++i) {
-      double p = std::norm(buf[i]) / pgain;
+      double p = std::norm(half[i]) / pgain;
       if (i != 0 && i != segment_size / 2) p *= 2.0;
       out.amplitude[i] += p;
     }
@@ -110,7 +134,6 @@ Spectrum welch_psd(std::span<const double> x, double sample_rate_hz,
   }
   MPROS_ASSERT(segments > 0);
   for (double& p : out.amplitude) p /= static_cast<double>(segments);
-  return out;
 }
 
 std::vector<SpectralPeak> find_peaks(const Spectrum& s, std::size_t max_peaks,
@@ -119,6 +142,21 @@ std::vector<SpectralPeak> find_peaks(const Spectrum& s, std::size_t max_peaks,
   const auto& a = s.amplitude;
   for (std::size_t i = 1; i + 1 < a.size(); ++i) {
     if (a[i] <= min_amplitude) continue;
+
+    // Flat-topped peak: two equal bins rising out of both neighbours. The
+    // strict comparisons below would either miss it at the spectrum edge or
+    // report it off-center with an overshooting parabolic amplitude, so
+    // handle the plateau explicitly: one peak, centered, at face value.
+    if (a[i] == a[i + 1] && a[i] > a[i - 1] &&
+        (i + 2 >= a.size() || a[i + 1] > a[i + 2])) {
+      SpectralPeak p;
+      p.freq_hz = (static_cast<double>(i) + 0.5) * s.bin_hz;
+      p.amplitude = a[i];
+      peaks.push_back(p);
+      ++i;  // consume the plateau partner so it is not reported twice
+      continue;
+    }
+
     if (a[i] < a[i - 1] || a[i] <= a[i + 1]) continue;
 
     // Parabolic interpolation around the local maximum.

@@ -45,12 +45,22 @@ struct SpectrumConfig {
                                           double sample_rate_hz,
                                           const SpectrumConfig& cfg = {});
 
+/// Allocation-free variant: writes into `out`, reusing its capacity. With a
+/// warmed PlanCache/WindowCache and a steady transform size this performs
+/// zero heap allocation, which is what the per-DC acquisition loop runs.
+void amplitude_spectrum(std::span<const double> x, double sample_rate_hz,
+                        const SpectrumConfig& cfg, Spectrum& out);
+
 /// Welch-averaged power spectral density over 50%-overlapping segments.
 /// Returns per-bin power (signal units squared per bin).
 [[nodiscard]] Spectrum welch_psd(std::span<const double> x,
                                  double sample_rate_hz,
                                  std::size_t segment_size,
                                  WindowKind window = WindowKind::Hann);
+
+/// Allocation-free variant of welch_psd; see amplitude_spectrum above.
+void welch_psd(std::span<const double> x, double sample_rate_hz,
+               std::size_t segment_size, WindowKind window, Spectrum& out);
 
 struct SpectralPeak {
   double freq_hz = 0.0;
@@ -59,6 +69,8 @@ struct SpectralPeak {
 
 /// Extract up to `max_peaks` local maxima above `min_amplitude`, strongest
 /// first, with parabolic interpolation of frequency and amplitude.
+/// Flat-topped (2-bin plateau) peaks — common when a tone lands exactly
+/// between bins — are reported once, centered on the plateau.
 [[nodiscard]] std::vector<SpectralPeak> find_peaks(const Spectrum& s,
                                                    std::size_t max_peaks,
                                                    double min_amplitude = 0.0);

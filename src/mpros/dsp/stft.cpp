@@ -4,6 +4,8 @@
 
 #include "mpros/common/assert.hpp"
 #include "mpros/dsp/fft.hpp"
+#include "mpros/dsp/plan_cache.hpp"
+#include "mpros/dsp/scratch.hpp"
 #include "mpros/dsp/stats.hpp"
 
 namespace mpros::dsp {
@@ -15,6 +17,15 @@ Spectrogram::Spectrogram(std::size_t frames, std::size_t bins, double bin_hz,
       bin_hz_(bin_hz),
       frame_step_s_(frame_step_s),
       data_(frames * bins, 0.0) {}
+
+void Spectrogram::reshape(std::size_t frames, std::size_t bins, double bin_hz,
+                          double frame_step_s) {
+  frames_ = frames;
+  bins_ = bins;
+  bin_hz_ = bin_hz;
+  frame_step_s_ = frame_step_s;
+  data_.assign(frames * bins, 0.0);
+}
 
 double Spectrogram::at(std::size_t frame, std::size_t bin) const {
   MPROS_EXPECTS(frame < frames_ && bin < bins_);
@@ -56,37 +67,48 @@ double Spectrogram::burstiness() const {
 
 Spectrogram stft(std::span<const double> x, double sample_rate_hz,
                  const StftConfig& cfg) {
+  Spectrogram out;
+  stft(x, sample_rate_hz, cfg, out);
+  return out;
+}
+
+void stft(std::span<const double> x, double sample_rate_hz,
+          const StftConfig& cfg, Spectrogram& out) {
   MPROS_EXPECTS(sample_rate_hz > 0.0);
-  MPROS_EXPECTS(is_power_of_two(cfg.segment_size));
+  MPROS_EXPECTS(is_power_of_two(cfg.segment_size) && cfg.segment_size >= 4);
   MPROS_EXPECTS(cfg.hop > 0);
   MPROS_EXPECTS(x.size() >= cfg.segment_size);
 
   const std::size_t frames =
       1 + (x.size() - cfg.segment_size) / cfg.hop;
   const std::size_t bins = cfg.segment_size / 2 + 1;
-  Spectrogram out(frames, bins,
-                  sample_rate_hz / static_cast<double>(cfg.segment_size),
-                  static_cast<double>(cfg.hop) / sample_rate_hz);
+  out.reshape(frames, bins,
+              sample_rate_hz / static_cast<double>(cfg.segment_size),
+              static_cast<double>(cfg.hop) / sample_rate_hz);
 
-  const std::vector<double> window =
-      make_window(cfg.window, cfg.segment_size);
-  const double gain = coherent_gain(window);
-  const FftPlan plan(cfg.segment_size);
-  std::vector<Complex> buf(cfg.segment_size);
+  const CachedWindow& window =
+      WindowCache::instance().get(cfg.window, cfg.segment_size);
+  const double gain = window.coherent_gain;
+  const RealFftPlan& plan = PlanCache::instance().real_plan(cfg.segment_size);
+
+  DspScratch& scratch = DspScratch::local();
+  const std::span<double> windowed = scratch.real_lane(0, cfg.segment_size);
+  const std::span<Complex> half = scratch.complex_lane(0, plan.bins());
+  const std::span<Complex> fft_scratch =
+      scratch.complex_lane(1, plan.scratch_size());
 
   for (std::size_t f = 0; f < frames; ++f) {
     const std::size_t start = f * cfg.hop;
     for (std::size_t i = 0; i < cfg.segment_size; ++i) {
-      buf[i] = Complex(x[start + i] * window[i], 0.0);
+      windowed[i] = x[start + i] * window.coeffs[i];
     }
-    plan.forward(buf);
+    plan.forward(windowed, half, fft_scratch);
     for (std::size_t b = 0; b < bins; ++b) {
-      double a = std::abs(buf[b]) / gain;
+      double a = std::abs(half[b]) / gain;
       if (b != 0 && b != cfg.segment_size / 2) a *= 2.0;
       out.at(f, b) = a;
     }
   }
-  return out;
 }
 
 }  // namespace mpros::dsp

@@ -24,8 +24,16 @@ struct StftConfig {
 /// amplitude_spectrum (unit sine ≈ 1.0 at its bin).
 class Spectrogram {
  public:
+  /// Empty spectrogram; fill via reshape() (reusable output buffers).
+  Spectrogram() = default;
+
   Spectrogram(std::size_t frames, std::size_t bins, double bin_hz,
               double frame_step_s);
+
+  /// Re-dimension in place, reusing the data buffer's capacity; all cells
+  /// reset to zero. Same geometry => zero heap allocation.
+  void reshape(std::size_t frames, std::size_t bins, double bin_hz,
+               double frame_step_s);
 
   [[nodiscard]] std::size_t frames() const { return frames_; }
   [[nodiscard]] std::size_t bins() const { return bins_; }
@@ -46,8 +54,8 @@ class Spectrogram {
   [[nodiscard]] double burstiness() const;
 
  private:
-  std::size_t frames_, bins_;
-  double bin_hz_, frame_step_s_;
+  std::size_t frames_ = 0, bins_ = 0;
+  double bin_hz_ = 0.0, frame_step_s_ = 0.0;
   std::vector<double> data_;  // row-major frames x bins
 };
 
@@ -56,5 +64,9 @@ class Spectrogram {
 [[nodiscard]] Spectrogram stft(std::span<const double> x,
                                double sample_rate_hz,
                                const StftConfig& cfg = {});
+
+/// Allocation-free variant: writes into `out`, reusing its capacity.
+void stft(std::span<const double> x, double sample_rate_hz,
+          const StftConfig& cfg, Spectrogram& out);
 
 }  // namespace mpros::dsp

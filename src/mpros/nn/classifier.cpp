@@ -51,8 +51,15 @@ std::vector<double> WnnClassifier::features(std::span<const double> waveform,
   f.push_back(dsp::crest_factor(waveform));
   f.push_back(m.kurtosis);
 
+  // Per-thread reusable DSP outputs (training sweeps thousands of windows
+  // through here; the cached zero-allocation path keeps that loop off the
+  // allocator).
+  static thread_local std::vector<double> ceps;
+  static thread_local dsp::Spectrum spec;
+  static thread_local std::vector<double> log_spec;
+
   // Cepstrum: dominant quefrency in the 2..200 ms band and its strength.
-  const std::vector<double> ceps = dsp::real_cepstrum(waveform);
+  dsp::real_cepstrum(waveform, 0, ceps);
   const double q = dsp::dominant_quefrency(ceps, sample_rate_hz, 0.002, 0.2);
   f.push_back(q * 1000.0);  // ms
   double q_strength = 0.0;
@@ -63,8 +70,8 @@ std::vector<double> WnnClassifier::features(std::span<const double> waveform,
   f.push_back(q_strength);
 
   // DCT coefficients of the log amplitude spectrum (spectral shape).
-  const dsp::Spectrum spec = dsp::amplitude_spectrum(waveform, sample_rate_hz);
-  std::vector<double> log_spec(spec.amplitude.size());
+  dsp::amplitude_spectrum(waveform, sample_rate_hz, {}, spec);
+  log_spec.resize(spec.amplitude.size());
   for (std::size_t i = 0; i < log_spec.size(); ++i) {
     log_spec[i] = std::log10(spec.amplitude[i] + 1e-9);
   }
@@ -76,8 +83,10 @@ std::vector<double> WnnClassifier::features(std::span<const double> waveform,
   // to a multiple of 2^levels.
   const std::size_t block = std::size_t{1} << cfg_.wavelet_levels;
   const std::size_t usable = (waveform.size() / block) * block;
-  const std::vector<double> wmap = wavelet::wavelet_feature_vector(
-      waveform.subspan(0, usable), wavelet::Family::Db4, cfg_.wavelet_levels);
+  static thread_local std::vector<double> wmap;
+  wavelet::wavelet_feature_vector(waveform.subspan(0, usable),
+                                  wavelet::Family::Db4, cfg_.wavelet_levels,
+                                  wmap);
   f.insert(f.end(), wmap.begin(), wmap.end());
 
   // Context: temperature, speed, mass-proxy (load), per the paper's list.

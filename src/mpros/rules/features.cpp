@@ -32,11 +32,17 @@ void FeatureExtractor::extract_vibration(std::span<const double> waveform,
   MPROS_EXPECTS(waveform.size() >= 64);
   const double shaft = signature_.shaft_hz;
 
+  // Per-thread reusable outputs: the acquisition loop calls this at a steady
+  // record size, so after the first pass the whole DSP chain below (cached
+  // plans + windows + these buffers) performs no heap allocation.
+  static thread_local dsp::Spectrum spec;
+  static thread_local dsp::Spectrum env_spec;
+  static thread_local std::vector<double> env;
+
   dsp::SpectrumConfig scfg;
   scfg.fft_size =
       std::max(cfg_.fft_size, dsp::next_power_of_two(waveform.size()));
-  const dsp::Spectrum spec =
-      dsp::amplitude_spectrum(waveform, sample_rate_hz, scfg);
+  dsp::amplitude_spectrum(waveform, sample_rate_hz, scfg, spec);
 
   const auto order = [&](double k) {
     return dsp::order_amplitude(spec, shaft, k, cfg_.order_tolerance);
@@ -91,14 +97,12 @@ void FeatureExtractor::extract_vibration(std::span<const double> waveform,
   const double band_hi = std::min(cfg_.envelope_band_hi_hz,
                                   sample_rate_hz * 0.45);
   if (cfg_.envelope_band_lo_hz < band_hi) {
-    const std::vector<double> env = dsp::envelope_bandpassed(
-        waveform, sample_rate_hz, cfg_.envelope_band_lo_hz, band_hi);
+    dsp::envelope_bandpassed(waveform, sample_rate_hz,
+                             cfg_.envelope_band_lo_hz, band_hi, env);
     // Remove the DC component of the envelope before the spectrum.
-    std::vector<double> env_ac(env.size());
     const double env_mean = dsp::mean(env);
-    for (std::size_t i = 0; i < env.size(); ++i) env_ac[i] = env[i] - env_mean;
-    const dsp::Spectrum env_spec =
-        dsp::amplitude_spectrum(env_ac, sample_rate_hz, scfg);
+    for (double& v : env) v -= env_mean;
+    dsp::amplitude_spectrum(env, sample_rate_hz, scfg, env_spec);
 
     // Motor bearings ride the motor shaft; the compressor's angular-contact
     // set rides the high-speed shaft after the speed increaser.
@@ -128,10 +132,10 @@ void FeatureExtractor::extract_current(std::span<const double> waveform,
   // Current-signature analysis needs sub-Hz resolution to resolve the
   // pole-pass sidebands around the line component, so the FFT length
   // follows the (long, low-rate) record rather than the vibration default.
+  static thread_local dsp::Spectrum spec;
   dsp::SpectrumConfig scfg;
   scfg.fft_size = dsp::next_power_of_two(waveform.size());
-  const dsp::Spectrum spec =
-      dsp::amplitude_spectrum(waveform, sample_rate_hz, scfg);
+  dsp::amplitude_spectrum(waveform, sample_rate_hz, scfg, spec);
 
   const double fundamental = spec.band_peak(line * 0.98, line * 1.02);
   frame.set(feat::kCurrentRms, dsp::rms(waveform));

@@ -1,5 +1,6 @@
 #include "mpros/wavelet/dwt.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 
@@ -41,6 +42,18 @@ std::span<const double> scaling_coefficients(Family f) {
   return kHaar;
 }
 
+std::span<const double> wavelet_coefficients(Family f) {
+  static const std::vector<double> haar = wavelet_from_scaling(kHaar);
+  static const std::vector<double> db2 = wavelet_from_scaling(kDb2);
+  static const std::vector<double> db4 = wavelet_from_scaling(kDb4);
+  switch (f) {
+    case Family::Haar: return haar;
+    case Family::Db2: return db2;
+    case Family::Db4: return db4;
+  }
+  return haar;
+}
+
 const char* to_string(Family f) {
   switch (f) {
     case Family::Haar: return "haar";
@@ -53,7 +66,7 @@ const char* to_string(Family f) {
 DwtLevel dwt_step(std::span<const double> x, Family f) {
   MPROS_EXPECTS(x.size() >= 2 && x.size() % 2 == 0);
   const std::span<const double> h = scaling_coefficients(f);
-  const std::vector<double> g = wavelet_from_scaling(h);
+  const std::span<const double> g = wavelet_coefficients(f);
   const std::size_t n = x.size();
   const std::size_t half = n / 2;
   const std::size_t len = h.size();
@@ -78,7 +91,7 @@ std::vector<double> idwt_step(std::span<const double> approx,
                               std::span<const double> detail, Family f) {
   MPROS_EXPECTS(approx.size() == detail.size() && !approx.empty());
   const std::span<const double> h = scaling_coefficients(f);
-  const std::vector<double> g = wavelet_from_scaling(h);
+  const std::span<const double> g = wavelet_coefficients(f);
   const std::size_t half = approx.size();
   const std::size_t n = 2 * half;
   const std::size_t len = h.size();
@@ -105,17 +118,48 @@ std::size_t max_levels(std::size_t n) {
 
 Decomposition decompose(std::span<const double> x, Family f,
                         std::size_t levels) {
-  MPROS_EXPECTS(levels >= 1 && levels <= max_levels(x.size()));
   Decomposition d;
-  d.family = f;
-  std::vector<double> current(x.begin(), x.end());
-  for (std::size_t level = 0; level < levels; ++level) {
-    DwtLevel step = dwt_step(current, f);
-    d.details.push_back(std::move(step.detail));
-    current = std::move(step.approx);
-  }
-  d.approx = std::move(current);
+  decompose(x, f, levels, d);
   return d;
+}
+
+void decompose(std::span<const double> x, Family f, std::size_t levels,
+               Decomposition& d) {
+  MPROS_EXPECTS(levels >= 1 && levels <= max_levels(x.size()));
+  const std::span<const double> h = scaling_coefficients(f);
+  const std::span<const double> g = wavelet_coefficients(f);
+  const std::size_t len = h.size();
+
+  d.family = f;
+  d.details.resize(levels);
+  // The pyramid runs in place: d.approx holds the current approximation,
+  // each pass filters its first `n` samples down to `n/2` (reads at index
+  // (2i + k) mod n stay >= the write index i, so in-place is safe only with
+  // a separate output row — use the level's detail buffer as the staging
+  // area for the half-rate approximation, then copy back).
+  d.approx.assign(x.begin(), x.end());
+  static thread_local std::vector<double> next_approx;
+  std::size_t n = x.size();
+  for (std::size_t level = 0; level < levels; ++level) {
+    const std::size_t half = n / 2;
+    std::vector<double>& detail = d.details[level];
+    detail.resize(half);
+    if (next_approx.size() < half) next_approx.resize(half);
+    for (std::size_t i = 0; i < half; ++i) {
+      double a = 0.0, dv = 0.0;
+      for (std::size_t k = 0; k < len; ++k) {
+        const std::size_t j = (2 * i + k) % n;  // periodic extension
+        a += h[k] * d.approx[j];
+        dv += g[k] * d.approx[j];
+      }
+      next_approx[i] = a;
+      detail[i] = dv;
+    }
+    std::copy(next_approx.begin(), next_approx.begin() +
+              static_cast<std::ptrdiff_t>(half), d.approx.begin());
+    n = half;
+  }
+  d.approx.resize(n);
 }
 
 std::vector<double> reconstruct(const Decomposition& d) {

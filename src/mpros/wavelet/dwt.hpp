@@ -20,6 +20,10 @@ enum class Family { Haar, Db2, Db4 };
 /// Analysis low-pass coefficients for a family (orthonormal).
 [[nodiscard]] std::span<const double> scaling_coefficients(Family f);
 
+/// Analysis high-pass (quadrature mirror) coefficients for a family,
+/// precomputed once per process.
+[[nodiscard]] std::span<const double> wavelet_coefficients(Family f);
+
 [[nodiscard]] const char* to_string(Family f);
 
 /// One DWT level: split x (even length) into approximation and detail
@@ -49,6 +53,11 @@ struct Decomposition {
 /// 2^levels).
 [[nodiscard]] Decomposition decompose(std::span<const double> x, Family f,
                                       std::size_t levels);
+
+/// Allocation-free variant: writes into `d`, reusing its buffers. At a
+/// steady (length, levels) this performs zero heap allocation.
+void decompose(std::span<const double> x, Family f, std::size_t levels,
+               Decomposition& d);
 
 /// Perfect reconstruction from a decomposition.
 [[nodiscard]] std::vector<double> reconstruct(const Decomposition& d);

@@ -52,10 +52,35 @@ std::vector<double> peak_map(const Decomposition& d) {
 
 std::vector<double> wavelet_feature_vector(std::span<const double> x, Family f,
                                            std::size_t levels) {
-  const Decomposition d = decompose(x, f, levels);
-  std::vector<double> features = energy_map(d);
-  features.push_back(energy_entropy(d));
+  std::vector<double> features;
+  wavelet_feature_vector(x, f, levels, features);
   return features;
+}
+
+void wavelet_feature_vector(std::span<const double> x, Family f,
+                            std::size_t levels, std::vector<double>& out) {
+  static thread_local Decomposition d;
+  decompose(x, f, levels, d);
+
+  // Inline energy map + entropy so no intermediate vector is needed.
+  out.clear();
+  out.reserve(d.details.size() + 2);
+  double total = 0.0;
+  for (const auto& detail : d.details) {
+    out.push_back(sum_sq(detail));
+    total += out.back();
+  }
+  out.push_back(sum_sq(d.approx));
+  total += out.back();
+  if (total > 0.0) {
+    for (double& e : out) e /= total;
+  }
+
+  double h = 0.0;
+  for (double p : out) {
+    if (p > 1e-15) h -= p * std::log2(p);
+  }
+  out.push_back(h);
 }
 
 }  // namespace mpros::wavelet

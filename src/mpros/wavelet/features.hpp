@@ -30,4 +30,9 @@ namespace mpros::wavelet {
 [[nodiscard]] std::vector<double> wavelet_feature_vector(
     std::span<const double> x, Family f, std::size_t levels);
 
+/// Allocation-free variant: writes into `out`, reusing its capacity and a
+/// per-thread decomposition buffer.
+void wavelet_feature_vector(std::span<const double> x, Family f,
+                            std::size_t levels, std::vector<double>& out);
+
 }  // namespace mpros::wavelet

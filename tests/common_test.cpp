@@ -140,6 +140,29 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPoolTest, ParallelForUnevenChunksHitEveryIndexOnce) {
+  // 67 indices across 8 workers does not divide evenly (8*8=64, so three
+  // chunks carry an extra index); every index must still run exactly once.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(67);
+  pool.parallel_for(67, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRangeSmallerThanPool) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeReturns) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
 TEST(ThreadPoolTest, WaitIdleWithNoTasksReturns) {
   ThreadPool pool(2);
   pool.wait_idle();  // must not hang

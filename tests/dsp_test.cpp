@@ -13,10 +13,12 @@
 #include "mpros/dsp/envelope.hpp"
 #include "mpros/dsp/fft.hpp"
 #include "mpros/dsp/filter.hpp"
+#include "mpros/dsp/plan_cache.hpp"
 #include "mpros/dsp/spectrum.hpp"
 #include "mpros/dsp/stats.hpp"
 #include "mpros/dsp/stft.hpp"
 #include "mpros/dsp/window.hpp"
+#include "mpros/telemetry/metrics.hpp"
 
 namespace mpros::dsp {
 namespace {
@@ -82,6 +84,81 @@ TEST(FftTest, RealSignalZeroPadding) {
   EXPECT_EQ(spec.size(), 512u);  // padded to next power of two
 }
 
+TEST(RfftTest, HalfSpectrumMatchesFullComplexFft) {
+  // Property: the packed real transform agrees with the reference complex
+  // FFT within 1e-12 across sizes, windows, and random signals.
+  Rng rng(42);
+  for (std::size_t n : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    for (WindowKind kind :
+         {WindowKind::Rectangular, WindowKind::Hann, WindowKind::Hamming,
+          WindowKind::Blackman, WindowKind::FlatTop}) {
+      std::vector<double> x(n);
+      for (double& v : x) v = rng.uniform(-1, 1);
+      apply_window(x, make_window(kind, n));
+
+      const std::vector<Complex> full = fft_real(x, n);
+      const std::vector<Complex> half = rfft(x, n);
+      ASSERT_EQ(half.size(), n / 2 + 1);
+      for (std::size_t k = 0; k <= n / 2; ++k) {
+        EXPECT_NEAR(half[k].real(), full[k].real(), 1e-12)
+            << "n=" << n << " window=" << to_string(kind) << " bin=" << k;
+        EXPECT_NEAR(half[k].imag(), full[k].imag(), 1e-12)
+            << "n=" << n << " window=" << to_string(kind) << " bin=" << k;
+      }
+    }
+  }
+}
+
+TEST(RfftTest, ZeroPadsShortInput) {
+  Rng rng(43);
+  std::vector<double> x(300);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  const std::vector<Complex> half = rfft(x);  // padded to 512
+  const std::vector<Complex> full = fft_real(x, 512);
+  ASSERT_EQ(half.size(), 257u);
+  for (std::size_t k = 0; k < half.size(); ++k) {
+    EXPECT_NEAR(std::abs(half[k] - full[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(RfftTest, RoundTripRecoversSignal) {
+  Rng rng(44);
+  std::vector<double> x(1024);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  const std::vector<double> back = irfft(rfft(x, x.size()));
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-12);
+  }
+}
+
+TEST(PlanCacheTest, ReusesPlansAndCountsHits) {
+  auto& reg = telemetry::Registry::instance();
+  auto& hits = reg.counter("dsp.plan_cache_hit");
+  auto& misses = reg.counter("dsp.plan_cache_miss");
+
+  // Use a size nothing else in the suite touches so the miss is ours.
+  constexpr std::size_t kOddSize = 1u << 14;
+  const std::uint64_t misses_before = misses.value();
+  const RealFftPlan& a = PlanCache::instance().real_plan(kOddSize);
+  EXPECT_EQ(misses.value(), misses_before + 1);
+
+  const std::uint64_t hits_before = hits.value();
+  const RealFftPlan& b = PlanCache::instance().real_plan(kOddSize);
+  EXPECT_EQ(hits.value(), hits_before + 1);
+  EXPECT_EQ(&a, &b);  // stable reference, built once
+}
+
+TEST(WindowCacheTest, StableReferenceAndPrecomputedGains) {
+  const CachedWindow& a = WindowCache::instance().get(WindowKind::Hann, 777);
+  const CachedWindow& b = WindowCache::instance().get(WindowKind::Hann, 777);
+  EXPECT_EQ(&a, &b);
+  const std::vector<double> reference = make_window(WindowKind::Hann, 777);
+  EXPECT_EQ(a.coeffs, reference);
+  EXPECT_DOUBLE_EQ(a.coherent_gain, coherent_gain(reference));
+  EXPECT_DOUBLE_EQ(a.power_gain, power_gain(reference));
+}
+
 TEST(WindowTest, HannEndsNearZeroPeakNearOne) {
   const std::vector<double> w = make_window(WindowKind::Hann, 128);
   EXPECT_NEAR(w.front(), 0.0, 1e-12);
@@ -121,6 +198,32 @@ TEST(SpectrumTest, FindPeaksInterpolatesOffBinFrequency) {
   const auto peaks = find_peaks(s, 1, 0.05);
   ASSERT_EQ(peaks.size(), 1u);
   EXPECT_NEAR(peaks[0].freq_hz, 52.3, 0.2);
+}
+
+TEST(SpectrumTest, FindPeaksReportsFlatToppedPlateauOnce) {
+  // Regression: a tone exactly between two bins can produce two equal
+  // adjacent bins; the peak must be reported once, centered, at face value.
+  Spectrum s;
+  s.bin_hz = 1.0;
+  s.sample_rate_hz = 16.0;
+  s.amplitude = {0.0, 0.1, 0.2, 0.8, 0.8, 0.2, 0.1, 0.0};
+  const auto peaks = find_peaks(s, 4, 0.05);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_DOUBLE_EQ(peaks[0].freq_hz, 3.5);   // centered on the plateau
+  EXPECT_DOUBLE_EQ(peaks[0].amplitude, 0.8);  // no parabolic overshoot
+}
+
+TEST(SpectrumTest, FindPeaksPlateauAtSpectrumEdge) {
+  // A plateau whose right bin is the last element used to be invisible to
+  // the strict-neighbour scan.
+  Spectrum s;
+  s.bin_hz = 1.0;
+  s.sample_rate_hz = 12.0;
+  s.amplitude = {0.0, 0.1, 0.3, 0.9, 0.9};
+  const auto peaks = find_peaks(s, 4, 0.05);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_DOUBLE_EQ(peaks[0].freq_hz, 3.5);
+  EXPECT_DOUBLE_EQ(peaks[0].amplitude, 0.9);
 }
 
 TEST(SpectrumTest, OrderAmplitudeFindsShaftHarmonics) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 #include "mpros/plant/vibration.hpp"
@@ -259,6 +260,74 @@ INSTANTIATE_TEST_SUITE_P(
                       FailureMode::GearMeshWear,
                       FailureMode::PumpCavitation),
     [](const auto& inst) { return domain::to_string(inst.param); });
+
+TEST(FeatureExtractionTest, FrameBitwiseStableAcrossRepeatedCalls) {
+  // The cached-plan / scratch-arena DSP path must be deterministic: the same
+  // waveform through the same extractor yields bit-identical features, call
+  // after call (ISSUE 2 acceptance).
+  constexpr double kRate = 40960.0;
+  plant::VibrationSynthesizer synth(domain::navy_chiller_signature(), 91);
+  plant::Severities severities{};
+  severities[static_cast<std::size_t>(FailureMode::MotorBearingWear)] = 0.6;
+  std::vector<double> waveform(8192);
+  synth.acceleration(plant::MachinePoint::Motor, severities, 0.8, 0.0, kRate,
+                     waveform);
+
+  FeatureExtractor extractor(domain::navy_chiller_signature());
+  FeatureFrame first;
+  extractor.extract_vibration(waveform, kRate, first);
+  ASSERT_GT(first.size(), 0u);
+
+  for (int pass = 0; pass < 3; ++pass) {
+    FeatureFrame again;
+    extractor.extract_vibration(waveform, kRate, again);
+    ASSERT_EQ(again.size(), first.size());
+    for (const auto& [key, value] : first.all()) {
+      const auto got = again.maybe(key);
+      ASSERT_TRUE(got.has_value()) << key;
+      EXPECT_EQ(*got, value) << key << " drifted on pass " << pass;
+    }
+  }
+}
+
+TEST(FeatureExtractionTest, FrameBitwiseStableAcrossThreads) {
+  // Each thread owns its own scratch arena; results must not depend on which
+  // thread runs the extraction or on how warm its caches are.
+  constexpr double kRate = 40960.0;
+  plant::VibrationSynthesizer synth(domain::navy_chiller_signature(), 92);
+  std::vector<double> waveform(8192);
+  synth.acceleration(plant::MachinePoint::Compressor, plant::Severities{},
+                     0.85, 0.0, kRate, waveform);
+
+  FeatureExtractor extractor(domain::navy_chiller_signature());
+  FeatureFrame reference;
+  extractor.extract_vibration(waveform, kRate, reference);
+
+  constexpr int kThreads = 4;
+  std::vector<FeatureFrame> frames(kThreads);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        // Two extractions per thread: the first on a cold per-thread arena,
+        // the second fully warm — both must match the reference.
+        FeatureFrame cold;
+        extractor.extract_vibration(waveform, kRate, cold);
+        frames[static_cast<std::size_t>(t)] = std::move(cold);
+        extractor.extract_vibration(waveform, kRate,
+                                    frames[static_cast<std::size_t>(t)]);
+      });
+    }
+  }
+  for (const FeatureFrame& frame : frames) {
+    ASSERT_EQ(frame.size(), reference.size());
+    for (const auto& [key, value] : reference.all()) {
+      const auto got = frame.maybe(key);
+      ASSERT_TRUE(got.has_value()) << key;
+      EXPECT_EQ(*got, value) << key;
+    }
+  }
+}
 
 TEST(SignatureDetectionTest, HealthyMachineFiresNothingVibrational) {
   plant::VibrationSynthesizer synth(domain::navy_chiller_signature(), 78);

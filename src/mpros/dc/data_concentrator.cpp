@@ -5,6 +5,7 @@
 
 #include "mpros/common/assert.hpp"
 #include "mpros/sbfr/library.hpp"
+#include "mpros/telemetry/metrics.hpp"
 
 namespace mpros::dc {
 
@@ -15,6 +16,7 @@ const char* knowledge_source_name(KnowledgeSourceId ks) {
   if (ks == kSbfr) return "SBFR";
   if (ks == kWaveletNeuralNet) return "Wavelet Neural Net";
   if (ks == kFuzzyLogic) return "Fuzzy Logic";
+  if (ks == kSensorValidator) return "Sensor Validator";
   return "unknown";
 }
 
@@ -79,7 +81,9 @@ DataConcentrator::DataConcentrator(DcConfig cfg, MachineRefs refs,
       extractor_(chiller.signature()),
       dli_(rules::chiller_rulebase(chiller.signature())),
       fuzzy_(),
-      sbfr_(/*input_channels=*/4) {
+      sbfr_(/*input_channels=*/4),
+      validator_(cfg.sensor_validation),
+      reliable_(cfg.id, cfg.reliable) {
   MPROS_EXPECTS(cfg_.window >= 256);
   vib_buffer_.resize(cfg_.window);
   current_buffer_.resize(cfg_.current_window);
@@ -92,6 +96,28 @@ DataConcentrator::DataConcentrator(DcConfig cfg, MachineRefs refs,
   scheduler_.add_periodic("process-scan", cfg_.process_period,
                           cfg_.process_period,
                           [this](SimTime now) { run_process_scan(now); });
+  if (cfg_.reliable_delivery) {
+    scheduler_.add_periodic(
+        "retransmit-sweep", cfg_.retransmit_sweep_period,
+        cfg_.retransmit_sweep_period, [this](SimTime now) {
+          for (auto& payload : reliable_.due_retransmits(now)) {
+            wire_outbox_.push_back(WireDatagram{now, std::move(payload)});
+          }
+        });
+  }
+  if (cfg_.heartbeat_period.micros() > 0) {
+    scheduler_.add_periodic(
+        "heartbeat", cfg_.heartbeat_period, cfg_.heartbeat_period,
+        [this](SimTime now) {
+          net::HeartbeatMessage hb;
+          hb.dc = cfg_.id;
+          hb.timestamp = now;
+          hb.last_sequence =
+              cfg_.reliable_delivery ? reliable_.last_sequence() : 0;
+          wire_outbox_.push_back(WireDatagram{now, net::wrap(hb)});
+          ++stats_.heartbeats_sent;
+        });
+  }
 }
 
 void DataConcentrator::setup_database() {
@@ -190,6 +216,32 @@ std::vector<net::SensorDataMessage> DataConcentrator::drain_sensor_data() {
   return out;
 }
 
+void DataConcentrator::handle_wire(const net::Message& msg) {
+  const std::optional<net::MessageType> type = net::try_peek_type(msg.payload);
+  if (!type.has_value()) return;
+  switch (*type) {
+    case net::MessageType::TestCommand:
+      if (const auto cmd = net::try_unwrap_test_command(msg.payload)) {
+        handle_command(*cmd);
+      }
+      break;
+    case net::MessageType::Ack:
+      if (const auto ack = net::try_unwrap_ack(msg.payload)) {
+        reliable_.on_ack(*ack);
+      }
+      break;
+    default:
+      break;  // not addressed to a DC
+  }
+}
+
+std::vector<DataConcentrator::WireDatagram>
+DataConcentrator::drain_wire_outbox() {
+  std::vector<WireDatagram> out;
+  out.swap(wire_outbox_);
+  return out;
+}
+
 void DataConcentrator::handle_command(const net::TestCommandMessage& command) {
   if (command.target != cfg_.id) return;  // mis-routed datagram
   switch (command.command) {
@@ -229,11 +281,81 @@ ObjectId DataConcentrator::sensed_object_for(FailureMode mode) const {
   return refs_.chiller;
 }
 
+ObjectId DataConcentrator::object_for_channel(std::string_view channel) const {
+  if (channel == "vib.motor" || channel == plant::kCurrentChannel) {
+    return refs_.motor;
+  }
+  if (channel == "vib.gearbox") return refs_.gearbox;
+  if (channel == "vib.compressor") return refs_.compressor;
+  return refs_.chiller;
+}
+
+void DataConcentrator::emit_sensor_fault(SimTime now,
+                                         const std::string& channel,
+                                         domain::SensorFaultKind kind,
+                                         bool cleared) {
+  net::FailureReport r;
+  r.dc = cfg_.id;
+  r.knowledge_source = kSensorValidator;
+  r.sensed_object = object_for_channel(channel);
+  r.machine_condition = domain::sensor_fault_condition(kind);
+  r.severity = cleared ? 0.0 : 1.0;
+  r.belief = 0.9;
+  r.explanation =
+      cleared ? channel + " validated clean; channel trusted again"
+              : domain::sensor_fault_condition_text(kind) + " on " + channel;
+  r.recommendations =
+      cleared ? "Resume normal monitoring."
+              : "Inspect transducer, cabling and DAQ channel; machinery "
+                "diagnostics from this channel are suspended.";
+  r.timestamp = now;
+  r.trace = current_trace_;
+
+  db_.table("diagnostics")
+      .insert_auto(
+          {db::Value(now.micros()),
+           db::Value(static_cast<std::int64_t>(kSensorValidator.value())),
+           db::Value(static_cast<std::int64_t>(r.sensed_object.value())),
+           db::Value(static_cast<std::int64_t>(r.machine_condition.value())),
+           db::Value(r.severity), db::Value(r.belief)});
+  if (journal_ != nullptr) {
+    journal_->record_event(now.micros(),
+                           "dc-" + std::to_string(cfg_.id.value()),
+                           (cleared ? "sensor channel restored: "
+                                    : "sensor channel quarantined: ") +
+                               channel);
+  }
+  outbox_.push_back(std::move(r));
+  ++stats_.reports_emitted;
+  ++stats_.sensor_fault_reports;
+  DcMetrics::instance().reports_emitted.inc();
+}
+
+bool DataConcentrator::validate_window(SimTime now, const std::string& channel,
+                                       std::span<const double> samples) {
+  if (!cfg_.enable_sensor_validation) return true;
+  const SensorValidator::Verdict v = validator_.check_window(channel, samples);
+  if (v.newly_quarantined) emit_sensor_fault(now, channel, *v.fault, false);
+  if (v.released && v.cleared_kind.has_value()) {
+    emit_sensor_fault(now, channel, *v.cleared_kind, true);
+  }
+  return !validator_.quarantined(channel);
+}
+
 void DataConcentrator::emit_raw(
     SimTime now, KnowledgeSourceId ks, ObjectId sensed, FailureMode mode,
     double severity, double belief, std::string explanation,
     std::string recommendation,
     const std::vector<rules::PrognosticPoint>& prognosis) {
+  // Last line of defense for the wire: an analyzer fed corrupt data must
+  // never publish a non-finite conclusion (D-S fusion at the PDME would
+  // poison every belief it touches).
+  if (!std::isfinite(severity) || !std::isfinite(belief)) {
+    static auto& nonfinite =
+        telemetry::Registry::instance().counter("rules.nonfinite_inputs");
+    nonfinite.inc();
+    return;
+  }
   // Hysteresis: unchanged conclusions are not fresh evidence.
   LastReport& last = last_reports_[{ks.value(), sensed.value(),
                                     domain::condition_id(mode).value()}];
@@ -304,6 +426,8 @@ void DataConcentrator::run_vibration_test(SimTime now) {
   chiller_.acquire_current(cfg_.current_sample_rate_hz, current_buffer_);
   stats_.samples_processed += current_buffer_.size();
   metrics.samples_processed.inc(current_buffer_.size());
+  const bool current_ok =
+      validate_window(now, plant::kCurrentChannel, current_buffer_);
 
   for (const plant::MachinePoint point :
        {plant::MachinePoint::Motor, plant::MachinePoint::Gearbox,
@@ -312,15 +436,25 @@ void DataConcentrator::run_vibration_test(SimTime now) {
     stats_.samples_processed += vib_buffer_.size();
     metrics.samples_processed.inc(vib_buffer_.size());
 
+    // Quarantined accelerometer: withhold the window; the analyzers for
+    // this point sit out the test instead of diagnosing a lying sensor.
+    if (!validate_window(now, plant::vibration_channel(point), vib_buffer_)) {
+      continue;
+    }
     if (!cfg_.enable_dli) continue;
 
     rules::FeatureFrame frame;
     extractor_.extract_vibration(vib_buffer_, cfg_.sample_rate_hz, frame);
-    if (point == plant::MachinePoint::Motor) {
+    if (point == plant::MachinePoint::Motor && current_ok) {
       extractor_.extract_current(current_buffer_,
                                  cfg_.current_sample_rate_hz, load, frame);
     }
-    for (const auto& [key, value] : process) frame.set(key, value);
+    for (const auto& [key, value] : process) {
+      if (cfg_.enable_sensor_validation && validator_.quarantined(key)) {
+        continue;  // rules abstain on the missing feature
+      }
+      frame.set(key, value);
+    }
 
     for (const rules::Diagnosis& d : dli_.evaluate(frame, beliefs_)) {
       if (!point_owns(point, d.mode)) continue;
@@ -335,7 +469,11 @@ void DataConcentrator::run_vibration_test(SimTime now) {
       ctx.shaft_hz = chiller_.signature().shaft_hz;
       ctx.load_fraction = load;
       const auto temp = process.find("process.bearing_temp_c");
-      if (temp != process.end()) ctx.bearing_temp_c = temp->second;
+      if (temp != process.end() &&
+          !(cfg_.enable_sensor_validation &&
+            validator_.quarantined(temp->first))) {
+        ctx.bearing_temp_c = temp->second;
+      }
 
       for (const rules::Diagnosis& d :
            wnn_->diagnose(vib_buffer_, cfg_.sample_rate_hz, ctx, beliefs_,
@@ -354,7 +492,27 @@ void DataConcentrator::run_process_scan(SimTime now) {
                              &metrics.process_wall_us);
   ++stats_.process_scans;
   metrics.process_scans.inc();
-  const plant::ProcessSnapshot snapshot = chiller_.process_snapshot();
+  plant::ProcessSnapshot snapshot = chiller_.process_snapshot();
+
+  // Screen every reading; quarantined keys vanish from the snapshot, so the
+  // database, the raw-data feed and every analyzer see only trusted values.
+  if (cfg_.enable_sensor_validation) {
+    for (auto it = snapshot.begin(); it != snapshot.end();) {
+      const SensorValidator::Verdict v =
+          validator_.check_value(it->first, it->second);
+      if (v.newly_quarantined) {
+        emit_sensor_fault(now, it->first, *v.fault, false);
+      }
+      if (v.released && v.cleared_kind.has_value()) {
+        emit_sensor_fault(now, it->first, *v.cleared_kind, true);
+      }
+      if (validator_.quarantined(it->first)) {
+        it = snapshot.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
 
   db::Table& measurements = db_.table("measurements");
   for (const auto& [key, value] : snapshot) {
@@ -378,7 +536,13 @@ void DataConcentrator::run_process_scan(SimTime now) {
     }
   }
 
-  if (cfg_.enable_sbfr && !sbfr_machine_mode_.empty()) {
+  // SBFR steps only when its full input vector is trusted; with any channel
+  // quarantined it holds state rather than latching on fabricated inputs.
+  bool sbfr_inputs_ok = true;
+  for (const std::string& key : sbfr_channel_keys_) {
+    sbfr_inputs_ok = sbfr_inputs_ok && snapshot.contains(key);
+  }
+  if (cfg_.enable_sbfr && !sbfr_machine_mode_.empty() && sbfr_inputs_ok) {
     const auto value = [&](const std::string& key) {
       const auto it = snapshot.find(key);
       MPROS_ASSERT(it != snapshot.end());

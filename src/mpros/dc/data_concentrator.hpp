@@ -14,14 +14,19 @@
 
 #include <map>
 #include <memory>
+#include <span>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
 #include "mpros/common/ids.hpp"
 #include "mpros/db/database.hpp"
 #include "mpros/dc/scheduler.hpp"
+#include "mpros/dc/sensor_validator.hpp"
 #include "mpros/fuzzy/chiller_fuzzy.hpp"
 #include "mpros/net/messages.hpp"
+#include "mpros/net/network.hpp"
+#include "mpros/net/reliable.hpp"
 #include "mpros/net/report.hpp"
 #include "mpros/nn/classifier.hpp"
 #include "mpros/plant/chiller.hpp"
@@ -38,6 +43,7 @@ inline constexpr KnowledgeSourceId kDliExpertSystem{1};
 inline constexpr KnowledgeSourceId kSbfr{2};
 inline constexpr KnowledgeSourceId kWaveletNeuralNet{3};
 inline constexpr KnowledgeSourceId kFuzzyLogic{4};
+inline constexpr KnowledgeSourceId kSensorValidator{5};
 
 [[nodiscard]] const char* knowledge_source_name(KnowledgeSourceId ks);
 
@@ -72,6 +78,19 @@ struct DcConfig {
   bool enable_dli = true;
   bool enable_sbfr = true;
   bool enable_fuzzy = true;
+  /// Screen every acquisition for instrument faults; quarantined channels
+  /// are withheld from the analyzers and reported as sensor faults.
+  bool enable_sensor_validation = true;
+  SensorValidatorConfig sensor_validation = chiller_validator_config();
+  /// Reliable report delivery: wrap reports in sequence-numbered envelopes,
+  /// buffer them until the PDME acks, and retransmit with backoff. Off =
+  /// legacy fire-and-forget FailureReportMsg datagrams.
+  bool reliable_delivery = true;
+  net::ReliableConfig reliable;
+  /// Cadence of the scheduler task that sweeps the retransmit buffer.
+  SimTime retransmit_sweep_period = SimTime::from_seconds(60.0);
+  /// Cadence of DC->PDME liveness heartbeats (0 disables).
+  SimTime heartbeat_period = SimTime::from_seconds(60.0);
 };
 
 class DataConcentrator {
@@ -94,6 +113,28 @@ class DataConcentrator {
 
   /// Handle a §5.8 scheduler command arriving over the network.
   void handle_command(const net::TestCommandMessage& command);
+
+  /// Dispatch any datagram from the ship's network: test commands and
+  /// (when reliable delivery is on) PDME acknowledgements. Unknown or
+  /// corrupt payloads are dropped.
+  void handle_wire(const net::Message& msg);
+
+  /// Retransmission + heartbeat payloads accumulated by the DC's scheduler
+  /// tasks since the last drain; the assembler sends them on the driver
+  /// thread at their generation timestamps.
+  struct WireDatagram {
+    SimTime at;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<WireDatagram> drain_wire_outbox();
+
+  [[nodiscard]] bool reliable_delivery() const {
+    return cfg_.reliable_delivery;
+  }
+  [[nodiscard]] net::ReliableSender& reliable() { return reliable_; }
+  [[nodiscard]] const SensorValidator& validator() const {
+    return validator_;
+  }
 
   /// Command an immediate vibration test (§5.8: "the PDME or any other
   /// client can command the scheduler to conduct another test"). Takes
@@ -118,6 +159,8 @@ class DataConcentrator {
     std::uint64_t process_scans = 0;
     std::uint64_t samples_processed = 0;
     std::uint64_t reports_emitted = 0;
+    std::uint64_t sensor_fault_reports = 0;
+    std::uint64_t heartbeats_sent = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -131,6 +174,13 @@ class DataConcentrator {
                 std::string explanation, std::string recommendation,
                 const std::vector<rules::PrognosticPoint>& prognosis);
   [[nodiscard]] ObjectId sensed_object_for(domain::FailureMode mode) const;
+  [[nodiscard]] ObjectId object_for_channel(std::string_view channel) const;
+  void emit_sensor_fault(SimTime now, const std::string& channel,
+                         domain::SensorFaultKind kind, bool cleared);
+  /// Validate one waveform acquisition; returns false when the channel is
+  /// quarantined and its data must be withheld from the analyzers.
+  bool validate_window(SimTime now, const std::string& channel,
+                       std::span<const double> samples);
   void setup_database();
   void setup_sbfr();
 
@@ -161,8 +211,11 @@ class DataConcentrator {
   telemetry::FlightRecorder* journal_ = nullptr;
   telemetry::TraceId current_trace_ = 0;  ///< stamped on emitted reports
 
+  SensorValidator validator_;
+  net::ReliableSender reliable_;
   std::vector<net::FailureReport> outbox_;
   std::vector<net::SensorDataMessage> sensor_outbox_;
+  std::vector<WireDatagram> wire_outbox_;
   std::vector<double> vib_buffer_;
   std::vector<double> current_buffer_;
   Stats stats_;

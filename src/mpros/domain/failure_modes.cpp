@@ -122,4 +122,39 @@ std::string condition_text(FailureMode m) {
   return "?";
 }
 
+const char* to_string(SensorFaultKind k) {
+  switch (k) {
+    case SensorFaultKind::Flatline: return "Flatline";
+    case SensorFaultKind::Dropout: return "Dropout";
+    case SensorFaultKind::OutOfRange: return "OutOfRange";
+    case SensorFaultKind::Spike: return "Spike";
+  }
+  return "?";
+}
+
+ConditionId sensor_fault_condition(SensorFaultKind k) {
+  return ConditionId(kSensorFaultConditionBase +
+                     static_cast<std::uint64_t>(k));
+}
+
+bool is_sensor_fault_condition(ConditionId id) {
+  return id.value() >= kSensorFaultConditionBase &&
+         id.value() < kSensorFaultConditionBase + kSensorFaultKindCount;
+}
+
+SensorFaultKind sensor_fault_kind(ConditionId id) {
+  MPROS_EXPECTS(is_sensor_fault_condition(id));
+  return static_cast<SensorFaultKind>(id.value() - kSensorFaultConditionBase);
+}
+
+std::string sensor_fault_condition_text(SensorFaultKind k) {
+  switch (k) {
+    case SensorFaultKind::Flatline: return "sensor flatline (stuck-at)";
+    case SensorFaultKind::Dropout: return "sensor dropout (non-finite data)";
+    case SensorFaultKind::OutOfRange: return "sensor reading out of range";
+    case SensorFaultKind::Spike: return "sensor spike train";
+  }
+  return "?";
+}
+
 }  // namespace mpros::domain

@@ -72,4 +72,40 @@ inline constexpr std::size_t kLogicalGroupCount = 5;
 /// e.g. "motor imbalance".
 [[nodiscard]] std::string condition_text(FailureMode m);
 
+// ---------------------------------------------------------------------------
+// Sensor-fault conditions.
+//
+// A DC that concludes "the accelerometer is lying" must not phrase that as a
+// machinery failure — feeding it to Dempster-Shafer would steal probability
+// mass from real modes. Sensor faults get their own ConditionId range,
+// disjoint from the machinery catalog, so every consumer (PDME fusion,
+// browser, report codec) can route them without ambiguity.
+
+enum class SensorFaultKind : std::uint8_t {
+  Flatline = 0,  ///< stuck-at: variance collapsed to nothing
+  Dropout,       ///< non-finite samples (open circuit / dead channel)
+  OutOfRange,    ///< readings outside physical plausibility
+  Spike,         ///< implausible isolated impulses (loose connector)
+};
+
+inline constexpr std::size_t kSensorFaultKindCount = 4;
+
+/// First ConditionId of the sensor-fault range; machinery modes occupy
+/// 1..kFailureModeCount, leaving room for catalog growth below this.
+inline constexpr std::uint64_t kSensorFaultConditionBase = 100;
+
+[[nodiscard]] const char* to_string(SensorFaultKind k);
+
+/// Stable ConditionId for a sensor-fault kind (base + enum value).
+[[nodiscard]] ConditionId sensor_fault_condition(SensorFaultKind k);
+
+/// True when `id` lies in the sensor-fault range.
+[[nodiscard]] bool is_sensor_fault_condition(ConditionId id);
+
+/// Inverse of sensor_fault_condition; aborts on out-of-range ids.
+[[nodiscard]] SensorFaultKind sensor_fault_kind(ConditionId id);
+
+/// Report-protocol text, e.g. "sensor flatline (stuck-at)".
+[[nodiscard]] std::string sensor_fault_condition_text(SensorFaultKind k);
+
 }  // namespace mpros::domain

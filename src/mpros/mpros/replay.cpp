@@ -29,6 +29,11 @@ std::optional<ReplayResult> replay_recording(
   cfg.deduplicate = dump.header.pdme_dedup;
   cfg.auto_retest = false;  // no DCs to command during replay
   pdme::PdmeExecutive pdme(model, cfg);
+  // The live assembler registers every DC with the watchdog up front; the
+  // replayed health ledger needs the same roster to match the summary.
+  for (std::size_t p = 0; p < plant_count; ++p) {
+    pdme.expect_dc(DcId(p + 1), SimTime(0));
+  }
 
   ReplayResult result;
   result.frames_seen = dump.frames.size();
@@ -39,6 +44,7 @@ std::optional<ReplayResult> replay_recording(
     }
     if (frame.to != "pdme") continue;  // DC-bound commands replay as no-ops
 
+    const SimTime delivered_at{frame.time_us};
     const auto type = net::try_peek_type(frame.payload);
     if (!type.has_value()) {
       ++result.malformed;
@@ -51,6 +57,7 @@ std::optional<ReplayResult> replay_recording(
           ++result.malformed;
           break;
         }
+        pdme.note_dc_alive(report->dc, delivered_at);
         pdme.accept(*report);
         ++result.messages_replayed;
         break;
@@ -61,12 +68,36 @@ std::optional<ReplayResult> replay_recording(
           ++result.malformed;
           break;
         }
+        pdme.note_dc_alive(data->dc, delivered_at);
         pdme.accept(*data);
         ++result.messages_replayed;
         break;
       }
+      case net::MessageType::ReportEnvelopeMsg: {
+        // Replay bypasses the reliable layer: signature dedup inside
+        // accept() absorbs recorded retransmissions of the same envelope.
+        const auto env = net::try_unwrap_envelope(frame.payload);
+        if (!env.has_value()) {
+          ++result.malformed;
+          break;
+        }
+        pdme.note_dc_alive(env->dc, delivered_at);
+        pdme.accept(env->report);
+        ++result.messages_replayed;
+        break;
+      }
+      case net::MessageType::Heartbeat: {
+        const auto hb = net::try_unwrap_heartbeat(frame.payload);
+        if (!hb.has_value()) {
+          ++result.malformed;
+          break;
+        }
+        pdme.accept(*hb, delivered_at);
+        break;
+      }
       case net::MessageType::TestCommand:
-        break;  // mis-routed; the live PDME ignored it too
+      case net::MessageType::Ack:
+        break;  // mis-routed; the live PDME ignored these too
     }
   }
 

@@ -36,7 +36,11 @@ ShipSystem::ShipSystem(ShipSystemConfig cfg)
     });
   }
 
-  pdme_ = std::make_unique<pdme::PdmeExecutive>(model_, cfg.pdme);
+  // The watchdog interval must match the cadence the DCs actually beat.
+  if (cfg_.dc_template.heartbeat_period.micros() > 0) {
+    cfg_.pdme.heartbeat_interval = cfg_.dc_template.heartbeat_period;
+  }
+  pdme_ = std::make_unique<pdme::PdmeExecutive>(model_, cfg_.pdme);
   pdme_->attach_to_network(network_);
   if (cfg.enable_fleet_analyzer) {
     resident_ = std::make_unique<pdme::FleetComparativeAnalyzer>(
@@ -62,16 +66,16 @@ ShipSystem::ShipSystem(ShipSystemConfig cfg)
         dc_cfg, refs, *plants_.back(), wnn_));
     if (recorder_) dcs_.back()->set_journal(recorder_.get());
 
-    // Each DC listens on the ship's network for §5.8 scheduler commands
-    // (handlers run on the driver thread during advance_to, when the DC's
-    // worker is idle).
+    // Each DC listens on the ship's network for §5.8 scheduler commands and
+    // PDME acknowledgements (handlers run on the driver thread during
+    // advance_to, when the DC's worker is idle).
     dc::DataConcentrator* dc_ptr = dcs_.back().get();
     network_.register_endpoint(
-        "dc-" + std::to_string(p + 1), [dc_ptr](const net::Message& msg) {
-          if (net::peek_type(msg.payload) == net::MessageType::TestCommand) {
-            dc_ptr->handle_command(net::unwrap_test_command(msg.payload));
-          }
-        });
+        "dc-" + std::to_string(p + 1),
+        [dc_ptr](const net::Message& msg) { dc_ptr->handle_wire(msg); });
+    // Register with the watchdog so a DC partitioned before its first
+    // datagram is still missed.
+    pdme_->expect_dc(DcId(p + 1), SimTime(0));
   }
 }
 
@@ -104,17 +108,28 @@ std::size_t ShipSystem::advance_to(SimTime t) {
   // schedule is deterministic; the transport then adds latency/jitter.
   for (std::size_t i = 0; i < per_dc.size(); ++i) {
     const std::string endpoint = "dc-" + std::to_string(i + 1);
+    dc::DataConcentrator& dc = *dcs_[i];
+    const bool reliable = dc.reliable_delivery();
     for (const net::FailureReport& report : per_dc[i]) {
-      network_.send(endpoint, "pdme", net::wrap(report), report.timestamp);
+      // Reliable mode seals each report in a sequence-numbered envelope and
+      // buffers it for retransmission until the PDME's cumulative ack.
+      network_.send(endpoint, "pdme",
+                    reliable
+                        ? dc.reliable().envelope(report, report.timestamp)
+                        : net::wrap(report),
+                    report.timestamp);
     }
-    for (const net::SensorDataMessage& batch :
-         dcs_[i]->drain_sensor_data()) {
+    for (const net::SensorDataMessage& batch : dc.drain_sensor_data()) {
       network_.send(endpoint, "pdme", net::wrap(batch), batch.timestamp);
+    }
+    for (dc::DataConcentrator::WireDatagram& dgram : dc.drain_wire_outbox()) {
+      network_.send(endpoint, "pdme", std::move(dgram.payload), dgram.at);
     }
   }
 
   now_ = t;
   const std::size_t delivered = network_.advance_to(now_);
+  pdme_->update_liveness(now_);
   if (resident_) {
     resident_->scan(now_);
     // Resident conclusions enter fusion directly (no wire hop needed).

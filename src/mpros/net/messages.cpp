@@ -10,6 +10,9 @@ const char* to_string(MessageType t) {
     case MessageType::FailureReportMsg: return "failure-report";
     case MessageType::SensorData: return "sensor-data";
     case MessageType::TestCommand: return "test-command";
+    case MessageType::ReportEnvelopeMsg: return "report-envelope";
+    case MessageType::Ack: return "ack";
+    case MessageType::Heartbeat: return "heartbeat";
   }
   return "?";
 }
@@ -25,6 +28,9 @@ std::optional<MessageType> try_peek_type(std::span<const std::uint8_t> bytes) {
     case MessageType::FailureReportMsg:
     case MessageType::SensorData:
     case MessageType::TestCommand:
+    case MessageType::ReportEnvelopeMsg:
+    case MessageType::Ack:
+    case MessageType::Heartbeat:
       return static_cast<MessageType>(bytes[0]);
   }
   return std::nullopt;
@@ -58,6 +64,34 @@ std::vector<std::uint8_t> wrap(const TestCommandMessage& m) {
   w.u64(m.target.value());
   w.u8(static_cast<std::uint8_t>(m.command));
   w.str(m.reason);
+  return w.take();
+}
+
+std::vector<std::uint8_t> wrap(const ReportEnvelope& m) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MessageType::ReportEnvelopeMsg));
+  w.u64(m.dc.value());
+  w.u64(m.sequence);
+  const std::vector<std::uint8_t> body = serialize(m.report);
+  std::vector<std::uint8_t> out = w.take();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> wrap(const AckMessage& m) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MessageType::Ack));
+  w.u64(m.dc.value());
+  w.u64(m.cumulative);
+  return w.take();
+}
+
+std::vector<std::uint8_t> wrap(const HeartbeatMessage& m) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MessageType::Heartbeat));
+  w.u64(m.dc.value());
+  w.i64(m.timestamp.micros());
+  w.u64(m.last_sequence);
   return w.take();
 }
 
@@ -105,6 +139,45 @@ std::optional<TestCommandMessage> try_unwrap_test_command(
   }
   m.command = static_cast<TestCommandMessage::Command>(command);
   m.reason = r.str();
+  if (!r.ok() || !r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<ReportEnvelope> try_unwrap_envelope(
+    std::span<const std::uint8_t> bytes) {
+  if (try_peek_type(bytes) != MessageType::ReportEnvelopeMsg) {
+    return std::nullopt;
+  }
+  TryReader r(bytes.subspan(1));
+  ReportEnvelope m;
+  m.dc = DcId(r.u64());
+  m.sequence = r.u64();
+  if (!r.ok() || m.sequence == 0) return std::nullopt;
+  auto report =
+      try_deserialize_report(bytes.subspan(1 + 16));  // past dc + sequence
+  if (!report.has_value()) return std::nullopt;
+  m.report = *std::move(report);
+  return m;
+}
+
+std::optional<AckMessage> try_unwrap_ack(std::span<const std::uint8_t> bytes) {
+  if (try_peek_type(bytes) != MessageType::Ack) return std::nullopt;
+  TryReader r(bytes.subspan(1));
+  AckMessage m;
+  m.dc = DcId(r.u64());
+  m.cumulative = r.u64();
+  if (!r.ok() || !r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<HeartbeatMessage> try_unwrap_heartbeat(
+    std::span<const std::uint8_t> bytes) {
+  if (try_peek_type(bytes) != MessageType::Heartbeat) return std::nullopt;
+  TryReader r(bytes.subspan(1));
+  HeartbeatMessage m;
+  m.dc = DcId(r.u64());
+  m.timestamp = SimTime(r.i64());
+  m.last_sequence = r.u64();
   if (!r.ok() || !r.done()) return std::nullopt;
   return m;
 }

@@ -30,6 +30,9 @@ enum class MessageType : std::uint8_t {
   FailureReportMsg = 1,
   SensorData = 2,
   TestCommand = 3,
+  ReportEnvelopeMsg = 4,
+  Ack = 5,
+  Heartbeat = 6,
 };
 
 [[nodiscard]] const char* to_string(MessageType t);
@@ -43,6 +46,39 @@ struct SensorDataMessage {
 
   friend bool operator==(const SensorDataMessage&,
                          const SensorDataMessage&) = default;
+};
+
+/// A sequence-numbered failure-report envelope: the unit of reliable
+/// delivery. Sequences are per-DC and start at 1; the PDME detects stream
+/// gaps from them and acknowledges cumulatively.
+struct ReportEnvelope {
+  DcId dc;
+  std::uint64_t sequence = 0;
+  FailureReport report;
+
+  friend bool operator==(const ReportEnvelope&,
+                         const ReportEnvelope&) = default;
+};
+
+/// Cumulative acknowledgement from the PDME back to one DC: every envelope
+/// with sequence <= `cumulative` has been applied (or deduplicated).
+struct AckMessage {
+  DcId dc;                       ///< the DC whose report stream is acked
+  std::uint64_t cumulative = 0;
+
+  friend bool operator==(const AckMessage&, const AckMessage&) = default;
+};
+
+/// Periodic DC liveness beacon. `last_sequence` advertises the newest
+/// report sequence the DC has sent, so the PDME can spot tail loss (a gap
+/// with no later report to reveal it).
+struct HeartbeatMessage {
+  DcId dc;
+  SimTime timestamp;
+  std::uint64_t last_sequence = 0;
+
+  friend bool operator==(const HeartbeatMessage&,
+                         const HeartbeatMessage&) = default;
 };
 
 /// A command to a Data Concentrator's scheduler.
@@ -68,6 +104,9 @@ struct TestCommandMessage {
 [[nodiscard]] std::vector<std::uint8_t> wrap(const FailureReport& r);
 [[nodiscard]] std::vector<std::uint8_t> wrap(const SensorDataMessage& m);
 [[nodiscard]] std::vector<std::uint8_t> wrap(const TestCommandMessage& m);
+[[nodiscard]] std::vector<std::uint8_t> wrap(const ReportEnvelope& m);
+[[nodiscard]] std::vector<std::uint8_t> wrap(const AckMessage& m);
+[[nodiscard]] std::vector<std::uint8_t> wrap(const HeartbeatMessage& m);
 
 // Decoders: the payload's type byte must match (checked).
 [[nodiscard]] FailureReport unwrap_report(std::span<const std::uint8_t> bytes);
@@ -83,6 +122,12 @@ struct TestCommandMessage {
 [[nodiscard]] std::optional<SensorDataMessage> try_unwrap_sensor_data(
     std::span<const std::uint8_t> bytes);
 [[nodiscard]] std::optional<TestCommandMessage> try_unwrap_test_command(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<ReportEnvelope> try_unwrap_envelope(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<AckMessage> try_unwrap_ack(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<HeartbeatMessage> try_unwrap_heartbeat(
     std::span<const std::uint8_t> bytes);
 
 }  // namespace mpros::net

@@ -1,6 +1,9 @@
 #include "mpros/net/network.hpp"
 
+#include <algorithm>
+
 #include "mpros/common/assert.hpp"
+#include "mpros/common/log.hpp"
 #include "mpros/telemetry/metrics.hpp"
 
 namespace mpros::net {
@@ -15,6 +18,7 @@ struct NetMetrics {
   telemetry::Counter& dropped;
   telemetry::Counter& duplicated;
   telemetry::Counter& dead_lettered;
+  telemetry::Counter& outage_dropped;
   telemetry::Histogram& transit_latency_us;
 
   static NetMetrics& get() {
@@ -25,6 +29,7 @@ struct NetMetrics {
         telemetry::Registry::instance().counter("net.dropped"),
         telemetry::Registry::instance().counter("net.duplicated"),
         telemetry::Registry::instance().counter("net.dead_lettered"),
+        telemetry::Registry::instance().counter("net.outage_dropped"),
         telemetry::Registry::instance().histogram("net.transit_latency_us"),
     };
     return m;
@@ -55,6 +60,28 @@ void SimNetwork::set_delivery_tap(Handler tap) {
   tap_ = std::move(tap);
 }
 
+void SimNetwork::schedule_outage(Outage outage) {
+  MPROS_EXPECTS(outage.from < outage.to);
+  MPROS_EXPECTS(outage.drop_probability >= 0.0 &&
+                outage.drop_probability <= 1.0);
+  std::lock_guard lock(mu_);
+  outages_.push_back(std::move(outage));
+}
+
+double SimNetwork::drop_probability_at(const std::string& from,
+                                       const std::string& to,
+                                       SimTime now) const {
+  double p = cfg_.drop_probability;
+  for (const Outage& o : outages_) {
+    if (now < o.from || now >= o.to) continue;
+    if (!o.endpoint.empty() && o.endpoint != from && o.endpoint != to) {
+      continue;
+    }
+    p = std::max(p, o.drop_probability);
+  }
+  return p;
+}
+
 void SimNetwork::send(const std::string& from, const std::string& to,
                       std::vector<std::uint8_t> payload, SimTime now) {
   NetMetrics& metrics = NetMetrics::get();
@@ -64,9 +91,16 @@ void SimNetwork::send(const std::string& from, const std::string& to,
   std::lock_guard lock(mu_);
   ++stats_.sent;
 
-  if (rng_.bernoulli(cfg_.drop_probability)) {
+  // A hard partition drops without touching the RNG, so scripting one does
+  // not perturb the loss/jitter draws of unaffected traffic.
+  const double drop_p = drop_probability_at(from, to, now);
+  if (drop_p >= 1.0 || rng_.bernoulli(drop_p)) {
     ++stats_.dropped;
     metrics.dropped.inc();
+    if (drop_p > cfg_.drop_probability) {
+      ++stats_.outage_dropped;
+      metrics.outage_dropped.inc();
+    }
     return;
   }
 
@@ -103,6 +137,10 @@ std::size_t SimNetwork::deliver_due(SimTime now, bool everything) {
       if (it == endpoints_.end()) {
         ++stats_.dead_lettered;
         metrics.dead_lettered.inc();
+        MPROS_LOG_WARN("net",
+                       "dead-lettered %zu-byte datagram %s -> %s "
+                       "(no such endpoint)",
+                       msg.payload.size(), msg.from.c_str(), msg.to.c_str());
         continue;
       }
       handler = it->second;  // copy so the handler runs unlocked

@@ -41,9 +41,22 @@ struct NetworkConfig {
 struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
-  std::uint64_t dropped = 0;
+  std::uint64_t dropped = 0;        ///< total, including outage drops
   std::uint64_t duplicated = 0;
   std::uint64_t dead_lettered = 0;  ///< destination never registered
+  std::uint64_t outage_dropped = 0; ///< subset of dropped due to outages
+};
+
+/// A scripted degradation window: while `from <= send time < to`, traffic
+/// touching `endpoint` (as source or destination; empty = all traffic)
+/// drops with `drop_probability`. Probability 1 is a hard partition;
+/// anything lower is a burst-loss window. Loss is decided at send time, so
+/// a given seed always yields the same delivery trace.
+struct Outage {
+  std::string endpoint;
+  SimTime from;
+  SimTime to;
+  double drop_probability = 1.0;
 };
 
 class SimNetwork {
@@ -65,6 +78,10 @@ class SimNetwork {
   /// (deterministic given the seed and send order).
   void send(const std::string& from, const std::string& to,
             std::vector<std::uint8_t> payload, SimTime now);
+
+  /// Script a partition or burst-loss window. Windows may overlap; the
+  /// worst (highest) active drop probability wins.
+  void schedule_outage(Outage outage);
 
   /// Deliver everything due at or before `now`, in delivery-time order.
   /// Returns the number of messages delivered.
@@ -92,9 +109,14 @@ class SimNetwork {
   void enqueue_locked(Message msg, SimTime deliver_at);
   std::size_t deliver_due(SimTime now, bool everything);
 
+  [[nodiscard]] double drop_probability_at(const std::string& from,
+                                           const std::string& to,
+                                           SimTime now) const;
+
   mutable std::mutex mu_;
   NetworkConfig cfg_;
   Rng rng_;
+  std::vector<Outage> outages_;
   Handler tap_;
   std::map<std::string, Handler> endpoints_;
   std::priority_queue<Pending, std::vector<Pending>, Later> queue_;

@@ -1,0 +1,163 @@
+#include "mpros/net/reliable.hpp"
+
+#include <algorithm>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/common/log.hpp"
+#include "mpros/telemetry/metrics.hpp"
+
+namespace mpros::net {
+
+namespace {
+
+struct ReliableMetrics {
+  telemetry::Counter& envelopes_sent;
+  telemetry::Counter& retransmits;
+  telemetry::Counter& retransmit_overflow;
+
+  static ReliableMetrics& get() {
+    static auto& reg = telemetry::Registry::instance();
+    static ReliableMetrics m{
+        reg.counter("net.envelopes_sent"),
+        reg.counter("net.retransmits"),
+        reg.counter("net.retransmit_overflow"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+ReliableSender::ReliableSender(DcId dc, ReliableConfig cfg)
+    : dc_(dc), cfg_(cfg) {
+  MPROS_EXPECTS(cfg.buffer_limit >= 1);
+  MPROS_EXPECTS(cfg.backoff >= 1.0);
+  MPROS_EXPECTS(cfg.initial_rto.micros() > 0);
+}
+
+std::vector<std::uint8_t> ReliableSender::envelope(
+    const FailureReport& report, SimTime now) {
+  std::lock_guard lock(mu_);
+  ReportEnvelope env;
+  env.dc = dc_;
+  env.sequence = next_sequence_++;
+  env.report = report;
+  std::vector<std::uint8_t> payload = wrap(env);
+
+  if (window_.size() >= cfg_.buffer_limit) {
+    MPROS_LOG_WARN("net",
+                   "dc-%llu retransmit buffer full; dropping seq=%llu unacked",
+                   static_cast<unsigned long long>(dc_.value()),
+                   static_cast<unsigned long long>(window_.front().sequence));
+    window_.pop_front();
+    ++stats_.overflow_dropped;
+    ReliableMetrics::get().retransmit_overflow.inc();
+  }
+  window_.push_back(Entry{env.sequence, payload, now + cfg_.initial_rto,
+                          cfg_.initial_rto});
+  ++stats_.enveloped;
+  ReliableMetrics::get().envelopes_sent.inc();
+  return payload;
+}
+
+void ReliableSender::on_ack(const AckMessage& ack) {
+  if (ack.dc != dc_) return;  // mis-routed datagram
+  std::lock_guard lock(mu_);
+  while (!window_.empty() && window_.front().sequence <= ack.cumulative) {
+    window_.pop_front();
+    ++stats_.acked;
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> ReliableSender::due_retransmits(
+    SimTime now) {
+  std::lock_guard lock(mu_);
+  std::vector<std::vector<std::uint8_t>> due;
+  for (Entry& e : window_) {
+    if (now < e.next_retry) continue;
+    due.push_back(e.payload);
+    e.rto = std::min(cfg_.max_rto,
+                     SimTime(static_cast<std::int64_t>(
+                         static_cast<double>(e.rto.micros()) * cfg_.backoff)));
+    e.next_retry = now + e.rto;
+    ++stats_.retransmits;
+  }
+  if (!due.empty()) {
+    ReliableMetrics::get().retransmits.inc(due.size());
+  }
+  return due;
+}
+
+std::uint64_t ReliableSender::last_sequence() const {
+  std::lock_guard lock(mu_);
+  return next_sequence_ - 1;
+}
+
+std::size_t ReliableSender::unacked() const {
+  std::lock_guard lock(mu_);
+  return window_.size();
+}
+
+ReliableSender::Stats ReliableSender::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+ReliableReceiver::Outcome ReliableReceiver::on_envelope(
+    DcId dc, std::uint64_t sequence) {
+  MPROS_EXPECTS(sequence >= 1);
+  Stream& s = streams_[dc.value()];
+  Outcome out;
+
+  if (sequence <= s.contiguous || s.pending.contains(sequence)) {
+    out.duplicate = true;
+    ++stats_.duplicates;
+  } else {
+    if (sequence > s.max_known) {
+      // Everything between the old horizon and this arrival is missing.
+      out.new_gaps = sequence - std::max(s.max_known, s.contiguous) - 1;
+      s.max_known = sequence;
+    } else {
+      // A known-missing sequence arrived: one gap healed.
+      ++stats_.gaps_healed;
+    }
+    stats_.gaps_detected += out.new_gaps;
+    ++stats_.accepted;
+    s.pending.insert(sequence);
+    while (!s.pending.empty() && *s.pending.begin() == s.contiguous + 1) {
+      ++s.contiguous;
+      s.pending.erase(s.pending.begin());
+    }
+  }
+
+  out.ack.dc = dc;
+  out.ack.cumulative = s.contiguous;
+  return out;
+}
+
+std::uint64_t ReliableReceiver::on_advertised(DcId dc,
+                                              std::uint64_t last_sequence) {
+  Stream& s = streams_[dc.value()];
+  if (last_sequence <= s.max_known) return 0;
+  const std::uint64_t newly_missing =
+      last_sequence - std::max(s.max_known, s.contiguous);
+  s.max_known = last_sequence;
+  stats_.gaps_detected += newly_missing;
+  return newly_missing;
+}
+
+std::uint64_t ReliableReceiver::cumulative(DcId dc) const {
+  const auto it = streams_.find(dc.value());
+  return it == streams_.end() ? 0 : it->second.contiguous;
+}
+
+std::uint64_t ReliableReceiver::open_gaps(DcId dc) const {
+  const auto it = streams_.find(dc.value());
+  if (it == streams_.end()) return 0;
+  const Stream& s = it->second;
+  // Missing = everything the DC is known to have sent, minus everything
+  // received (the contiguous prefix plus the out-of-order pending set).
+  return s.max_known - s.contiguous - s.pending.size();
+}
+
+}  // namespace mpros::net

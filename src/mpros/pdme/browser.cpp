@@ -12,8 +12,21 @@ const char* source_name(std::uint64_t ks) {
     case 2: return "SBFR";
     case 3: return "Wavelet Neural Net";
     case 4: return "Fuzzy Logic";
+    case 5: return "Sensor Validator";
     default: return "External";
   }
+}
+
+/// Condition text that survives sensor-fault and unknown ids (the report
+/// list must render whatever arrived, not abort on it).
+std::string condition_label(ConditionId id) {
+  if (domain::is_sensor_fault_condition(id)) {
+    return domain::sensor_fault_condition_text(domain::sensor_fault_kind(id));
+  }
+  if (id.valid() && id.value() <= domain::kFailureModeCount) {
+    return domain::condition_text(domain::failure_mode(id));
+  }
+  return "condition " + std::to_string(id.value());
 }
 
 std::string ttf_text(const std::optional<SimTime>& t) {
@@ -48,11 +61,10 @@ std::string render_machine(const PdmeExecutive& pdme,
   append_line(out, "%-22s %-26s %8s %7s  %s", "Source", "Condition",
               "Severity", "Belief", "Effective");
   for (const net::FailureReport& r : reports) {
-    const auto mode = domain::failure_mode(r.machine_condition);
     append_line(out, "%-22s %-26s %8.2f %7.2f  %s",
                 source_name(r.knowledge_source.value()),
-                domain::condition_text(mode).c_str(), r.severity, r.belief,
-                to_string(r.timestamp).c_str());
+                condition_label(r.machine_condition).c_str(), r.severity,
+                r.belief, to_string(r.timestamp).c_str());
   }
   append_line(out, "");
   append_line(out, "--- Fused condition groups (Knowledge Fusion) ---");
@@ -101,6 +113,38 @@ std::string render_summary(const PdmeExecutive& pdme,
     append_line(out, "%-28s %-28s %8.3f %8.2f %10s", machine_name.c_str(),
                 domain::condition_text(item.mode).c_str(), item.fused_belief,
                 item.max_severity, ttf_text(item.median_ttf).c_str());
+  }
+
+  // §3.1's list is only as fresh as the streams feeding it; surface every
+  // machinery space the watchdog has doubts about, and every instrument
+  // channel currently quarantined, right on the operator's summary page.
+  const auto& health = pdme.dc_health();
+  if (!health.empty()) {
+    append_line(out, "");
+    append_line(out, "--- Data Concentrator health ---");
+    for (const auto& [dc, h] : health) {
+      if (h.liveness == DcLiveness::Alive) {
+        append_line(out, "dc-%llu  %-5s  last data %s  heartbeats=%llu",
+                    static_cast<unsigned long long>(dc),
+                    to_string(h.liveness), to_string(h.last_heard).c_str(),
+                    static_cast<unsigned long long>(h.heartbeats));
+      } else {
+        append_line(out, "dc-%llu  %-5s  NO DATA since %s",
+                    static_cast<unsigned long long>(dc),
+                    to_string(h.liveness), to_string(h.last_heard).c_str());
+      }
+    }
+  }
+  const auto faults = pdme.sensor_faults();
+  if (!faults.empty()) {
+    append_line(out, "");
+    append_line(out, "--- Quarantined sensor channels ---");
+    for (const auto& f : faults) {
+      append_line(out, "dc-%llu  %-12s since %s  %s",
+                  static_cast<unsigned long long>(f.dc.value()),
+                  domain::to_string(f.kind), to_string(f.at).c_str(),
+                  f.explanation.c_str());
+    }
   }
   return out;
 }

@@ -21,6 +21,9 @@ struct PdmeMetrics {
   telemetry::Counter& duplicates_dropped;
   telemetry::Counter& malformed_dropped;
   telemetry::Counter& fusion_updates;
+  telemetry::Counter& gaps_detected;
+  telemetry::Counter& heartbeats_received;
+  telemetry::Counter& sensor_fault_reports;
   telemetry::Histogram& fuse_wall_us;
   telemetry::Histogram& report_pipeline_latency_us;
 
@@ -31,6 +34,9 @@ struct PdmeMetrics {
         reg.counter("pdme.duplicates_dropped"),
         reg.counter("pdme.malformed_dropped"),
         reg.counter("pdme.fusion_updates"),
+        reg.counter("pdme.gaps_detected"),
+        reg.counter("pdme.heartbeats_received"),
+        reg.counter("pdme.sensor_fault_reports"),
         reg.histogram("pdme.fuse_wall_us"),
         reg.histogram("pdme.report_pipeline_latency_us")};
     return m;
@@ -75,6 +81,15 @@ fusion::PrognosticVector to_vector(
 }
 
 }  // namespace
+
+const char* to_string(DcLiveness liveness) {
+  switch (liveness) {
+    case DcLiveness::Alive: return "Alive";
+    case DcLiveness::Stale: return "Stale";
+    case DcLiveness::Lost: return "Lost";
+  }
+  return "?";
+}
 
 PdmeExecutive::PdmeExecutive(oosm::ObjectModel& model, PdmeConfig cfg)
     : model_(model), cfg_(cfg) {
@@ -215,6 +230,12 @@ std::size_t PdmeExecutive::rebuild_from_model() {
 
 void PdmeExecutive::fuse(const net::FailureReport& r) {
   PdmeMetrics& metrics = PdmeMetrics::instance();
+  // Sensor-fault conclusions get their own track: fusing "the sensor lies"
+  // into Dempster-Shafer would steal mass from real machinery modes.
+  if (domain::is_sensor_fault_condition(r.machine_condition)) {
+    note_sensor_fault(r);
+    return;
+  }
   if (!r.machine_condition.valid() ||
       r.machine_condition.value() > domain::kFailureModeCount) {
     ++stats_.malformed_dropped;
@@ -251,6 +272,104 @@ void PdmeExecutive::fuse(const net::FailureReport& r) {
                   domain::to_string(mode),
                   static_cast<unsigned long long>(r.sensed_object.value()),
                   r.belief);
+}
+
+void PdmeExecutive::note_sensor_fault(const net::FailureReport& r) {
+  PdmeMetrics& metrics = PdmeMetrics::instance();
+  ++stats_.reports_accepted;
+  metrics.reports_accepted.inc();
+  ++stats_.sensor_fault_reports;
+  metrics.sensor_fault_reports.inc();
+  reports_[r.sensed_object.value()].push_back(r);
+
+  const domain::SensorFaultKind kind =
+      domain::sensor_fault_kind(r.machine_condition);
+  SensorFaultRecord& rec = sensor_faults_[{
+      r.dc.value(), r.sensed_object.value(),
+      static_cast<std::uint64_t>(kind)}];
+  if (rec.at.micros() > r.timestamp.micros()) return;  // stale arrival
+  rec.dc = r.dc;
+  rec.object = r.sensed_object;
+  rec.kind = kind;
+  rec.severity = r.severity;
+  rec.at = r.timestamp;
+  rec.explanation = r.explanation;
+  if (r.severity > 0.0) {
+    MPROS_LOG_WARN("pdme", "sensor fault from dc-%llu: %s",
+                   static_cast<unsigned long long>(r.dc.value()),
+                   r.explanation.c_str());
+  }
+}
+
+std::vector<PdmeExecutive::SensorFaultRecord> PdmeExecutive::sensor_faults(
+    bool active_only) const {
+  std::vector<SensorFaultRecord> out;
+  for (const auto& [key, rec] : sensor_faults_) {
+    if (!active_only || rec.severity > 0.0) out.push_back(rec);
+  }
+  return out;
+}
+
+void PdmeExecutive::expect_dc(DcId dc, SimTime since) {
+  DcHealth& h = dc_health_[dc.value()];
+  h.last_heard = std::max(h.last_heard, since);
+}
+
+void PdmeExecutive::note_dc_alive(DcId dc, SimTime at) {
+  DcHealth& h = dc_health_[dc.value()];
+  h.last_heard = std::max(h.last_heard, at);
+  if (h.liveness != DcLiveness::Alive) {
+    MPROS_LOG_INFO("pdme", "dc-%llu recovered (%s -> Alive)",
+                   static_cast<unsigned long long>(dc.value()),
+                   to_string(h.liveness));
+    h.liveness = DcLiveness::Alive;
+    ++stats_.liveness_transitions;
+  }
+}
+
+void PdmeExecutive::accept(const net::HeartbeatMessage& hb, SimTime at) {
+  PdmeMetrics& metrics = PdmeMetrics::instance();
+  note_dc_alive(hb.dc, at);
+  ++stats_.heartbeats_received;
+  metrics.heartbeats_received.inc();
+  ++dc_health_[hb.dc.value()].heartbeats;
+  // The advertised newest sequence reveals tail loss: gaps with no later
+  // envelope arrival to expose them.
+  const std::uint64_t tail_gaps =
+      receiver_.on_advertised(hb.dc, hb.last_sequence);
+  stats_.gaps_detected += tail_gaps;
+  if (tail_gaps > 0) metrics.gaps_detected.inc(tail_gaps);
+}
+
+void PdmeExecutive::update_liveness(SimTime now) {
+  MPROS_EXPECTS(cfg_.heartbeat_interval.micros() > 0);
+  for (auto& [dc, h] : dc_health_) {
+    const SimTime silent = now - h.last_heard;
+    const auto missed = static_cast<std::size_t>(
+        silent.micros() / cfg_.heartbeat_interval.micros());
+    DcLiveness verdict = DcLiveness::Alive;
+    if (missed >= cfg_.lost_after_missed) {
+      verdict = DcLiveness::Lost;
+    } else if (missed >= cfg_.stale_after_missed) {
+      verdict = DcLiveness::Stale;
+    }
+    if (verdict != h.liveness) {
+      // Watchdog only degrades; note_dc_alive handles recovery.
+      if (verdict > h.liveness) {
+        MPROS_LOG_WARN(
+            "pdme", "dc-%llu %s -> %s: no data for %.0f s (%zu intervals)",
+            static_cast<unsigned long long>(dc), to_string(h.liveness),
+            to_string(verdict), silent.seconds(), missed);
+        h.liveness = verdict;
+        ++stats_.liveness_transitions;
+      }
+    }
+  }
+}
+
+DcLiveness PdmeExecutive::dc_liveness(DcId dc) const {
+  const auto it = dc_health_.find(dc.value());
+  return it == dc_health_.end() ? DcLiveness::Alive : it->second.liveness;
 }
 
 std::vector<MaintenanceItem> PdmeExecutive::prioritized_list() const {
@@ -357,7 +476,54 @@ void PdmeExecutive::attach_to_network(net::SimNetwork& network,
             transit.set_sim_end(message.delivered_at.micros());
             metrics.report_pipeline_latency_us.observe(static_cast<double>(
                 (message.delivered_at - report->timestamp).micros()));
+            note_dc_alive(report->dc, message.delivered_at);
             accept(*report);
+            break;
+          }
+          case net::MessageType::ReportEnvelopeMsg: {
+            const auto env = net::try_unwrap_envelope(message.payload);
+            if (!env.has_value()) {
+              ++stats_.malformed_dropped;
+              metrics.malformed_dropped.inc();
+              return;
+            }
+            note_dc_alive(env->dc, message.delivered_at);
+            const net::ReliableReceiver::Outcome outcome =
+                receiver_.on_envelope(env->dc, env->sequence);
+            stats_.gaps_detected += outcome.new_gaps;
+            if (outcome.new_gaps > 0) {
+              metrics.gaps_detected.inc(outcome.new_gaps);
+            }
+            // Ack everything, duplicates included — the retransmission may
+            // mean our previous ack was the datagram that got lost.
+            if (network_ != nullptr) {
+              network_->send(endpoint_name_,
+                             "dc-" + std::to_string(env->dc.value()),
+                             net::wrap(outcome.ack), message.delivered_at);
+              ++stats_.acks_sent;
+            }
+            if (outcome.duplicate) {
+              ++stats_.duplicates_dropped;
+              metrics.duplicates_dropped.inc();
+              return;
+            }
+            ++stats_.envelopes_accepted;
+            telemetry::StageTimer transit("net.transit", env->report.trace,
+                                          message.sent_at.micros());
+            transit.set_sim_end(message.delivered_at.micros());
+            metrics.report_pipeline_latency_us.observe(static_cast<double>(
+                (message.delivered_at - env->report.timestamp).micros()));
+            accept(env->report);
+            break;
+          }
+          case net::MessageType::Heartbeat: {
+            const auto hb = net::try_unwrap_heartbeat(message.payload);
+            if (!hb.has_value()) {
+              ++stats_.malformed_dropped;
+              metrics.malformed_dropped.inc();
+              return;
+            }
+            accept(*hb, message.delivered_at);
             break;
           }
           case net::MessageType::SensorData: {
@@ -367,11 +533,13 @@ void PdmeExecutive::attach_to_network(net::SimNetwork& network,
               metrics.malformed_dropped.inc();
               return;
             }
+            note_dc_alive(data->dc, message.delivered_at);
             accept(*data);
             break;
           }
           case net::MessageType::TestCommand:
-            break;  // commands address DCs, not the PDME
+          case net::MessageType::Ack:
+            break;  // these address DCs, not the PDME
         }
       });
 }

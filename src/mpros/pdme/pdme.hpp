@@ -18,6 +18,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "mpros/fusion/diagnostic_fusion.hpp"
@@ -25,6 +26,7 @@
 #include "mpros/fusion/trend.hpp"
 #include "mpros/net/messages.hpp"
 #include "mpros/net/network.hpp"
+#include "mpros/net/reliable.hpp"
 #include "mpros/net/report.hpp"
 #include "mpros/oosm/object_model.hpp"
 
@@ -61,6 +63,26 @@ struct PdmeConfig {
   double retest_severity = 0.70;
   double retest_unknown = 0.20;
   SimTime retest_backoff = SimTime::from_hours(1.0);
+
+  /// DC liveness supervision: the watchdog interval the DCs are expected to
+  /// beat (matches DcConfig::heartbeat_period in the assembled system). A
+  /// machinery space silent for `stale_after_missed` intervals is Stale,
+  /// for `lost_after_missed` intervals Lost. Any report, heartbeat or
+  /// sensor batch from the DC restores Alive.
+  SimTime heartbeat_interval = SimTime::from_seconds(60.0);
+  std::size_t stale_after_missed = 2;
+  std::size_t lost_after_missed = 3;
+};
+
+/// Watchdog verdict on one DC's report stream.
+enum class DcLiveness : std::uint8_t { Alive = 0, Stale, Lost };
+
+[[nodiscard]] const char* to_string(DcLiveness liveness);
+
+struct DcHealth {
+  DcLiveness liveness = DcLiveness::Alive;
+  SimTime last_heard;           ///< newest report/heartbeat/sensor arrival
+  std::uint64_t heartbeats = 0;
 };
 
 class PdmeExecutive {
@@ -84,10 +106,54 @@ class PdmeExecutive {
   /// subscribe to the resulting OOSM events).
   void accept(const net::SensorDataMessage& data);
 
+  /// Post a DC liveness beacon delivered at `at`: refreshes the watchdog,
+  /// counts the beat, and checks the advertised tail sequence for loss the
+  /// envelope stream alone cannot reveal. Replay uses this to rebuild the
+  /// live run's DC-health ledger from recorded frames.
+  void accept(const net::HeartbeatMessage& hb, SimTime at);
+
+  /// Record that any datagram from `dc` arrived at `at` (restores a
+  /// Stale/Lost DC to Alive). The network adapter calls this for every
+  /// well-formed arrival; replay calls it per recorded frame.
+  void note_dc_alive(DcId dc, SimTime at);
+
   /// Wire adapter: register this executive as the "pdme" endpoint on the
   /// simulated ship network. Malformed payloads are counted, not fatal.
   void attach_to_network(net::SimNetwork& network,
                          const std::string& endpoint_name = "pdme");
+
+  /// Declare a DC the watchdog must supervise from `since` on; without
+  /// this, a DC partitioned before its first datagram would never be
+  /// missed. The assembler registers every DC at construction.
+  void expect_dc(DcId dc, SimTime since);
+
+  /// Run the liveness watchdog at `now`: DCs silent past the configured
+  /// missed-interval thresholds transition to Stale/Lost (logged).
+  void update_liveness(SimTime now);
+
+  [[nodiscard]] DcLiveness dc_liveness(DcId dc) const;
+  [[nodiscard]] const std::map<std::uint64_t, DcHealth>& dc_health() const {
+    return dc_health_;
+  }
+
+  /// Per-DC reliable-stream state (gap bookkeeping, cumulative acks).
+  [[nodiscard]] const net::ReliableReceiver& receiver() const {
+    return receiver_;
+  }
+
+  /// The latest word on each instrument channel the validators flagged:
+  /// severity > 0 = fault standing, 0 = cleared. Keyed by
+  /// (dc, sensed object, fault kind); newest report wins.
+  struct SensorFaultRecord {
+    DcId dc;
+    ObjectId object;
+    domain::SensorFaultKind kind{};
+    double severity = 0.0;
+    SimTime at;
+    std::string explanation;
+  };
+  [[nodiscard]] std::vector<SensorFaultRecord> sensor_faults(
+      bool active_only = true) const;
 
   /// The prioritized list (§3.1), most urgent first.
   [[nodiscard]] std::vector<MaintenanceItem> prioritized_list() const;
@@ -121,6 +187,12 @@ class PdmeExecutive {
     std::uint64_t fusion_updates = 0;
     std::uint64_t sensor_batches = 0;
     std::uint64_t retests_commanded = 0;
+    std::uint64_t envelopes_accepted = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t gaps_detected = 0;
+    std::uint64_t heartbeats_received = 0;
+    std::uint64_t sensor_fault_reports = 0;
+    std::uint64_t liveness_transitions = 0;  ///< Alive<->Stale<->Lost edges
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -153,6 +225,7 @@ class PdmeExecutive {
   void on_oosm_event(const oosm::OosmEvent& event);
   [[nodiscard]] net::FailureReport reconstruct_report(ObjectId object) const;
   void fuse(const net::FailureReport& report);
+  void note_sensor_fault(const net::FailureReport& report);
   void maybe_command_retest(const net::FailureReport& report);
   [[nodiscard]] std::string signature_of(const net::FailureReport& r) const;
   ObjectId post_report_object(const net::FailureReport& report);
@@ -169,6 +242,11 @@ class PdmeExecutive {
   std::map<ModeKey, ModeTrack> tracks_;
   std::map<std::uint64_t, std::vector<net::FailureReport>> reports_;
   std::set<std::string> seen_signatures_;
+  net::ReliableReceiver receiver_;
+  std::map<std::uint64_t, DcHealth> dc_health_;  // by DcId value
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+           SensorFaultRecord>
+      sensor_faults_;  // (dc, object, kind) -> latest word
   Stats stats_;
 };
 

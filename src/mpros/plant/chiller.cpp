@@ -8,6 +8,7 @@ namespace mpros::plant {
 
 ChillerSimulator::ChillerSimulator(ChillerConfig cfg)
     : cfg_(cfg),
+      sensor_faults_(splitmix64(cfg.seed ^ 0x33)),
       process_(cfg.nominals, splitmix64(cfg.seed ^ 0x11)),
       vibration_(cfg.signature, splitmix64(cfg.seed ^ 0x22)) {}
 
@@ -55,16 +56,22 @@ void ChillerSimulator::acquire_vibration_at(MachinePoint point,
   vibration_.acceleration(point, faults_.all_at(clock_.now()),
                           cfg_.load_fraction, t0_seconds, sample_rate_hz,
                           out);
+  sensor_faults_.corrupt_window(vibration_channel(point), clock_.now(), out);
 }
 
 void ChillerSimulator::acquire_current(double sample_rate_hz,
                                        std::span<double> out) {
   vibration_.motor_current(faults_.all_at(clock_.now()), cfg_.load_fraction,
                            clock_.now().seconds(), sample_rate_hz, out);
+  sensor_faults_.corrupt_window(kCurrentChannel, clock_.now(), out);
 }
 
 ProcessSnapshot ChillerSimulator::process_snapshot() {
-  return process_.snapshot();
+  ProcessSnapshot snap = process_.snapshot();
+  for (auto& [key, value] : snap) {
+    value = sensor_faults_.corrupt_value(key, clock_.now(), value);
+  }
+  return snap;
 }
 
 }  // namespace mpros::plant

@@ -12,6 +12,7 @@
 #include "mpros/common/clock.hpp"
 #include "mpros/plant/faults.hpp"
 #include "mpros/plant/process.hpp"
+#include "mpros/plant/sensor_faults.hpp"
 #include "mpros/plant/vibration.hpp"
 
 namespace mpros::plant {
@@ -30,6 +31,13 @@ class ChillerSimulator {
   /// Fault schedule (mutable: scenarios add events any time).
   [[nodiscard]] FaultInjector& faults() { return faults_; }
   [[nodiscard]] const FaultInjector& faults() const { return faults_; }
+
+  /// Instrumentation faults (the sensor lies, the machine is fine).
+  /// Acquisitions and snapshots are corrupted after synthesis.
+  [[nodiscard]] SensorFaultInjector& sensor_faults() { return sensor_faults_; }
+  [[nodiscard]] const SensorFaultInjector& sensor_faults() const {
+    return sensor_faults_;
+  }
 
   void set_load(double fraction) { cfg_.load_fraction = fraction; }
   [[nodiscard]] double load() const { return cfg_.load_fraction; }
@@ -79,6 +87,7 @@ class ChillerSimulator {
   std::vector<LoadSetpoint> load_schedule_;
   SimClock clock_;
   FaultInjector faults_;
+  SensorFaultInjector sensor_faults_;
   ProcessModel process_;
   VibrationSynthesizer vibration_;
 };

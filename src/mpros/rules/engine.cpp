@@ -17,7 +17,9 @@ std::optional<double> clause_evidence(const Clause& clause,
     }
   }
   const auto value = frame.maybe(clause.feature);
-  if (!value) return std::nullopt;
+  // Abstain on non-finite evidence too: FeatureFrame::set refuses NaN/Inf,
+  // but frames can be built by external callers with their own ingest.
+  if (!value || !std::isfinite(*value)) return std::nullopt;
 
   const double span = clause.alarm - clause.warn;
   MPROS_ASSERT(span != 0.0);

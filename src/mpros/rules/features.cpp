@@ -8,8 +8,19 @@
 #include "mpros/dsp/fft.hpp"
 #include "mpros/dsp/spectrum.hpp"
 #include "mpros/dsp/stats.hpp"
+#include "mpros/telemetry/metrics.hpp"
 
 namespace mpros::rules {
+
+void FeatureFrame::set(std::string key, double value) {
+  if (!std::isfinite(value)) {
+    static auto& nonfinite =
+        telemetry::Registry::instance().counter("rules.nonfinite_inputs");
+    nonfinite.inc();
+    return;
+  }
+  values_[std::move(key)] = value;
+}
 
 double FeatureFrame::get(const std::string& key, double fallback) const {
   const auto it = values_.find(key);

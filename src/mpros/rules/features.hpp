@@ -63,9 +63,10 @@ inline constexpr const char* kMotorCurrent = "process.motor_current_a";
 
 class FeatureFrame {
  public:
-  void set(std::string key, double value) {
-    values_[std::move(key)] = value;
-  }
+  /// Store a feature. Non-finite values are refused (counted under
+  /// `rules.nonfinite_inputs`): a NaN that slipped past the sensor screens
+  /// must read as "unmeasured" so clauses abstain, never as evidence.
+  void set(std::string key, double value);
   [[nodiscard]] bool has(const std::string& key) const {
     return values_.contains(key);
   }

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "mpros/dc/data_concentrator.hpp"
 #include "mpros/dc/scheduler.hpp"
 
@@ -186,6 +189,176 @@ TEST_F(DataConcentratorTest, KnowledgeSourceNames) {
   EXPECT_STREQ(knowledge_source_name(kWaveletNeuralNet),
                "Wavelet Neural Net");
   EXPECT_STREQ(knowledge_source_name(kFuzzyLogic), "Fuzzy Logic");
+  EXPECT_STREQ(knowledge_source_name(kSensorValidator), "Sensor Validator");
+}
+
+// --- Sensor validation -------------------------------------------------------
+
+TEST(SensorValidatorTest, FlatlineWindowQuarantinesThenCleanRunsRelease) {
+  SensorValidator v;
+  const std::vector<double> stuck(256, 4.2);
+  std::vector<double> live(256, 0.0);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    live[i] = 0.1 * static_cast<double>(i % 7);
+  }
+
+  const auto verdict = v.check_window("vib.motor", stuck);
+  ASSERT_TRUE(verdict.fault.has_value());
+  EXPECT_EQ(*verdict.fault, domain::SensorFaultKind::Flatline);
+  EXPECT_TRUE(verdict.newly_quarantined);
+  EXPECT_TRUE(v.quarantined("vib.motor"));
+
+  // Three consecutive clean acquisitions restore trust (release_after=3).
+  EXPECT_FALSE(v.check_window("vib.motor", live).released);
+  EXPECT_FALSE(v.check_window("vib.motor", live).released);
+  const auto released = v.check_window("vib.motor", live);
+  EXPECT_TRUE(released.released);
+  ASSERT_TRUE(released.cleared_kind.has_value());
+  EXPECT_EQ(*released.cleared_kind, domain::SensorFaultKind::Flatline);
+  EXPECT_FALSE(v.quarantined("vib.motor"));
+  EXPECT_EQ(v.stats().quarantines, 1u);
+  EXPECT_EQ(v.stats().releases, 1u);
+}
+
+TEST(SensorValidatorTest, DropoutRangeAndSpikeScreens) {
+  SensorValidator v;
+  std::vector<double> w(256, 0.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = 0.5 * static_cast<double>(i % 11) - 2.0;
+  }
+
+  std::vector<double> with_nan = w;
+  with_nan[100] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(v.check_window("vib.gearbox", with_nan).fault,
+            domain::SensorFaultKind::Dropout);
+
+  std::vector<double> biased = w;
+  for (double& s : biased) s += 500.0;  // way past the 80 g accel range
+  EXPECT_EQ(v.check_window("vib.compressor", biased).fault,
+            domain::SensorFaultKind::OutOfRange);
+
+  std::vector<double> spiky = w;
+  for (std::size_t i = 0; i < spiky.size(); i += 32) spiky[i] = 300.0;
+  EXPECT_EQ(v.check_window("current.motor", spiky).fault,
+            domain::SensorFaultKind::Spike);
+
+  // Scalar screens: NaN reading and physically absurd temperature.
+  EXPECT_EQ(v.check_value("process.oil_temp_c",
+                          std::numeric_limits<double>::quiet_NaN())
+                .fault,
+            domain::SensorFaultKind::Dropout);
+  EXPECT_EQ(v.check_value("process.oil_temp_c", 900.0).fault,
+            domain::SensorFaultKind::OutOfRange);
+}
+
+TEST(SensorValidatorTest, ScalarStuckAtNeedsExactRepeats) {
+  SensorValidator v;
+  // Three identical readings are still believable...
+  EXPECT_FALSE(v.check_value("process.bearing_temp_c", 55.1).fault.has_value());
+  EXPECT_FALSE(v.check_value("process.bearing_temp_c", 55.1).fault.has_value());
+  EXPECT_FALSE(v.check_value("process.bearing_temp_c", 55.1).fault.has_value());
+  // ...the fourth exact repeat is a frozen loop.
+  EXPECT_EQ(v.check_value("process.bearing_temp_c", 55.1).fault,
+            domain::SensorFaultKind::Flatline);
+  EXPECT_TRUE(v.quarantined("process.bearing_temp_c"));
+}
+
+TEST(SensorValidatorTest, ExemptChannelsMayRepeatExactly) {
+  // The commanded-load echo carries no instrument noise; exact repeats are
+  // its normal behavior, not a stuck DAC.
+  SensorValidator v;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(v.check_value("process.load", 0.85).fault.has_value());
+  }
+  EXPECT_FALSE(v.quarantined("process.load"));
+}
+
+TEST_F(DataConcentratorTest, StuckAccelerometerQuarantinedAndReported) {
+  chiller_.sensor_faults().schedule(
+      {plant::vibration_channel(plant::MachinePoint::Motor),
+       plant::SensorFaultType::StuckAt, SimTime(0), SimTime::from_hours(2.0),
+       3.3});
+  DataConcentrator dc(dc_config(), refs_, chiller_);
+  const auto reports = dc.advance_to(SimTime::from_hours(1.0));
+
+  EXPECT_TRUE(dc.validator().quarantined("vib.motor"));
+  EXPECT_GE(dc.stats().sensor_fault_reports, 1u);
+  bool found = false;
+  for (const net::FailureReport& r : reports) {
+    if (r.knowledge_source != kSensorValidator) continue;
+    found = true;
+    EXPECT_EQ(r.machine_condition,
+              domain::sensor_fault_condition(domain::SensorFaultKind::Flatline));
+    EXPECT_DOUBLE_EQ(r.severity, 1.0);
+    EXPECT_NE(r.explanation.find("vib.motor"), std::string::npos);
+  }
+  EXPECT_TRUE(found);
+  // The motor channel is muzzled but the rest of the train still runs.
+  EXPECT_EQ(dc.stats().vibration_tests, 12u);
+}
+
+TEST_F(DataConcentratorTest, QuarantineSuppressesFalseMachineryDiagnoses) {
+  // An open-circuit bearing RTD reads NaN: without validation the fuzzy
+  // analyzer would be fed garbage; with it, the channel is quarantined and
+  // no machinery conclusion cites it.
+  chiller_.sensor_faults().schedule({"process.bearing_temp_c",
+                                     plant::SensorFaultType::Dropout,
+                                     SimTime(0), SimTime::from_hours(2.0)});
+  DataConcentrator dc(dc_config(), refs_, chiller_);
+  const auto reports = dc.advance_to(SimTime::from_hours(1.0));
+
+  EXPECT_TRUE(dc.validator().quarantined("process.bearing_temp_c"));
+  for (const net::FailureReport& r : reports) {
+    EXPECT_TRUE(std::isfinite(r.severity));
+    EXPECT_TRUE(std::isfinite(r.belief));
+  }
+  EXPECT_EQ(dc.stats().process_scans, 60u);  // scans keep running
+}
+
+TEST_F(DataConcentratorTest, SensorRecoveryEmitsAllClear) {
+  // Fault window covers only the first 10 minutes; after three clean scans
+  // the channel is trusted again and a severity-0 report goes out.
+  chiller_.sensor_faults().schedule({"process.oil_temp_c",
+                                     plant::SensorFaultType::OutOfRange,
+                                     SimTime(0), SimTime::from_seconds(600),
+                                     900.0});
+  DataConcentrator dc(dc_config(), refs_, chiller_);
+  const auto reports = dc.advance_to(SimTime::from_hours(1.0));
+
+  EXPECT_FALSE(dc.validator().quarantined("process.oil_temp_c"));
+  bool quarantined_seen = false;
+  bool cleared_seen = false;
+  for (const net::FailureReport& r : reports) {
+    if (r.knowledge_source != kSensorValidator) continue;
+    if (r.severity > 0.5) quarantined_seen = true;
+    if (r.severity == 0.0 &&
+        r.explanation.find("process.oil_temp_c") != std::string::npos) {
+      cleared_seen = true;
+    }
+  }
+  EXPECT_TRUE(quarantined_seen);
+  EXPECT_TRUE(cleared_seen);
+  EXPECT_EQ(dc.validator().stats().releases, 1u);
+}
+
+TEST_F(DataConcentratorTest, HeartbeatsAccumulateInWireOutbox) {
+  DcConfig cfg = dc_config();
+  cfg.heartbeat_period = SimTime::from_seconds(60.0);
+  DataConcentrator dc(cfg, refs_, chiller_);
+  (void)dc.advance_to(SimTime::from_seconds(600));
+
+  auto wire = dc.drain_wire_outbox();
+  EXPECT_EQ(dc.stats().heartbeats_sent, 10u);
+  std::size_t heartbeats = 0;
+  for (const auto& dgram : wire) {
+    const auto hb = net::try_unwrap_heartbeat(dgram.payload);
+    if (!hb.has_value()) continue;
+    ++heartbeats;
+    EXPECT_EQ(hb->dc, DcId(7));
+    EXPECT_EQ(hb->timestamp, dgram.at);
+  }
+  EXPECT_EQ(heartbeats, 10u);
+  EXPECT_TRUE(dc.drain_wire_outbox().empty());  // drained
 }
 
 }  // namespace

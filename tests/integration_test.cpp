@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
+
 #include "mpros/mpros/mpros.hpp"
 
 namespace mpros {
@@ -101,10 +104,16 @@ TEST(ShipSystemTest, NetworkStatsAccumulate) {
   EXPECT_GT(stats.reports_emitted, 0u);
   // Sent datagrams = failure reports + sensor-data batches.
   EXPECT_GE(stats.network.sent, stats.reports_emitted);
+  // Every delivered datagram lands in exactly one bucket: fused reports,
+  // sensor batches, dedup/malformed drops, liveness heartbeats into the
+  // PDME, or cumulative acks back out to the DCs (lossless transport here,
+  // so every ack sent is an ack delivered).
   EXPECT_EQ(stats.reports_fused,
             stats.network.delivered - ship.pdme().stats().sensor_batches -
                 ship.pdme().stats().duplicates_dropped -
-                ship.pdme().stats().malformed_dropped);
+                ship.pdme().stats().malformed_dropped -
+                ship.pdme().stats().heartbeats_received -
+                ship.pdme().stats().acks_sent);
 }
 
 TEST(DisorderTest, LossyJitteryNetworkStillConverges) {
@@ -346,6 +355,83 @@ TEST(ValidationHarnessTest, SummaryAggregatesAcrossModes) {
   const std::string table = render(summary);
   EXPECT_NE(table.find("MotorImbalance"), std::string::npos);
   EXPECT_NE(table.find("detection 100%"), std::string::npos);
+}
+
+// --- Fault tolerance (E17 substrate) -----------------------------------------
+
+TEST(FaultToleranceTest, PartitionedDcGoesLostThenRecovers) {
+  ShipSystemConfig cfg = small_config();
+  ShipSystem ship(cfg);
+  const DcId dc1(1);
+
+  // Sever dc-1 from the ship's network for 20 minutes.
+  ship.network().schedule_outage({"dc-1", SimTime::from_seconds(600),
+                                  SimTime::from_seconds(1800), 1.0});
+
+  ship.run_until(SimTime::from_seconds(500));
+  EXPECT_EQ(ship.pdme().dc_liveness(dc1), pdme::DcLiveness::Alive);
+
+  // Three missed 60 s heartbeat intervals into the partition: flagged Lost.
+  ship.run_until(SimTime::from_seconds(600 + 3 * 60 + 30));
+  EXPECT_EQ(ship.pdme().dc_liveness(dc1), pdme::DcLiveness::Lost);
+  EXPECT_EQ(ship.pdme().dc_liveness(DcId(2)), pdme::DcLiveness::Alive);
+  EXPECT_GT(ship.network().stats().outage_dropped, 0u);
+
+  // The operator page calls the dead space out.
+  const std::string summary = pdme::render_summary(ship.pdme(), ship.model());
+  EXPECT_NE(summary.find("NO DATA since"), std::string::npos);
+
+  // Heartbeats resume once the partition heals; the space recovers.
+  ship.run_until(SimTime::from_seconds(2000));
+  EXPECT_EQ(ship.pdme().dc_liveness(dc1), pdme::DcLiveness::Alive);
+}
+
+TEST(FaultToleranceTest, RetransmissionsDeliverReportsThroughPartition) {
+  ShipSystemConfig cfg = small_config();
+  ShipSystem ship(cfg);
+  ship.chiller(0).faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                                     SimTime(0), 0.9,
+                                     plant::GrowthProfile::Step});
+  // The partition swallows the first wave of reports (the imbalance is
+  // detected by the first 600 s vibration test); only retransmission can
+  // get the conclusion through after the window closes.
+  ship.network().schedule_outage({"dc-1", SimTime(0),
+                                  SimTime::from_seconds(1200), 1.0});
+  ship.run_until(SimTime::from_hours(1.0));
+
+  const auto list = ship.pdme().prioritized_list(ship.plant_objects(0).motor);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list.front().mode, FailureMode::MotorImbalance);
+  EXPECT_GT(ship.concentrator(0).reliable().stats().retransmits, 0u);
+  EXPECT_GT(ship.pdme().stats().envelopes_accepted, 0u);
+}
+
+TEST(ChaosSmokeTest, HostileTransportConfiguredFromEnvironment) {
+  // CI chaos knob: MPROS_CHAOS_DROP / MPROS_CHAOS_DUP / MPROS_CHAOS_SEED
+  // crank the transport pathologies without a rebuild.
+  const char* drop = std::getenv("MPROS_CHAOS_DROP");
+  const char* dup = std::getenv("MPROS_CHAOS_DUP");
+  const char* seed = std::getenv("MPROS_CHAOS_SEED");
+
+  ShipSystemConfig cfg = small_config();
+  cfg.network.drop_probability = drop ? std::atof(drop) : 0.15;
+  cfg.network.duplicate_probability = dup ? std::atof(dup) : 0.05;
+  cfg.network.jitter = SimTime::from_millis(200.0);
+  cfg.network.seed = seed ? std::strtoull(seed, nullptr, 0) : 0xC4405;
+
+  ShipSystem ship(cfg);
+  ship.chiller(0).faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                                     SimTime(0), 0.9,
+                                     plant::GrowthProfile::Step});
+  ship.run_until(SimTime::from_hours(2.0));
+
+  // Reliable delivery must land the conclusion despite the weather, and
+  // nothing non-finite may survive into the fused state.
+  const auto list = ship.pdme().prioritized_list(ship.plant_objects(0).motor);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list.front().mode, FailureMode::MotorImbalance);
+  EXPECT_TRUE(std::isfinite(list.front().fused_belief));
+  EXPECT_EQ(ship.pdme().stats().malformed_dropped, 0u);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "mpros/net/codec.hpp"
 #include "mpros/net/messages.hpp"
 #include "mpros/net/network.hpp"
+#include "mpros/net/reliable.hpp"
 #include "mpros/net/report.hpp"
 #include "mpros/telemetry/recorder.hpp"
 
@@ -318,6 +319,204 @@ TEST(FuzzDecodeTest, RecorderDumpTruncationAndCorruption) {
   auto trailing = bytes;
   trailing.push_back(0);
   EXPECT_FALSE(telemetry::FlightRecorder::decode(trailing).has_value());
+}
+
+// --- Scripted outages --------------------------------------------------------
+
+TEST(OutageTest, HardPartitionWindowIsDeterministic) {
+  SimNetwork net(quiet_config());
+  std::vector<int> inbox;
+  net.register_endpoint("pdme",
+                        [&](const Message& m) { inbox.push_back(m.payload[0]); });
+  net.schedule_outage({"dc-1", SimTime::from_seconds(10),
+                       SimTime::from_seconds(20), 1.0});
+
+  net.send("dc-1", "pdme", {1}, SimTime::from_seconds(5));   // before window
+  net.send("dc-1", "pdme", {2}, SimTime::from_seconds(15));  // partitioned
+  net.send("dc-2", "pdme", {3}, SimTime::from_seconds(15));  // other endpoint
+  net.send("dc-1", "pdme", {4}, SimTime::from_seconds(20));  // window is [from, to)
+  net.flush();
+
+  EXPECT_EQ(inbox, (std::vector<int>{1, 3, 4}));
+  EXPECT_EQ(net.stats().dropped, 1u);
+  EXPECT_EQ(net.stats().outage_dropped, 1u);
+}
+
+TEST(OutageTest, BurstLossWindowDropsStatistically) {
+  NetworkConfig cfg = quiet_config();
+  cfg.seed = 23;
+  SimNetwork net(cfg);
+  std::size_t received = 0;
+  net.register_endpoint("pdme", [&](const Message&) { ++received; });
+  // Empty endpoint = the whole network degrades for ten seconds.
+  net.schedule_outage({"", SimTime::from_seconds(10), SimTime::from_seconds(20),
+                       0.5});
+
+  constexpr std::size_t kSent = 2000;
+  for (std::size_t i = 0; i < kSent; ++i) {
+    net.send("dc-1", "pdme", {1}, SimTime::from_seconds(15));
+  }
+  net.flush();
+
+  const NetworkStats stats = net.stats();
+  EXPECT_NEAR(static_cast<double>(stats.dropped) / kSent, 0.5, 0.05);
+  EXPECT_EQ(stats.outage_dropped, stats.dropped);  // no baseline loss here
+  EXPECT_EQ(received, kSent - stats.dropped);
+}
+
+TEST(OutageTest, OverlappingWindowsWorstProbabilityWins) {
+  SimNetwork net(quiet_config());
+  std::size_t received = 0;
+  net.register_endpoint("pdme", [&](const Message&) { ++received; });
+  net.schedule_outage({"", SimTime(0), SimTime::from_seconds(100), 0.0});
+  net.schedule_outage({"pdme", SimTime::from_seconds(10),
+                       SimTime::from_seconds(20), 1.0});
+
+  net.send("dc-1", "pdme", {1}, SimTime::from_seconds(15));  // hard window wins
+  net.send("dc-1", "pdme", {2}, SimTime::from_seconds(50));  // 0.0 window only
+  net.flush();
+  EXPECT_EQ(received, 1u);
+  EXPECT_EQ(net.stats().outage_dropped, 1u);
+}
+
+TEST(OutageTest, DeterministicGivenSeedWithOutages) {
+  const auto run = [] {
+    NetworkConfig cfg;
+    cfg.drop_probability = 0.1;
+    cfg.jitter = SimTime::from_millis(50.0);
+    cfg.seed = 77;
+    SimNetwork net(cfg);
+    net.schedule_outage({"dc-1", SimTime::from_millis(100),
+                         SimTime::from_millis(400), 0.7});
+    std::vector<std::uint8_t> order;
+    net.register_endpoint("pdme", [&](const Message& m) {
+      order.push_back(m.payload[0]);
+    });
+    for (int i = 0; i < 64; ++i) {
+      net.send(i % 2 ? "dc-1" : "dc-2", "pdme",
+               {static_cast<std::uint8_t>(i)}, SimTime::from_millis(10.0 * i));
+    }
+    net.flush();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- Reliable delivery -------------------------------------------------------
+
+TEST(ReliableProtocolTest, EnvelopeAckHeartbeatRoundTripOnTheWire) {
+  ReportEnvelope env{DcId(4), 9, sample_report()};
+  const auto env_back = try_unwrap_envelope(wrap(env));
+  ASSERT_TRUE(env_back.has_value());
+  EXPECT_EQ(*env_back, env);
+
+  AckMessage ack{DcId(4), 9};
+  const auto ack_back = try_unwrap_ack(wrap(ack));
+  ASSERT_TRUE(ack_back.has_value());
+  EXPECT_EQ(*ack_back, ack);
+
+  HeartbeatMessage hb{DcId(4), SimTime::from_seconds(60.0), 9};
+  const auto hb_back = try_unwrap_heartbeat(wrap(hb));
+  ASSERT_TRUE(hb_back.has_value());
+  EXPECT_EQ(*hb_back, hb);
+
+  // Cross-type unwraps fail soft, never throw.
+  EXPECT_FALSE(try_unwrap_ack(wrap(env)).has_value());
+  EXPECT_FALSE(try_unwrap_envelope(wrap(hb)).has_value());
+}
+
+TEST(ReliableChannelTest, AckRetiresBufferedEnvelopes) {
+  ReliableSender sender(DcId(3));
+  ReliableReceiver receiver;
+
+  const auto payload = sender.envelope(sample_report(), SimTime(0));
+  EXPECT_EQ(sender.unacked(), 1u);
+  EXPECT_EQ(sender.last_sequence(), 1u);
+
+  const auto env = try_unwrap_envelope(payload);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->dc, DcId(3));
+  EXPECT_EQ(env->sequence, 1u);
+  EXPECT_EQ(env->report, sample_report());
+
+  const auto outcome = receiver.on_envelope(env->dc, env->sequence);
+  EXPECT_FALSE(outcome.duplicate);
+  EXPECT_EQ(outcome.new_gaps, 0u);
+  EXPECT_EQ(outcome.ack.cumulative, 1u);
+
+  sender.on_ack(outcome.ack);
+  EXPECT_EQ(sender.unacked(), 0u);
+  EXPECT_TRUE(sender.due_retransmits(SimTime::from_hours(10.0)).empty());
+}
+
+TEST(ReliableChannelTest, GapDetectedOnLaterSequenceThenHealed) {
+  ReliableReceiver receiver;
+  const DcId dc(1);
+
+  EXPECT_EQ(receiver.on_envelope(dc, 1).ack.cumulative, 1u);
+  const auto skip = receiver.on_envelope(dc, 3);
+  EXPECT_EQ(skip.new_gaps, 1u);
+  EXPECT_EQ(skip.ack.cumulative, 1u);  // 2 still missing
+  EXPECT_EQ(receiver.open_gaps(dc), 1u);
+
+  const auto heal = receiver.on_envelope(dc, 2);
+  EXPECT_FALSE(heal.duplicate);
+  EXPECT_EQ(heal.new_gaps, 0u);
+  EXPECT_EQ(heal.ack.cumulative, 3u);  // cumulative jumps over the healed gap
+  EXPECT_EQ(receiver.open_gaps(dc), 0u);
+  EXPECT_EQ(receiver.stats().gaps_detected, 1u);
+  EXPECT_EQ(receiver.stats().gaps_healed, 1u);
+}
+
+TEST(ReliableChannelTest, DuplicatesDroppedButStillAcked) {
+  ReliableReceiver receiver;
+  EXPECT_FALSE(receiver.on_envelope(DcId(1), 1).duplicate);
+  const auto dup = receiver.on_envelope(DcId(1), 1);
+  EXPECT_TRUE(dup.duplicate);
+  // The previous ack may have been the datagram that got lost; a duplicate
+  // arrival still earns a fresh cumulative ack.
+  EXPECT_EQ(dup.ack.cumulative, 1u);
+  EXPECT_EQ(receiver.stats().duplicates, 1u);
+  // Per-DC streams are independent.
+  EXPECT_FALSE(receiver.on_envelope(DcId(2), 1).duplicate);
+}
+
+TEST(ReliableChannelTest, RetransmitTimersBackOffExponentially) {
+  ReliableConfig cfg;
+  cfg.initial_rto = SimTime::from_seconds(10.0);
+  cfg.backoff = 2.0;
+  cfg.max_rto = SimTime::from_seconds(40.0);
+  ReliableSender sender(DcId(1), cfg);
+  (void)sender.envelope(sample_report(), SimTime(0));
+
+  EXPECT_TRUE(sender.due_retransmits(SimTime::from_seconds(9.0)).empty());
+  EXPECT_EQ(sender.due_retransmits(SimTime::from_seconds(10.0)).size(), 1u);
+  // Backed off to 20 s: due again at t=30, not t=29.
+  EXPECT_TRUE(sender.due_retransmits(SimTime::from_seconds(29.0)).empty());
+  EXPECT_EQ(sender.due_retransmits(SimTime::from_seconds(30.0)).size(), 1u);
+  EXPECT_EQ(sender.stats().retransmits, 2u);
+}
+
+TEST(ReliableChannelTest, BufferOverflowEvictsOldest) {
+  ReliableConfig cfg;
+  cfg.buffer_limit = 4;
+  ReliableSender sender(DcId(1), cfg);
+  for (int i = 0; i < 6; ++i) {
+    (void)sender.envelope(sample_report(), SimTime(0));
+  }
+  EXPECT_EQ(sender.unacked(), 4u);
+  EXPECT_EQ(sender.stats().overflow_dropped, 2u);
+  EXPECT_EQ(sender.last_sequence(), 6u);
+}
+
+TEST(ReliableChannelTest, AdvertisedTailSequenceRevealsLoss) {
+  ReliableReceiver receiver;
+  receiver.on_envelope(DcId(1), 1);
+  // A heartbeat advertises sequence 3: 2 and 3 are missing in flight.
+  EXPECT_EQ(receiver.on_advertised(DcId(1), 3), 2u);
+  EXPECT_EQ(receiver.on_advertised(DcId(1), 3), 0u);  // already known
+  EXPECT_EQ(receiver.open_gaps(DcId(1)), 2u);
+  EXPECT_EQ(receiver.cumulative(DcId(1)), 1u);
 }
 
 }  // namespace

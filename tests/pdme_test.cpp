@@ -312,5 +312,133 @@ TEST_F(PdmeTest, MalformedConditionDropped) {
   EXPECT_EQ(pdme_.stats().reports_accepted, 0u);
 }
 
+// --- Reliable envelope intake ------------------------------------------------
+
+TEST_F(PdmeTest, EnvelopeStreamGapsDetectedAckedAndHealed) {
+  net::NetworkConfig ncfg;
+  ncfg.base_latency = SimTime::from_millis(1.0);
+  ncfg.jitter = SimTime(0);
+  net::SimNetwork network(ncfg);
+  pdme_.attach_to_network(network);
+
+  std::vector<net::AckMessage> acks;
+  network.register_endpoint("dc-1", [&](const net::Message& m) {
+    const auto ack = net::try_unwrap_ack(m.payload);
+    if (ack.has_value()) acks.push_back(*ack);
+  });
+
+  net::ReliableSender sender{DcId(1)};
+  const auto p1 = sender.envelope(
+      make_report(motor_, FailureMode::MotorImbalance, 0.5, 0.8, 1, 100.0), SimTime(0));
+  const auto p2 = sender.envelope(
+      make_report(motor_, FailureMode::MotorImbalance, 0.6, 0.8, 1, 200.0), SimTime(0));
+  const auto p3 = sender.envelope(
+      make_report(motor_, FailureMode::MotorImbalance, 0.7, 0.8, 1, 300.0), SimTime(0));
+
+  // Sequence 2 is lost in transit; 3's arrival exposes the gap.
+  network.send("dc-1", "pdme", p1, SimTime::from_seconds(1));
+  network.send("dc-1", "pdme", p3, SimTime::from_seconds(2));
+  network.flush();
+  EXPECT_EQ(pdme_.stats().envelopes_accepted, 2u);
+  EXPECT_EQ(pdme_.stats().gaps_detected, 1u);
+  ASSERT_EQ(acks.size(), 2u);
+  EXPECT_EQ(acks.back().cumulative, 1u);  // can't ack past the hole
+
+  // The retransmission heals the gap and the cumulative ack jumps to 3.
+  network.send("dc-1", "pdme", p2, SimTime::from_seconds(3));
+  network.flush();
+  ASSERT_EQ(acks.size(), 3u);
+  EXPECT_EQ(acks.back().cumulative, 3u);
+  EXPECT_EQ(pdme_.receiver().stats().gaps_healed, 1u);
+  EXPECT_EQ(pdme_.stats().reports_accepted, 3u);
+
+  // A spurious re-retransmission is dropped but still acked (the DC may
+  // simply have missed our ack).
+  network.send("dc-1", "pdme", p2, SimTime::from_seconds(4));
+  network.flush();
+  EXPECT_EQ(pdme_.stats().duplicates_dropped, 1u);
+  ASSERT_EQ(acks.size(), 4u);
+  EXPECT_EQ(acks.back().cumulative, 3u);
+  EXPECT_EQ(pdme_.stats().reports_accepted, 3u);
+
+  sender.on_ack(acks.back());
+  EXPECT_EQ(sender.unacked(), 0u);
+}
+
+// --- DC liveness supervision -------------------------------------------------
+
+TEST_F(PdmeTest, WatchdogMarksSilentDcStaleThenLost) {
+  pdme_.expect_dc(DcId(9), SimTime(0));  // 60 s heartbeat interval (default)
+
+  pdme_.update_liveness(SimTime::from_seconds(60));
+  EXPECT_EQ(pdme_.dc_liveness(DcId(9)), DcLiveness::Alive);
+  pdme_.update_liveness(SimTime::from_seconds(120));
+  EXPECT_EQ(pdme_.dc_liveness(DcId(9)), DcLiveness::Stale);
+  pdme_.update_liveness(SimTime::from_seconds(180));
+  EXPECT_EQ(pdme_.dc_liveness(DcId(9)), DcLiveness::Lost);
+
+  // Any arrival restores the space to Alive.
+  pdme_.accept(net::HeartbeatMessage{DcId(9), SimTime::from_seconds(200), 0},
+               SimTime::from_seconds(200));
+  EXPECT_EQ(pdme_.dc_liveness(DcId(9)), DcLiveness::Alive);
+  EXPECT_EQ(pdme_.stats().heartbeats_received, 1u);
+  EXPECT_GE(pdme_.stats().liveness_transitions, 3u);
+
+  // The watchdog never resurrects a DC on its own.
+  pdme_.update_liveness(SimTime::from_seconds(500));
+  EXPECT_EQ(pdme_.dc_liveness(DcId(9)), DcLiveness::Lost);
+  pdme_.update_liveness(SimTime::from_seconds(510));
+  EXPECT_EQ(pdme_.dc_liveness(DcId(9)), DcLiveness::Lost);
+}
+
+TEST_F(PdmeTest, SummaryShowsNoDataSinceForDeadDc) {
+  pdme_.expect_dc(DcId(2), SimTime(0));
+  pdme_.update_liveness(SimTime::from_hours(1.0));
+  const std::string out = render_summary(pdme_, model_);
+  EXPECT_NE(out.find("Data Concentrator health"), std::string::npos);
+  EXPECT_NE(out.find("Lost"), std::string::npos);
+  EXPECT_NE(out.find("NO DATA since"), std::string::npos);
+}
+
+TEST_F(PdmeTest, HeartbeatAdvertisedTailSequenceCountsGaps) {
+  // Nothing arrived, but the DC claims it sent 2 reports: both are gaps.
+  pdme_.accept(net::HeartbeatMessage{DcId(1), SimTime::from_seconds(60), 2},
+               SimTime::from_seconds(60));
+  EXPECT_EQ(pdme_.stats().gaps_detected, 2u);
+  EXPECT_EQ(pdme_.receiver().open_gaps(DcId(1)), 2u);
+}
+
+// --- Sensor-fault routing ----------------------------------------------------
+
+TEST_F(PdmeTest, SensorFaultReportsBypassFusionIntoQuarantineLedger) {
+  net::FailureReport r =
+      make_report(motor_, FailureMode::MotorImbalance, 1.0, 0.9, /*ks=*/5);
+  r.machine_condition =
+      domain::sensor_fault_condition(domain::SensorFaultKind::Spike);
+  r.explanation = "vib.motor: impulsive outliers beyond robust scatter";
+  pdme_.accept(r);
+
+  EXPECT_EQ(pdme_.stats().sensor_fault_reports, 1u);
+  // The instrument fault never reaches Dempster-Shafer or the list.
+  EXPECT_TRUE(pdme_.prioritized_list(motor_).empty());
+  const auto faults = pdme_.sensor_faults();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].kind, domain::SensorFaultKind::Spike);
+  EXPECT_EQ(faults[0].dc, DcId(1));
+
+  // The operator's summary page lists the quarantined channel.
+  const std::string out = render_summary(pdme_, model_);
+  EXPECT_NE(out.find("Quarantined sensor channels"), std::string::npos);
+  EXPECT_NE(out.find("vib.motor"), std::string::npos);
+
+  // The all-clear (severity 0) retires the active entry but keeps history.
+  net::FailureReport clear = r;
+  clear.severity = 0.0;
+  clear.timestamp = r.timestamp + SimTime::from_seconds(300);
+  pdme_.accept(clear);
+  EXPECT_TRUE(pdme_.sensor_faults().empty());
+  EXPECT_EQ(pdme_.sensor_faults(/*active_only=*/false).size(), 1u);
+}
+
 }  // namespace
 }  // namespace mpros::pdme

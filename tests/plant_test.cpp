@@ -386,5 +386,86 @@ TEST(DaqTest, AlarmDetectionLatencyIsSmall) {
   EXPECT_LT(alarms[0].at.seconds(), 0.25);
 }
 
+// --- Sensor-fault injection --------------------------------------------------
+
+TEST(SensorFaultInjectorTest, CorruptionConfinedToScheduledWindow) {
+  SensorFaultInjector inj(42);
+  inj.schedule({"vib.motor", SensorFaultType::StuckAt,
+                SimTime::from_seconds(10), SimTime::from_seconds(20), 3.3});
+
+  EXPECT_FALSE(inj.active("vib.motor", SimTime::from_seconds(5)));
+  EXPECT_TRUE(inj.active("vib.motor", SimTime::from_seconds(15)));
+  EXPECT_FALSE(inj.active("vib.gearbox", SimTime::from_seconds(15)));
+
+  std::vector<double> before(64);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    before[i] = 0.01 * static_cast<double>(i);
+  }
+  std::vector<double> w = before;
+  inj.corrupt_window("vib.motor", SimTime::from_seconds(5), w);
+  EXPECT_EQ(w, before);  // outside the window: untouched
+  inj.corrupt_window("vib.motor", SimTime::from_seconds(15), w);
+  for (const double s : w) EXPECT_DOUBLE_EQ(s, 3.3);  // stuck-at level
+}
+
+TEST(SensorFaultInjectorTest, EveryFaultTypeCorruptsAsDocumented) {
+  SensorFaultInjector inj(7);
+  const SimTime t = SimTime::from_seconds(50);
+  inj.schedule({"a", SensorFaultType::Dropout, SimTime(0),
+                SimTime::from_seconds(100)});
+  inj.schedule({"b", SensorFaultType::OutOfRange, SimTime(0),
+                SimTime::from_seconds(100), 500.0});
+  inj.schedule({"c", SensorFaultType::Spike, SimTime(0),
+                SimTime::from_seconds(100), 200.0, 0.05});
+
+  EXPECT_TRUE(std::isnan(inj.corrupt_value("a", t, 1.0)));
+  EXPECT_DOUBLE_EQ(inj.corrupt_value("b", t, 40.0), 540.0);
+
+  std::vector<double> w(4096, 0.0);
+  inj.corrupt_window("c", t, w);
+  std::size_t spikes = 0;
+  for (const double s : w) {
+    if (s != 0.0) {
+      ++spikes;
+      EXPECT_DOUBLE_EQ(std::fabs(s), 200.0);
+    }
+  }
+  // ~5% of samples hit, binomial scatter allowed.
+  EXPECT_NEAR(static_cast<double>(spikes) / static_cast<double>(w.size()),
+              0.05, 0.02);
+}
+
+TEST(SensorFaultInjectorTest, CorruptionIsDeterministicPureFunction) {
+  // Same (channel, time, seed) must corrupt identically regardless of call
+  // order or history — acquisition order can differ across runs.
+  const auto corrupt = [](bool warm_up) {
+    SensorFaultInjector inj(99);
+    inj.schedule({"c", SensorFaultType::Spike, SimTime(0),
+                  SimTime::from_seconds(100), 150.0, 0.01});
+    if (warm_up) {
+      std::vector<double> other(256, 0.0);
+      inj.corrupt_window("c", SimTime::from_seconds(10), other);
+    }
+    std::vector<double> w(1024, 1.0);
+    inj.corrupt_window("c", SimTime::from_seconds(42), w);
+    return w;
+  };
+  EXPECT_EQ(corrupt(false), corrupt(true));
+}
+
+TEST(SensorFaultInjectorTest, ChillerAppliesScheduledCorruption) {
+  ChillerConfig cfg;
+  cfg.seed = 0xFA;
+  ChillerSimulator chiller(cfg);
+  chiller.sensor_faults().schedule({"process.bearing_temp_c",
+                                    SensorFaultType::Dropout, SimTime(0),
+                                    SimTime::from_hours(1.0)});
+  chiller.advance(SimTime::from_seconds(60));
+  const ProcessSnapshot snap = chiller.process_snapshot();
+  ASSERT_TRUE(snap.contains("process.bearing_temp_c"));
+  EXPECT_TRUE(std::isnan(snap.at("process.bearing_temp_c")));
+  EXPECT_TRUE(std::isfinite(snap.at("process.oil_temp_c")));
+}
+
 }  // namespace
 }  // namespace mpros::plant

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
+
+#include "mpros/telemetry/metrics.hpp"
 
 #include "mpros/plant/vibration.hpp"
 #include "mpros/rules/believability.hpp"
@@ -343,6 +347,38 @@ TEST(SignatureDetectionTest, HealthyMachineFiresNothingVibrational) {
   RuleEngine engine(chiller_rulebase());
   BelievabilityTable beliefs;
   EXPECT_TRUE(engine.evaluate(frame, beliefs).empty());
+}
+
+TEST(FeatureFrameTest, RefusesNonFiniteValuesAndCounts) {
+  auto& nonfinite =
+      telemetry::Registry::instance().counter("rules.nonfinite_inputs");
+  const std::uint64_t before = nonfinite.value();
+
+  FeatureFrame f;
+  f.set("nan", std::numeric_limits<double>::quiet_NaN());
+  f.set("inf", std::numeric_limits<double>::infinity());
+  f.set("neg_inf", -std::numeric_limits<double>::infinity());
+  f.set("fine", 2.0);
+
+  // Poisoned features read as "unmeasured" so clauses abstain on them.
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_FALSE(f.has("nan"));
+  EXPECT_FALSE(f.maybe("inf").has_value());
+  EXPECT_DOUBLE_EQ(f.get("fine"), 2.0);
+  EXPECT_EQ(nonfinite.value(), before + 3);
+}
+
+TEST(RuleEngineTest, NonFiniteFeatureNeverBecomesDiagnosis) {
+  // A NaN where the 1x amplitude should be must read as "not measured":
+  // the imbalance rule abstains instead of producing a NaN-severity report.
+  FeatureFrame poisoned;
+  poisoned.set(feat::kOrder1, std::numeric_limits<double>::quiet_NaN());
+  RuleEngine engine(chiller_rulebase());
+  BelievabilityTable beliefs;
+  for (const Diagnosis& d : engine.evaluate(poisoned, beliefs)) {
+    EXPECT_TRUE(std::isfinite(d.severity));
+    EXPECT_TRUE(std::isfinite(d.belief));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,136 @@
+#pragma once
+// Bounded MPMC queue with explicit backpressure.
+//
+// The sharded PDME feeds each fusion worker through one of these: unlike
+// ConcurrentQueue, capacity is fixed at construction, so a stalled consumer
+// can no longer grow the heap without bound. When the queue is full the
+// producer either waits for space (Block — lossless, the default) or evicts
+// the oldest queued item to make room (DropOldest — lossy but bounded
+// latency; the caller learns about the eviction from PushResult and is
+// responsible for accounting the loss).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/common/concurrent_queue.hpp"  // QueuePopStatus
+
+namespace mpros {
+
+enum class OverflowPolicy : std::uint8_t {
+  Block = 0,   ///< push() waits for space (or close); nothing is lost
+  DropOldest,  ///< push() evicts the front item; newest data wins
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  struct PushResult {
+    bool accepted = false;  ///< the pushed item is in the queue
+    bool was_full = false;  ///< backpressure engaged (waited or evicted)
+    bool evicted = false;   ///< an older item was dropped to make room
+  };
+
+  BoundedQueue(std::size_t capacity, OverflowPolicy policy)
+      : capacity_(capacity), policy_(policy) {
+    MPROS_EXPECTS(capacity >= 1);
+  }
+
+  /// Push one item, honouring the overflow policy. accepted=false only
+  /// when the queue is (or becomes, while blocked) closed.
+  PushResult push(T v) {
+    PushResult result;
+    {
+      std::unique_lock lock(mu_);
+      if (closed_) return result;
+      if (items_.size() >= capacity_) {
+        result.was_full = true;
+        if (policy_ == OverflowPolicy::Block) {
+          space_cv_.wait(lock,
+                         [&] { return items_.size() < capacity_ || closed_; });
+          if (closed_) return result;
+        } else {
+          items_.pop_front();
+          result.evicted = true;
+        }
+      }
+      items_.push_back(std::move(v));
+      result.accepted = true;
+    }
+    items_cv_.notify_one();
+    return result;
+  }
+
+  /// Block until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::optional<T> v;
+    {
+      std::unique_lock lock(mu_);
+      items_cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+      if (items_.empty()) return std::nullopt;
+      v = std::move(items_.front());
+      items_.pop_front();
+    }
+    space_cv_.notify_one();
+    return v;
+  }
+
+  /// Non-blocking pop with the same tri-state as ConcurrentQueue.
+  QueuePopStatus try_pop(T& out) {
+    {
+      std::lock_guard lock(mu_);
+      if (items_.empty()) {
+        return closed_ ? QueuePopStatus::Drained : QueuePopStatus::Empty;
+      }
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    space_cv_.notify_one();
+    return QueuePopStatus::Ok;
+  }
+
+  /// Close the queue: no further pushes succeed; blocked producers and
+  /// consumers wake, consumers drain what remains.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    items_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  /// Closed and empty: no item will ever be produced again.
+  [[nodiscard]] bool drained() const {
+    std::lock_guard lock(mu_);
+    return closed_ && items_.empty();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] OverflowPolicy policy() const { return policy_; }
+
+ private:
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable items_cv_;  // signalled on push
+  std::condition_variable space_cv_;  // signalled on pop
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mpros

@@ -8,12 +8,19 @@
 // values themselves (MPI-style discipline from the HPC guides).
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
 
 namespace mpros {
+
+/// Result of a non-blocking pop. `Empty` means "nothing right now, more may
+/// come"; `Drained` means "closed and empty, nothing will ever come" — a
+/// non-blocking consumer that treated the two alike would spin forever on a
+/// closed queue.
+enum class QueuePopStatus : std::uint8_t { Ok = 0, Empty, Drained };
 
 template <typename T>
 class ConcurrentQueue {
@@ -39,13 +46,16 @@ class ConcurrentQueue {
     return v;
   }
 
-  /// Non-blocking pop.
-  std::optional<T> try_pop() {
+  /// Non-blocking pop. `Empty` and `Drained` are distinct so a consumer
+  /// polling between other duties knows when to stop polling for good.
+  QueuePopStatus try_pop(T& out) {
     std::lock_guard lock(mu_);
-    if (items_.empty()) return std::nullopt;
-    T v = std::move(items_.front());
+    if (items_.empty()) {
+      return closed_ ? QueuePopStatus::Drained : QueuePopStatus::Empty;
+    }
+    out = std::move(items_.front());
     items_.pop_front();
-    return v;
+    return QueuePopStatus::Ok;
   }
 
   /// Close the queue: no further pushes succeed; waiters drain then wake.
@@ -60,6 +70,12 @@ class ConcurrentQueue {
   [[nodiscard]] bool closed() const {
     std::lock_guard lock(mu_);
     return closed_;
+  }
+
+  /// Closed and empty: no item will ever be produced again.
+  [[nodiscard]] bool drained() const {
+    std::lock_guard lock(mu_);
+    return closed_ && items_.empty();
   }
 
   [[nodiscard]] std::size_t size() const {

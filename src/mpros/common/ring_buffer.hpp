@@ -5,6 +5,7 @@
 // channel; SBFR and the rule engine read sliding windows from it. Steady-state
 // operation performs no allocation (Per: don't waste time or space).
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -32,9 +33,25 @@ class RingBuffer {
     if (size_ < data_.size()) ++size_;
   }
 
-  /// Append a batch of elements.
+  /// Append a batch of elements as at most two segment copies. Only the
+  /// last capacity() elements of an oversized span are kept — the earlier
+  /// ones would be overwritten within the same call anyway.
   void push(std::span<const T> vs) {
-    for (const T& v : vs) push(v);
+    const std::size_t cap = data_.size();
+    if (vs.size() >= cap) {
+      const auto tail = vs.subspan(vs.size() - cap);
+      std::copy(tail.begin(), tail.end(), data_.begin());
+      head_ = 0;
+      size_ = cap;
+      return;
+    }
+    const std::size_t first = std::min(vs.size(), cap - head_);
+    std::copy_n(vs.begin(), first,
+                data_.begin() + static_cast<std::ptrdiff_t>(head_));
+    std::copy_n(vs.begin() + static_cast<std::ptrdiff_t>(first),
+                vs.size() - first, data_.begin());
+    head_ = (head_ + vs.size()) % cap;
+    size_ = std::min(cap, size_ + vs.size());
   }
 
   /// Element `i` counted from the oldest retained element (0 = oldest).

@@ -67,6 +67,10 @@ GroupState DiagnosticFusion::update_set(
     focus |= set_of(group, m);
   }
 
+  // Re-entrancy audit (E18): this is the only state shared between fusion
+  // instances. The sharded PDME runs one DiagnosticFusion per worker, so
+  // cells_ is single-threaded per instance; this counter is a magic-static
+  // reference (thread-safe init) to a relaxed atomic (thread-safe inc).
   static telemetry::Counter& ds_updates =
       telemetry::Registry::instance().counter("fusion.ds_updates");
 

@@ -3,6 +3,7 @@
 #include <mutex>
 
 #include "mpros/common/assert.hpp"
+#include "mpros/common/log.hpp"
 
 namespace mpros {
 
@@ -38,6 +39,16 @@ ShipSystem::ShipSystem(ShipSystemConfig cfg)
 
   // The watchdog interval must match the cadence the DCs actually beat.
   if (cfg_.dc_template.heartbeat_period.micros() > 0) {
+    const SimTime requested = cfg_.pdme.heartbeat_interval;
+    if (requested.micros() != pdme::PdmeConfig{}.heartbeat_interval.micros() &&
+        requested.micros() != cfg_.dc_template.heartbeat_period.micros()) {
+      MPROS_LOG_WARN("mpros",
+                     "pdme.heartbeat_interval %.0f s conflicts with "
+                     "dc_template.heartbeat_period %.0f s; using the DC "
+                     "period (the watchdog must match the beat cadence)",
+                     requested.seconds(),
+                     cfg_.dc_template.heartbeat_period.seconds());
+    }
     cfg_.pdme.heartbeat_interval = cfg_.dc_template.heartbeat_period;
   }
   pdme_ = std::make_unique<pdme::PdmeExecutive>(model_, cfg_.pdme);
@@ -129,10 +140,15 @@ std::size_t ShipSystem::advance_to(SimTime t) {
 
   now_ = t;
   const std::size_t delivered = network_.advance_to(now_);
+  // Sharded PDME: drain the fusion workers and apply deferred OOSM posts /
+  // retest commands before anything reads fused state (no-op inline).
+  pdme_->synchronize();
   pdme_->update_liveness(now_);
   if (resident_) {
     resident_->scan(now_);
-    // Resident conclusions enter fusion directly (no wire hop needed).
+    // Resident conclusions enter fusion directly (no wire hop needed);
+    // flush them through the shards within the same step.
+    pdme_->synchronize();
   }
   return delivered;
 }

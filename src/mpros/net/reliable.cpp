@@ -135,6 +135,18 @@ ReliableReceiver::Outcome ReliableReceiver::on_envelope(
   return out;
 }
 
+bool ReliableReceiver::is_duplicate(DcId dc, std::uint64_t sequence) const {
+  MPROS_EXPECTS(sequence >= 1);
+  const auto it = streams_.find(dc.value());
+  if (it == streams_.end()) return false;
+  const Stream& s = it->second;
+  return sequence <= s.contiguous || s.pending.contains(sequence);
+}
+
+AckMessage ReliableReceiver::make_ack(DcId dc) const {
+  return AckMessage{dc, cumulative(dc)};
+}
+
 std::uint64_t ReliableReceiver::on_advertised(DcId dc,
                                               std::uint64_t last_sequence) {
   Stream& s = streams_[dc.value()];

@@ -94,6 +94,17 @@ class ReliableReceiver {
   /// Record arrival of `sequence` from `dc`.
   Outcome on_envelope(DcId dc, std::uint64_t sequence);
 
+  /// Would on_envelope(dc, sequence) report a duplicate? Pure query — no
+  /// stats or stream mutation. The sharded PDME router asks this before
+  /// enqueueing so it can re-ack retransmissions without routing them, and
+  /// only commits the stream state (on_envelope) once the shard accepts the
+  /// report — acking a report that was never enqueued would lose it forever.
+  [[nodiscard]] bool is_duplicate(DcId dc, std::uint64_t sequence) const;
+
+  /// Cumulative ack for `dc` from current stream state (e.g. re-acking a
+  /// duplicate without running on_envelope).
+  [[nodiscard]] AckMessage make_ack(DcId dc) const;
+
   /// A heartbeat advertised the DC's newest sequence: any sequence between
   /// the highest seen and `last_sequence` is a (tail) gap. Returns how many
   /// were newly discovered missing.

@@ -29,6 +29,20 @@ ObjectId ObjectModel::create_object(std::string name,
   return id;
 }
 
+ObjectId ObjectModel::create_object_bulk(
+    std::string name, domain::EquipmentKind kind,
+    std::map<std::string, db::Value> properties) {
+  const ObjectId id(next_id_++);
+  ObjectRecord rec;
+  rec.name = std::move(name);
+  rec.kind = kind;
+  rec.properties = std::move(properties);
+  objects_.emplace(id, std::move(rec));
+  creation_order_.push_back(id);
+  notify(OosmEvent{OosmEvent::Kind::ObjectCreated, id, {}, {}, {}});
+  return id;
+}
+
 void ObjectModel::create_object_with_id(ObjectId id, std::string name,
                                         domain::EquipmentKind kind) {
   MPROS_EXPECTS(id.valid() && !objects_.contains(id));

@@ -57,6 +57,18 @@ class ObjectModel {
   // -- Object lifecycle -----------------------------------------------------
 
   ObjectId create_object(std::string name, domain::EquipmentKind kind);
+
+  /// Create an object with its initial properties in one step, emitting a
+  /// single ObjectCreated event (the properties are readable by the time
+  /// listeners run). The bulk path exists for high-rate posters — the PDME
+  /// posts one Report object per fused conclusion and the per-property
+  /// notify() fan-out dominated that cost. No PropertyChanged events are
+  /// emitted for the initial properties; listeners keying on a specific
+  /// marker property should have the poster set that one marker with
+  /// set_property() afterwards (the PDME's "posted" contract).
+  ObjectId create_object_bulk(std::string name, domain::EquipmentKind kind,
+                              std::map<std::string, db::Value> properties);
+
   void delete_object(ObjectId id);
   [[nodiscard]] bool exists(ObjectId id) const;
   [[nodiscard]] std::size_t object_count() const { return objects_.size(); }

@@ -1,0 +1,238 @@
+#include "mpros/pdme/fusion_core.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mpros/common/log.hpp"
+#include "mpros/telemetry/metrics.hpp"
+#include "mpros/telemetry/trace.hpp"
+
+namespace mpros::pdme {
+
+using domain::FailureMode;
+
+namespace {
+
+/// Registry handles resolved once; observations are relaxed atomics after.
+/// Counters are process-wide, shared by every core (the Registry dedups by
+/// name), so sharded and inline runs report through the same names.
+struct CoreMetrics {
+  telemetry::Counter& reports_accepted;
+  telemetry::Counter& duplicates_dropped;
+  telemetry::Counter& malformed_dropped;
+  telemetry::Counter& fusion_updates;
+  telemetry::Counter& sensor_fault_reports;
+  telemetry::Histogram& fuse_wall_us;
+
+  static CoreMetrics& instance() {
+    static auto& reg = telemetry::Registry::instance();
+    static CoreMetrics m{
+        reg.counter("pdme.reports_accepted"),
+        reg.counter("pdme.duplicates_dropped"),
+        reg.counter("pdme.malformed_dropped"),
+        reg.counter("pdme.fusion_updates"),
+        reg.counter("pdme.sensor_fault_reports"),
+        reg.histogram("pdme.fuse_wall_us")};
+    return m;
+  }
+};
+
+fusion::PrognosticVector to_vector(
+    const std::vector<net::PrognosticPair>& pairs) {
+  std::vector<fusion::PrognosticPoint> points;
+  points.reserve(pairs.size());
+  for (const net::PrognosticPair& p : pairs) {
+    points.push_back({SimTime::from_seconds(p.time_seconds), p.probability});
+  }
+  return fusion::PrognosticVector(std::move(points));
+}
+
+}  // namespace
+
+std::string report_signature(const net::FailureReport& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%llu/%llu/%llu/%llu/%lld/%.6f",
+                static_cast<unsigned long long>(r.dc.value()),
+                static_cast<unsigned long long>(r.knowledge_source.value()),
+                static_cast<unsigned long long>(r.sensed_object.value()),
+                static_cast<unsigned long long>(r.machine_condition.value()),
+                static_cast<long long>(r.timestamp.micros()), r.belief);
+  return buf;
+}
+
+void FusionCore::count_duplicate() {
+  ++stats_.duplicates_dropped;
+  CoreMetrics::instance().duplicates_dropped.inc();
+}
+
+void FusionCore::fuse(const net::FailureReport& r, std::uint64_t order,
+                      bool retest_enabled) {
+  CoreMetrics& metrics = CoreMetrics::instance();
+  // Sensor-fault conclusions get their own track: fusing "the sensor lies"
+  // into Dempster-Shafer would steal mass from real machinery modes.
+  if (domain::is_sensor_fault_condition(r.machine_condition)) {
+    note_sensor_fault(r);
+    return;
+  }
+  if (!r.machine_condition.valid() ||
+      r.machine_condition.value() > domain::kFailureModeCount) {
+    ++stats_.malformed_dropped;
+    metrics.malformed_dropped.inc();
+    return;
+  }
+  telemetry::StageTimer span("pdme.fuse", r.trace, r.timestamp.micros(),
+                             &metrics.fuse_wall_us);
+  const FailureMode mode = domain::failure_mode(r.machine_condition);
+
+  ++stats_.reports_accepted;
+  metrics.reports_accepted.inc();
+  reports_[r.sensed_object.value()].push_back(r);
+
+  // Diagnostic fusion: the report's Belief field becomes simple support.
+  diagnostics_.update(r.sensed_object, mode, std::clamp(r.belief, 0.0, 1.0));
+
+  // Prognostic fusion: conservative envelope per (machine, mode) (§5.4).
+  ModeTrack& track = tracks_[ModeKey{r.sensed_object.value(), mode}];
+  if (!r.prognostics.empty()) {
+    track.fused_prognosis =
+        fuse_conservative(track.fused_prognosis, to_vector(r.prognostics));
+  }
+  track.max_severity = std::max(track.max_severity, r.severity);
+  track.trend.observe(r.timestamp, std::clamp(r.severity, 0.0, 1.0));
+  track.latest_report = std::max(track.latest_report, r.timestamp);
+  ++track.reports;
+  ++stats_.fusion_updates;
+  metrics.fusion_updates.inc();
+  if (retest_enabled) maybe_record_retest(r, order);
+
+  MPROS_LOG_DEBUG("pdme", "fused %s for obj=%llu belief=%.2f",
+                  domain::to_string(mode),
+                  static_cast<unsigned long long>(r.sensed_object.value()),
+                  r.belief);
+}
+
+void FusionCore::note_sensor_fault(const net::FailureReport& r) {
+  CoreMetrics& metrics = CoreMetrics::instance();
+  ++stats_.reports_accepted;
+  metrics.reports_accepted.inc();
+  ++stats_.sensor_fault_reports;
+  metrics.sensor_fault_reports.inc();
+  reports_[r.sensed_object.value()].push_back(r);
+
+  const domain::SensorFaultKind kind =
+      domain::sensor_fault_kind(r.machine_condition);
+  SensorFaultRecord& rec = sensor_faults_[{
+      r.dc.value(), r.sensed_object.value(), static_cast<std::uint64_t>(kind)}];
+  if (rec.at.micros() > r.timestamp.micros()) return;  // stale arrival
+  rec.dc = r.dc;
+  rec.object = r.sensed_object;
+  rec.kind = kind;
+  rec.severity = r.severity;
+  rec.at = r.timestamp;
+  rec.explanation = r.explanation;
+  if (r.severity > 0.0) {
+    MPROS_LOG_WARN("pdme", "sensor fault from dc-%llu: %s",
+                   static_cast<unsigned long long>(r.dc.value()),
+                   r.explanation.c_str());
+  }
+}
+
+void FusionCore::maybe_record_retest(const net::FailureReport& r,
+                                     std::uint64_t order) {
+  if (!cfg_.auto_retest) return;
+  if (r.severity < cfg_.retest_severity) return;
+  const FailureMode mode = domain::failure_mode(r.machine_condition);
+  const fusion::GroupState group =
+      diagnostics_.state(r.sensed_object, domain::logical_group(mode));
+  // Already corroborated: several reports and little unknown mass left. A
+  // first-ever severe report always earns a closer look, however confident
+  // its source was.
+  if (group.report_count > 1 && group.unknown < cfg_.retest_unknown) return;
+  pending_retests_.push_back(
+      PendingRetest{r.dc, r.sensed_object, mode, r.timestamp, order});
+}
+
+std::vector<PendingRetest> FusionCore::take_pending_retests() {
+  std::vector<PendingRetest> out;
+  out.swap(pending_retests_);
+  return out;
+}
+
+std::vector<std::uint64_t> FusionCore::machines() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [key, track] : tracks_) {
+    if (out.empty() || out.back() != key.machine) out.push_back(key.machine);
+  }
+  return out;  // tracks_ is key-ordered, so this is ascending and unique
+}
+
+std::vector<MaintenanceItem> FusionCore::prioritized_list(
+    ObjectId machine) const {
+  std::vector<MaintenanceItem> items;
+  for (const fusion::GroupState& gs : diagnostics_.states(machine)) {
+    for (const fusion::ModeBelief& mb : gs.modes) {
+      if (mb.belief <= 1e-9) continue;
+      MaintenanceItem item;
+      item.machine = machine;
+      item.mode = mb.mode;
+      item.fused_belief = mb.belief;
+      item.plausibility = mb.plausibility;
+      item.report_count = gs.report_count;
+
+      const auto track = tracks_.find(ModeKey{machine.value(), mb.mode});
+      if (track != tracks_.end()) {
+        item.max_severity = track->second.max_severity;
+        if (!track->second.fused_prognosis.empty()) {
+          item.median_ttf =
+              track->second.fused_prognosis.time_to_probability(0.5);
+          item.p90_ttf = track->second.fused_prognosis.time_to_probability(0.9);
+        }
+        item.trend_ttf =
+            track->second.trend.time_to_failure(track->second.latest_report);
+      }
+      item.priority = item.fused_belief * std::max(0.1, item.max_severity);
+      items.push_back(item);
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const MaintenanceItem& a, const MaintenanceItem& b) {
+              return a.priority > b.priority;
+            });
+  return items;
+}
+
+std::optional<fusion::PrognosticVector> FusionCore::prognosis(
+    ObjectId machine, FailureMode mode) const {
+  const auto it = tracks_.find(ModeKey{machine.value(), mode});
+  if (it == tracks_.end() || it->second.fused_prognosis.empty()) {
+    return std::nullopt;
+  }
+  return it->second.fused_prognosis;
+}
+
+fusion::PrognosticVector FusionCore::trend_prognosis(ObjectId machine,
+                                                     FailureMode mode) const {
+  const auto it = tracks_.find(ModeKey{machine.value(), mode});
+  if (it == tracks_.end()) return fusion::PrognosticVector{};
+  return it->second.trend.project(it->second.latest_report);
+}
+
+std::vector<net::FailureReport> FusionCore::reports_for(
+    ObjectId machine) const {
+  const auto it = reports_.find(machine.value());
+  return it == reports_.end() ? std::vector<net::FailureReport>{} : it->second;
+}
+
+void FusionCore::reset_machine(ObjectId machine) {
+  diagnostics_.reset(machine);
+  reports_.erase(machine.value());
+  for (auto it = tracks_.begin(); it != tracks_.end();) {
+    if (it->first.machine == machine.value()) {
+      it = tracks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace mpros::pdme

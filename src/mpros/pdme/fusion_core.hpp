@@ -1,0 +1,204 @@
+#pragma once
+// Per-machine knowledge-fusion state, extracted from the PDME executive so
+// it can be sharded (E18): each fusion worker owns one FusionCore covering a
+// disjoint set of machines, so cores never share mutable state and the only
+// synchronization is the owning shard's mutex. The inline (shard_count = 0)
+// executive owns a single core and runs everything on the driver thread.
+//
+// A core holds exactly the state that is independent per machine until the
+// comparative/fleet layer: Dempster-Shafer group state, prognostic tracks,
+// report history, dedup signatures, and the sensor-fault quarantine ledger.
+// Anything that spans machines — the OOSM, DC liveness, reliable-stream
+// bookkeeping, the retest backoff ledger — stays with the executive and is
+// reconciled at the aggregation barrier (PdmeExecutive::synchronize()).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "mpros/common/bounded_queue.hpp"
+#include "mpros/fusion/diagnostic_fusion.hpp"
+#include "mpros/fusion/prognostic_fusion.hpp"
+#include "mpros/fusion/trend.hpp"
+#include "mpros/net/report.hpp"
+
+namespace mpros::pdme {
+
+/// One line of the prioritized maintenance list.
+struct MaintenanceItem {
+  ObjectId machine;
+  domain::FailureMode mode{};
+  double fused_belief = 0.0;     ///< Bel({mode}) from Dempster-Shafer
+  double plausibility = 0.0;
+  double max_severity = 0.0;     ///< worst severity reported for the mode
+  double priority = 0.0;         ///< belief x severity, the sort key
+  std::size_t report_count = 0;  ///< reports contributing to the group
+  std::optional<SimTime> median_ttf;  ///< fused P(fail) reaches 0.5
+  std::optional<SimTime> p90_ttf;     ///< fused P(fail) reaches 0.9
+  /// §10.1 temporal reasoning: projected time-to-failure from the severity
+  /// trend across this mode's report history (absent while the trend is
+  /// flat, improving, or under-sampled).
+  std::optional<SimTime> trend_ttf;
+};
+
+struct PdmeConfig {
+  /// Reports older than this against the same (machine, condition) replace
+  /// nothing — exact duplicates (retransmissions) are dropped by signature.
+  bool deduplicate = true;
+
+  /// Adaptive "closer look" (§6.3): when a fused report crosses
+  /// `retest_severity` while the group still carries real unknown mass, the
+  /// PDME commands the originating DC to run an immediate vibration test.
+  /// Requires attach_to_network(); at most one command per (machine, mode)
+  /// per `retest_backoff` of report time.
+  bool auto_retest = false;
+  double retest_severity = 0.70;
+  double retest_unknown = 0.20;
+  SimTime retest_backoff = SimTime::from_hours(1.0);
+
+  /// DC liveness supervision: the watchdog interval the DCs are expected to
+  /// beat (matches DcConfig::heartbeat_period in the assembled system). A
+  /// machinery space silent for `stale_after_missed` intervals is Stale,
+  /// for `lost_after_missed` intervals Lost. Any report, heartbeat or
+  /// sensor batch from the DC restores Alive.
+  SimTime heartbeat_interval = SimTime::from_seconds(60.0);
+  std::size_t stale_after_missed = 2;
+  std::size_t lost_after_missed = 3;
+
+  /// Sharded ingestion (E18): number of fusion workers, each owning the
+  /// machines whose ObjectId hashes to it. 0 keeps the single-threaded
+  /// inline executive (every existing call pattern unchanged). With shards,
+  /// accept() only enqueues — fused results, OOSM report objects and retest
+  /// commands materialize at PdmeExecutive::synchronize().
+  std::size_t shard_count = 0;
+  /// Bound on each shard's ingest queue; backpressure engages beyond it.
+  std::size_t shard_queue_capacity = 1024;
+  /// What a full shard queue does to the producer: Block (lossless, the
+  /// driver waits for the worker) or DropOldest (bounded latency, evictions
+  /// are counted in Stats::queue_full / the pdme.queue_full counter).
+  OverflowPolicy overflow_policy = OverflowPolicy::Block;
+};
+
+/// The latest word on each instrument channel the validators flagged:
+/// severity > 0 = fault standing, 0 = cleared. Keyed by
+/// (dc, sensed object, fault kind); newest report wins.
+struct SensorFaultRecord {
+  DcId dc;
+  ObjectId object;
+  domain::SensorFaultKind kind{};
+  double severity = 0.0;
+  SimTime at;
+  std::string explanation;
+};
+
+/// An adaptive-retest candidate recorded at fuse time. The per-machine
+/// checks (severity threshold, corroboration) run in the core where the
+/// group state lives; the executive applies the cross-machine backoff
+/// ledger and sends the command — immediately after the fuse when inline,
+/// at the aggregation barrier when sharded. `order` is the global arrival
+/// order, so replaying candidates sorted by it reproduces the inline
+/// backoff decisions exactly.
+struct PendingRetest {
+  DcId dc;
+  ObjectId machine;
+  domain::FailureMode mode{};
+  SimTime at;
+  std::uint64_t order = 0;
+};
+
+/// Exact-duplicate (retransmission) signature of a report. Includes the
+/// sensed machine, so per-shard dedup sets are equivalent to a global one:
+/// two reports with equal signatures always hash to the same shard.
+[[nodiscard]] std::string report_signature(const net::FailureReport& r);
+
+class FusionCore {
+ public:
+  /// The Stats fields a core owns; the executive sums them across shards
+  /// into PdmeExecutive::Stats at stats() time.
+  struct Stats {
+    std::uint64_t reports_accepted = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t malformed_dropped = 0;
+    std::uint64_t fusion_updates = 0;
+    std::uint64_t sensor_fault_reports = 0;
+  };
+
+  explicit FusionCore(const PdmeConfig& cfg) : cfg_(cfg) {}
+
+  /// Dedup bookkeeping: returns false when this signature was seen before.
+  bool mark_seen(std::string signature) {
+    return seen_signatures_.insert(std::move(signature)).second;
+  }
+  void count_duplicate();
+
+  /// Fuse one report (§5.1 steps 3-4 state updates). `order` is the global
+  /// arrival order (used for retest candidates); `retest_enabled` reflects
+  /// whether the executive is attached to a network.
+  void fuse(const net::FailureReport& report, std::uint64_t order,
+            bool retest_enabled);
+
+  // -- Queries (caller holds the shard lock in sharded mode) ---------------
+
+  /// Machines with fused tracks, ascending by id.
+  [[nodiscard]] std::vector<std::uint64_t> machines() const;
+  [[nodiscard]] std::vector<MaintenanceItem> prioritized_list(
+      ObjectId machine) const;
+  [[nodiscard]] std::optional<fusion::PrognosticVector> prognosis(
+      ObjectId machine, domain::FailureMode mode) const;
+  [[nodiscard]] fusion::PrognosticVector trend_prognosis(
+      ObjectId machine, domain::FailureMode mode) const;
+  [[nodiscard]] fusion::GroupState group_state(
+      ObjectId machine, domain::LogicalGroup group) const {
+    return diagnostics_.state(machine, group);
+  }
+  [[nodiscard]] std::vector<net::FailureReport> reports_for(
+      ObjectId machine) const;
+
+  using SensorFaultKey =
+      std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>;
+  [[nodiscard]] const std::map<SensorFaultKey, SensorFaultRecord>&
+  sensor_fault_entries() const {
+    return sensor_faults_;
+  }
+
+  /// Drain the retest candidates recorded since the last call, in record
+  /// order (ascending `order` within one core).
+  [[nodiscard]] std::vector<PendingRetest> take_pending_retests();
+
+  void reset_machine(ObjectId machine);
+
+  [[nodiscard]] const Stats& core_stats() const { return stats_; }
+
+ private:
+  struct ModeKey {
+    std::uint64_t machine;
+    domain::FailureMode mode;
+    auto operator<=>(const ModeKey&) const = default;
+  };
+  struct ModeTrack {
+    fusion::PrognosticVector fused_prognosis;
+    fusion::TrendProjector trend;
+    SimTime latest_report;
+    double max_severity = 0.0;
+    std::size_t reports = 0;
+  };
+
+  void note_sensor_fault(const net::FailureReport& report);
+  void maybe_record_retest(const net::FailureReport& report,
+                           std::uint64_t order);
+
+  PdmeConfig cfg_;
+  fusion::DiagnosticFusion diagnostics_;
+  std::map<ModeKey, ModeTrack> tracks_;
+  std::map<std::uint64_t, std::vector<net::FailureReport>> reports_;
+  std::set<std::string> seen_signatures_;
+  std::map<SensorFaultKey, SensorFaultRecord> sensor_faults_;
+  std::vector<PendingRetest> pending_retests_;
+  Stats stats_;
+};
+
+}  // namespace mpros::pdme

@@ -6,6 +6,7 @@
 
 #include "mpros/common/assert.hpp"
 #include "mpros/common/log.hpp"
+#include "mpros/pdme/shard_executor.hpp"
 #include "mpros/telemetry/metrics.hpp"
 #include "mpros/telemetry/trace.hpp"
 
@@ -15,30 +16,24 @@ using domain::FailureMode;
 
 namespace {
 
-/// Registry handles resolved once; observations are relaxed atomics after.
+/// Driver-thread metrics (the fusion-path counters live in fusion_core.cpp;
+/// the Registry dedups by name so both resolve to the same instances).
 struct PdmeMetrics {
-  telemetry::Counter& reports_accepted;
   telemetry::Counter& duplicates_dropped;
   telemetry::Counter& malformed_dropped;
-  telemetry::Counter& fusion_updates;
   telemetry::Counter& gaps_detected;
   telemetry::Counter& heartbeats_received;
-  telemetry::Counter& sensor_fault_reports;
-  telemetry::Histogram& fuse_wall_us;
+  telemetry::Counter& queue_full;
   telemetry::Histogram& report_pipeline_latency_us;
 
   static PdmeMetrics& instance() {
     static auto& reg = telemetry::Registry::instance();
-    static PdmeMetrics m{
-        reg.counter("pdme.reports_accepted"),
-        reg.counter("pdme.duplicates_dropped"),
-        reg.counter("pdme.malformed_dropped"),
-        reg.counter("pdme.fusion_updates"),
-        reg.counter("pdme.gaps_detected"),
-        reg.counter("pdme.heartbeats_received"),
-        reg.counter("pdme.sensor_fault_reports"),
-        reg.histogram("pdme.fuse_wall_us"),
-        reg.histogram("pdme.report_pipeline_latency_us")};
+    static PdmeMetrics m{reg.counter("pdme.duplicates_dropped"),
+                         reg.counter("pdme.malformed_dropped"),
+                         reg.counter("pdme.gaps_detected"),
+                         reg.counter("pdme.heartbeats_received"),
+                         reg.counter("pdme.queue_full"),
+                         reg.histogram("pdme.report_pipeline_latency_us")};
     return m;
   }
 };
@@ -69,17 +64,6 @@ std::vector<net::PrognosticPair> decode_prognostics(const std::string& s) {
   return out;
 }
 
-fusion::PrognosticVector to_vector(
-    const std::vector<net::PrognosticPair>& pairs) {
-  std::vector<fusion::PrognosticPoint> points;
-  points.reserve(pairs.size());
-  for (const net::PrognosticPair& p : pairs) {
-    points.push_back(
-        {SimTime::from_seconds(p.time_seconds), p.probability});
-  }
-  return fusion::PrognosticVector(std::move(points));
-}
-
 }  // namespace
 
 const char* to_string(DcLiveness liveness) {
@@ -93,66 +77,83 @@ const char* to_string(DcLiveness liveness) {
 
 PdmeExecutive::PdmeExecutive(oosm::ObjectModel& model, PdmeConfig cfg)
     : model_(model), cfg_(cfg) {
+  if (cfg_.shard_count >= 1) {
+    shards_ = std::make_unique<ShardExecutor>(cfg_, retest_enabled_);
+  } else {
+    inline_core_ = std::make_unique<FusionCore>(cfg_);
+  }
   subscription_ = model_.subscribe(
       [this](const oosm::OosmEvent& event) { on_oosm_event(event); });
 }
 
 PdmeExecutive::~PdmeExecutive() { model_.unsubscribe(subscription_); }
 
-std::string PdmeExecutive::signature_of(const net::FailureReport& r) const {
-  char buf[160];
-  std::snprintf(buf, sizeof buf, "%llu/%llu/%llu/%llu/%lld/%.6f",
-                static_cast<unsigned long long>(r.dc.value()),
-                static_cast<unsigned long long>(r.knowledge_source.value()),
-                static_cast<unsigned long long>(r.sensed_object.value()),
-                static_cast<unsigned long long>(r.machine_condition.value()),
-                static_cast<long long>(r.timestamp.micros()), r.belief);
-  return buf;
+std::size_t PdmeExecutive::shard_count() const {
+  return shards_ ? cfg_.shard_count : 0;
+}
+
+template <typename F>
+void PdmeExecutive::visit_cores(F&& f) const {
+  if (shards_) {
+    shards_->for_each_core(std::forward<F>(f));
+  } else {
+    f(static_cast<const FusionCore&>(*inline_core_));
+  }
 }
 
 std::optional<ObjectId> PdmeExecutive::accept(
     const net::FailureReport& report) {
-  if (cfg_.deduplicate) {
-    const std::string sig = signature_of(report);
-    if (!seen_signatures_.insert(sig).second) {
-      ++stats_.duplicates_dropped;
-      PdmeMetrics::instance().duplicates_dropped.inc();
-      return std::nullopt;
+  if (shards_) {
+    const auto result =
+        shards_->submit(report, ++order_counter_, /*needs_post=*/true);
+    if (result.was_full) {
+      ++stats_.queue_full;
+      PdmeMetrics::instance().queue_full.inc();
     }
+    return std::nullopt;  // the object is posted at synchronize()
   }
-  return post_report_object(report);
+  if (cfg_.deduplicate &&
+      !inline_core_->mark_seen(report_signature(report))) {
+    inline_core_->count_duplicate();
+    return std::nullopt;
+  }
+  const ObjectId obj = post_report_object(report);
+  fuse_local(report);
+  return obj;
 }
 
 ObjectId PdmeExecutive::post_report_object(const net::FailureReport& r) {
+  // We fuse the in-hand report directly (inline: right after this call;
+  // sharded: the worker already did) — the OOSM event path exists for
+  // third-party posters, so hold the re-entrancy guard across the whole
+  // post, completion marker included.
   posting_ = true;
-  const ObjectId obj = model_.create_object(
+  std::map<std::string, db::Value> props;
+  props.emplace("dc", static_cast<std::int64_t>(r.dc.value()));
+  props.emplace("ks", static_cast<std::int64_t>(r.knowledge_source.value()));
+  props.emplace("sensed", static_cast<std::int64_t>(r.sensed_object.value()));
+  props.emplace("condition",
+                static_cast<std::int64_t>(r.machine_condition.value()));
+  props.emplace("severity", r.severity);
+  props.emplace("belief", r.belief);
+  props.emplace("explanation", r.explanation);
+  props.emplace("recommendations", r.recommendations);
+  props.emplace("timestamp_us", r.timestamp.micros());
+  props.emplace("prognostics", encode_prognostics(r.prognostics));
+  if (r.trace != 0) {
+    props.emplace("trace", static_cast<std::int64_t>(r.trace));
+  }
+  const ObjectId obj = model_.create_object_bulk(
       "Report " + std::to_string(r.machine_condition.value()) + " on " +
           std::to_string(r.sensed_object.value()),
-      domain::EquipmentKind::Report);
-  model_.set_property(obj, "dc", static_cast<std::int64_t>(r.dc.value()));
-  model_.set_property(obj, "ks",
-                      static_cast<std::int64_t>(r.knowledge_source.value()));
-  model_.set_property(obj, "sensed",
-                      static_cast<std::int64_t>(r.sensed_object.value()));
-  model_.set_property(obj, "condition",
-                      static_cast<std::int64_t>(r.machine_condition.value()));
-  model_.set_property(obj, "severity", r.severity);
-  model_.set_property(obj, "belief", r.belief);
-  model_.set_property(obj, "explanation", r.explanation);
-  model_.set_property(obj, "recommendations", r.recommendations);
-  model_.set_property(obj, "timestamp_us", r.timestamp.micros());
-  model_.set_property(obj, "prognostics", encode_prognostics(r.prognostics));
-  if (r.trace != 0) {
-    model_.set_property(obj, "trace",
-                        static_cast<std::int64_t>(r.trace));
-  }
+      domain::EquipmentKind::Report, std::move(props));
   if (model_.exists(r.sensed_object)) {
     model_.relate(obj, oosm::Relation::RefersTo, r.sensed_object);
   }
-  posting_ = false;
   // The completion marker: fusion triggers off this property event, so
   // third parties posting report objects by hand use the same contract.
   model_.set_property(obj, "posted", std::int64_t{1});
+  posting_ = false;
   return obj;
 }
 
@@ -197,7 +198,7 @@ net::FailureReport PdmeExecutive::reconstruct_report(ObjectId object) const {
 }
 
 void PdmeExecutive::on_oosm_event(const oosm::OosmEvent& event) {
-  if (posting_) return;  // wait for the completion marker
+  if (posting_) return;  // our own posts fuse directly, not via the event
   if (event.kind != oosm::OosmEvent::Kind::PropertyChanged ||
       event.property != "posted") {
     return;
@@ -206,7 +207,60 @@ void PdmeExecutive::on_oosm_event(const oosm::OosmEvent& event) {
       model_.kind(event.object) != domain::EquipmentKind::Report) {
     return;
   }
-  fuse(reconstruct_report(event.object));
+  const net::FailureReport r = reconstruct_report(event.object);
+  if (shards_) {
+    // Already in the model: fuse without dedup and without a second post.
+    shards_->submit(r, ++order_counter_, /*needs_post=*/false);
+  } else {
+    fuse_local(r);
+  }
+}
+
+void PdmeExecutive::fuse_local(const net::FailureReport& r) {
+  inline_core_->fuse(r, ++order_counter_,
+                     retest_enabled_.load(std::memory_order_relaxed));
+  for (const PendingRetest& pending : inline_core_->take_pending_retests()) {
+    send_retest(pending);
+  }
+}
+
+void PdmeExecutive::send_retest(const PendingRetest& p) {
+  if (network_ == nullptr) return;
+  const ModeKey key{p.machine.value(), p.mode};
+  const auto last = last_retest_.find(key);
+  if (last != last_retest_.end() && p.at - last->second < cfg_.retest_backoff) {
+    return;
+  }
+  last_retest_[key] = p.at;
+
+  net::TestCommandMessage cmd;
+  cmd.target = p.dc;
+  cmd.command = net::TestCommandMessage::Command::VibrationTest;
+  cmd.reason = "PDME closer-look: " + domain::condition_text(p.mode);
+  network_->send(endpoint_name_, "dc-" + std::to_string(p.dc.value()),
+                 net::wrap(cmd), p.at);
+  ++stats_.retests_commanded;
+}
+
+void PdmeExecutive::synchronize() {
+  if (!shards_) return;
+  shards_->quiesce();
+  const std::vector<PendingPost> posts = shards_->take_pending_posts();
+  const std::vector<PendingRetest> retests = shards_->take_pending_retests();
+  // Replay in global arrival order. At equal order the post wins: inline,
+  // a report's object is posted before its fuse can trigger a retest.
+  std::size_t pi = 0;
+  std::size_t ri = 0;
+  while (pi < posts.size() || ri < retests.size()) {
+    if (ri == retests.size() ||
+        (pi < posts.size() && posts[pi].order <= retests[ri].order)) {
+      post_report_object(posts[pi].report);
+      ++pi;
+    } else {
+      send_retest(retests[ri]);
+      ++ri;
+    }
+  }
 }
 
 std::size_t PdmeExecutive::rebuild_from_model() {
@@ -222,89 +276,35 @@ std::size_t PdmeExecutive::rebuild_from_model() {
               return a.timestamp < b.timestamp;
             });
   for (const net::FailureReport& r : recovered) {
-    if (cfg_.deduplicate) seen_signatures_.insert(signature_of(r));
-    fuse(r);
+    // Recovery fuses every persisted report, even signature twins (they are
+    // distinct objects in the model) — so bypass the dedup gate and, in
+    // sharded mode, the queue: the workers' mark_seen would drop twins.
+    if (shards_) {
+      const bool retest = retest_enabled_.load(std::memory_order_relaxed);
+      const std::uint64_t order = ++order_counter_;
+      shards_->with_core_mut(r.sensed_object, [&](FusionCore& core) {
+        if (cfg_.deduplicate) core.mark_seen(report_signature(r));
+        core.fuse(r, order, retest);
+      });
+    } else {
+      if (cfg_.deduplicate) inline_core_->mark_seen(report_signature(r));
+      fuse_local(r);
+    }
   }
   return recovered.size();
 }
 
-void PdmeExecutive::fuse(const net::FailureReport& r) {
-  PdmeMetrics& metrics = PdmeMetrics::instance();
-  // Sensor-fault conclusions get their own track: fusing "the sensor lies"
-  // into Dempster-Shafer would steal mass from real machinery modes.
-  if (domain::is_sensor_fault_condition(r.machine_condition)) {
-    note_sensor_fault(r);
-    return;
-  }
-  if (!r.machine_condition.valid() ||
-      r.machine_condition.value() > domain::kFailureModeCount) {
-    ++stats_.malformed_dropped;
-    metrics.malformed_dropped.inc();
-    return;
-  }
-  telemetry::StageTimer span("pdme.fuse", r.trace, r.timestamp.micros(),
-                             &metrics.fuse_wall_us);
-  const FailureMode mode = domain::failure_mode(r.machine_condition);
-
-  ++stats_.reports_accepted;
-  metrics.reports_accepted.inc();
-  reports_[r.sensed_object.value()].push_back(r);
-
-  // Diagnostic fusion: the report's Belief field becomes simple support.
-  diagnostics_.update(r.sensed_object, mode,
-                      std::clamp(r.belief, 0.0, 1.0));
-
-  // Prognostic fusion: conservative envelope per (machine, mode) (§5.4).
-  ModeTrack& track = tracks_[ModeKey{r.sensed_object.value(), mode}];
-  if (!r.prognostics.empty()) {
-    track.fused_prognosis =
-        fuse_conservative(track.fused_prognosis, to_vector(r.prognostics));
-  }
-  track.max_severity = std::max(track.max_severity, r.severity);
-  track.trend.observe(r.timestamp, std::clamp(r.severity, 0.0, 1.0));
-  track.latest_report = std::max(track.latest_report, r.timestamp);
-  ++track.reports;
-  ++stats_.fusion_updates;
-  metrics.fusion_updates.inc();
-  maybe_command_retest(r);
-
-  MPROS_LOG_DEBUG("pdme", "fused %s for obj=%llu belief=%.2f",
-                  domain::to_string(mode),
-                  static_cast<unsigned long long>(r.sensed_object.value()),
-                  r.belief);
-}
-
-void PdmeExecutive::note_sensor_fault(const net::FailureReport& r) {
-  PdmeMetrics& metrics = PdmeMetrics::instance();
-  ++stats_.reports_accepted;
-  metrics.reports_accepted.inc();
-  ++stats_.sensor_fault_reports;
-  metrics.sensor_fault_reports.inc();
-  reports_[r.sensed_object.value()].push_back(r);
-
-  const domain::SensorFaultKind kind =
-      domain::sensor_fault_kind(r.machine_condition);
-  SensorFaultRecord& rec = sensor_faults_[{
-      r.dc.value(), r.sensed_object.value(),
-      static_cast<std::uint64_t>(kind)}];
-  if (rec.at.micros() > r.timestamp.micros()) return;  // stale arrival
-  rec.dc = r.dc;
-  rec.object = r.sensed_object;
-  rec.kind = kind;
-  rec.severity = r.severity;
-  rec.at = r.timestamp;
-  rec.explanation = r.explanation;
-  if (r.severity > 0.0) {
-    MPROS_LOG_WARN("pdme", "sensor fault from dc-%llu: %s",
-                   static_cast<unsigned long long>(r.dc.value()),
-                   r.explanation.c_str());
-  }
-}
-
 std::vector<PdmeExecutive::SensorFaultRecord> PdmeExecutive::sensor_faults(
     bool active_only) const {
+  // Merge the cores' ledgers back into one key-ordered view so the listing
+  // (and everything rendered from it) is independent of shard count.
+  std::map<FusionCore::SensorFaultKey, SensorFaultRecord> merged;
+  visit_cores([&](const FusionCore& core) {
+    const auto& entries = core.sensor_fault_entries();
+    merged.insert(entries.begin(), entries.end());
+  });
   std::vector<SensorFaultRecord> out;
-  for (const auto& [key, rec] : sensor_faults_) {
+  for (const auto& [key, rec] : merged) {
     if (!active_only || rec.severity > 0.0) out.push_back(rec);
   }
   return out;
@@ -373,9 +373,18 @@ DcLiveness PdmeExecutive::dc_liveness(DcId dc) const {
 }
 
 std::vector<MaintenanceItem> PdmeExecutive::prioritized_list() const {
+  // Gather the tracked machines (ascending) exactly as the inline executive
+  // would enumerate them, then build per-machine lists and one global sort:
+  // the item sequence entering the sort is shard-count-independent, so the
+  // output is too.
+  std::vector<std::uint64_t> machines;
+  visit_cores([&](const FusionCore& core) {
+    const auto m = core.machines();
+    machines.insert(machines.end(), m.begin(), m.end());
+  });
+  std::sort(machines.begin(), machines.end());
+
   std::vector<MaintenanceItem> items;
-  std::set<std::uint64_t> machines;
-  for (const auto& [key, track] : tracks_) machines.insert(key.machine);
   for (const std::uint64_t m : machines) {
     const auto per_machine = prioritized_list(ObjectId(m));
     items.insert(items.end(), per_machine.begin(), per_machine.end());
@@ -389,68 +398,72 @@ std::vector<MaintenanceItem> PdmeExecutive::prioritized_list() const {
 
 std::vector<MaintenanceItem> PdmeExecutive::prioritized_list(
     ObjectId machine) const {
-  std::vector<MaintenanceItem> items;
-  for (const fusion::GroupState& gs : diagnostics_.states(machine)) {
-    for (const fusion::ModeBelief& mb : gs.modes) {
-      if (mb.belief <= 1e-9) continue;
-      MaintenanceItem item;
-      item.machine = machine;
-      item.mode = mb.mode;
-      item.fused_belief = mb.belief;
-      item.plausibility = mb.plausibility;
-      item.report_count = gs.report_count;
-
-      const auto track =
-          tracks_.find(ModeKey{machine.value(), mb.mode});
-      if (track != tracks_.end()) {
-        item.max_severity = track->second.max_severity;
-        if (!track->second.fused_prognosis.empty()) {
-          item.median_ttf =
-              track->second.fused_prognosis.time_to_probability(0.5);
-          item.p90_ttf =
-              track->second.fused_prognosis.time_to_probability(0.9);
-        }
-        item.trend_ttf =
-            track->second.trend.time_to_failure(track->second.latest_report);
-      }
-      item.priority = item.fused_belief * std::max(0.1, item.max_severity);
-      items.push_back(item);
-    }
+  if (shards_) {
+    return shards_->with_core(machine, [&](const FusionCore& core) {
+      return core.prioritized_list(machine);
+    });
   }
-  std::sort(items.begin(), items.end(),
-            [](const MaintenanceItem& a, const MaintenanceItem& b) {
-              return a.priority > b.priority;
-            });
-  return items;
+  return inline_core_->prioritized_list(machine);
 }
 
 std::optional<fusion::PrognosticVector> PdmeExecutive::prognosis(
     ObjectId machine, FailureMode mode) const {
-  const auto it = tracks_.find(ModeKey{machine.value(), mode});
-  if (it == tracks_.end() || it->second.fused_prognosis.empty()) {
-    return std::nullopt;
+  if (shards_) {
+    return shards_->with_core(machine, [&](const FusionCore& core) {
+      return core.prognosis(machine, mode);
+    });
   }
-  return it->second.fused_prognosis;
+  return inline_core_->prognosis(machine, mode);
 }
 
 fusion::PrognosticVector PdmeExecutive::trend_prognosis(
     ObjectId machine, FailureMode mode) const {
-  const auto it = tracks_.find(ModeKey{machine.value(), mode});
-  if (it == tracks_.end()) return fusion::PrognosticVector{};
-  return it->second.trend.project(it->second.latest_report);
+  if (shards_) {
+    return shards_->with_core(machine, [&](const FusionCore& core) {
+      return core.trend_prognosis(machine, mode);
+    });
+  }
+  return inline_core_->trend_prognosis(machine, mode);
+}
+
+fusion::GroupState PdmeExecutive::group_state(
+    ObjectId machine, domain::LogicalGroup group) const {
+  if (shards_) {
+    return shards_->with_core(machine, [&](const FusionCore& core) {
+      return core.group_state(machine, group);
+    });
+  }
+  return inline_core_->group_state(machine, group);
 }
 
 std::vector<net::FailureReport> PdmeExecutive::reports_for(
     ObjectId machine) const {
-  const auto it = reports_.find(machine.value());
-  return it == reports_.end() ? std::vector<net::FailureReport>{}
-                              : it->second;
+  if (shards_) {
+    return shards_->with_core(machine, [&](const FusionCore& core) {
+      return core.reports_for(machine);
+    });
+  }
+  return inline_core_->reports_for(machine);
+}
+
+PdmeExecutive::Stats PdmeExecutive::stats() const {
+  Stats out = stats_;
+  visit_cores([&](const FusionCore& core) {
+    const FusionCore::Stats& cs = core.core_stats();
+    out.reports_accepted += cs.reports_accepted;
+    out.duplicates_dropped += cs.duplicates_dropped;
+    out.malformed_dropped += cs.malformed_dropped;
+    out.fusion_updates += cs.fusion_updates;
+    out.sensor_fault_reports += cs.sensor_fault_reports;
+  });
+  return out;
 }
 
 void PdmeExecutive::attach_to_network(net::SimNetwork& network,
                                       const std::string& endpoint_name) {
   network_ = &network;
   endpoint_name_ = endpoint_name;
+  retest_enabled_.store(true, std::memory_order_relaxed);
   network.register_endpoint(
       endpoint_name, [this](const net::Message& message) {
         PdmeMetrics& metrics = PdmeMetrics::instance();
@@ -488,32 +501,42 @@ void PdmeExecutive::attach_to_network(net::SimNetwork& network,
               return;
             }
             note_dc_alive(env->dc, message.delivered_at);
+            if (receiver_.is_duplicate(env->dc, env->sequence)) {
+              // Still re-ack — the retransmission may mean our previous
+              // ack was the datagram that got lost.
+              if (network_ != nullptr) {
+                network_->send(endpoint_name_,
+                               "dc-" + std::to_string(env->dc.value()),
+                               net::wrap(receiver_.make_ack(env->dc)),
+                               message.delivered_at);
+                ++stats_.acks_sent;
+              }
+              ++stats_.duplicates_dropped;
+              metrics.duplicates_dropped.inc();
+              return;
+            }
+            telemetry::StageTimer transit("net.transit", env->report.trace,
+                                          message.sent_at.micros());
+            transit.set_sim_end(message.delivered_at.micros());
+            metrics.report_pipeline_latency_us.observe(static_cast<double>(
+                (message.delivered_at - env->report.timestamp).micros()));
+            // Hand the report to the pipeline BEFORE committing stream
+            // state: an acked sequence whose report never reached a shard
+            // would be unrecoverable (the DC retires it on our ack).
+            accept(env->report);
             const net::ReliableReceiver::Outcome outcome =
                 receiver_.on_envelope(env->dc, env->sequence);
             stats_.gaps_detected += outcome.new_gaps;
             if (outcome.new_gaps > 0) {
               metrics.gaps_detected.inc(outcome.new_gaps);
             }
-            // Ack everything, duplicates included — the retransmission may
-            // mean our previous ack was the datagram that got lost.
             if (network_ != nullptr) {
               network_->send(endpoint_name_,
                              "dc-" + std::to_string(env->dc.value()),
                              net::wrap(outcome.ack), message.delivered_at);
               ++stats_.acks_sent;
             }
-            if (outcome.duplicate) {
-              ++stats_.duplicates_dropped;
-              metrics.duplicates_dropped.inc();
-              return;
-            }
             ++stats_.envelopes_accepted;
-            telemetry::StageTimer transit("net.transit", env->report.trace,
-                                          message.sent_at.micros());
-            transit.set_sim_end(message.delivered_at.micros());
-            metrics.report_pipeline_latency_us.observe(static_cast<double>(
-                (message.delivered_at - env->report.timestamp).micros()));
-            accept(env->report);
             break;
           }
           case net::MessageType::Heartbeat: {
@@ -556,44 +579,14 @@ void PdmeExecutive::accept(const net::SensorDataMessage& data) {
   posting_ = false;
 }
 
-void PdmeExecutive::maybe_command_retest(const net::FailureReport& r) {
-  if (!cfg_.auto_retest || network_ == nullptr) return;
-  if (r.severity < cfg_.retest_severity) return;
-  const FailureMode mode = domain::failure_mode(r.machine_condition);
-  const fusion::GroupState group =
-      diagnostics_.state(r.sensed_object, domain::logical_group(mode));
-  // Already corroborated: several reports and little unknown mass left. A
-  // first-ever severe report always earns a closer look, however confident
-  // its source was.
-  if (group.report_count > 1 && group.unknown < cfg_.retest_unknown) return;
-
-  const ModeKey key{r.sensed_object.value(), mode};
-  const auto last = last_retest_.find(key);
-  if (last != last_retest_.end() &&
-      r.timestamp - last->second < cfg_.retest_backoff) {
+void PdmeExecutive::reset_machine(ObjectId machine) {
+  if (shards_) {
+    shards_->with_core_mut(machine, [&](FusionCore& core) {
+      core.reset_machine(machine);
+    });
     return;
   }
-  last_retest_[key] = r.timestamp;
-
-  net::TestCommandMessage cmd;
-  cmd.target = r.dc;
-  cmd.command = net::TestCommandMessage::Command::VibrationTest;
-  cmd.reason = "PDME closer-look: " + domain::condition_text(mode);
-  network_->send(endpoint_name_, "dc-" + std::to_string(r.dc.value()),
-                 net::wrap(cmd), r.timestamp);
-  ++stats_.retests_commanded;
-}
-
-void PdmeExecutive::reset_machine(ObjectId machine) {
-  diagnostics_.reset(machine);
-  reports_.erase(machine.value());
-  for (auto it = tracks_.begin(); it != tracks_.end();) {
-    if (it->first.machine == machine.value()) {
-      it = tracks_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  inline_core_->reset_machine(machine);
 }
 
 }  // namespace mpros::pdme

@@ -13,66 +13,36 @@
 //  3. KF reads the new report and fuses diagnostics (Dempster-Shafer per
 //     logical group) and prognostics (conservative envelope),
 //  4. fused conclusions are posted back to the OOSM and drive the browser.
+//
+// Two execution modes (PdmeConfig::shard_count):
+//  - 0 (default): the historical inline executive — everything runs on the
+//    driver thread, accept() posts and fuses synchronously.
+//  - N >= 1: sharded ingestion (E18). accept() routes the report to one of
+//    N fusion workers by machine hash through a bounded backpressure queue
+//    and returns immediately; OOSM posts and retest commands are deferred
+//    until synchronize(), which quiesces the workers and replays deferred
+//    work in global arrival order — so fused state, report objects and
+//    stats are byte-identical to an inline run over the same stream.
+//    Queries are safe at any time (they take the shard locks) but are only
+//    snapshot-consistent after synchronize().
 
+#include <atomic>
 #include <map>
+#include <memory>
 #include <optional>
-#include <set>
 #include <string>
-#include <tuple>
+#include <utility>
 #include <vector>
 
-#include "mpros/fusion/diagnostic_fusion.hpp"
-#include "mpros/fusion/prognostic_fusion.hpp"
-#include "mpros/fusion/trend.hpp"
 #include "mpros/net/messages.hpp"
 #include "mpros/net/network.hpp"
 #include "mpros/net/reliable.hpp"
-#include "mpros/net/report.hpp"
 #include "mpros/oosm/object_model.hpp"
+#include "mpros/pdme/fusion_core.hpp"
 
 namespace mpros::pdme {
 
-/// One line of the prioritized maintenance list.
-struct MaintenanceItem {
-  ObjectId machine;
-  domain::FailureMode mode{};
-  double fused_belief = 0.0;     ///< Bel({mode}) from Dempster-Shafer
-  double plausibility = 0.0;
-  double max_severity = 0.0;     ///< worst severity reported for the mode
-  double priority = 0.0;         ///< belief x severity, the sort key
-  std::size_t report_count = 0;  ///< reports contributing to the group
-  std::optional<SimTime> median_ttf;  ///< fused P(fail) reaches 0.5
-  std::optional<SimTime> p90_ttf;     ///< fused P(fail) reaches 0.9
-  /// §10.1 temporal reasoning: projected time-to-failure from the severity
-  /// trend across this mode's report history (absent while the trend is
-  /// flat, improving, or under-sampled).
-  std::optional<SimTime> trend_ttf;
-};
-
-struct PdmeConfig {
-  /// Reports older than this against the same (machine, condition) replace
-  /// nothing — exact duplicates (retransmissions) are dropped by signature.
-  bool deduplicate = true;
-
-  /// Adaptive "closer look" (§6.3): when a fused report crosses
-  /// `retest_severity` while the group still carries real unknown mass, the
-  /// PDME commands the originating DC to run an immediate vibration test.
-  /// Requires attach_to_network(); at most one command per (machine, mode)
-  /// per `retest_backoff` of report time.
-  bool auto_retest = false;
-  double retest_severity = 0.70;
-  double retest_unknown = 0.20;
-  SimTime retest_backoff = SimTime::from_hours(1.0);
-
-  /// DC liveness supervision: the watchdog interval the DCs are expected to
-  /// beat (matches DcConfig::heartbeat_period in the assembled system). A
-  /// machinery space silent for `stale_after_missed` intervals is Stale,
-  /// for `lost_after_missed` intervals Lost. Any report, heartbeat or
-  /// sensor batch from the DC restores Alive.
-  SimTime heartbeat_interval = SimTime::from_seconds(60.0);
-  std::size_t stale_after_missed = 2;
-  std::size_t lost_after_missed = 3;
-};
+class ShardExecutor;
 
 /// Watchdog verdict on one DC's report stream.
 enum class DcLiveness : std::uint8_t { Alive = 0, Stale, Lost };
@@ -97,8 +67,9 @@ class PdmeExecutive {
   PdmeExecutive& operator=(const PdmeExecutive&) = delete;
 
   /// Step 1 of §5.1: post a report into the OOSM (and let the event chain
-  /// run fusion). Returns the created report object's id, or nullopt if the
-  /// report was a duplicate retransmission.
+  /// run fusion). Returns the created report object's id; nullopt if the
+  /// report was a duplicate retransmission — or, in sharded mode, always
+  /// nullopt: the post is deferred to synchronize().
   std::optional<ObjectId> accept(const net::FailureReport& report);
 
   /// Post a sensor-data batch: values land as properties on the machine's
@@ -111,6 +82,11 @@ class PdmeExecutive {
   /// envelope stream alone cannot reveal. Replay uses this to rebuild the
   /// live run's DC-health ledger from recorded frames.
   void accept(const net::HeartbeatMessage& hb, SimTime at);
+
+  /// Sharded mode: quiesce the fusion workers, then post the deferred
+  /// report objects and send the deferred retest commands in global arrival
+  /// order (the snapshot-consistent aggregation barrier). No-op inline.
+  void synchronize();
 
   /// Record that any datagram from `dc` arrived at `at` (restores a
   /// Stale/Lost DC to Alive). The network adapter calls this for every
@@ -141,17 +117,8 @@ class PdmeExecutive {
     return receiver_;
   }
 
-  /// The latest word on each instrument channel the validators flagged:
-  /// severity > 0 = fault standing, 0 = cleared. Keyed by
-  /// (dc, sensed object, fault kind); newest report wins.
-  struct SensorFaultRecord {
-    DcId dc;
-    ObjectId object;
-    domain::SensorFaultKind kind{};
-    double severity = 0.0;
-    SimTime at;
-    std::string explanation;
-  };
+  /// Compatibility alias — the record type moved to fusion_core.hpp.
+  using SensorFaultRecord = pdme::SensorFaultRecord;
   [[nodiscard]] std::vector<SensorFaultRecord> sensor_faults(
       bool active_only = true) const;
 
@@ -172,9 +139,7 @@ class PdmeExecutive {
 
   /// Dempster-Shafer state for a machine's logical group.
   [[nodiscard]] fusion::GroupState group_state(
-      ObjectId machine, domain::LogicalGroup group) const {
-    return diagnostics_.state(machine, group);
-  }
+      ObjectId machine, domain::LogicalGroup group) const;
 
   /// Reports accumulated for one machine, arrival order.
   [[nodiscard]] std::vector<net::FailureReport> reports_for(
@@ -193,11 +158,17 @@ class PdmeExecutive {
     std::uint64_t heartbeats_received = 0;
     std::uint64_t sensor_fault_reports = 0;
     std::uint64_t liveness_transitions = 0;  ///< Alive<->Stale<->Lost edges
+    std::uint64_t queue_full = 0;  ///< shard submissions that hit a full queue
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Merged snapshot: driver-side counters plus every shard core's, taken
+  /// under the shard locks (by value — the shards keep moving underneath).
+  [[nodiscard]] Stats stats() const;
 
   [[nodiscard]] oosm::ObjectModel& model() { return model_; }
   [[nodiscard]] const oosm::ObjectModel& model() const { return model_; }
+
+  /// Number of fusion shards (0 = inline executive).
+  [[nodiscard]] std::size_t shard_count() const;
 
   /// Forget everything known about a machine (post-maintenance reset).
   void reset_machine(ObjectId machine);
@@ -209,45 +180,35 @@ class PdmeExecutive {
   std::size_t rebuild_from_model();
 
  private:
-  struct ModeKey {
-    std::uint64_t machine;
-    domain::FailureMode mode;
-    auto operator<=>(const ModeKey&) const = default;
-  };
-  struct ModeTrack {
-    fusion::PrognosticVector fused_prognosis;
-    fusion::TrendProjector trend;
-    SimTime latest_report;
-    double max_severity = 0.0;
-    std::size_t reports = 0;
-  };
+  using ModeKey = std::pair<std::uint64_t, domain::FailureMode>;
 
   void on_oosm_event(const oosm::OosmEvent& event);
   [[nodiscard]] net::FailureReport reconstruct_report(ObjectId object) const;
-  void fuse(const net::FailureReport& report);
-  void note_sensor_fault(const net::FailureReport& report);
-  void maybe_command_retest(const net::FailureReport& report);
-  [[nodiscard]] std::string signature_of(const net::FailureReport& r) const;
+  /// Inline mode: fuse on the driver thread, then apply retest candidates.
+  void fuse_local(const net::FailureReport& report);
+  /// Backoff-filter and send one deferred retest command.
+  void send_retest(const PendingRetest& pending);
+  template <typename F>
+  void visit_cores(F&& f) const;
   ObjectId post_report_object(const net::FailureReport& report);
 
   oosm::ObjectModel& model_;
   PdmeConfig cfg_;
   net::SimNetwork* network_ = nullptr;  // set by attach_to_network
   std::string endpoint_name_;
+  std::atomic<bool> retest_enabled_{false};  // mirrors network_ for workers
   std::map<ModeKey, SimTime> last_retest_;
   oosm::ObjectModel::SubscriptionId subscription_;
   bool posting_ = false;  // re-entrancy guard while we create objects
 
-  fusion::DiagnosticFusion diagnostics_;
-  std::map<ModeKey, ModeTrack> tracks_;
-  std::map<std::uint64_t, std::vector<net::FailureReport>> reports_;
-  std::set<std::string> seen_signatures_;
+  // Exactly one of these is live, per cfg_.shard_count.
+  std::unique_ptr<FusionCore> inline_core_;
+  std::unique_ptr<ShardExecutor> shards_;
+
+  std::uint64_t order_counter_ = 0;  ///< global arrival order (driver thread)
   net::ReliableReceiver receiver_;
   std::map<std::uint64_t, DcHealth> dc_health_;  // by DcId value
-  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
-           SensorFaultRecord>
-      sensor_faults_;  // (dc, object, kind) -> latest word
-  Stats stats_;
+  Stats stats_;  ///< driver-side fields only; stats() merges the cores' in
 };
 
 }  // namespace mpros::pdme

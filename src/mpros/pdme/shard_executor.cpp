@@ -1,0 +1,142 @@
+#include "mpros/pdme/shard_executor.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/common/rng.hpp"
+#include "mpros/telemetry/metrics.hpp"
+
+namespace mpros::pdme {
+
+namespace {
+
+struct ShardMetrics {
+  telemetry::Histogram& queue_wait_us;
+
+  static ShardMetrics& instance() {
+    static auto& reg = telemetry::Registry::instance();
+    static ShardMetrics m{reg.histogram("pdme.shard_queue_wait_us")};
+    return m;
+  }
+};
+
+}  // namespace
+
+ShardExecutor::ShardExecutor(const PdmeConfig& cfg,
+                             const std::atomic<bool>& retest_enabled)
+    : deduplicate_(cfg.deduplicate), retest_enabled_(retest_enabled) {
+  MPROS_EXPECTS(cfg.shard_count >= 1);
+  auto& reg = telemetry::Registry::instance();
+  shards_.reserve(cfg.shard_count);
+  for (std::size_t i = 0; i < cfg.shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        cfg, reg.gauge("pdme.shard" + std::to_string(i) + ".depth")));
+  }
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->worker = std::thread([this, s] { worker_loop(*s); });
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+std::size_t ShardExecutor::shard_of(ObjectId machine) const {
+  return static_cast<std::size_t>(splitmix64(machine.value()) %
+                                  shards_.size());
+}
+
+ShardExecutor::SubmitResult ShardExecutor::submit(
+    const net::FailureReport& report, std::uint64_t order, bool needs_post) {
+  Shard& s = *shards_[shard_of(report.sensed_object)];
+  {
+    std::lock_guard lock(barrier_mu_);
+    ++submitted_;
+  }
+  const auto pushed = s.queue.push(ShardTask{
+      report, order, needs_post, std::chrono::steady_clock::now()});
+  if (pushed.evicted || !pushed.accepted) {
+    // An evicted (or shutdown-rejected) task never reaches the worker;
+    // retire it here so quiesce() still converges.
+    retire_one();
+  }
+  s.depth.set(static_cast<double>(s.queue.size()));
+  return SubmitResult{pushed.accepted, pushed.was_full, pushed.evicted};
+}
+
+void ShardExecutor::retire_one() {
+  {
+    std::lock_guard lock(barrier_mu_);
+    ++retired_;
+  }
+  barrier_cv_.notify_all();
+}
+
+void ShardExecutor::worker_loop(Shard& shard) {
+  while (auto task = shard.queue.pop()) {
+    shard.depth.set(static_cast<double>(shard.queue.size()));
+    ShardMetrics::instance().queue_wait_us.observe(
+        static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() -
+                                task->enqueued)
+                                .count()));
+    {
+      std::lock_guard lock(shard.mu);
+      if (task->needs_post && deduplicate_ &&
+          !shard.core.mark_seen(report_signature(task->report))) {
+        shard.core.count_duplicate();
+      } else {
+        if (task->needs_post) {
+          shard.pending_posts.push_back(
+              PendingPost{task->report, task->order});
+        }
+        shard.core.fuse(task->report, task->order,
+                        retest_enabled_.load(std::memory_order_relaxed));
+      }
+    }
+    retire_one();
+  }
+}
+
+void ShardExecutor::quiesce() {
+  std::unique_lock lock(barrier_mu_);
+  barrier_cv_.wait(lock, [&] { return retired_ == submitted_; });
+}
+
+std::vector<PendingPost> ShardExecutor::take_pending_posts() {
+  std::vector<PendingPost> out;
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    out.insert(out.end(),
+               std::make_move_iterator(shard->pending_posts.begin()),
+               std::make_move_iterator(shard->pending_posts.end()));
+    shard->pending_posts.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PendingPost& a, const PendingPost& b) {
+              return a.order < b.order;
+            });
+  return out;
+}
+
+std::vector<PendingRetest> ShardExecutor::take_pending_retests() {
+  std::vector<PendingRetest> out;
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    auto batch = shard->core.take_pending_retests();
+    out.insert(out.end(), batch.begin(), batch.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PendingRetest& a, const PendingRetest& b) {
+              return a.order < b.order;
+            });
+  return out;
+}
+
+}  // namespace mpros::pdme

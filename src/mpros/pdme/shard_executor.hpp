@@ -1,0 +1,155 @@
+#pragma once
+// The sharded ingestion pipeline behind the PDME executive (E18).
+//
+// Topology: the driver thread routes each report to the shard its machine
+// hashes to (splitmix64 of the ObjectId), through a bounded queue with
+// explicit backpressure; one worker thread per shard drains its queue into
+// its own FusionCore. Because every report for a machine lands on the same
+// shard's FIFO in global arrival order, per-stream ordering is preserved —
+// the E9 disorder invariants and E17 gap/duplicate bookkeeping see exactly
+// the sequence the single-threaded executive would have.
+//
+// Aggregation: workers never touch the OOSM or the network. They defer
+// report-object posts and retest candidates, tagged with the global arrival
+// order; quiesce() blocks the driver until every submitted task is retired,
+// after which take_pending_posts()/take_pending_retests() hand back the
+// deferred work sorted by that order. Replayed in order on the driver
+// thread, the posts create identical OOSM objects (same ids, same names)
+// regardless of shard count — the N-shard vs 1-shard equivalence the
+// property tests pin down.
+//
+// Thread-safety: each shard's core (and its deferred-post list) is guarded
+// by the shard mutex; submit()/quiesce()/take_* are driver-thread-only.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mpros/common/bounded_queue.hpp"
+#include "mpros/pdme/fusion_core.hpp"
+
+namespace mpros::telemetry {
+class Gauge;
+}  // namespace mpros::telemetry
+
+namespace mpros::pdme {
+
+/// One unit of shard work: a report plus its global arrival order.
+struct ShardTask {
+  net::FailureReport report;
+  std::uint64_t order = 0;
+  /// True for reports arriving through accept()/the wire: the worker dedups
+  /// them and defers an OOSM post. False for reports reconstructed from
+  /// objects a third party already posted into the model — those fuse
+  /// without dedup and without a second post, matching the inline listener.
+  bool needs_post = true;
+  std::chrono::steady_clock::time_point enqueued{};
+};
+
+/// A report-object post deferred until the aggregation barrier.
+struct PendingPost {
+  net::FailureReport report;
+  std::uint64_t order = 0;
+};
+
+class ShardExecutor {
+ public:
+  struct SubmitResult {
+    bool accepted = false;  ///< the task reached a shard queue
+    bool was_full = false;  ///< backpressure engaged (blocked or evicted)
+    bool evicted = false;   ///< DropOldest discarded an older queued task
+  };
+
+  /// Spawns `cfg.shard_count` workers. `retest_enabled` is the executive's
+  /// attached-to-network flag, read by workers at fuse time.
+  ShardExecutor(const PdmeConfig& cfg,
+                const std::atomic<bool>& retest_enabled);
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_of(ObjectId machine) const;
+
+  /// Driver thread only: route one report to its shard. Blocks while the
+  /// shard queue is full under OverflowPolicy::Block; accepted=false only
+  /// during shutdown.
+  SubmitResult submit(const net::FailureReport& report, std::uint64_t order,
+                      bool needs_post);
+
+  /// Driver thread only: wait until every submitted task has been processed
+  /// (or evicted). On return the shard cores are at rest — the snapshot
+  /// point for aggregation and race-free queries.
+  void quiesce();
+
+  /// Deferred OOSM posts from all shards, sorted by global arrival order.
+  [[nodiscard]] std::vector<PendingPost> take_pending_posts();
+  /// Deferred retest candidates from all shards, sorted likewise.
+  [[nodiscard]] std::vector<PendingRetest> take_pending_retests();
+
+  /// Run `f(const FusionCore&)` for the core owning `machine`, under its
+  /// shard lock.
+  template <typename F>
+  decltype(auto) with_core(ObjectId machine, F&& f) const {
+    const Shard& s = *shards_[shard_of(machine)];
+    std::lock_guard lock(s.mu);
+    return f(static_cast<const FusionCore&>(s.core));
+  }
+
+  /// Mutable variant (reset_machine, rebuild) — still driver-coordinated.
+  template <typename F>
+  decltype(auto) with_core_mut(ObjectId machine, F&& f) {
+    Shard& s = *shards_[shard_of(machine)];
+    std::lock_guard lock(s.mu);
+    return f(s.core);
+  }
+
+  /// Visit every core in shard order, each under its shard lock.
+  template <typename F>
+  void for_each_core(F&& f) const {
+    for (const auto& shard : shards_) {
+      std::lock_guard lock(shard->mu);
+      f(static_cast<const FusionCore&>(shard->core));
+    }
+  }
+
+ private:
+  struct Shard {
+    Shard(const PdmeConfig& cfg, telemetry::Gauge& depth_gauge)
+        : queue(cfg.shard_queue_capacity, cfg.overflow_policy),
+          core(cfg),
+          depth(depth_gauge) {}
+
+    BoundedQueue<ShardTask> queue;
+    mutable std::mutex mu;  ///< guards core + pending_posts
+    FusionCore core;
+    std::vector<PendingPost> pending_posts;
+    telemetry::Gauge& depth;  ///< "pdme.shard<i>.depth"
+    std::thread worker;
+  };
+
+  void worker_loop(Shard& shard);
+  void retire_one();
+
+  const bool deduplicate_;
+  const std::atomic<bool>& retest_enabled_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Quiesce barrier: the driver counts submissions, workers count
+  // completions (evictions are retired by the driver — the worker never
+  // sees them). Both counters are guarded by barrier_mu_; submit() and
+  // quiesce() run on the driver thread only, so no new work can slip in
+  // while quiesce() waits.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace mpros::pdme

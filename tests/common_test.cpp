@@ -6,6 +6,7 @@
 #include <set>
 #include <thread>
 
+#include "mpros/common/bounded_queue.hpp"
 #include "mpros/common/clock.hpp"
 #include "mpros/common/concurrent_queue.hpp"
 #include "mpros/common/ids.hpp"
@@ -94,7 +95,8 @@ TEST(ConcurrentQueueTest, FifoOrder) {
   q.push(2);
   EXPECT_EQ(q.pop().value(), 1);
   EXPECT_EQ(q.pop().value(), 2);
-  EXPECT_FALSE(q.try_pop().has_value());
+  int v = 0;
+  EXPECT_EQ(q.try_pop(v), QueuePopStatus::Empty);
 }
 
 TEST(ConcurrentQueueTest, CloseWakesAndDrains) {
@@ -104,6 +106,120 @@ TEST(ConcurrentQueueTest, CloseWakesAndDrains) {
   EXPECT_FALSE(q.push(43));
   EXPECT_EQ(q.pop().value(), 42);  // drains before returning nullopt
   EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(ConcurrentQueueTest, TryPopDistinguishesEmptyFromDrained) {
+  // Regression: try_pop used to return a bare optional, so a non-blocking
+  // consumer could not tell "nothing right now" from "closed and drained"
+  // and would spin forever on a dead queue.
+  ConcurrentQueue<int> q;
+  int v = 0;
+  EXPECT_EQ(q.try_pop(v), QueuePopStatus::Empty);
+  EXPECT_FALSE(q.drained());
+  q.push(7);
+  EXPECT_EQ(q.try_pop(v), QueuePopStatus::Ok);
+  EXPECT_EQ(v, 7);
+  q.push(8);
+  q.close();
+  EXPECT_FALSE(q.drained());  // closed but not yet empty
+  EXPECT_EQ(q.try_pop(v), QueuePopStatus::Ok);
+  EXPECT_EQ(v, 8);
+  EXPECT_EQ(q.try_pop(v), QueuePopStatus::Drained);
+  EXPECT_TRUE(q.drained());
+}
+
+TEST(RingBufferTest, SpanPushMatchesElementwisePushAcrossWraparound) {
+  // The segmented span push must be observationally identical to pushing
+  // element by element (the pre-optimization behaviour), wraparound included.
+  RingBuffer<int> segmented(5);
+  RingBuffer<int> reference(5);
+  int next = 0;
+  for (const std::size_t batch : {3u, 4u, 2u, 5u, 1u, 4u}) {
+    std::vector<int> vs(batch);
+    for (int& v : vs) v = next++;
+    segmented.push(std::span<const int>(vs));
+    for (const int v : vs) reference.push(v);
+    ASSERT_EQ(segmented.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(segmented.at_oldest(i), reference.at_oldest(i));
+      ASSERT_EQ(segmented.at_newest(i), reference.at_newest(i));
+    }
+  }
+}
+
+TEST(RingBufferTest, OversizedSpanKeepsLastCapacityElements) {
+  RingBuffer<int> segmented(4);
+  RingBuffer<int> reference(4);
+  segmented.push(1);  // pre-existing content, head off origin
+  reference.push(1);
+  const std::vector<int> vs{10, 11, 12, 13, 14, 15, 16};  // > capacity
+  segmented.push(std::span<const int>(vs));
+  for (const int v : vs) reference.push(v);
+  ASSERT_TRUE(segmented.full());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(segmented.at_oldest(i), reference.at_oldest(i));
+    EXPECT_EQ(segmented.at_newest(i), reference.at_newest(i));
+  }
+  EXPECT_EQ(segmented.at_oldest(0), 13);
+  EXPECT_EQ(segmented.at_newest(0), 16);
+}
+
+TEST(BoundedQueueTest, BlockPolicyWaitsForSpaceLosslessly) {
+  BoundedQueue<int> q(2, OverflowPolicy::Block);
+  EXPECT_TRUE(q.push(1).accepted);
+  EXPECT_TRUE(q.push(2).accepted);
+  std::atomic<bool> third_accepted{false};
+  std::thread producer([&] {
+    // Full at entry (the consumer pops only after this thread starts), so
+    // this blocks until space frees; whichever way the race goes, Block
+    // must deliver the item.
+    EXPECT_TRUE(q.push(3).accepted);
+    third_accepted.store(true);
+  });
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(third_accepted.load());
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);  // nothing was lost
+}
+
+TEST(BoundedQueueTest, DropOldestEvictsFrontAndReports) {
+  BoundedQueue<int> q(2, OverflowPolicy::DropOldest);
+  EXPECT_FALSE(q.push(1).was_full);
+  EXPECT_FALSE(q.push(2).was_full);
+  const auto r = q.push(3);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.was_full);
+  EXPECT_TRUE(r.evicted);  // 1 was discarded: newest data wins
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BoundedQueueTest, TriStatePopAndCloseSemantics) {
+  BoundedQueue<int> q(4, OverflowPolicy::Block);
+  int v = 0;
+  EXPECT_EQ(q.try_pop(v), QueuePopStatus::Empty);
+  q.push(5);
+  q.close();
+  EXPECT_FALSE(q.push(6).accepted);  // closed rejects producers
+  EXPECT_EQ(q.try_pop(v), QueuePopStatus::Ok);
+  EXPECT_EQ(v, 5);
+  EXPECT_EQ(q.try_pop(v), QueuePopStatus::Drained);
+  EXPECT_TRUE(q.drained());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1, OverflowPolicy::Block);
+  EXPECT_TRUE(q.push(1).accepted);
+  std::thread producer([&] {
+    const auto r = q.push(2);  // blocks on the full queue...
+    EXPECT_FALSE(r.accepted);  // ...until close() rejects it
+  });
+  q.close();
+  producer.join();
+  EXPECT_EQ(q.pop().value(), 1);  // close still drains queued items
 }
 
 TEST(ConcurrentQueueTest, ManyProducersOneConsumer) {

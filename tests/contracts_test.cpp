@@ -175,7 +175,8 @@ TEST(ConcurrencyStressTest, QueueCloseRacesWithProducers) {
     closer.join();
 
     int drained = 0;
-    while (q.try_pop().has_value()) ++drained;
+    int v = 0;
+    while (q.try_pop(v) == QueuePopStatus::Ok) ++drained;
     EXPECT_EQ(drained, pushed.load());
   }
 }

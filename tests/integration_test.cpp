@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "mpros/mpros/mpros.hpp"
+#include "mpros/telemetry/metrics.hpp"
 
 namespace mpros {
 namespace {
@@ -28,6 +29,29 @@ TEST(ShipSystemTest, AssemblesTopology) {
   EXPECT_GT(ship.model().object_count(), 20u);
   EXPECT_EQ(ship.model().name(ship.plant_objects(0).motor),
             "A/C Compressor Motor 1");
+}
+
+TEST(ShipSystemTest, WarnsWhenHeartbeatIntervalConflictsWithDcPeriod) {
+  // ShipSystem overrides pdme.heartbeat_interval with the DC template's
+  // heartbeat_period (the watchdog must match the beat cadence). That used
+  // to be silent; a caller who tuned the watchdog deserves to hear that
+  // their value lost.
+  auto& warnings =
+      telemetry::Registry::instance().counter("mpros.log_warnings");
+
+  ShipSystemConfig cfg = small_config();
+  cfg.pdme.heartbeat_interval = SimTime::from_seconds(5.0);  // conflicts
+  const std::uint64_t before = warnings.value();
+  ShipSystem ship(cfg);
+  EXPECT_GT(warnings.value(), before);
+
+  // No warning when the caller left the default or matched the DC period.
+  const std::uint64_t mid = warnings.value();
+  ShipSystem untouched(small_config());
+  ShipSystemConfig matched = small_config();
+  matched.pdme.heartbeat_interval = matched.dc_template.heartbeat_period;
+  ShipSystem agreeing(matched);
+  EXPECT_EQ(warnings.value(), mid);
 }
 
 TEST(ShipSystemTest, HealthyFleetProducesFewReports) {
@@ -52,6 +76,27 @@ TEST(ShipSystemTest, FaultFlowsEndToEnd) {
   // The unfaulted plant stays clean.
   EXPECT_TRUE(
       ship.pdme().prioritized_list(ship.plant_objects(1).motor).empty());
+}
+
+TEST(ShipSystemTest, ShardedPdmeReachesSameConclusionEndToEnd) {
+  // E18: the full Fig 1 dataflow with fusion fanned out across 4 workers.
+  // advance_to() drains the shards every step, so queries behave exactly
+  // like the inline executive's.
+  ShipSystemConfig cfg = small_config();
+  cfg.pdme.shard_count = 4;
+  ShipSystem ship(cfg);
+  ship.chiller(0).faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                                     SimTime(0), 0.9,
+                                     plant::GrowthProfile::Step});
+  ship.run_until(SimTime::from_hours(1.0));
+
+  const auto list = ship.pdme().prioritized_list(ship.plant_objects(0).motor);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list.front().mode, FailureMode::MotorImbalance);
+  EXPECT_GT(list.front().fused_belief, 0.8);
+  EXPECT_TRUE(
+      ship.pdme().prioritized_list(ship.plant_objects(1).motor).empty());
+  EXPECT_EQ(ship.pdme().stats().queue_full, 0u);  // default Block policy
 }
 
 TEST(ShipSystemTest, MultipleSimultaneousFaultsAcrossGroups) {
@@ -407,17 +452,20 @@ TEST(FaultToleranceTest, RetransmissionsDeliverReportsThroughPartition) {
 }
 
 TEST(ChaosSmokeTest, HostileTransportConfiguredFromEnvironment) {
-  // CI chaos knob: MPROS_CHAOS_DROP / MPROS_CHAOS_DUP / MPROS_CHAOS_SEED
-  // crank the transport pathologies without a rebuild.
+  // CI chaos knobs: MPROS_CHAOS_DROP / MPROS_CHAOS_DUP / MPROS_CHAOS_SEED
+  // crank the transport pathologies without a rebuild, and
+  // MPROS_CHAOS_SHARDS runs the whole flow through the sharded PDME (E18).
   const char* drop = std::getenv("MPROS_CHAOS_DROP");
   const char* dup = std::getenv("MPROS_CHAOS_DUP");
   const char* seed = std::getenv("MPROS_CHAOS_SEED");
+  const char* shards = std::getenv("MPROS_CHAOS_SHARDS");
 
   ShipSystemConfig cfg = small_config();
   cfg.network.drop_probability = drop ? std::atof(drop) : 0.15;
   cfg.network.duplicate_probability = dup ? std::atof(dup) : 0.05;
   cfg.network.jitter = SimTime::from_millis(200.0);
   cfg.network.seed = seed ? std::strtoull(seed, nullptr, 0) : 0xC4405;
+  cfg.pdme.shard_count = shards ? std::strtoull(shards, nullptr, 0) : 0;
 
   ShipSystem ship(cfg);
   ship.chiller(0).faults().schedule({FailureMode::MotorImbalance, SimTime(0),

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <map>
+#include <memory>
 
 #include "mpros/common/rng.hpp"
 #include "mpros/common/units.hpp"
@@ -15,6 +16,9 @@
 #include "mpros/fusion/prognostic_fusion.hpp"
 #include "mpros/net/network.hpp"
 #include "mpros/net/report.hpp"
+#include "mpros/oosm/ship_builder.hpp"
+#include "mpros/pdme/browser.hpp"
+#include "mpros/pdme/pdme.hpp"
 #include "mpros/sbfr/interpreter.hpp"
 #include "mpros/wavelet/dwt.hpp"
 
@@ -464,6 +468,153 @@ INSTANTIATE_TEST_SUITE_P(
       return "k" + std::to_string(static_cast<int>(inst.param.shape * 10)) +
              "_s" + std::to_string(static_cast<int>(inst.param.scale));
     });
+
+// --- Sharded PDME equivalence (E18) -----------------------------------------
+//
+// The determinism contract of the sharded executive: for any report stream,
+// an N-shard PDME drained through synchronize() leaves OOSM, fused state and
+// browser output byte-identical to the single-threaded inline executive.
+// Per-machine order is preserved (a machine always hashes to the same shard,
+// the shard queue is FIFO), deferred OOSM posts replay in global arrival
+// order, and per-shard dedup sees every signature for its machines.
+
+class PdmeShardEquivalenceTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  struct Rig {
+    oosm::ObjectModel model;
+    oosm::ShipModel ship;
+    std::unique_ptr<pdme::PdmeExecutive> exec;
+
+    explicit Rig(std::size_t shard_count)
+        : ship(oosm::build_ship(model, "Prop", /*decks=*/2,
+                                /*plants_per_deck=*/2)) {
+      pdme::PdmeConfig cfg;
+      cfg.shard_count = shard_count;
+      exec = std::make_unique<pdme::PdmeExecutive>(model, cfg);
+    }
+
+    [[nodiscard]] std::vector<ObjectId> machines() const {
+      std::vector<ObjectId> out;
+      for (const auto& plant : ship.plants) {
+        out.insert(out.end(), {plant.chiller, plant.motor, plant.gearbox,
+                               plant.compressor});
+      }
+      return out;
+    }
+  };
+
+  /// A seeded multi-plant stream: reinforcing/conflicting reports over all
+  /// machines, exact-duplicate retransmissions, sensor-fault flags.
+  static std::vector<net::FailureReport> make_stream(
+      const std::vector<ObjectId>& machines) {
+    constexpr domain::FailureMode kModes[] = {
+        domain::FailureMode::MotorImbalance,
+        domain::FailureMode::ShaftMisalignment,
+        domain::FailureMode::BearingHousingLooseness,
+        domain::FailureMode::RotorBarDefect,
+        domain::FailureMode::StatorWindingFault,
+        domain::FailureMode::MotorBearingWear,
+        domain::FailureMode::CompressorBearingWear,
+        domain::FailureMode::OilDegradation,
+        domain::FailureMode::GearMeshWear,
+        domain::FailureMode::PumpCavitation,
+        domain::FailureMode::RefrigerantLeak,
+        domain::FailureMode::CondenserFouling,
+    };
+    Rng rng(0xE18);
+    std::vector<net::FailureReport> stream;
+    for (int i = 0; i < 400; ++i) {
+      if (!stream.empty() && rng.bernoulli(0.15)) {
+        // Retransmission: both executives must drop it by signature.
+        stream.push_back(stream[rng.integer(0, stream.size() - 1)]);
+        continue;
+      }
+      net::FailureReport r;
+      r.dc = DcId(1 + rng.integer(0, 3));
+      r.knowledge_source = KnowledgeSourceId(rng.integer(1, 4));
+      r.sensed_object = machines[rng.integer(0, machines.size() - 1)];
+      if (rng.bernoulli(0.08)) {
+        r.machine_condition = domain::sensor_fault_condition(
+            static_cast<domain::SensorFaultKind>(rng.integer(0, 2)));
+        r.severity = rng.bernoulli(0.7) ? rng.uniform(0.3, 1.0) : 0.0;
+      } else {
+        r.machine_condition = domain::condition_id(kModes[rng.integer(0, 11)]);
+        r.severity = rng.uniform(0.05, 1.0);
+      }
+      r.belief = rng.uniform(0.05, 0.95);
+      r.timestamp = SimTime::from_seconds(10.0 * (i + 1));
+      r.explanation = "prop stream #" + std::to_string(i);
+      const auto prog_count = rng.integer(0, 3);
+      for (std::uint64_t p = 0; p < prog_count; ++p) {
+        r.prognostics.push_back(
+            {rng.uniform(0.0, 1.0), rng.uniform(86400.0, 100.0 * 86400.0)});
+      }
+      stream.push_back(r);
+    }
+    return stream;
+  }
+};
+
+TEST_P(PdmeShardEquivalenceTest, FusedStateMatchesInlineByteForByte) {
+  Rig baseline(0);  // historical single-threaded executive
+  Rig sharded(GetParam());
+  ASSERT_EQ(sharded.exec->shard_count(), GetParam());
+
+  const std::vector<ObjectId> machines = baseline.machines();
+  const auto stream = make_stream(machines);
+  for (const auto& r : stream) baseline.exec->accept(r);
+  baseline.exec->synchronize();  // no-op inline, but part of the contract
+  for (const auto& r : stream) sharded.exec->accept(r);
+  sharded.exec->synchronize();
+
+  // Accounting identical; Block policy means nothing was shed.
+  const auto a = baseline.exec->stats();
+  const auto b = sharded.exec->stats();
+  EXPECT_EQ(a.reports_accepted, b.reports_accepted);
+  EXPECT_EQ(a.duplicates_dropped, b.duplicates_dropped);
+  EXPECT_EQ(a.malformed_dropped, b.malformed_dropped);
+  EXPECT_EQ(a.fusion_updates, b.fusion_updates);
+  EXPECT_EQ(a.sensor_fault_reports, b.sensor_fault_reports);
+  EXPECT_EQ(b.queue_full, 0u);
+  EXPECT_GT(b.reports_accepted, 0u);
+  EXPECT_GT(b.duplicates_dropped, 0u);  // the stream really had retransmits
+
+  // OOSM: identical population in identical creation order (deferred posts
+  // replay in global arrival order).
+  const auto objs_a = baseline.model.all_objects();
+  const auto objs_b = sharded.model.all_objects();
+  ASSERT_EQ(objs_a.size(), objs_b.size());
+  for (std::size_t i = 0; i < objs_a.size(); ++i) {
+    ASSERT_EQ(objs_a[i].value(), objs_b[i].value());
+    EXPECT_EQ(baseline.model.name(objs_a[i]), sharded.model.name(objs_b[i]));
+  }
+
+  // Quarantine ledger agrees.
+  const auto faults_a = baseline.exec->sensor_faults(/*active_only=*/false);
+  const auto faults_b = sharded.exec->sensor_faults(/*active_only=*/false);
+  ASSERT_EQ(faults_a.size(), faults_b.size());
+  for (std::size_t i = 0; i < faults_a.size(); ++i) {
+    EXPECT_EQ(faults_a[i].dc.value(), faults_b[i].dc.value());
+    EXPECT_EQ(faults_a[i].kind, faults_b[i].kind);
+    EXPECT_DOUBLE_EQ(faults_a[i].severity, faults_b[i].severity);
+  }
+
+  // Browser pages byte-identical: fleet summary and every machine screen.
+  EXPECT_EQ(pdme::render_summary(*baseline.exec, baseline.model, 50),
+            pdme::render_summary(*sharded.exec, sharded.model, 50));
+  for (const ObjectId m : machines) {
+    EXPECT_EQ(pdme::render_machine(*baseline.exec, baseline.model, m),
+              pdme::render_machine(*sharded.exec, sharded.model, m));
+  }
+  EXPECT_EQ(pdme::export_icas_csv(*baseline.exec, baseline.model),
+            pdme::export_icas_csv(*sharded.exec, sharded.model));
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, PdmeShardEquivalenceTest,
+                         ::testing::Values<std::size_t>(1, 2, 4, 8),
+                         [](const auto& inst) {
+                           return "shards" + std::to_string(inst.param);
+                         });
 
 }  // namespace
 }  // namespace mpros

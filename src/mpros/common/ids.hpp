@@ -37,6 +37,7 @@ struct ObjectIdTag {};
 struct ConditionIdTag {};
 struct ChannelIdTag {};
 struct ReportIdTag {};
+struct ShipIdTag {};
 
 /// Identifies a Data Concentrator (the per-machinery-space computer).
 using DcId = StrongId<DcIdTag>;
@@ -50,6 +51,9 @@ using ConditionId = StrongId<ConditionIdTag>;
 using ChannelId = StrongId<ChannelIdTag>;
 /// Identifies one failure-prediction report instance.
 using ReportId = StrongId<ReportIdTag>;
+/// Identifies one hull in the shore-side fleet tier. Each ship's uplink to
+/// the FleetServer is one reliable stream, keyed by this id.
+using ShipId = StrongId<ShipIdTag>;
 
 }  // namespace mpros
 

@@ -97,6 +97,7 @@ std::optional<ReplayResult> replay_recording(
       }
       case net::MessageType::TestCommand:
       case net::MessageType::Ack:
+      case net::MessageType::FleetSummaryEnvelopeMsg:
         break;  // mis-routed; the live PDME ignored these too
     }
   }

@@ -4,6 +4,7 @@
 
 #include "mpros/common/assert.hpp"
 #include "mpros/common/log.hpp"
+#include "mpros/pdme/health.hpp"
 
 namespace mpros {
 
@@ -88,6 +89,23 @@ ShipSystem::ShipSystem(ShipSystemConfig cfg)
     // datagram is still missed.
     pdme_->expect_dc(DcId(p + 1), SimTime(0));
   }
+
+  if (cfg_.uplink.enabled) {
+    MPROS_EXPECTS(cfg_.uplink.summary_period.micros() > 0);
+    MPROS_EXPECTS(cfg_.uplink.heartbeat_period.micros() > 0);
+    if (cfg_.uplink.name.empty()) cfg_.uplink.name = model_.name(ship_.ship);
+    if (cfg_.uplink.endpoint.empty()) {
+      cfg_.uplink.endpoint =
+          "hull-" + std::to_string(cfg_.uplink.ship.value());
+    }
+    uplink_endpoint_ = cfg_.uplink.endpoint;
+    // One reliable stream per hull: the sender's DcId slot carries the
+    // ShipId value (see fleet_summary.hpp), same sequencing algebra.
+    uplink_ = std::make_unique<net::ReliableSender>(
+        DcId(cfg_.uplink.ship.value()), cfg_.uplink.reliable);
+    next_summary_due_ = cfg_.uplink.summary_period;
+    next_heartbeat_due_ = cfg_.uplink.heartbeat_period;
+  }
 }
 
 plant::ChillerSimulator& ShipSystem::chiller(std::size_t plant) {
@@ -150,7 +168,96 @@ std::size_t ShipSystem::advance_to(SimTime t) {
     // flush them through the shards within the same step.
     pdme_->synchronize();
   }
+
+  // Fleet tier: at the aggregation barrier everything fused through `now_`
+  // is visible, so this is the moment the shore digest is honest. Seal one
+  // summary per elapsed cadence boundary, sweep the retransmit window, and
+  // beat the uplink heartbeat.
+  if (uplink_) {
+    while (now_ >= next_summary_due_) {
+      uplink_outbox_.push_back(
+          {uplink_->envelope(fleet_summary(now_), now_), now_});
+      next_summary_due_ += cfg_.uplink.summary_period;
+    }
+    for (std::vector<std::uint8_t>& payload : uplink_->due_retransmits(now_)) {
+      uplink_outbox_.push_back({std::move(payload), now_});
+    }
+    while (now_ >= next_heartbeat_due_) {
+      const net::HeartbeatMessage hb{DcId(cfg_.uplink.ship.value()),
+                                     next_heartbeat_due_,
+                                     uplink_->last_sequence()};
+      uplink_outbox_.push_back({net::wrap(hb), next_heartbeat_due_});
+      next_heartbeat_due_ += cfg_.uplink.heartbeat_period;
+    }
+  }
   return delivered;
+}
+
+net::FleetSummary ShipSystem::fleet_summary(SimTime at) const {
+  net::FleetSummary summary;
+  summary.ship = cfg_.uplink.ship;
+  summary.ship_name =
+      cfg_.uplink.name.empty() ? model_.name(ship_.ship) : cfg_.uplink.name;
+  summary.timestamp = at;
+
+  for (const auto& [dc, health] : pdme_->dc_health()) {
+    switch (health.liveness) {
+      case pdme::DcLiveness::Alive: ++summary.dcs_alive; break;
+      case pdme::DcLiveness::Stale: ++summary.dcs_stale; break;
+      case pdme::DcLiveness::Lost: ++summary.dcs_lost; break;
+    }
+  }
+  summary.quarantine_active =
+      static_cast<std::uint32_t>(pdme_->sensor_faults(true).size());
+  summary.quarantine_total = pdme_->stats().sensor_fault_reports;
+
+  const pdme::HealthRollup rollup;
+  const std::map<ObjectId, pdme::HealthEntry> health = rollup.compute(*pdme_);
+  for (const oosm::ChillerPlant& objs : ship_.plants) {
+    for (const ObjectId machine :
+         {objs.chiller, objs.motor, objs.gearbox, objs.compressor}) {
+      net::MachineHealthSummary m;
+      m.machine = machine;
+      m.name = model_.name(machine);
+      m.klass = domain::to_string(model_.kind(machine));
+      const auto it = health.find(machine);
+      m.health = it == health.end() ? 1.0 : it->second.rolled;
+      const std::vector<pdme::MaintenanceItem> items =
+          pdme_->prioritized_list(machine);
+      if (!items.empty()) {
+        const pdme::MaintenanceItem& top = items.front();
+        m.has_diagnosis = true;
+        m.top_mode = top.mode;
+        m.top_belief = top.fused_belief;
+        m.top_severity = top.max_severity;
+        m.priority = top.priority;
+        m.report_count = static_cast<std::uint32_t>(top.report_count);
+        if (top.median_ttf.has_value()) {
+          m.has_median_ttf = true;
+          m.median_ttf = *top.median_ttf;
+        }
+      }
+      summary.machines.push_back(std::move(m));
+    }
+  }
+  return summary;
+}
+
+std::vector<ShipSystem::UplinkDatagram> ShipSystem::drain_uplink() {
+  std::vector<UplinkDatagram> out;
+  out.swap(uplink_outbox_);
+  return out;
+}
+
+void ShipSystem::handle_uplink_wire(const net::Message& msg) {
+  if (uplink_ == nullptr) return;
+  // Shore traffic is as untrusted as any wire: fail-soft decode, and the
+  // only message a hull expects back is the cumulative ack.
+  const auto type = net::try_peek_type(msg.payload);
+  if (!type.has_value() || *type != net::MessageType::Ack) return;
+  const auto ack = net::try_unwrap_ack(msg.payload);
+  if (!ack.has_value()) return;
+  uplink_->on_ack(*ack);
 }
 
 std::size_t ShipSystem::run_until(SimTime end, SimTime step) {

@@ -13,7 +13,9 @@
 #include "mpros/common/thread_pool.hpp"
 #include "mpros/dc/data_concentrator.hpp"
 #include "mpros/mpros/wnn_training.hpp"
+#include "mpros/net/fleet_summary.hpp"
 #include "mpros/net/network.hpp"
+#include "mpros/net/reliable.hpp"
 #include "mpros/oosm/ship_builder.hpp"
 #include "mpros/pdme/pdme.hpp"
 #include "mpros/pdme/resident.hpp"
@@ -22,6 +24,24 @@
 #include "mpros/telemetry/recorder.hpp"
 
 namespace mpros {
+
+/// Ship-to-shore uplink: this hull's membership in the fleet tier. When
+/// enabled, the ship distills its PDME state into a FleetSummary at every
+/// summary cadence boundary and seals it in the reliable stream; the fleet
+/// assembler moves the sealed datagrams onto the shore network.
+struct UplinkConfig {
+  bool enabled = false;
+  ShipId ship = ShipId(1);
+  std::string name;        ///< hull display name; empty = the OOSM ship name
+  /// Shore-network endpoint this hull answers acks on; empty =
+  /// "hull-<ship>".
+  std::string endpoint;
+  SimTime summary_period = SimTime::from_seconds(600.0);
+  SimTime heartbeat_period = SimTime::from_seconds(300.0);
+  /// The ship-to-shore link is slower and more hostile than the shipboard
+  /// LAN; the retransmit window is tuned separately from the DCs'.
+  net::ReliableConfig reliable;
+};
 
 struct ShipSystemConfig {
   std::size_t plant_count = 4;
@@ -42,6 +62,8 @@ struct ShipSystemConfig {
   /// replay with mpros::replay_file / tools/mpros_replay.
   bool enable_flight_recorder = false;
   std::size_t recorder_capacity = 1 << 16;
+  /// Fleet-tier membership (off by default: a lone ship has no shore).
+  UplinkConfig uplink;
 };
 
 class ShipSystem {
@@ -89,6 +111,34 @@ class ShipSystem {
   };
   [[nodiscard]] FleetStats fleet_stats() const;
 
+  /// Distill the PDME's fused state into the fleet-tier digest: rolled-up
+  /// health per plant machine, top diagnosis, prognostic remaining life,
+  /// DC-liveness counts, quarantine-ledger digest. Runs at the aggregation
+  /// barrier (everything fused through `now` is visible), but callable any
+  /// time for inspection.
+  [[nodiscard]] net::FleetSummary fleet_summary(SimTime at) const;
+
+  /// One sealed ship-to-shore datagram, ready for the shore network.
+  struct UplinkDatagram {
+    std::vector<std::uint8_t> payload;
+    SimTime at;
+  };
+
+  /// Uplink traffic produced since the last drain (summary envelopes, due
+  /// retransmissions, heartbeats), in emission order. Empty unless
+  /// cfg.uplink.enabled. The fleet assembler forwards these to shore.
+  [[nodiscard]] std::vector<UplinkDatagram> drain_uplink();
+
+  /// Shore-to-ship datagrams (cumulative acks) land here; the fleet
+  /// assembler registers this as the hull's shore-endpoint handler.
+  void handle_uplink_wire(const net::Message& msg);
+
+  /// Null unless cfg.uplink.enabled.
+  [[nodiscard]] net::ReliableSender* uplink() { return uplink_.get(); }
+  [[nodiscard]] const std::string& uplink_endpoint() const {
+    return uplink_endpoint_;
+  }
+
   /// Null unless cfg.enable_flight_recorder.
   [[nodiscard]] telemetry::FlightRecorder* flight_recorder() {
     return recorder_.get();
@@ -113,6 +163,14 @@ class ShipSystem {
   std::vector<std::unique_ptr<dc::DataConcentrator>> dcs_;
   ThreadPool pool_;
   SimTime now_;
+
+  // Fleet-tier uplink state (driver thread only, except the sender's own
+  // internal lock — acks may arrive from the shore network's driver).
+  std::unique_ptr<net::ReliableSender> uplink_;
+  std::string uplink_endpoint_;
+  std::vector<UplinkDatagram> uplink_outbox_;
+  SimTime next_summary_due_;
+  SimTime next_heartbeat_due_;
 };
 
 }  // namespace mpros

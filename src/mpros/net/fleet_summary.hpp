@@ -1,0 +1,101 @@
+#pragma once
+// The fleet-tier wire protocol: compact per-ship health summaries.
+//
+// The paper stops at one PDME per ship; the shore-side fleet tier
+// (ROADMAP: "hierarchical fusion across hundreds of ships") adds a layer
+// above it. Each ship periodically distills its PDME state — per-machine
+// health grade, top diagnosis, prognostic remaining life, quarantine-ledger
+// digest, DC-liveness digest — into one FleetSummary and ships it over the
+// (far more hostile) ship-to-shore link. Summaries ride the PR 3 reliable
+// machinery: the FleetSummaryEnvelope carries a per-ship sequence, the
+// shore server acks cumulatively, and the ship retransmits with backoff,
+// so the link tolerates drop, duplication and disorder.
+//
+// The ack/heartbeat messages are the existing AckMessage/HeartbeatMessage
+// types with the DcId field carrying the ship's stream id — one stream per
+// hull instead of one per DC, same sequencing algebra.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpros/common/clock.hpp"
+#include "mpros/common/ids.hpp"
+#include "mpros/domain/failure_modes.hpp"
+
+namespace mpros::net {
+
+/// One machine's distilled condition, as the shore tier sees it.
+struct MachineHealthSummary {
+  ObjectId machine;           ///< ship-local OOSM id (unique per hull only)
+  std::string name;           ///< display name, e.g. "A/C Compressor Motor 1"
+  std::string klass;          ///< sister-machine key (EquipmentKind text)
+  double health = 1.0;        ///< rolled-up health grade [0,1], 1 = healthy
+
+  /// Top diagnosis: the machine's worst prioritized maintenance item.
+  bool has_diagnosis = false;
+  domain::FailureMode top_mode{};
+  double top_belief = 0.0;
+  double top_severity = 0.0;
+  double priority = 0.0;          ///< belief x severity, the fleet sort key
+  std::uint32_t report_count = 0; ///< reports behind the top diagnosis
+
+  /// Prognostic remaining life: fused P(fail) reaches 0.5 (absent if no
+  /// prognostic track exists for the top mode).
+  bool has_median_ttf = false;
+  SimTime median_ttf;
+
+  friend bool operator==(const MachineHealthSummary&,
+                         const MachineHealthSummary&) = default;
+};
+
+/// One ship's periodic health digest for the FleetServer.
+struct FleetSummary {
+  ShipId ship;
+  std::string ship_name;
+  SimTime timestamp;          ///< ship time at the PDME aggregation barrier
+
+  // DC-liveness digest (the PR 3 watchdog verdicts, counted).
+  std::uint32_t dcs_alive = 0;
+  std::uint32_t dcs_stale = 0;
+  std::uint32_t dcs_lost = 0;
+
+  // Quarantine-ledger digest: instrument channels under suspicion.
+  std::uint32_t quarantine_active = 0;  ///< standing sensor faults right now
+  std::uint64_t quarantine_total = 0;   ///< sensor-fault reports ever filed
+
+  std::vector<MachineHealthSummary> machines;
+
+  friend bool operator==(const FleetSummary&, const FleetSummary&) = default;
+};
+
+/// The unit of reliable ship-to-shore delivery: a per-ship sequence number
+/// (assigned by the ship's ReliableSender, starting at 1) plus the summary.
+struct FleetSummaryEnvelope {
+  ShipId ship;
+  std::uint64_t sequence = 0;
+  FleetSummary summary;
+
+  friend bool operator==(const FleetSummaryEnvelope&,
+                         const FleetSummaryEnvelope&) = default;
+};
+
+/// Versioned body encoding (magic + version, like the §7 report codec).
+[[nodiscard]] std::vector<std::uint8_t> serialize(const FleetSummary& s);
+
+/// Fail-soft body decode for untrusted bytes: nullopt on bad magic/version,
+/// truncation, corrupted counts, or trailing garbage — never aborts.
+[[nodiscard]] std::optional<FleetSummary> try_deserialize_fleet_summary(
+    std::span<const std::uint8_t> bytes);
+
+// Enveloped encoding (MessageType byte + ship + sequence + body).
+[[nodiscard]] std::vector<std::uint8_t> wrap(const FleetSummaryEnvelope& m);
+
+/// Fail-soft envelope decode: nullopt on wrong type, zero sequence, or any
+/// body decode failure.
+[[nodiscard]] std::optional<FleetSummaryEnvelope> try_unwrap_fleet_envelope(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace mpros::net

@@ -13,6 +13,7 @@ const char* to_string(MessageType t) {
     case MessageType::ReportEnvelopeMsg: return "report-envelope";
     case MessageType::Ack: return "ack";
     case MessageType::Heartbeat: return "heartbeat";
+    case MessageType::FleetSummaryEnvelopeMsg: return "fleet-summary";
   }
   return "?";
 }
@@ -31,6 +32,7 @@ std::optional<MessageType> try_peek_type(std::span<const std::uint8_t> bytes) {
     case MessageType::ReportEnvelopeMsg:
     case MessageType::Ack:
     case MessageType::Heartbeat:
+    case MessageType::FleetSummaryEnvelopeMsg:
       return static_cast<MessageType>(bytes[0]);
   }
   return std::nullopt;

@@ -33,6 +33,10 @@ enum class MessageType : std::uint8_t {
   ReportEnvelopeMsg = 4,
   Ack = 5,
   Heartbeat = 6,
+  /// Ship-to-shore fleet summary envelope (fleet_summary.hpp). Acked and
+  /// heartbeat-advertised with the Ack/Heartbeat types above, the DcId
+  /// field carrying the per-hull stream id.
+  FleetSummaryEnvelopeMsg = 7,
 };
 
 [[nodiscard]] const char* to_string(MessageType t);

@@ -1,9 +1,11 @@
 #include "mpros/net/reliable.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "mpros/common/assert.hpp"
 #include "mpros/common/log.hpp"
+#include "mpros/net/fleet_summary.hpp"
 #include "mpros/telemetry/metrics.hpp"
 
 namespace mpros::net {
@@ -14,6 +16,8 @@ struct ReliableMetrics {
   telemetry::Counter& envelopes_sent;
   telemetry::Counter& retransmits;
   telemetry::Counter& retransmit_overflow;
+  telemetry::Counter& retransmit_max_backoff;
+  telemetry::Gauge& retransmit_inflight;
 
   static ReliableMetrics& get() {
     static auto& reg = telemetry::Registry::instance();
@@ -21,10 +25,24 @@ struct ReliableMetrics {
         reg.counter("net.envelopes_sent"),
         reg.counter("net.retransmits"),
         reg.counter("net.retransmit_overflow"),
+        reg.counter("net.retransmit_max_backoff"),
+        reg.gauge("net.retransmit_inflight"),
     };
     return m;
   }
 };
+
+/// Unacked entries across every live sender in the process; the
+/// net.retransmit_inflight gauge mirrors it so the operator sees total
+/// recovery debt, not just the last sender to move.
+std::atomic<std::int64_t> g_inflight{0};
+
+void adjust_inflight(std::int64_t delta) {
+  if (delta == 0) return;
+  const std::int64_t now =
+      g_inflight.fetch_add(delta, std::memory_order_relaxed) + delta;
+  ReliableMetrics::get().retransmit_inflight.set(static_cast<double>(now));
+}
 
 }  // namespace
 
@@ -35,38 +53,63 @@ ReliableSender::ReliableSender(DcId dc, ReliableConfig cfg)
   MPROS_EXPECTS(cfg.initial_rto.micros() > 0);
 }
 
+ReliableSender::~ReliableSender() {
+  // Entries dying unacked leave the recovery-debt ledger with the sender.
+  adjust_inflight(-static_cast<std::int64_t>(window_.size()));
+}
+
 std::vector<std::uint8_t> ReliableSender::envelope(
     const FailureReport& report, SimTime now) {
   std::lock_guard lock(mu_);
   ReportEnvelope env;
   env.dc = dc_;
-  env.sequence = next_sequence_++;
+  env.sequence = next_sequence_;
   env.report = report;
-  std::vector<std::uint8_t> payload = wrap(env);
+  return seal(wrap(env), now);
+}
 
+std::vector<std::uint8_t> ReliableSender::envelope(const FleetSummary& summary,
+                                                   SimTime now) {
+  std::lock_guard lock(mu_);
+  FleetSummaryEnvelope env;
+  env.ship = ShipId(dc_.value());
+  env.sequence = next_sequence_;
+  env.summary = summary;
+  return seal(wrap(env), now);
+}
+
+std::vector<std::uint8_t> ReliableSender::seal(
+    std::vector<std::uint8_t> payload, SimTime now) {
+  std::int64_t inflight_delta = 1;
   if (window_.size() >= cfg_.buffer_limit) {
     MPROS_LOG_WARN("net",
                    "dc-%llu retransmit buffer full; dropping seq=%llu unacked",
                    static_cast<unsigned long long>(dc_.value()),
                    static_cast<unsigned long long>(window_.front().sequence));
     window_.pop_front();
+    --inflight_delta;
     ++stats_.overflow_dropped;
     ReliableMetrics::get().retransmit_overflow.inc();
   }
-  window_.push_back(Entry{env.sequence, payload, now + cfg_.initial_rto,
+  window_.push_back(Entry{next_sequence_, payload, now + cfg_.initial_rto,
                           cfg_.initial_rto});
+  ++next_sequence_;
   ++stats_.enveloped;
   ReliableMetrics::get().envelopes_sent.inc();
+  adjust_inflight(inflight_delta);
   return payload;
 }
 
 void ReliableSender::on_ack(const AckMessage& ack) {
   if (ack.dc != dc_) return;  // mis-routed datagram
   std::lock_guard lock(mu_);
+  std::int64_t retired = 0;
   while (!window_.empty() && window_.front().sequence <= ack.cumulative) {
     window_.pop_front();
     ++stats_.acked;
+    ++retired;
   }
+  adjust_inflight(-retired);
 }
 
 std::vector<std::vector<std::uint8_t>> ReliableSender::due_retransmits(
@@ -76,11 +119,19 @@ std::vector<std::vector<std::uint8_t>> ReliableSender::due_retransmits(
   for (Entry& e : window_) {
     if (now < e.next_retry) continue;
     due.push_back(e.payload);
+    const bool was_max = e.rto >= cfg_.max_rto;
     e.rto = std::min(cfg_.max_rto,
                      SimTime(static_cast<std::int64_t>(
                          static_cast<double>(e.rto.micros()) * cfg_.backoff)));
     e.next_retry = now + e.rto;
     ++stats_.retransmits;
+    if (!was_max && e.rto >= cfg_.max_rto) {
+      // The entry just hit the backoff ceiling: from here on it retries at
+      // the slowest cadence until acked or evicted. Counted, so a stuck
+      // link shows up in telemetry before the dead-letter Warn fires.
+      ++stats_.max_backoff_hits;
+      ReliableMetrics::get().retransmit_max_backoff.inc();
+    }
   }
   if (!due.empty()) {
     ReliableMetrics::get().retransmits.inc(due.size());

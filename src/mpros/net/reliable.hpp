@@ -24,6 +24,8 @@
 
 namespace mpros::net {
 
+struct FleetSummary;  // fleet_summary.hpp
+
 struct ReliableConfig {
   /// Unacked envelopes kept for retransmission; beyond this the oldest is
   /// dropped (counted, warned) — bounded memory beats unbounded recovery.
@@ -38,10 +40,21 @@ struct ReliableConfig {
 class ReliableSender {
  public:
   explicit ReliableSender(DcId dc, ReliableConfig cfg = {});
+  ~ReliableSender();
+
+  ReliableSender(const ReliableSender&) = delete;
+  ReliableSender& operator=(const ReliableSender&) = delete;
 
   /// Assign the next sequence to `report`, buffer the envelope for
   /// retransmission, and return its wire payload for immediate send.
   [[nodiscard]] std::vector<std::uint8_t> envelope(const FailureReport& report,
+                                                   SimTime now);
+
+  /// Fleet-tier overload: seal a ship-to-shore summary in the same
+  /// sequence/retransmit window. The stream id is this sender's `dc`
+  /// value, reinterpreted as the hull's ShipId — one reliable stream per
+  /// uplink, same ack algebra.
+  [[nodiscard]] std::vector<std::uint8_t> envelope(const FleetSummary& summary,
                                                    SimTime now);
 
   /// Retire every buffered envelope with sequence <= ack.cumulative.
@@ -61,6 +74,10 @@ class ReliableSender {
     std::uint64_t retransmits = 0;
     std::uint64_t acked = 0;
     std::uint64_t overflow_dropped = 0;  ///< evicted before being acked
+    /// Entries whose retransmission timer reached max_rto: the link has
+    /// been down long enough that recovery now crawls — the observable
+    /// precursor to overflow_dropped (net.retransmit_max_backoff counter).
+    std::uint64_t max_backoff_hits = 0;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -71,6 +88,11 @@ class ReliableSender {
     SimTime next_retry;
     SimTime rto;
   };
+
+  /// Buffer `payload` (already carrying `next_sequence_`) in the window,
+  /// advancing the sequence. Caller holds mu_.
+  [[nodiscard]] std::vector<std::uint8_t> seal(std::vector<std::uint8_t> payload,
+                                               SimTime now);
 
   const DcId dc_;
   const ReliableConfig cfg_;

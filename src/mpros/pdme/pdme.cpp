@@ -562,7 +562,8 @@ void PdmeExecutive::attach_to_network(net::SimNetwork& network,
           }
           case net::MessageType::TestCommand:
           case net::MessageType::Ack:
-            break;  // these address DCs, not the PDME
+          case net::MessageType::FleetSummaryEnvelopeMsg:
+            break;  // these address DCs or the shore tier, not the PDME
         }
       });
 }

@@ -6,10 +6,12 @@
 
 #include "mpros/common/rng.hpp"
 #include "mpros/net/codec.hpp"
+#include "mpros/net/fleet_summary.hpp"
 #include "mpros/net/messages.hpp"
 #include "mpros/net/network.hpp"
 #include "mpros/net/reliable.hpp"
 #include "mpros/net/report.hpp"
+#include "mpros/telemetry/metrics.hpp"
 #include "mpros/telemetry/recorder.hpp"
 
 namespace mpros::net {
@@ -517,6 +519,169 @@ TEST(ReliableChannelTest, AdvertisedTailSequenceRevealsLoss) {
   EXPECT_EQ(receiver.on_advertised(DcId(1), 3), 0u);  // already known
   EXPECT_EQ(receiver.open_gaps(DcId(1)), 2u);
   EXPECT_EQ(receiver.cumulative(DcId(1)), 1u);
+}
+
+TEST(ReliableChannelTest, RetransmitDebtObservableInTelemetry) {
+  // The retransmit window used to be a black box until the dead-letter
+  // warning fired; now the inflight gauge tracks unacked entries across
+  // every live sender, and a counter fires when an entry first hits the
+  // backoff ceiling. Deltas, not absolutes: other senders in this process
+  // may have touched the same metrics.
+  auto& reg = telemetry::Registry::instance();
+  auto& inflight = reg.gauge("net.retransmit_inflight");
+  auto& ceiling = reg.counter("net.retransmit_max_backoff");
+  const double g0 = inflight.value();
+  const std::uint64_t c0 = ceiling.value();
+
+  ReliableConfig cfg;
+  cfg.initial_rto = SimTime::from_seconds(10.0);
+  cfg.max_rto = SimTime::from_seconds(40.0);
+  {
+    ReliableSender sender(DcId(91), cfg);
+    (void)sender.envelope(sample_report(), SimTime(0));
+    (void)sender.envelope(sample_report(), SimTime(0));
+    EXPECT_DOUBLE_EQ(inflight.value(), g0 + 2);
+
+    // RTO walks 10 -> 20 -> 40 (ceiling, counted once per entry) -> 40.
+    (void)sender.due_retransmits(SimTime::from_seconds(10.0));
+    (void)sender.due_retransmits(SimTime::from_seconds(30.0));
+    EXPECT_EQ(sender.stats().max_backoff_hits, 2u);
+    EXPECT_EQ(ceiling.value(), c0 + 2);
+    (void)sender.due_retransmits(SimTime::from_seconds(100.0));
+    EXPECT_EQ(ceiling.value(), c0 + 2);  // already at the ceiling: no recount
+
+    sender.on_ack(AckMessage{DcId(91), 1});
+    EXPECT_DOUBLE_EQ(inflight.value(), g0 + 1);
+  }
+  // A sender dying with unacked entries returns its share of the debt.
+  EXPECT_DOUBLE_EQ(inflight.value(), g0);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-summary wire protocol (the ship-to-shore digest).
+
+FleetSummary sample_summary() {
+  FleetSummary s;
+  s.ship = ShipId(7);
+  s.ship_name = "Hull-07";
+  s.timestamp = SimTime::from_seconds(3600.0);
+  s.dcs_alive = 3;
+  s.dcs_stale = 1;
+  s.dcs_lost = 0;
+  s.quarantine_active = 2;
+  s.quarantine_total = 11;
+
+  MachineHealthSummary motor;
+  motor.machine = ObjectId(17);
+  motor.name = "A/C Compressor Motor 1";
+  motor.klass = "Motor";
+  motor.health = 0.72;
+  motor.has_diagnosis = true;
+  motor.top_mode = domain::FailureMode::MotorImbalance;
+  motor.top_belief = 0.83;
+  motor.top_severity = 0.6;
+  motor.priority = 0.498;
+  motor.report_count = 5;
+  motor.has_median_ttf = true;
+  motor.median_ttf = SimTime::from_hours(96.0);
+  s.machines.push_back(motor);
+
+  MachineHealthSummary pump;
+  pump.machine = ObjectId(21);
+  pump.name = "Chilled Water Pump 1";
+  pump.klass = "Pump";
+  pump.health = 0.98;
+  s.machines.push_back(pump);
+  return s;
+}
+
+TEST(FleetSummaryProtocolTest, SerializeDeserializeRoundTrip) {
+  const FleetSummary original = sample_summary();
+  const auto bytes = serialize(original);
+  const auto decoded = try_deserialize_fleet_summary(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(FleetSummaryProtocolTest, EnvelopeRoundTripOnTheWire) {
+  FleetSummaryEnvelope env;
+  env.ship = ShipId(7);
+  env.sequence = 42;
+  env.summary = sample_summary();
+  const auto wire = wrap(env);
+  ASSERT_EQ(try_peek_type(wire), MessageType::FleetSummaryEnvelopeMsg);
+  const auto decoded = try_unwrap_fleet_envelope(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, env);
+}
+
+TEST(FleetSummaryProtocolTest, ZeroSequenceEnvelopeRejected) {
+  FleetSummaryEnvelope env;
+  env.ship = ShipId(7);
+  env.sequence = 0;  // reliable streams start at 1
+  env.summary = sample_summary();
+  EXPECT_FALSE(try_unwrap_fleet_envelope(wrap(env)).has_value());
+}
+
+TEST(FuzzDecodeTest, FleetSummaryEveryTruncationReturnsNullopt) {
+  const auto bytes = serialize(sample_summary());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(try_deserialize_fleet_summary(
+                     std::span(bytes.data(), len)).has_value())
+        << "prefix of " << len << " bytes decoded";
+  }
+  const auto wire = wrap(FleetSummaryEnvelope{ShipId(7), 3, sample_summary()});
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(try_unwrap_fleet_envelope(
+                     std::span(wire.data(), len)).has_value())
+        << "envelope prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(FuzzDecodeTest, FleetSummarySingleByteCorruptionNeverCrashes) {
+  const auto clean = serialize(sample_summary());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    auto bytes = clean;
+    bytes[i] ^= 0xFF;
+    (void)try_deserialize_fleet_summary(bytes);
+  }
+  auto bad_magic = clean;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(try_deserialize_fleet_summary(bad_magic).has_value());
+  auto bad_version = clean;
+  bad_version[2] = 0xEE;
+  EXPECT_FALSE(try_deserialize_fleet_summary(bad_version).has_value());
+}
+
+TEST(FuzzDecodeTest, FleetSummaryHugeMachineCountRejectedBeforeAllocation) {
+  // With no machines, the trailing u32 is the machine count.
+  FleetSummary s = sample_summary();
+  s.machines.clear();
+  auto bytes = serialize(s);
+  for (std::size_t i = bytes.size() - 4; i < bytes.size(); ++i) {
+    bytes[i] = 0xFF;
+  }
+  EXPECT_FALSE(try_deserialize_fleet_summary(bytes).has_value());
+}
+
+TEST(FuzzDecodeTest, FleetEnvelopeWrongTypeReturnsNullopt) {
+  EXPECT_FALSE(try_unwrap_fleet_envelope(wrap(sample_report())).has_value());
+  const auto wire = wrap(FleetSummaryEnvelope{ShipId(7), 3, sample_summary()});
+  EXPECT_FALSE(try_unwrap_report(wire).has_value());
+  EXPECT_FALSE(try_unwrap_envelope(wire).has_value());
+  EXPECT_FALSE(try_unwrap_ack(wire).has_value());
+}
+
+TEST(FuzzDecodeTest, FleetDecodersSurviveRandomBuffers) {
+  Rng rng(0xF1EE);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> junk(rng.integer(0, 255));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.integer(0, 255));
+    }
+    (void)try_deserialize_fleet_summary(junk);
+    (void)try_unwrap_fleet_envelope(junk);
+  }
 }
 
 }  // namespace

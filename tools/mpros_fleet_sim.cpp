@@ -1,0 +1,183 @@
+// mpros_fleet_sim — command-line fleet-tier scenario runner.
+//
+// Assembles N full ShipSystems with their uplinks, the hostile ship-to-
+// shore link, and the shore FleetServer; runs simulated time; prints the
+// shore operator's fleet view (liveness, comparative outliers, the
+// cross-fleet maintenance list).
+//
+//   mpros_fleet_sim --ships 8 --hours 4
+//                   --fault 0:MotorImbalance:0.5:0.5:0.9
+//                   --shore-drop 0.15 --shore-dup 0.05
+//                   --outage 1800:3600
+//
+// --ships N            hulls in the fleet (default 4)
+// --plants N           chiller plants per hull (default 1)
+// --hours H            simulated duration (default 2)
+// --fault ship:Mode:onset_h:ramp_h:severity   (repeatable; plant 0)
+// --shore-drop P       shore-link drop probability (default 0.1)
+// --shore-dup P        shore-link duplication probability (default 0.02)
+// --outage FROM:TO     hard shore partition window, seconds (repeatable)
+// --seed N             scenario seed
+// --stats              also print server/uplink counters
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mpros/fleet/fleet_sim.hpp"
+
+namespace {
+
+using namespace mpros;
+using namespace mpros::fleet;
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr,
+               "mpros_fleet_sim: %s\n(see the header of "
+               "tools/mpros_fleet_sim.cpp for usage)\n",
+               message.c_str());
+  std::exit(2);
+}
+
+std::optional<domain::FailureMode> parse_mode(const std::string& name) {
+  for (const auto mode : domain::all_failure_modes()) {
+    if (name == domain::to_string(mode)) return mode;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    out.push_back(s.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+struct FaultSpec {
+  std::size_t ship = 0;
+  plant::FaultEvent event;
+};
+
+FaultSpec parse_fault(const std::string& spec) {
+  const auto parts = split(spec, ':');
+  if (parts.size() != 5) {
+    usage_error(
+        "--fault expects ship:Mode:onset_h:ramp_h:severity, got '" + spec +
+        "'");
+  }
+  FaultSpec f;
+  f.ship = static_cast<std::size_t>(std::atoi(parts[0].c_str()));
+  const auto mode = parse_mode(parts[1]);
+  if (!mode) usage_error("unknown failure mode '" + parts[1] + "'");
+  f.event.mode = *mode;
+  f.event.onset = SimTime::from_hours(std::atof(parts[2].c_str()));
+  f.event.ramp = SimTime::from_hours(std::atof(parts[3].c_str()));
+  f.event.max_severity = std::atof(parts[4].c_str());
+  f.event.profile = plant::GrowthProfile::Linear;
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FleetSimConfig cfg;
+  cfg.ship_count = 4;
+  cfg.ship_template.plant_count = 1;
+  cfg.shore.drop_probability = 0.1;
+  cfg.shore.duplicate_probability = 0.02;
+  double hours = 2.0;
+  bool show_stats = false;
+  std::vector<FaultSpec> faults;
+  std::vector<net::Outage> outages;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value after " + arg);
+      return argv[++i];
+    };
+    if (arg == "--ships") {
+      cfg.ship_count = static_cast<std::size_t>(std::atoi(next().c_str()));
+    } else if (arg == "--plants") {
+      cfg.ship_template.plant_count =
+          static_cast<std::size_t>(std::atoi(next().c_str()));
+    } else if (arg == "--hours") {
+      hours = std::atof(next().c_str());
+    } else if (arg == "--fault") {
+      faults.push_back(parse_fault(next()));
+    } else if (arg == "--shore-drop") {
+      cfg.shore.drop_probability = std::atof(next().c_str());
+    } else if (arg == "--shore-dup") {
+      cfg.shore.duplicate_probability = std::atof(next().c_str());
+    } else if (arg == "--outage") {
+      const auto parts = split(next(), ':');
+      if (parts.size() != 2) usage_error("--outage expects FROM:TO seconds");
+      outages.push_back({"fleet",
+                         SimTime::from_seconds(std::atof(parts[0].c_str())),
+                         SimTime::from_seconds(std::atof(parts[1].c_str())),
+                         1.0});
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(next().c_str(), nullptr, 0);
+    } else if (arg == "--stats") {
+      show_stats = true;
+    } else {
+      usage_error("unknown argument '" + arg + "'");
+    }
+  }
+  if (cfg.ship_count == 0) usage_error("--ships must be >= 1");
+
+  FleetSim fleet(cfg);
+  for (const net::Outage& outage : outages) {
+    fleet.shore().schedule_outage(outage);
+  }
+  for (const FaultSpec& f : faults) {
+    if (f.ship >= fleet.ship_count()) {
+      usage_error("--fault ship index out of range");
+    }
+    fleet.ship(f.ship).chiller(0).faults().schedule(f.event);
+  }
+
+  fleet.run_until(SimTime::from_hours(hours));
+
+  std::printf("%s", fleet.server().render_fleet_view().c_str());
+
+  if (show_stats) {
+    const FleetServer::Stats s = fleet.server().stats();
+    const net::NetworkStats shore = fleet.shore().stats();
+    std::printf(
+        "\n--- shore-link stats ---\n"
+        "sent %llu, delivered %llu, dropped %llu, duplicated %llu\n"
+        "summaries applied %llu (stale %llu, duplicates %llu, "
+        "malformed %llu)\n"
+        "acks sent %llu, gaps detected %llu, liveness transitions %llu\n",
+        static_cast<unsigned long long>(shore.sent),
+        static_cast<unsigned long long>(shore.delivered),
+        static_cast<unsigned long long>(shore.dropped),
+        static_cast<unsigned long long>(shore.duplicated),
+        static_cast<unsigned long long>(s.summaries_applied),
+        static_cast<unsigned long long>(s.summaries_stale),
+        static_cast<unsigned long long>(s.duplicates_dropped),
+        static_cast<unsigned long long>(s.malformed_dropped),
+        static_cast<unsigned long long>(s.acks_sent),
+        static_cast<unsigned long long>(s.gaps_detected),
+        static_cast<unsigned long long>(s.liveness_transitions));
+    for (std::size_t k = 0; k < fleet.ship_count(); ++k) {
+      const auto up = fleet.ship(k).uplink()->stats();
+      std::printf("hull %zu uplink: enveloped %llu, retransmits %llu, "
+                  "acked %llu, max-backoff %llu\n",
+                  k + 1, static_cast<unsigned long long>(up.enveloped),
+                  static_cast<unsigned long long>(up.retransmits),
+                  static_cast<unsigned long long>(up.acked),
+                  static_cast<unsigned long long>(up.max_backoff_hits));
+    }
+  }
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "mpros/common/assert.hpp"
+#include "mpros/common/log.hpp"
 #include "mpros/sbfr/library.hpp"
 #include "mpros/telemetry/metrics.hpp"
 
@@ -52,6 +53,8 @@ struct DcMetrics {
   telemetry::Counter& process_scans;
   telemetry::Counter& reports_emitted;
   telemetry::Counter& samples_processed;
+  telemetry::Counter& config_applied;
+  telemetry::Counter& config_rejected;
   telemetry::Histogram& vibration_wall_us;
   telemetry::Histogram& process_wall_us;
 
@@ -62,11 +65,24 @@ struct DcMetrics {
         reg.counter("dc.process_scans"),
         reg.counter("dc.reports_emitted"),
         reg.counter("dc.samples_processed"),
+        reg.counter("dc.config_applied"),
+        reg.counter("dc.config_rejected"),
         reg.histogram("dc.vibration_test_wall_us"),
         reg.histogram("dc.process_scan_wall_us")};
     return m;
   }
 };
+
+/// First slot of the form phase + k*period (k >= 1) strictly after `resume`,
+/// so a recovered task keeps its original firing grid and its catch-up
+/// advance re-runs exactly the occurrences the wedge swallowed.
+SimTime next_slot(SimTime resume, SimTime phase, SimTime period) {
+  const std::int64_t p = period.micros();
+  std::int64_t k = (resume.micros() - phase.micros()) / p + 1;
+  if (k < 1) k = 1;
+  while (phase.micros() + k * p <= resume.micros()) ++k;
+  return SimTime(phase.micros() + k * p);
+}
 
 }  // namespace
 
@@ -89,26 +105,92 @@ DataConcentrator::DataConcentrator(DcConfig cfg, MachineRefs refs,
   current_buffer_.resize(cfg_.current_window);
   setup_database();
   setup_sbfr();
+  register_tasks(SimTime(0));
+}
 
+DataConcentrator::DataConcentrator(DcConfig cfg, MachineRefs refs,
+                                   plant::ChillerSimulator& chiller,
+                                   std::shared_ptr<nn::WnnClassifier> wnn,
+                                   Salvage salvage)
+    : cfg_(cfg),
+      refs_(refs),
+      chiller_(chiller),
+      wnn_(std::move(wnn)),
+      db_(std::move(salvage.db)),
+      beliefs_(std::move(salvage.beliefs)),
+      extractor_(chiller.signature()),
+      dli_(rules::chiller_rulebase(chiller.signature())),
+      fuzzy_(),
+      sbfr_(std::move(salvage.sbfr)),
+      last_reports_(std::move(salvage.last_reports)),
+      validator_(std::move(salvage.validator)),
+      reliable_(cfg.id, cfg.reliable),
+      command_rx_(std::move(salvage.command_rx)),
+      outbox_(std::move(salvage.outbox)),
+      sensor_outbox_(std::move(salvage.sensor_outbox)),
+      wire_outbox_(std::move(salvage.wire_outbox)),
+      stats_(salvage.stats) {
+  MPROS_EXPECTS(cfg_.window >= 256);
+  vib_buffer_.resize(cfg_.window);
+  current_buffer_.resize(cfg_.current_window);
+  reliable_.restore(std::move(salvage.reliable));
+  setup_sbfr(/*add_machines=*/false);
+  // Re-apply the persisted runtime config before anchoring the schedule so
+  // commanded periods govern the recovered firing grid, not the template's.
+  reapply_persisted_config();
+  register_tasks(salvage.resume_at);
+}
+
+DataConcentrator::Salvage DataConcentrator::salvage() {
+  return Salvage{
+      .db = std::move(db_),
+      .beliefs = std::move(beliefs_),
+      .validator = std::move(validator_),
+      .sbfr = std::move(sbfr_),
+      .last_reports = std::move(last_reports_),
+      .stats = stats_,
+      .reliable = reliable_.take_state(),
+      .command_rx = std::move(command_rx_),
+      .outbox = std::move(outbox_),
+      .sensor_outbox = std::move(sensor_outbox_),
+      .wire_outbox = std::move(wire_outbox_),
+      .resume_at = chiller_.now(),
+  };
+}
+
+void DataConcentrator::register_tasks(SimTime resume_at) {
   vibration_task_ = scheduler_.add_periodic(
-      "vibration-test", cfg_.vibration_period, cfg_.vibration_period,
+      "vibration-test",
+      next_slot(resume_at, SimTime(0), cfg_.vibration_period),
+      cfg_.vibration_period,
       [this](SimTime now) { run_vibration_test(now); });
-  scheduler_.add_periodic("process-scan", cfg_.process_period,
-                          cfg_.process_period,
-                          [this](SimTime now) { run_process_scan(now); });
+  process_task_ = scheduler_.add_periodic(
+      "process-scan", next_slot(resume_at, SimTime(0), cfg_.process_period),
+      cfg_.process_period,
+      [this](SimTime now) { run_process_scan(now); });
   if (cfg_.reliable_delivery) {
-    scheduler_.add_periodic(
-        "retransmit-sweep", cfg_.retransmit_sweep_period,
+    const SimTime phase =
+        cfg_.desync_phase ? net::desync_phase(cfg_.id.value() << 1,
+                                              cfg_.retransmit_sweep_period)
+                          : SimTime(0);
+    sweep_task_ = scheduler_.add_periodic(
+        "retransmit-sweep",
+        next_slot(resume_at, phase, cfg_.retransmit_sweep_period),
         cfg_.retransmit_sweep_period, [this](SimTime now) {
           for (auto& payload : reliable_.due_retransmits(now)) {
             wire_outbox_.push_back(WireDatagram{now, std::move(payload)});
           }
         });
+    has_sweep_task_ = true;
   }
   if (cfg_.heartbeat_period.micros() > 0) {
-    scheduler_.add_periodic(
-        "heartbeat", cfg_.heartbeat_period, cfg_.heartbeat_period,
-        [this](SimTime now) {
+    const SimTime phase =
+        cfg_.desync_phase ? net::desync_phase((cfg_.id.value() << 1) | 1,
+                                              cfg_.heartbeat_period)
+                          : SimTime(0);
+    heartbeat_task_ = scheduler_.add_periodic(
+        "heartbeat", next_slot(resume_at, phase, cfg_.heartbeat_period),
+        cfg_.heartbeat_period, [this](SimTime now) {
           net::HeartbeatMessage hb;
           hb.dc = cfg_.id;
           hb.timestamp = now;
@@ -117,6 +199,7 @@ DataConcentrator::DataConcentrator(DcConfig cfg, MachineRefs refs,
           wire_outbox_.push_back(WireDatagram{now, net::wrap(hb)});
           ++stats_.heartbeats_sent;
         });
+    has_heartbeat_task_ = true;
   }
 }
 
@@ -143,11 +226,19 @@ void DataConcentrator::setup_database() {
       {ColumnDef{"id", ValueType::Integer, false},
        ColumnDef{"time_us", ValueType::Integer, false},
        ColumnDef{"test", ValueType::Text, false}}});
+  // Runtime control plane: last-acked configuration, one row per applied
+  // setting key (plus the "__revision" bookkeeping row), survives restarts.
+  db_.create_table(db::TableSchema{
+      "config",
+      {ColumnDef{"id", ValueType::Integer, false},
+       ColumnDef{"key", ValueType::Text, false},
+       ColumnDef{"value", ValueType::Real, false}}});
   db_.table("diagnostics").create_index("condition");
   db_.table("measurements").create_index("key");
+  db_.table("config").create_index("key");
 }
 
-void DataConcentrator::setup_sbfr() {
+void DataConcentrator::setup_sbfr(bool add_machines) {
   if (!cfg_.enable_sbfr) return;
   const auto nominals = domain::navy_chiller_nominals();
 
@@ -163,7 +254,7 @@ void DataConcentrator::setup_sbfr() {
 
   std::uint8_t idx = 0;
   const auto add = [&](sbfr::MachineDef def, FailureMode mode) {
-    sbfr_.add_machine(std::move(def));
+    if (add_machines) sbfr_.add_machine(std::move(def));
     sbfr_machine_mode_.push_back(mode);
     ++idx;
   };
@@ -185,7 +276,12 @@ void DataConcentrator::setup_sbfr() {
 }
 
 std::vector<net::FailureReport> DataConcentrator::advance_to(SimTime t) {
+  // A wedged DC models a hung driver loop: time passes outside but nothing
+  // runs inside — the plant reference is untouched (the supervisor's
+  // replacement re-runs the missed interval), the progress tick freezes.
+  if (wedged_) return {};
   MPROS_EXPECTS(t >= chiller_.now());
+  ++progress_;
   // Step the plant in bounded slices so process dynamics and due tests stay
   // interleaved (tests sample the plant at their due time). The slice
   // follows the fastest scheduled cadence: half the process-scan period,
@@ -217,6 +313,7 @@ std::vector<net::SensorDataMessage> DataConcentrator::drain_sensor_data() {
 }
 
 void DataConcentrator::handle_wire(const net::Message& msg) {
+  if (wedged_) return;  // hung input loop drops everything on the floor
   const std::optional<net::MessageType> type = net::try_peek_type(msg.payload);
   if (!type.has_value()) return;
   switch (*type) {
@@ -230,6 +327,18 @@ void DataConcentrator::handle_wire(const net::Message& msg) {
         reliable_.on_ack(*ack);
       }
       break;
+    case net::MessageType::CommandEnvelopeMsg: {
+      const auto env = net::try_unwrap_command_envelope(msg.payload);
+      if (!env.has_value() || env->dc != cfg_.id) break;
+      const net::ReliableReceiver::Outcome out =
+          command_rx_.on_envelope(env->dc, env->sequence);
+      if (!out.duplicate) apply_command(env->command, chiller_.now());
+      // Ack cumulatively even for duplicates — the PDME's original ack may
+      // have been the casualty, and re-acking is how its window drains.
+      wire_outbox_.push_back(
+          WireDatagram{chiller_.now(), net::wrap(out.ack)});
+      break;
+    }
     default:
       break;  // not addressed to a DC
   }
@@ -256,6 +365,184 @@ void DataConcentrator::handle_command(const net::TestCommandMessage& command) {
       }
       request_vibration_test();
       break;
+  }
+}
+
+void DataConcentrator::apply_command(const net::CommandMessage& cmd,
+                                     SimTime now) {
+  if (cmd.target != cfg_.id) return;  // mis-routed datagram
+  ++stats_.config_commands;
+  // Revision gate: disordered or retransmitted delivery converges on the
+  // newest command (revision 0 is unordered, always applied).
+  if (cmd.revision != 0 && cmd.revision <= config_revision_) {
+    ++stats_.config_stale;
+    return;
+  }
+  DcMetrics& metrics = DcMetrics::instance();
+  for (const auto& [key, value] : cmd.settings) {
+    if (apply_setting(key, value, /*quiet=*/false)) {
+      ++stats_.config_applied;
+      metrics.config_applied.inc();
+      persist_setting(key, value);
+    } else {
+      ++stats_.config_rejected;
+      metrics.config_rejected.inc();
+    }
+  }
+  if (cmd.revision != 0) {
+    config_revision_ = cmd.revision;
+    persist_setting("__revision", static_cast<double>(cmd.revision));
+  }
+  db_.table("test_log").insert_auto(
+      {db::Value(now.micros()), db::Value("config: " + cmd.reason)});
+  if (journal_ != nullptr) {
+    journal_->record_event(now.micros(),
+                           "dc-" + std::to_string(cfg_.id.value()),
+                           "config command rev " +
+                               std::to_string(cmd.revision) + ": " +
+                               cmd.reason);
+  }
+}
+
+bool DataConcentrator::apply_setting(std::string_view key, double value,
+                                     bool quiet) {
+  bool ok = std::isfinite(value);
+  if (!ok) {
+    // fall through to the reject log
+  } else if (key == "validator.spike_sigmas" ||
+             key == "validator.scalar_spike_sigmas" ||
+             key == "validator.flatline_peak_to_peak") {
+    ok = value > 0.0;
+    if (ok) {
+      SensorValidatorConfig vc = validator_.config();
+      if (key == "validator.spike_sigmas") vc.spike_sigmas = value;
+      if (key == "validator.scalar_spike_sigmas") {
+        vc.scalar_spike_sigmas = value;
+      }
+      if (key == "validator.flatline_peak_to_peak") {
+        vc.flatline_peak_to_peak = value;
+      }
+      validator_.set_config(std::move(vc));
+    }
+  } else if (key == "dc.report_hysteresis") {
+    ok = value >= 0.0 && value <= 1.0;
+    if (ok) cfg_.report_hysteresis = value;
+  } else if (key == "dc.wnn_report_threshold") {
+    ok = value >= 0.0 && value <= 1.0;
+    if (ok) cfg_.wnn_report_threshold = value;
+  } else if (key == "dc.report_refresh_s") {
+    ok = value > 0.0;
+    if (ok) cfg_.report_refresh = SimTime::from_seconds(value);
+  } else if (key == "dc.sensor_publish_every") {
+    ok = value >= 0.0 && value == std::floor(value) && value <= 1e9;
+    if (ok) cfg_.sensor_publish_every = static_cast<std::size_t>(value);
+  } else if (key == "dc.enable_dli") {
+    ok = value == 0.0 || value == 1.0;
+    if (ok) cfg_.enable_dli = value != 0.0;
+  } else if (key == "dc.enable_sbfr") {
+    ok = value == 0.0 || value == 1.0;
+    if (ok) cfg_.enable_sbfr = value != 0.0;
+  } else if (key == "dc.enable_fuzzy") {
+    ok = value == 0.0 || value == 1.0;
+    if (ok) cfg_.enable_fuzzy = value != 0.0;
+  } else if (key == "dc.enable_sensor_validation") {
+    ok = value == 0.0 || value == 1.0;
+    if (ok) cfg_.enable_sensor_validation = value != 0.0;
+  } else if (key == "dc.process_period_s") {
+    ok = value > 0.0;
+    if (ok) {
+      cfg_.process_period = SimTime::from_seconds(value);
+      if (scheduler_.task_count() > 0) {
+        scheduler_.set_period(process_task_, cfg_.process_period);
+      }
+    }
+  } else if (key == "dc.vibration_period_s") {
+    ok = value > 0.0;
+    if (ok) {
+      cfg_.vibration_period = SimTime::from_seconds(value);
+      if (scheduler_.task_count() > 0) {
+        scheduler_.set_period(vibration_task_, cfg_.vibration_period);
+      }
+    }
+  } else if (key == "dc.heartbeat_period_s") {
+    // Runtime retune only — a DC built without a heartbeat task cannot
+    // grow one (liveness policy is a commissioning decision).
+    ok = value > 0.0 && cfg_.heartbeat_period.micros() > 0;
+    if (ok) {
+      cfg_.heartbeat_period = SimTime::from_seconds(value);
+      if (has_heartbeat_task_) {
+        scheduler_.set_period(heartbeat_task_, cfg_.heartbeat_period);
+      }
+    }
+  } else if (key == "dc.retransmit_sweep_period_s") {
+    ok = value > 0.0 && cfg_.reliable_delivery;
+    if (ok) {
+      cfg_.retransmit_sweep_period = SimTime::from_seconds(value);
+      if (has_sweep_task_) {
+        scheduler_.set_period(sweep_task_, cfg_.retransmit_sweep_period);
+      }
+    }
+  } else {
+    ok = false;
+  }
+  if (!ok && !quiet) {
+    MPROS_LOG_WARN("dc", "dc-%llu rejected setting %.*s=%g",
+                   static_cast<unsigned long long>(cfg_.id.value()),
+                   static_cast<int>(key.size()), key.data(), value);
+  }
+  return ok;
+}
+
+std::optional<double> DataConcentrator::runtime_setting(
+    std::string_view key) const {
+  if (key == "validator.spike_sigmas") return validator_.config().spike_sigmas;
+  if (key == "validator.scalar_spike_sigmas") {
+    return validator_.config().scalar_spike_sigmas;
+  }
+  if (key == "validator.flatline_peak_to_peak") {
+    return validator_.config().flatline_peak_to_peak;
+  }
+  if (key == "dc.report_hysteresis") return cfg_.report_hysteresis;
+  if (key == "dc.wnn_report_threshold") return cfg_.wnn_report_threshold;
+  if (key == "dc.report_refresh_s") return cfg_.report_refresh.seconds();
+  if (key == "dc.sensor_publish_every") {
+    return static_cast<double>(cfg_.sensor_publish_every);
+  }
+  if (key == "dc.enable_dli") return cfg_.enable_dli ? 1.0 : 0.0;
+  if (key == "dc.enable_sbfr") return cfg_.enable_sbfr ? 1.0 : 0.0;
+  if (key == "dc.enable_fuzzy") return cfg_.enable_fuzzy ? 1.0 : 0.0;
+  if (key == "dc.enable_sensor_validation") {
+    return cfg_.enable_sensor_validation ? 1.0 : 0.0;
+  }
+  if (key == "dc.process_period_s") return cfg_.process_period.seconds();
+  if (key == "dc.vibration_period_s") return cfg_.vibration_period.seconds();
+  if (key == "dc.heartbeat_period_s") return cfg_.heartbeat_period.seconds();
+  if (key == "dc.retransmit_sweep_period_s") {
+    return cfg_.retransmit_sweep_period.seconds();
+  }
+  return std::nullopt;
+}
+
+void DataConcentrator::persist_setting(std::string_view key, double value) {
+  db::Table& t = db_.table("config");
+  const std::string k(key);
+  const auto keys = t.lookup("key", db::Value(k));
+  if (keys.empty()) {
+    t.insert_auto({db::Value(k), db::Value(value)});
+  } else {
+    t.update(keys.front(), "value", db::Value(value));
+  }
+}
+
+void DataConcentrator::reapply_persisted_config() {
+  for (const db::Row& row : db_.table("config").select()) {
+    const std::string& key = row[1].as_text();
+    const double value = row[2].as_real();
+    if (key == "__revision") {
+      config_revision_ = static_cast<std::uint64_t>(std::llround(value));
+    } else {
+      apply_setting(key, value, /*quiet=*/true);
+    }
   }
 }
 

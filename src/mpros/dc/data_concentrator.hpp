@@ -12,8 +12,10 @@
 // coordinated by the event scheduler, with results logged in the DC's
 // relational database and emitted as §7 failure reports.
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <tuple>
@@ -91,16 +93,88 @@ struct DcConfig {
   SimTime retransmit_sweep_period = SimTime::from_seconds(60.0);
   /// Cadence of DC->PDME liveness heartbeats (0 disables).
   SimTime heartbeat_period = SimTime::from_seconds(60.0);
+  /// Offset the retransmit sweep and heartbeat by a seeded per-DC phase
+  /// (net::desync_phase) so hundreds of DCs brought up together do not
+  /// burst-retransmit in lockstep when an outage ends.
+  bool desync_phase = true;
 };
 
 class DataConcentrator {
  public:
+  /// Counters for the throughput benches.
+  struct Stats {
+    std::uint64_t vibration_tests = 0;
+    std::uint64_t process_scans = 0;
+    std::uint64_t samples_processed = 0;
+    std::uint64_t reports_emitted = 0;
+    std::uint64_t sensor_fault_reports = 0;
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t config_commands = 0;   ///< CommandMessages applied
+    std::uint64_t config_applied = 0;    ///< settings accepted
+    std::uint64_t config_rejected = 0;   ///< settings refused (bad key/value)
+    std::uint64_t config_stale = 0;      ///< commands older than applied rev
+  };
+
+  struct LastReport {
+    double severity = -1.0;
+    SimTime at{-1};
+  };
+
+  /// Retransmission + heartbeat payloads accumulated by the DC's scheduler
+  /// tasks since the last drain; the assembler sends them on the driver
+  /// thread at their generation timestamps.
+  struct WireDatagram {
+    SimTime at;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// Everything a supervisor can rescue from a wedged DC before tearing it
+  /// down: the durable database (including the persisted runtime config),
+  /// the believability statistics, the instrument-quarantine ledger,
+  /// analyzer soft state, report-hysteresis memory, counters, the reliable
+  /// stream (sequence cursor + unacked retransmit window) and the command
+  /// stream's dedup state. `resume_at` is the last time the DC actually
+  /// advanced to — the restarted schedule re-anchors strictly after it.
+  struct Salvage {
+    db::Database db;
+    rules::BelievabilityTable beliefs;
+    SensorValidator validator;
+    sbfr::SbfrSystem sbfr;
+    std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+             LastReport>
+        last_reports;
+    Stats stats;
+    net::ReliableSender::State reliable;
+    net::ReliableReceiver command_rx;
+    std::vector<net::FailureReport> outbox;
+    std::vector<net::SensorDataMessage> sensor_outbox;
+    std::vector<WireDatagram> wire_outbox;
+    SimTime resume_at;
+  };
+
   /// `chiller` must outlive the DC. `wnn` may be null (WNN analyzer off)
   /// and is shared because training one classifier per DC would waste the
   /// fleet bench; real DCs would flash the same trained network anyway.
   DataConcentrator(DcConfig cfg, MachineRefs refs,
                    plant::ChillerSimulator& chiller,
                    std::shared_ptr<nn::WnnClassifier> wnn = nullptr);
+
+  /// Supervised restart: rebuild a DC around `salvage`. The persisted
+  /// runtime config is re-applied from the recovered database (so the DC
+  /// comes back with its last-acked configuration, not the template's), the
+  /// schedule re-anchors on the first natural slot strictly after
+  /// `salvage.resume_at` (phase preserved — a catch-up advance_to() then
+  /// re-runs exactly the tests the wedge swallowed, at their original
+  /// times), and the restored retransmit window resumes the report stream
+  /// mid-sequence.
+  DataConcentrator(DcConfig cfg, MachineRefs refs,
+                   plant::ChillerSimulator& chiller,
+                   std::shared_ptr<nn::WnnClassifier> wnn, Salvage salvage);
+
+  /// Tear-down half of supervised recovery: strip this DC of everything a
+  /// restart needs. The carcass stays destructible but must not be advanced
+  /// again.
+  [[nodiscard]] Salvage salvage();
 
   /// Advance the DC (and its chiller) to absolute time `t`, running every
   /// scheduled test that falls due. Returns the §7 reports generated.
@@ -119,14 +193,43 @@ class DataConcentrator {
   /// corrupt payloads are dropped.
   void handle_wire(const net::Message& msg);
 
-  /// Retransmission + heartbeat payloads accumulated by the DC's scheduler
-  /// tasks since the last drain; the assembler sends them on the driver
-  /// thread at their generation timestamps.
-  struct WireDatagram {
-    SimTime at;
-    std::vector<std::uint8_t> payload;
-  };
   std::vector<WireDatagram> drain_wire_outbox();
+
+  /// Runtime control plane (§4.9): apply one versioned CommandMessage.
+  /// Settings are applied individually — unknown keys or out-of-range
+  /// values are rejected (counted) without poisoning the rest of the
+  /// command. Accepted settings persist to the DC database so a restarted
+  /// DC comes back with its last-acked configuration. Commands whose
+  /// revision is not newer than the last applied one are stale no-ops
+  /// (the cumulative ack already covers them).
+  void apply_command(const net::CommandMessage& cmd, SimTime now);
+
+  /// Current value of one runtime-tunable setting (the apply_command keys);
+  /// nullopt for unknown keys. Lets tests and the soak harness assert
+  /// config convergence without reaching into subsystem internals.
+  [[nodiscard]] std::optional<double> runtime_setting(
+      std::string_view key) const;
+
+  /// Revision of the last applied config command (0 = factory config).
+  [[nodiscard]] std::uint64_t config_revision() const {
+    return config_revision_;
+  }
+
+  /// Dedup/ack state for the PDME->DC command stream.
+  [[nodiscard]] net::ReliableReceiver& command_receiver() {
+    return command_rx_;
+  }
+
+  /// Chaos hook: a wedged DC stops advancing (advance_to returns nothing,
+  /// the progress tick freezes) and ignores all wire input — modelling a
+  /// hung driver loop. The supervisor detects the frozen tick and restarts
+  /// the DC from its salvage.
+  void set_wedged(bool wedged) { wedged_ = wedged; }
+  [[nodiscard]] bool wedged() const { return wedged_; }
+
+  /// Internal progress tick: increments on every advance_to() that actually
+  /// ran (wedged advances do not count). The supervisor watches this.
+  [[nodiscard]] std::uint64_t progress() const { return progress_; }
 
   [[nodiscard]] bool reliable_delivery() const {
     return cfg_.reliable_delivery;
@@ -153,15 +256,6 @@ class DataConcentrator {
   }
   [[nodiscard]] const MachineRefs& machines() const { return refs_; }
 
-  /// Counters for the throughput benches.
-  struct Stats {
-    std::uint64_t vibration_tests = 0;
-    std::uint64_t process_scans = 0;
-    std::uint64_t samples_processed = 0;
-    std::uint64_t reports_emitted = 0;
-    std::uint64_t sensor_fault_reports = 0;
-    std::uint64_t heartbeats_sent = 0;
-  };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
@@ -182,7 +276,21 @@ class DataConcentrator {
   bool validate_window(SimTime now, const std::string& channel,
                        std::span<const double> samples);
   void setup_database();
-  void setup_sbfr();
+  /// Build the SBFR channel/mode tables; `add_machines` is false when the
+  /// machines (with their latch state) arrived via Salvage.
+  void setup_sbfr(bool add_machines = true);
+  /// Register the scheduler tasks. For a fresh DC `resume_at` is zero and
+  /// tasks first fire one period (plus any desync phase) from boot; for a
+  /// recovered DC each task re-anchors on the first natural slot of its
+  /// original phase strictly after `resume_at`, so the catch-up advance
+  /// re-runs the swallowed tests at their original times.
+  void register_tasks(SimTime resume_at);
+  /// Apply one runtime setting; returns false (rejected) on unknown key or
+  /// out-of-range value. `quiet` suppresses counters/persistence when
+  /// re-applying the persisted config during recovery.
+  bool apply_setting(std::string_view key, double value, bool quiet);
+  void persist_setting(std::string_view key, double value);
+  void reapply_persisted_config();
 
   DcConfig cfg_;
   MachineRefs refs_;
@@ -191,6 +299,11 @@ class DataConcentrator {
 
   EventScheduler scheduler_;
   EventScheduler::TaskId vibration_task_ = 0;
+  EventScheduler::TaskId process_task_ = 0;
+  EventScheduler::TaskId sweep_task_ = 0;
+  bool has_sweep_task_ = false;
+  EventScheduler::TaskId heartbeat_task_ = 0;
+  bool has_heartbeat_task_ = false;
   db::Database db_;
   rules::BelievabilityTable beliefs_;
   rules::FeatureExtractor extractor_;
@@ -200,10 +313,6 @@ class DataConcentrator {
   std::vector<std::string> sbfr_channel_keys_;  // process key per channel
   std::vector<domain::FailureMode> sbfr_machine_mode_;  // mode per machine
 
-  struct LastReport {
-    double severity = -1.0;
-    SimTime at{-1};
-  };
   std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
            LastReport>
       last_reports_;  // (ks, object, condition) -> last emission
@@ -213,6 +322,10 @@ class DataConcentrator {
 
   SensorValidator validator_;
   net::ReliableSender reliable_;
+  net::ReliableReceiver command_rx_;  ///< PDME->DC command stream dedup
+  std::uint64_t config_revision_ = 0;
+  std::uint64_t progress_ = 0;
+  bool wedged_ = false;
   std::vector<net::FailureReport> outbox_;
   std::vector<net::SensorDataMessage> sensor_outbox_;
   std::vector<WireDatagram> wire_outbox_;

@@ -23,6 +23,17 @@ void EventScheduler::request_now(TaskId id) {
   queue_.push(Due{SimTime(0), next_sequence_++, id, false});
 }
 
+void EventScheduler::set_period(TaskId id, SimTime period) {
+  MPROS_EXPECTS(id < tasks_.size());
+  MPROS_EXPECTS(period.micros() > 0);
+  tasks_[id].period = period;
+}
+
+SimTime EventScheduler::period(TaskId id) const {
+  MPROS_EXPECTS(id < tasks_.size());
+  return tasks_[id].period;
+}
+
 std::size_t EventScheduler::run_until(SimTime deadline) {
   static telemetry::Counter& task_runs =
       telemetry::Registry::instance().counter("dc.scheduler_task_runs");

@@ -31,6 +31,13 @@ class EventScheduler {
   /// run_until() (the §5.8 on-demand test command).
   void request_now(TaskId id);
 
+  /// Change a task's period at runtime (the control plane's report-rate /
+  /// heartbeat-rate knob). Takes effect at the task's next reschedule: the
+  /// already-queued due entry keeps its slot, every later one uses the new
+  /// period.
+  void set_period(TaskId id, SimTime period);
+  [[nodiscard]] SimTime period(TaskId id) const;
+
   /// Fire everything due up to and including `deadline`, in time order.
   /// Returns the number of task executions.
   std::size_t run_until(SimTime deadline);

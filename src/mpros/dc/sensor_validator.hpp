@@ -23,6 +23,7 @@
 #include <set>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mpros/domain/failure_modes.hpp"
@@ -88,6 +89,12 @@ class SensorValidator {
 
   [[nodiscard]] bool quarantined(const std::string& channel) const;
   [[nodiscard]] std::vector<std::string> quarantined_channels() const;
+
+  /// Runtime control plane: adjust the screening thresholds in place.
+  /// Quarantine verdicts, clean streaks and scalar histories are preserved
+  /// — only future checks see the new limits.
+  [[nodiscard]] const SensorValidatorConfig& config() const { return cfg_; }
+  void set_config(SensorValidatorConfig cfg) { cfg_ = std::move(cfg); }
 
   struct Stats {
     std::uint64_t checks = 0;

@@ -204,6 +204,7 @@ void FleetServer::attach_to_network(net::SimNetwork& network,
         // previous ack was the datagram that got lost.
         const net::AckMessage ack = accept(*env, message.delivered_at);
         std::lock_guard lock(mu_);
+        ships_[env->ship.value()].endpoint = message.from;
         if (network_ != nullptr) {
           network_->send(endpoint_name_, message.from, net::wrap(ack),
                          message.delivered_at);
@@ -220,6 +221,10 @@ void FleetServer::attach_to_network(net::SimNetwork& network,
           return;
         }
         accept(*hb, message.delivered_at);
+        {
+          std::lock_guard lock(mu_);
+          ships_[hb->dc.value()].endpoint = message.from;
+        }
         break;
       }
       default: {
@@ -231,6 +236,23 @@ void FleetServer::attach_to_network(net::SimNetwork& network,
       }
     }
   });
+}
+
+bool FleetServer::send_command(ShipId ship, const net::CommandMessage& cmd,
+                               SimTime at) {
+  std::lock_guard lock(mu_);
+  if (network_ == nullptr) return false;
+  const auto it = ships_.find(ship.value());
+  const std::string endpoint =
+      (it != ships_.end() && !it->second.endpoint.empty())
+          ? it->second.endpoint
+          : "hull-" + std::to_string(ship.value());
+  network_->send(endpoint_name_, endpoint, net::wrap(cmd), at);
+  ++stats_.commands_sent;
+  static telemetry::Counter& commands =
+      telemetry::Registry::instance().counter("fleet.commands_sent");
+  commands.inc();
+  return true;
 }
 
 void FleetServer::update_liveness_locked(SimTime now) {

@@ -204,6 +204,14 @@ class FleetServer {
   [[nodiscard]] net::ReliableReceiver::Stats receiver_stats() const;
   [[nodiscard]] std::uint64_t cumulative(ShipId ship) const;
 
+  /// Shore-side control plane: fire one runtime-reconfiguration command down
+  /// `ship`'s uplink endpoint (learned from its traffic; "hull-<id>" until
+  /// the first arrival). Fire-and-forget on the shore hop — the hull
+  /// re-issues it on its shipboard PDME->DC reliable stream, which owns the
+  /// acks, retransmits and revision stamping. Returns false with no network
+  /// attached.
+  bool send_command(ShipId ship, const net::CommandMessage& cmd, SimTime at);
+
   struct Stats {
     std::uint64_t summaries_applied = 0;   ///< advanced a hull's latest view
     std::uint64_t summaries_stale = 0;     ///< accepted but older than applied
@@ -214,12 +222,14 @@ class FleetServer {
     std::uint64_t gaps_detected = 0;
     std::uint64_t liveness_transitions = 0;
     std::uint64_t publishes = 0;
+    std::uint64_t commands_sent = 0;  ///< control-plane downlinks fired
   };
   [[nodiscard]] Stats stats() const;
 
  private:
   struct ShipState {
     std::string name;
+    std::string endpoint;       ///< shore-network address, learned from traffic
     SimTime since;              ///< supervised from here on
     SimTime last_heard;         ///< newest arrival (summary or heartbeat)
     ShipLiveness liveness = ShipLiveness::Alive;

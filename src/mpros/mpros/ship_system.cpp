@@ -90,6 +90,12 @@ ShipSystem::ShipSystem(ShipSystemConfig cfg)
     pdme_->expect_dc(DcId(p + 1), SimTime(0));
   }
 
+  if (cfg_.enable_supervisor) {
+    supervisor_ = std::make_unique<dc::DcSupervisor>(cfg_.supervisor);
+  }
+  step_horizon_ = std::max(SimTime::from_hours(1.0),
+                           SimTime(cfg_.supervisor.wedge_timeout.micros() * 2));
+
   if (cfg_.uplink.enabled) {
     MPROS_EXPECTS(cfg_.uplink.summary_period.micros() > 0);
     MPROS_EXPECTS(cfg_.uplink.heartbeat_period.micros() > 0);
@@ -125,6 +131,11 @@ const oosm::ChillerPlant& ShipSystem::plant_objects(std::size_t plant) const {
 
 std::size_t ShipSystem::advance_to(SimTime t) {
   MPROS_EXPECTS(t >= now_);
+  // Record the step boundary: a recovered DC replays exactly this grid.
+  step_log_.push_back(t);
+  while (!step_log_.empty() && step_log_.front() + step_horizon_ < t) {
+    step_log_.pop_front();
+  }
 
   // Fan the DC duty cycles out across the pool; each DC touches only its
   // own chiller and database, and the network's send() is thread-safe.
@@ -133,27 +144,23 @@ std::size_t ShipSystem::advance_to(SimTime t) {
     per_dc[i] = dcs_[i]->advance_to(t);
   });
 
+  // Supervised recovery: a DC whose progress tick froze gets torn down,
+  // rebuilt from its salvage and caught up (restart_dc_to flushes each
+  // catch-up slice itself) before the regular flush below.
+  if (supervisor_) {
+    for (std::size_t i = 0; i < dcs_.size(); ++i) {
+      if (!supervisor_->observe(DcId(i + 1), dcs_[i]->progress(), t)) {
+        continue;
+      }
+      restart_dc_to(i, t);
+      supervisor_->notify_restarted(DcId(i + 1), dcs_[i]->progress(), t);
+    }
+  }
+
   // Serialize and send on the driver thread in DC order so the wire
   // schedule is deterministic; the transport then adds latency/jitter.
   for (std::size_t i = 0; i < per_dc.size(); ++i) {
-    const std::string endpoint = "dc-" + std::to_string(i + 1);
-    dc::DataConcentrator& dc = *dcs_[i];
-    const bool reliable = dc.reliable_delivery();
-    for (const net::FailureReport& report : per_dc[i]) {
-      // Reliable mode seals each report in a sequence-numbered envelope and
-      // buffers it for retransmission until the PDME's cumulative ack.
-      network_.send(endpoint, "pdme",
-                    reliable
-                        ? dc.reliable().envelope(report, report.timestamp)
-                        : net::wrap(report),
-                    report.timestamp);
-    }
-    for (const net::SensorDataMessage& batch : dc.drain_sensor_data()) {
-      network_.send(endpoint, "pdme", net::wrap(batch), batch.timestamp);
-    }
-    for (dc::DataConcentrator::WireDatagram& dgram : dc.drain_wire_outbox()) {
-      network_.send(endpoint, "pdme", std::move(dgram.payload), dgram.at);
-    }
+    flush_dc(i, per_dc[i]);
   }
 
   now_ = t;
@@ -162,6 +169,8 @@ std::size_t ShipSystem::advance_to(SimTime t) {
   // retest commands before anything reads fused state (no-op inline).
   pdme_->synchronize();
   pdme_->update_liveness(now_);
+  // Control plane: retransmit unacked commands whose backoff timer expired.
+  pdme_->sweep_commands(now_);
   if (resident_) {
     resident_->scan(now_);
     // Resident conclusions enter fusion directly (no wire hop needed);
@@ -191,6 +200,84 @@ std::size_t ShipSystem::advance_to(SimTime t) {
     }
   }
   return delivered;
+}
+
+void ShipSystem::flush_dc(std::size_t i,
+                          const std::vector<net::FailureReport>& reports) {
+  const std::string endpoint = "dc-" + std::to_string(i + 1);
+  dc::DataConcentrator& dc = *dcs_[i];
+  const bool reliable = dc.reliable_delivery();
+  for (const net::FailureReport& report : reports) {
+    // Reliable mode seals each report in a sequence-numbered envelope and
+    // buffers it for retransmission until the PDME's cumulative ack.
+    network_.send(endpoint, "pdme",
+                  reliable ? dc.reliable().envelope(report, report.timestamp)
+                           : net::wrap(report),
+                  report.timestamp);
+  }
+  for (const net::SensorDataMessage& batch : dc.drain_sensor_data()) {
+    network_.send(endpoint, "pdme", net::wrap(batch), batch.timestamp);
+  }
+  for (dc::DataConcentrator::WireDatagram& dgram : dc.drain_wire_outbox()) {
+    network_.send(endpoint, "pdme", std::move(dgram.payload), dgram.at);
+  }
+}
+
+void ShipSystem::restart_dc_to(std::size_t i, SimTime t) {
+  MPROS_EXPECTS(i < dcs_.size());
+  dc::DataConcentrator::Salvage salvage = dcs_[i]->salvage();
+  const SimTime resume = salvage.resume_at;
+
+  dc::DcConfig dc_cfg = cfg_.dc_template;
+  dc_cfg.id = DcId(i + 1);
+  const oosm::ChillerPlant& objs = ship_.plants[i];
+  dc::MachineRefs refs{objs.chiller, objs.motor, objs.gearbox,
+                       objs.compressor};
+  dcs_[i] = std::make_unique<dc::DataConcentrator>(
+      dc_cfg, refs, *plants_[i], wnn_, std::move(salvage));
+  if (recorder_) {
+    dcs_[i]->set_journal(recorder_.get());
+    recorder_->record_event(t.micros(), "dc-" + std::to_string(i + 1),
+                            "supervised restart (resume from " +
+                                std::to_string(resume.seconds()) + " s)");
+  }
+  // Re-point the endpoint at the replacement (re-registering a name
+  // replaces its handler).
+  dc::DataConcentrator* dc_ptr = dcs_[i].get();
+  network_.register_endpoint(
+      "dc-" + std::to_string(i + 1),
+      [dc_ptr](const net::Message& msg) { dc_ptr->handle_wire(msg); });
+
+  // Catch up through the recorded assembler steps, flushing per slice:
+  // reports seal (entering the retransmit window) at the same step
+  // boundaries an unwedged run sealed them, so the sweep/backoff schedule
+  // — and therefore the wire — is reproduced exactly.
+  for (const SimTime s : step_log_) {
+    if (s <= resume || s > t) continue;
+    flush_dc(i, dcs_[i]->advance_to(s));
+  }
+}
+
+std::uint64_t ShipSystem::command_dc(
+    std::size_t plant, std::vector<std::pair<std::string, double>> settings,
+    std::string reason) {
+  MPROS_EXPECTS(plant < dcs_.size());
+  return pdme_->send_command(DcId(plant + 1), std::move(settings),
+                             std::move(reason), now_);
+}
+
+void ShipSystem::wedge_dc(std::size_t plant, bool wedged) {
+  MPROS_EXPECTS(plant < dcs_.size());
+  dcs_[plant]->set_wedged(wedged);
+}
+
+void ShipSystem::restart_dc(std::size_t plant) {
+  MPROS_EXPECTS(plant < dcs_.size());
+  restart_dc_to(plant, now_);
+  if (supervisor_) {
+    supervisor_->notify_restarted(DcId(plant + 1), dcs_[plant]->progress(),
+                                  now_);
+  }
 }
 
 net::FleetSummary ShipSystem::fleet_summary(SimTime at) const {
@@ -251,13 +338,24 @@ std::vector<ShipSystem::UplinkDatagram> ShipSystem::drain_uplink() {
 
 void ShipSystem::handle_uplink_wire(const net::Message& msg) {
   if (uplink_ == nullptr) return;
-  // Shore traffic is as untrusted as any wire: fail-soft decode, and the
-  // only message a hull expects back is the cumulative ack.
+  // Shore traffic is as untrusted as any wire: fail-soft decode; a hull
+  // accepts the cumulative ack and the shore-side control-plane downlink.
   const auto type = net::try_peek_type(msg.payload);
-  if (!type.has_value() || *type != net::MessageType::Ack) return;
-  const auto ack = net::try_unwrap_ack(msg.payload);
-  if (!ack.has_value()) return;
-  uplink_->on_ack(*ack);
+  if (!type.has_value()) return;
+  if (*type == net::MessageType::Ack) {
+    const auto ack = net::try_unwrap_ack(msg.payload);
+    if (ack.has_value()) uplink_->on_ack(*ack);
+    return;
+  }
+  if (*type == net::MessageType::Command) {
+    // Shore downlink: re-issue on the shipboard PDME->DC command stream, so
+    // the last hop gets shipboard-local acks/retransmits and a revision
+    // stamped by this hull (the shore's fire-and-forget copy needs neither).
+    const auto cmd = net::try_unwrap_command(msg.payload);
+    if (!cmd.has_value()) return;
+    pdme_->send_command(cmd->target, cmd->settings, cmd->reason,
+                        msg.delivered_at);
+  }
 }
 
 std::size_t ShipSystem::run_until(SimTime end, SimTime step) {

@@ -7,11 +7,15 @@
 // DC is an independent processor; only serialized reports cross between
 // them and the PDME).
 
+#include <deque>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "mpros/common/thread_pool.hpp"
 #include "mpros/dc/data_concentrator.hpp"
+#include "mpros/dc/supervisor.hpp"
 #include "mpros/mpros/wnn_training.hpp"
 #include "mpros/net/fleet_summary.hpp"
 #include "mpros/net/network.hpp"
@@ -64,6 +68,12 @@ struct ShipSystemConfig {
   std::size_t recorder_capacity = 1 << 16;
   /// Fleet-tier membership (off by default: a lone ship has no shore).
   UplinkConfig uplink;
+  /// Supervised DC recovery (§4.9): watch every DC's progress tick each
+  /// step; a DC that stops ticking for supervisor.wedge_timeout is torn
+  /// down and restarted from its salvage, then caught up slice-by-slice so
+  /// its output matches an unwedged run.
+  bool enable_supervisor = true;
+  dc::DcSupervisorConfig supervisor;
 };
 
 class ShipSystem {
@@ -94,6 +104,27 @@ class ShipSystem {
   std::size_t run_until(SimTime end, SimTime step = SimTime::from_seconds(60));
 
   [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Control plane: stamp and queue a runtime-reconfiguration command for
+  /// one plant's DC on the PDME's reliable command stream. Returns the
+  /// revision (DataConcentrator::config_revision() converges on it once the
+  /// command is delivered and applied).
+  std::uint64_t command_dc(
+      std::size_t plant, std::vector<std::pair<std::string, double>> settings,
+      std::string reason);
+
+  /// Chaos hook: freeze/unfreeze one DC's driver loop (see
+  /// DataConcentrator::set_wedged). The supervisor detects the frozen tick
+  /// and restarts the DC during a later advance_to().
+  void wedge_dc(std::size_t plant, bool wedged = true);
+
+  /// Tear one DC down and rebuild it from its salvage immediately, catching
+  /// it up to now() through the recorded assembler steps. The supervisor
+  /// path does this automatically; tests and operators call it directly.
+  void restart_dc(std::size_t plant);
+
+  /// Null unless cfg.enable_supervisor.
+  [[nodiscard]] dc::DcSupervisor* supervisor() { return supervisor_.get(); }
 
   /// Close the §6.1 believability loop: a maintainer opened the machine
   /// and either confirmed the fused conclusion or reversed it. Updates the
@@ -151,6 +182,15 @@ class ShipSystem {
   }
 
  private:
+  /// Serialize one DC's step products onto the wire in emission order:
+  /// sealed report envelopes, sensor batches, then the wire outbox
+  /// (retransmissions, heartbeats, command acks) at their own timestamps.
+  void flush_dc(std::size_t i, const std::vector<net::FailureReport>& reports);
+  /// Salvage-and-rebuild dc i, then catch it up through the recorded
+  /// assembler-step boundaries ending at `t` (flushing per slice, so the
+  /// seal/sweep interleaving matches an unwedged run).
+  void restart_dc_to(std::size_t i, SimTime t);
+
   ShipSystemConfig cfg_;
   oosm::ObjectModel model_;
   oosm::ShipModel ship_;
@@ -163,6 +203,12 @@ class ShipSystem {
   std::vector<std::unique_ptr<dc::DataConcentrator>> dcs_;
   ThreadPool pool_;
   SimTime now_;
+  std::unique_ptr<dc::DcSupervisor> supervisor_;
+  /// Recent advance_to() end-times: the step grid a recovered DC's catch-up
+  /// replays. Pruned past twice the wedge timeout — wedges are detected
+  /// well inside that.
+  std::deque<SimTime> step_log_;
+  SimTime step_horizon_;
 
   // Fleet-tier uplink state (driver thread only, except the sender's own
   // internal lock — acks may arrive from the shore network's driver).

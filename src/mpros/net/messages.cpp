@@ -5,6 +5,13 @@
 
 namespace mpros::net {
 
+namespace {
+
+constexpr std::uint16_t kCommandMagic = 0x434D;  // "CM"
+constexpr std::uint8_t kCommandVersion = 1;
+
+}  // namespace
+
 const char* to_string(MessageType t) {
   switch (t) {
     case MessageType::FailureReportMsg: return "failure-report";
@@ -14,6 +21,8 @@ const char* to_string(MessageType t) {
     case MessageType::Ack: return "ack";
     case MessageType::Heartbeat: return "heartbeat";
     case MessageType::FleetSummaryEnvelopeMsg: return "fleet-summary";
+    case MessageType::Command: return "command";
+    case MessageType::CommandEnvelopeMsg: return "command-envelope";
   }
   return "?";
 }
@@ -33,6 +42,8 @@ std::optional<MessageType> try_peek_type(std::span<const std::uint8_t> bytes) {
     case MessageType::Ack:
     case MessageType::Heartbeat:
     case MessageType::FleetSummaryEnvelopeMsg:
+    case MessageType::Command:
+    case MessageType::CommandEnvelopeMsg:
       return static_cast<MessageType>(bytes[0]);
   }
   return std::nullopt;
@@ -95,6 +106,92 @@ std::vector<std::uint8_t> wrap(const HeartbeatMessage& m) {
   w.i64(m.timestamp.micros());
   w.u64(m.last_sequence);
   return w.take();
+}
+
+std::vector<std::uint8_t> serialize(const CommandMessage& m) {
+  Writer w;
+  w.u16(kCommandMagic);
+  w.u8(kCommandVersion);
+  w.u64(m.target.value());
+  w.u64(m.revision);
+  w.i64(m.issued_at.micros());
+  w.str(m.reason);
+  w.u32(static_cast<std::uint32_t>(m.settings.size()));
+  for (const auto& [key, value] : m.settings) {
+    w.str(key);
+    w.f64(value);
+  }
+  return w.take();
+}
+
+std::optional<CommandMessage> try_deserialize_command(
+    std::span<const std::uint8_t> bytes) {
+  TryReader rd(bytes);
+  if (rd.u16() != kCommandMagic) return std::nullopt;
+  const std::uint8_t version = rd.u8();
+  if (!rd.ok() || version < 1 || version > kCommandVersion) {
+    return std::nullopt;
+  }
+  CommandMessage m;
+  m.target = DcId(rd.u64());
+  m.revision = rd.u64();
+  m.issued_at = SimTime(rd.i64());
+  m.reason = rd.str();
+  const std::uint32_t n = rd.u32();
+  // A setting is at least a length prefix (4) plus the f64 (8): reject
+  // counts the payload cannot hold before reserving.
+  if (!rd.ok() || n > rd.remaining() / 12) return std::nullopt;
+  m.settings.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = rd.str();
+    const double value = rd.f64();
+    if (!rd.ok()) return std::nullopt;
+    m.settings.emplace_back(std::move(key), value);
+  }
+  if (!rd.ok() || !rd.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> wrap(const CommandMessage& m) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(MessageType::Command));
+  const std::vector<std::uint8_t> body = serialize(m);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> wrap(const CommandEnvelope& m) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MessageType::CommandEnvelopeMsg));
+  w.u64(m.dc.value());
+  w.u64(m.sequence);
+  const std::vector<std::uint8_t> body = serialize(m.command);
+  std::vector<std::uint8_t> out = w.take();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<CommandMessage> try_unwrap_command(
+    std::span<const std::uint8_t> bytes) {
+  if (try_peek_type(bytes) != MessageType::Command) return std::nullopt;
+  return try_deserialize_command(bytes.subspan(1));
+}
+
+std::optional<CommandEnvelope> try_unwrap_command_envelope(
+    std::span<const std::uint8_t> bytes) {
+  if (try_peek_type(bytes) != MessageType::CommandEnvelopeMsg) {
+    return std::nullopt;
+  }
+  TryReader r(bytes.subspan(1));
+  CommandEnvelope m;
+  m.dc = DcId(r.u64());
+  m.sequence = r.u64();
+  if (!r.ok() || m.sequence == 0) return std::nullopt;
+  auto command =
+      try_deserialize_command(bytes.subspan(1 + 16));  // past dc + sequence
+  if (!command.has_value()) return std::nullopt;
+  m.command = *std::move(command);
+  return m;
 }
 
 std::optional<FailureReport> try_unwrap_report(

@@ -37,6 +37,13 @@ enum class MessageType : std::uint8_t {
   /// heartbeat-advertised with the Ack/Heartbeat types above, the DcId
   /// field carrying the per-hull stream id.
   FleetSummaryEnvelopeMsg = 7,
+  /// Bare runtime-reconfiguration command (CommandMessage): the shore
+  /// downlink hop, fire-and-forget — the hull's PDME re-seals it in the
+  /// target DC's reliable command stream.
+  Command = 8,
+  /// Sequenced runtime-reconfiguration command on a DC's reliable command
+  /// stream (PDME -> DC), acked with the Ack type above.
+  CommandEnvelopeMsg = 9,
 };
 
 [[nodiscard]] const char* to_string(MessageType t);
@@ -85,6 +92,49 @@ struct HeartbeatMessage {
                          const HeartbeatMessage&) = default;
 };
 
+/// A runtime-reconfiguration command for one DC (the control plane): a
+/// batch of well-known dotted settings keys with their new values (analyzer
+/// toggles use 0/1). The DC validates each setting independently, applies
+/// the valid ones, and persists them in its database so a restarted DC
+/// comes back with its last-acked configuration.
+///
+/// `revision` orders commands per target: the DC applies a command only
+/// when its revision is newer than the last applied one, so disordered or
+/// retransmitted delivery converges on the newest command. Revision 0 is
+/// unordered (always applied) for ad-hoc senders.
+struct CommandMessage {
+  DcId target;
+  std::uint64_t revision = 0;
+  SimTime issued_at;
+  std::vector<std::pair<std::string, double>> settings;
+  std::string reason;  ///< free text for the DC's test log
+
+  friend bool operator==(const CommandMessage&,
+                         const CommandMessage&) = default;
+};
+
+/// The unit of reliable command delivery: a per-DC command-stream sequence
+/// (assigned by the PDME's per-DC ReliableSender, starting at 1) plus the
+/// command. The DC acks cumulatively with AckMessage, exactly like the
+/// report stream in the other direction.
+struct CommandEnvelope {
+  DcId dc;
+  std::uint64_t sequence = 0;
+  CommandMessage command;
+
+  friend bool operator==(const CommandEnvelope&,
+                         const CommandEnvelope&) = default;
+};
+
+/// Versioned CommandMessage body encoding (magic + version, like the fleet
+/// summary codec).
+[[nodiscard]] std::vector<std::uint8_t> serialize(const CommandMessage& m);
+
+/// Fail-soft body decode for untrusted bytes: nullopt on bad magic/version,
+/// truncation, corrupted counts, or trailing garbage — never aborts.
+[[nodiscard]] std::optional<CommandMessage> try_deserialize_command(
+    std::span<const std::uint8_t> bytes);
+
 /// A command to a Data Concentrator's scheduler.
 struct TestCommandMessage {
   enum class Command : std::uint8_t { VibrationTest = 1 };
@@ -111,6 +161,8 @@ struct TestCommandMessage {
 [[nodiscard]] std::vector<std::uint8_t> wrap(const ReportEnvelope& m);
 [[nodiscard]] std::vector<std::uint8_t> wrap(const AckMessage& m);
 [[nodiscard]] std::vector<std::uint8_t> wrap(const HeartbeatMessage& m);
+[[nodiscard]] std::vector<std::uint8_t> wrap(const CommandMessage& m);
+[[nodiscard]] std::vector<std::uint8_t> wrap(const CommandEnvelope& m);
 
 // Decoders: the payload's type byte must match (checked).
 [[nodiscard]] FailureReport unwrap_report(std::span<const std::uint8_t> bytes);
@@ -132,6 +184,10 @@ struct TestCommandMessage {
 [[nodiscard]] std::optional<AckMessage> try_unwrap_ack(
     std::span<const std::uint8_t> bytes);
 [[nodiscard]] std::optional<HeartbeatMessage> try_unwrap_heartbeat(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<CommandMessage> try_unwrap_command(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<CommandEnvelope> try_unwrap_command_envelope(
     std::span<const std::uint8_t> bytes);
 
 }  // namespace mpros::net

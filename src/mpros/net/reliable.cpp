@@ -5,6 +5,7 @@
 
 #include "mpros/common/assert.hpp"
 #include "mpros/common/log.hpp"
+#include "mpros/common/rng.hpp"
 #include "mpros/net/fleet_summary.hpp"
 #include "mpros/telemetry/metrics.hpp"
 
@@ -46,6 +47,16 @@ void adjust_inflight(std::int64_t delta) {
 
 }  // namespace
 
+SimTime desync_phase(std::uint64_t stream_id, SimTime period) {
+  const std::int64_t quarter = period.micros() / 4;
+  if (quarter <= 0) return SimTime(0);
+  // splitmix64 over the stream id: avalanche spreads consecutive DC ids
+  // across the whole window.
+  return SimTime(static_cast<std::int64_t>(
+      splitmix64(stream_id ^ 0x9E3779B97F4A7C15ULL) %
+      static_cast<std::uint64_t>(quarter)));
+}
+
 ReliableSender::ReliableSender(DcId dc, ReliableConfig cfg)
     : dc_(dc), cfg_(cfg) {
   MPROS_EXPECTS(cfg.buffer_limit >= 1);
@@ -76,6 +87,44 @@ std::vector<std::uint8_t> ReliableSender::envelope(const FleetSummary& summary,
   env.sequence = next_sequence_;
   env.summary = summary;
   return seal(wrap(env), now);
+}
+
+std::vector<std::uint8_t> ReliableSender::envelope(const CommandMessage& cmd,
+                                                   SimTime now) {
+  std::lock_guard lock(mu_);
+  CommandEnvelope env;
+  env.dc = dc_;
+  env.sequence = next_sequence_;
+  env.command = cmd;
+  return seal(wrap(env), now);
+}
+
+ReliableSender::State ReliableSender::take_state() {
+  std::lock_guard lock(mu_);
+  State state;
+  state.next_sequence = next_sequence_;
+  state.stats = stats_;
+  state.window.reserve(window_.size());
+  for (Entry& e : window_) {
+    state.window.push_back(State::BufferedEntry{
+        e.sequence, std::move(e.payload), e.next_retry, e.rto});
+  }
+  adjust_inflight(-static_cast<std::int64_t>(window_.size()));
+  window_.clear();
+  return state;
+}
+
+void ReliableSender::restore(State state) {
+  std::lock_guard lock(mu_);
+  adjust_inflight(static_cast<std::int64_t>(state.window.size()) -
+                  static_cast<std::int64_t>(window_.size()));
+  next_sequence_ = state.next_sequence;
+  stats_ = state.stats;
+  window_.clear();
+  for (State::BufferedEntry& e : state.window) {
+    window_.push_back(
+        Entry{e.sequence, std::move(e.payload), e.next_retry, e.rto});
+  }
 }
 
 std::vector<std::uint8_t> ReliableSender::seal(

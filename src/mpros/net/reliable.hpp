@@ -26,6 +26,13 @@ namespace mpros::net {
 
 struct FleetSummary;  // fleet_summary.hpp
 
+/// Deterministic per-stream phase offset in [0, period/4): hundreds of DCs
+/// brought up together would otherwise run their retransmit sweeps and
+/// heartbeats in lockstep and burst-retransmit the instant an outage ends.
+/// Seeded by stream id (splitmix64), not by time, so a restarted owner
+/// keeps its phase and the schedule stays deterministic.
+[[nodiscard]] SimTime desync_phase(std::uint64_t stream_id, SimTime period);
+
 struct ReliableConfig {
   /// Unacked envelopes kept for retransmission; beyond this the oldest is
   /// dropped (counted, warned) — bounded memory beats unbounded recovery.
@@ -57,6 +64,13 @@ class ReliableSender {
   [[nodiscard]] std::vector<std::uint8_t> envelope(const FleetSummary& summary,
                                                    SimTime now);
 
+  /// Control-plane overload: seal a runtime-reconfiguration command in the
+  /// same sequence/retransmit window. The PDME keeps one such sender per
+  /// DC (the `dc` value is the target), so commands ride the same ack
+  /// algebra as reports, just pointed the other way.
+  [[nodiscard]] std::vector<std::uint8_t> envelope(const CommandMessage& cmd,
+                                                   SimTime now);
+
   /// Retire every buffered envelope with sequence <= ack.cumulative.
   void on_ack(const AckMessage& ack);
 
@@ -80,6 +94,28 @@ class ReliableSender {
     std::uint64_t max_backoff_hits = 0;
   };
   [[nodiscard]] Stats stats() const;
+
+  /// The sender's full resumable state: sequence cursor, buffered unacked
+  /// entries with their backoff timers, stats. take_state()/restore() let a
+  /// supervisor move the retransmit window out of a wedged owner and into
+  /// its restarted replacement, so the stream resumes mid-sequence and no
+  /// unacked payload is lost.
+  struct State {
+    struct BufferedEntry {
+      std::uint64_t sequence = 0;
+      std::vector<std::uint8_t> payload;
+      SimTime next_retry;
+      SimTime rto;
+    };
+    std::uint64_t next_sequence = 1;
+    std::vector<BufferedEntry> window;  ///< ascending sequence
+    Stats stats;
+  };
+  /// Strip this sender of its stream state (the window empties; the
+  /// recovery-debt gauge moves with the entries, not the carcass).
+  [[nodiscard]] State take_state();
+  /// Adopt `state` wholesale, replacing whatever this sender held.
+  void restore(State state);
 
  private:
   struct Entry {

@@ -22,6 +22,7 @@
 
 #include "mpros/common/bounded_queue.hpp"
 #include "mpros/fusion/diagnostic_fusion.hpp"
+#include "mpros/net/reliable.hpp"
 #include "mpros/fusion/prognostic_fusion.hpp"
 #include "mpros/fusion/trend.hpp"
 #include "mpros/net/report.hpp"
@@ -77,6 +78,10 @@ struct PdmeConfig {
   std::size_t shard_count = 0;
   /// Bound on each shard's ingest queue; backpressure engages beyond it.
   std::size_t shard_queue_capacity = 1024;
+  /// Control plane: reliable-delivery tuning for the per-DC command streams
+  /// (send_command). Same ack algebra as the report path, opposite
+  /// direction.
+  net::ReliableConfig command_reliable;
   /// What a full shard queue does to the producer: Block (lossless, the
   /// driver waits for the worker) or DropOldest (bounded latency, evictions
   /// are counted in Stats::queue_full / the pdme.queue_full counter).

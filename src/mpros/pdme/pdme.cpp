@@ -560,12 +560,68 @@ void PdmeExecutive::attach_to_network(net::SimNetwork& network,
             accept(*data);
             break;
           }
+          case net::MessageType::Ack: {
+            // A DC acking its command stream (report-stream acks flow
+            // PDME->DC and never arrive here).
+            const auto ack = net::try_unwrap_ack(message.payload);
+            if (!ack.has_value()) {
+              ++stats_.malformed_dropped;
+              metrics.malformed_dropped.inc();
+              return;
+            }
+            note_dc_alive(ack->dc, message.delivered_at);
+            const auto it = command_senders_.find(ack->dc.value());
+            if (it != command_senders_.end()) {
+              it->second->on_ack(*ack);
+              ++stats_.command_acks;
+            }
+            break;
+          }
           case net::MessageType::TestCommand:
-          case net::MessageType::Ack:
+          case net::MessageType::Command:
+          case net::MessageType::CommandEnvelopeMsg:
           case net::MessageType::FleetSummaryEnvelopeMsg:
             break;  // these address DCs or the shore tier, not the PDME
         }
       });
+}
+
+std::uint64_t PdmeExecutive::send_command(
+    DcId dc, std::vector<std::pair<std::string, double>> settings,
+    std::string reason, SimTime at) {
+  net::CommandMessage cmd;
+  cmd.target = dc;
+  cmd.revision = ++command_revisions_[dc.value()];
+  cmd.issued_at = at;
+  cmd.settings = std::move(settings);
+  cmd.reason = std::move(reason);
+
+  auto& sender = command_senders_[dc.value()];
+  if (!sender) {
+    sender = std::make_unique<net::ReliableSender>(dc, cfg_.command_reliable);
+  }
+  std::vector<std::uint8_t> payload = sender->envelope(cmd, at);
+  if (network_ != nullptr) {
+    network_->send(endpoint_name_, "dc-" + std::to_string(dc.value()),
+                   std::move(payload), at);
+  }
+  ++stats_.commands_sent;
+  return cmd.revision;
+}
+
+void PdmeExecutive::sweep_commands(SimTime now) {
+  if (network_ == nullptr) return;
+  for (auto& [dc, sender] : command_senders_) {
+    for (auto& payload : sender->due_retransmits(now)) {
+      network_->send(endpoint_name_, "dc-" + std::to_string(dc),
+                     std::move(payload), now);
+    }
+  }
+}
+
+const net::ReliableSender* PdmeExecutive::command_stream(DcId dc) const {
+  const auto it = command_senders_.find(dc.value());
+  return it == command_senders_.end() ? nullptr : it->second.get();
 }
 
 void PdmeExecutive::accept(const net::SensorDataMessage& data) {

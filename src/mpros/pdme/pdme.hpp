@@ -117,6 +117,24 @@ class PdmeExecutive {
     return receiver_;
   }
 
+  /// Control plane: stamp the next per-DC revision on `settings` and queue
+  /// the command on that DC's reliable command stream (acked, retransmitted
+  /// with backoff by sweep_commands()) so a partitioned or restarting DC
+  /// still converges on the newest configuration. Returns the stamped
+  /// revision. Works before attach_to_network(): the command waits in the
+  /// retransmit window until a sweep finds the wire.
+  std::uint64_t send_command(
+      DcId dc, std::vector<std::pair<std::string, double>> settings,
+      std::string reason, SimTime at);
+
+  /// Drive the per-DC command retransmit windows at `now` (the assembler
+  /// calls this once per step; the PDME has no scheduler of its own).
+  void sweep_commands(SimTime now);
+
+  /// Command-stream sender for `dc` (nullptr before the first
+  /// send_command to it). Tests assert window drain / backoff through it.
+  [[nodiscard]] const net::ReliableSender* command_stream(DcId dc) const;
+
   /// Compatibility alias — the record type moved to fusion_core.hpp.
   using SensorFaultRecord = pdme::SensorFaultRecord;
   [[nodiscard]] std::vector<SensorFaultRecord> sensor_faults(
@@ -159,6 +177,8 @@ class PdmeExecutive {
     std::uint64_t sensor_fault_reports = 0;
     std::uint64_t liveness_transitions = 0;  ///< Alive<->Stale<->Lost edges
     std::uint64_t queue_full = 0;  ///< shard submissions that hit a full queue
+    std::uint64_t commands_sent = 0;  ///< control-plane commands queued
+    std::uint64_t command_acks = 0;   ///< DC acks routed to command streams
   };
   /// Merged snapshot: driver-side counters plus every shard core's, taken
   /// under the shard locks (by value — the shards keep moving underneath).
@@ -207,6 +227,11 @@ class PdmeExecutive {
 
   std::uint64_t order_counter_ = 0;  ///< global arrival order (driver thread)
   net::ReliableReceiver receiver_;
+  /// Control plane: one reliable command stream + revision counter per DC
+  /// (unique_ptr because ReliableSender pins a mutex).
+  std::map<std::uint64_t, std::unique_ptr<net::ReliableSender>>
+      command_senders_;
+  std::map<std::uint64_t, std::uint64_t> command_revisions_;
   std::map<std::uint64_t, DcHealth> dc_health_;  // by DcId value
   Stats stats_;  ///< driver-side fields only; stats() merges the cores' in
 };

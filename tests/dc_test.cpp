@@ -8,6 +8,7 @@
 
 #include "mpros/dc/data_concentrator.hpp"
 #include "mpros/dc/scheduler.hpp"
+#include "mpros/dc/supervisor.hpp"
 
 namespace mpros::dc {
 namespace {
@@ -344,6 +345,7 @@ TEST_F(DataConcentratorTest, SensorRecoveryEmitsAllClear) {
 TEST_F(DataConcentratorTest, HeartbeatsAccumulateInWireOutbox) {
   DcConfig cfg = dc_config();
   cfg.heartbeat_period = SimTime::from_seconds(60.0);
+  cfg.desync_phase = false;  // pin the beat grid; phasing has its own test
   DataConcentrator dc(cfg, refs_, chiller_);
   (void)dc.advance_to(SimTime::from_seconds(600));
 
@@ -359,6 +361,187 @@ TEST_F(DataConcentratorTest, HeartbeatsAccumulateInWireOutbox) {
   }
   EXPECT_EQ(heartbeats, 10u);
   EXPECT_TRUE(dc.drain_wire_outbox().empty());  // drained
+}
+
+TEST(EventSchedulerTest, SetPeriodTakesEffectAtNextReschedule) {
+  EventScheduler sched;
+  std::vector<double> fired;
+  const auto id = sched.add_periodic(
+      "t", SimTime::from_seconds(100), SimTime::from_seconds(100),
+      [&](SimTime now) { fired.push_back(now.seconds()); });
+  EXPECT_EQ(sched.period(id), SimTime::from_seconds(100));
+
+  // The already-queued slot at t=100 keeps its place; later slots use the
+  // new period.
+  sched.set_period(id, SimTime::from_seconds(25));
+  EXPECT_EQ(sched.period(id), SimTime::from_seconds(25));
+  sched.run_until(SimTime::from_seconds(200));
+  ASSERT_EQ(fired.size(), 5u);
+  EXPECT_DOUBLE_EQ(fired[0], 100.0);
+  EXPECT_DOUBLE_EQ(fired[1], 125.0);
+  EXPECT_DOUBLE_EQ(fired[4], 200.0);
+}
+
+// ---------------------------------------------------------------------------
+// The runtime control plane (§4.9): apply, reject, persist, recover.
+
+TEST_F(DataConcentratorTest, ApplyCommandAppliesRejectsAndCounts) {
+  DataConcentrator dc(dc_config(), refs_, chiller_);
+  ASSERT_EQ(dc.config_revision(), 0u);
+
+  net::CommandMessage cmd;
+  cmd.target = DcId(7);
+  cmd.revision = 5;
+  cmd.settings = {{"dc.report_hysteresis", 0.10},
+                  {"validator.spike_sigmas", 9.0},
+                  {"dc.enable_fuzzy", 0.0},
+                  {"dc.nonsense", 1.0},            // unknown key
+                  {"dc.report_hysteresis", 5.0},   // out of range
+                  {"dc.enable_dli", 0.5}};         // toggles are exact 0/1
+  cmd.reason = "test churn";
+  dc.apply_command(cmd, SimTime::from_seconds(10.0));
+
+  EXPECT_EQ(dc.config_revision(), 5u);
+  EXPECT_EQ(dc.stats().config_commands, 1u);
+  EXPECT_EQ(dc.stats().config_applied, 3u);
+  EXPECT_EQ(dc.stats().config_rejected, 3u);
+  EXPECT_EQ(dc.runtime_setting("dc.report_hysteresis"), 0.10);
+  EXPECT_EQ(dc.runtime_setting("validator.spike_sigmas"), 9.0);
+  EXPECT_EQ(dc.runtime_setting("dc.enable_fuzzy"), 0.0);
+  EXPECT_EQ(dc.runtime_setting("dc.enable_dli"), 1.0);  // reject left it be
+  EXPECT_FALSE(dc.runtime_setting("dc.nonsense").has_value());
+
+  // A disordered older revision is a stale no-op, not a rollback.
+  net::CommandMessage old_cmd;
+  old_cmd.target = DcId(7);
+  old_cmd.revision = 3;
+  old_cmd.settings = {{"dc.report_hysteresis", 0.01}};
+  dc.apply_command(old_cmd, SimTime::from_seconds(20.0));
+  EXPECT_EQ(dc.config_revision(), 5u);
+  EXPECT_EQ(dc.stats().config_stale, 1u);
+  EXPECT_EQ(dc.runtime_setting("dc.report_hysteresis"), 0.10);
+}
+
+TEST_F(DataConcentratorTest, CommandEnvelopeOverWireAppliesOnceAndAcks) {
+  DataConcentrator dc(dc_config(), refs_, chiller_);
+
+  net::CommandEnvelope env;
+  env.dc = DcId(7);
+  env.sequence = 1;
+  env.command.target = DcId(7);
+  env.command.revision = 1;
+  env.command.settings = {{"dc.wnn_report_threshold", 0.6}};
+  const net::Message msg{"pdme", "dc-7", net::wrap(env), SimTime(0),
+                         SimTime::from_seconds(1.0)};
+  dc.handle_wire(msg);
+  EXPECT_EQ(dc.runtime_setting("dc.wnn_report_threshold"), 0.6);
+  EXPECT_EQ(dc.stats().config_commands, 1u);
+
+  // The retransmitted duplicate is re-acked but not re-applied.
+  dc.handle_wire(msg);
+  EXPECT_EQ(dc.stats().config_commands, 1u);
+
+  std::size_t acks = 0;
+  for (const auto& dgram : dc.drain_wire_outbox()) {
+    const auto ack = net::try_unwrap_ack(dgram.payload);
+    if (!ack.has_value()) continue;
+    ++acks;
+    EXPECT_EQ(ack->dc, DcId(7));
+    EXPECT_EQ(ack->cumulative, 1u);
+  }
+  EXPECT_EQ(acks, 2u);
+
+  // A command mis-routed to the wrong DC is ignored entirely.
+  env.command.target = DcId(9);
+  env.dc = DcId(9);
+  env.sequence = 2;
+  dc.handle_wire({"pdme", "dc-7", net::wrap(env), SimTime(0),
+                  SimTime::from_seconds(2.0)});
+  EXPECT_EQ(dc.stats().config_commands, 1u);
+}
+
+TEST_F(DataConcentratorTest, PersistedConfigSurvivesSalvageRestart) {
+  DcConfig cfg = dc_config();
+  DataConcentrator dc(cfg, refs_, chiller_);
+  (void)dc.advance_to(SimTime::from_seconds(120.0));
+
+  net::CommandMessage cmd;
+  cmd.target = DcId(7);
+  cmd.revision = 4;
+  cmd.settings = {{"validator.spike_sigmas", 8.5},
+                  {"dc.report_hysteresis", 0.12},
+                  {"dc.enable_sbfr", 0.0}};
+  dc.apply_command(cmd, SimTime::from_seconds(130.0));
+
+  // Rebuild from the carcass: the recovered DC must come back with its
+  // last-acked configuration, not the factory template.
+  DataConcentrator recovered(cfg, refs_, chiller_, nullptr, dc.salvage());
+  EXPECT_EQ(recovered.config_revision(), 4u);
+  EXPECT_EQ(recovered.runtime_setting("validator.spike_sigmas"), 8.5);
+  EXPECT_EQ(recovered.runtime_setting("dc.report_hysteresis"), 0.12);
+  EXPECT_EQ(recovered.runtime_setting("dc.enable_sbfr"), 0.0);
+  // Recovery re-applies quietly: the counters carry over unchanged.
+  EXPECT_EQ(recovered.stats().config_applied, 3u);
+
+  // And the revision gate still holds after the restart.
+  net::CommandMessage stale;
+  stale.target = DcId(7);
+  stale.revision = 2;
+  stale.settings = {{"validator.spike_sigmas", 3.0}};
+  recovered.apply_command(stale, SimTime::from_seconds(200.0));
+  EXPECT_EQ(recovered.runtime_setting("validator.spike_sigmas"), 8.5);
+}
+
+TEST_F(DataConcentratorTest, WedgedDcFreezesProgressAndIgnoresWire) {
+  DataConcentrator dc(dc_config(), refs_, chiller_);
+  (void)dc.advance_to(SimTime::from_seconds(60.0));
+  const std::uint64_t tick = dc.progress();
+  EXPECT_GT(tick, 0u);
+
+  dc.set_wedged(true);
+  EXPECT_TRUE(dc.advance_to(SimTime::from_seconds(600.0)).empty());
+  EXPECT_EQ(dc.progress(), tick);  // the tick the supervisor watches froze
+
+  net::CommandEnvelope env;
+  env.dc = DcId(7);
+  env.sequence = 1;
+  env.command.target = DcId(7);
+  env.command.revision = 1;
+  env.command.settings = {{"dc.report_hysteresis", 0.2}};
+  dc.handle_wire({"pdme", "dc-7", net::wrap(env), SimTime(0),
+                  SimTime::from_seconds(90.0)});
+  EXPECT_EQ(dc.stats().config_commands, 0u);  // wire input ignored too
+
+  dc.set_wedged(false);
+  (void)dc.advance_to(SimTime::from_seconds(660.0));
+  EXPECT_GT(dc.progress(), tick);
+}
+
+TEST(DcSupervisorTest, DetectsWedgeRearmsAndCountsRestarts) {
+  DcSupervisorConfig cfg;
+  cfg.wedge_timeout = SimTime::from_seconds(300.0);
+  DcSupervisor sup(cfg);
+  const DcId dc(3);
+
+  EXPECT_FALSE(sup.observe(dc, 1, SimTime::from_seconds(0.0)));
+  EXPECT_FALSE(sup.observe(dc, 2, SimTime::from_seconds(60.0)));
+  // Progress freezes at tick 2; the verdict fires once the silence exceeds
+  // the timeout, and only once (re-armed until progress moves again).
+  EXPECT_FALSE(sup.observe(dc, 2, SimTime::from_seconds(300.0)));
+  EXPECT_TRUE(sup.observe(dc, 2, SimTime::from_seconds(361.0)));
+  EXPECT_FALSE(sup.observe(dc, 2, SimTime::from_seconds(420.0)));
+  EXPECT_EQ(sup.stats().wedges_detected, 1u);
+
+  sup.notify_restarted(dc, 7, SimTime::from_seconds(480.0));
+  EXPECT_EQ(sup.stats().restarts, 1u);
+  EXPECT_FALSE(sup.observe(dc, 8, SimTime::from_seconds(540.0)));
+  // A healthy DC that keeps ticking never trips the watchdog.
+  EXPECT_FALSE(sup.observe(dc, 9, SimTime::from_seconds(900.0)));
+
+  // The replacement wedging again is caught again.
+  EXPECT_FALSE(sup.observe(dc, 9, SimTime::from_seconds(1000.0)));
+  EXPECT_TRUE(sup.observe(dc, 9, SimTime::from_seconds(1300.0)));
+  EXPECT_EQ(sup.stats().wedges_detected, 2u);
 }
 
 }  // namespace

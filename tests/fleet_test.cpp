@@ -366,6 +366,13 @@ TEST(FleetServerConcurrencyTest, ReadersNeverBlockOrTearDuringIngest) {
     }
     server.publish(at);
   }
+  // A loaded CI host can finish the whole 200-epoch burst before the reader
+  // threads are first scheduled; hold the final state open until each
+  // reader has sampled it at least once so the assertions actually ran.
+  while (reads.load(std::memory_order_relaxed) <
+         static_cast<std::uint64_t>(readers.size())) {
+    std::this_thread::yield();
+  }
   done.store(true, std::memory_order_relaxed);
   for (auto& t : readers) t.join();
 
@@ -521,6 +528,47 @@ TEST(FleetSimTest, UplinkSurvivesShoreLinkOutage) {
   }
   EXPECT_GT(fleet.ship(0).uplink()->stats().retransmits, 0u);
   EXPECT_EQ(fleet.server().stats().malformed_dropped, 0u);
+}
+
+TEST(FleetSimTest, ShoreDownlinkReconfiguresOneHullsDc) {
+  // The shore operator fires a control-plane command at hull 1: it crosses
+  // the shore link fire-and-forget, the hull re-issues it on its shipboard
+  // PDME->DC reliable stream (which owns the acks and revision stamping),
+  // and the target DC applies and persists it. Sister hulls are untouched.
+  FleetSimConfig cfg;
+  cfg.ship_count = 2;
+  cfg.ship_template.plant_count = 1;
+  cfg.shore.drop_probability = 0.0;
+  cfg.shore.duplicate_probability = 0.0;
+  FleetSim fleet(cfg);
+
+  // Let a few summary cadences elapse so the server has learned hull 1's
+  // real shore endpoint from its traffic.
+  fleet.run_until(SimTime::from_seconds(1500));
+  ASSERT_GT(fleet.server().stats().summaries_applied, 0u);
+
+  net::CommandMessage cmd;
+  cmd.target = DcId(1);
+  cmd.settings = {{"dc.report_hysteresis", 0.07},
+                  {"validator.spike_sigmas", 6.5}};
+  cmd.reason = "shore ops: tighten hull 1 screening";
+  ASSERT_TRUE(fleet.server().send_command(ShipId(1), cmd, fleet.now()));
+  EXPECT_EQ(fleet.server().stats().commands_sent, 1u);
+
+  fleet.run_until(SimTime::from_seconds(2400));
+
+  auto& dc = fleet.ship(0).concentrator(0);
+  EXPECT_GE(dc.config_revision(), 1u);
+  EXPECT_EQ(dc.runtime_setting("dc.report_hysteresis"), 0.07);
+  EXPECT_EQ(dc.runtime_setting("validator.spike_sigmas"), 6.5);
+  EXPECT_GT(fleet.ship(0).pdme().stats().commands_sent, 0u);
+  EXPECT_GT(fleet.ship(0).pdme().stats().command_acks, 0u);
+
+  // The sister hull never saw the command: still at factory defaults.
+  auto& other = fleet.ship(1).concentrator(0);
+  EXPECT_EQ(other.config_revision(), 0u);
+  EXPECT_NE(other.runtime_setting("dc.report_hysteresis"), 0.07);
+  EXPECT_EQ(fleet.ship(1).pdme().stats().commands_sent, 0u);
 }
 
 }  // namespace

@@ -482,5 +482,129 @@ TEST(ChaosSmokeTest, HostileTransportConfiguredFromEnvironment) {
   EXPECT_EQ(ship.pdme().stats().malformed_dropped, 0u);
 }
 
+// --- Supervised wedge recovery (E20) -----------------------------------------
+
+/// Everything the OOSM/browser layer shows an operator, concatenated.
+std::string browser_fingerprint(ShipSystem& ship) {
+  std::string out = pdme::render_summary(ship.pdme(), ship.model());
+  for (std::size_t p = 0; p < ship.plant_count(); ++p) {
+    out += pdme::render_machine(ship.pdme(), ship.model(),
+                                ship.plant_objects(p).motor);
+  }
+  out += pdme::export_icas_csv(ship.pdme(), ship.model());
+  return out;
+}
+
+TEST(SupervisorRecoveryTest, WedgeRecoveryIsByteIdenticalToUnwedgedRun) {
+  // Two identically-seeded ships run the identical fault script under an
+  // identical hard outage isolating dc-1 over [3600 s, 4500 s]. Ship B
+  // additionally wedges DC 0 at 3600 s; the supervisor notices the frozen
+  // progress tick (wedge_timeout 300 s -> fires at 3900 s), rebuilds the DC
+  // from its salvage and catches it up through the recorded step grid. The
+  // outage covers the wedge through recovery, so both runs drop exactly the
+  // same datagrams — any divergence in the operator view could only come
+  // from the recovery itself.
+  const auto make_config = [] {
+    ShipSystemConfig cfg = small_config();
+    cfg.seed = 0x5EED;
+    return cfg;
+  };
+  const auto script = [](ShipSystem& ship) {
+    ship.chiller(0).faults().schedule({FailureMode::MotorImbalance,
+                                       SimTime::from_seconds(720),
+                                       SimTime::from_hours(1.0), 0.9,
+                                       plant::GrowthProfile::Linear});
+    ship.chiller(1).faults().schedule({FailureMode::RefrigerantLeak,
+                                       SimTime::from_seconds(1500),
+                                       SimTime::from_hours(1.0), 0.8,
+                                       plant::GrowthProfile::Linear});
+    ship.network().schedule_outage({"dc-1", SimTime::from_seconds(3600),
+                                    SimTime::from_seconds(4500), 1.0});
+  };
+
+  ShipSystem unwedged(make_config());
+  ShipSystem wedged(make_config());
+  script(unwedged);
+  script(wedged);
+
+  // A pre-wedge runtime reconfiguration: it must still govern the
+  // recovered DC after the restart.
+  unwedged.run_until(SimTime::from_seconds(1800));
+  wedged.run_until(SimTime::from_seconds(1800));
+  const std::uint64_t rev_a = unwedged.command_dc(
+      0, {{"validator.spike_sigmas", 7.0}, {"dc.report_hysteresis", 0.08}},
+      "pre-wedge tuning");
+  const std::uint64_t rev_b = wedged.command_dc(
+      0, {{"validator.spike_sigmas", 7.0}, {"dc.report_hysteresis", 0.08}},
+      "pre-wedge tuning");
+  ASSERT_EQ(rev_a, rev_b);
+
+  unwedged.run_until(SimTime::from_seconds(3600));
+  wedged.run_until(SimTime::from_seconds(3600));
+  ASSERT_EQ(wedged.concentrator(0).config_revision(), rev_b);
+  const std::uint64_t progress_before = wedged.concentrator(0).progress();
+  wedged.wedge_dc(0);
+
+  unwedged.run_until(SimTime::from_hours(2.5));
+  wedged.run_until(SimTime::from_hours(2.5));
+
+  // The supervisor fired exactly once, and only on ship B.
+  ASSERT_NE(wedged.supervisor(), nullptr);
+  EXPECT_EQ(wedged.supervisor()->stats().wedges_detected, 1u);
+  EXPECT_EQ(wedged.supervisor()->stats().restarts, 1u);
+  EXPECT_EQ(unwedged.supervisor()->stats().restarts, 0u);
+  EXPECT_FALSE(wedged.concentrator(0).wedged());
+  EXPECT_GT(wedged.concentrator(0).progress(), progress_before);
+
+  // The acceptance property: byte-identical OOSM/browser output.
+  EXPECT_EQ(browser_fingerprint(unwedged), browser_fingerprint(wedged));
+
+  // And identical fused-pipeline accounting underneath it.
+  const auto sa = unwedged.pdme().stats();
+  const auto sb = wedged.pdme().stats();
+  EXPECT_EQ(sa.reports_accepted, sb.reports_accepted);
+  EXPECT_EQ(sa.envelopes_accepted, sb.envelopes_accepted);
+  EXPECT_EQ(sa.heartbeats_received, sb.heartbeats_received);
+
+  // The runtime config survived the restart: persisted through the DC
+  // database, re-applied from the salvage, values intact.
+  EXPECT_EQ(wedged.concentrator(0).config_revision(), rev_b);
+  EXPECT_EQ(wedged.concentrator(0).runtime_setting("validator.spike_sigmas"),
+            7.0);
+  EXPECT_EQ(wedged.concentrator(0).runtime_setting("dc.report_hysteresis"),
+            0.08);
+}
+
+TEST(SupervisorRecoveryTest, ManualRestartPreservesStreamAndConfig) {
+  // restart_dc() is the operator's (and the soak harness's) direct handle
+  // on the salvage/rebuild path: no wedge, no silence window — the DC is
+  // torn down mid-run and must resume its reliable stream mid-sequence
+  // with its commanded configuration intact.
+  ShipSystem ship(small_config());
+  ship.chiller(0).faults().schedule({FailureMode::MotorImbalance, SimTime(0),
+                                     SimTime(0), 0.9,
+                                     plant::GrowthProfile::Step});
+  ship.run_until(SimTime::from_seconds(1200));
+  const std::uint64_t rev =
+      ship.command_dc(0, {{"dc.wnn_report_threshold", 0.6}}, "ops tune");
+  ship.run_until(SimTime::from_seconds(1800));
+  const std::uint64_t seq_before =
+      ship.concentrator(0).reliable().last_sequence();
+  ASSERT_GT(seq_before, 0u);
+
+  ship.restart_dc(0);
+  EXPECT_EQ(ship.concentrator(0).config_revision(), rev);
+  EXPECT_EQ(ship.concentrator(0).runtime_setting("dc.wnn_report_threshold"),
+            0.6);
+  // The reliable stream resumed mid-sequence instead of restarting at 1.
+  EXPECT_GE(ship.concentrator(0).reliable().last_sequence(), seq_before);
+
+  ship.run_until(SimTime::from_hours(1.0));
+  const auto list = ship.pdme().prioritized_list(ship.plant_objects(0).motor);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list.front().mode, FailureMode::MotorImbalance);
+  EXPECT_GT(ship.concentrator(0).reliable().last_sequence(), seq_before);
+}
+
 }  // namespace
 }  // namespace mpros

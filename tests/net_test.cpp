@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
+#include <span>
 
 #include "mpros/common/rng.hpp"
 #include "mpros/net/codec.hpp"
@@ -682,6 +684,259 @@ TEST(FuzzDecodeTest, FleetDecodersSurviveRandomBuffers) {
     (void)try_deserialize_fleet_summary(junk);
     (void)try_unwrap_fleet_envelope(junk);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-control-plane wire protocol (CommandMessage + CommandEnvelope).
+
+CommandMessage sample_command() {
+  CommandMessage cmd;
+  cmd.target = DcId(3);
+  cmd.revision = 12;
+  cmd.issued_at = SimTime::from_seconds(1234.0);
+  cmd.settings = {{"validator.spike_sigmas", 7.5}, {"dc.enable_fuzzy", 0.0}};
+  cmd.reason = "ops: tighten spike screening";
+  return cmd;
+}
+
+TEST(CommandProtocolTest, SerializeDeserializeRoundTrip) {
+  const CommandMessage original = sample_command();
+  const auto decoded = try_deserialize_command(serialize(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(CommandProtocolTest, BareAndEnvelopedWireRoundTrip) {
+  const CommandMessage cmd = sample_command();
+  // The shore-downlink hop carries the bare command.
+  const auto bare = wrap(cmd);
+  ASSERT_EQ(try_peek_type(bare), MessageType::Command);
+  const auto bare_back = try_unwrap_command(bare);
+  ASSERT_TRUE(bare_back.has_value());
+  EXPECT_EQ(*bare_back, cmd);
+
+  // The PDME -> DC hop seals it in the reliable command stream.
+  const CommandEnvelope env{DcId(3), 5, cmd};
+  const auto wire = wrap(env);
+  ASSERT_EQ(try_peek_type(wire), MessageType::CommandEnvelopeMsg);
+  const auto env_back = try_unwrap_command_envelope(wire);
+  ASSERT_TRUE(env_back.has_value());
+  EXPECT_EQ(*env_back, env);
+}
+
+TEST(CommandProtocolTest, ZeroSequenceEnvelopeRejected) {
+  const CommandEnvelope env{DcId(3), 0, sample_command()};
+  EXPECT_FALSE(try_unwrap_command_envelope(wrap(env)).has_value());
+}
+
+TEST(CommandProtocolTest, EmptySettingsAndReasonAllowed) {
+  CommandMessage cmd;
+  cmd.target = DcId(1);
+  const auto decoded = try_deserialize_command(serialize(cmd));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, cmd);
+}
+
+TEST(FuzzDecodeTest, CommandEveryTruncationReturnsNullopt) {
+  const auto bytes = serialize(sample_command());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        try_deserialize_command(std::span(bytes.data(), len)).has_value())
+        << "prefix of " << len << " bytes decoded";
+  }
+  const auto wire = wrap(CommandEnvelope{DcId(3), 5, sample_command()});
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        try_unwrap_command_envelope(std::span(wire.data(), len)).has_value())
+        << "envelope prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(FuzzDecodeTest, CommandSingleByteCorruptionNeverCrashes) {
+  const auto clean = serialize(sample_command());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    auto bytes = clean;
+    bytes[i] ^= 0xFF;
+    (void)try_deserialize_command(bytes);
+  }
+  auto bad_magic = clean;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(try_deserialize_command(bad_magic).has_value());
+  auto bad_version = clean;
+  bad_version[2] = 0xEE;
+  EXPECT_FALSE(try_deserialize_command(bad_version).has_value());
+}
+
+TEST(FuzzDecodeTest, CommandHugeSettingsCountRejectedBeforeAllocation) {
+  // With no settings, the trailing u32 is the settings count.
+  CommandMessage cmd = sample_command();
+  cmd.settings.clear();
+  auto bytes = serialize(cmd);
+  for (std::size_t i = bytes.size() - 4; i < bytes.size(); ++i) {
+    bytes[i] = 0xFF;
+  }
+  EXPECT_FALSE(try_deserialize_command(bytes).has_value());
+}
+
+TEST(FuzzDecodeTest, CommandWrongTypeReturnsNullopt) {
+  EXPECT_FALSE(try_unwrap_command(wrap(sample_report())).has_value());
+  EXPECT_FALSE(try_unwrap_command_envelope(wrap(sample_command())).has_value());
+  const auto wire = wrap(CommandEnvelope{DcId(3), 5, sample_command()});
+  EXPECT_FALSE(try_unwrap_command(wire).has_value());
+  EXPECT_FALSE(try_unwrap_report(wire).has_value());
+  EXPECT_FALSE(try_unwrap_envelope(wire).has_value());
+  EXPECT_FALSE(try_unwrap_ack(wire).has_value());
+  EXPECT_FALSE(try_unwrap_test_command(wire).has_value());
+}
+
+TEST(FuzzDecodeTest, CommandDecodersSurviveRandomBuffers) {
+  Rng rng(0xC04D);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> junk(rng.integer(0, 255));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.integer(0, 255));
+    }
+    (void)try_deserialize_command(junk);
+    (void)try_unwrap_command(junk);
+    (void)try_unwrap_command_envelope(junk);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TestCommandMessage fuzz coverage (the §5.8 scheduler command), matching
+// the FleetSummary/Command suites above.
+
+TestCommandMessage sample_test_command() {
+  TestCommandMessage cmd;
+  cmd.target = DcId(4);
+  cmd.command = TestCommandMessage::Command::VibrationTest;
+  cmd.reason = "PDME retest after fused severity jump";
+  return cmd;
+}
+
+TEST(FuzzDecodeTest, TestCommandEveryTruncationReturnsNullopt) {
+  const auto wire = wrap(sample_test_command());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        try_unwrap_test_command(std::span(wire.data(), len)).has_value())
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(FuzzDecodeTest, TestCommandSingleByteCorruptionNeverCrashes) {
+  const auto clean = wrap(sample_test_command());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    auto bytes = clean;
+    bytes[i] ^= 0xFF;
+    (void)try_unwrap_test_command(bytes);
+  }
+  auto wrong_type = clean;
+  wrong_type[0] = static_cast<std::uint8_t>(MessageType::Ack);
+  EXPECT_FALSE(try_unwrap_test_command(wrong_type).has_value());
+}
+
+TEST(FuzzDecodeTest, TestCommandSurvivesRandomBuffers) {
+  Rng rng(0x7E57);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> junk(rng.integer(0, 255));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.integer(0, 255));
+    }
+    (void)try_unwrap_test_command(junk);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Retransmit/heartbeat de-synchronization (the thundering-herd guard).
+
+TEST(DesyncPhaseTest, PhasesDeterministicBoundedAndSpread) {
+  const SimTime period = SimTime::from_seconds(60.0);
+  std::set<std::int64_t> distinct;
+  for (std::uint64_t id = 1; id <= 200; ++id) {
+    const SimTime phase = desync_phase(id, period);
+    // Deterministic: a restarted owner keeps its phase.
+    EXPECT_EQ(phase, desync_phase(id, period));
+    // Bounded: within [0, period/4) so cadence guarantees barely move.
+    EXPECT_GE(phase.micros(), 0);
+    EXPECT_LT(phase.micros(), period.micros() / 4);
+    distinct.insert(phase.micros());
+  }
+  // Spread: 200 DCs brought up together must not share a handful of slots.
+  EXPECT_GT(distinct.size(), 150u);
+  // Degenerate periods fall back to no offset rather than dividing by zero.
+  EXPECT_EQ(desync_phase(7, SimTime(0)), SimTime(0));
+}
+
+TEST(DesyncPhaseTest, SweepAndHeartbeatStreamsOfOneDcDiffer) {
+  // The DC derives sweep phase from id<<1 and heartbeat phase from
+  // (id<<1)|1: the two schedules of a single DC must not collide either.
+  const SimTime period = SimTime::from_seconds(60.0);
+  std::size_t differing = 0;
+  for (std::uint64_t id = 1; id <= 50; ++id) {
+    if (desync_phase(id << 1, period) != desync_phase((id << 1) | 1, period)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 45u);
+}
+
+// ---------------------------------------------------------------------------
+// ReliableSender under a persistent outage: backoff caps at max_rto, the
+// ceiling is observable, and the window drains once the link heals.
+
+TEST(ReliableChannelTest, PersistentOutageCapsBackoffThenDrains) {
+  auto& ceiling =
+      telemetry::Registry::instance().counter("net.retransmit_max_backoff");
+  const std::uint64_t c0 = ceiling.value();
+
+  SimNetwork net;  // no random loss; the outage does the damage
+  ReliableConfig cfg;
+  cfg.initial_rto = SimTime::from_seconds(60.0);
+  cfg.backoff = 2.0;
+  cfg.max_rto = SimTime::from_seconds(240.0);
+  ReliableSender sender(DcId(5), cfg);
+  ReliableReceiver receiver;
+
+  std::vector<AckMessage> acks;
+  net.register_endpoint("pdme", [&](const Message& msg) {
+    const auto env = try_unwrap_envelope(msg.payload);
+    ASSERT_TRUE(env.has_value());
+    const auto out = receiver.on_envelope(env->dc, env->sequence);
+    if (!out.duplicate) acks.push_back(out.ack);
+  });
+
+  // The link is down from the start until t=3600 s.
+  net.schedule_outage({"pdme", SimTime(0), SimTime::from_seconds(3600.0), 1.0});
+  net.send("dc-5", "pdme", sender.envelope(sample_report(), SimTime(0)),
+           SimTime(0));
+
+  // Sweep once a minute through the outage: RTO walks 60 -> 120 -> 240
+  // (ceiling) -> 240 -> ... Retransmits land at 60, 180, 420, 660, ...
+  std::uint64_t sweeps_with_work = 0;
+  for (double t = 60.0; t <= 3600.0; t += 60.0) {
+    const auto due = sender.due_retransmits(SimTime::from_seconds(t));
+    sweeps_with_work += due.empty() ? 0 : 1;
+    for (const auto& payload : due) {
+      net.send("dc-5", "pdme", payload, SimTime::from_seconds(t));
+    }
+    net.advance_to(SimTime::from_seconds(t));
+  }
+  // 60, 180, 420 then every 240 s from 660 through 3540: 3 + 13 rounds.
+  EXPECT_EQ(sweeps_with_work, 16u);
+  EXPECT_EQ(sender.stats().max_backoff_hits, 1u);  // counted once per entry
+  EXPECT_EQ(ceiling.value(), c0 + 1);
+  EXPECT_EQ(sender.unacked(), 1u);  // nothing got through, nothing lost
+  EXPECT_TRUE(acks.empty());
+
+  // The link heals: the next due retransmit is delivered, acked, retired.
+  const auto due = sender.due_retransmits(SimTime::from_seconds(3780.0));
+  ASSERT_EQ(due.size(), 1u);
+  net.send("dc-5", "pdme", due[0], SimTime::from_seconds(3780.0));
+  net.advance_to(SimTime::from_seconds(3800.0));
+  ASSERT_EQ(acks.size(), 1u);
+  sender.on_ack(acks[0]);
+  EXPECT_EQ(sender.unacked(), 0u);
+  EXPECT_TRUE(sender.due_retransmits(SimTime::from_hours(24.0)).empty());
 }
 
 }  // namespace

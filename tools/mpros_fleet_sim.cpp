@@ -178,6 +178,33 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(up.acked),
                   static_cast<unsigned long long>(up.max_backoff_hits));
     }
+    for (std::size_t k = 0; k < fleet.ship_count(); ++k) {
+      const auto ps = fleet.ship(k).pdme().stats();
+      std::printf("hull %zu pdme: queue_full %llu, commands %llu, "
+                  "command acks %llu",
+                  k + 1, static_cast<unsigned long long>(ps.queue_full),
+                  static_cast<unsigned long long>(ps.commands_sent),
+                  static_cast<unsigned long long>(ps.command_acks));
+      for (std::size_t sh = 0; sh < fleet.ship(k).pdme().shard_count(); ++sh) {
+        std::printf(", shard%zu.depth %.0f", sh,
+                    telemetry::Registry::instance()
+                        .gauge("pdme.shard" + std::to_string(sh) + ".depth")
+                        .value());
+      }
+      std::printf("\n");
+    }
+    auto& reg = telemetry::Registry::instance();
+    std::printf("supervisor: wedges %llu, restarts %llu; config: "
+                "applied %llu, rejected %llu, shore downlinks %llu\n",
+                static_cast<unsigned long long>(
+                    reg.counter("dc.wedges_detected").value()),
+                static_cast<unsigned long long>(
+                    reg.counter("mpros.supervisor_restarts").value()),
+                static_cast<unsigned long long>(
+                    reg.counter("dc.config_applied").value()),
+                static_cast<unsigned long long>(
+                    reg.counter("dc.config_rejected").value()),
+                static_cast<unsigned long long>(s.commands_sent));
   }
   return 0;
 }

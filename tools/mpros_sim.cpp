@@ -207,15 +207,35 @@ int main(int argc, char** argv) {
                   pdme::export_mimosa(ship.pdme(), ship.model()).c_str());
     } else if (show == "stats") {
       const auto stats = ship.fleet_stats();
+      const auto pstats = ship.pdme().stats();
+      auto& reg = telemetry::Registry::instance();
       std::printf("samples=%llu reports=%llu fused=%llu dropped=%llu "
-                  "duplicated=%llu retests=%llu\n\n",
+                  "duplicated=%llu retests=%llu\n",
                   static_cast<unsigned long long>(stats.samples_processed),
                   static_cast<unsigned long long>(stats.reports_emitted),
                   static_cast<unsigned long long>(stats.reports_fused),
                   static_cast<unsigned long long>(stats.network.dropped),
                   static_cast<unsigned long long>(stats.network.duplicated),
+                  static_cast<unsigned long long>(pstats.retests_commanded));
+      std::printf("queue_full=%llu",
+                  static_cast<unsigned long long>(pstats.queue_full));
+      for (std::size_t s = 0; s < ship.pdme().shard_count(); ++s) {
+        std::printf(" shard%zu.depth=%.0f", s,
+                    reg.gauge("pdme.shard" + std::to_string(s) + ".depth")
+                        .value());
+      }
+      std::printf("\nsupervisor: wedges=%llu restarts=%llu; config: "
+                  "commands=%llu acks=%llu applied=%llu rejected=%llu\n\n",
                   static_cast<unsigned long long>(
-                      ship.pdme().stats().retests_commanded));
+                      reg.counter("dc.wedges_detected").value()),
+                  static_cast<unsigned long long>(
+                      reg.counter("mpros.supervisor_restarts").value()),
+                  static_cast<unsigned long long>(pstats.commands_sent),
+                  static_cast<unsigned long long>(pstats.command_acks),
+                  static_cast<unsigned long long>(
+                      reg.counter("dc.config_applied").value()),
+                  static_cast<unsigned long long>(
+                      reg.counter("dc.config_rejected").value()));
     } else if (show == "telemetry") {
       std::printf("%s\n", ShipSystem::telemetry_text().c_str());
     } else if (show.rfind("machine:", 0) == 0) {

@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -142,14 +144,55 @@ std::vector<net::FailureReport> sweep_stream(const oosm::ShipModel& ship) {
   return stream;
 }
 
-/// Accepted reports/s for one shard configuration (fresh model + executive).
-double measure_shard_rate(const std::vector<net::FailureReport>& stream,
+/// One DC sync window's worth of coalesced reports per submit() span (E21):
+/// the wire batch size the DCs produce with batch_reports on.
+constexpr std::size_t kIngestBatch = 256;
+
+/// The sweep stream as prebuilt submit() envelopes (unsequenced: the bench
+/// measures the ingest pipeline, not reliable-stream bookkeeping).
+std::vector<net::ReportEnvelope> sweep_envelopes(
+    const std::vector<net::FailureReport>& stream) {
+  std::vector<net::ReportEnvelope> envs;
+  envs.reserve(stream.size());
+  for (const auto& r : stream) {
+    net::ReportEnvelope env;
+    env.dc = r.dc;
+    env.sequence = 0;
+    env.report = r;
+    envs.push_back(std::move(env));
+  }
+  return envs;
+}
+
+/// Accepted reports/s for one shard configuration (fresh model + executive),
+/// ingesting through the span-based submit() API in kIngestBatch spans.
+double measure_shard_rate(const std::vector<net::ReportEnvelope>& envs,
                           std::size_t shard_count) {
   oosm::ObjectModel model;
   const auto ship = oosm::build_ship(model, "bench", 4, 2);
   pdme::PdmeConfig cfg;
   cfg.deduplicate = false;  // measure fusion, not the signature cache
   cfg.shard_count = shard_count;
+  pdme::PdmeExecutive pdme(model, cfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < envs.size(); i += kIngestBatch) {
+    const std::size_t n = std::min(kIngestBatch, envs.size() - i);
+    pdme.submit({envs.data() + i, n});
+  }
+  pdme.synchronize();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(pdme.stats().reports_accepted) / secs;
+}
+
+/// The pre-E21 call shape for comparison: one accept() (an envelope build
+/// plus a one-element submit) per report, inline executive.
+double measure_singleton_rate(const std::vector<net::FailureReport>& stream) {
+  oosm::ObjectModel model;
+  const auto ship = oosm::build_ship(model, "bench", 4, 2);
+  pdme::PdmeConfig cfg;
+  cfg.deduplicate = false;
   pdme::PdmeExecutive pdme(model, cfg);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -163,10 +206,10 @@ double measure_shard_rate(const std::vector<net::FailureReport>& stream,
 void BM_PdmeShardIngest(benchmark::State& state) {
   oosm::ObjectModel topo;
   const auto ship = oosm::build_ship(topo, "bench", 4, 2);
-  const auto stream = sweep_stream(ship);
+  const auto envs = sweep_envelopes(sweep_stream(ship));
   const auto shards = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(measure_shard_rate(stream, shards));
+    benchmark::DoNotOptimize(measure_shard_rate(envs, shards));
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * kSweepReports));
@@ -181,16 +224,21 @@ void write_json_snapshot() {
   oosm::ObjectModel topo;
   const auto ship = oosm::build_ship(topo, "bench", 4, 2);
   const auto stream = sweep_stream(ship);
+  const auto envs = sweep_envelopes(stream);
 
   constexpr std::size_t kShardConfigs[] = {0, 1, 2, 4, 8};
   double rates[std::size(kShardConfigs)] = {};
-  (void)measure_shard_rate(stream, 0);  // warm allocators and code paths
+  (void)measure_shard_rate(envs, 0);  // warm allocators and code paths
   for (std::size_t c = 0; c < std::size(kShardConfigs); ++c) {
     double best = 0.0;  // best-of-3 to shave scheduler noise
     for (int rep = 0; rep < 3; ++rep) {
-      best = std::max(best, measure_shard_rate(stream, kShardConfigs[c]));
+      best = std::max(best, measure_shard_rate(envs, kShardConfigs[c]));
     }
     rates[c] = best;
+  }
+  double singleton = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    singleton = std::max(singleton, measure_singleton_rate(stream));
   }
   const double speedup_8_vs_1 = rates[4] / rates[1];
   const double speedup_8_vs_inline = rates[4] / rates[0];
@@ -205,11 +253,13 @@ void write_json_snapshot() {
   const unsigned hw = std::thread::hardware_concurrency();
   std::fprintf(f,
                "{\n"
-               "  \"experiment\": \"E18\",\n"
+               "  \"experiment\": \"E18+E21\",\n"
                "  \"hardware_concurrency\": %u,\n"
                "  \"report_count\": %zu,\n"
                "  \"machine_count\": %zu,\n"
+               "  \"ingest_batch\": %zu,\n"
                "  \"reports_per_s_inline\": %.0f,\n"
+               "  \"reports_per_s_inline_singleton\": %.0f,\n"
                "  \"reports_per_s_shards1\": %.0f,\n"
                "  \"reports_per_s_shards2\": %.0f,\n"
                "  \"reports_per_s_shards4\": %.0f,\n"
@@ -217,24 +267,72 @@ void write_json_snapshot() {
                "  \"speedup_8_vs_1\": %.2f,\n"
                "  \"speedup_8_vs_inline\": %.2f\n"
                "}\n",
-               hw, kSweepReports, ship.plants.size() * 4, rates[0], rates[1],
-               rates[2], rates[3], rates[4], speedup_8_vs_1,
-               speedup_8_vs_inline);
+               hw, kSweepReports, ship.plants.size() * 4, kIngestBatch,
+               rates[0], singleton, rates[1], rates[2], rates[3], rates[4],
+               speedup_8_vs_1, speedup_8_vs_inline);
   std::fclose(f);
   std::printf(
       "shard sweep    : inline %.0f/s | 1w %.0f/s | 2w %.0f/s | 4w %.0f/s "
       "| 8w %.0f/s  (%u cores)\n"
+      "singleton      : %.0f/s via per-report accept() for comparison\n"
       "speedup        : 8 workers = %.2fx vs 1 worker, %.2fx vs inline "
       "(BENCH_FLEET.json written)\n",
-      rates[0], rates[1], rates[2], rates[3], rates[4], hw, speedup_8_vs_1,
-      speedup_8_vs_inline);
+      rates[0], rates[1], rates[2], rates[3], rates[4], hw, singleton,
+      speedup_8_vs_1, speedup_8_vs_inline);
+}
+
+/// --quick: CI regression gate. Re-measures the inline batched ingest rate
+/// and compares against the committed BENCH_FLEET.json in the working
+/// directory; exits nonzero on a >20% regression. Never rewrites the file.
+int run_quick_gate() {
+  double baseline = 0.0;
+  std::FILE* f = std::fopen("BENCH_FLEET.json", "r");
+  if (f != nullptr) {
+    char buf[4096];
+    const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+    buf[n] = '\0';
+    std::fclose(f);
+    const char* key = std::strstr(buf, "\"reports_per_s_inline\"");
+    if (key != nullptr) std::sscanf(key, "\"reports_per_s_inline\": %lf",
+                                    &baseline);
+  }
+  if (baseline <= 0.0) {
+    std::printf("bench_fleet --quick: no BENCH_FLEET.json baseline here; "
+                "nothing to gate against\n");
+    return 0;
+  }
+
+  oosm::ObjectModel topo;
+  const auto ship = oosm::build_ship(topo, "bench", 4, 2);
+  const auto envs = sweep_envelopes(sweep_stream(ship));
+  (void)measure_shard_rate(envs, 0);  // warm-up
+  double best = 0.0;  // best-of-5: the gate runs on loaded CI machines
+  for (int rep = 0; rep < 5; ++rep) {
+    best = std::max(best, measure_shard_rate(envs, 0));
+  }
+  const double floor = 0.8 * baseline;
+  std::printf("bench_fleet --quick: inline batched ingest %.0f/s "
+              "(baseline %.0f/s, floor %.0f/s)\n", best, baseline, floor);
+  if (best < floor) {
+    std::fprintf(stderr,
+                 "bench_fleet --quick: REGRESSION — more than 20%% below "
+                 "the committed baseline\n");
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == std::string_view("--quick")) {
+      return run_quick_gate();
+    }
+  }
   std::printf(
-      "\nE7 fleet data rates (paper §1) + E18 sharded-PDME ingest\n"
+      "\nE7 fleet data rates (paper §1) + E18 sharded-PDME ingest "
+      "(E21 batched submit)\n"
       "  claim  : 'millions of data points per second' fleet-wide;\n"
       "           'hundreds of DCs per ship' correlated at the PDME\n"
       "  shape  : samples_per_sim_s scales linearly with dc_count below;\n"

@@ -33,6 +33,10 @@ class BoundedQueue {
     bool accepted = false;  ///< the pushed item is in the queue
     bool was_full = false;  ///< backpressure engaged (waited or evicted)
     bool evicted = false;   ///< an older item was dropped to make room
+    /// The DropOldest victim, handed back so no loss is silent: a caller
+    /// queueing batches must account every report inside an evicted batch,
+    /// not just the fact of an eviction.
+    std::optional<T> evicted_item;
   };
 
   BoundedQueue(std::size_t capacity, OverflowPolicy policy)
@@ -54,6 +58,7 @@ class BoundedQueue {
                          [&] { return items_.size() < capacity_ || closed_; });
           if (closed_) return result;
         } else {
+          result.evicted_item = std::move(items_.front());
           items_.pop_front();
           result.evicted = true;
         }

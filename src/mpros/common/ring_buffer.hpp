@@ -33,18 +33,13 @@ class RingBuffer {
     if (size_ < data_.size()) ++size_;
   }
 
-  /// Append a batch of elements as at most two segment copies. Only the
-  /// last capacity() elements of an oversized span are kept — the earlier
-  /// ones would be overwritten within the same call anyway.
+  /// Append a batch of elements as at most two segment copies. A span
+  /// larger than capacity() is a contract violation: it means the producer
+  /// sized a batch the window can never hold, and silently keeping only the
+  /// tail would hide that data loss from the caller (batch-ingest audit).
   void push(std::span<const T> vs) {
     const std::size_t cap = data_.size();
-    if (vs.size() >= cap) {
-      const auto tail = vs.subspan(vs.size() - cap);
-      std::copy(tail.begin(), tail.end(), data_.begin());
-      head_ = 0;
-      size_ = cap;
-      return;
-    }
+    MPROS_EXPECTS(vs.size() <= cap);
     const std::size_t first = std::min(vs.size(), cap - head_);
     std::copy_n(vs.begin(), first,
                 data_.begin() + static_cast<std::ptrdiff_t>(head_));

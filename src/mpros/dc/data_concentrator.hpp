@@ -89,6 +89,11 @@ struct DcConfig {
   /// legacy fire-and-forget FailureReportMsg datagrams.
   bool reliable_delivery = true;
   net::ReliableConfig reliable;
+  /// Coalesce each sync window's reports into one ReportBatch datagram
+  /// (one sequence number on the reliable stream). Off = legacy
+  /// one-datagram-per-report flushing. Fused output is identical either
+  /// way; batching exists for wire and ingest efficiency.
+  bool batch_reports = true;
   /// Cadence of the scheduler task that sweeps the retransmit buffer.
   SimTime retransmit_sweep_period = SimTime::from_seconds(60.0);
   /// Cadence of DC->PDME liveness heartbeats (0 disables).
@@ -234,6 +239,7 @@ class DataConcentrator {
   [[nodiscard]] bool reliable_delivery() const {
     return cfg_.reliable_delivery;
   }
+  [[nodiscard]] bool batch_reports() const { return cfg_.batch_reports; }
   [[nodiscard]] net::ReliableSender& reliable() { return reliable_; }
   [[nodiscard]] const SensorValidator& validator() const {
     return validator_;

@@ -514,7 +514,7 @@ std::uint64_t FleetServer::cumulative(ShipId ship) const {
   return receiver_.cumulative(DcId(ship.value()));
 }
 
-FleetServer::Stats FleetServer::stats() const {
+FleetServer::Stats FleetServer::stats_snapshot() const {
   std::lock_guard lock(mu_);
   return stats_;
 }

@@ -223,8 +223,17 @@ class FleetServer {
     std::uint64_t liveness_transitions = 0;
     std::uint64_t publishes = 0;
     std::uint64_t commands_sent = 0;  ///< control-plane downlinks fired
+
+    friend bool operator==(const Stats&, const Stats&) = default;
   };
-  [[nodiscard]] Stats stats() const;
+  /// Coherent copy of the server's counters, taken under the server lock.
+  /// All fields are monotonic (never regress); instantaneous state lives on
+  /// snapshot()/liveness accessors. Named stats_snapshot() rather than the
+  /// fleet-wide snapshot() convention because snapshot() here is the
+  /// published FleetSnapshot epoch accessor.
+  [[nodiscard]] Stats stats_snapshot() const;
+  /// Deprecated: thin shim for stats_snapshot() — same value, older name.
+  [[nodiscard]] Stats stats() const { return stats_snapshot(); }
 
  private:
   struct ShipState {

@@ -1,5 +1,7 @@
 #include "mpros/fusion/dempster_shafer.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "mpros/common/assert.hpp"
@@ -39,9 +41,20 @@ std::string FrameOfDiscernment::describe(HypothesisSet s) const {
 
 MassFunction::MassFunction(const FrameOfDiscernment& frame) : frame_(&frame) {}
 
+void MassFunction::add_mass(HypothesisSet s, double m) {
+  const auto it = std::lower_bound(
+      masses_.begin(), masses_.end(), s,
+      [](const auto& entry, HypothesisSet key) { return entry.first < key; });
+  if (it != masses_.end() && it->first == s) {
+    it->second += m;
+  } else {
+    masses_.insert(it, {s, m});
+  }
+}
+
 MassFunction MassFunction::vacuous(const FrameOfDiscernment& frame) {
   MassFunction m(frame);
-  m.masses_[frame.theta()] = 1.0;
+  m.masses_.push_back({frame.theta(), 1.0});
   return m;
 }
 
@@ -50,16 +63,90 @@ MassFunction MassFunction::simple_support(const FrameOfDiscernment& frame,
   MPROS_EXPECTS(focus != 0 && (focus & ~frame.theta()) == 0);
   MPROS_EXPECTS(belief >= 0.0 && belief <= 1.0);
   MassFunction m(frame);
-  if (belief > 0.0) m.masses_[focus] += belief;
+  if (belief > 0.0) m.add_mass(focus, belief);
   if (belief < 1.0 || focus == frame.theta()) {
-    m.masses_[frame.theta()] += 1.0 - belief;
+    m.add_mass(frame.theta(), 1.0 - belief);
   }
   return m;
 }
 
+double MassFunction::combine_simple_support(HypothesisSet focus,
+                                            double belief) {
+  MPROS_EXPECTS(focus != 0 && (focus & ~frame_->theta()) == 0);
+  MPROS_EXPECTS(belief >= 0.0 && belief <= 1.0);
+  const HypothesisSet theta = frame_->theta();
+
+  // The evidence mass, laid out exactly as simple_support() builds it
+  // (including the accumulate-into-one-bucket case when focus == Θ). focus
+  // numerically precedes Θ, so this little array is already ascending.
+  std::array<std::pair<HypothesisSet, double>, 2> evidence{};
+  std::size_t evidence_n = 0;
+  if (belief > 0.0) evidence[evidence_n++] = {focus, belief};
+  if (belief < 1.0 || focus == theta) {
+    if (evidence_n > 0 && evidence[evidence_n - 1].first == theta) {
+      evidence[evidence_n - 1].second += 1.0 - belief;
+    } else {
+      evidence[evidence_n++] = {theta, 1.0 - belief};
+    }
+  }
+
+  // Each product lands in the bucket for sa ∩ se; with ≤2 evidence entries
+  // the result has at most 2·|masses_| focal sets. Accumulate them in the
+  // order visited — ascending outer over masses_, ascending inner over the
+  // evidence — which is exactly the order combine()'s map accumulation
+  // visits, so sums are bit-identical.
+  constexpr std::size_t kMaxScratch = 64;
+  std::array<std::pair<HypothesisSet, double>, kMaxScratch> scratch;
+  std::size_t scratch_n = 0;
+  double conflict = 0.0;
+  if (masses_.size() * 2 > kMaxScratch) {
+    // Frames are ≤16 hypotheses, but a pathological mass could still exceed
+    // the stack scratch; take the allocating slow path rather than assert.
+    const CombinationResult r =
+        combine(*this, simple_support(*frame_, focus, belief));
+    masses_ = r.fused.masses_;
+    return r.conflict;
+  }
+  for (const auto& [sa, ma] : masses_) {
+    for (std::size_t e = 0; e < evidence_n; ++e) {
+      const HypothesisSet inter = sa & evidence[e].first;
+      const double product = ma * evidence[e].second;
+      if (inter == 0) {
+        conflict += product;
+        continue;
+      }
+      std::size_t slot = 0;
+      while (slot < scratch_n && scratch[slot].first != inter) ++slot;
+      if (slot == scratch_n) {
+        scratch[scratch_n++] = {inter, product};
+      } else {
+        scratch[slot].second += product;
+      }
+    }
+  }
+
+  if (conflict >= 1.0 - 1e-12) {
+    masses_.clear();
+    masses_.push_back({theta, 1.0});
+    return 1.0;
+  }
+
+  std::sort(scratch.begin(),
+            scratch.begin() + static_cast<std::ptrdiff_t>(scratch_n),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const double norm = 1.0 / (1.0 - conflict);
+  masses_.clear();
+  for (std::size_t i = 0; i < scratch_n; ++i) {
+    masses_.push_back({scratch[i].first, scratch[i].second * norm});
+  }
+  return conflict;
+}
+
 double MassFunction::mass(HypothesisSet s) const {
-  const auto it = masses_.find(s);
-  return it == masses_.end() ? 0.0 : it->second;
+  const auto it = std::lower_bound(
+      masses_.begin(), masses_.end(), s,
+      [](const auto& entry, HypothesisSet key) { return entry.first < key; });
+  return it == masses_.end() || it->first != s ? 0.0 : it->second;
 }
 
 double MassFunction::belief(HypothesisSet s) const {
@@ -92,7 +179,7 @@ CombinationResult combine(const MassFunction& a, const MassFunction& b) {
       if (inter == 0) {
         conflict += product;
       } else {
-        fused.masses_[inter] += product;
+        fused.add_mass(inter, product);
       }
     }
   }

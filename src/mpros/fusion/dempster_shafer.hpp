@@ -12,8 +12,8 @@
 // frames hold at most 16 hypotheses (the logical groups of §5.3 have 1-3).
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mpros::fusion {
@@ -48,8 +48,18 @@ struct CombinationResult;
                                         const MassFunction& b);
 
 /// A basic probability assignment m: 2^Θ -> [0,1] with Σm = 1 and m(∅) = 0.
+///
+/// Focal elements live in a flat vector sorted ascending by subset bitmask —
+/// the same iteration order std::map gave, so every combination visits
+/// products in the identical order and fused values are bit-identical to the
+/// historical tree-based representation. The flat layout exists for the
+/// ingest hot path: combine_simple_support() folds a report into the
+/// accumulated mass in place, with zero allocations at steady state.
 class MassFunction {
  public:
+  /// (subset, mass) pairs, ascending by subset; masses sum to 1.
+  using FocalVector = std::vector<std::pair<HypothesisSet, double>>;
+
   /// Vacuous mass: everything on Θ (total ignorance).
   static MassFunction vacuous(const FrameOfDiscernment& frame);
 
@@ -57,6 +67,14 @@ class MassFunction {
   /// §7.2 report with a Belief field becomes evidence.
   static MassFunction simple_support(const FrameOfDiscernment& frame,
                                      HypothesisSet focus, double belief);
+
+  /// In-place Dempster combination with simple-support evidence
+  /// m(focus) = belief, m(Θ) = 1 - belief: the batched report hot path.
+  /// Bit-identical to `combine(*this, simple_support(...)).fused` (same
+  /// product visit order), but with no temporary mass functions and no heap
+  /// traffic once the focal vector's capacity has grown to steady state.
+  /// Returns the conflict K (1.0 collapses to vacuous, like combine()).
+  double combine_simple_support(HypothesisSet focus, double belief);
 
   /// Mass assigned to exactly `s` (0 if s is not a focal element).
   [[nodiscard]] double mass(HypothesisSet s) const;
@@ -70,9 +88,7 @@ class MassFunction {
   /// Mass on Θ: the "unknown possibilities" share the paper highlights.
   [[nodiscard]] double unknown() const;
 
-  [[nodiscard]] const std::map<HypothesisSet, double>& focal_elements() const {
-    return masses_;
-  }
+  [[nodiscard]] const FocalVector& focal_elements() const { return masses_; }
 
   [[nodiscard]] const FrameOfDiscernment& frame() const { return *frame_; }
 
@@ -81,8 +97,11 @@ class MassFunction {
   friend CombinationResult combine(const MassFunction& a,
                                    const MassFunction& b);
 
+  /// Accumulate `m` into the bucket for `s`, inserting it (sorted) if new.
+  void add_mass(HypothesisSet s, double m);
+
   const FrameOfDiscernment* frame_;
-  std::map<HypothesisSet, double> masses_;
+  FocalVector masses_;
 };
 
 struct CombinationResult {

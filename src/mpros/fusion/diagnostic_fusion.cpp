@@ -54,11 +54,16 @@ GroupState DiagnosticFusion::update(ObjectId machine, FailureMode mode,
   return update_set(machine, modes, belief);
 }
 
+void DiagnosticFusion::apply(ObjectId machine, FailureMode mode,
+                             double belief) {
+  const LogicalGroup group = domain::logical_group(mode);
+  apply_focus(machine, group, set_of(group, mode), belief);
+}
+
 GroupState DiagnosticFusion::update_set(
     ObjectId machine, std::span<const domain::FailureMode> modes,
     double belief) {
   MPROS_EXPECTS(!modes.empty());
-  MPROS_EXPECTS(belief >= 0.0 && belief <= 1.0);
   const LogicalGroup group = domain::logical_group(modes.front());
 
   HypothesisSet focus = 0;
@@ -66,6 +71,16 @@ GroupState DiagnosticFusion::update_set(
     MPROS_EXPECTS(domain::logical_group(m) == group);
     focus |= set_of(group, m);
   }
+
+  Cell& c = apply_focus(machine, group, focus, belief);
+  return summarize(group, c);
+}
+
+DiagnosticFusion::Cell& DiagnosticFusion::apply_focus(ObjectId machine,
+                                                      LogicalGroup group,
+                                                      HypothesisSet focus,
+                                                      double belief) {
+  MPROS_EXPECTS(belief >= 0.0 && belief <= 1.0);
 
   // Re-entrancy audit (E18): this is the only state shared between fusion
   // instances. The sharded PDME runs one DiagnosticFusion per worker, so
@@ -75,14 +90,10 @@ GroupState DiagnosticFusion::update_set(
       telemetry::Registry::instance().counter("fusion.ds_updates");
 
   Cell& c = cell(machine, group);
-  const MassFunction evidence =
-      MassFunction::simple_support(frame(group), focus, belief);
-  CombinationResult result = combine(c.mass, evidence);
-  c.mass = std::move(result.fused);
-  c.last_conflict = result.conflict;
+  c.last_conflict = c.mass.combine_simple_support(focus, belief);
   ++c.report_count;
   ds_updates.inc();
-  return summarize(group, c);
+  return c;
 }
 
 GroupState DiagnosticFusion::summarize(LogicalGroup group,

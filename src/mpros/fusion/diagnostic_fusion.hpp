@@ -48,6 +48,12 @@ class DiagnosticFusion {
   /// group state; returns the updated state.
   GroupState update(ObjectId machine, domain::FailureMode mode, double belief);
 
+  /// Batched-ingest hot path: identical fusion state transition to
+  /// update(), but skips building the GroupState summary (which allocates
+  /// a ModeBelief vector per call). Callers that need the summary read it
+  /// later via state().
+  void apply(ObjectId machine, domain::FailureMode mode, double belief);
+
   /// Fuse disjunctive evidence ("B or C will occur") — all modes must share
   /// one logical group.
   GroupState update_set(ObjectId machine,
@@ -79,6 +85,11 @@ class DiagnosticFusion {
     double last_conflict = 0.0;
     std::size_t report_count = 0;
   };
+
+  /// Shared state transition behind update_set() and apply(): fold
+  /// simple-support evidence on `focus` into the (machine, group) cell.
+  Cell& apply_focus(ObjectId machine, domain::LogicalGroup group,
+                    HypothesisSet focus, double belief);
 
   [[nodiscard]] GroupState summarize(domain::LogicalGroup group,
                                      const Cell& cell) const;

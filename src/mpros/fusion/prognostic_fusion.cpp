@@ -3,10 +3,59 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <span>
 
 #include "mpros/common/assert.hpp"
 
 namespace mpros::fusion {
+
+namespace {
+
+/// PrognosticVector::probability_at over a raw point span, so the fusion
+/// accept loop can evaluate the in-progress curve without constructing a
+/// PrognosticVector per accepted point. Accepted points are strictly
+/// increasing in both horizon and probability (each must beat the curve
+/// built so far), so the constructor's sort/clamp pass is the identity on
+/// them and this evaluation is bit-identical to probability_at on the
+/// constructed vector.
+double probability_on(std::span<const PrognosticPoint> pts, SimTime t) {
+  if (pts.empty()) return 0.0;
+  if (t.micros() <= 0) return 0.0;
+
+  const auto tt = static_cast<double>(t.micros());
+
+  const PrognosticPoint& first = pts.front();
+  if (t <= first.horizon) {
+    const auto h = static_cast<double>(first.horizon.micros());
+    return h > 0.0 ? first.probability * (tt / h) : first.probability;
+  }
+
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (t <= pts[i].horizon) {
+      const auto t0 = static_cast<double>(pts[i - 1].horizon.micros());
+      const auto t1 = static_cast<double>(pts[i].horizon.micros());
+      const double p0 = pts[i - 1].probability;
+      const double p1 = pts[i].probability;
+      if (t1 <= t0) return p1;
+      return p0 + (p1 - p0) * (tt - t0) / (t1 - t0);
+    }
+  }
+
+  const PrognosticPoint& last = pts.back();
+  double slope = 0.0;
+  if (pts.size() >= 2) {
+    const PrognosticPoint& prev = pts[pts.size() - 2];
+    const double dt =
+        static_cast<double>((last.horizon - prev.horizon).micros());
+    if (dt > 0.0) slope = (last.probability - prev.probability) / dt;
+  }
+  const double extrapolated =
+      last.probability +
+      slope * (tt - static_cast<double>(last.horizon.micros()));
+  return std::clamp(extrapolated, last.probability, 1.0);
+}
+
+}  // namespace
 
 PrognosticVector::PrognosticVector(std::vector<PrognosticPoint> points)
     : points_(std::move(points)) {
@@ -100,6 +149,81 @@ std::optional<SimTime> PrognosticVector::time_to_probability(double p) const {
   return std::nullopt;
 }
 
+void PrognosticVector::fuse_in_place(std::span<const PrognosticPoint> points,
+                                     FuseScratch& scratch) {
+  if (points.empty()) return;
+
+  // Normalize the incoming report exactly as the constructor would.
+  scratch.incoming.assign(points.begin(), points.end());
+  std::sort(scratch.incoming.begin(), scratch.incoming.end(),
+            [](const PrognosticPoint& a, const PrognosticPoint& b) {
+              return a.horizon < b.horizon;
+            });
+  double running = 0.0;
+  for (PrognosticPoint& p : scratch.incoming) {
+    MPROS_EXPECTS(p.horizon.micros() >= 0);
+    p.probability = std::clamp(p.probability, 0.0, 1.0);
+    running = std::max(running, p.probability);
+    p.probability = running;
+  }
+
+  if (points_.empty()) {
+    points_.assign(scratch.incoming.begin(), scratch.incoming.end());
+    return;
+  }
+
+  // fuse_conservative's candidate sweep over scratch. The accept loop only
+  // keeps points that strictly beat the curve built so far, so the accepted
+  // sequence is strictly increasing in both horizon and probability and the
+  // final constructor normalization pass would be the identity — swap the
+  // buffer in directly.
+  scratch.candidates.clear();
+  scratch.candidates.insert(scratch.candidates.end(), points_.begin(),
+                            points_.end());
+  scratch.candidates.insert(scratch.candidates.end(),
+                            scratch.incoming.begin(), scratch.incoming.end());
+  std::sort(scratch.candidates.begin(), scratch.candidates.end(),
+            [](const PrognosticPoint& x, const PrognosticPoint& y) {
+              if (x.horizon != y.horizon) return x.horizon < y.horizon;
+              return x.probability > y.probability;
+            });
+
+  scratch.accepted.clear();
+  for (const PrognosticPoint& p : scratch.candidates) {
+    // Candidates arrive in ascending horizon, so p.horizon is >= every
+    // accepted horizon: the curve evaluation can only hit probability_on's
+    // beyond-the-last-point extrapolation (replicated here, O(1), same
+    // arithmetic so the accept decisions are bit-identical) or, on an exact
+    // horizon tie, its boundary interpolation (delegated as-is).
+    double curve = 0.0;
+    if (!scratch.accepted.empty()) {
+      const PrognosticPoint& last = scratch.accepted.back();
+      if (p.horizon > last.horizon) {
+        double slope = 0.0;
+        if (scratch.accepted.size() >= 2) {
+          const PrognosticPoint& prev =
+              scratch.accepted[scratch.accepted.size() - 2];
+          const double dt =
+              static_cast<double>((last.horizon - prev.horizon).micros());
+          if (dt > 0.0) slope = (last.probability - prev.probability) / dt;
+        }
+        const double extrapolated =
+            last.probability +
+            slope * (static_cast<double>(p.horizon.micros()) -
+                     static_cast<double>(last.horizon.micros()));
+        curve = std::clamp(extrapolated, last.probability, 1.0);
+      } else {
+        curve = probability_on(
+            {scratch.accepted.data(), scratch.accepted.size()}, p.horizon);
+      }
+    }
+    if (p.probability > curve + 1e-12) {
+      scratch.accepted.push_back(p);
+    }
+  }
+  points_.swap(scratch.accepted);
+}
+
 PrognosticVector fuse_conservative(const PrognosticVector& a,
                                    const PrognosticVector& b) {
   if (a.empty()) return b;
@@ -127,15 +251,14 @@ PrognosticVector fuse_conservative(const PrognosticVector& a,
               return x.probability > y.probability;
             });
 
-  PrognosticVector fused;
   std::vector<PrognosticPoint> accepted;
   for (const PrognosticPoint& p : candidates) {
-    if (p.probability > fused.probability_at(p.horizon) + 1e-12) {
+    if (p.probability >
+        probability_on({accepted.data(), accepted.size()}, p.horizon) + 1e-12) {
       accepted.push_back(p);
-      fused = PrognosticVector(accepted);
     }
   }
-  return fused;
+  return PrognosticVector(std::move(accepted));
 }
 
 PrognosticVector fuse_conservative(const std::vector<PrognosticVector>& curves) {

@@ -9,6 +9,7 @@
 // probability pulls the extrapolated demise earlier (experiment E2).
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "mpros/common/clock.hpp"
@@ -18,6 +19,14 @@ namespace mpros::fusion {
 struct PrognosticPoint {
   SimTime horizon;        ///< relative to the report's effective time
   double probability = 0.0;
+};
+
+/// Reusable buffers for PrognosticVector::fuse_in_place — one per fusion
+/// core keeps the per-report fuse allocation-free at steady state.
+struct FuseScratch {
+  std::vector<PrognosticPoint> incoming;
+  std::vector<PrognosticPoint> candidates;
+  std::vector<PrognosticPoint> accepted;
 };
 
 /// A monotone (in both time and probability) failure-probability curve.
@@ -45,6 +54,14 @@ class PrognosticVector {
   /// Earliest horizon where the curve reaches probability `p`, or nullopt
   /// if it never does (within extrapolation).
   [[nodiscard]] std::optional<SimTime> time_to_probability(double p) const;
+
+  /// Fuse one report's raw (unsorted, unclamped) points into this curve:
+  /// bit-identical to `*this = fuse_conservative(*this,
+  /// PrognosticVector(points))` but working entirely in caller-owned
+  /// scratch, so the report-rate ingest path performs no heap allocation
+  /// once the scratch buffers have warmed up.
+  void fuse_in_place(std::span<const PrognosticPoint> points,
+                     FuseScratch& scratch);
 
  private:
   std::vector<PrognosticPoint> points_;

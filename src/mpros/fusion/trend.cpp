@@ -12,8 +12,29 @@ TrendProjector::TrendProjector(TrendConfig cfg) : cfg_(cfg) {
   MPROS_EXPECTS(cfg.max_points >= cfg.min_points);
 }
 
+void TrendProjector::linearize() {
+  if (head_ == 0) return;
+  std::rotate(history_.begin(),
+              history_.begin() + static_cast<std::ptrdiff_t>(head_),
+              history_.end());
+  head_ = 0;
+}
+
 void TrendProjector::observe(SimTime t, double severity) {
   MPROS_EXPECTS(severity >= 0.0 && severity <= 1.0);
+  if (history_.size() == cfg_.max_points && cfg_.max_points > 0) {
+    const std::size_t newest = (head_ + history_.size() - 1) % history_.size();
+    if (!(t < history_[newest].t)) {
+      // Full window, in-order arrival (the ingest steady state): overwrite
+      // the oldest slot in place. Equivalent to the general path below —
+      // insert at the end, then drop the front — without the O(window)
+      // shift per report.
+      history_[head_] = Sample{t, severity};
+      head_ = (head_ + 1) % history_.size();
+      return;
+    }
+    linearize();
+  }
   const auto pos = std::upper_bound(
       history_.begin(), history_.end(), t,
       [](SimTime value, const Sample& s) { return value < s.t; });
@@ -26,9 +47,13 @@ void TrendProjector::observe(SimTime t, double severity) {
 std::optional<TrendFit> TrendProjector::fit() const {
   if (history_.size() < cfg_.min_points) return std::nullopt;
 
-  const double n = static_cast<double>(history_.size());
+  // Index circularly from head_ so the sums accumulate in time order —
+  // bit-identical to the flat-vector iteration this replaced.
+  const std::size_t count = history_.size();
+  const double n = static_cast<double>(count);
   double sum_t = 0.0, sum_s = 0.0;
-  for (const Sample& p : history_) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const Sample& p = history_[(head_ + i) % count];
     sum_t += p.t.days();
     sum_s += p.severity;
   }
@@ -36,7 +61,8 @@ std::optional<TrendFit> TrendProjector::fit() const {
   const double mean_s = sum_s / n;
 
   double sxx = 0.0, sxy = 0.0, syy = 0.0;
-  for (const Sample& p : history_) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const Sample& p = history_[(head_ + i) % count];
     const double dt = p.t.days() - mean_t;
     const double ds = p.severity - mean_s;
     sxx += dt * dt;

@@ -56,15 +56,27 @@ class TrendProjector {
   /// trend is flat, improving, or under-sampled.
   [[nodiscard]] PrognosticVector project(SimTime now) const;
 
-  void clear() { history_.clear(); }
+  void clear() {
+    history_.clear();
+    head_ = 0;
+  }
 
  private:
   struct Sample {
     SimTime t;
     double severity;
   };
+
+  /// Rotate storage so the oldest sample sits at index 0 (steady-state
+  /// inserts keep the window circular to avoid an O(window) shift per
+  /// observation; out-of-order arrivals and readers linearize first).
+  void linearize();
+
   TrendConfig cfg_;
-  std::vector<Sample> history_;  // time-ordered
+  /// Time-ordered when head_ == 0; otherwise circular with the oldest
+  /// sample at head_ (only once the window is full).
+  std::vector<Sample> history_;
+  std::size_t head_ = 0;
 };
 
 }  // namespace mpros::fusion

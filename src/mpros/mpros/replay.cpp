@@ -86,6 +86,23 @@ std::optional<ReplayResult> replay_recording(
         ++result.messages_replayed;
         break;
       }
+      case net::MessageType::ReportBatchMsg:
+      case net::MessageType::ReportBatchEnvelopeMsg: {
+        // Same contract as the envelope case: the reliable layer is
+        // bypassed, signature dedup absorbs recorded retransmissions.
+        std::vector<net::ReportEnvelope> arena;
+        const auto view = net::try_unwrap_reports_into(frame.payload, arena);
+        if (!view.has_value()) {
+          ++result.malformed;
+          break;
+        }
+        pdme.note_dc_alive(view->dc, delivered_at);
+        for (std::size_t i = 0; i < view->count; ++i) {
+          pdme.accept(arena[i].report);
+        }
+        ++result.messages_replayed;
+        break;
+      }
       case net::MessageType::Heartbeat: {
         const auto hb = net::try_unwrap_heartbeat(frame.payload);
         if (!hb.has_value()) {
@@ -98,6 +115,7 @@ std::optional<ReplayResult> replay_recording(
       case net::MessageType::TestCommand:
       case net::MessageType::Ack:
       case net::MessageType::FleetSummaryEnvelopeMsg:
+      default:
         break;  // mis-routed; the live PDME ignored these too
     }
   }

@@ -207,13 +207,26 @@ void ShipSystem::flush_dc(std::size_t i,
   const std::string endpoint = "dc-" + std::to_string(i + 1);
   dc::DataConcentrator& dc = *dcs_[i];
   const bool reliable = dc.reliable_delivery();
-  for (const net::FailureReport& report : reports) {
-    // Reliable mode seals each report in a sequence-numbered envelope and
-    // buffers it for retransmission until the PDME's cumulative ack.
+  if (dc.batch_reports() && !reports.empty()) {
+    // The whole sync window rides one ReportBatch datagram — in reliable
+    // mode sealed under a single sequence number, so the retransmit window
+    // and ack traffic scale with flushes, not reports.
+    const std::span<const net::FailureReport> window(reports.data(),
+                                                     reports.size());
+    const SimTime at = reports.back().timestamp;
     network_.send(endpoint, "pdme",
-                  reliable ? dc.reliable().envelope(report, report.timestamp)
-                           : net::wrap(report),
-                  report.timestamp);
+                  reliable ? dc.reliable().envelope(window, at)
+                           : net::wrap_batch(DcId(i + 1), window),
+                  at);
+  } else {
+    for (const net::FailureReport& report : reports) {
+      // Reliable mode seals each report in a sequence-numbered envelope and
+      // buffers it for retransmission until the PDME's cumulative ack.
+      network_.send(endpoint, "pdme",
+                    reliable ? dc.reliable().envelope(report, report.timestamp)
+                             : net::wrap(report),
+                    report.timestamp);
+    }
   }
   for (const net::SensorDataMessage& batch : dc.drain_sensor_data()) {
     network_.send(endpoint, "pdme", net::wrap(batch), batch.timestamp);

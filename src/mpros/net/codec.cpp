@@ -156,4 +156,15 @@ std::string TryReader::str() {
   return s;
 }
 
+void TryReader::str(std::string& out) {
+  const std::uint32_t len = u32();
+  if (!ok_ || data_.size() - pos_ < len) {
+    ok_ = false;
+    out.clear();
+    return;
+  }
+  out.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+}
+
 }  // namespace mpros::net

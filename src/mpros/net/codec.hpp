@@ -70,6 +70,9 @@ class TryReader {
   std::int64_t i64();
   double f64();
   std::string str();
+  /// Decodes into `out`, reusing its capacity — the arena-decode path reads
+  /// thousands of strings per second and must not allocate at steady state.
+  void str(std::string& out);
 
   [[nodiscard]] bool ok() const { return ok_; }
   void fail() { ok_ = false; }

@@ -44,6 +44,15 @@ enum class MessageType : std::uint8_t {
   /// Sequenced runtime-reconfiguration command on a DC's reliable command
   /// stream (PDME -> DC), acked with the Ack type above.
   CommandEnvelopeMsg = 9,
+  /// Bare report batch (versioned body: one DC's reports for one sync
+  /// window, back to back). The unreliable sibling of
+  /// ReportBatchEnvelopeMsg, mirroring FailureReportMsg vs
+  /// ReportEnvelopeMsg.
+  ReportBatchMsg = 10,
+  /// Sequenced report batch on a DC's reliable report stream: ONE sequence
+  /// number covers the whole window, so acks, gap detection, and
+  /// retransmission move batches instead of single reports.
+  ReportBatchEnvelopeMsg = 11,
 };
 
 [[nodiscard]] const char* to_string(MessageType t);
@@ -154,6 +163,27 @@ struct TestCommandMessage {
 [[nodiscard]] std::optional<MessageType> try_peek_type(
     std::span<const std::uint8_t> bytes);
 
+/// Header of a decoded report batch (or of a single-report datagram viewed
+/// as a one-element batch): where the reports came from and how many landed
+/// in the arena's prefix.
+struct ReportBatchView {
+  DcId dc;
+  std::uint64_t sequence = 0;  ///< 0 = unsequenced (bare wire forms)
+  std::size_t count = 0;       ///< decoded elements at the arena's front
+};
+
+/// Unified fail-soft decoder for every report-carrying wire form
+/// (FailureReportMsg, ReportEnvelopeMsg, ReportBatchMsg,
+/// ReportBatchEnvelopeMsg) into a caller-owned arena. The arena only ever
+/// grows — element strings and prognostics vectors keep their capacity
+/// across calls, so steady-state decode is allocation-free. Elements beyond
+/// the returned count hold stale data from earlier batches; every element in
+/// the prefix has dc/sequence stamped from the datagram header. Returns
+/// nullopt on any malformed byte: one corrupt frame fails the whole
+/// datagram (batches share their datagram's integrity fate).
+[[nodiscard]] std::optional<ReportBatchView> try_unwrap_reports_into(
+    std::span<const std::uint8_t> bytes, std::vector<ReportEnvelope>& arena);
+
 // Enveloped encodings (type byte + body).
 [[nodiscard]] std::vector<std::uint8_t> wrap(const FailureReport& r);
 [[nodiscard]] std::vector<std::uint8_t> wrap(const SensorDataMessage& m);
@@ -163,6 +193,15 @@ struct TestCommandMessage {
 [[nodiscard]] std::vector<std::uint8_t> wrap(const HeartbeatMessage& m);
 [[nodiscard]] std::vector<std::uint8_t> wrap(const CommandMessage& m);
 [[nodiscard]] std::vector<std::uint8_t> wrap(const CommandEnvelope& m);
+
+/// Bare batch datagram (ReportBatchMsg): type byte + versioned batch body.
+[[nodiscard]] std::vector<std::uint8_t> wrap_batch(
+    DcId dc, std::span<const FailureReport> reports);
+/// Sequenced batch datagram (ReportBatchEnvelopeMsg): type byte + u64 dc +
+/// u64 sequence + versioned batch body. The decoder rejects sequence 0 and
+/// a body whose DC disagrees with the header.
+[[nodiscard]] std::vector<std::uint8_t> wrap_batch_envelope(
+    DcId dc, std::uint64_t sequence, std::span<const FailureReport> reports);
 
 // Decoders: the payload's type byte must match (checked).
 [[nodiscard]] FailureReport unwrap_report(std::span<const std::uint8_t> bytes);

@@ -79,6 +79,12 @@ std::vector<std::uint8_t> ReliableSender::envelope(
   return seal(wrap(env), now);
 }
 
+std::vector<std::uint8_t> ReliableSender::envelope(
+    std::span<const FailureReport> reports, SimTime now) {
+  std::lock_guard lock(mu_);
+  return seal(wrap_batch_envelope(dc_, next_sequence_, reports), now);
+}
+
 std::vector<std::uint8_t> ReliableSender::envelope(const FleetSummary& summary,
                                                    SimTime now) {
   std::lock_guard lock(mu_);
@@ -198,7 +204,7 @@ std::size_t ReliableSender::unacked() const {
   return window_.size();
 }
 
-ReliableSender::Stats ReliableSender::stats() const {
+ReliableSender::Stats ReliableSender::snapshot() const {
   std::lock_guard lock(mu_);
   return stats_;
 }

@@ -57,6 +57,13 @@ class ReliableSender {
   [[nodiscard]] std::vector<std::uint8_t> envelope(const FailureReport& report,
                                                    SimTime now);
 
+  /// Batch overload: seal one sync window's reports under ONE sequence
+  /// number (ReportBatchEnvelopeMsg). The whole window acks, gaps, and
+  /// retransmits as a unit — per-datagram stream arithmetic is unchanged,
+  /// each datagram just carries more reports.
+  [[nodiscard]] std::vector<std::uint8_t> envelope(
+      std::span<const FailureReport> reports, SimTime now);
+
   /// Fleet-tier overload: seal a ship-to-shore summary in the same
   /// sequence/retransmit window. The stream id is this sender's `dc`
   /// value, reinterpreted as the hull's ShipId — one reliable stream per
@@ -92,8 +99,16 @@ class ReliableSender {
     /// been down long enough that recovery now crawls — the observable
     /// precursor to overflow_dropped (net.retransmit_max_backoff counter).
     std::uint64_t max_backoff_hits = 0;
+
+    friend bool operator==(const Stats&, const Stats&) = default;
   };
-  [[nodiscard]] Stats stats() const;
+  /// Coherent copy of the sender's counters, taken under the stream lock.
+  /// All fields are monotonic counters (never regress); instantaneous
+  /// gauges live on their own accessors (unacked()) or in telemetry
+  /// (net.retransmit_inflight).
+  [[nodiscard]] Stats snapshot() const;
+  /// Deprecated: thin shim for snapshot() — same value, older name.
+  [[nodiscard]] Stats stats() const { return snapshot(); }
 
   /// The sender's full resumable state: sequence cursor, buffered unacked
   /// entries with their backoff timers, stats. take_state()/restore() let a
@@ -178,7 +193,14 @@ class ReliableReceiver {
     std::uint64_t duplicates = 0;
     std::uint64_t gaps_detected = 0;
     std::uint64_t gaps_healed = 0;
+
+    friend bool operator==(const Stats&, const Stats&) = default;
   };
+  /// Copy of the receiver's counters — all monotonic; the instantaneous
+  /// stream view lives on cumulative()/open_gaps(). Single-threaded like
+  /// the rest of the receiver (the PDME driver owns it).
+  [[nodiscard]] Stats snapshot() const { return stats_; }
+  /// Deprecated: thin shim for snapshot() — same value, older name.
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:

@@ -15,8 +15,7 @@ constexpr std::uint8_t kReportVersion = 2;
 
 }  // namespace
 
-std::vector<std::uint8_t> serialize(const FailureReport& r) {
-  Writer w;
+void serialize_report_into(Writer& w, const FailureReport& r) {
   w.u16(kReportMagic);
   w.u8(kReportVersion);
   w.u64(r.trace);
@@ -35,42 +34,59 @@ std::vector<std::uint8_t> serialize(const FailureReport& r) {
     w.f64(p.probability);
     w.f64(p.time_seconds);
   }
+}
+
+std::vector<std::uint8_t> serialize(const FailureReport& r) {
+  Writer w;
+  serialize_report_into(w, r);
   return w.take();
+}
+
+bool try_read_report_frame(TryReader& rd, FailureReport& out) {
+  if (rd.u16() != kReportMagic) {
+    rd.fail();
+    return false;
+  }
+  const std::uint8_t version = rd.u8();
+  if (!rd.ok() || version < 1 || version > kReportVersion) {
+    rd.fail();
+    return false;
+  }
+  out.trace = version >= 2 ? rd.u64() : 0;
+  out.dc = DcId(rd.u64());
+  out.knowledge_source = KnowledgeSourceId(rd.u64());
+  out.sensed_object = ObjectId(rd.u64());
+  out.machine_condition = ConditionId(rd.u64());
+  out.severity = rd.f64();
+  out.belief = rd.f64();
+  rd.str(out.explanation);
+  rd.str(out.recommendations);
+  out.timestamp = SimTime(rd.i64());
+  rd.str(out.additional_info);
+  const std::uint32_t n = rd.u32();
+  // Each pair is 16 bytes: reject counts the payload cannot hold before
+  // reserving (a corrupted count must not become a huge allocation).
+  if (!rd.ok() || n > rd.remaining() / 16) {
+    rd.fail();
+    return false;
+  }
+  out.prognostics.clear();
+  out.prognostics.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PrognosticPair p;
+    p.probability = rd.f64();
+    p.time_seconds = rd.f64();
+    out.prognostics.push_back(p);
+  }
+  if (!rd.ok()) return false;
+  return true;
 }
 
 std::optional<FailureReport> try_deserialize_report(
     std::span<const std::uint8_t> bytes) {
   TryReader rd(bytes);
-  if (rd.u16() != kReportMagic) return std::nullopt;
-  const std::uint8_t version = rd.u8();
-  if (!rd.ok() || version < 1 || version > kReportVersion) {
-    return std::nullopt;
-  }
-
   FailureReport r;
-  if (version >= 2) r.trace = rd.u64();
-  r.dc = DcId(rd.u64());
-  r.knowledge_source = KnowledgeSourceId(rd.u64());
-  r.sensed_object = ObjectId(rd.u64());
-  r.machine_condition = ConditionId(rd.u64());
-  r.severity = rd.f64();
-  r.belief = rd.f64();
-  r.explanation = rd.str();
-  r.recommendations = rd.str();
-  r.timestamp = SimTime(rd.i64());
-  r.additional_info = rd.str();
-  const std::uint32_t n = rd.u32();
-  // Each pair is 16 bytes: reject counts the payload cannot hold before
-  // reserving (a corrupted count must not become a huge allocation).
-  if (!rd.ok() || n > rd.remaining() / 16) return std::nullopt;
-  r.prognostics.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    PrognosticPair p;
-    p.probability = rd.f64();
-    p.time_seconds = rd.f64();
-    r.prognostics.push_back(p);
-  }
-  if (!rd.ok() || !rd.done()) return std::nullopt;
+  if (!try_read_report_frame(rd, r) || !rd.done()) return std::nullopt;
   return r;
 }
 

@@ -52,10 +52,25 @@ struct FailureReport {
                          const FailureReport&) = default;
 };
 
+class Writer;
+class TryReader;
+
 /// Wire encoding (versioned; v2 adds the trace id, v1 still decodes).
 [[nodiscard]] std::vector<std::uint8_t> serialize(const FailureReport& r);
 [[nodiscard]] FailureReport deserialize_report(
     std::span<const std::uint8_t> bytes);
+
+/// Appends one report frame (magic + version + fields) to `w`. A batch body
+/// is a count of these frames back to back; serialize() is the one-frame
+/// special case.
+void serialize_report_into(Writer& w, const FailureReport& r);
+
+/// Fail-soft decode of one report frame from `rd` into `out`, reusing
+/// `out`'s string/prognostics capacity (the arena-decode hot path). Consumes
+/// exactly the frame and does NOT require rd.done() — batch decoding reads
+/// several frames back to back. Returns false (and latches rd) on bad
+/// magic/version, truncation, or a hostile prognostic count.
+bool try_read_report_frame(TryReader& rd, FailureReport& out);
 
 /// Fail-soft decode for untrusted bytes (recorder frames, replay): returns
 /// nullopt on truncation, bad magic/version, or trailing garbage — never

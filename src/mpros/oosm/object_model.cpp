@@ -17,78 +17,84 @@ const char* to_string(Relation r) {
   return "?";
 }
 
+ObjectModel::ObjectRecord& ObjectModel::allocate_slot(ObjectId id) {
+  if (id.value() >= objects_.size()) {
+    objects_.resize(id.value() + 1);
+  }
+  std::optional<ObjectRecord>& slot = objects_[id.value()];
+  MPROS_EXPECTS(!slot.has_value());
+  slot.emplace();
+  ++live_count_;
+  creation_order_.push_back(id);
+  return *slot;
+}
+
 ObjectId ObjectModel::create_object(std::string name,
                                     domain::EquipmentKind kind) {
   const ObjectId id(next_id_++);
-  ObjectRecord rec;
+  ObjectRecord& rec = allocate_slot(id);
   rec.name = std::move(name);
   rec.kind = kind;
-  objects_.emplace(id, std::move(rec));
-  creation_order_.push_back(id);
   notify(OosmEvent{OosmEvent::Kind::ObjectCreated, id, {}, {}, {}});
   return id;
 }
 
-ObjectId ObjectModel::create_object_bulk(
-    std::string name, domain::EquipmentKind kind,
-    std::map<std::string, db::Value> properties) {
+ObjectId ObjectModel::create_object_bulk(std::string name,
+                                         domain::EquipmentKind kind,
+                                         PropertyMap properties) {
   const ObjectId id(next_id_++);
-  ObjectRecord rec;
+  ObjectRecord& rec = allocate_slot(id);
   rec.name = std::move(name);
   rec.kind = kind;
   rec.properties = std::move(properties);
-  objects_.emplace(id, std::move(rec));
-  creation_order_.push_back(id);
   notify(OosmEvent{OosmEvent::Kind::ObjectCreated, id, {}, {}, {}});
   return id;
 }
 
 void ObjectModel::create_object_with_id(ObjectId id, std::string name,
                                         domain::EquipmentKind kind) {
-  MPROS_EXPECTS(id.valid() && !objects_.contains(id));
-  ObjectRecord rec;
+  MPROS_EXPECTS(id.valid() && !exists(id));
+  ObjectRecord& rec = allocate_slot(id);
   rec.name = std::move(name);
   rec.kind = kind;
-  objects_.emplace(id, std::move(rec));
-  creation_order_.push_back(id);
   next_id_ = std::max(next_id_, id.value() + 1);
   notify(OosmEvent{OosmEvent::Kind::ObjectCreated, id, {}, {}, {}});
 }
 
 void ObjectModel::delete_object(ObjectId id) {
-  const auto it = objects_.find(id);
-  MPROS_EXPECTS(it != objects_.end());
+  ObjectRecord& rec = record(id);
 
   // Remove edges referencing this object from its neighbors.
   for (std::size_t r = 0; r < kRelationCount; ++r) {
-    for (const ObjectId to : it->second.out[r]) {
-      auto& in = objects_.at(to).in[r];
+    for (const ObjectId to : rec.out[r]) {
+      auto& in = record(to).in[r];
       in.erase(std::remove(in.begin(), in.end(), id), in.end());
     }
-    for (const ObjectId from : it->second.in[r]) {
-      auto& out = objects_.at(from).out[r];
+    for (const ObjectId from : rec.in[r]) {
+      auto& out = record(from).out[r];
       out.erase(std::remove(out.begin(), out.end(), id), out.end());
     }
   }
-  objects_.erase(it);
+  objects_[id.value()].reset();
+  --live_count_;
   creation_order_.erase(
       std::remove(creation_order_.begin(), creation_order_.end(), id),
       creation_order_.end());
   notify(OosmEvent{OosmEvent::Kind::ObjectDeleted, id, {}, {}, {}});
 }
 
-bool ObjectModel::exists(ObjectId id) const { return objects_.contains(id); }
+bool ObjectModel::exists(ObjectId id) const {
+  return id.value() < objects_.size() && objects_[id.value()].has_value();
+}
 
 ObjectModel::ObjectRecord& ObjectModel::record(ObjectId id) {
-  const auto it = objects_.find(id);
-  MPROS_EXPECTS(it != objects_.end());
-  return it->second;
+  MPROS_EXPECTS(exists(id));
+  return *objects_[id.value()];
 }
 
 const ObjectModel::ObjectRecord& ObjectModel::record(ObjectId id) const {
-  const auto it = objects_.find(id);
-  MPROS_EXPECTS(it != objects_.end());
-  return it->second;
+  MPROS_EXPECTS(exists(id));
+  return *objects_[id.value()];
 }
 
 const std::string& ObjectModel::name(ObjectId id) const {
@@ -122,24 +128,23 @@ std::vector<ObjectId> ObjectModel::all_objects() const {
 
 void ObjectModel::set_property(ObjectId id, const std::string& key,
                                db::Value value) {
-  record(id).properties[key] = std::move(value);
+  record(id).properties.set(key, std::move(value));
   notify(OosmEvent{OosmEvent::Kind::PropertyChanged, id, key, {}, {}});
 }
 
 std::optional<db::Value> ObjectModel::property(ObjectId id,
                                                const std::string& key) const {
-  const auto& props = record(id).properties;
-  const auto it = props.find(key);
-  if (it == props.end()) return std::nullopt;
-  return it->second;
+  const db::Value* v = record(id).properties.find(key);
+  if (v == nullptr) return std::nullopt;
+  return *v;
 }
 
-const std::map<std::string, db::Value>& ObjectModel::properties(
-    ObjectId id) const {
+const PropertyMap& ObjectModel::properties(ObjectId id) const {
   return record(id).properties;
 }
 
 void ObjectModel::add_edge(ObjectId from, Relation relation, ObjectId to) {
+  // record() doubles as the existence check (it asserts on unknown ids).
   const auto r = static_cast<std::size_t>(relation);
   auto& out = record(from).out[r];
   if (std::find(out.begin(), out.end(), to) != out.end()) return;
@@ -149,7 +154,6 @@ void ObjectModel::add_edge(ObjectId from, Relation relation, ObjectId to) {
 }
 
 void ObjectModel::relate(ObjectId from, Relation relation, ObjectId to) {
-  MPROS_EXPECTS(exists(from) && exists(to));
   MPROS_EXPECTS(from != to);
   add_edge(from, relation, to);
   if (relation == Relation::Proximity) add_edge(to, relation, from);

@@ -14,6 +14,10 @@
 //
 // Thread model: single writer (the PDME executive); listeners run inline on
 // the writer thread.
+//
+// Reference stability: records live in a dense id-indexed table, so
+// references returned by name()/properties() are invalidated by object
+// creation (table growth). Copy out anything needed across a mutation.
 
 #include <functional>
 #include <map>
@@ -25,6 +29,7 @@
 #include "mpros/common/ids.hpp"
 #include "mpros/db/value.hpp"
 #include "mpros/domain/equipment.hpp"
+#include "mpros/oosm/property_map.hpp"
 
 namespace mpros::oosm {
 
@@ -67,11 +72,11 @@ class ObjectModel {
   /// marker property should have the poster set that one marker with
   /// set_property() afterwards (the PDME's "posted" contract).
   ObjectId create_object_bulk(std::string name, domain::EquipmentKind kind,
-                              std::map<std::string, db::Value> properties);
+                              PropertyMap properties);
 
   void delete_object(ObjectId id);
   [[nodiscard]] bool exists(ObjectId id) const;
-  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+  [[nodiscard]] std::size_t object_count() const { return live_count_; }
 
   [[nodiscard]] const std::string& name(ObjectId id) const;
   [[nodiscard]] domain::EquipmentKind kind(ObjectId id) const;
@@ -90,8 +95,8 @@ class ObjectModel {
   void set_property(ObjectId id, const std::string& key, db::Value value);
   [[nodiscard]] std::optional<db::Value> property(ObjectId id,
                                                   const std::string& key) const;
-  [[nodiscard]] const std::map<std::string, db::Value>& properties(
-      ObjectId id) const;
+  /// Key-sorted (same iteration order the historical std::map gave).
+  [[nodiscard]] const PropertyMap& properties(ObjectId id) const;
 
   // -- Relationships ----------------------------------------------------------
 
@@ -129,7 +134,7 @@ class ObjectModel {
   struct ObjectRecord {
     std::string name;
     domain::EquipmentKind kind{};
-    std::map<std::string, db::Value> properties;
+    PropertyMap properties;
     std::vector<ObjectId> out[kRelationCount];
     std::vector<ObjectId> in[kRelationCount];
   };
@@ -138,12 +143,20 @@ class ObjectModel {
   void create_object_with_id(ObjectId id, std::string name,
                              domain::EquipmentKind kind);
 
+  /// Claim the (empty) slot for `id`, growing the table as needed.
+  ObjectRecord& allocate_slot(ObjectId id);
+
   ObjectRecord& record(ObjectId id);
   [[nodiscard]] const ObjectRecord& record(ObjectId id) const;
   void notify(const OosmEvent& event);
   void add_edge(ObjectId from, Relation relation, ObjectId to);
 
-  std::unordered_map<ObjectId, ObjectRecord> objects_;
+  /// Dense id-indexed storage (ids are allocated sequentially from 1, so
+  /// the table has no holes beyond deletions). record() is the innermost
+  /// operation of report posting — an array index beats hashing, and bulk
+  /// ingest never pays a rehash-and-relink pause.
+  std::vector<std::optional<ObjectRecord>> objects_;
+  std::size_t live_count_ = 0;
   std::vector<ObjectId> creation_order_;
   std::uint64_t next_id_ = 1;
   std::map<SubscriptionId, Listener> listeners_;

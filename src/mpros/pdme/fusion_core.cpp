@@ -37,16 +37,6 @@ struct CoreMetrics {
   }
 };
 
-fusion::PrognosticVector to_vector(
-    const std::vector<net::PrognosticPair>& pairs) {
-  std::vector<fusion::PrognosticPoint> points;
-  points.reserve(pairs.size());
-  for (const net::PrognosticPair& p : pairs) {
-    points.push_back({SimTime::from_seconds(p.time_seconds), p.probability});
-  }
-  return fusion::PrognosticVector(std::move(points));
-}
-
 }  // namespace
 
 std::string report_signature(const net::FailureReport& r) {
@@ -80,8 +70,14 @@ void FusionCore::fuse(const net::FailureReport& r, std::uint64_t order,
     metrics.malformed_dropped.inc();
     return;
   }
-  telemetry::StageTimer span("pdme.fuse", r.trace, r.timestamp.micros(),
-                             &metrics.fuse_wall_us);
+  // Stage timing rides the trace: traced reports (every DC test stamps one)
+  // get the span and feed the wall-clock histogram; untraced bulk ingest
+  // pays neither the clock reads nor the observe.
+  std::optional<telemetry::StageTimer> span;
+  if (r.trace != 0) {
+    span.emplace("pdme.fuse", r.trace, r.timestamp.micros(),
+                 &metrics.fuse_wall_us);
+  }
   const FailureMode mode = domain::failure_mode(r.machine_condition);
 
   ++stats_.reports_accepted;
@@ -89,13 +85,21 @@ void FusionCore::fuse(const net::FailureReport& r, std::uint64_t order,
   reports_[r.sensed_object.value()].push_back(r);
 
   // Diagnostic fusion: the report's Belief field becomes simple support.
-  diagnostics_.update(r.sensed_object, mode, std::clamp(r.belief, 0.0, 1.0));
+  // apply() is update() minus the per-call GroupState summary allocation;
+  // readers pull the summary lazily via group_state()/prioritized_list().
+  diagnostics_.apply(r.sensed_object, mode, std::clamp(r.belief, 0.0, 1.0));
 
-  // Prognostic fusion: conservative envelope per (machine, mode) (§5.4).
+  // Prognostic fusion: conservative envelope per (machine, mode) (§5.4),
+  // fused in place through reusable scratch.
   ModeTrack& track = tracks_[ModeKey{r.sensed_object.value(), mode}];
   if (!r.prognostics.empty()) {
-    track.fused_prognosis =
-        fuse_conservative(track.fused_prognosis, to_vector(r.prognostics));
+    prog_points_.clear();
+    for (const net::PrognosticPair& p : r.prognostics) {
+      prog_points_.push_back(
+          {SimTime::from_seconds(p.time_seconds), p.probability});
+    }
+    track.fused_prognosis.fuse_in_place(
+        {prog_points_.data(), prog_points_.size()}, fuse_scratch_);
   }
   track.max_severity = std::max(track.max_severity, r.severity);
   track.trend.observe(r.timestamp, std::clamp(r.severity, 0.0, 1.0));
@@ -220,7 +224,8 @@ fusion::PrognosticVector FusionCore::trend_prognosis(ObjectId machine,
 std::vector<net::FailureReport> FusionCore::reports_for(
     ObjectId machine) const {
   const auto it = reports_.find(machine.value());
-  return it == reports_.end() ? std::vector<net::FailureReport>{} : it->second;
+  if (it == reports_.end()) return {};
+  return {it->second.begin(), it->second.end()};
 }
 
 void FusionCore::reset_machine(ObjectId machine) {

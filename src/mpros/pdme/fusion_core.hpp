@@ -13,6 +13,7 @@
 // reconciled at the aggregation barrier (PdmeExecutive::synchronize()).
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
@@ -173,6 +174,11 @@ class FusionCore {
   /// Drain the retest candidates recorded since the last call, in record
   /// order (ascending `order` within one core).
   [[nodiscard]] std::vector<PendingRetest> take_pending_retests();
+  /// Cheap emptiness probe so per-report callers can skip the drain (and
+  /// its vector round-trip) on the overwhelmingly common no-retest path.
+  [[nodiscard]] bool has_pending_retests() const {
+    return !pending_retests_.empty();
+  }
 
   void reset_machine(ObjectId machine);
 
@@ -198,8 +204,15 @@ class FusionCore {
 
   PdmeConfig cfg_;
   fusion::DiagnosticFusion diagnostics_;
+  /// Reused per-report buffers: prognostic-pair conversion plus the fuse
+  /// scratch keep the steady-state fuse path off the heap.
+  std::vector<fusion::PrognosticPoint> prog_points_;
+  fusion::FuseScratch fuse_scratch_;
   std::map<ModeKey, ModeTrack> tracks_;
-  std::map<std::uint64_t, std::vector<net::FailureReport>> reports_;
+  /// Per-machine report history. Deques: report structs never move once
+  /// stored, so high-rate ingest avoids the reallocate-and-move storms a
+  /// growing vector of string-bearing structs would pay.
+  std::map<std::uint64_t, std::deque<net::FailureReport>> reports_;
   std::set<std::string> seen_signatures_;
   std::map<SensorFaultKey, SensorFaultRecord> sensor_faults_;
   std::vector<PendingRetest> pending_retests_;

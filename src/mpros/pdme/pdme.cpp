@@ -1,8 +1,11 @@
 #include "mpros/pdme/pdme.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <charconv>
 #include <cstdio>
-#include <sstream>
+#include <cstring>
+#include <string_view>
 
 #include "mpros/common/assert.hpp"
 #include "mpros/common/log.hpp"
@@ -38,27 +41,80 @@ struct PdmeMetrics {
   }
 };
 
+/// Fixed-width hex of the raw IEEE-754 bits: exact round-trip with no
+/// digit-generation arithmetic at all. Report posting is the ingest hot
+/// path and this string is an opaque codec blob, read back only by
+/// decode_prognostics below.
+char* write_bits_hex(char* p, double v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    *p++ = kHex[(bits >> shift) & 0xF];
+  }
+  return p;
+}
+
 std::string encode_prognostics(const std::vector<net::PrognosticPair>& v) {
+  // One token per pair: "x<prob bits>:<time bits>;", 36 chars exactly.
   std::string out;
-  char buf[64];
+  out.reserve(v.size() * 36);
+  char buf[40];
   for (const net::PrognosticPair& p : v) {
-    std::snprintf(buf, sizeof buf, "%.17g:%.17g;", p.probability,
-                  p.time_seconds);
-    out += buf;
+    char* w = buf;
+    *w++ = 'x';
+    w = write_bits_hex(w, p.probability);
+    *w++ = ':';
+    w = write_bits_hex(w, p.time_seconds);
+    *w++ = ';';
+    out.append(buf, w);
   }
   return out;
 }
 
 std::vector<net::PrognosticPair> decode_prognostics(const std::string& s) {
   std::vector<net::PrognosticPair> out;
-  std::istringstream in(s);
+  std::string_view rest(s);
   std::string token;
-  while (std::getline(in, token, ';')) {
-    if (token.empty()) continue;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view tok = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (tok.empty()) continue;
     net::PrognosticPair p;
-    if (std::sscanf(token.c_str(), "%lg:%lg", &p.probability,
-                    &p.time_seconds) == 2) {
+    if (tok.size() == 34 && tok.front() == 'x' && tok[17] == ':') {
+      // Current bit-hex form.
+      std::uint64_t pb = 0;
+      std::uint64_t tb = 0;
+      const char* const base = tok.data();
+      auto res = std::from_chars(base + 1, base + 17, pb, 16);
+      if (res.ec != std::errc{} || res.ptr != base + 17) continue;
+      res = std::from_chars(base + 18, base + 34, tb, 16);
+      if (res.ec != std::errc{} || res.ptr != base + 34) continue;
+      p.probability = std::bit_cast<double>(pb);
+      p.time_seconds = std::bit_cast<double>(tb);
       out.push_back(p);
+    } else if (tok.find('p') != std::string_view::npos) {
+      // Hex-float interlude format ("1.91a2bp+4:1.5cp+20"): always carries
+      // a 'p' exponent, which decimal encodings never do.
+      const char* first = tok.data();
+      const char* last = tok.data() + tok.size();
+      auto res = std::from_chars(first, last, p.probability,
+                                 std::chars_format::hex);
+      if (res.ec != std::errc{} || res.ptr == last || *res.ptr != ':') {
+        continue;
+      }
+      res = std::from_chars(res.ptr + 1, last, p.time_seconds,
+                            std::chars_format::hex);
+      if (res.ec != std::errc{}) continue;
+      out.push_back(p);
+    } else {
+      // Decimal encodings from databases persisted before the hex codecs.
+      token.assign(tok);
+      if (std::sscanf(token.c_str(), "%lg:%lg", &p.probability,
+                      &p.time_seconds) == 2) {
+        out.push_back(p);
+      }
     }
   }
   return out;
@@ -103,23 +159,91 @@ void PdmeExecutive::visit_cores(F&& f) const {
 
 std::optional<ObjectId> PdmeExecutive::accept(
     const net::FailureReport& report) {
-  if (shards_) {
-    const auto result =
-        shards_->submit(report, ++order_counter_, /*needs_post=*/true);
-    if (result.was_full) {
-      ++stats_.queue_full;
-      PdmeMetrics::instance().queue_full.inc();
+  net::ReportEnvelope env;
+  env.dc = report.dc;
+  env.sequence = 0;  // unsequenced: no reliable-stream bookkeeping
+  env.report = report;
+  return submit({&env, 1}).last_object;
+}
+
+PdmeExecutive::SubmitOutcome PdmeExecutive::submit(
+    std::span<const net::ReportEnvelope> reports) {
+  SubmitOutcome out;
+  PdmeMetrics& metrics = PdmeMetrics::instance();
+  std::size_t i = 0;
+  while (i < reports.size()) {
+    const net::ReportEnvelope& head = reports[i];
+    std::size_t j = i + 1;
+    if (head.sequence != 0) {
+      // One sequenced datagram = the run sharing its (dc, sequence).
+      while (j < reports.size() &&
+             reports[j].dc.value() == head.dc.value() &&
+             reports[j].sequence == head.sequence) {
+        ++j;
+      }
+    } else {
+      // Unsequenced reports have no stream state to commit; ingest the
+      // whole contiguous stretch as one span.
+      while (j < reports.size() && reports[j].sequence == 0) ++j;
     }
-    return std::nullopt;  // the object is posted at synchronize()
+    const std::span<const net::ReportEnvelope> run =
+        reports.subspan(i, j - i);
+    if (head.sequence != 0 &&
+        receiver_.is_duplicate(head.dc, head.sequence)) {
+      // A retransmitted sequenced datagram: every report it carried was
+      // already fused the first time, so the whole run drops.
+      stats_.duplicates_dropped += run.size();
+      metrics.duplicates_dropped.inc(run.size());
+      ++stats_.duplicate_envelopes;
+      out.duplicates += run.size();
+    } else {
+      const auto posted = ingest(run, /*needs_post=*/true);
+      if (posted.has_value()) out.last_object = posted;
+      out.accepted += run.size();
+      if (head.sequence != 0) {
+        // Commit stream state only after the run reached the pipeline: an
+        // acked sequence whose reports never reached a shard would be
+        // unrecoverable (the DC retires it on our ack).
+        const net::ReliableReceiver::Outcome outcome =
+            receiver_.on_envelope(head.dc, head.sequence);
+        stats_.gaps_detected += outcome.new_gaps;
+        if (outcome.new_gaps > 0) {
+          metrics.gaps_detected.inc(outcome.new_gaps);
+        }
+        ++stats_.envelopes_accepted;
+      }
+    }
+    i = j;
   }
-  if (cfg_.deduplicate &&
-      !inline_core_->mark_seen(report_signature(report))) {
-    inline_core_->count_duplicate();
-    return std::nullopt;
+  return out;
+}
+
+std::optional<ObjectId> PdmeExecutive::ingest(
+    std::span<const net::ReportEnvelope> run, bool needs_post) {
+  if (shards_) {
+    const std::uint64_t base_order = order_counter_ + 1;
+    order_counter_ += run.size();
+    const auto result = shards_->submit_span(run, base_order, needs_post);
+    if (result.overflow_reports > 0) {
+      stats_.queue_full += result.overflow_reports;
+      PdmeMetrics::instance().queue_full.inc(result.overflow_reports);
+    }
+    return std::nullopt;  // objects are posted at synchronize()
   }
-  const ObjectId obj = post_report_object(report);
-  fuse_local(report);
-  return obj;
+  std::optional<ObjectId> last;
+  for (const net::ReportEnvelope& env : run) {
+    const net::FailureReport& r = env.report;
+    if (needs_post) {
+      if (cfg_.deduplicate &&
+          !inline_core_->mark_seen(report_signature(r))) {
+        inline_core_->count_duplicate();
+        continue;
+      }
+      last = post_report_object(r);
+    }
+    fuse_local(r);
+  }
+  return last;
 }
 
 ObjectId PdmeExecutive::post_report_object(const net::FailureReport& r) {
@@ -128,25 +252,35 @@ ObjectId PdmeExecutive::post_report_object(const net::FailureReport& r) {
   // third-party posters, so hold the re-entrancy guard across the whole
   // post, completion marker included.
   posting_ = true;
-  std::map<std::string, db::Value> props;
-  props.emplace("dc", static_cast<std::int64_t>(r.dc.value()));
-  props.emplace("ks", static_cast<std::int64_t>(r.knowledge_source.value()));
-  props.emplace("sensed", static_cast<std::int64_t>(r.sensed_object.value()));
-  props.emplace("condition",
-                static_cast<std::int64_t>(r.machine_condition.value()));
-  props.emplace("severity", r.severity);
-  props.emplace("belief", r.belief);
-  props.emplace("explanation", r.explanation);
-  props.emplace("recommendations", r.recommendations);
-  props.emplace("timestamp_us", r.timestamp.micros());
-  props.emplace("prognostics", encode_prognostics(r.prognostics));
+  oosm::PropertyMap props;
+  // 11 initial properties plus room for the "posted" marker set_property()
+  // inserts below — sized so the marker never triggers a reallocation.
+  props.reserve(12);
+  // append() requires ascending key order — this list is ASCII-sorted.
+  props.append("belief", r.belief);
+  props.append("condition",
+               static_cast<std::int64_t>(r.machine_condition.value()));
+  props.append("dc", static_cast<std::int64_t>(r.dc.value()));
+  props.append("explanation", r.explanation);
+  props.append("ks", static_cast<std::int64_t>(r.knowledge_source.value()));
+  props.append("prognostics", encode_prognostics(r.prognostics));
+  props.append("recommendations", r.recommendations);
+  props.append("sensed", static_cast<std::int64_t>(r.sensed_object.value()));
+  props.append("severity", r.severity);
+  props.append("timestamp_us", r.timestamp.micros());
   if (r.trace != 0) {
-    props.emplace("trace", static_cast<std::int64_t>(r.trace));
+    props.append("trace", static_cast<std::int64_t>(r.trace));
   }
+  char name[64];
+  char* w = name;
+  std::memcpy(w, "Report ", 7);
+  w += 7;
+  w = std::to_chars(w, name + 32, r.machine_condition.value()).ptr;
+  std::memcpy(w, " on ", 4);
+  w += 4;
+  w = std::to_chars(w, name + 60, r.sensed_object.value()).ptr;
   const ObjectId obj = model_.create_object_bulk(
-      "Report " + std::to_string(r.machine_condition.value()) + " on " +
-          std::to_string(r.sensed_object.value()),
-      domain::EquipmentKind::Report, std::move(props));
+      std::string(name, w), domain::EquipmentKind::Report, std::move(props));
   if (model_.exists(r.sensed_object)) {
     model_.relate(obj, oosm::Relation::RefersTo, r.sensed_object);
   }
@@ -207,20 +341,21 @@ void PdmeExecutive::on_oosm_event(const oosm::OosmEvent& event) {
       model_.kind(event.object) != domain::EquipmentKind::Report) {
     return;
   }
-  const net::FailureReport r = reconstruct_report(event.object);
-  if (shards_) {
-    // Already in the model: fuse without dedup and without a second post.
-    shards_->submit(r, ++order_counter_, /*needs_post=*/false);
-  } else {
-    fuse_local(r);
-  }
+  // Already in the model: fuse without dedup and without a second post.
+  net::ReportEnvelope env;
+  env.dc = DcId(0);
+  env.sequence = 0;
+  env.report = reconstruct_report(event.object);
+  ingest({&env, 1}, /*needs_post=*/false);
 }
 
 void PdmeExecutive::fuse_local(const net::FailureReport& r) {
   inline_core_->fuse(r, ++order_counter_,
                      retest_enabled_.load(std::memory_order_relaxed));
-  for (const PendingRetest& pending : inline_core_->take_pending_retests()) {
-    send_retest(pending);
+  if (inline_core_->has_pending_retests()) {
+    for (const PendingRetest& pending : inline_core_->take_pending_retests()) {
+      send_retest(pending);
+    }
   }
 }
 
@@ -446,7 +581,7 @@ std::vector<net::FailureReport> PdmeExecutive::reports_for(
   return inline_core_->reports_for(machine);
 }
 
-PdmeExecutive::Stats PdmeExecutive::stats() const {
+PdmeExecutive::Stats PdmeExecutive::snapshot() const {
   Stats out = stats_;
   visit_cores([&](const FusionCore& core) {
     const FusionCore::Stats& cs = core.core_stats();
@@ -477,66 +612,53 @@ void PdmeExecutive::attach_to_network(net::SimNetwork& network,
           return;
         }
         switch (*type) {
-          case net::MessageType::FailureReportMsg: {
-            const auto report = net::try_unwrap_report(message.payload);
-            if (!report.has_value()) {
+          // All four report-bearing shapes — bare report, reliable
+          // envelope, bare batch, reliable batch envelope — decode through
+          // the one arena-based unwrapper and funnel into submit().
+          case net::MessageType::FailureReportMsg:
+          case net::MessageType::ReportEnvelopeMsg:
+          case net::MessageType::ReportBatchMsg:
+          case net::MessageType::ReportBatchEnvelopeMsg: {
+            const auto view =
+                net::try_unwrap_reports_into(message.payload, decode_arena_);
+            if (!view.has_value()) {
               ++stats_.malformed_dropped;
               metrics.malformed_dropped.inc();
               return;
             }
-            telemetry::StageTimer transit("net.transit", report->trace,
-                                          message.sent_at.micros());
-            transit.set_sim_end(message.delivered_at.micros());
-            metrics.report_pipeline_latency_us.observe(static_cast<double>(
-                (message.delivered_at - report->timestamp).micros()));
-            note_dc_alive(report->dc, message.delivered_at);
-            accept(*report);
-            break;
-          }
-          case net::MessageType::ReportEnvelopeMsg: {
-            const auto env = net::try_unwrap_envelope(message.payload);
-            if (!env.has_value()) {
-              ++stats_.malformed_dropped;
-              metrics.malformed_dropped.inc();
-              return;
+            if (*type == net::MessageType::ReportBatchMsg ||
+                *type == net::MessageType::ReportBatchEnvelopeMsg) {
+              ++stats_.batches_received;
+              stats_.batched_reports += view->count;
             }
-            note_dc_alive(env->dc, message.delivered_at);
-            if (receiver_.is_duplicate(env->dc, env->sequence)) {
-              // Still re-ack — the retransmission may mean our previous
-              // ack was the datagram that got lost.
-              if (network_ != nullptr) {
-                network_->send(endpoint_name_,
-                               "dc-" + std::to_string(env->dc.value()),
-                               net::wrap(receiver_.make_ack(env->dc)),
-                               message.delivered_at);
-                ++stats_.acks_sent;
+            note_dc_alive(view->dc, message.delivered_at);
+            const std::span<const net::ReportEnvelope> reports(
+                decode_arena_.data(), view->count);
+            const bool duplicate_datagram =
+                view->sequence != 0 &&
+                receiver_.is_duplicate(view->dc, view->sequence);
+            if (!duplicate_datagram) {
+              for (const net::ReportEnvelope& env : reports) {
+                telemetry::StageTimer transit("net.transit",
+                                              env.report.trace,
+                                              message.sent_at.micros());
+                transit.set_sim_end(message.delivered_at.micros());
+                metrics.report_pipeline_latency_us.observe(
+                    static_cast<double>(
+                        (message.delivered_at - env.report.timestamp)
+                            .micros()));
               }
-              ++stats_.duplicates_dropped;
-              metrics.duplicates_dropped.inc();
-              return;
             }
-            telemetry::StageTimer transit("net.transit", env->report.trace,
-                                          message.sent_at.micros());
-            transit.set_sim_end(message.delivered_at.micros());
-            metrics.report_pipeline_latency_us.observe(static_cast<double>(
-                (message.delivered_at - env->report.timestamp).micros()));
-            // Hand the report to the pipeline BEFORE committing stream
-            // state: an acked sequence whose report never reached a shard
-            // would be unrecoverable (the DC retires it on our ack).
-            accept(env->report);
-            const net::ReliableReceiver::Outcome outcome =
-                receiver_.on_envelope(env->dc, env->sequence);
-            stats_.gaps_detected += outcome.new_gaps;
-            if (outcome.new_gaps > 0) {
-              metrics.gaps_detected.inc(outcome.new_gaps);
-            }
-            if (network_ != nullptr) {
+            submit(reports);
+            if (view->sequence != 0 && network_ != nullptr) {
+              // Ack fresh and duplicate datagrams alike — a retransmission
+              // may mean our previous ack was the datagram that got lost.
               network_->send(endpoint_name_,
-                             "dc-" + std::to_string(env->dc.value()),
-                             net::wrap(outcome.ack), message.delivered_at);
+                             "dc-" + std::to_string(view->dc.value()),
+                             net::wrap(receiver_.make_ack(view->dc)),
+                             message.delivered_at);
               ++stats_.acks_sent;
             }
-            ++stats_.envelopes_accepted;
             break;
           }
           case net::MessageType::Heartbeat: {

@@ -30,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -66,10 +67,32 @@ class PdmeExecutive {
   PdmeExecutive(const PdmeExecutive&) = delete;
   PdmeExecutive& operator=(const PdmeExecutive&) = delete;
 
+  /// What one submit() span did. Counters are per report, so a caller can
+  /// conserve its own ledger: accepted + duplicates == span size.
+  struct SubmitOutcome {
+    std::size_t accepted = 0;    ///< reports handed to fusion (or queued)
+    std::size_t duplicates = 0;  ///< reports dropped as retransmissions
+    /// Inline mode only: the last report object posted (nullopt when the
+    /// whole span was duplicate, or in sharded mode where posts defer to
+    /// synchronize()).
+    std::optional<ObjectId> last_object;
+  };
+
+  /// THE ingest entry point: every report path — single report, reliable
+  /// envelope, decoded ReportBatch, wire adapter — funnels through here.
+  /// Each contiguous run sharing a nonzero (dc, sequence) is one sequenced
+  /// datagram: a duplicate run is dropped whole (the retransmitted batch
+  /// was already fused), a fresh run is ingested and commits exactly one
+  /// sequence number on the DC's reliable stream. Elements with
+  /// sequence == 0 are unsequenced bare reports. Acks are the wire
+  /// adapter's job — submit() itself never touches the network.
+  SubmitOutcome submit(std::span<const net::ReportEnvelope> reports);
+
   /// Step 1 of §5.1: post a report into the OOSM (and let the event chain
-  /// run fusion). Returns the created report object's id; nullopt if the
-  /// report was a duplicate retransmission — or, in sharded mode, always
-  /// nullopt: the post is deferred to synchronize().
+  /// run fusion). A one-element unsequenced span through submit(). Returns
+  /// the created report object's id; nullopt if the report was a duplicate
+  /// retransmission — or, in sharded mode, always nullopt: the post is
+  /// deferred to synchronize().
   std::optional<ObjectId> accept(const net::FailureReport& report);
 
   /// Post a sensor-data batch: values land as properties on the machine's
@@ -163,6 +186,11 @@ class PdmeExecutive {
   [[nodiscard]] std::vector<net::FailureReport> reports_for(
       ObjectId machine) const;
 
+  /// Every field is a monotonic counter (gauges — queue depths, inflight
+  /// windows — live in the telemetry registry, not here). Report-level and
+  /// datagram-level counters are distinct: envelopes_accepted /
+  /// duplicate_envelopes count sequenced datagrams (a whole batch is one),
+  /// reports_accepted / duplicates_dropped count the reports inside them.
   struct Stats {
     std::uint64_t reports_accepted = 0;
     std::uint64_t duplicates_dropped = 0;
@@ -171,18 +199,32 @@ class PdmeExecutive {
     std::uint64_t sensor_batches = 0;
     std::uint64_t retests_commanded = 0;
     std::uint64_t envelopes_accepted = 0;
+    /// Sequenced datagrams dropped whole as retransmissions (each may have
+    /// carried many reports — those land in duplicates_dropped).
+    std::uint64_t duplicate_envelopes = 0;
+    /// ReportBatch datagrams decoded off the wire, and the reports they
+    /// carried (batched_reports / batches_received = realized batch size).
+    std::uint64_t batches_received = 0;
+    std::uint64_t batched_reports = 0;
     std::uint64_t acks_sent = 0;
     std::uint64_t gaps_detected = 0;
     std::uint64_t heartbeats_received = 0;
     std::uint64_t sensor_fault_reports = 0;
     std::uint64_t liveness_transitions = 0;  ///< Alive<->Stale<->Lost edges
-    std::uint64_t queue_full = 0;  ///< shard submissions that hit a full queue
+    /// Reports that hit a full shard queue: evicted under DropOldest
+    /// (lost — reports_accepted + queue_full conserves the submitted
+    /// count), delayed under Block.
+    std::uint64_t queue_full = 0;
     std::uint64_t commands_sent = 0;  ///< control-plane commands queued
     std::uint64_t command_acks = 0;   ///< DC acks routed to command streams
+
+    friend bool operator==(const Stats&, const Stats&) = default;
   };
   /// Merged snapshot: driver-side counters plus every shard core's, taken
   /// under the shard locks (by value — the shards keep moving underneath).
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats snapshot() const;
+  /// Deprecated: thin shim for snapshot().
+  [[nodiscard]] Stats stats() const { return snapshot(); }
 
   [[nodiscard]] oosm::ObjectModel& model() { return model_; }
   [[nodiscard]] const oosm::ObjectModel& model() const { return model_; }
@@ -204,6 +246,10 @@ class PdmeExecutive {
 
   void on_oosm_event(const oosm::OosmEvent& event);
   [[nodiscard]] net::FailureReport reconstruct_report(ObjectId object) const;
+  /// Hand one already-deduplicated-at-datagram-level run to fusion:
+  /// sharded, one submit_span; inline, per-report dedup + post + fuse.
+  std::optional<ObjectId> ingest(std::span<const net::ReportEnvelope> run,
+                                 bool needs_post);
   /// Inline mode: fuse on the driver thread, then apply retest candidates.
   void fuse_local(const net::FailureReport& report);
   /// Backoff-filter and send one deferred retest command.
@@ -226,6 +272,10 @@ class PdmeExecutive {
   std::unique_ptr<ShardExecutor> shards_;
 
   std::uint64_t order_counter_ = 0;  ///< global arrival order (driver thread)
+  /// Wire-decode arena: batch datagrams decode into this vector, reusing
+  /// its slots (and their strings/vectors) across datagrams so steady-state
+  /// ingest performs no per-report allocation in the decoder.
+  std::vector<net::ReportEnvelope> decode_arena_;
   net::ReliableReceiver receiver_;
   /// Control plane: one reliable command stream + revision counter per DC
   /// (unique_ptr because ReliableSender pins a mutex).

@@ -52,22 +52,47 @@ std::size_t ShardExecutor::shard_of(ObjectId machine) const {
                                   shards_.size());
 }
 
-ShardExecutor::SubmitResult ShardExecutor::submit(
-    const net::FailureReport& report, std::uint64_t order, bool needs_post) {
-  Shard& s = *shards_[shard_of(report.sensed_object)];
-  {
-    std::lock_guard lock(barrier_mu_);
-    ++submitted_;
+ShardExecutor::SpanResult ShardExecutor::submit_span(
+    std::span<const net::ReportEnvelope> run, std::uint64_t base_order,
+    bool needs_post) {
+  SpanResult out;
+  // Partition the span per shard, preserving arrival order within each
+  // bucket — per-machine FIFO order is what makes N-shard fusion
+  // byte-identical to 1-shard.
+  std::vector<std::vector<ShardTask::Item>> buckets(shards_.size());
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    buckets[shard_of(run[i].report.sensed_object)].push_back(
+        ShardTask::Item{run[i].report, base_order + i});
   }
-  const auto pushed = s.queue.push(ShardTask{
-      report, order, needs_post, std::chrono::steady_clock::now()});
-  if (pushed.evicted || !pushed.accepted) {
-    // An evicted (or shutdown-rejected) task never reaches the worker;
-    // retire it here so quiesce() still converges.
-    retire_one();
+  for (std::size_t s = 0; s < buckets.size(); ++s) {
+    if (buckets[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    const std::size_t pushed_reports = buckets[s].size();
+    {
+      std::lock_guard lock(barrier_mu_);
+      ++submitted_;
+    }
+    const auto pushed = shard.queue.push(ShardTask{
+        std::move(buckets[s]), needs_post, std::chrono::steady_clock::now()});
+    if (pushed.was_full) out.was_full = true;
+    if (pushed.evicted) {
+      // The DropOldest victim never reaches the worker: retire its task so
+      // quiesce() converges, and charge every report it carried.
+      out.overflow_reports +=
+          pushed.evicted_item ? pushed.evicted_item->items.size() : 0;
+      retire_one();
+    } else if (pushed.was_full) {
+      // Block policy: the push waited but nothing was lost.
+      out.overflow_reports += pushed_reports;
+    }
+    if (!pushed.accepted) {
+      // Shutdown-rejected: the task never reaches the worker either.
+      out.overflow_reports += pushed_reports;
+      retire_one();
+    }
+    shard.depth.set(static_cast<double>(shard.queue.size()));
   }
-  s.depth.set(static_cast<double>(s.queue.size()));
-  return SubmitResult{pushed.accepted, pushed.was_full, pushed.evicted};
+  return out;
 }
 
 void ShardExecutor::retire_one() {
@@ -87,17 +112,22 @@ void ShardExecutor::worker_loop(Shard& shard) {
                                 task->enqueued)
                                 .count()));
     {
+      // One lock round-trip and one Dempster-Shafer pass over the whole
+      // task: a batch fuses under a single critical section per shard.
       std::lock_guard lock(shard.mu);
-      if (task->needs_post && deduplicate_ &&
-          !shard.core.mark_seen(report_signature(task->report))) {
-        shard.core.count_duplicate();
-      } else {
-        if (task->needs_post) {
-          shard.pending_posts.push_back(
-              PendingPost{task->report, task->order});
+      for (ShardTask::Item& item : task->items) {
+        if (task->needs_post && deduplicate_ &&
+            !shard.core.mark_seen(report_signature(item.report))) {
+          shard.core.count_duplicate();
+          continue;
         }
-        shard.core.fuse(task->report, task->order,
+        shard.core.fuse(item.report, item.order,
                         retest_enabled_.load(std::memory_order_relaxed));
+        if (task->needs_post) {
+          // fuse() is done with the report; move it into the deferred post.
+          shard.pending_posts.push_back(
+              PendingPost{std::move(item.report), item.order});
+        }
       }
     }
     retire_one();

@@ -27,10 +27,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "mpros/common/bounded_queue.hpp"
+#include "mpros/net/messages.hpp"
 #include "mpros/pdme/fusion_core.hpp"
 
 namespace mpros::telemetry {
@@ -39,11 +41,18 @@ class Gauge;
 
 namespace mpros::pdme {
 
-/// One unit of shard work: a report plus its global arrival order.
+/// One unit of shard work: every report from one submitted span that routed
+/// to this shard, each with its global arrival order. Batching a span into
+/// one task per shard means one queue push (one lock round-trip, one
+/// submitted/retired barrier tick) amortized over the whole batch instead
+/// of per report.
 struct ShardTask {
-  net::FailureReport report;
-  std::uint64_t order = 0;
-  /// True for reports arriving through accept()/the wire: the worker dedups
+  struct Item {
+    net::FailureReport report;
+    std::uint64_t order = 0;
+  };
+  std::vector<Item> items;
+  /// True for reports arriving through submit()/the wire: the worker dedups
   /// them and defers an OOSM post. False for reports reconstructed from
   /// objects a third party already posted into the model — those fuse
   /// without dedup and without a second post, matching the inline listener.
@@ -59,10 +68,14 @@ struct PendingPost {
 
 class ShardExecutor {
  public:
-  struct SubmitResult {
-    bool accepted = false;  ///< the task reached a shard queue
+  struct SpanResult {
     bool was_full = false;  ///< backpressure engaged (blocked or evicted)
-    bool evicted = false;   ///< DropOldest discarded an older queued task
+    /// Reports that hit a full queue, counted per report so batch-sized
+    /// losses are never under-reported: under DropOldest, the reports
+    /// inside every evicted task (those never fuse — the count preserves
+    /// `reports_accepted + queue_full == submitted`); under Block, the
+    /// reports in each push that had to wait (delayed, not lost).
+    std::uint64_t overflow_reports = 0;
   };
 
   /// Spawns `cfg.shard_count` workers. `retest_enabled` is the executive's
@@ -77,11 +90,13 @@ class ShardExecutor {
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] std::size_t shard_of(ObjectId machine) const;
 
-  /// Driver thread only: route one report to its shard. Blocks while the
-  /// shard queue is full under OverflowPolicy::Block; accepted=false only
-  /// during shutdown.
-  SubmitResult submit(const net::FailureReport& report, std::uint64_t order,
-                      bool needs_post);
+  /// Driver thread only: route a span of reports to their shards, one queue
+  /// push per shard touched. Report i gets global order `base_order + i`;
+  /// per-shard FIFO order is preserved, so fused state stays byte-identical
+  /// to singleton submissions of the same stream. Blocks while a shard
+  /// queue is full under OverflowPolicy::Block.
+  SpanResult submit_span(std::span<const net::ReportEnvelope> run,
+                         std::uint64_t base_order, bool needs_post);
 
   /// Driver thread only: wait until every submitted task has been processed
   /// (or evicted). On return the shard cores are at rest — the snapshot
@@ -141,11 +156,11 @@ class ShardExecutor {
   const std::atomic<bool>& retest_enabled_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Quiesce barrier: the driver counts submissions, workers count
-  // completions (evictions are retired by the driver — the worker never
-  // sees them). Both counters are guarded by barrier_mu_; submit() and
-  // quiesce() run on the driver thread only, so no new work can slip in
-  // while quiesce() waits.
+  // Quiesce barrier: the driver counts submitted TASKS (one per shard
+  // touched by a span), workers count completions (evictions are retired by
+  // the driver — the worker never sees them). Both counters are guarded by
+  // barrier_mu_; submit_span() and quiesce() run on the driver thread only,
+  // so no new work can slip in while quiesce() waits.
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
   std::uint64_t submitted_ = 0;

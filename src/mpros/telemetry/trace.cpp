@@ -108,6 +108,10 @@ StageTimer::~StageTimer() {
   if (wall_us_ != nullptr) {
     wall_us_->observe(static_cast<double>(wall_ns) / 1000.0);
   }
+  // Untraced work (trace 0) can never be queried back out by id, so only
+  // the histogram above sees it — stages run at report rate and the ring's
+  // mutex + span copy are not worth paying for spans nobody can find.
+  if (trace_ == 0) return;
   SpanRecord span;
   span.trace = trace_;
   span.stage = std::move(stage_);

@@ -147,21 +147,18 @@ TEST(RingBufferTest, SpanPushMatchesElementwisePushAcrossWraparound) {
   }
 }
 
-TEST(RingBufferTest, OversizedSpanKeepsLastCapacityElements) {
-  RingBuffer<int> segmented(4);
-  RingBuffer<int> reference(4);
-  segmented.push(1);  // pre-existing content, head off origin
-  reference.push(1);
-  const std::vector<int> vs{10, 11, 12, 13, 14, 15, 16};  // > capacity
-  segmented.push(std::span<const int>(vs));
-  for (const int v : vs) reference.push(v);
-  ASSERT_TRUE(segmented.full());
-  for (std::size_t i = 0; i < 4; ++i) {
-    EXPECT_EQ(segmented.at_oldest(i), reference.at_oldest(i));
-    EXPECT_EQ(segmented.at_newest(i), reference.at_newest(i));
-  }
-  EXPECT_EQ(segmented.at_oldest(0), 13);
-  EXPECT_EQ(segmented.at_newest(0), 16);
+TEST(RingBufferTest, OversizedSpanViolatesTheContract) {
+  // Batch-ingest audit: a span larger than the window means the producer
+  // sized a batch the buffer can never hold. That used to silently keep
+  // only the tail; it is now an explicit precondition.
+  RingBuffer<int> rb(4);
+  rb.push(1);
+  const std::vector<int> fits{10, 11, 12, 13};  // == capacity: fine
+  rb.push(std::span<const int>(fits));
+  EXPECT_EQ(rb.at_oldest(0), 10);
+  EXPECT_EQ(rb.at_newest(0), 13);
+  const std::vector<int> oversized{10, 11, 12, 13, 14};
+  EXPECT_DEATH(rb.push(std::span<const int>(oversized)), "precondition");
 }
 
 TEST(BoundedQueueTest, BlockPolicyWaitsForSpaceLosslessly) {

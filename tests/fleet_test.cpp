@@ -101,6 +101,9 @@ TEST(FleetServerTest, WatchdogDegradesSilentShipsAndRecovers) {
   server.accept(hb, SimTime::from_seconds(3300));
   EXPECT_EQ(server.ship_liveness(ShipId(2)), ShipLiveness::Alive);
   EXPECT_GE(server.stats().liveness_transitions, 3u);
+  // stats_snapshot() is the canonical counter accessor (snapshot() being
+  // the FleetSnapshot epoch); the older stats() name is a pinned shim.
+  EXPECT_TRUE(server.stats() == server.stats_snapshot());
 }
 
 TEST(FleetServerTest, LatestSequenceWinsAndDuplicatesReAck) {

@@ -1,0 +1,140 @@
+// Steady-state allocation audit for the batched ingest path (E21
+// acceptance, mirroring dsp_alloc_test for ISSUE 2).
+//
+// Overrides the global allocation functions with a counting hook, warms the
+// decode arena, the Dempster-Shafer focal vector and the prognostic fuse
+// scratch, then asserts that a further pass through each hot-path entry
+// point performs zero heap allocations:
+//
+//  - try_unwrap_reports_into: a full ReportBatch datagram (strings and
+//    prognostics on every report) decoded into a warm arena;
+//  - MassFunction::combine_simple_support: report-rate evidence folding;
+//  - PrognosticVector::fuse_in_place: report-rate curve fusion.
+//
+// Lives in its own binary so the hook cannot distort the other suites.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "mpros/fusion/dempster_shafer.hpp"
+#include "mpros/fusion/prognostic_fusion.hpp"
+#include "mpros/net/messages.hpp"
+#include "mpros/net/report.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mpros {
+namespace {
+
+std::vector<net::FailureReport> batch_reports(std::size_t n) {
+  std::vector<net::FailureReport> reports;
+  reports.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    net::FailureReport r;
+    r.dc = DcId(7);
+    r.knowledge_source = KnowledgeSourceId(1 + i % 3);
+    r.sensed_object = ObjectId(100 + i);
+    r.machine_condition = ConditionId(5 + i % 4);
+    r.severity = 0.4 + 0.01 * static_cast<double>(i % 20);
+    r.belief = 0.85;
+    r.explanation = "1x running-speed amplitude elevated beyond baseline";
+    r.recommendations = "Field balance the rotor at next availability.";
+    r.additional_info = "load=0.8;speed=1780rpm";
+    r.timestamp = SimTime::from_seconds(10.0 * static_cast<double>(i + 1));
+    r.prognostics = {{0.1, 86400.0}, {0.5, 604800.0}, {0.9, 2592000.0}};
+    reports.push_back(std::move(r));
+  }
+  return reports;
+}
+
+TEST(IngestAllocationTest, SteadyStateArenaDecodeIsAllocationFree) {
+  const auto reports = batch_reports(64);
+  const auto wire = net::wrap_batch_envelope(DcId(7), 3, reports);
+
+  std::vector<net::ReportEnvelope> arena;
+  const auto decode_once = [&] {
+    const auto view = net::try_unwrap_reports_into(wire, arena);
+    ASSERT_TRUE(view.has_value());
+    ASSERT_EQ(view->count, reports.size());
+  };
+
+  // Two warm-up passes: the first sizes the arena, the second lets every
+  // element's strings and prognostics reach their final capacity.
+  decode_once();
+  decode_once();
+
+  const std::uint64_t before = g_allocations.load();
+  decode_once();
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "warm batch decode allocated " << (after - before) << " time(s)";
+}
+
+TEST(IngestAllocationTest, SteadyStateDempsterFoldIsAllocationFree) {
+  const fusion::FrameOfDiscernment frame({"imbalance", "misalign", "bearing"});
+  fusion::MassFunction mass = fusion::MassFunction::vacuous(frame);
+
+  const auto fold_round = [&] {
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      mass.combine_simple_support(frame.singleton(i),
+                                  0.3 + 0.1 * static_cast<double>(i));
+    }
+  };
+
+  fold_round();  // grows the focal vector to its steady-state support set
+  const std::uint64_t before = g_allocations.load();
+  for (int round = 0; round < 100; ++round) fold_round();
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "warm evidence fold allocated " << (after - before) << " time(s)";
+}
+
+TEST(IngestAllocationTest, SteadyStatePrognosticFuseIsAllocationFree) {
+  const std::vector<fusion::PrognosticPoint> report_points = {
+      {SimTime::from_seconds(86400.0), 0.1},
+      {SimTime::from_seconds(604800.0), 0.5},
+      {SimTime::from_seconds(2592000.0), 0.9},
+  };
+  fusion::PrognosticVector curve;
+  fusion::FuseScratch scratch;
+
+  curve.fuse_in_place(report_points, scratch);  // warm scratch + curve
+  curve.fuse_in_place(report_points, scratch);
+
+  const std::uint64_t before = g_allocations.load();
+  for (int round = 0; round < 100; ++round) {
+    curve.fuse_in_place(report_points, scratch);
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "warm prognostic fuse allocated " << (after - before) << " time(s)";
+}
+
+}  // namespace
+}  // namespace mpros

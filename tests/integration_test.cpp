@@ -159,6 +159,8 @@ TEST(ShipSystemTest, NetworkStatsAccumulate) {
                 ship.pdme().stats().malformed_dropped -
                 ship.pdme().stats().heartbeats_received -
                 ship.pdme().stats().acks_sent);
+  // The deprecated stats() shim stays pinned to the canonical snapshot().
+  EXPECT_TRUE(ship.pdme().stats() == ship.pdme().snapshot());
 }
 
 TEST(DisorderTest, LossyJitteryNetworkStillConverges) {
@@ -453,12 +455,16 @@ TEST(FaultToleranceTest, RetransmissionsDeliverReportsThroughPartition) {
 
 TEST(ChaosSmokeTest, HostileTransportConfiguredFromEnvironment) {
   // CI chaos knobs: MPROS_CHAOS_DROP / MPROS_CHAOS_DUP / MPROS_CHAOS_SEED
-  // crank the transport pathologies without a rebuild, and
-  // MPROS_CHAOS_SHARDS runs the whole flow through the sharded PDME (E18).
+  // crank the transport pathologies without a rebuild, MPROS_CHAOS_SHARDS
+  // runs the whole flow through the sharded PDME (E18), and
+  // MPROS_CHAOS_BATCH toggles sync-window ReportBatch coalescing (E21):
+  // "0" forces the legacy one-datagram-per-report flush under the same
+  // weather.
   const char* drop = std::getenv("MPROS_CHAOS_DROP");
   const char* dup = std::getenv("MPROS_CHAOS_DUP");
   const char* seed = std::getenv("MPROS_CHAOS_SEED");
   const char* shards = std::getenv("MPROS_CHAOS_SHARDS");
+  const char* batch = std::getenv("MPROS_CHAOS_BATCH");
 
   ShipSystemConfig cfg = small_config();
   cfg.network.drop_probability = drop ? std::atof(drop) : 0.15;
@@ -466,6 +472,7 @@ TEST(ChaosSmokeTest, HostileTransportConfiguredFromEnvironment) {
   cfg.network.jitter = SimTime::from_millis(200.0);
   cfg.network.seed = seed ? std::strtoull(seed, nullptr, 0) : 0xC4405;
   cfg.pdme.shard_count = shards ? std::strtoull(shards, nullptr, 0) : 0;
+  if (batch != nullptr) cfg.dc_template.batch_reports = std::atoi(batch) != 0;
 
   ShipSystem ship(cfg);
   ship.chiller(0).faults().schedule({FailureMode::MotorImbalance, SimTime(0),

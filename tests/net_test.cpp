@@ -453,6 +453,25 @@ TEST(ReliableChannelTest, AckRetiresBufferedEnvelopes) {
   EXPECT_TRUE(sender.due_retransmits(SimTime::from_hours(10.0)).empty());
 }
 
+TEST(ReliableChannelTest, DeprecatedStatsShimsEqualSnapshots) {
+  // snapshot() is the canonical counter accessor; the older stats() name is
+  // a thin shim pinned to the same value.
+  ReliableSender sender(DcId(5));
+  ReliableReceiver receiver;
+
+  const auto payload = sender.envelope(sample_report(), SimTime(0));
+  const auto env = try_unwrap_envelope(payload);
+  ASSERT_TRUE(env.has_value());
+  const auto outcome = receiver.on_envelope(env->dc, env->sequence);
+  (void)receiver.on_envelope(env->dc, env->sequence);  // a duplicate too
+  sender.on_ack(outcome.ack);
+
+  EXPECT_GT(sender.snapshot().enveloped, 0u);
+  EXPECT_TRUE(sender.stats() == sender.snapshot());
+  EXPECT_GT(receiver.snapshot().duplicates, 0u);
+  EXPECT_TRUE(receiver.stats() == receiver.snapshot());
+}
+
 TEST(ReliableChannelTest, GapDetectedOnLaterSequenceThenHealed) {
   ReliableReceiver receiver;
   const DcId dc(1);
@@ -843,6 +862,195 @@ TEST(FuzzDecodeTest, TestCommandSurvivesRandomBuffers) {
       b = static_cast<std::uint8_t>(rng.integer(0, 255));
     }
     (void)try_unwrap_test_command(junk);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ReportBatch wire protocol (E21 batched ingest): wrap_batch /
+// wrap_batch_envelope + the unified arena decoder, mirrored on the
+// CommandMessage suites above.
+
+std::vector<FailureReport> sample_batch_reports() {
+  std::vector<FailureReport> reports;
+  for (int i = 0; i < 3; ++i) {
+    FailureReport r = sample_report();
+    r.sensed_object = ObjectId(17 + i);
+    r.severity = 0.3 + 0.2 * i;
+    r.timestamp = SimTime::from_seconds(100.0 * (i + 1));
+    if (i == 1) r.prognostics.clear();  // mixed payload shapes in one batch
+    reports.push_back(std::move(r));
+  }
+  return reports;
+}
+
+TEST(BatchProtocolTest, BareWireRoundTrip) {
+  const auto reports = sample_batch_reports();
+  const auto wire = wrap_batch(DcId(3), reports);
+  ASSERT_EQ(try_peek_type(wire), MessageType::ReportBatchMsg);
+
+  std::vector<ReportEnvelope> arena;
+  const auto view = try_unwrap_reports_into(wire, arena);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->dc, DcId(3));
+  EXPECT_EQ(view->sequence, 0u);
+  ASSERT_EQ(view->count, reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ(arena[i].report, reports[i]);
+    EXPECT_EQ(arena[i].dc, DcId(3));
+    EXPECT_EQ(arena[i].sequence, 0u);
+  }
+}
+
+TEST(BatchProtocolTest, SequencedWireRoundTrip) {
+  const auto reports = sample_batch_reports();
+  const auto wire = wrap_batch_envelope(DcId(3), 7, reports);
+  ASSERT_EQ(try_peek_type(wire), MessageType::ReportBatchEnvelopeMsg);
+
+  std::vector<ReportEnvelope> arena;
+  const auto view = try_unwrap_reports_into(wire, arena);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->dc, DcId(3));
+  EXPECT_EQ(view->sequence, 7u);
+  ASSERT_EQ(view->count, reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ(arena[i].report, reports[i]);
+    EXPECT_EQ(arena[i].sequence, 7u);
+  }
+}
+
+TEST(BatchProtocolTest, EmptyBatchAllowed) {
+  std::vector<ReportEnvelope> arena;
+  const auto view =
+      try_unwrap_reports_into(wrap_batch(DcId(2), {}), arena);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->dc, DcId(2));
+  EXPECT_EQ(view->count, 0u);
+}
+
+TEST(BatchProtocolTest, ZeroSequenceEnvelopeRejected) {
+  std::vector<ReportEnvelope> arena;
+  const auto wire = wrap_batch_envelope(DcId(3), 0, sample_batch_reports());
+  EXPECT_FALSE(try_unwrap_reports_into(wire, arena).has_value());
+}
+
+TEST(BatchProtocolTest, ForgedSourceDcRejected) {
+  // A frame claiming a DC other than the batch header's is a forgery: the
+  // whole datagram fails, not just the one frame.
+  auto reports = sample_batch_reports();
+  reports[1].dc = DcId(4);
+  std::vector<ReportEnvelope> arena;
+  EXPECT_FALSE(
+      try_unwrap_reports_into(wrap_batch(DcId(3), reports), arena)
+          .has_value());
+}
+
+TEST(BatchProtocolTest, SingletonWireFormsDecodeAsOneElementBatches) {
+  const FailureReport r = sample_report();
+  std::vector<ReportEnvelope> arena;
+
+  const auto bare = try_unwrap_reports_into(wrap(r), arena);
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->count, 1u);
+  EXPECT_EQ(bare->sequence, 0u);
+  EXPECT_EQ(arena.front().report, r);
+
+  const ReportEnvelope env{r.dc, 9, r};
+  const auto sequenced = try_unwrap_reports_into(wrap(env), arena);
+  ASSERT_TRUE(sequenced.has_value());
+  EXPECT_EQ(sequenced->count, 1u);
+  EXPECT_EQ(sequenced->sequence, 9u);
+  EXPECT_EQ(arena.front().report, r);
+}
+
+TEST(BatchProtocolTest, ArenaOnlyGrowsAcrossDecodes) {
+  const auto reports = sample_batch_reports();
+  std::vector<ReportEnvelope> arena;
+  ASSERT_TRUE(
+      try_unwrap_reports_into(wrap_batch(DcId(3), reports), arena)
+          .has_value());
+  const std::size_t high_water = arena.size();
+  ASSERT_EQ(high_water, reports.size());
+
+  // A smaller batch decodes into the same slots: size never shrinks, and
+  // only the returned prefix is meaningful.
+  const auto one = try_unwrap_reports_into(
+      wrap_batch(DcId(3), std::span(reports.data(), 1)), arena);
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(one->count, 1u);
+  EXPECT_EQ(arena.size(), high_water);
+  EXPECT_EQ(arena.front().report, reports[0]);
+}
+
+TEST(FuzzDecodeTest, BatchEveryTruncationReturnsNullopt) {
+  std::vector<ReportEnvelope> arena;
+  const auto bare = wrap_batch(DcId(3), sample_batch_reports());
+  for (std::size_t len = 0; len < bare.size(); ++len) {
+    EXPECT_FALSE(
+        try_unwrap_reports_into(std::span(bare.data(), len), arena)
+            .has_value())
+        << "bare prefix of " << len << " bytes decoded";
+  }
+  const auto wire = wrap_batch_envelope(DcId(3), 7, sample_batch_reports());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        try_unwrap_reports_into(std::span(wire.data(), len), arena)
+            .has_value())
+        << "envelope prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(FuzzDecodeTest, BatchSingleByteCorruptionNeverCrashes) {
+  std::vector<ReportEnvelope> arena;
+  const auto clean = wrap_batch(DcId(3), sample_batch_reports());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    auto bytes = clean;
+    bytes[i] ^= 0xFF;
+    (void)try_unwrap_reports_into(bytes, arena);
+  }
+  auto bad_magic = clean;
+  bad_magic[1] ^= 0xFF;  // type byte, then the u16 batch magic
+  EXPECT_FALSE(try_unwrap_reports_into(bad_magic, arena).has_value());
+  auto bad_version = clean;
+  bad_version[3] = 0xEE;
+  EXPECT_FALSE(try_unwrap_reports_into(bad_version, arena).has_value());
+}
+
+TEST(FuzzDecodeTest, BatchHugeCountRejectedBeforeAllocation) {
+  // An empty batch's trailing u32 is the report count: saturate it and the
+  // decoder must reject on the payload-capacity bound without ever growing
+  // the arena.
+  auto bytes = wrap_batch(DcId(3), {});
+  for (std::size_t i = bytes.size() - 4; i < bytes.size(); ++i) {
+    bytes[i] = 0xFF;
+  }
+  std::vector<ReportEnvelope> arena;
+  EXPECT_FALSE(try_unwrap_reports_into(bytes, arena).has_value());
+  EXPECT_TRUE(arena.empty());
+}
+
+TEST(FuzzDecodeTest, BatchWrongTypeReturnsNullopt) {
+  std::vector<ReportEnvelope> arena;
+  EXPECT_FALSE(
+      try_unwrap_reports_into(wrap(sample_command()), arena).has_value());
+  EXPECT_FALSE(
+      try_unwrap_reports_into(wrap(sample_test_command()), arena)
+          .has_value());
+  const auto wire = wrap_batch(DcId(3), sample_batch_reports());
+  EXPECT_FALSE(try_unwrap_command(wire).has_value());
+  EXPECT_FALSE(try_unwrap_report(wire).has_value());
+  EXPECT_FALSE(try_unwrap_envelope(wire).has_value());
+  EXPECT_FALSE(try_unwrap_ack(wire).has_value());
+}
+
+TEST(FuzzDecodeTest, BatchDecoderSurvivesRandomBuffers) {
+  Rng rng(0xBA7C);
+  std::vector<ReportEnvelope> arena;
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> junk(rng.integer(0, 255));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.integer(0, 255));
+    }
+    (void)try_unwrap_reports_into(junk, arena);
   }
 }
 

@@ -616,5 +616,141 @@ INSTANTIATE_TEST_SUITE_P(ShardCounts, PdmeShardEquivalenceTest,
                            return "shards" + std::to_string(inst.param);
                          });
 
+// --- E21: batched submit() is byte-identical to singleton submit() -----------
+//
+// The committed guarantee of the batched ingest redesign: however the same
+// report stream is partitioned into submit() spans — including the whole
+// window at once, and with fusion sharded — the OOSM population, browser
+// pages, ICAS export, and report-level counters match the one-report-at-a-
+// time inline executive exactly.
+
+class PdmeBatchEquivalenceTest : public PdmeShardEquivalenceTest {
+ protected:
+  static std::vector<net::ReportEnvelope> to_envelopes(
+      const std::vector<net::FailureReport>& stream) {
+    std::vector<net::ReportEnvelope> envs;
+    envs.reserve(stream.size());
+    for (const auto& r : stream) {
+      net::ReportEnvelope env;
+      env.dc = r.dc;
+      env.sequence = 0;  // unsequenced: partitioning is the variable here
+      env.report = r;
+      envs.push_back(std::move(env));
+    }
+    return envs;
+  }
+
+  /// Feed `envs` as submit() spans: fixed size `batch`, the whole window
+  /// when `batch` is 0, or randomized span lengths when `rng` is given.
+  static void submit_partitioned(pdme::PdmeExecutive& exec,
+                                 const std::vector<net::ReportEnvelope>& envs,
+                                 std::size_t batch, Rng* rng = nullptr) {
+    std::size_t i = 0;
+    while (i < envs.size()) {
+      std::size_t n = batch == 0 ? envs.size() - i
+                      : rng == nullptr
+                          ? batch
+                          : 1 + rng->integer(0, 2 * batch - 1);
+      n = std::min(n, envs.size() - i);
+      exec.submit({envs.data() + i, n});
+      i += n;
+    }
+    exec.synchronize();
+  }
+
+  /// Deep equivalence: every object (id, name, kind, every property value,
+  /// every relation edge), browser pages, ICAS export, counters.
+  static void expect_equivalent(const Rig& a, const Rig& b,
+                                const std::vector<ObjectId>& machines) {
+    const auto sa = a.exec->snapshot();
+    const auto sb = b.exec->snapshot();
+    EXPECT_EQ(sa.reports_accepted, sb.reports_accepted);
+    EXPECT_EQ(sa.duplicates_dropped, sb.duplicates_dropped);
+    EXPECT_EQ(sa.malformed_dropped, sb.malformed_dropped);
+    EXPECT_EQ(sa.fusion_updates, sb.fusion_updates);
+    EXPECT_EQ(sa.sensor_fault_reports, sb.sensor_fault_reports);
+    EXPECT_EQ(sb.queue_full, 0u);
+
+    const auto objs_a = a.model.all_objects();
+    const auto objs_b = b.model.all_objects();
+    ASSERT_EQ(objs_a.size(), objs_b.size());
+    for (std::size_t i = 0; i < objs_a.size(); ++i) {
+      const ObjectId id = objs_a[i];
+      ASSERT_EQ(id.value(), objs_b[i].value());
+      EXPECT_EQ(a.model.name(id), b.model.name(id));
+      EXPECT_EQ(a.model.kind(id), b.model.kind(id));
+      const auto& pa = a.model.properties(id);
+      const auto& pb = b.model.properties(id);
+      ASSERT_EQ(pa.size(), pb.size());
+      for (auto ia = pa.begin(), ib = pb.begin(); ia != pa.end(); ++ia, ++ib) {
+        EXPECT_EQ(ia->first, ib->first);
+        EXPECT_TRUE(ia->second == ib->second)
+            << "property " << ia->first << " differs on object " << id.value();
+      }
+      for (std::size_t rel = 0; rel < oosm::kRelationCount; ++rel) {
+        const auto ra = a.model.related(id, static_cast<oosm::Relation>(rel));
+        const auto rb = b.model.related(id, static_cast<oosm::Relation>(rel));
+        ASSERT_EQ(ra.size(), rb.size());
+        for (std::size_t e = 0; e < ra.size(); ++e) {
+          EXPECT_EQ(ra[e].value(), rb[e].value());
+        }
+      }
+    }
+
+    EXPECT_EQ(pdme::render_summary(*a.exec, a.model, 50),
+              pdme::render_summary(*b.exec, b.model, 50));
+    for (const ObjectId m : machines) {
+      EXPECT_EQ(pdme::render_machine(*a.exec, a.model, m),
+                pdme::render_machine(*b.exec, b.model, m));
+    }
+    EXPECT_EQ(pdme::export_icas_csv(*a.exec, a.model),
+              pdme::export_icas_csv(*b.exec, b.model));
+  }
+};
+
+TEST_P(PdmeBatchEquivalenceTest, PartitionedSubmitMatchesSingleton) {
+  Rig singleton(0);
+  Rig batched(0);
+  const std::vector<ObjectId> machines = singleton.machines();
+  const auto envs = to_envelopes(make_stream(machines));
+
+  submit_partitioned(*singleton.exec, envs, /*batch=*/1);
+  submit_partitioned(*batched.exec, envs, GetParam());
+  expect_equivalent(singleton, batched, machines);
+}
+
+TEST_F(PdmeBatchEquivalenceTest, RandomizedPartitionsMatchSingleton) {
+  Rig singleton(0);
+  const std::vector<ObjectId> machines = singleton.machines();
+  const auto envs = to_envelopes(make_stream(machines));
+  submit_partitioned(*singleton.exec, envs, /*batch=*/1);
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rig batched(0);
+    Rng rng(0xBA7C4 + seed);
+    submit_partitioned(*batched.exec, envs, /*batch=*/16, &rng);
+    expect_equivalent(singleton, batched, machines);
+  }
+}
+
+TEST_F(PdmeBatchEquivalenceTest, BatchedShardedMatchesSingletonInline) {
+  Rig singleton(0);
+  Rig sharded(2);
+  const std::vector<ObjectId> machines = singleton.machines();
+  const auto envs = to_envelopes(make_stream(machines));
+
+  submit_partitioned(*singleton.exec, envs, /*batch=*/1);
+  submit_partitioned(*sharded.exec, envs, /*batch=*/64);
+  expect_equivalent(singleton, sharded, machines);
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, PdmeBatchEquivalenceTest,
+                         ::testing::Values<std::size_t>(7, 64, 0),
+                         [](const auto& inst) {
+                           return inst.param == 0
+                                      ? std::string("fullwindow")
+                                      : "batch" + std::to_string(inst.param);
+                         });
+
 }  // namespace
 }  // namespace mpros

@@ -18,6 +18,9 @@
 //                            supervisor must detect and recover it
 //   MPROS_CHAOS_CHURN=S      every S seconds, command a runtime config
 //                            change (rotating key/value) on a rotating DC
+//   MPROS_CHAOS_BATCH=0      flush one datagram per report instead of the
+//                            sync-window ReportBatch coalescing (E21);
+//                            default/1 keeps batching on
 //
 // Invariants (any violation = nonzero exit naming the simulated time):
 //   I1 shard equivalence      the mirror hulls' fused views render
@@ -152,13 +155,15 @@ int main(int argc, char** argv) {
   const auto [outage_period_s, outage_len_s] = env_outage();
   const bool chaos_wedge = env_flag("MPROS_CHAOS_WEDGE");
   const double churn_period_s = env_double("MPROS_CHAOS_CHURN", 0.0);
+  const bool chaos_batch = env_double("MPROS_CHAOS_BATCH", 1.0) != 0.0;
 
   std::printf(
       "mpros_soak: %zu hull(s) x %zu plant(s), %.0f simulated hour(s)%s\n"
-      "chaos: drop=%.3f dup=%.3f outage=%.0fs/%.0fs wedge=%d churn=%.0fs\n",
+      "chaos: drop=%.3f dup=%.3f outage=%.0fs/%.0fs wedge=%d churn=%.0fs "
+      "batch=%d\n",
       ships, plants, hours, short_mode ? " (short/CI profile)" : "",
       chaos_drop, chaos_dup, outage_period_s, outage_len_s,
-      chaos_wedge ? 1 : 0, churn_period_s);
+      chaos_wedge ? 1 : 0, churn_period_s, chaos_batch ? 1 : 0);
 
   // ---- assemble the fleet -------------------------------------------------
   // Hull 0 shards its PDME, hull 1 is the inline mirror with the identical
@@ -174,6 +179,7 @@ int main(int argc, char** argv) {
     cfg.network.duplicate_probability = chaos_dup;
     cfg.pdme.shard_count = (h == 1) ? 0 : 2;  // hull 1 is the inline mirror
     cfg.pdme.auto_retest = false;  // retest timing differs inline vs sharded
+    cfg.dc_template.batch_reports = chaos_batch;
     // Long mode turns the report volume up: short refresh + every-scan
     // sensor batches is what makes 240 h reach tens of millions of
     // datagrams.

@@ -8,9 +8,18 @@ Table& Database::create_table(TableSchema schema) {
   MPROS_EXPECTS(!schema.name.empty());
   MPROS_EXPECTS(!tables_.contains(schema.name));
   const std::string name = schema.name;
+  TableSchema journal_copy;
+  if (journal_ != nullptr) journal_copy = schema;
   auto [it, inserted] =
       tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
   MPROS_ASSERT(inserted);
+  if (journal_ != nullptr) {
+    RedoOp op;
+    op.kind = RedoOp::Kind::CreateTable;
+    op.table = name;
+    op.schema = std::move(journal_copy);
+    journal_->journal(std::move(op));
+  }
   return *it->second;
 }
 
@@ -33,6 +42,24 @@ const Table& Database::table(const std::string& name) const {
 void Database::drop_table(const std::string& name) {
   MPROS_EXPECTS(!in_txn_);  // DDL inside a transaction is not supported
   MPROS_EXPECTS(tables_.erase(name) == 1);
+  if (journal_ != nullptr) {
+    RedoOp op;
+    op.kind = RedoOp::Kind::DropTable;
+    op.table = name;
+    journal_->journal(std::move(op));
+  }
+}
+
+void Database::create_index(const std::string& table_name,
+                            const std::string& column) {
+  table(table_name).create_index(column);
+  if (journal_ != nullptr) {
+    RedoOp op;
+    op.kind = RedoOp::Kind::CreateIndex;
+    op.table = table_name;
+    op.column = column;
+    journal_->journal(std::move(op));
+  }
 }
 
 std::vector<std::string> Database::table_names() const {
@@ -46,12 +73,16 @@ void Database::begin() {
   MPROS_EXPECTS(!in_txn_);
   in_txn_ = true;
   undo_log_.clear();
+  // Seal any buffered autocommit ops first so a later rollback discards
+  // only the ops journaled inside this transaction.
+  if (journal_ != nullptr) journal_->journal_begin();
 }
 
 void Database::commit() {
   MPROS_EXPECTS(in_txn_);
   in_txn_ = false;
   undo_log_.clear();
+  if (journal_ != nullptr) journal_->journal_commit();
 }
 
 void Database::rollback() {
@@ -61,35 +92,65 @@ void Database::rollback() {
     switch (it->kind) {
       case UndoOp::Kind::DeleteInserted:
         t.erase(it->key);
+        // Undo the key-counter bump too: without this an aborted
+        // insert_auto perturbed every later auto key, breaking
+        // byte-identical WAL-replay recovery.
+        t.restore_next_key(it->saved_next_key);
         break;
       case UndoOp::Kind::RestoreUpdated:
         t.update(it->key, it->column, it->old_value);
         break;
-      case UndoOp::Kind::ReinsertErased:
+      case UndoOp::Kind::ReinsertErased: {
+        const std::int64_t saved = t.next_auto_key();
         t.insert(it->old_row);
+        t.restore_next_key(saved);
         break;
+      }
     }
   }
   undo_log_.clear();
   in_txn_ = false;
+  if (journal_ != nullptr) journal_->journal_rollback();
 }
 
 std::int64_t Database::insert(const std::string& table_name, Row row) {
-  const std::int64_t key = table(table_name).insert(std::move(row));
+  Table& t = table(table_name);
+  Row journal_copy;
+  if (journal_ != nullptr) journal_copy = row;
+  const std::int64_t saved_next_key = t.next_auto_key();
+  const std::int64_t key = t.insert(std::move(row));
   if (in_txn_) {
-    undo_log_.push_back(
-        {UndoOp::Kind::DeleteInserted, table_name, key, {}, {}, {}});
+    undo_log_.push_back({UndoOp::Kind::DeleteInserted, table_name, key, {}, {},
+                         {}, saved_next_key});
+  }
+  if (journal_ != nullptr) {
+    RedoOp op;
+    op.kind = RedoOp::Kind::Insert;
+    op.table = table_name;
+    op.key = key;
+    op.row = std::move(journal_copy);
+    journal_->journal(std::move(op));
   }
   return key;
 }
 
 std::int64_t Database::insert_auto(const std::string& table_name,
                                    Row row_without_key) {
-  const std::int64_t key =
-      table(table_name).insert_auto(std::move(row_without_key));
+  Table& t = table(table_name);
+  const std::int64_t saved_next_key = t.next_auto_key();
+  const std::int64_t key = t.insert_auto(std::move(row_without_key));
   if (in_txn_) {
-    undo_log_.push_back(
-        {UndoOp::Kind::DeleteInserted, table_name, key, {}, {}, {}});
+    undo_log_.push_back({UndoOp::Kind::DeleteInserted, table_name, key, {}, {},
+                         {}, saved_next_key});
+  }
+  if (journal_ != nullptr) {
+    // Journal the full row including the assigned key so replay is exact.
+    RedoOp op;
+    op.kind = RedoOp::Kind::Insert;
+    op.table = table_name;
+    op.key = key;
+    op.row = *t.find(key);
+    journal_->journal(std::move(op));
   }
   return key;
 }
@@ -103,9 +164,21 @@ bool Database::update(const std::string& table_name, std::int64_t key,
     const auto col = t.schema().column_index(column);
     MPROS_EXPECTS(col.has_value());
     undo_log_.push_back({UndoOp::Kind::RestoreUpdated, table_name, key, column,
-                         (*row)[*col], {}});
+                         (*row)[*col], {}, 0});
   }
-  return t.update(key, column, std::move(v));
+  Value journal_copy;
+  if (journal_ != nullptr) journal_copy = v;
+  const bool applied = t.update(key, column, std::move(v));
+  if (applied && journal_ != nullptr) {
+    RedoOp op;
+    op.kind = RedoOp::Kind::Update;
+    op.table = table_name;
+    op.column = column;
+    op.key = key;
+    op.value = std::move(journal_copy);
+    journal_->journal(std::move(op));
+  }
+  return applied;
 }
 
 bool Database::erase(const std::string& table_name, std::int64_t key) {
@@ -114,9 +187,95 @@ bool Database::erase(const std::string& table_name, std::int64_t key) {
   if (row == nullptr) return false;
   if (in_txn_) {
     undo_log_.push_back(
-        {UndoOp::Kind::ReinsertErased, table_name, key, {}, {}, *row});
+        {UndoOp::Kind::ReinsertErased, table_name, key, {}, {}, *row, 0});
   }
-  return t.erase(key);
+  const bool applied = t.erase(key);
+  if (applied && journal_ != nullptr) {
+    RedoOp op;
+    op.kind = RedoOp::Kind::Erase;
+    op.table = table_name;
+    op.key = key;
+    journal_->journal(std::move(op));
+  }
+  return applied;
+}
+
+std::vector<std::string> Database::integrity_violations() const {
+  std::vector<std::string> out;
+  for (const auto& [name, table] : tables_) {
+    std::vector<std::string> v = table->index_violations();
+    out.insert(out.end(), std::make_move_iterator(v.begin()),
+               std::make_move_iterator(v.end()));
+  }
+  return out;
+}
+
+namespace {
+
+bool schema_admissible(const TableSchema& schema) {
+  if (schema.name.empty() || schema.columns.empty()) return false;
+  if (schema.columns[0].type != ValueType::Integer) return false;
+  if (schema.columns[0].nullable) return false;
+  for (std::size_t i = 0; i < schema.columns.size(); ++i) {
+    if (schema.columns[i].name.empty()) return false;
+    const ValueType t = schema.columns[i].type;
+    if (t != ValueType::Integer && t != ValueType::Real &&
+        t != ValueType::Text) {
+      return false;
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (schema.columns[j].name == schema.columns[i].name) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool apply_redo(Database& db, RedoOp&& op) {
+  switch (op.kind) {
+    case RedoOp::Kind::CreateTable:
+      if (op.table.empty() || op.table != op.schema.name) return false;
+      if (db.has_table(op.table)) return false;
+      if (!schema_admissible(op.schema)) return false;
+      db.create_table(std::move(op.schema));
+      return true;
+    case RedoOp::Kind::DropTable:
+      if (!db.has_table(op.table)) return false;
+      db.drop_table(op.table);
+      return true;
+    case RedoOp::Kind::CreateIndex: {
+      if (!db.has_table(op.table)) return false;
+      Table& t = db.table(op.table);
+      if (!t.schema().column_index(op.column).has_value()) return false;
+      db.create_index(op.table, op.column);
+      return true;
+    }
+    case RedoOp::Kind::Insert: {
+      if (!db.has_table(op.table)) return false;
+      Table& t = db.table(op.table);
+      if (!t.row_admissible(op.row)) return false;
+      if (op.row[0].type() != ValueType::Integer) return false;
+      if (op.row[0].as_integer() != op.key) return false;
+      if (t.find(op.key) != nullptr) return false;
+      db.insert(op.table, std::move(op.row));
+      return true;
+    }
+    case RedoOp::Kind::Update: {
+      if (!db.has_table(op.table)) return false;
+      Table& t = db.table(op.table);
+      const auto col = t.schema().column_index(op.column);
+      if (!col.has_value() || *col == 0) return false;
+      if (t.find(op.key) == nullptr) return false;
+      if (!t.cell_admissible(*col, op.value)) return false;
+      return db.update(op.table, op.key, op.column, std::move(op.value));
+    }
+    case RedoOp::Kind::Erase:
+      if (!db.has_table(op.table)) return false;
+      if (db.table(op.table).find(op.key) == nullptr) return false;
+      return db.erase(op.table, op.key);
+  }
+  return false;
 }
 
 }  // namespace mpros::db

@@ -13,6 +13,41 @@
 
 namespace mpros::db {
 
+/// One redo operation, as journaled to the write-ahead log. Replaying the
+/// sequence against an empty Database reproduces the current state
+/// byte-for-byte (auto-key counters included — insert rows carry their
+/// assigned key).
+struct RedoOp {
+  enum class Kind : std::uint8_t {
+    CreateTable = 1,
+    DropTable = 2,
+    CreateIndex = 3,
+    Insert = 4,
+    Update = 5,
+    Erase = 6,
+  };
+  Kind kind = Kind::Insert;
+  std::string table;
+  TableSchema schema;   // CreateTable
+  std::string column;   // CreateIndex / Update
+  std::int64_t key = 0; // Update / Erase
+  Row row;              // Insert (key included as cell 0)
+  Value value;          // Update
+};
+
+/// Receives every committed mutation made through a Database. The durability
+/// layer implements this to build WAL commit batches; begin/commit/rollback
+/// let it align batch boundaries with transactions so a rollback discards
+/// exactly the ops the undo log reverted.
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+  virtual void journal(RedoOp op) = 0;
+  virtual void journal_begin() = 0;
+  virtual void journal_commit() = 0;
+  virtual void journal_rollback() = 0;
+};
+
 class Database {
  public:
   Database() = default;
@@ -29,7 +64,19 @@ class Database {
 
   void drop_table(const std::string& name);
 
+  /// Journaled index creation (idempotent, like Table::create_index).
+  void create_index(const std::string& table_name, const std::string& column);
+
   [[nodiscard]] std::vector<std::string> table_names() const;
+
+  /// Attach (or detach with nullptr) a journal sink. Every mutation made
+  /// through Database methods is forwarded; direct Table& mutations bypass
+  /// it, so durable callers must go through the Database wrappers.
+  void attach_journal(JournalSink* journal) { journal_ = journal; }
+  [[nodiscard]] bool journaled() const { return journal_ != nullptr; }
+
+  /// Index consistency audit across every table (see Table::index_violations).
+  [[nodiscard]] std::vector<std::string> integrity_violations() const;
 
   // -- Transactions ---------------------------------------------------------
   // A transaction records inverse operations; rollback() replays them in
@@ -56,11 +103,22 @@ class Database {
     std::string column;  // RestoreUpdated
     Value old_value;     // RestoreUpdated
     Row old_row;         // ReinsertErased
+    // DeleteInserted: the auto-key counter before the insert, so rollback
+    // restores it and aborted transactions cannot perturb later auto keys.
+    std::int64_t saved_next_key = 0;
   };
 
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<UndoOp> undo_log_;
   bool in_txn_ = false;
+  JournalSink* journal_ = nullptr;
 };
+
+/// Replay one redo operation against `db`, pre-validating everything a
+/// hostile or torn log could get wrong (unknown table, schema mismatch,
+/// duplicate key, type error) so the aborting Table contracts are never
+/// tripped. Returns false — with `db` untouched — when the op is
+/// inadmissible; WAL recovery treats that exactly like tail corruption.
+[[nodiscard]] bool apply_redo(Database& db, RedoOp&& op);
 
 }  // namespace mpros::db

@@ -1,0 +1,180 @@
+#include "mpros/db/durable.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/common/log.hpp"
+#include "mpros/db/snapshot.hpp"
+#include "mpros/telemetry/metrics.hpp"
+
+namespace mpros::db {
+
+namespace {
+
+struct WalCounters {
+  telemetry::Counter& commits;
+  telemetry::Counter& fsyncs;
+  telemetry::Counter& records;
+  telemetry::Counter& replayed_commits;
+  telemetry::Counter& replayed_records;
+  telemetry::Counter& truncated_bytes;
+  telemetry::Counter& snapshots_written;
+
+  static WalCounters& instance() {
+    auto& reg = telemetry::Registry::instance();
+    static WalCounters c{reg.counter("wal.commits"),
+                         reg.counter("wal.fsyncs"),
+                         reg.counter("wal.records"),
+                         reg.counter("wal.replayed_commits"),
+                         reg.counter("wal.replayed_records"),
+                         reg.counter("wal.truncated_bytes"),
+                         reg.counter("wal.snapshots_written")};
+    return c;
+  }
+};
+
+}  // namespace
+
+std::string DurableDatabase::snapshot_path(const std::string& directory) {
+  return (std::filesystem::path(directory) / "db.snapshot").string();
+}
+
+std::string DurableDatabase::wal_path(const std::string& directory) {
+  return (std::filesystem::path(directory) / "db.wal").string();
+}
+
+DurableDatabase::DurableDatabase(DurabilityConfig config)
+    : config_(std::move(config)) {
+  std::error_code ec;
+  std::filesystem::create_directories(config_.directory, ec);
+  if (ec) {
+    MPROS_LOG_ERROR("db", "durable: cannot create %s: %s",
+                    config_.directory.c_str(), ec.message().c_str());
+  }
+  recover();
+  db_.attach_journal(this);
+}
+
+DurableDatabase::~DurableDatabase() {
+  db_.attach_journal(nullptr);
+  // No flush: uncommitted work is not durable, which is the contract.
+}
+
+void DurableDatabase::recover() {
+  const std::string snap = snapshot_path(config_.directory);
+  const std::string wal = wal_path(config_.directory);
+
+  std::uint64_t after_seq = 0;
+  if (std::optional<DecodedSnapshot> loaded = load_snapshot(snap)) {
+    db_ = std::move(loaded->db);
+    after_seq = loaded->wal_seq;
+    recovery_.snapshot_loaded = true;
+    recovery_.snapshot_seq = after_seq;
+  } else if (std::filesystem::exists(snap)) {
+    MPROS_LOG_WARN("db", "durable: snapshot %s malformed, replaying full WAL",
+                   snap.c_str());
+  }
+
+  const auto apply = [this](std::uint64_t, RedoOp&& op) {
+    return apply_redo(db_, std::move(op));
+  };
+  WalReplayResult replay = WriteAheadLog::replay(wal, after_seq, apply);
+  if (replay.partial_frame) {
+    // A CRC-valid frame carried an inadmissible op and its earlier ops
+    // already landed: rebuild from the snapshot, replaying only the
+    // frames that applied cleanly.
+    MPROS_LOG_WARN("db", "durable: %s holds a partial commit, rebuilding",
+                   wal.c_str());
+    db_ = Database();
+    std::uint64_t snapshot_seq = 0;
+    if (recovery_.snapshot_loaded) {
+      std::optional<DecodedSnapshot> loaded = load_snapshot(snap);
+      MPROS_ASSERT(loaded.has_value());  // it decoded moments ago
+      db_ = std::move(loaded->db);
+      snapshot_seq = loaded->wal_seq;
+    }
+    const std::uint64_t cap = replay.last_seq;
+    const auto capped = [this, cap](std::uint64_t seq, RedoOp&& op) {
+      return seq <= cap && apply_redo(db_, std::move(op));
+    };
+    (void)WriteAheadLog::replay(wal, snapshot_seq, capped);
+  }
+  recovery_.commits_replayed = replay.commits;
+  recovery_.records_replayed = replay.records;
+  recovery_.truncated_bytes = replay.truncated_bytes;
+  recovery_.recovered_seq = std::max(after_seq, replay.last_seq);
+
+  if (replay.truncated_bytes > 0) {
+    MPROS_LOG_WARN("db",
+                   "durable: dropping %llu torn bytes from %s "
+                   "(recovered through commit %llu)",
+                   static_cast<unsigned long long>(replay.truncated_bytes),
+                   wal.c_str(),
+                   static_cast<unsigned long long>(recovery_.recovered_seq));
+  }
+  if (!WriteAheadLog::truncate_torn_tail(wal, replay)) {
+    MPROS_LOG_ERROR("db", "durable: cannot truncate %s", wal.c_str());
+  }
+
+  WalCounters& counters = WalCounters::instance();
+  counters.replayed_commits.inc(replay.commits);
+  counters.replayed_records.inc(replay.records);
+  counters.truncated_bytes.inc(replay.truncated_bytes);
+
+  wal_ = std::make_unique<WriteAheadLog>(wal, recovery_.recovered_seq + 1);
+}
+
+void DurableDatabase::journal(RedoOp op) {
+  wal_->append(op);
+  WalCounters::instance().records.inc();
+}
+
+void DurableDatabase::journal_begin() {
+  // Seal buffered autocommit ops so a rollback cannot discard them.
+  if (wal_->seal() != 0) WalCounters::instance().commits.inc();
+}
+
+void DurableDatabase::journal_commit() {
+  if (wal_->seal() != 0) WalCounters::instance().commits.inc();
+}
+
+void DurableDatabase::journal_rollback() { wal_->discard_pending(); }
+
+bool DurableDatabase::commit() {
+  MPROS_EXPECTS(!db_.in_transaction());
+  WalCounters& counters = WalCounters::instance();
+  if (wal_->seal() != 0) {
+    counters.commits.inc();
+    ++commits_since_checkpoint_;
+  }
+  const std::uint64_t fsyncs_before = wal_->stats().fsyncs;
+  if (!wal_->sync(config_.fsync)) return false;
+  counters.fsyncs.inc(wal_->stats().fsyncs - fsyncs_before);
+
+  const bool by_bytes = config_.checkpoint_bytes != 0 &&
+                        wal_->bytes_on_disk() >= config_.checkpoint_bytes;
+  const bool by_commits = config_.checkpoint_commits != 0 &&
+                          commits_since_checkpoint_ >= config_.checkpoint_commits;
+  if (by_bytes || by_commits) return checkpoint();
+  return true;
+}
+
+bool DurableDatabase::checkpoint() {
+  MPROS_EXPECTS(!db_.in_transaction());
+  if (wal_->seal() != 0) {
+    WalCounters::instance().commits.inc();
+    ++commits_since_checkpoint_;
+  }
+  if (!wal_->sync(config_.fsync)) return false;
+
+  const std::uint64_t covered = wal_->next_seq() - 1;
+  if (!write_snapshot(db_, covered, snapshot_path(config_.directory))) {
+    return false;
+  }
+  WalCounters::instance().snapshots_written.inc();
+  commits_since_checkpoint_ = 0;
+  return wal_->reset(wal_->next_seq());
+}
+
+}  // namespace mpros::db

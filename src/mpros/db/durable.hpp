@@ -1,0 +1,90 @@
+#pragma once
+// DurableDatabase: a Database whose every mutation survives a crash.
+//
+// Construction IS recovery: load the latest snapshot (if any), replay the
+// WAL tail past it, truncate whatever torn/corrupt suffix the crash left,
+// and reopen the log for appending. From then on the instance journals
+// every mutation made through its Database; commit() group-commits the
+// window (one fsync) and checkpoints — snapshot + log compaction — when
+// the log outgrows the configured budget.
+//
+// Crash semantics: anything not yet commit()ed is gone, by design; the
+// destructor deliberately does not flush. Thread-compatible, same as
+// Database (single driver thread).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mpros/db/database.hpp"
+#include "mpros/db/wal.hpp"
+
+namespace mpros::db {
+
+struct DurabilityConfig {
+  std::string directory;  ///< holds db.snapshot + db.wal
+  /// Checkpoint when the synced log exceeds this many bytes (0 = never by
+  /// size).
+  std::uint64_t checkpoint_bytes = 4u << 20;
+  /// Checkpoint every N commits (0 = never by count).
+  std::uint64_t checkpoint_commits = 0;
+  /// Benchmarks only: skip the fsync (group commit still batches frames).
+  bool fsync = true;
+};
+
+/// What construction found on disk.
+struct RecoveryReport {
+  bool snapshot_loaded = false;
+  std::uint64_t snapshot_seq = 0;       ///< WAL seq the snapshot covered
+  std::uint64_t commits_replayed = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t truncated_bytes = 0;    ///< torn/corrupt WAL tail dropped
+  std::uint64_t recovered_seq = 0;      ///< last durable commit sequence
+};
+
+class DurableDatabase final : public JournalSink {
+ public:
+  explicit DurableDatabase(DurabilityConfig config);
+  ~DurableDatabase() override;
+
+  DurableDatabase(const DurableDatabase&) = delete;
+  DurableDatabase& operator=(const DurableDatabase&) = delete;
+
+  [[nodiscard]] Database& db() { return db_; }
+  [[nodiscard]] const Database& db() const { return db_; }
+  [[nodiscard]] const RecoveryReport& recovery() const { return recovery_; }
+
+  /// Group commit: seal the buffered window and fsync once; then
+  /// checkpoint if the log outgrew the budget. False on I/O error.
+  bool commit();
+
+  /// Explicit snapshot + log compaction (commit()s first).
+  bool checkpoint();
+
+  [[nodiscard]] std::uint64_t wal_bytes() const {
+    return wal_->bytes_on_disk();
+  }
+  [[nodiscard]] const WriteAheadLog::Stats& wal_stats() const {
+    return wal_->stats();
+  }
+
+  [[nodiscard]] static std::string snapshot_path(const std::string& directory);
+  [[nodiscard]] static std::string wal_path(const std::string& directory);
+
+  // JournalSink (called by db_; not for direct use).
+  void journal(RedoOp op) override;
+  void journal_begin() override;
+  void journal_commit() override;
+  void journal_rollback() override;
+
+ private:
+  void recover();
+
+  DurabilityConfig config_;
+  Database db_;
+  RecoveryReport recovery_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::uint64_t commits_since_checkpoint_ = 0;
+};
+
+}  // namespace mpros::db

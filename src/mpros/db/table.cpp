@@ -20,20 +20,30 @@ Table::Table(TableSchema schema) : schema_(std::move(schema)) {
   MPROS_EXPECTS(!schema_.columns[0].nullable);
 }
 
+bool Table::cell_admissible(std::size_t column_index, const Value& v) const {
+  if (column_index >= schema_.columns.size()) return false;
+  const ColumnDef& col = schema_.columns[column_index];
+  if (v.is_null()) return col.nullable;
+  // Integer values are acceptable in REAL columns (numeric coercion).
+  return v.type() == col.type ||
+         (col.type == ValueType::Real && v.type() == ValueType::Integer);
+}
+
+bool Table::row_admissible(const Row& row) const {
+  if (row.size() != schema_.columns.size()) return false;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (!cell_admissible(i, row[i])) return false;
+  }
+  return true;
+}
+
+void Table::check_cell(std::size_t column_index, const Value& v) const {
+  MPROS_EXPECTS(cell_admissible(column_index, v));
+}
+
 void Table::check_row(const Row& row) const {
   MPROS_EXPECTS(row.size() == schema_.columns.size());
-  for (std::size_t i = 0; i < row.size(); ++i) {
-    const ColumnDef& col = schema_.columns[i];
-    if (row[i].is_null()) {
-      MPROS_EXPECTS(col.nullable);
-      continue;
-    }
-    // Integer values are acceptable in REAL columns (numeric coercion).
-    const bool ok =
-        row[i].type() == col.type ||
-        (col.type == ValueType::Real && row[i].type() == ValueType::Integer);
-    MPROS_EXPECTS(ok);
-  }
+  for (std::size_t i = 0; i < row.size(); ++i) check_cell(i, row[i]);
 }
 
 std::int64_t Table::insert(Row row) {
@@ -69,10 +79,14 @@ bool Table::update(std::int64_t key, const std::string& column, Value v) {
   MPROS_EXPECTS(col.has_value());
   MPROS_EXPECTS(*col != 0);  // primary keys are immutable
 
+  // Validate the candidate BEFORE mutating: the old order unindexed and
+  // overwrote the row first, so a type-mismatched update tripped the
+  // precondition with the table already inconsistent.
+  check_cell(*col, v);
+
   Row& row = it->second->second;
   unindex_row(key, row);
   row[*col] = std::move(v);
-  check_row(row);
   index_row(key, row);
   return true;
 }
@@ -142,6 +156,56 @@ std::vector<std::int64_t> Table::lookup_range(const std::string& column,
     out.push_back(it->second);
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> Table::indexed_columns() const {
+  std::vector<std::size_t> cols;
+  cols.reserve(indexes_.size());
+  for (const auto& [col, index] : indexes_) cols.push_back(col);
+  std::sort(cols.begin(), cols.end());
+  std::vector<std::string> out;
+  out.reserve(cols.size());
+  for (const std::size_t col : cols) out.push_back(schema_.columns[col].name);
+  return out;
+}
+
+std::vector<std::string> Table::index_violations() const {
+  std::vector<std::string> out;
+  const auto equivalent = [](const Value& a, const Value& b) {
+    return !a.less(b) && !b.less(a);
+  };
+  for (const auto& [col, index] : indexes_) {
+    const std::string& column = schema_.columns[col].name;
+    if (index.size() != rows_.size()) {
+      out.push_back(schema_.name + "." + column + ": index has " +
+                    std::to_string(index.size()) + " entries for " +
+                    std::to_string(rows_.size()) + " rows");
+    }
+    for (const auto& [value, key] : index) {
+      const Row* row = find(key);
+      if (row == nullptr) {
+        out.push_back(schema_.name + "." + column + ": entry for key " +
+                      std::to_string(key) + " dangles (row erased)");
+      } else if (!equivalent(value, (*row)[col])) {
+        out.push_back(schema_.name + "." + column + ": entry for key " +
+                      std::to_string(key) + " holds stale value " +
+                      value.to_string());
+      }
+    }
+    for (const auto& [key, row] : rows_) {
+      auto [lo, hi] = index.equal_range(row[col]);
+      std::size_t hits = 0;
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second == key) ++hits;
+      }
+      if (hits != 1) {
+        out.push_back(schema_.name + "." + column + ": row " +
+                      std::to_string(key) + " appears " +
+                      std::to_string(hits) + " times in the index");
+      }
+    }
+  }
   return out;
 }
 

@@ -77,6 +77,33 @@ class Table {
   /// Number of live secondary indexes.
   [[nodiscard]] std::size_t index_count() const { return indexes_.size(); }
 
+  /// Names of indexed columns, in schema order (deterministic).
+  [[nodiscard]] std::vector<std::string> indexed_columns() const;
+
+  /// Rows in key order (snapshot encoding, consistency checks, dump tools).
+  [[nodiscard]] const std::map<std::int64_t, Row>& rows() const {
+    return rows_;
+  }
+
+  /// The key insert_auto would assign next.
+  [[nodiscard]] std::int64_t next_auto_key() const { return next_key_; }
+
+  /// Force the auto-key counter (transaction rollback and WAL recovery
+  /// bookkeeping only — a lower counter re-issues keys).
+  void restore_next_key(std::int64_t next_key) { next_key_ = next_key; }
+
+  /// Non-aborting schema checks, used by fail-soft recovery decoders to
+  /// pre-validate untrusted input before touching the aborting mutators.
+  [[nodiscard]] bool cell_admissible(std::size_t column_index,
+                                     const Value& v) const;
+  [[nodiscard]] bool row_admissible(const Row& row) const;
+
+  /// Index consistency audit: every index entry must point at a live row
+  /// whose cell is equivalent under the index ordering, and every row must
+  /// appear in every index exactly once. Returns human-readable violations
+  /// (empty == consistent).
+  [[nodiscard]] std::vector<std::string> index_violations() const;
+
  private:
   struct ValueLess {
     bool operator()(const Value& a, const Value& b) const { return a.less(b); }
@@ -84,6 +111,7 @@ class Table {
   using SecondaryIndex = std::multimap<Value, std::int64_t, ValueLess>;
 
   void check_row(const Row& row) const;
+  void check_cell(std::size_t column_index, const Value& v) const;
   void index_row(std::int64_t key, const Row& row);
   void unindex_row(std::int64_t key, const Row& row);
 

@@ -1,0 +1,495 @@
+#include "mpros/db/wal.hpp"
+
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "mpros/common/assert.hpp"
+#include "mpros/common/log.hpp"
+
+namespace mpros::db {
+
+namespace walfmt {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_value(std::vector<std::uint8_t>& out, const Value& v) {
+  put_u8(out, static_cast<std::uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::Null: break;
+    case ValueType::Integer: put_i64(out, v.as_integer()); break;
+    case ValueType::Real: put_f64(out, v.as_real()); break;
+    case ValueType::Text: put_str(out, v.as_text()); break;
+  }
+}
+
+void put_row(std::vector<std::uint8_t>& out, const Row& row) {
+  put_u32(out, static_cast<std::uint32_t>(row.size()));
+  for (const Value& v : row) put_value(out, v);
+}
+
+void put_schema(std::vector<std::uint8_t>& out, const TableSchema& schema) {
+  put_str(out, schema.name);
+  put_u32(out, static_cast<std::uint32_t>(schema.columns.size()));
+  for (const ColumnDef& col : schema.columns) {
+    put_str(out, col.name);
+    put_u8(out, static_cast<std::uint8_t>(col.type));
+    put_u8(out, col.nullable ? 1 : 0);
+  }
+}
+
+void put_op(std::vector<std::uint8_t>& out, const RedoOp& op) {
+  put_u8(out, static_cast<std::uint8_t>(op.kind));
+  put_str(out, op.table);
+  switch (op.kind) {
+    case RedoOp::Kind::CreateTable:
+      put_schema(out, op.schema);
+      break;
+    case RedoOp::Kind::DropTable:
+      break;
+    case RedoOp::Kind::CreateIndex:
+      put_str(out, op.column);
+      break;
+    case RedoOp::Kind::Insert:
+      put_i64(out, op.key);
+      put_row(out, op.row);
+      break;
+    case RedoOp::Kind::Update:
+      put_i64(out, op.key);
+      put_str(out, op.column);
+      put_value(out, op.value);
+      break;
+    case RedoOp::Kind::Erase:
+      put_i64(out, op.key);
+      break;
+  }
+}
+
+bool TryReader::u8(std::uint8_t& v) {
+  if (remaining() < 1) return false;
+  v = data[pos++];
+  return true;
+}
+
+bool TryReader::u32(std::uint32_t& v) {
+  if (remaining() < 4) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos += 4;
+  return true;
+}
+
+bool TryReader::u64(std::uint64_t& v) {
+  if (remaining() < 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos += 8;
+  return true;
+}
+
+bool TryReader::i64(std::int64_t& v) {
+  std::uint64_t u = 0;
+  if (!u64(u)) return false;
+  v = static_cast<std::int64_t>(u);
+  return true;
+}
+
+bool TryReader::f64(double& v) {
+  std::uint64_t u = 0;
+  if (!u64(u)) return false;
+  v = std::bit_cast<double>(u);
+  return true;
+}
+
+bool TryReader::str(std::string& s) {
+  std::uint32_t len = 0;
+  if (!u32(len) || remaining() < len) return false;
+  s.assign(reinterpret_cast<const char*>(data.data() + pos), len);
+  pos += len;
+  return true;
+}
+
+bool TryReader::value(Value& v) {
+  std::uint8_t tag = 0;
+  if (!u8(tag)) return false;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::Null:
+      v = Value();
+      return true;
+    case ValueType::Integer: {
+      std::int64_t i = 0;
+      if (!i64(i)) return false;
+      v = Value(i);
+      return true;
+    }
+    case ValueType::Real: {
+      double d = 0;
+      if (!f64(d)) return false;
+      v = Value(d);
+      return true;
+    }
+    case ValueType::Text: {
+      std::string s;
+      if (!str(s)) return false;
+      v = Value(std::move(s));
+      return true;
+    }
+  }
+  return false;  // unknown tag
+}
+
+bool TryReader::row(Row& out_row) {
+  std::uint32_t count = 0;
+  if (!u32(count)) return false;
+  // Memory-bomb guard: a value is at least one tag byte.
+  if (count > remaining()) return false;
+  out_row.clear();
+  out_row.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Value v;
+    if (!value(v)) return false;
+    out_row.push_back(std::move(v));
+  }
+  return true;
+}
+
+bool TryReader::schema(TableSchema& out_schema) {
+  if (!str(out_schema.name)) return false;
+  std::uint32_t count = 0;
+  if (!u32(count)) return false;
+  // A column is at least name-len(4) + type(1) + nullable(1) bytes.
+  if (count > remaining() / 6) return false;
+  out_schema.columns.clear();
+  out_schema.columns.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ColumnDef col;
+    std::uint8_t type = 0;
+    std::uint8_t nullable = 0;
+    if (!str(col.name) || !u8(type) || !u8(nullable)) return false;
+    if (type > static_cast<std::uint8_t>(ValueType::Text)) return false;
+    if (nullable > 1) return false;
+    col.type = static_cast<ValueType>(type);
+    col.nullable = nullable == 1;
+    out_schema.columns.push_back(std::move(col));
+  }
+  return true;
+}
+
+bool TryReader::op(RedoOp& out_op) {
+  std::uint8_t kind = 0;
+  if (!u8(kind)) return false;
+  if (kind < static_cast<std::uint8_t>(RedoOp::Kind::CreateTable) ||
+      kind > static_cast<std::uint8_t>(RedoOp::Kind::Erase)) {
+    return false;
+  }
+  out_op = RedoOp{};
+  out_op.kind = static_cast<RedoOp::Kind>(kind);
+  if (!str(out_op.table)) return false;
+  switch (out_op.kind) {
+    case RedoOp::Kind::CreateTable:
+      return schema(out_op.schema);
+    case RedoOp::Kind::DropTable:
+      return true;
+    case RedoOp::Kind::CreateIndex:
+      return str(out_op.column);
+    case RedoOp::Kind::Insert:
+      return i64(out_op.key) && row(out_op.row);
+    case RedoOp::Kind::Update:
+      return i64(out_op.key) && str(out_op.column) && value(out_op.value);
+    case RedoOp::Kind::Erase:
+      return i64(out_op.key);
+  }
+  return false;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace walfmt
+
+namespace {
+
+constexpr char kWalMagic[4] = {'M', 'W', 'A', 'L'};
+constexpr std::size_t kHeaderBytes = sizeof(kWalMagic) + 1;  // magic + version
+constexpr std::size_t kFrameOverhead = 8;                    // len + crc
+
+bool header_intact(std::span<const std::uint8_t> bytes) {
+  return bytes.size() >= kHeaderBytes &&
+         std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) == 0 &&
+         bytes[sizeof(kWalMagic)] == kWalVersion;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path, bool& existed) {
+  std::vector<std::uint8_t> bytes;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  existed = f != nullptr;
+  if (f == nullptr) return bytes;
+  std::array<std::uint8_t, 1 << 16> buf;
+  std::size_t n = 0;
+  while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0) {
+    bytes.insert(bytes.end(), buf.data(), buf.data() + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string path, std::uint64_t next_seq)
+    : path_(std::move(path)), next_seq_(next_seq) {
+  MPROS_EXPECTS(next_seq_ >= 1);
+  bool existed = false;
+  const std::vector<std::uint8_t> bytes = read_file(path_, existed);
+  const bool fresh = !existed || !header_intact(bytes);
+  file_ = std::fopen(path_.c_str(), fresh ? "wb" : "ab");
+  if (file_ == nullptr) {
+    MPROS_LOG_ERROR("db", "wal: cannot open %s: %s", path_.c_str(),
+                    std::strerror(errno));
+    return;
+  }
+  if (fresh) {
+    if (!write_header()) return;
+  } else {
+    synced_bytes_ = bytes.size();
+  }
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  // Deliberately no flush: anything not group-committed through sync() is
+  // not durable, which is exactly the crash semantics recovery expects.
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool WriteAheadLog::write_header() {
+  std::uint8_t header[kHeaderBytes];
+  std::memcpy(header, kWalMagic, sizeof(kWalMagic));
+  header[sizeof(kWalMagic)] = kWalVersion;
+  if (std::fwrite(header, 1, kHeaderBytes, file_) != kHeaderBytes ||
+      std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
+    MPROS_LOG_ERROR("db", "wal: cannot write header to %s", path_.c_str());
+    std::fclose(file_);
+    file_ = nullptr;
+    return false;
+  }
+  synced_bytes_ = kHeaderBytes;
+  return true;
+}
+
+void WriteAheadLog::append(const RedoOp& op) {
+  walfmt::put_op(pending_, op);
+  ++pending_ops_;
+  ++stats_.records;
+}
+
+void WriteAheadLog::discard_pending() {
+  pending_.clear();
+  pending_ops_ = 0;
+}
+
+std::uint64_t WriteAheadLog::seal() {
+  if (pending_ops_ == 0) return 0;
+  const std::uint64_t seq = next_seq_++;
+  std::vector<std::uint8_t> payload;
+  payload.reserve(12 + pending_.size());
+  walfmt::put_u64(payload, seq);
+  walfmt::put_u32(payload, static_cast<std::uint32_t>(pending_ops_));
+  payload.insert(payload.end(), pending_.begin(), pending_.end());
+  walfmt::put_u32(sealed_, static_cast<std::uint32_t>(payload.size()));
+  walfmt::put_u32(sealed_, walfmt::crc32(payload));
+  sealed_.insert(sealed_.end(), payload.begin(), payload.end());
+  discard_pending();
+  ++stats_.commits;
+  return seq;
+}
+
+bool WriteAheadLog::sync(bool do_fsync) {
+  if (sealed_.empty()) return true;
+  if (file_ == nullptr) return false;
+  const std::size_t n = sealed_.size();
+  if (std::fwrite(sealed_.data(), 1, n, file_) != n ||
+      std::fflush(file_) != 0 ||
+      (do_fsync && ::fsync(fileno(file_)) != 0)) {
+    MPROS_LOG_ERROR("db", "wal: write to %s failed: %s", path_.c_str(),
+                    std::strerror(errno));
+    return false;
+  }
+  synced_bytes_ += n;
+  sealed_.clear();
+  if (do_fsync) ++stats_.fsyncs;
+  return true;
+}
+
+bool WriteAheadLog::reset(std::uint64_t next_seq) {
+  MPROS_EXPECTS(next_seq >= 1);
+  discard_pending();
+  sealed_.clear();
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  next_seq_ = next_seq;
+  synced_bytes_ = 0;
+  if (file_ == nullptr) {
+    MPROS_LOG_ERROR("db", "wal: cannot reopen %s: %s", path_.c_str(),
+                    std::strerror(errno));
+    return false;
+  }
+  return write_header();
+}
+
+WalReplayResult WriteAheadLog::replay(
+    const std::string& path, std::uint64_t after_seq,
+    const std::function<bool(std::uint64_t, RedoOp&&)>& apply) {
+  WalReplayResult result;
+  bool existed = false;
+  const std::vector<std::uint8_t> bytes = read_file(path, existed);
+  if (!existed) return result;
+  if (!header_intact(bytes)) {
+    // Torn before the header finished (or not a WAL at all): empty log.
+    result.truncated_bytes = bytes.size();
+    return result;
+  }
+  result.valid_bytes = kHeaderBytes;
+
+  std::size_t pos = kHeaderBytes;
+  while (pos < bytes.size()) {
+    walfmt::TryReader frame{std::span(bytes).subspan(pos), 0};
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    if (!frame.u32(len) || !frame.u32(crc) || frame.remaining() < len) break;
+    const std::span<const std::uint8_t> payload =
+        std::span(bytes).subspan(pos + kFrameOverhead, len);
+    if (walfmt::crc32(payload) != crc) break;
+
+    walfmt::TryReader body{payload, 0};
+    std::uint64_t seq = 0;
+    std::uint32_t op_count = 0;
+    if (!body.u64(seq) || !body.u32(op_count)) break;
+    if (op_count > body.remaining()) break;  // an op is >= 1 byte
+
+    // Decode the WHOLE frame before applying any of it, so a frame that
+    // turns out malformed halfway through never leaves partial effects.
+    bool frame_ok = true;
+    std::vector<RedoOp> ops;
+    ops.reserve(op_count);
+    for (std::uint32_t i = 0; i < op_count; ++i) {
+      RedoOp op;
+      if (!body.op(op)) {
+        frame_ok = false;
+        break;
+      }
+      ops.push_back(std::move(op));
+    }
+    if (frame_ok && body.remaining() != 0) frame_ok = false;
+    if (!frame_ok) break;
+
+    // A CRC-valid but semantically inadmissible op poisons the tail the
+    // same way torn bytes do — but by then earlier ops of the frame have
+    // been applied, so tell the caller (partial_frame) to redo recovery
+    // capped at last_seq.
+    const bool replay_frame = seq > after_seq;
+    if (replay_frame) {
+      std::uint64_t applied = 0;
+      for (RedoOp& op : ops) {
+        if (!apply(seq, std::move(op))) {
+          frame_ok = false;
+          break;
+        }
+        ++applied;
+      }
+      if (!frame_ok) {
+        result.partial_frame = applied > 0;
+        break;
+      }
+    }
+
+    pos += kFrameOverhead + len;
+    result.valid_bytes = pos;
+    result.last_seq = seq;
+    if (replay_frame) {
+      ++result.commits;
+      result.records += op_count;
+    }
+  }
+  result.truncated_bytes = bytes.size() - result.valid_bytes;
+  return result;
+}
+
+bool WriteAheadLog::truncate_torn_tail(const std::string& path,
+                                       const WalReplayResult& result) {
+  std::error_code ec;
+  if (result.valid_bytes < kHeaderBytes) {
+    // Missing or header-torn: lay down a fresh empty log.
+    WriteAheadLog fresh(path);
+    return fresh.ok();
+  }
+  if (result.truncated_bytes == 0) return true;
+  std::filesystem::resize_file(path, result.valid_bytes, ec);
+  if (ec) {
+    MPROS_LOG_ERROR("db", "wal: truncate %s to %llu bytes failed: %s",
+                    path.c_str(),
+                    static_cast<unsigned long long>(result.valid_bytes),
+                    ec.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mpros::db

@@ -1,0 +1,162 @@
+#pragma once
+// Write-ahead log for the embedded relational store.
+//
+// The durability half of the paper's §4.9 "long-term unattended operation"
+// requirement: every mutation made through a journaled Database is encoded
+// as a RedoOp and buffered; a *group commit* seals the buffered ops into one
+// CRC-framed record and a single fsync makes the whole batch durable — one
+// fsync per commit window, not per record. Recovery replays intact records
+// in order and truncates the first torn or corrupt frame (and everything
+// after it), exactly like the flight recorder's fail-soft TryReader decode.
+//
+// On-disk layout (all integers little-endian, the recorder's dump idiom):
+//
+//   "MWAL" u8 version                                  file header
+//   { u32 payload_len | u32 crc32(payload) | payload } *    commit frames
+//   payload := u64 commit_seq | u32 op_count | RedoOp*
+//
+// Thread-compatible: one writer (the OOSM/DC driver thread), like Database.
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpros/db/database.hpp"
+
+namespace mpros::db {
+
+inline constexpr std::uint8_t kWalVersion = 1;
+
+// -- Shared binary codec ------------------------------------------------------
+// Reused by the snapshot encoding (snapshot.cpp) and the fuzz tests.
+
+namespace walfmt {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v);
+void put_f64(std::vector<std::uint8_t>& out, double v);  // IEEE-754 bits
+void put_str(std::vector<std::uint8_t>& out, const std::string& s);
+void put_value(std::vector<std::uint8_t>& out, const Value& v);
+void put_row(std::vector<std::uint8_t>& out, const Row& row);
+void put_schema(std::vector<std::uint8_t>& out, const TableSchema& schema);
+void put_op(std::vector<std::uint8_t>& out, const RedoOp& op);
+
+/// Bounds-checked reader: every read reports success, nothing aborts, and
+/// count fields are guarded against memory bombs (a count the remaining
+/// bytes cannot possibly hold is a decode failure, not an allocation).
+struct TryReader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+
+  [[nodiscard]] std::size_t remaining() const { return data.size() - pos; }
+
+  bool u8(std::uint8_t& v);
+  bool u32(std::uint32_t& v);
+  bool u64(std::uint64_t& v);
+  bool i64(std::int64_t& v);
+  bool f64(double& v);
+  bool str(std::string& s);
+  bool value(Value& v);
+  bool row(Row& row);
+  bool schema(TableSchema& schema);
+  bool op(RedoOp& op);
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, table-driven) over `data`.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace walfmt
+
+// -- The log ------------------------------------------------------------------
+
+/// What recovery found in a log file.
+struct WalReplayResult {
+  std::uint64_t commits = 0;        ///< intact commit frames replayed
+  std::uint64_t records = 0;        ///< redo ops applied
+  std::uint64_t valid_bytes = 0;    ///< file prefix that decoded cleanly
+  std::uint64_t truncated_bytes = 0;///< torn/corrupt tail past the prefix
+  std::uint64_t last_seq = 0;       ///< newest commit sequence seen intact
+  /// True when `apply` rejected an op after earlier ops of the same frame
+  /// were already applied — the target holds a partial commit and the
+  /// caller must rebuild capped at last_seq.
+  bool partial_frame = false;
+};
+
+class WriteAheadLog {
+ public:
+  /// Open `path` for appending (creating it, with a fresh header, if absent
+  /// or header-torn). `next_seq` stamps the next sealed commit; recovery
+  /// passes last replayed seq + 1.
+  explicit WriteAheadLog(std::string path, std::uint64_t next_seq = 1);
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Buffer one op into the open commit batch. No I/O.
+  void append(const RedoOp& op);
+
+  /// Drop the buffered (unsealed) ops — transaction rollback.
+  void discard_pending();
+
+  /// Frame the buffered ops as one commit record (still only in memory).
+  /// Returns the commit's sequence number, or 0 if nothing was buffered.
+  std::uint64_t seal();
+
+  /// Group commit: write every sealed frame and fsync once. A no-op
+  /// (returning true, no fsync) when nothing sealed is outstanding.
+  /// `do_fsync = false` still writes + flushes (benchmark ceiling mode).
+  bool sync(bool do_fsync = true);
+
+  /// Post-checkpoint compaction: truncate the file to a bare header and
+  /// continue stamping from `next_seq`. Discards buffered/sealed frames.
+  bool reset(std::uint64_t next_seq);
+
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+  [[nodiscard]] std::size_t pending_ops() const { return pending_ops_; }
+  /// Bytes durable on disk (header + synced frames).
+  [[nodiscard]] std::uint64_t bytes_on_disk() const { return synced_bytes_; }
+
+  struct Stats {
+    std::uint64_t commits = 0;  ///< sealed commit frames
+    std::uint64_t records = 0;  ///< ops appended
+    std::uint64_t fsyncs = 0;   ///< group-commit syncs issued
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Fail-soft replay: walk `path`, apply every intact commit with
+  /// seq > `after_seq` through `apply(seq, op)`, stop at the first torn or
+  /// corrupt frame. `apply` returning false poisons the tail the same way
+  /// corruption does (the frame and everything after it is invalid).
+  /// A missing file is an empty log, not an error.
+  static WalReplayResult replay(
+      const std::string& path, std::uint64_t after_seq,
+      const std::function<bool(std::uint64_t, RedoOp&&)>& apply);
+
+  /// Drop everything past the intact prefix `replay` found. Creates the
+  /// file (bare header) when it was missing or the header itself was torn.
+  static bool truncate_torn_tail(const std::string& path,
+                                 const WalReplayResult& result);
+
+ private:
+  bool write_header();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<std::uint8_t> pending_;  ///< ops of the open (unsealed) commit
+  std::size_t pending_ops_ = 0;
+  std::vector<std::uint8_t> sealed_;   ///< framed commits awaiting sync()
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t synced_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mpros::db

@@ -88,7 +88,8 @@ SimTime next_slot(SimTime resume, SimTime phase, SimTime period) {
 
 DataConcentrator::DataConcentrator(DcConfig cfg, MachineRefs refs,
                                    plant::ChillerSimulator& chiller,
-                                   std::shared_ptr<nn::WnnClassifier> wnn)
+                                   std::shared_ptr<nn::WnnClassifier> wnn,
+                                   SimTime start_at)
     : cfg_(cfg),
       refs_(refs),
       chiller_(chiller),
@@ -105,7 +106,7 @@ DataConcentrator::DataConcentrator(DcConfig cfg, MachineRefs refs,
   current_buffer_.resize(cfg_.current_window);
   setup_database();
   setup_sbfr();
-  register_tasks(SimTime(0));
+  register_tasks(start_at);
 }
 
 DataConcentrator::DataConcentrator(DcConfig cfg, MachineRefs refs,
@@ -525,13 +526,45 @@ std::optional<double> DataConcentrator::runtime_setting(
 
 void DataConcentrator::persist_setting(std::string_view key, double value) {
   db::Table& t = db_.table("config");
-  const std::string k(key);
+  std::string k(key);
   const auto keys = t.lookup("key", db::Value(k));
   if (keys.empty()) {
     t.insert_auto({db::Value(k), db::Value(value)});
   } else {
     t.update(keys.front(), "value", db::Value(value));
   }
+  pending_config_updates_.emplace_back(std::move(k), value);
+}
+
+std::vector<std::pair<std::string, double>>
+DataConcentrator::drain_config_updates() {
+  std::vector<std::pair<std::string, double>> out;
+  out.swap(pending_config_updates_);
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> DataConcentrator::persisted_config()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const db::Row& row : db_.table("config").select()) {
+    out.emplace_back(row[1].as_text(), row[2].as_real());
+  }
+  return out;
+}
+
+void DataConcentrator::restore_config(
+    const std::vector<std::pair<std::string, double>>& settings) {
+  for (const auto& [key, value] : settings) {
+    if (key == "__revision") {
+      config_revision_ = static_cast<std::uint64_t>(std::llround(value));
+    } else {
+      apply_setting(key, value, /*quiet=*/true);
+    }
+    persist_setting(key, value);
+  }
+  // The entries came from the durable mirror; queueing them back would
+  // just rewrite identical rows into the WAL on the next barrier.
+  pending_config_updates_.clear();
 }
 
 void DataConcentrator::reapply_persisted_config() {

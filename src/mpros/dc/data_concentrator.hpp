@@ -19,6 +19,7 @@
 #include <span>
 #include <string_view>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "mpros/common/ids.hpp"
@@ -160,9 +161,13 @@ class DataConcentrator {
   /// `chiller` must outlive the DC. `wnn` may be null (WNN analyzer off)
   /// and is shared because training one classifier per DC would waste the
   /// fleet bench; real DCs would flash the same trained network anyway.
+  /// `start_at` anchors the task schedule: zero for a fresh boot; a
+  /// recovered ship passes its committed-through time so no task fires
+  /// inside the already-fused interval while the plant re-simulates it.
   DataConcentrator(DcConfig cfg, MachineRefs refs,
                    plant::ChillerSimulator& chiller,
-                   std::shared_ptr<nn::WnnClassifier> wnn = nullptr);
+                   std::shared_ptr<nn::WnnClassifier> wnn = nullptr,
+                   SimTime start_at = SimTime(0));
 
   /// Supervised restart: rebuild a DC around `salvage`. The persisted
   /// runtime config is re-applied from the recovered database (so the DC
@@ -219,6 +224,26 @@ class DataConcentrator {
   [[nodiscard]] std::uint64_t config_revision() const {
     return config_revision_;
   }
+
+  /// Settings persisted since the last drain (includes the "__revision"
+  /// bookkeeping key). The assembler pulls these at its step barrier to
+  /// mirror the per-DC config into the ship's durable store — a pull, so
+  /// the mirror write happens on the driver thread, never a DC worker.
+  [[nodiscard]] std::vector<std::pair<std::string, double>>
+  drain_config_updates();
+
+  /// Full persisted runtime config (every row of the config table,
+  /// "__revision" included) — what a durable mirror must hold to rebuild
+  /// this DC's control-plane state after a whole-process crash.
+  [[nodiscard]] std::vector<std::pair<std::string, double>>
+  persisted_config() const;
+
+  /// Crash recovery: re-impose a mirrored config on a freshly built DC —
+  /// apply each setting quietly, persist it locally, and adopt the
+  /// revision carried under "__revision". The entries came *from* the
+  /// durable mirror, so they are not queued for re-mirroring.
+  void restore_config(
+      const std::vector<std::pair<std::string, double>>& settings);
 
   /// Dedup/ack state for the PDME->DC command stream.
   [[nodiscard]] net::ReliableReceiver& command_receiver() {
@@ -330,6 +355,8 @@ class DataConcentrator {
   net::ReliableSender reliable_;
   net::ReliableReceiver command_rx_;  ///< PDME->DC command stream dedup
   std::uint64_t config_revision_ = 0;
+  /// Settings persisted since the last drain_config_updates() pull.
+  std::vector<std::pair<std::string, double>> pending_config_updates_;
   std::uint64_t progress_ = 0;
   bool wedged_ = false;
   std::vector<net::FailureReport> outbox_;

@@ -1,5 +1,6 @@
 #include "mpros/mpros/ship_system.hpp"
 
+#include <cmath>
 #include <mutex>
 
 #include "mpros/common/assert.hpp"
@@ -8,15 +9,67 @@
 
 namespace mpros {
 
+namespace {
+
+/// Durability mirror tables (alongside the journal's three oosm_* tables).
+constexpr const char* kShipMetaTable = "ship_meta";
+constexpr const char* kDcConfigTable = "dc_config";
+constexpr const char* kDcHealthTable = "pdme_dc_health";
+/// ship_meta primary key of the committed-through clock row.
+constexpr std::int64_t kCommittedThroughKey = 1;
+
+}  // namespace
+
 ShipSystem::ShipSystem(ShipSystemConfig cfg)
-    : cfg_(cfg),
-      ship_(oosm::build_ship(model_, "USNS Mercy",
-                             /*decks=*/std::max<std::size_t>(
-                                 1, (cfg.plant_count + 1) / 2),
-                             /*plants_per_deck=*/2)),
-      network_(cfg.network),
-      pool_(cfg.worker_threads) {
+    : cfg_(cfg), network_(cfg.network), pool_(cfg.worker_threads) {
   MPROS_EXPECTS(cfg.plant_count >= 1);
+
+  if (cfg_.enable_durability) {
+    MPROS_EXPECTS(!cfg_.durability.directory.empty());
+    // Construction IS recovery: whatever the last crash left committed in
+    // the directory is rebuilt here (snapshot + WAL replay, torn tail
+    // truncated).
+    durable_ = std::make_unique<db::DurableDatabase>(cfg_.durability);
+    recovered_ =
+        durable_->db().has_table(oosm::Persistence::kObjectsTable) &&
+        durable_->db().table(oosm::Persistence::kObjectsTable).row_count() > 0;
+  }
+
+  const std::size_t decks =
+      std::max<std::size_t>(1, (cfg.plant_count + 1) / 2);
+  if (recovered_) {
+    // The committed tables are the authoritative model; the journal then
+    // adopts them and keeps mirroring from here on.
+    model_ = oosm::Persistence::load(durable_->db());
+    model_journal_ =
+        std::make_unique<oosm::DurableModelJournal>(model_, durable_->db());
+    // Object ids are deterministic (sequential from 1, fixed build order),
+    // so a scratch build of the same hull re-derives the recovered ids
+    // without touching — or double-journalling — the live model.
+    oosm::ObjectModel scratch;
+    ship_ = oosm::build_ship(scratch, "USNS Mercy", decks,
+                             /*plants_per_deck=*/2);
+    const db::Row* meta =
+        durable_->db().table(kShipMetaTable).find(kCommittedThroughKey);
+    MPROS_ASSERT(meta != nullptr);  // committed with the oosm tables
+    now_ = SimTime((*meta)[2].as_integer());
+    MPROS_LOG_INFO("mpros",
+                   "recovered durable ship state through %.0f s "
+                   "(%llu commits, %llu records replayed)",
+                   now_.seconds(),
+                   static_cast<unsigned long long>(
+                       durable_->recovery().commits_replayed),
+                   static_cast<unsigned long long>(
+                       durable_->recovery().records_replayed));
+  } else {
+    if (durable_) {
+      // Attach before building so every ship object lands in the journal.
+      model_journal_ =
+          std::make_unique<oosm::DurableModelJournal>(model_, durable_->db());
+    }
+    ship_ = oosm::build_ship(model_, "USNS Mercy", decks,
+                             /*plants_per_deck=*/2);
+  }
   MPROS_EXPECTS(ship_.plants.size() >= cfg.plant_count);
   ship_.plants.resize(cfg.plant_count);
 
@@ -53,6 +106,11 @@ ShipSystem::ShipSystem(ShipSystemConfig cfg)
     cfg_.pdme.heartbeat_interval = cfg_.dc_template.heartbeat_period;
   }
   pdme_ = std::make_unique<pdme::PdmeExecutive>(model_, cfg_.pdme);
+  if (recovered_) {
+    // Re-fold every persisted report object in creation order so the fused
+    // beliefs match the crashed run's bit for bit.
+    pdme_->rebuild_from_model();
+  }
   pdme_->attach_to_network(network_);
   if (cfg.enable_fleet_analyzer) {
     resident_ = std::make_unique<pdme::FleetComparativeAnalyzer>(
@@ -74,8 +132,12 @@ ShipSystem::ShipSystem(ShipSystemConfig cfg)
     const oosm::ChillerPlant& objs = ship_.plants[p];
     dc::MachineRefs refs{objs.chiller, objs.motor, objs.gearbox,
                          objs.compressor};
+    // A recovered ship anchors the DC schedules after the committed clock:
+    // the plants re-simulate the already-fused interval deterministically
+    // (same seeds), but no test may fire inside it and re-mutate the model.
     dcs_.push_back(std::make_unique<dc::DataConcentrator>(
-        dc_cfg, refs, *plants_.back(), wnn_));
+        dc_cfg, refs, *plants_.back(), wnn_,
+        /*start_at=*/recovered_ ? now_ : SimTime(0)));
     if (recorder_) dcs_.back()->set_journal(recorder_.get());
 
     // Each DC listens on the ship's network for §5.8 scheduler commands and
@@ -88,6 +150,71 @@ ShipSystem::ShipSystem(ShipSystemConfig cfg)
     // Register with the watchdog so a DC partitioned before its first
     // datagram is still missed.
     pdme_->expect_dc(DcId(p + 1), SimTime(0));
+  }
+
+  if (durable_ && !recovered_) {
+    using db::ColumnDef;
+    using db::ValueType;
+    db::Database& db = durable_->db();
+    db.create_table(db::TableSchema{
+        kShipMetaTable,
+        {ColumnDef{"id", ValueType::Integer, false},
+         ColumnDef{"key", ValueType::Text, false},
+         ColumnDef{"value", ValueType::Integer, false}}});
+    db.insert(kShipMetaTable,
+              {db::Value(kCommittedThroughKey),
+               db::Value(std::string("committed_through_us")),
+               db::Value(std::int64_t{0})});
+    db.create_table(db::TableSchema{
+        kDcConfigTable,
+        {ColumnDef{"id", ValueType::Integer, false},
+         ColumnDef{"dc", ValueType::Integer, false},
+         ColumnDef{"key", ValueType::Text, false},
+         ColumnDef{"value", ValueType::Real, false}}});
+    // Keyed by DC id: one watchdog record per concentrator.
+    db.create_table(db::TableSchema{
+        kDcHealthTable,
+        {ColumnDef{"id", ValueType::Integer, false},
+         ColumnDef{"liveness", ValueType::Integer, false},
+         ColumnDef{"last_heard_us", ValueType::Integer, false},
+         ColumnDef{"heartbeats", ValueType::Integer, false}}});
+  } else if (recovered_) {
+    // dc_config mirror -> each DC's control plane (applied settings and
+    // command revision), and the row-key bookkeeping future upserts need.
+    std::vector<std::vector<std::pair<std::string, double>>> restored(
+        dcs_.size());
+    for (const auto& [row_key, row] :
+         durable_->db().table(kDcConfigTable).rows()) {
+      const auto dc = static_cast<std::size_t>(row[1].as_integer());
+      if (dc < 1 || dc > dcs_.size()) continue;  // shrunk fleet; stale row
+      restored[dc - 1].emplace_back(row[2].as_text(), row[3].as_real());
+      dc_config_rows_.emplace(std::pair{dc - 1, row[2].as_text()}, row_key);
+    }
+    for (std::size_t i = 0; i < dcs_.size(); ++i) {
+      if (restored[i].empty()) continue;
+      dcs_[i]->restore_config(restored[i]);
+      // The DC rejects command revisions at or below the one it already
+      // applied, so the recovered PDME must resume stamping past it.
+      for (const auto& [key, value] : restored[i]) {
+        if (key == "__revision") {
+          pdme_->restore_command_revision(
+              DcId(i + 1),
+              static_cast<std::uint64_t>(std::llround(value)));
+        }
+      }
+    }
+    // pdme_dc_health mirror -> watchdog records (the browser renders
+    // last-heard/heartbeats, so the recovered ship must report the values
+    // the crashed one had).
+    for (const auto& [row_key, row] :
+         durable_->db().table(kDcHealthTable).rows()) {
+      pdme::DcHealth health;
+      health.liveness = static_cast<pdme::DcLiveness>(row[1].as_integer());
+      health.last_heard = SimTime(row[2].as_integer());
+      health.heartbeats = static_cast<std::uint64_t>(row[3].as_integer());
+      pdme_->restore_dc_health(DcId(static_cast<std::uint64_t>(row_key)),
+                               health);
+    }
   }
 
   if (cfg_.enable_supervisor) {
@@ -111,6 +238,14 @@ ShipSystem::ShipSystem(ShipSystemConfig cfg)
         DcId(cfg_.uplink.ship.value()), cfg_.uplink.reliable);
     next_summary_due_ = cfg_.uplink.summary_period;
     next_heartbeat_due_ = cfg_.uplink.heartbeat_period;
+    // A recovered ship already emitted everything due through now_ (the
+    // advance loop leaves both dues strictly past the barrier it committed).
+    while (next_summary_due_ <= now_) {
+      next_summary_due_ += cfg_.uplink.summary_period;
+    }
+    while (next_heartbeat_due_ <= now_) {
+      next_heartbeat_due_ += cfg_.uplink.heartbeat_period;
+    }
   }
 }
 
@@ -199,7 +334,75 @@ std::size_t ShipSystem::advance_to(SimTime t) {
       next_heartbeat_due_ += cfg_.uplink.heartbeat_period;
     }
   }
+
+  // Durability barrier: everything the window changed — model events (the
+  // journal already buffered those as they happened), DC config deltas,
+  // watchdog records, the committed-through clock — becomes one WAL commit
+  // with one fsync. A crash anywhere before the next barrier rolls back to
+  // exactly this state.
+  if (durable_) durable_commit(now_);
   return delivered;
+}
+
+void ShipSystem::mirror_dc_setting(std::size_t i, const std::string& key,
+                                   double value) {
+  db::Database& db = durable_->db();
+  const auto map_key = std::pair{i, key};
+  const auto it = dc_config_rows_.find(map_key);
+  if (it == dc_config_rows_.end()) {
+    const std::int64_t row =
+        db.insert_auto(kDcConfigTable,
+                       {db::Value(static_cast<std::int64_t>(i + 1)),
+                        db::Value(key), db::Value(value)});
+    dc_config_rows_.emplace(map_key, row);
+    return;
+  }
+  const db::Row* current = db.table(kDcConfigTable).find(it->second);
+  MPROS_ASSERT(current != nullptr);
+  if ((*current)[3].as_real() == value) return;  // re-mirror of same value
+  db.update(kDcConfigTable, it->second, "value", db::Value(value));
+}
+
+void ShipSystem::durable_commit(SimTime t) {
+  db::Database& db = durable_->db();
+  // Pull, don't push: the DCs persisted these on their worker threads;
+  // the mirror write happens here, on the driver, in DC order.
+  for (std::size_t i = 0; i < dcs_.size(); ++i) {
+    for (const auto& [key, value] : dcs_[i]->drain_config_updates()) {
+      mirror_dc_setting(i, key, value);
+    }
+  }
+  const db::Table& health_table = db.table(kDcHealthTable);
+  for (const auto& [dc, health] : pdme_->dc_health()) {
+    const auto key = static_cast<std::int64_t>(dc);
+    const db::Row* row = health_table.find(key);
+    if (row == nullptr) {
+      db.insert(kDcHealthTable,
+                {db::Value(key),
+                 db::Value(static_cast<std::int64_t>(health.liveness)),
+                 db::Value(health.last_heard.micros()),
+                 db::Value(static_cast<std::int64_t>(health.heartbeats))});
+      continue;
+    }
+    // Column-wise delta so a quiet window journals nothing.
+    const auto upsert = [&](const char* column, std::size_t idx,
+                            std::int64_t value) {
+      if ((*row)[idx].as_integer() != value) {
+        db.update(kDcHealthTable, key, column, db::Value(value));
+      }
+    };
+    upsert("liveness", 1, static_cast<std::int64_t>(health.liveness));
+    upsert("last_heard_us", 2, health.last_heard.micros());
+    upsert("heartbeats", 3, static_cast<std::int64_t>(health.heartbeats));
+  }
+  db.update(kShipMetaTable, kCommittedThroughKey, "value",
+            db::Value(t.micros()));
+  if (!durable_->commit()) {
+    MPROS_LOG_ERROR("mpros",
+                    "durable commit failed at %.0f s; state through the "
+                    "previous barrier remains recoverable",
+                    t.seconds());
+  }
 }
 
 void ShipSystem::flush_dc(std::size_t i,
@@ -268,6 +471,17 @@ void ShipSystem::restart_dc_to(std::size_t i, SimTime t) {
   for (const SimTime s : step_log_) {
     if (s <= resume || s > t) continue;
     flush_dc(i, dcs_[i]->advance_to(s));
+  }
+
+  if (durable_) {
+    // The replacement reapplied its persisted config from the salvaged
+    // database; re-mirror the full dump (idempotent upserts) so nothing a
+    // wedge swallowed between pulls is missing from the durable copy, and
+    // drop the replacement's delta queue — the dump already covers it.
+    for (const auto& [key, value] : dcs_[i]->persisted_config()) {
+      mirror_dc_setting(i, key, value);
+    }
+    (void)dcs_[i]->drain_config_updates();
   }
 }
 

@@ -8,18 +8,21 @@
 // them and the PDME).
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "mpros/common/thread_pool.hpp"
+#include "mpros/db/durable.hpp"
 #include "mpros/dc/data_concentrator.hpp"
 #include "mpros/dc/supervisor.hpp"
 #include "mpros/mpros/wnn_training.hpp"
 #include "mpros/net/fleet_summary.hpp"
 #include "mpros/net/network.hpp"
 #include "mpros/net/reliable.hpp"
+#include "mpros/oosm/persistence.hpp"
 #include "mpros/oosm/ship_builder.hpp"
 #include "mpros/pdme/pdme.hpp"
 #include "mpros/pdme/resident.hpp"
@@ -74,6 +77,17 @@ struct ShipSystemConfig {
   /// its output matches an unwedged run.
   bool enable_supervisor = true;
   dc::DcSupervisorConfig supervisor;
+  /// Durable OOSM (§4.6, "managed entirely in the background" — but
+  /// crash-safe): journal the object model, each DC's persisted runtime
+  /// config, and the PDME's DC-liveness records into a write-ahead log
+  /// under durability.directory, group-committed (one fsync) at every
+  /// advance_to() barrier. Constructing a ShipSystem over a directory
+  /// that already holds a committed run *recovers* it: the model comes
+  /// back from snapshot + WAL replay and the clock resumes at the last
+  /// committed barrier, with browser/ICAS output identical to the crashed
+  /// run's at that instant.
+  bool enable_durability = false;
+  db::DurabilityConfig durability;
 };
 
 class ShipSystem {
@@ -175,6 +189,15 @@ class ShipSystem {
     return recorder_.get();
   }
 
+  /// Null unless cfg.enable_durability. Gives tests/tools the recovery
+  /// report and explicit checkpoint control; the db itself is the
+  /// journal's — don't mutate it directly.
+  [[nodiscard]] db::DurableDatabase* durable() { return durable_.get(); }
+
+  /// True when construction found a committed prior run in the durability
+  /// directory and resumed it (now() is the last committed barrier).
+  [[nodiscard]] bool recovered() const { return recovered_; }
+
   /// Text dump of every registered telemetry metric (counters, gauges,
   /// latency histograms) — the operator's status page.
   [[nodiscard]] static std::string telemetry_text() {
@@ -190,9 +213,22 @@ class ShipSystem {
   /// assembler-step boundaries ending at `t` (flushing per slice, so the
   /// seal/sweep interleaving matches an unwedged run).
   void restart_dc_to(std::size_t i, SimTime t);
+  /// Upsert one (dc, key) row in the dc_config mirror table (no-op when
+  /// the mirrored value is already current, so idempotent re-mirrors
+  /// don't bloat the WAL).
+  void mirror_dc_setting(std::size_t i, const std::string& key, double value);
+  /// Barrier-end group commit: pull config deltas from every DC, mirror
+  /// the PDME watchdog records and the committed-through clock, then
+  /// fsync the window as one WAL commit.
+  void durable_commit(SimTime t);
 
   ShipSystemConfig cfg_;
+  /// Declared before the model/journal so it outlives both on teardown.
+  std::unique_ptr<db::DurableDatabase> durable_;
   oosm::ObjectModel model_;
+  /// Mirrors model_ events into durable_'s db; destroyed first (declared
+  /// last of the three) so it can unsubscribe from a live model.
+  std::unique_ptr<oosm::DurableModelJournal> model_journal_;
   oosm::ShipModel ship_;
   net::SimNetwork network_;
   std::unique_ptr<telemetry::FlightRecorder> recorder_;
@@ -217,6 +253,12 @@ class ShipSystem {
   std::vector<UplinkDatagram> uplink_outbox_;
   SimTime next_summary_due_;
   SimTime next_heartbeat_due_;
+
+  // Durability bookkeeping (driver thread only).
+  bool recovered_ = false;
+  /// dc_config mirror row keys by (dc index, setting key); rebuilt from
+  /// the table on recovery.
+  std::map<std::pair<std::size_t, std::string>, std::int64_t> dc_config_rows_;
 };
 
 }  // namespace mpros

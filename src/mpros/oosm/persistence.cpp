@@ -80,6 +80,148 @@ void Persistence::save(const ObjectModel& model, db::Database& db) {
   }
 }
 
+DurableModelJournal::DurableModelJournal(ObjectModel& model, db::Database& db)
+    : model_(model), db_(db) {
+  if (db_.has_table(Persistence::kObjectsTable)) {
+    adopt_tables();
+  } else {
+    create_tables();
+  }
+  subscription_ =
+      model_.subscribe([this](const OosmEvent& event) { on_event(event); });
+}
+
+DurableModelJournal::~DurableModelJournal() {
+  model_.unsubscribe(subscription_);
+}
+
+void DurableModelJournal::create_tables() {
+  db_.create_table(objects_schema());
+  db_.create_table(properties_schema());
+  db_.create_table(relations_schema());
+  db_.create_index(Persistence::kPropertiesTable, "object_id");
+  db_.create_index(Persistence::kRelationsTable, "from_id");
+}
+
+void DurableModelJournal::adopt_tables() {
+  for (const auto& [row_key, row] :
+       db_.table(Persistence::kPropertiesTable).rows()) {
+    const auto object = static_cast<std::uint64_t>(row[1].as_integer());
+    db::ValueType type = db::ValueType::Null;
+    if (!row[3].is_null()) {
+      type = db::ValueType::Integer;
+    } else if (!row[4].is_null()) {
+      type = db::ValueType::Real;
+    } else if (!row[5].is_null()) {
+      type = db::ValueType::Text;
+    }
+    prop_rows_.emplace(std::pair{object, row[2].as_text()},
+                       PropRow{row_key, type});
+  }
+  for (const auto& [row_key, row] :
+       db_.table(Persistence::kRelationsTable).rows()) {
+    relation_rows_.emplace(static_cast<std::uint64_t>(row[1].as_integer()),
+                           row_key);
+    relation_rows_.emplace(static_cast<std::uint64_t>(row[3].as_integer()),
+                           row_key);
+  }
+}
+
+namespace {
+
+const char* typed_column(ValueType type) {
+  switch (type) {
+    case ValueType::Integer: return "int_value";
+    case ValueType::Real: return "real_value";
+    case ValueType::Text: return "text_value";
+    case ValueType::Null: break;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void DurableModelJournal::upsert_property(ObjectId id, const std::string& key) {
+  const std::optional<Value> value = model_.property(id, key);
+  const Value v = value.value_or(Value());
+  const ValueType type = v.type();
+
+  const auto map_key = std::pair{id.value(), key};
+  const auto it = prop_rows_.find(map_key);
+  if (it == prop_rows_.end()) {
+    Value int_v, real_v, text_v;
+    switch (type) {
+      case ValueType::Integer: int_v = v; break;
+      case ValueType::Real: real_v = v; break;
+      case ValueType::Text: text_v = v; break;
+      case ValueType::Null: break;
+    }
+    const std::int64_t row = db_.insert_auto(
+        Persistence::kPropertiesTable,
+        {Value(static_cast<std::int64_t>(id.value())), Value(key), int_v,
+         real_v, text_v});
+    prop_rows_.emplace(map_key, PropRow{row, type});
+    return;
+  }
+
+  PropRow& rec = it->second;
+  if (rec.type != type && rec.type != ValueType::Null) {
+    db_.update(Persistence::kPropertiesTable, rec.row, typed_column(rec.type),
+               Value());
+  }
+  if (type != ValueType::Null) {
+    db_.update(Persistence::kPropertiesTable, rec.row, typed_column(type), v);
+  }
+  rec.type = type;
+}
+
+void DurableModelJournal::on_event(const OosmEvent& event) {
+  const auto object_key = static_cast<std::int64_t>(event.object.value());
+  switch (event.kind) {
+    case OosmEvent::Kind::ObjectCreated: {
+      db_.insert(Persistence::kObjectsTable,
+                 {Value(object_key), Value(model_.name(event.object)),
+                  Value(static_cast<std::int64_t>(model_.kind(event.object)))});
+      // create_object_bulk readies properties before the single event.
+      for (const auto& [key, value] : model_.properties(event.object)) {
+        upsert_property(event.object, key);
+      }
+      break;
+    }
+    case OosmEvent::Kind::PropertyChanged:
+      upsert_property(event.object, event.property);
+      break;
+    case OosmEvent::Kind::RelationAdded: {
+      const std::int64_t row = db_.insert_auto(
+          Persistence::kRelationsTable,
+          {Value(object_key),
+           Value(static_cast<std::int64_t>(event.relation)),
+           Value(static_cast<std::int64_t>(event.other.value()))});
+      relation_rows_.emplace(event.object.value(), row);
+      relation_rows_.emplace(event.other.value(), row);
+      break;
+    }
+    case OosmEvent::Kind::ObjectDeleted: {
+      db_.erase(Persistence::kObjectsTable, object_key);
+      const auto lo = prop_rows_.lower_bound({event.object.value(), ""});
+      auto hi = lo;
+      while (hi != prop_rows_.end() &&
+             hi->first.first == event.object.value()) {
+        db_.erase(Persistence::kPropertiesTable, hi->second.row);
+        ++hi;
+      }
+      prop_rows_.erase(lo, hi);
+      auto [rlo, rhi] = relation_rows_.equal_range(event.object.value());
+      for (auto it = rlo; it != rhi; ++it) {
+        // False when the other endpoint's deletion already erased the row.
+        db_.erase(Persistence::kRelationsTable, it->second);
+      }
+      relation_rows_.erase(rlo, rhi);
+      break;
+    }
+  }
+}
+
 ObjectModel Persistence::load(const db::Database& db) {
   ObjectModel model;
 

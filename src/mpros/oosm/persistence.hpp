@@ -6,6 +6,11 @@
 // the background": save() snapshots the whole model; load() rebuilds it,
 // preserving object ids.
 
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
 #include "mpros/db/database.hpp"
 #include "mpros/oosm/object_model.hpp"
 
@@ -17,13 +22,57 @@ class Persistence {
   /// `db` (drops any existing snapshot tables first).
   static void save(const ObjectModel& model, db::Database& db);
 
-  /// Rebuild a model from a snapshot produced by save(). Object ids match
-  /// the originals; listeners are not restored.
+  /// Rebuild a model from a snapshot produced by save() (or maintained by a
+  /// DurableModelJournal). Object ids match the originals; listeners are
+  /// not restored.
   static ObjectModel load(const db::Database& db);
 
   static constexpr const char* kObjectsTable = "oosm_objects";
   static constexpr const char* kPropertiesTable = "oosm_properties";
   static constexpr const char* kRelationsTable = "oosm_relations";
+};
+
+/// Incremental background persistence (paper §4.6: "managed entirely in the
+/// background"): subscribes to an ObjectModel and mirrors every event —
+/// creation, property change, relation, deletion — into the same three
+/// tables Persistence::save() writes, through the *journaled* Database
+/// mutators, so an attached write-ahead log captures each change as it
+/// happens instead of requiring periodic full-model dumps.
+///
+/// Two start modes, decided by what is already in `db`:
+///  - fresh (no oosm_objects table): creates the tables + indexes, then
+///    mirrors events; attach BEFORE building the model so creations land.
+///  - adopt (tables exist, e.g. recovered from WAL): rebuilds its row-key
+///    bookkeeping from the tables and continues mirroring. The model must
+///    match the tables (it was just loaded from them).
+///
+/// Runs inline on the model's single writer thread, like every listener.
+class DurableModelJournal {
+ public:
+  DurableModelJournal(ObjectModel& model, db::Database& db);
+  ~DurableModelJournal();
+
+  DurableModelJournal(const DurableModelJournal&) = delete;
+  DurableModelJournal& operator=(const DurableModelJournal&) = delete;
+
+ private:
+  void create_tables();
+  void adopt_tables();
+  void on_event(const OosmEvent& event);
+  void upsert_property(ObjectId id, const std::string& key);
+
+  ObjectModel& model_;
+  db::Database& db_;
+  ObjectModel::SubscriptionId subscription_ = 0;
+
+  struct PropRow {
+    std::int64_t row = 0;
+    db::ValueType type = db::ValueType::Null;  ///< typed column currently set
+  };
+  std::map<std::pair<std::uint64_t, std::string>, PropRow> prop_rows_;
+  /// Each relation row is recorded under BOTH endpoints so deleting either
+  /// object finds it; the second lookup tolerates the already-erased row.
+  std::multimap<std::uint64_t, std::int64_t> relation_rows_;
 };
 
 }  // namespace mpros::oosm

@@ -399,6 +399,11 @@ void PdmeExecutive::synchronize() {
 }
 
 std::size_t PdmeExecutive::rebuild_from_model() {
+  // objects_of_kind returns creation order — the exact order the live
+  // executive fused these reports. Keep it: re-fusing in any other order
+  // (the old timestamp sort was unstable across same-stamp reports) folds
+  // the Dempster-Shafer floats differently and recovery would no longer be
+  // byte-identical to the uncrashed run.
   std::vector<net::FailureReport> recovered;
   for (const ObjectId obj :
        model_.objects_of_kind(domain::EquipmentKind::Report)) {
@@ -406,10 +411,6 @@ std::size_t PdmeExecutive::rebuild_from_model() {
     if (!posted.has_value()) continue;  // half-written report: skip
     recovered.push_back(reconstruct_report(obj));
   }
-  std::sort(recovered.begin(), recovered.end(),
-            [](const net::FailureReport& a, const net::FailureReport& b) {
-              return a.timestamp < b.timestamp;
-            });
   for (const net::FailureReport& r : recovered) {
     // Recovery fuses every persisted report, even signature twins (they are
     // distinct objects in the model) — so bypass the dedup gate and, in
@@ -443,6 +444,16 @@ std::vector<PdmeExecutive::SensorFaultRecord> PdmeExecutive::sensor_faults(
     if (!active_only || rec.severity > 0.0) out.push_back(rec);
   }
   return out;
+}
+
+void PdmeExecutive::restore_dc_health(DcId dc, const DcHealth& health) {
+  dc_health_[dc.value()] = health;
+}
+
+void PdmeExecutive::restore_command_revision(DcId dc,
+                                             std::uint64_t revision) {
+  std::uint64_t& current = command_revisions_[dc.value()];
+  current = std::max(current, revision);
 }
 
 void PdmeExecutive::expect_dc(DcId dc, SimTime since) {

@@ -238,8 +238,23 @@ class PdmeExecutive {
   /// Disaster recovery (§4.9 "long-term unattended operation"): rebuild
   /// fusion state from the Report objects already persisted in the OOSM.
   /// Call on a freshly constructed executive over a reloaded model; reports
-  /// are re-fused in timestamp order. Returns how many were recovered.
+  /// are re-fused in creation order — the order the live executive posted
+  /// them, which Persistence::load preserves — so the Dempster-Shafer
+  /// floating-point folds replay bit-identically (a timestamp sort would
+  /// reorder same-stamp reports and perturb the folds at the last ulp).
+  /// Returns how many were recovered.
   std::size_t rebuild_from_model();
+
+  /// Restore one DC's watchdog record from persisted state (crash
+  /// recovery only — the browser renders last-heard/heartbeats, so a
+  /// recovered ship must report the values the crashed one had).
+  void restore_dc_health(DcId dc, const DcHealth& health);
+
+  /// Seed the §5.8 command-revision counter for one DC (crash recovery
+  /// only): the DC rejects any revision at or below its applied one, so a
+  /// recovered PDME must resume stamping past the last revision the
+  /// crashed run durably applied. Keeps the larger of the two.
+  void restore_command_revision(DcId dc, std::uint64_t revision);
 
  private:
   using ModeKey = std::pair<std::uint64_t, domain::FailureMode>;

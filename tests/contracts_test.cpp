@@ -62,6 +62,19 @@ TEST(ContractsDeathTest, TableRejectsTypeMismatch) {
                "precondition");
 }
 
+TEST(ContractsDeathTest, TableUpdateRejectsTypeMismatchBeforeMutating) {
+  db::Table t(db::TableSchema{
+      "t",
+      {db::ColumnDef{"id", db::ValueType::Integer, false},
+       db::ColumnDef{"name", db::ValueType::Text, false}}});
+  t.insert({db::Value(std::int64_t{1}), db::Value("ok")});
+  // The candidate is validated before the row is unindexed or assigned
+  // (see Table::update) — the violation still aborts, but never with the
+  // table already inconsistent.
+  EXPECT_DEATH(t.update(1, "name", db::Value(2.5)), "precondition");
+  EXPECT_DEATH(t.update(1, "name", db::Value()), "precondition");
+}
+
 TEST(ContractsDeathTest, FrameLimitedToSixteenHypotheses) {
   std::vector<std::string> names(17, "h");
   EXPECT_DEATH(fusion::FrameOfDiscernment frame(names), "precondition");

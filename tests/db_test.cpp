@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "mpros/db/database.hpp"
 
 namespace mpros::db {
@@ -176,6 +178,123 @@ TEST(DatabaseTest, OperationsOutsideTransactionAreImmediate) {
   db.insert_auto("people", {Value("x"), Value(), Value()});
   EXPECT_FALSE(db.in_transaction());
   EXPECT_EQ(db.table("people").row_count(), 1u);
+}
+
+// --- Regressions: ordering, validation, rollback bookkeeping ----------------
+
+TEST(ValueTest, NanSortsBelowEveryNumberAndEqualsItself) {
+  const Value nan(std::numeric_limits<double>::quiet_NaN());
+  const Value neg_inf(-std::numeric_limits<double>::infinity());
+  const Value zero(0.0);
+  // NaN < everything numeric; nothing numeric < NaN. Two NaNs are
+  // equivalent (neither less) — a strict weak ordering, so a NaN row can
+  // live in a std::map index without corrupting its invariants.
+  EXPECT_TRUE(nan.less(neg_inf));
+  EXPECT_TRUE(nan.less(zero));
+  EXPECT_FALSE(neg_inf.less(nan));
+  EXPECT_FALSE(zero.less(nan));
+  EXPECT_FALSE(nan.less(nan));
+}
+
+TEST(TableTest, NanScoreSurvivesIndexedRoundTrip) {
+  Table t(people_schema());
+  t.create_index("score");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  t.insert_auto({Value("a"), Value(), Value(nan)});
+  t.insert_auto({Value("b"), Value(), Value(1.0)});
+  t.insert_auto({Value("c"), Value(), Value(nan)});
+  // Both NaN rows are findable through the index and the index stays
+  // internally consistent (pre-fix, NaN comparisons broke the map's strict
+  // weak ordering and lookups silently missed rows).
+  EXPECT_EQ(t.lookup("score", Value(nan)).size(), 2u);
+  EXPECT_EQ(t.lookup("score", Value(1.0)).size(), 1u);
+  EXPECT_TRUE(t.index_violations().empty());
+}
+
+TEST(ValueTest, LargeIntegersCompareExactly) {
+  // 2^53 and 2^53+1 collapse to the same double; integer-vs-integer must
+  // compare exactly, not through the lossy numeric() widening.
+  const auto big = std::int64_t{1} << 53;
+  EXPECT_TRUE(Value(big).less(Value(big + 1)));
+  EXPECT_FALSE(Value(big + 1).less(Value(big)));
+  EXPECT_FALSE(Value(big).less(Value(big)));
+  // Mixed integer/real still orders by numeric value.
+  EXPECT_TRUE(Value(std::int64_t{2}).less(Value(2.5)));
+}
+
+TEST(TableTest, AdjacentLargeIntegersStayDistinctInIndex) {
+  Table t(people_schema());
+  t.create_index("age");
+  const auto big = std::int64_t{1} << 53;
+  t.insert_auto({Value("lo"), Value(big), Value()});
+  t.insert_auto({Value("hi"), Value(big + 1), Value()});
+  EXPECT_EQ(t.lookup("age", Value(big)).size(), 1u);
+  EXPECT_EQ(t.lookup("age", Value(big + 1)).size(), 1u);
+  EXPECT_TRUE(t.index_violations().empty());
+}
+
+TEST(TableTest, UpdateValidatesBeforeMutating) {
+  // An inadmissible update is a contract violation — but the check must run
+  // BEFORE the unindex/assign (pre-fix the row was already mutated and the
+  // index emptied when the precondition tripped). In-process the gate is
+  // observable through cell_admissible and the soft apply_redo path below.
+  Table t(people_schema());
+  EXPECT_TRUE(t.cell_admissible(1, Value("text")));
+  EXPECT_FALSE(t.cell_admissible(1, Value(std::int64_t{7})));
+  EXPECT_FALSE(t.cell_admissible(1, Value()));  // non-nullable
+  EXPECT_FALSE(t.cell_admissible(3, Value("not a real")));
+  EXPECT_TRUE(t.cell_admissible(3, Value()));  // nullable
+}
+
+TEST(DatabaseTest, InadmissibleRedoUpdateLeavesRowAndIndexUntouched) {
+  Database db;
+  db.create_table(people_schema());
+  db.create_index("people", "name");
+  const auto k = db.insert_auto("people", {Value("ok"), Value(), Value()});
+
+  RedoOp op;
+  op.kind = RedoOp::Kind::Update;
+  op.table = "people";
+  op.key = k;
+  op.column = "name";
+  op.value = Value(std::int64_t{7});  // type mismatch
+  EXPECT_FALSE(apply_redo(db, std::move(op)));
+
+  EXPECT_EQ((*db.table("people").find(k))[1].as_text(), "ok");
+  EXPECT_EQ(db.table("people").lookup("name", Value("ok")).size(), 1u);
+  EXPECT_TRUE(db.integrity_violations().empty());
+}
+
+TEST(DatabaseTest, RollbackRestoresAutoKeyCounter) {
+  Database db;
+  db.create_table(people_schema());
+  db.insert_auto("people", {Value("a"), Value(), Value()});
+
+  db.begin();
+  const auto temp =
+      db.insert_auto("people", {Value("temp"), Value(), Value()});
+  db.rollback();
+
+  // The auto-key the aborted transaction consumed is reissued: the next
+  // insert gets the same key an untouched database would have handed out.
+  const auto next = db.insert_auto("people", {Value("b"), Value(), Value()});
+  EXPECT_EQ(next, temp);
+  EXPECT_TRUE(db.integrity_violations().empty());
+}
+
+TEST(DatabaseTest, RollbackOfEraseKeepsAutoKeyMonotonic) {
+  Database db;
+  db.create_table(people_schema());
+  const auto a = db.insert_auto("people", {Value("a"), Value(), Value()});
+  const auto b = db.insert_auto("people", {Value("b"), Value(), Value()});
+  db.begin();
+  db.erase("people", a);
+  db.erase("people", b);
+  db.rollback();
+  // Re-inserting the erased rows during rollback must not bump the counter
+  // past where the live table had it.
+  EXPECT_EQ(db.insert_auto("people", {Value("c"), Value(), Value()}), b + 1);
+  EXPECT_TRUE(db.integrity_violations().empty());
 }
 
 }  // namespace

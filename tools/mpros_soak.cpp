@@ -21,6 +21,11 @@
 //   MPROS_CHAOS_BATCH=0      flush one datagram per report instead of the
 //                            sync-window ReportBatch coalescing (E21);
 //                            default/1 keeps batching on
+//   MPROS_CHAOS_CRASH=S      every S seconds, kill BOTH mirror hulls
+//                            mid-voyage (destroy the ShipSystem, no
+//                            shutdown) and rebuild each from its durable
+//                            OOSM directory; the recovered pair must keep
+//                            satisfying every invariant, I1 included
 //
 // Invariants (any violation = nonzero exit naming the simulated time):
 //   I1 shard equivalence      the mirror hulls' fused views render
@@ -40,9 +45,12 @@
 //   --ships N --plants N --hours H --seed N --step-s S --check-s S
 //   override either profile.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -156,20 +164,31 @@ int main(int argc, char** argv) {
   const bool chaos_wedge = env_flag("MPROS_CHAOS_WEDGE");
   const double churn_period_s = env_double("MPROS_CHAOS_CHURN", 0.0);
   const bool chaos_batch = env_double("MPROS_CHAOS_BATCH", 1.0) != 0.0;
+  const double crash_period_s = env_double("MPROS_CHAOS_CRASH", 0.0);
 
   std::printf(
       "mpros_soak: %zu hull(s) x %zu plant(s), %.0f simulated hour(s)%s\n"
       "chaos: drop=%.3f dup=%.3f outage=%.0fs/%.0fs wedge=%d churn=%.0fs "
-      "batch=%d\n",
+      "batch=%d crash=%.0fs\n",
       ships, plants, hours, short_mode ? " (short/CI profile)" : "",
       chaos_drop, chaos_dup, outage_period_s, outage_len_s,
-      chaos_wedge ? 1 : 0, churn_period_s, chaos_batch ? 1 : 0);
+      chaos_wedge ? 1 : 0, churn_period_s, chaos_batch ? 1 : 0,
+      crash_period_s);
+
+  // Durable OOSM directories for the mirror pair: only armed when the
+  // crash injector is on (a crash needs something to recover from).
+  const std::filesystem::path crash_root =
+      std::filesystem::temp_directory_path() /
+      ("mpros_soak_crash_" + std::to_string(::getpid()));
+  if (crash_period_s > 0.0) {
+    std::filesystem::remove_all(crash_root);
+    std::filesystem::create_directories(crash_root);
+  }
 
   // ---- assemble the fleet -------------------------------------------------
   // Hull 0 shards its PDME, hull 1 is the inline mirror with the identical
   // seed/fault/chaos script; hulls 2.. add population under varied seeds.
-  std::vector<std::unique_ptr<ShipSystem>> fleet;
-  for (std::size_t h = 0; h < ships; ++h) {
+  const auto make_cfg = [&](std::size_t h) {
     ShipSystemConfig cfg;
     cfg.plant_count = plants;
     const bool mirror_pair = h < 2;
@@ -180,6 +199,11 @@ int main(int argc, char** argv) {
     cfg.pdme.shard_count = (h == 1) ? 0 : 2;  // hull 1 is the inline mirror
     cfg.pdme.auto_retest = false;  // retest timing differs inline vs sharded
     cfg.dc_template.batch_reports = chaos_batch;
+    if (crash_period_s > 0.0 && mirror_pair) {
+      cfg.enable_durability = true;
+      cfg.durability.directory =
+          (crash_root / ("hull" + std::to_string(h))).string();
+    }
     // Long mode turns the report volume up: short refresh + every-scan
     // sensor batches is what makes 240 h reach tens of millions of
     // datagrams.
@@ -189,9 +213,12 @@ int main(int argc, char** argv) {
       cfg.dc_template.vibration_period = SimTime::from_seconds(300.0);
       cfg.dc_template.sensor_publish_every = 1;
     }
-    fleet.push_back(std::make_unique<ShipSystem>(cfg));
-    // A standing fault per plant keeps every analyzer and the report
-    // pipeline exercised for the whole voyage.
+    return cfg;
+  };
+  // A standing fault per plant keeps every analyzer and the report
+  // pipeline exercised for the whole voyage. (Fault scripts are simulator
+  // state, not durable state: a rebuilt hull re-arms the same script.)
+  const auto arm_faults = [&](ShipSystem& ship) {
     static constexpr domain::FailureMode kModes[] = {
         domain::FailureMode::MotorImbalance,
         domain::FailureMode::RefrigerantLeak,
@@ -205,8 +232,13 @@ int main(int argc, char** argv) {
       ev.ramp = SimTime::from_hours(hours * 0.5);
       ev.max_severity = 0.9;
       ev.profile = plant::GrowthProfile::Linear;
-      fleet[h]->chiller(p).faults().schedule(ev);
+      ship.chiller(p).faults().schedule(ev);
     }
+  };
+  std::vector<std::unique_ptr<ShipSystem>> fleet;
+  for (std::size_t h = 0; h < ships; ++h) {
+    fleet.push_back(std::make_unique<ShipSystem>(make_cfg(h)));
+    arm_faults(*fleet[h]);
   }
 
   const SimTime end = SimTime::from_hours(hours);
@@ -229,9 +261,13 @@ int main(int argc, char** argv) {
   SimTime next_churn = churn_period_s > 0.0
                            ? SimTime::from_seconds(churn_period_s)
                            : SimTime(-1);
+  SimTime next_crash = crash_period_s > 0.0
+                           ? SimTime::from_seconds(crash_period_s)
+                           : SimTime(-1);
   std::size_t outage_count = 0;
   std::size_t wedge_count = 0;
   std::size_t churn_count = 0;
+  std::size_t crash_count = 0;
 
   // I4 bookkeeping: what each (hull, plant) was last commanded to.
   struct Expected {
@@ -247,6 +283,43 @@ int main(int argc, char** argv) {
   SimTime next_check = check;
   for (SimTime t = step; t <= end; t = t + step) {
     const bool chaos_live = t <= chaos_end;
+
+    if (chaos_live && next_crash.micros() >= 0 && t >= next_crash) {
+      // Kill -9 analogue on BOTH mirror hulls: destroy each ShipSystem with
+      // no shutdown path, then rebuild over its durable directory. Both
+      // recover the same committed barrier, so the shard-equivalence
+      // invariant must keep holding for the rest of the voyage.
+      const SimTime committed = fleet[0]->now();
+      for (std::size_t h = 0; h < 2 && h < ships; ++h) {
+        fleet[h].reset();  // the crash: in-memory state is simply gone
+        fleet[h] = std::make_unique<ShipSystem>(make_cfg(h));
+        if (!fleet[h]->recovered() ||
+            fleet[h]->now().micros() != committed.micros()) {
+          return fail(t, "hull " + std::to_string(h) +
+                             " did not recover the committed barrier after "
+                             "a crash (got " +
+                             std::to_string(fleet[h]->now().seconds()) +
+                             "s, want " +
+                             std::to_string(committed.seconds()) + "s)");
+        }
+        arm_faults(*fleet[h]);
+        // Counters and network stats restart with the process.
+        last_stats[h] = {};
+        // Commands in flight died with the hull; re-issue the newest
+        // commanded state so the convergence invariant stays meaningful
+        // (and the post-crash control plane gets exercised).
+        for (std::size_t p = 0; p < plants; ++p) {
+          Expected& want = expected[h][p];
+          if (want.settings.empty()) continue;
+          std::vector<std::pair<std::string, double>> settings(
+              want.settings.begin(), want.settings.end());
+          want.revision = fleet[h]->command_dc(p, std::move(settings),
+                                               "post-crash re-command");
+        }
+      }
+      ++crash_count;
+      next_crash = next_crash + SimTime::from_seconds(crash_period_s);
+    }
 
     if (chaos_live && next_outage.micros() >= 0 && t >= next_outage) {
       // Partition one rotating DC endpoint on every hull (identically on
@@ -371,13 +444,14 @@ int main(int argc, char** argv) {
   std::printf(
       "mpros_soak: PASS — all invariants held for %.0f simulated hour(s)\n"
       "  traffic: %llu datagram(s), %llu report(s), %llu sample(s)\n"
-      "  chaos:   %zu outage(s), %zu wedge(s), %zu config churn(s)\n"
+      "  chaos:   %zu outage(s), %zu wedge(s), %zu config churn(s), "
+      "%zu crash(es)\n"
       "  healed:  %llu wedge(s) detected, %llu supervised restart(s)\n"
       "  config:  %llu applied, %llu rejected; pdme.queue_full=%llu\n",
       hours, static_cast<unsigned long long>(datagrams),
       static_cast<unsigned long long>(reports),
       static_cast<unsigned long long>(samples), outage_count, wedge_count,
-      churn_count,
+      churn_count, crash_count,
       static_cast<unsigned long long>(
           reg.counter("dc.wedges_detected").value()),
       static_cast<unsigned long long>(
@@ -391,6 +465,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "mpros_soak: wedges were injected but the "
                          "supervisor never restarted a DC\n");
     return 1;
+  }
+  if (crash_period_s > 0.0) {
+    if (crash_count == 0) {
+      std::fprintf(stderr, "mpros_soak: MPROS_CHAOS_CRASH was set but no "
+                           "crash fired (voyage too short?)\n");
+      return 1;
+    }
+    fleet.clear();  // release the WALs before deleting the directories
+    std::filesystem::remove_all(crash_root);
   }
   return 0;
 }
